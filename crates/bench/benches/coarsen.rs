@@ -1,0 +1,34 @@
+//! Criterion benches of the DAG pre-processing passes: approximate
+//! transitive reduction (SpMP §2.3) and Funnel coarsening (§4.2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sptrsv_dag::coarsen::{funnel_partition, FunnelDirection, FunnelOptions};
+use sptrsv_dag::transitive::approximate_transitive_reduction;
+use sptrsv_dag::wavefront::wavefronts;
+use sptrsv_datasets::{load_suite, Scale, SuiteKind};
+
+fn bench_passes(c: &mut Criterion) {
+    let suite = load_suite(SuiteKind::SuiteSparse, Scale::Test, 42);
+    let mut group = c.benchmark_group("dag_passes");
+    group.sample_size(10);
+    for ds in suite.iter().take(3) {
+        let dag = ds.dag();
+        group.bench_with_input(
+            BenchmarkId::new("transitive_reduction", &ds.name),
+            &dag,
+            |b, dag| b.iter(|| approximate_transitive_reduction(std::hint::black_box(dag))),
+        );
+        group.bench_with_input(BenchmarkId::new("funnel_in", &ds.name), &dag, |b, dag| {
+            let opts =
+                FunnelOptions { direction: FunnelDirection::In, max_part_weight: 1 << 10 };
+            b.iter(|| funnel_partition(std::hint::black_box(dag), &opts))
+        });
+        group.bench_with_input(BenchmarkId::new("wavefronts", &ds.name), &dag, |b, dag| {
+            b.iter(|| wavefronts(std::hint::black_box(dag)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_passes);
+criterion_main!(benches);

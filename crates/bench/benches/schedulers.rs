@@ -1,0 +1,40 @@
+//! Criterion benches of the scheduling algorithms themselves (their running
+//! time is the "scheduling time" axis of Tables 7.6/7.7 and Figure B.1).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sptrsv_core::{
+    BlockParallel, BspG, FunnelGrowLocal, GrowLocal, HDagg, Scheduler, SpMp, WavefrontScheduler,
+};
+use sptrsv_datasets::{load_suite, Scale, SuiteKind};
+
+fn bench_schedulers(c: &mut Criterion) {
+    // One representative application instance and one hard instance.
+    let suite = load_suite(SuiteKind::SuiteSparse, Scale::Test, 42);
+    let app = &suite[0];
+    let nb = &load_suite(SuiteKind::NarrowBandwidth, Scale::Test, 42)[0];
+    let mut group = c.benchmark_group("schedule");
+    group.sample_size(10);
+    for ds in [app, nb] {
+        let dag = ds.dag();
+        let schedulers: Vec<Box<dyn Scheduler>> = vec![
+            Box::new(GrowLocal::new()),
+            Box::new(FunnelGrowLocal::for_dag(&dag, 8)),
+            Box::new(WavefrontScheduler),
+            Box::new(HDagg::default()),
+            Box::new(SpMp),
+            Box::new(BspG::default()),
+            Box::new(BlockParallel::new(4)),
+        ];
+        for sched in &schedulers {
+            group.bench_with_input(
+                BenchmarkId::new(sched.name(), &ds.name),
+                &dag,
+                |b, dag| b.iter(|| sched.schedule(std::hint::black_box(dag), 8)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_schedulers);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Criterion benches of the solve kernels: serial substitution, the barrier
+//! executor and the asynchronous executor (real wall-clock on this machine —
+//! with a single physical core the parallel executors measure their
+//! synchronization overhead rather than any speed-up; the speed-up
+//! experiments use the machine model, see DESIGN.md).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sptrsv_core::{GrowLocal, Scheduler, SpMp};
+use sptrsv_datasets::{load_suite, Scale, SuiteKind};
+use sptrsv_exec::async_exec::AsyncExecutor;
+use sptrsv_exec::barrier::BarrierExecutor;
+use sptrsv_exec::serial::solve_lower_serial;
+
+fn bench_solve(c: &mut Criterion) {
+    let suite = load_suite(SuiteKind::SuiteSparse, Scale::Test, 42);
+    let ds = &suite[0];
+    let n = ds.lower.n_rows();
+    let b: Vec<f64> = (0..n).map(|i| 1.0 + (i % 5) as f64).collect();
+    let dag = ds.dag();
+
+    let mut group = c.benchmark_group("solve");
+    group.throughput(Throughput::Elements(ds.lower.nnz() as u64));
+    group.sample_size(20);
+
+    group.bench_with_input(BenchmarkId::new("serial", &ds.name), &ds.lower, |bch, l| {
+        let mut x = vec![0.0; n];
+        bch.iter(|| solve_lower_serial(std::hint::black_box(l), &b, &mut x));
+    });
+
+    let schedule = GrowLocal::new().schedule(&dag, 2);
+    let barrier = BarrierExecutor::new(&ds.lower, &schedule).expect("valid");
+    group.bench_with_input(BenchmarkId::new("barrier_2t", &ds.name), &ds.lower, |bch, l| {
+        let mut x = vec![0.0; n];
+        bch.iter(|| barrier.solve(std::hint::black_box(l), &b, &mut x));
+    });
+
+    let spmp_schedule = SpMp.schedule(&dag, 2);
+    let reduced = SpMp.reduced_dag(&dag);
+    let asynchronous =
+        AsyncExecutor::new(&ds.lower, &spmp_schedule, &reduced).expect("valid");
+    group.bench_with_input(BenchmarkId::new("async_2t", &ds.name), &ds.lower, |bch, l| {
+        let mut x = vec![0.0; n];
+        bch.iter(|| asynchronous.solve(std::hint::black_box(l), &b, &mut x));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_solve);
+criterion_main!(benches);

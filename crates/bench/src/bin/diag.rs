@@ -1,0 +1,91 @@
+//! Developer diagnostic: per-algorithm cost breakdown on one instance.
+//!
+//! ```text
+//! diag <suite: ss|metis|ichol|er|nb> [index] [--scale test|medium]
+//! ```
+
+use sptrsv_bench::harness::{evaluate, Algo};
+use sptrsv_core::Scheduler;
+use sptrsv_datasets::{load_suite, Scale, SuiteKind};
+use sptrsv_exec::MachineProfile;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let kind = match args.first().map(String::as_str) {
+        Some("ss") => SuiteKind::SuiteSparse,
+        Some("metis") => SuiteKind::Metis,
+        Some("ichol") => SuiteKind::IChol,
+        Some("er") => SuiteKind::ErdosRenyi,
+        Some("nb") => SuiteKind::NarrowBandwidth,
+        _ => SuiteKind::ErdosRenyi,
+    };
+    let index: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(0);
+    let scale = if args.iter().any(|a| a == "--scale")
+        && args.iter().any(|a| a == "test")
+    {
+        Scale::Test
+    } else {
+        Scale::Medium
+    };
+    let suite = load_suite(kind, scale, 42);
+    let ds = &suite[index.min(suite.len() - 1)];
+    println!(
+        "{}: n={} nnz={} wavefronts={} avg_wf={:.1} sources={}",
+        ds.name,
+        ds.stats.n,
+        ds.stats.nnz,
+        ds.stats.n_wavefronts,
+        ds.stats.avg_wavefront,
+        ds.stats.n_sources
+    );
+    let profile = MachineProfile::intel_xeon_22();
+    let serial = sptrsv_exec::simulate_serial(&ds.lower, &profile);
+    println!(
+        "serial: cycles={:.3e} misses={}",
+        serial.cycles, serial.cache_misses
+    );
+    for algo in [
+        Algo::GrowLocal,
+        Algo::GrowLocalNoReorder,
+        Algo::FunnelGl,
+        Algo::SpMp,
+        Algo::HDagg,
+        Algo::Wavefront,
+        Algo::BspG,
+    ] {
+        let o = evaluate(ds, algo, &profile, 22);
+        // Work-balance diagnostics on the raw schedule.
+        let dag = ds.dag();
+        let sched = match algo {
+            Algo::HDagg => sptrsv_core::HDagg::default().schedule(&dag, 22),
+            _ => sptrsv_core::GrowLocal::new().schedule(&dag, 22),
+        };
+        let stats = sched.stats(&dag);
+        println!(
+            "{:<16} speedup={:>6.2} steps={:>6} sync={:.2e} misses={:>9} \
+             cycles={:.3e} eff={:.2} imb={:.2}",
+            o.algo,
+            o.speedup,
+            o.n_supersteps,
+            o.sim.sync_cycles,
+            o.sim.cache_misses,
+            o.parallel_cycles,
+            stats.work_efficiency(22),
+            stats.average_imbalance(),
+        );
+    }
+    // Per-superstep load shape of the GrowLocal schedule.
+    let dag = ds.dag();
+    let sched = sptrsv_core::GrowLocal::new().schedule(&dag, 22);
+    let stats = sched.stats(&dag);
+    println!("\nGrowLocal per-superstep loads (first 8 steps):");
+    for (s, step) in stats.work_per_cell.iter().take(8).enumerate() {
+        let total: u64 = step.iter().sum();
+        let max = step.iter().copied().max().unwrap_or(0);
+        let active = step.iter().filter(|&&w| w > 0).count();
+        println!(
+            "  step {s:>3}: total={total:>8} max={max:>7} active_cores={active:>2} loads={:?}",
+            step
+        );
+    }
+}

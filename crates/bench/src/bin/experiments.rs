@@ -1,0 +1,73 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! ```text
+//! experiments <name> [--scale test|medium|full] [--seed N] [--cores K]
+//! ```
+//!
+//! `<name>` is one of: `fig1-2`, `table7-1`, `fig7-1`, `table7-2`,
+//! `table7-3`, `table7-4`, `table7-5`, `fig7-2`, `table7-6`, `table7-7`,
+//! `figb-1`, `appc-1`, `appendix-a`, or `all`.
+
+use sptrsv_bench::experiments::{self, Config};
+use sptrsv_datasets::Scale;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: experiments <name> [--scale test|medium|full] [--seed N] [--cores K]\n\
+         names: fig1-2 table7-1 fig7-1 table7-2 table7-3 table7-4 table7-5\n\
+         \u{20}      fig7-2 table7-6 table7-7 figb-1 appc-1 extensions appendix-a all"
+    );
+    std::process::exit(2)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+    }
+    let name = args[0].clone();
+    let mut cfg = Config::default();
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                cfg.scale = match args.get(i).map(String::as_str) {
+                    Some("test") => Scale::Test,
+                    Some("medium") => Scale::Medium,
+                    Some("full") => Scale::Full,
+                    _ => usage(),
+                };
+            }
+            "--seed" => {
+                i += 1;
+                cfg.seed = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+            }
+            "--cores" => {
+                i += 1;
+                cfg.n_cores = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+            }
+            _ => usage(),
+        }
+        i += 1;
+    }
+    let report = match name.as_str() {
+        "fig1-2" => experiments::fig1_2(&cfg),
+        "table7-1" => experiments::table7_1(&cfg),
+        "fig7-1" => experiments::fig7_1(&cfg),
+        "table7-2" => experiments::table7_2(&cfg),
+        "table7-3" => experiments::table7_3(&cfg),
+        "table7-4" => experiments::table7_4(&cfg),
+        "table7-5" => experiments::table7_5(&cfg),
+        "fig7-2" => experiments::fig7_2(&cfg),
+        "table7-6" => experiments::table7_6(&cfg),
+        "table7-7" => experiments::table7_7(&cfg),
+        "figb-1" => experiments::fig_b1(&cfg),
+        "appc-1" => experiments::app_c1(&cfg),
+        "extensions" => experiments::extensions(&cfg),
+        "appendix-a" => experiments::appendix_a(&cfg),
+        "all" => experiments::all(&cfg),
+        _ => usage(),
+    };
+    println!("{report}");
+}

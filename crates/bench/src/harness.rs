@@ -1,0 +1,218 @@
+//! End-to-end evaluation of one (dataset, algorithm) pair.
+
+use sptrsv_core::{
+    reorder_for_locality, BlockParallel, BspG, FunnelGrowLocal, GrowLocal, GrowLocalParams,
+    HDagg, Schedule, Scheduler, SpMp, VertexPriority, WavefrontScheduler,
+};
+use sptrsv_datasets::Dataset;
+use sptrsv_exec::{simulate_async, simulate_barrier, simulate_serial, MachineProfile, SimReport};
+use std::time::Instant;
+
+/// Nominal clock used to convert measured scheduling seconds into the model's
+/// cycle units for the amortization threshold (Eq. (7.1)).
+pub const CALIBRATION_HZ: f64 = 2.5e9;
+
+/// The algorithms under evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Algo {
+    /// GrowLocal + the §5 locality reordering (the paper's full pipeline).
+    GrowLocal,
+    /// GrowLocal without the reordering step (Table 7.3 ablation).
+    GrowLocalNoReorder,
+    /// GrowLocal with the ID-only selection rule (Rule I ablation).
+    GrowLocalIdOnly,
+    /// Funnel coarsening + GrowLocal + reordering.
+    FunnelGl,
+    /// SpMP-style: level schedule on the reduced DAG, asynchronous execution.
+    SpMp,
+    /// HDagg-style wavefront gluing, barrier execution.
+    HDagg,
+    /// Plain wavefront scheduling, barrier execution.
+    Wavefront,
+    /// BSPg-style barrier list scheduler.
+    BspG,
+    /// Block-parallel GrowLocal with this many diagonal blocks (+ reorder).
+    BlockGl(usize),
+    /// Future-work extension (§8): the GrowLocal schedule executed
+    /// *semi-asynchronously* — point-to-point waits on the reduced DAG
+    /// instead of global barriers, as in SpMP.
+    GrowLocalAsync,
+}
+
+impl Algo {
+    /// Display name used in tables.
+    pub fn label(&self) -> String {
+        match self {
+            Algo::GrowLocal => "GrowLocal".into(),
+            Algo::GrowLocalNoReorder => "GL(no reorder)".into(),
+            Algo::GrowLocalIdOnly => "GL(id-only)".into(),
+            Algo::FunnelGl => "Funnel+GL".into(),
+            Algo::SpMp => "SpMP".into(),
+            Algo::HDagg => "HDagg".into(),
+            Algo::Wavefront => "Wavefront".into(),
+            Algo::BspG => "BSPg".into(),
+            Algo::BlockGl(t) => format!("GrowLocal({t} blocks)"),
+            Algo::GrowLocalAsync => "GrowLocal(async)".into(),
+        }
+    }
+
+    /// Whether the §5 reordering is part of this pipeline.
+    fn reorders(&self) -> bool {
+        matches!(self, Algo::GrowLocal | Algo::FunnelGl | Algo::BlockGl(_))
+    }
+}
+
+/// Everything the experiment tables need from one evaluation.
+#[derive(Debug, Clone)]
+pub struct EvalOutcome {
+    /// Algorithm label.
+    pub algo: String,
+    /// Dataset name.
+    pub dataset: String,
+    /// Modeled speed-up over the serial execution of the *original* matrix.
+    pub speedup: f64,
+    /// Number of supersteps of the schedule.
+    pub n_supersteps: usize,
+    /// Number of wavefronts of the DAG (barrier baseline, Table 7.2).
+    pub n_wavefronts: usize,
+    /// Wall-clock seconds spent computing the schedule (and reordering).
+    pub sched_seconds: f64,
+    /// Modeled parallel execution cycles.
+    pub parallel_cycles: f64,
+    /// Modeled serial execution cycles (original ordering).
+    pub serial_cycles: f64,
+    /// Full simulation report of the parallel run.
+    pub sim: SimReport,
+}
+
+impl EvalOutcome {
+    /// Amortization threshold (Eq. (7.1)): how many solves pay off the
+    /// scheduling time. `f64::INFINITY` when the parallel run is not faster.
+    pub fn amortization_threshold(&self) -> f64 {
+        let gain = self.serial_cycles - self.parallel_cycles;
+        if gain <= 0.0 {
+            return f64::INFINITY;
+        }
+        self.sched_seconds * CALIBRATION_HZ / gain
+    }
+}
+
+/// Runs `algo` on `dataset` for `n_cores` cores of `profile`.
+pub fn evaluate(
+    dataset: &Dataset,
+    algo: Algo,
+    profile: &MachineProfile,
+    n_cores: usize,
+) -> EvalOutcome {
+    let dag = dataset.dag();
+    let serial = simulate_serial(&dataset.lower, profile);
+
+    let started = Instant::now();
+    let schedule: Schedule = match algo {
+        Algo::GrowLocal | Algo::GrowLocalNoReorder | Algo::GrowLocalAsync => {
+            GrowLocal::new().schedule(&dag, n_cores)
+        }
+        Algo::GrowLocalIdOnly => GrowLocal::with_params(GrowLocalParams {
+            priority: VertexPriority::IdOnly,
+            ..Default::default()
+        })
+        .schedule(&dag, n_cores),
+        Algo::FunnelGl => FunnelGrowLocal::for_dag(&dag, n_cores).schedule(&dag, n_cores),
+        Algo::SpMp => SpMp.schedule(&dag, n_cores),
+        Algo::HDagg => HDagg::default().schedule(&dag, n_cores),
+        Algo::Wavefront => WavefrontScheduler.schedule(&dag, n_cores),
+        Algo::BspG => BspG::default().schedule(&dag, n_cores),
+        Algo::BlockGl(blocks) => BlockParallel::new(blocks).schedule(&dag, n_cores),
+    };
+
+    // Simulate; reordering (when part of the pipeline) produces a permuted
+    // problem, simulated as-is (the permuted system is equivalent, §5).
+    let sim = if algo == Algo::SpMp || algo == Algo::GrowLocalAsync {
+        let reduced = SpMp.reduced_dag(&dag);
+        let sched_seconds = started.elapsed().as_secs_f64();
+        let sim = simulate_async(&dataset.lower, &schedule, &reduced, profile);
+        return finish(dataset, algo, schedule, sched_seconds, serial, sim);
+    } else if algo.reorders() {
+        let reordered = reorder_for_locality(&dataset.lower, &schedule)
+            .expect("schedule order is topological");
+        let sched_seconds = started.elapsed().as_secs_f64();
+        let sim = simulate_barrier(&reordered.matrix, &reordered.schedule, profile);
+        return finish(dataset, algo, reordered.schedule, sched_seconds, serial, sim);
+    } else {
+        simulate_barrier(&dataset.lower, &schedule, profile)
+    };
+    let sched_seconds = started.elapsed().as_secs_f64();
+    finish(dataset, algo, schedule, sched_seconds, serial, sim)
+}
+
+fn finish(
+    dataset: &Dataset,
+    algo: Algo,
+    schedule: Schedule,
+    sched_seconds: f64,
+    serial: SimReport,
+    sim: SimReport,
+) -> EvalOutcome {
+    EvalOutcome {
+        algo: algo.label(),
+        dataset: dataset.name.clone(),
+        speedup: serial.cycles / sim.cycles,
+        n_supersteps: schedule.n_supersteps(),
+        n_wavefronts: dataset.stats.n_wavefronts,
+        sched_seconds,
+        parallel_cycles: sim.cycles,
+        serial_cycles: serial.cycles,
+        sim,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sptrsv_datasets::{load_suite, Scale, SuiteKind};
+
+    #[test]
+    fn evaluate_produces_consistent_outcome() {
+        let suite = load_suite(SuiteKind::SuiteSparse, Scale::Test, 1);
+        let profile = MachineProfile::intel_xeon_22();
+        let out = evaluate(&suite[0], Algo::GrowLocal, &profile, 4);
+        assert!(out.speedup > 0.0);
+        assert!(out.n_supersteps >= 1);
+        assert!(out.sched_seconds >= 0.0);
+        assert!((out.speedup - out.serial_cycles / out.parallel_cycles).abs() < 1e-9);
+    }
+
+    #[test]
+    fn all_algorithms_run_on_a_test_instance() {
+        let suite = load_suite(SuiteKind::NarrowBandwidth, Scale::Test, 1);
+        let profile = MachineProfile::intel_xeon_22();
+        for algo in [
+            Algo::GrowLocal,
+            Algo::GrowLocalNoReorder,
+            Algo::GrowLocalIdOnly,
+            Algo::FunnelGl,
+            Algo::SpMp,
+            Algo::HDagg,
+            Algo::Wavefront,
+            Algo::BspG,
+            Algo::BlockGl(4),
+        ] {
+            let out = evaluate(&suite[0], algo, &profile, 4);
+            assert!(out.speedup.is_finite(), "{} produced a broken speedup", out.algo);
+        }
+    }
+
+    #[test]
+    fn amortization_threshold_semantics() {
+        let suite = load_suite(SuiteKind::SuiteSparse, Scale::Test, 1);
+        let profile = MachineProfile::intel_xeon_22();
+        let mut out = evaluate(&suite[0], Algo::GrowLocal, &profile, 8);
+        out.sched_seconds = 1.0 / CALIBRATION_HZ; // exactly one cycle
+        if out.serial_cycles > out.parallel_cycles {
+            let t = out.amortization_threshold();
+            assert!(t > 0.0 && t.is_finite());
+        }
+        out.parallel_cycles = out.serial_cycles + 1.0;
+        assert!(out.amortization_threshold().is_infinite());
+    }
+}

@@ -1,0 +1,104 @@
+//! Plain-text table rendering for experiment reports.
+
+/// A simple fixed-width table: header row plus data rows of strings.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(header: Vec<S>) -> Table {
+        Table { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a data row; must match the header width.
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders with padded columns, a separator under the header.
+    pub fn render(&self) -> String {
+        let n_cols = self.header.len();
+        let mut widths = vec![0usize; n_cols];
+        for (i, h) in self.header.iter().enumerate() {
+            widths[i] = widths[i].max(h.chars().count());
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.chars().count());
+            }
+        }
+        let fmt_row = |cells: &[String]| -> String {
+            let mut line = String::new();
+            for (i, c) in cells.iter().enumerate() {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                let pad = widths[i] - c.chars().count();
+                // Right-align numeric-looking cells, left-align labels.
+                let numeric = c.chars().next().is_some_and(|ch| ch.is_ascii_digit() || ch == '-')
+                    && c.parse::<f64>().is_ok();
+                if numeric {
+                    line.push_str(&" ".repeat(pad));
+                    line.push_str(c);
+                } else {
+                    line.push_str(c);
+                    line.push_str(&" ".repeat(pad));
+                }
+            }
+            line.trim_end().to_string()
+        };
+        let mut out = fmt_row(&self.header);
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (n_cols - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a float with 2 decimals (the paper's table style).
+pub fn f2(x: f64) -> String {
+    if x.is_infinite() {
+        "inf".to_string()
+    } else {
+        format!("{x:.2}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(vec!["Data set", "GrowLocal", "SpMP"]);
+        t.row(vec!["SuiteSparse", "10.79", "7.60"]);
+        t.row(vec!["Narrow bandw.", "9.04", "3.56"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("GrowLocal"));
+        assert!(lines[2].contains("10.79"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn rejects_ragged_rows() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.row(vec!["only one"]);
+    }
+
+    #[test]
+    fn f2_formats() {
+        assert_eq!(f2(10.789), "10.79");
+        assert_eq!(f2(f64::INFINITY), "inf");
+    }
+}

@@ -1,0 +1,137 @@
+//! Aggregation statistics used in the paper's tables and figures.
+
+/// Geometric mean of strictly positive samples.
+///
+/// Returns `f64::NAN` for an empty slice; panics (debug) on non-positive
+/// entries, which would indicate a broken speed-up computation upstream.
+pub fn geometric_mean(samples: &[f64]) -> f64 {
+    if samples.is_empty() {
+        return f64::NAN;
+    }
+    debug_assert!(samples.iter().all(|&s| s > 0.0), "geomean needs positive samples");
+    let log_sum: f64 = samples.iter().map(|&s| s.ln()).sum();
+    (log_sum / samples.len() as f64).exp()
+}
+
+/// 25th, 50th and 75th percentiles (linear interpolation).
+pub fn quartiles(samples: &[f64]) -> (f64, f64, f64) {
+    assert!(!samples.is_empty(), "quartiles of an empty sample");
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in samples"));
+    let pct = |q: f64| -> f64 {
+        let pos = q * (sorted.len() - 1) as f64;
+        let lo = pos.floor() as usize;
+        let hi = pos.ceil() as usize;
+        if lo == hi {
+            sorted[lo]
+        } else {
+            let w = pos - lo as f64;
+            sorted[lo] * (1.0 - w) + sorted[hi] * w
+        }
+    };
+    (pct(0.25), pct(0.5), pct(0.75))
+}
+
+/// A Dolan–Moré performance profile (Figure 7.1).
+///
+/// For each algorithm and threshold `τ`, the fraction of instances whose
+/// cost is within `τ ×` the best cost on that instance.
+#[derive(Debug, Clone)]
+pub struct PerformanceProfile {
+    /// Algorithm names, row-aligned with `fractions`.
+    pub algorithms: Vec<String>,
+    /// Threshold grid.
+    pub taus: Vec<f64>,
+    /// `fractions[a][t]` — share of instances where algorithm `a` is within
+    /// `taus[t]` of the per-instance best.
+    pub fractions: Vec<Vec<f64>>,
+}
+
+impl PerformanceProfile {
+    /// Builds the profile from per-instance costs: `costs[a][i]` is the cost
+    /// (lower = better, e.g. modeled cycles) of algorithm `a` on instance `i`.
+    pub fn from_costs(algorithms: Vec<String>, costs: &[Vec<f64>], taus: Vec<f64>) -> Self {
+        assert_eq!(algorithms.len(), costs.len());
+        let n_instances = costs.first().map_or(0, |c| c.len());
+        assert!(costs.iter().all(|c| c.len() == n_instances), "ragged cost matrix");
+        let mut best = vec![f64::MAX; n_instances];
+        for algo_costs in costs {
+            for (i, &c) in algo_costs.iter().enumerate() {
+                best[i] = best[i].min(c);
+            }
+        }
+        let fractions = costs
+            .iter()
+            .map(|algo_costs| {
+                taus.iter()
+                    .map(|&tau| {
+                        let within = algo_costs
+                            .iter()
+                            .zip(&best)
+                            .filter(|&(&c, &b)| c <= tau * b)
+                            .count();
+                        within as f64 / n_instances.max(1) as f64
+                    })
+                    .collect()
+            })
+            .collect();
+        PerformanceProfile { algorithms, taus, fractions }
+    }
+
+    /// Area under the profile curve — a scalar summary (higher = better).
+    pub fn auc(&self, algorithm: usize) -> f64 {
+        let f = &self.fractions[algorithm];
+        let mut area = 0.0;
+        for i in 1..self.taus.len() {
+            let dt = self.taus[i] - self.taus[i - 1];
+            area += dt * (f[i] + f[i - 1]) / 2.0;
+        }
+        area
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geometric_mean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert!((geometric_mean(&[3.0]) - 3.0).abs() < 1e-12);
+        assert!(geometric_mean(&[]).is_nan());
+    }
+
+    #[test]
+    fn quartiles_interpolate() {
+        let (q1, q2, q3) = quartiles(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!((q1, q2, q3), (2.0, 3.0, 4.0));
+        let (q1, q2, q3) = quartiles(&[1.0, 2.0]);
+        assert_eq!((q1, q2, q3), (1.25, 1.5, 1.75));
+    }
+
+    #[test]
+    fn profile_identifies_dominant_algorithm() {
+        // Algorithm 0 is best everywhere; algorithm 1 is 2x worse.
+        let costs = vec![vec![1.0, 1.0, 1.0], vec![2.0, 2.0, 2.0]];
+        let p = PerformanceProfile::from_costs(
+            vec!["a".into(), "b".into()],
+            &costs,
+            vec![1.0, 1.5, 2.0, 3.0],
+        );
+        assert_eq!(p.fractions[0], vec![1.0, 1.0, 1.0, 1.0]);
+        assert_eq!(p.fractions[1], vec![0.0, 0.0, 1.0, 1.0]);
+        assert!(p.auc(0) > p.auc(1));
+    }
+
+    #[test]
+    fn profile_handles_mixed_winners() {
+        let costs = vec![vec![1.0, 4.0], vec![2.0, 1.0]];
+        let p = PerformanceProfile::from_costs(
+            vec!["a".into(), "b".into()],
+            &costs,
+            vec![1.0, 2.0, 4.0],
+        );
+        assert_eq!(p.fractions[0], vec![0.5, 0.5, 1.0]);
+        assert_eq!(p.fractions[1], vec![0.5, 1.0, 1.0]);
+    }
+}

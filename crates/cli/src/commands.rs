@@ -1,0 +1,306 @@
+//! CLI subcommands.
+
+use crate::args::Args;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use sptrsv_core::{
+    BlockParallel, BspG, FunnelGrowLocal, GrowLocal, HDagg, Scheduler, SpMp, WavefrontScheduler,
+};
+use sptrsv_dag::{wavefronts, SolveDag};
+use sptrsv_exec::{simulate_barrier, simulate_serial, MachineProfile, Orientation, SolvePlan};
+use sptrsv_sparse::csr::Triangle;
+use sptrsv_sparse::gen;
+use sptrsv_sparse::io::{read_matrix_market_file, write_matrix_market_file};
+use sptrsv_sparse::linalg::relative_residual;
+use sptrsv_sparse::CsrMatrix;
+
+const USAGE: &str = "\
+usage: sptrsv <command> [args]
+
+commands:
+  generate <grid2d|grid3d|er|nb> [--width W --height H --depth D]
+           [--n N --rate R --prob P --band B] [--seed S] -o <file.mtx>
+  info     <file.mtx>
+  schedule <file.mtx> [--algo A] [--cores K] [-o <file.sched>]
+  solve    <file.mtx> [--algo A] [--cores K] [--no-reorder true]
+  simulate <file.mtx> [--algo A] [--cores K] [--machine intel|amd|arm]
+
+algorithms (--algo): growlocal (default), funnel-gl, block-gl, wavefront,
+                     hdagg, spmp, bspg";
+
+/// Dispatches a full argv (after the program name).
+pub fn dispatch(argv: &[String]) -> Result<(), String> {
+    let Some(command) = argv.first() else {
+        return Err(format!("no command given\n{USAGE}"));
+    };
+    let args = Args::parse(&argv[1..])?;
+    match command.as_str() {
+        "generate" => generate(&args),
+        "info" => info(&args),
+        "schedule" => schedule(&args),
+        "solve" => solve(&args),
+        "simulate" => simulate(&args),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n{USAGE}")),
+    }
+}
+
+/// Instantiates a scheduler by name.
+fn scheduler_by_name(name: &str, dag: &SolveDag, cores: usize) -> Result<Box<dyn Scheduler>, String> {
+    Ok(match name {
+        "growlocal" => Box::new(GrowLocal::new()),
+        "funnel-gl" => Box::new(FunnelGrowLocal::for_dag(dag, cores)),
+        "block-gl" => Box::new(BlockParallel::new(cores.min(8))),
+        "wavefront" => Box::new(WavefrontScheduler),
+        "hdagg" => Box::new(HDagg::default()),
+        "spmp" => Box::new(SpMp),
+        "bspg" => Box::new(BspG::default()),
+        other => return Err(format!("unknown algorithm `{other}`")),
+    })
+}
+
+/// Loads a matrix and extracts its lower triangle (reporting what happened).
+fn load_lower(path: &str) -> Result<CsrMatrix, String> {
+    let m = read_matrix_market_file(path).map_err(|e| format!("{path}: {e}"))?;
+    if m.is_lower_triangular() {
+        m.validate_triangular(Triangle::Lower).map_err(|e| e.to_string())?;
+        Ok(m)
+    } else {
+        eprintln!("note: {path} is not lower triangular; using its lower triangle");
+        let l = m.lower_triangle().map_err(|e| e.to_string())?;
+        l.validate_triangular(Triangle::Lower).map_err(|e| e.to_string())?;
+        Ok(l)
+    }
+}
+
+fn generate(args: &Args) -> Result<(), String> {
+    let kind = args.require_positional(0, "generator kind")?;
+    let seed: u64 = args.get_parse("seed", 42)?;
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let matrix = match kind {
+        "grid2d" => {
+            let w: usize = args.get_parse("width", 64)?;
+            let h: usize = args.get_parse("height", 64)?;
+            gen::grid::grid2d_laplacian(w, h, gen::grid::Stencil2D::FivePoint, 0.5)
+        }
+        "grid3d" => {
+            let w: usize = args.get_parse("width", 16)?;
+            let h: usize = args.get_parse("height", 16)?;
+            let d: usize = args.get_parse("depth", 16)?;
+            gen::grid::grid3d_laplacian(w, h, d, gen::grid::Stencil3D::SevenPoint, 0.5)
+        }
+        "er" => {
+            let n: usize = args.get_parse("n", 10_000)?;
+            let rate: f64 = args.get_parse("rate", 10.0)?;
+            let p = (2.0 * rate / (n as f64 - 1.0)).min(1.0);
+            gen::erdos_renyi::erdos_renyi_lower(n, p, &mut rng)
+        }
+        "nb" => {
+            let n: usize = args.get_parse("n", 10_000)?;
+            let p: f64 = args.get_parse("prob", 0.14)?;
+            let b: f64 = args.get_parse("band", 10.0)?;
+            gen::narrow_band::narrow_band_lower(n, p, b, &mut rng)
+        }
+        other => return Err(format!("unknown generator `{other}`")),
+    };
+    let out = args.get("output").ok_or("missing -o <file.mtx>")?;
+    write_matrix_market_file(&matrix, out).map_err(|e| e.to_string())?;
+    println!("wrote {} ({} rows, {} non-zeros)", out, matrix.n_rows(), matrix.nnz());
+    Ok(())
+}
+
+fn info(args: &Args) -> Result<(), String> {
+    let path = args.require_positional(0, "matrix file")?;
+    let m = read_matrix_market_file(path).map_err(|e| format!("{path}: {e}"))?;
+    println!("file:        {path}");
+    println!("dimensions:  {} x {}", m.n_rows(), m.n_cols());
+    println!("non-zeros:   {}", m.nnz());
+    println!(
+        "shape:       {}",
+        if m.is_lower_triangular() {
+            "lower triangular"
+        } else if m.is_upper_triangular() {
+            "upper triangular"
+        } else {
+            "general"
+        }
+    );
+    let lower = if m.is_lower_triangular() {
+        m.clone()
+    } else {
+        m.lower_triangle().map_err(|e| e.to_string())?
+    };
+    if lower.has_nonzero_diagonal() {
+        let dag = SolveDag::from_lower_triangular(&lower);
+        let a = sptrsv_dag::analyze(&dag);
+        println!("solve DAG:   {} edges, {} sources, {} sinks", a.n_edges, a.n_sources, a.n_sinks);
+        println!(
+            "wavefronts:  {} (average size {:.1}, max {})",
+            a.n_wavefronts, a.avg_wavefront, a.max_wavefront
+        );
+        println!(
+            "degrees:     max in {} / max out {}",
+            a.max_in_degree, a.max_out_degree
+        );
+        println!(
+            "ideal speed-up bound (critical path): {:.1}x",
+            a.ideal_speedup()
+        );
+        println!("solve flops: {}", lower.solve_flops());
+    } else {
+        println!("solve DAG:   n/a (zero diagonal entries)");
+    }
+    Ok(())
+}
+
+fn schedule(args: &Args) -> Result<(), String> {
+    let path = args.require_positional(0, "matrix file")?;
+    let cores: usize = args.get_parse("cores", 8)?;
+    let algo = args.get("algo").unwrap_or("growlocal");
+    let lower = load_lower(path)?;
+    let dag = SolveDag::from_lower_triangular(&lower);
+    let sched = scheduler_by_name(algo, &dag, cores)?;
+    let started = std::time::Instant::now();
+    let s = sched.schedule(&dag, cores);
+    let elapsed = started.elapsed();
+    s.validate(&dag).map_err(|e| format!("scheduler bug: {e}"))?;
+    let stats = s.stats(&dag);
+    let wf = wavefronts(&dag);
+    println!("algorithm:      {}", sched.name());
+    println!("cores:          {cores}");
+    println!("supersteps:     {} ({} barriers)", s.n_supersteps(), s.n_barriers());
+    println!(
+        "barrier reduction vs wavefronts: {:.2}x",
+        wf.n_fronts() as f64 / s.n_supersteps() as f64
+    );
+    println!("work efficiency: {:.3}", stats.work_efficiency(cores));
+    println!("avg imbalance:   {:.3}", stats.average_imbalance());
+    println!("scheduling time: {:.2} ms", elapsed.as_secs_f64() * 1e3);
+    if let Some(out) = args.get("output") {
+        sptrsv_core::write_schedule_file(&s, out).map_err(|e| e.to_string())?;
+        println!("schedule saved to {out}");
+    }
+    Ok(())
+}
+
+fn solve(args: &Args) -> Result<(), String> {
+    let path = args.require_positional(0, "matrix file")?;
+    let cores: usize = args.get_parse("cores", 8)?;
+    let algo = args.get("algo").unwrap_or("growlocal");
+    let reorder = args.get("no-reorder").is_none();
+    let lower = load_lower(path)?;
+    let dag = SolveDag::from_lower_triangular(&lower);
+    let sched = scheduler_by_name(algo, &dag, cores)?;
+    let plan = SolvePlan::new(&lower, Orientation::Lower, sched.as_ref(), cores, reorder)
+        .map_err(|e| e.to_string())?;
+    let b = vec![1.0; lower.n_rows()];
+    let started = std::time::Instant::now();
+    let x = plan.solve(&b);
+    let elapsed = started.elapsed();
+    let residual = relative_residual(&lower, &x, &b);
+    println!("algorithm:         {}", sched.name());
+    println!("supersteps:        {}", plan.schedule().n_supersteps());
+    println!("solve wall time:   {:.3} ms", elapsed.as_secs_f64() * 1e3);
+    println!("relative residual: {residual:.3e}");
+    if residual > 1e-8 {
+        return Err("residual too large — solve failed".into());
+    }
+    Ok(())
+}
+
+fn simulate(args: &Args) -> Result<(), String> {
+    let path = args.require_positional(0, "matrix file")?;
+    let cores: usize = args.get_parse("cores", 22)?;
+    let algo = args.get("algo").unwrap_or("growlocal");
+    let profile = match args.get("machine").unwrap_or("intel") {
+        "intel" => MachineProfile::intel_xeon_22(),
+        "amd" => MachineProfile::amd_epyc_64(),
+        "arm" => MachineProfile::kunpeng_920_48(),
+        other => return Err(format!("unknown machine `{other}`")),
+    };
+    let lower = load_lower(path)?;
+    let dag = SolveDag::from_lower_triangular(&lower);
+    let sched = scheduler_by_name(algo, &dag, cores)?;
+    let s = sched.schedule(&dag, cores);
+    let serial = simulate_serial(&lower, &profile);
+    let parallel = simulate_barrier(&lower, &s, &profile);
+    println!("machine:          {}", profile.name);
+    println!("algorithm:        {}", sched.name());
+    println!("serial cycles:    {:.3e}", serial.cycles);
+    println!("parallel cycles:  {:.3e}", parallel.cycles);
+    println!("modeled speed-up: {:.2}x", parallel.speedup_over(&serial));
+    println!(
+        "barrier share:    {:.1}%",
+        100.0 * parallel.sync_cycles / parallel.cycles
+    );
+    println!("cache misses:     {}", parallel.cache_misses);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dispatch_rejects_unknown_commands() {
+        assert!(dispatch(&["frobnicate".to_string()]).is_err());
+        assert!(dispatch(&[]).is_err());
+    }
+
+    #[test]
+    fn end_to_end_generate_info_schedule_solve() {
+        let dir = std::env::temp_dir().join("sptrsv-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let mtx = dir.join("g.mtx");
+        let sched_file = dir.join("g.sched");
+        let sv = |items: &[&str]| -> Vec<String> { items.iter().map(|s| s.to_string()).collect() };
+        dispatch(&sv(&[
+            "generate",
+            "grid2d",
+            "--width",
+            "12",
+            "--height",
+            "12",
+            "-o",
+            mtx.to_str().unwrap(),
+        ]))
+        .unwrap();
+        dispatch(&sv(&["info", mtx.to_str().unwrap()])).unwrap();
+        dispatch(&sv(&[
+            "schedule",
+            mtx.to_str().unwrap(),
+            "--cores",
+            "4",
+            "-o",
+            sched_file.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(sched_file.exists());
+        // The saved schedule must load back and cover the matrix.
+        let s = sptrsv_core::read_schedule_file(&sched_file).unwrap();
+        assert_eq!(s.n_vertices(), 144);
+        dispatch(&sv(&["solve", mtx.to_str().unwrap(), "--cores", "2"])).unwrap();
+        dispatch(&sv(&[
+            "simulate",
+            mtx.to_str().unwrap(),
+            "--machine",
+            "arm",
+            "--algo",
+            "hdagg",
+        ]))
+        .unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn all_algorithms_resolvable() {
+        let dag = SolveDag::from_edges(3, &[(0, 1)], vec![1; 3]);
+        for name in ["growlocal", "funnel-gl", "block-gl", "wavefront", "hdagg", "spmp", "bspg"] {
+            assert!(scheduler_by_name(name, &dag, 2).is_ok(), "{name} missing");
+        }
+        assert!(scheduler_by_name("nope", &dag, 2).is_err());
+    }
+}

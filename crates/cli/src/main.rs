@@ -1,0 +1,24 @@
+//! `sptrsv` — command-line interface to the workspace.
+//!
+//! ```text
+//! sptrsv generate grid2d --width 64 --height 64 -o plate.mtx
+//! sptrsv info plate.mtx
+//! sptrsv schedule plate.mtx --algo growlocal --cores 8 -o plate.sched
+//! sptrsv solve plate.mtx --algo growlocal --cores 8
+//! sptrsv simulate plate.mtx --algo growlocal --machine intel --cores 22
+//! ```
+
+mod args;
+mod commands;
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let code = match commands::dispatch(&argv) {
+        Ok(()) => 0,
+        Err(e) => {
+            eprintln!("error: {e}");
+            2
+        }
+    };
+    std::process::exit(code);
+}

@@ -1,0 +1,185 @@
+//! Block-parallel scheduling (§3.1, evaluated in §7.8).
+//!
+//! The lower-triangular matrix is subdivided into diagonal blocks
+//! (Figure 3.1); every diagonal block is an independent triangular scheduling
+//! problem, so the blocks can be scheduled **in parallel** (one rayon task
+//! each). The per-block schedules are concatenated: each block's supersteps
+//! are offset by the total number of supersteps of the earlier blocks, which
+//! inserts the barrier that makes every cross-block (off-diagonal)
+//! dependency safe.
+//!
+//! Vertex weights keep the *full-row* non-zero counts (the paper's remark in
+//! §3.1): the kernel still processes the off-diagonal blocks' entries.
+
+use crate::growlocal::{GrowLocal, GrowLocalParams};
+use crate::schedule::Schedule;
+use crate::Scheduler;
+use sptrsv_dag::SolveDag;
+
+/// GrowLocal applied block-parallel along the diagonal.
+#[derive(Debug, Clone)]
+pub struct BlockParallel {
+    /// Number of diagonal blocks (= scheduling threads in Table 7.7).
+    pub n_blocks: usize,
+    /// Parameters for the per-block GrowLocal runs.
+    pub growlocal: GrowLocalParams,
+}
+
+impl BlockParallel {
+    /// Block-parallel GrowLocal with `n_blocks` diagonal blocks.
+    pub fn new(n_blocks: usize) -> Self {
+        BlockParallel { n_blocks: n_blocks.max(1), growlocal: GrowLocalParams::default() }
+    }
+
+    /// Splits `0..n` into `n_blocks` contiguous ranges of near-equal total
+    /// weight. Public so the experiment harness can time per-block
+    /// scheduling individually (Table 7.7).
+    pub fn block_ranges(&self, dag: &SolveDag) -> Vec<std::ops::Range<usize>> {
+        let n = dag.n();
+        let blocks = self.n_blocks.min(n.max(1));
+        let total: u64 = dag.total_weight();
+        if n == 0 || total == 0 {
+            return vec![0..n];
+        }
+        let mut ranges = Vec::with_capacity(blocks);
+        let mut start = 0usize;
+        let mut acc = 0u64;
+        let mut b = 0usize;
+        for v in 0..n {
+            acc += dag.weight(v);
+            // Close block b once its cumulative share is reached, keeping
+            // enough vertices for the remaining blocks.
+            if b + 1 < blocks
+                && acc * blocks as u64 >= (b as u64 + 1) * total
+                && n - (v + 1) >= blocks - (b + 1)
+            {
+                ranges.push(start..v + 1);
+                start = v + 1;
+                b += 1;
+            }
+        }
+        ranges.push(start..n);
+        ranges
+    }
+}
+
+/// The sub-DAG induced by a contiguous vertex range, keeping only edges with
+/// both endpoints inside the range (cross-range dependencies are satisfied by
+/// the barrier between block schedules).
+pub fn induced_block_dag(dag: &SolveDag, range: &std::ops::Range<usize>) -> SolveDag {
+    let offset = range.start;
+    let n = range.len();
+    let mut edges = Vec::new();
+    for v in range.clone() {
+        for &u in dag.parents(v) {
+            if range.contains(&u) {
+                edges.push((u - offset, v - offset));
+            }
+        }
+    }
+    let weights: Vec<u64> = range.clone().map(|v| dag.weight(v)).collect();
+    SolveDag::from_edges(n, &edges, weights)
+}
+
+impl Scheduler for BlockParallel {
+    fn name(&self) -> &'static str {
+        "GrowLocal(block)"
+    }
+
+    fn schedule(&self, dag: &SolveDag, n_cores: usize) -> Schedule {
+        assert!(n_cores > 0);
+        let n = dag.n();
+        if n == 0 {
+            return Schedule::new(n_cores, Vec::new(), Vec::new());
+        }
+        let ranges = self.block_ranges(dag);
+        let inner = GrowLocal::with_params(self.growlocal.clone());
+        // Schedule every block independently, in parallel.
+        let block_schedules: Vec<Schedule> = {
+            use rayon::prelude::*;
+            ranges
+                .par_iter()
+                .map(|range| {
+                    let sub = induced_block_dag(dag, range);
+                    inner.schedule(&sub, n_cores)
+                })
+                .collect()
+        };
+        // Concatenate with superstep offsets.
+        let mut core_of = vec![0usize; n];
+        let mut step_of = vec![0usize; n];
+        let mut offset = 0usize;
+        for (range, sub) in ranges.iter().zip(&block_schedules) {
+            for (local, v) in range.clone().enumerate() {
+                core_of[v] = sub.core_of(local);
+                step_of[v] = offset + sub.step_of(local);
+            }
+            offset += sub.n_supersteps();
+        }
+        Schedule::new(n_cores, core_of, step_of)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sptrsv_sparse::gen::grid::{grid2d_laplacian, Stencil2D};
+
+    fn grid_dag(w: usize, h: usize) -> SolveDag {
+        let a = grid2d_laplacian(w, h, Stencil2D::FivePoint, 0.5);
+        SolveDag::from_lower_triangular(&a.lower_triangle().unwrap())
+    }
+
+    #[test]
+    fn blocked_schedule_is_valid() {
+        let g = grid_dag(20, 20);
+        for blocks in [1, 2, 4, 7] {
+            let s = BlockParallel::new(blocks).schedule(&g, 4);
+            assert!(s.validate(&g).is_ok(), "{blocks} blocks produced an invalid schedule");
+        }
+    }
+
+    #[test]
+    fn one_block_matches_growlocal() {
+        let g = grid_dag(12, 12);
+        let blocked = BlockParallel::new(1).schedule(&g, 3);
+        let plain = GrowLocal::new().schedule(&g, 3);
+        assert_eq!(blocked, plain);
+    }
+
+    #[test]
+    fn more_blocks_increase_supersteps() {
+        // Table 7.7: the superstep count grows with the number of blocks.
+        let g = grid_dag(24, 24);
+        let s1 = BlockParallel::new(1).schedule(&g, 4).n_supersteps();
+        let s8 = BlockParallel::new(8).schedule(&g, 4).n_supersteps();
+        assert!(s8 >= s1, "blocks did not increase supersteps: {s1} -> {s8}");
+    }
+
+    #[test]
+    fn block_ranges_cover_and_balance() {
+        let g = grid_dag(16, 16);
+        let bp = BlockParallel::new(4);
+        let ranges = bp.block_ranges(&g);
+        assert_eq!(ranges.len(), 4);
+        assert_eq!(ranges[0].start, 0);
+        assert_eq!(ranges.last().unwrap().end, g.n());
+        for w in ranges.windows(2) {
+            assert_eq!(w[0].end, w[1].start);
+        }
+        let weights: Vec<u64> = ranges
+            .iter()
+            .map(|r| r.clone().map(|v| g.weight(v)).sum())
+            .collect();
+        let max = *weights.iter().max().unwrap() as f64;
+        let min = *weights.iter().min().unwrap() as f64;
+        assert!(max / min < 1.6, "block weights {weights:?} too uneven");
+    }
+
+    #[test]
+    fn more_blocks_than_vertices() {
+        let g = SolveDag::from_edges(3, &[(0, 1)], vec![1; 3]);
+        let s = BlockParallel::new(10).schedule(&g, 2);
+        assert!(s.validate(&g).is_ok());
+    }
+}

@@ -1,0 +1,134 @@
+//! Funnel coarsening composed with GrowLocal (§4.2, evaluated in §7.3).
+//!
+//! Pipeline: approximate transitive reduction (more/larger funnels), funnel
+//! partition, coarsen, schedule the coarse DAG with GrowLocal, pull the
+//! schedule back: every original vertex inherits the core and superstep of
+//! its part. Pulled-back schedules are valid because parts are cascades
+//! (coarse acyclicity, Prop. 4.3) and matrix-DAG edges ascend in vertex ID,
+//! so the ID-order execution inside a cell respects intra-part edges.
+
+use crate::growlocal::{GrowLocal, GrowLocalParams};
+use crate::schedule::Schedule;
+use crate::Scheduler;
+use sptrsv_dag::coarsen::{coarsen, funnel_partition, FunnelDirection, FunnelOptions};
+use sptrsv_dag::transitive::approximate_transitive_reduction;
+use sptrsv_dag::SolveDag;
+
+/// Funnel coarsening followed by GrowLocal on the coarse DAG.
+#[derive(Debug, Clone)]
+pub struct FunnelGrowLocal {
+    /// Parameters of the inner GrowLocal run.
+    pub growlocal: GrowLocalParams,
+    /// Funnel direction (in-funnels by default, as in Algorithm 4.1).
+    pub direction: FunnelDirection,
+    /// Maximum part weight. The default ties the cap to nothing in
+    /// particular; [`FunnelGrowLocal::for_dag`] picks a cap relative to the
+    /// DAG's weight per core, which is what the experiments use.
+    pub max_part_weight: u64,
+    /// Whether to run the approximate transitive reduction first (§4.2).
+    pub transitive_reduction: bool,
+}
+
+impl Default for FunnelGrowLocal {
+    fn default() -> Self {
+        FunnelGrowLocal {
+            growlocal: GrowLocalParams::default(),
+            direction: FunnelDirection::In,
+            max_part_weight: 1 << 10,
+            transitive_reduction: true,
+        }
+    }
+}
+
+impl FunnelGrowLocal {
+    /// Chooses the part-weight cap for a concrete DAG and core count: a part
+    /// should stay well below one core's fair share of a superstep, otherwise
+    /// the coarse vertices are too lumpy to balance.
+    pub fn for_dag(dag: &SolveDag, n_cores: usize) -> Self {
+        let fair_share = dag.total_weight() / (n_cores as u64).max(1);
+        FunnelGrowLocal {
+            max_part_weight: (fair_share / 64).clamp(16, 1 << 16),
+            ..Default::default()
+        }
+    }
+}
+
+impl Scheduler for FunnelGrowLocal {
+    fn name(&self) -> &'static str {
+        "Funnel+GL"
+    }
+
+    fn schedule(&self, dag: &SolveDag, n_cores: usize) -> Schedule {
+        let reduced;
+        let for_coarsening = if self.transitive_reduction {
+            reduced = approximate_transitive_reduction(dag);
+            &reduced
+        } else {
+            dag
+        };
+        let options =
+            FunnelOptions { direction: self.direction, max_part_weight: self.max_part_weight };
+        let coarsening = funnel_partition(for_coarsening, &options);
+        let coarse = coarsen(for_coarsening, &coarsening);
+        let inner = GrowLocal::with_params(self.growlocal.clone());
+        let coarse_schedule = inner.schedule(&coarse, n_cores);
+        // Pull back to the original vertices.
+        let mut core_of = vec![0usize; dag.n()];
+        let mut step_of = vec![0usize; dag.n()];
+        for v in 0..dag.n() {
+            let part = coarsening.part_of[v];
+            core_of[v] = coarse_schedule.core_of(part);
+            step_of[v] = coarse_schedule.step_of(part);
+        }
+        Schedule::new(n_cores, core_of, step_of)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sptrsv_dag::wavefront::wavefronts;
+    use sptrsv_sparse::gen::grid::{grid2d_laplacian, Stencil2D};
+
+    fn grid_dag(w: usize, h: usize) -> SolveDag {
+        let a = grid2d_laplacian(w, h, Stencil2D::FivePoint, 0.5);
+        SolveDag::from_lower_triangular(&a.lower_triangle().unwrap())
+    }
+
+    #[test]
+    fn pulled_back_schedule_is_valid() {
+        let g = grid_dag(20, 20);
+        let s = FunnelGrowLocal::for_dag(&g, 4).schedule(&g, 4);
+        assert!(s.validate(&g).is_ok());
+    }
+
+    #[test]
+    fn coarsening_reduces_barriers_vs_wavefront() {
+        let g = grid_dag(24, 24);
+        let s = FunnelGrowLocal::for_dag(&g, 4).schedule(&g, 4);
+        assert!(s.n_supersteps() < wavefronts(&g).n_fronts());
+    }
+
+    #[test]
+    fn without_transitive_reduction_also_valid() {
+        let g = grid_dag(12, 12);
+        let fgl = FunnelGrowLocal {
+            transitive_reduction: false,
+            ..FunnelGrowLocal::for_dag(&g, 2)
+        };
+        let s = fgl.schedule(&g, 2);
+        assert!(s.validate(&g).is_ok());
+    }
+
+    #[test]
+    fn chain_collapses_to_single_parts() {
+        // A chain coarsens into weight-capped runs; the coarse DAG is a much
+        // shorter chain, so the schedule has far fewer supersteps than n.
+        let edges: Vec<(usize, usize)> = (1..256).map(|v| (v - 1, v)).collect();
+        let g = SolveDag::from_edges(256, &edges, vec![1; 256]);
+        let fgl = FunnelGrowLocal { max_part_weight: 32, ..Default::default() };
+        let s = fgl.schedule(&g, 2);
+        assert!(s.validate(&g).is_ok());
+        assert!(s.n_supersteps() <= 16, "{} supersteps", s.n_supersteps());
+    }
+}

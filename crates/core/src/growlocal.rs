@@ -1,0 +1,381 @@
+//! The GrowLocal scheduler (§3, Algorithm 3.1).
+//!
+//! GrowLocal forms supersteps one by one, each through several *iterations*
+//! with a growing length parameter `α`:
+//!
+//! 1. assign up to `α` ready vertices to core 1, giving weight `Ω₁`;
+//! 2. fill every further core up to weight `Ω₁`;
+//! 3. score the iteration with `β = Σ_p Ω_p / (max_p Ω_p + L)`, where `L`
+//!    is the synchronization-barrier penalty;
+//! 4. if `β` is at least `0.97×` the best score seen in this superstep, the
+//!    iteration is *worthy*: undo it, grow `α ← 1.5·α`, and try again;
+//!    otherwise finalize the last worthy iteration as the superstep.
+//!
+//! Vertex selection follows **Rule I**: first vertices that are executable
+//! *only on this core* in the current superstep (because a parent was just
+//! assigned here — the idea borrowed from [PAKY24]), then simply the smallest
+//! vertex ID. The ID-based choice is what gives the schedule its locality:
+//! cores receive near-consecutive blocks of rows (§3, discussion after
+//! Algorithm 3.1).
+
+use crate::schedule::Schedule;
+use crate::Scheduler;
+use sptrsv_dag::SolveDag;
+use std::cmp::Reverse;
+use std::collections::{BTreeSet, BinaryHeap, HashMap};
+
+/// Vertex-selection rule used when picking the next vertex for a core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VertexPriority {
+    /// Rule I of the paper: core-exclusive vertices first, then smallest ID.
+    CoreExclusiveThenId,
+    /// Ablation: ignore the exclusivity preference and always take the
+    /// globally smallest executable ID (exclusive vertices still may only run
+    /// on their own core).
+    IdOnly,
+}
+
+/// Tuning parameters of GrowLocal. `Default` reproduces the paper's setting.
+#[derive(Debug, Clone)]
+pub struct GrowLocalParams {
+    /// Initial superstep length `α` (paper: 20).
+    pub alpha_init: usize,
+    /// Growth factor for `α` between iterations (paper: 1.5).
+    pub growth: f64,
+    /// A new iteration is worthy if `β ≥ accept_ratio · β_best` (App. B: 0.97).
+    pub accept_ratio: f64,
+    /// Barrier penalty `L` in the parallelization score (paper: 500,
+    /// from synchronization cycles on current architectures, App. C.2).
+    pub sync_cost: u64,
+    /// Vertex-selection rule (Rule I by default).
+    pub priority: VertexPriority,
+}
+
+impl Default for GrowLocalParams {
+    fn default() -> Self {
+        GrowLocalParams {
+            alpha_init: 20,
+            growth: 1.5,
+            accept_ratio: 0.97,
+            sync_cost: 500,
+            priority: VertexPriority::CoreExclusiveThenId,
+        }
+    }
+}
+
+/// The GrowLocal scheduler.
+#[derive(Debug, Clone, Default)]
+pub struct GrowLocal {
+    /// Tuning parameters.
+    pub params: GrowLocalParams,
+}
+
+impl GrowLocal {
+    /// GrowLocal with the paper's default parameters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// GrowLocal with explicit parameters.
+    pub fn with_params(params: GrowLocalParams) -> Self {
+        GrowLocal { params }
+    }
+}
+
+/// Result of one speculative iteration (one candidate superstep).
+struct Iteration {
+    /// `(vertex, core)` assignments in assignment order.
+    assigned: Vec<(usize, usize)>,
+    /// Parallelization score β.
+    beta: f64,
+}
+
+/// Mutable scheduling state shared across supersteps.
+struct State {
+    /// Unfinalized-parent count per vertex.
+    remaining: Vec<usize>,
+    /// Vertices ready at the last barrier (all parents finalized), by ID.
+    ready_base: BTreeSet<usize>,
+    core_of: Vec<usize>,
+    step_of: Vec<usize>,
+}
+
+impl GrowLocal {
+    /// Runs one speculative iteration with length parameter `alpha`.
+    fn run_iteration(
+        &self,
+        dag: &SolveDag,
+        k: usize,
+        alpha: usize,
+        state: &State,
+    ) -> Iteration {
+        let mut assigned: Vec<(usize, usize)> = Vec::new();
+        let mut omegas = vec![0u64; k];
+        // Per-core queues of vertices that became executable exclusively on
+        // that core during this iteration (min-ID order).
+        let mut excl: Vec<BinaryHeap<Reverse<usize>>> =
+            (0..k).map(|_| BinaryHeap::new()).collect();
+        // Number of parents assigned in this iteration, and the single core
+        // they were assigned to (None = several cores ⇒ not executable now).
+        let mut local_parents: HashMap<usize, (usize, Option<usize>)> = HashMap::new();
+        // Vertices ready since the last barrier, consumed in ID order by the
+        // cores in turn. Base vertices never appear in `excl` (they have no
+        // parents assigned in this superstep), so one shared cursor suffices.
+        let mut base_iter = state.ready_base.iter().copied().peekable();
+
+        for p in 0..k {
+            let mut count = 0usize;
+            loop {
+                // Stopping rule: core 0 takes up to `alpha` vertices; later
+                // cores fill until they reach core 0's weight Ω₁.
+                if p == 0 {
+                    if count >= alpha {
+                        break;
+                    }
+                } else if omegas[p] >= omegas[0] {
+                    break;
+                }
+                let v = match self.params.priority {
+                    VertexPriority::CoreExclusiveThenId => match excl[p].pop() {
+                        Some(Reverse(v)) => Some(v),
+                        None => base_iter.next(),
+                    },
+                    VertexPriority::IdOnly => {
+                        // Smallest executable ID overall: compare the heads
+                        // of the exclusive queue and the base cursor.
+                        match (excl[p].peek().map(|r| r.0), base_iter.peek().copied()) {
+                            (Some(e), Some(b)) => {
+                                if e < b {
+                                    excl[p].pop().map(|r| r.0)
+                                } else {
+                                    base_iter.next()
+                                }
+                            }
+                            (Some(_), None) => excl[p].pop().map(|r| r.0),
+                            (None, _) => base_iter.next(),
+                        }
+                    }
+                };
+                let Some(v) = v else { break };
+                assigned.push((v, p));
+                omegas[p] += dag.weight(v);
+                count += 1;
+                for &c in dag.children(v) {
+                    let entry = local_parents.entry(c).or_insert((0, Some(p)));
+                    entry.0 += 1;
+                    if entry.1 != Some(p) {
+                        entry.1 = None; // parents on several cores
+                    }
+                    if entry.0 == state.remaining[c] && entry.1 == Some(p) {
+                        // All outstanding parents of c are now on core p:
+                        // c is executable exclusively on p this superstep.
+                        excl[p].push(Reverse(c));
+                    }
+                }
+            }
+        }
+        let total: u64 = omegas.iter().sum();
+        let max = omegas.iter().copied().max().unwrap_or(0);
+        let beta = total as f64 / (max + self.params.sync_cost) as f64;
+        Iteration { assigned, beta }
+    }
+}
+
+impl Scheduler for GrowLocal {
+    fn name(&self) -> &'static str {
+        match self.params.priority {
+            VertexPriority::CoreExclusiveThenId => "GrowLocal",
+            VertexPriority::IdOnly => "GrowLocal(id-only)",
+        }
+    }
+
+    fn schedule(&self, dag: &SolveDag, n_cores: usize) -> Schedule {
+        assert!(n_cores > 0, "need at least one core");
+        let n = dag.n();
+        let mut state = State {
+            remaining: (0..n).map(|v| dag.in_degree(v)).collect(),
+            ready_base: (0..n).filter(|&v| dag.in_degree(v) == 0).collect(),
+            core_of: vec![usize::MAX; n],
+            step_of: vec![usize::MAX; n],
+        };
+        let mut n_finalized = 0usize;
+        let mut step = 0usize;
+        while n_finalized < n {
+            assert!(
+                !state.ready_base.is_empty(),
+                "no ready vertices but {} unscheduled — the graph has a cycle",
+                n - n_finalized
+            );
+            // Grow the superstep: α-iterations until the score degrades.
+            let mut alpha = self.params.alpha_init.max(1);
+            let mut best = self.run_iteration(dag, n_cores, alpha, &state);
+            let mut best_beta = best.beta;
+            loop {
+                let next_alpha =
+                    ((alpha as f64 * self.params.growth).ceil() as usize).min(n).max(alpha + 1);
+                let cand = self.run_iteration(dag, n_cores, next_alpha, &state);
+                if cand.assigned.len() <= best.assigned.len() {
+                    break; // the DAG frontier is exhausted; growing is futile
+                }
+                if cand.beta >= self.params.accept_ratio * best_beta {
+                    best_beta = best_beta.max(cand.beta);
+                    alpha = next_alpha;
+                    best = cand;
+                } else {
+                    break; // parallelism degraded: keep the last worthy one
+                }
+            }
+            debug_assert!(!best.assigned.is_empty(), "a superstep must make progress");
+            // Finalize the superstep.
+            for &(v, p) in &best.assigned {
+                state.core_of[v] = p;
+                state.step_of[v] = step;
+                state.ready_base.remove(&v);
+            }
+            for &(v, _) in &best.assigned {
+                for &c in dag.children(v) {
+                    state.remaining[c] -= 1;
+                    if state.remaining[c] == 0 && state.step_of[c] == usize::MAX {
+                        state.ready_base.insert(c);
+                    }
+                }
+            }
+            n_finalized += best.assigned.len();
+            step += 1;
+        }
+        Schedule::new(n_cores, state.core_of, state.step_of)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sptrsv_dag::wavefront::wavefronts;
+
+    fn chain(n: usize) -> SolveDag {
+        let edges: Vec<(usize, usize)> = (1..n).map(|v| (v - 1, v)).collect();
+        SolveDag::from_edges(n, &edges, vec![1; n])
+    }
+
+    fn independent(n: usize) -> SolveDag {
+        SolveDag::from_edges(n, &[], vec![1; n])
+    }
+
+    #[test]
+    fn chain_stays_on_one_core_one_superstep() {
+        // A pure chain has no parallelism; Rule I keeps every newly-exclusive
+        // vertex on the same core, so the whole chain should fit in very few
+        // supersteps (each of size up to the final α) on core 0.
+        let g = chain(200);
+        let s = GrowLocal::new().schedule(&g, 4);
+        assert!(s.validate(&g).is_ok());
+        assert!(
+            s.n_supersteps() <= 8,
+            "chain of 200 used {} supersteps — exclusivity growth is broken",
+            s.n_supersteps()
+        );
+        // All on one core (no reason to migrate a chain).
+        assert!(s.cores().iter().all(|&c| c == s.core_of(0)));
+    }
+
+    #[test]
+    fn independent_work_is_few_supersteps_balanced() {
+        let g = independent(1000);
+        let s = GrowLocal::new().schedule(&g, 4);
+        assert!(s.validate(&g).is_ok());
+        // α-growth rounding can leave a small remainder superstep, but fully
+        // independent work must not fragment further.
+        assert!(s.n_supersteps() <= 2, "{} supersteps for independent work", s.n_supersteps());
+        let stats = s.stats(&g);
+        assert!(stats.work_efficiency(4) > 0.9, "efficiency {}", stats.work_efficiency(4));
+    }
+
+    #[test]
+    fn id_based_selection_gives_contiguity() {
+        // With independent vertices every (superstep, core) cell must be a
+        // contiguous ID range — the locality property of Rule I(ii).
+        let g = independent(400);
+        let s = GrowLocal::new().schedule(&g, 4);
+        for (step, row) in s.cells().iter().enumerate() {
+            for (core, cell) in row.iter().enumerate() {
+                if let (Some(&first), Some(&last)) = (cell.first(), cell.last()) {
+                    assert_eq!(
+                        last - first + 1,
+                        cell.len(),
+                        "cell (step {step}, core {core}) is not contiguous"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fewer_barriers_than_wavefronts_on_grid() {
+        // Block-shuffled numbering: realistic multi-source DAG (see
+        // sptrsv_sparse::gen::shuffle). On such inputs GrowLocal's private
+        // regions collide and barriers are inserted — the regular regime.
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(7);
+        let a = sptrsv_sparse::gen::grid::grid2d_laplacian(
+            30,
+            30,
+            sptrsv_sparse::gen::grid::Stencil2D::FivePoint,
+            0.5,
+        );
+        let p = sptrsv_sparse::gen::shuffle::block_shuffle_permutation(900, 32, &mut rng);
+        let l = a.symmetric_permute(&p).unwrap().lower_triangle().unwrap();
+        let g = SolveDag::from_lower_triangular(&l);
+        let s = GrowLocal::new().schedule(&g, 4);
+        assert!(s.validate(&g).is_ok());
+        assert!(s.n_supersteps() > 1, "shuffled grid should need barriers");
+        let wf = wavefronts(&g);
+        assert!(
+            s.n_supersteps() * 3 < wf.n_fronts(),
+            "GrowLocal used {} supersteps vs {} wavefronts",
+            s.n_supersteps(),
+            wf.n_fronts()
+        );
+    }
+
+    #[test]
+    fn single_core_is_serial_like() {
+        let g = chain(50);
+        let s = GrowLocal::new().schedule(&g, 1);
+        assert!(s.validate(&g).is_ok());
+        assert!(s.cores().iter().all(|&c| c == 0));
+        // With one core every iteration scores β = Ω/(Ω+L) which grows with
+        // α, so supersteps keep growing: barrier count must be tiny.
+        assert!(s.n_supersteps() <= 3, "{} supersteps on one core", s.n_supersteps());
+    }
+
+    #[test]
+    fn id_only_ablation_is_valid() {
+        let g = chain(100);
+        let gl = GrowLocal::with_params(GrowLocalParams {
+            priority: VertexPriority::IdOnly,
+            ..Default::default()
+        });
+        let s = gl.schedule(&g, 3);
+        assert!(s.validate(&g).is_ok());
+    }
+
+    #[test]
+    fn empty_dag() {
+        let g = independent(0);
+        let s = GrowLocal::new().schedule(&g, 2);
+        assert_eq!(s.n_vertices(), 0);
+        assert_eq!(s.n_supersteps(), 0);
+    }
+
+    #[test]
+    fn weighted_balance() {
+        // Heavy + light vertices, all independent: the per-core weights in
+        // the single superstep should be within a factor ~1.5.
+        let weights: Vec<u64> = (0..300).map(|i| 1 + (i % 10) as u64).collect();
+        let g = SolveDag::from_edges(300, &[], weights);
+        let s = GrowLocal::new().schedule(&g, 3);
+        assert!(s.validate(&g).is_ok());
+        let stats = s.stats(&g);
+        assert!(stats.average_imbalance() < 1.5, "imbalance {}", stats.average_imbalance());
+    }
+}

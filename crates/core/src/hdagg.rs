@@ -1,0 +1,248 @@
+//! HDagg-style scheduler [ZCL+22].
+//!
+//! HDagg glues consecutive wavefronts into one superstep as long as a
+//! balanced workload can be maintained. Our rendition follows the published
+//! algorithm's structure:
+//!
+//! 1. starting at the current wavefront, grow a window of consecutive
+//!    wavefronts one level at a time;
+//! 2. the vertices of the window are grouped into connected components of
+//!    the window-induced sub-DAG (components never share an edge, so placing
+//!    each component on one core yields a valid superstep);
+//! 3. components are bin-packed onto cores (largest-first onto the least
+//!    loaded core); the window keeps growing while the resulting imbalance
+//!    `max_p Ω_p / avg_p Ω_p` stays below a threshold;
+//! 4. the last balanced window is emitted as a superstep.
+//!
+//! Like the original, this glues aggressively on bushy DAGs but falls back to
+//! near-wavefront behaviour when components are coarse or unbalanced — the
+//! behaviour GrowLocal improves on (Tables 7.1 and 7.2).
+
+use crate::schedule::Schedule;
+use crate::Scheduler;
+use sptrsv_dag::wavefront::wavefronts;
+use sptrsv_dag::SolveDag;
+
+/// The HDagg-style scheduler.
+#[derive(Debug, Clone)]
+pub struct HDagg {
+    /// Maximum tolerated imbalance `max/avg` of a glued superstep
+    /// (default 1.15, mirroring HDagg's balanced-window criterion).
+    pub balance_threshold: f64,
+}
+
+impl Default for HDagg {
+    fn default() -> Self {
+        HDagg { balance_threshold: 1.15 }
+    }
+}
+
+/// Union-find over vertex IDs (path halving + union by size).
+struct UnionFind {
+    parent: Vec<usize>,
+    size: Vec<u32>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        UnionFind { parent: (0..n).collect(), size: vec![1; n] }
+    }
+
+    fn find(&mut self, mut v: usize) -> usize {
+        while self.parent[v] != v {
+            self.parent[v] = self.parent[self.parent[v]];
+            v = self.parent[v];
+        }
+        v
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (mut ra, mut rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return;
+        }
+        if self.size[ra] < self.size[rb] {
+            std::mem::swap(&mut ra, &mut rb);
+        }
+        self.parent[rb] = ra;
+        self.size[ra] += self.size[rb];
+    }
+}
+
+/// Assignment of one candidate window: per-vertex core plus its imbalance.
+struct WindowPacking {
+    core_of_window: Vec<(usize, usize)>, // (vertex, core)
+    imbalance: f64,
+}
+
+impl HDagg {
+    /// Bin-packs the connected components of the window `fronts[lo..hi]`.
+    fn pack_window(
+        &self,
+        dag: &SolveDag,
+        fronts: &[Vec<usize>],
+        level: &[usize],
+        lo: usize,
+        hi: usize,
+        uf: &mut UnionFind,
+        n_cores: usize,
+    ) -> WindowPacking {
+        // Components were already built incrementally for fronts[lo..hi-1];
+        // add the vertices and intra-window edges of front hi-1.
+        for &v in &fronts[hi - 1] {
+            for &u in dag.parents(v) {
+                if level[u] >= lo {
+                    uf.union(u, v);
+                }
+            }
+        }
+        // Gather component weights.
+        let mut comp_weight: std::collections::HashMap<usize, u64> =
+            std::collections::HashMap::new();
+        let mut members: Vec<usize> = Vec::new();
+        for front in &fronts[lo..hi] {
+            for &v in front {
+                members.push(v);
+            }
+        }
+        for &v in &members {
+            *comp_weight.entry(uf.find(v)).or_insert(0) += dag.weight(v);
+        }
+        // Largest-first onto the least loaded core. Tie-break on the smallest
+        // member ID for determinism and locality.
+        let mut comps: Vec<(usize, u64)> = comp_weight.into_iter().collect();
+        comps.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        let mut load = vec![0u64; n_cores];
+        let mut core_of_root: std::collections::HashMap<usize, usize> =
+            std::collections::HashMap::new();
+        for (root, w) in comps {
+            let core = (0..n_cores).min_by_key(|&p| load[p]).unwrap();
+            load[core] += w;
+            core_of_root.insert(root, core);
+        }
+        let total: u64 = load.iter().sum();
+        let max = load.iter().copied().max().unwrap_or(0);
+        let imbalance = if total == 0 {
+            1.0
+        } else {
+            max as f64 / (total as f64 / n_cores as f64)
+        };
+        let core_of_window =
+            members.iter().map(|&v| (v, core_of_root[&uf.find(v)])).collect();
+        WindowPacking { core_of_window, imbalance }
+    }
+}
+
+impl Scheduler for HDagg {
+    fn name(&self) -> &'static str {
+        "HDagg"
+    }
+
+    fn schedule(&self, dag: &SolveDag, n_cores: usize) -> Schedule {
+        assert!(n_cores > 0);
+        let n = dag.n();
+        let wf = wavefronts(dag);
+        let fronts = &wf.fronts;
+        let mut core_of = vec![0usize; n];
+        let mut step_of = vec![0usize; n];
+        let mut step = 0usize;
+        let mut lo = 0usize;
+        // One union-find reused across windows, reset lazily per window so
+        // the total reset cost stays O(|V|) instead of O(|V|·supersteps).
+        let mut uf = UnionFind::new(n);
+        while lo < fronts.len() {
+            // Window of one level is always accepted.
+            let mut accepted = self.pack_window(dag, fronts, &wf.level, lo, lo + 1, &mut uf, n_cores);
+            let mut hi = lo + 1;
+            while hi < fronts.len() {
+                let cand =
+                    self.pack_window(dag, fronts, &wf.level, lo, hi + 1, &mut uf, n_cores);
+                if cand.imbalance <= self.balance_threshold {
+                    accepted = cand;
+                    hi += 1;
+                } else {
+                    break;
+                }
+            }
+            for &(v, core) in &accepted.core_of_window {
+                core_of[v] = core;
+                step_of[v] = step;
+            }
+            // Reset the union-find entries this window (and the possibly
+            // rejected trial level `hi`) touched.
+            for front in &fronts[lo..(hi + 1).min(fronts.len())] {
+                for &v in front {
+                    uf.parent[v] = v;
+                    uf.size[v] = 1;
+                }
+            }
+            step += 1;
+            lo = hi;
+        }
+        Schedule::new(n_cores, core_of, step_of)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn independent_chains_glue_fully() {
+        // k independent chains: components = chains, perfectly packable, so
+        // the whole DAG becomes one superstep.
+        let mut edges = Vec::new();
+        for c in 0..4 {
+            for i in 1..10 {
+                edges.push((c * 10 + i - 1, c * 10 + i));
+            }
+        }
+        let g = SolveDag::from_edges(40, &edges, vec![1; 40]);
+        let s = HDagg::default().schedule(&g, 4);
+        assert!(s.validate(&g).is_ok());
+        assert_eq!(s.n_supersteps(), 1, "4 equal chains on 4 cores glue to one superstep");
+    }
+
+    #[test]
+    fn single_chain_cannot_glue_balanced() {
+        // One chain on 2 cores: gluing puts everything in one component on
+        // one core → imbalance 2.0 > threshold, so windows stay at one level
+        // … except the first glue attempt (2 levels, one component) already
+        // fails. Result: one superstep per wavefront is NOT required — the
+        // window of one level is always accepted, so we get n supersteps.
+        let g = SolveDag::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)], vec![1; 6]);
+        let s = HDagg::default().schedule(&g, 2);
+        assert!(s.validate(&g).is_ok());
+        assert_eq!(s.n_supersteps(), 6);
+    }
+
+    #[test]
+    fn valid_on_a_grid_and_fewer_steps_than_wavefront() {
+        let a = sptrsv_sparse::gen::grid::grid2d_laplacian(
+            16,
+            16,
+            sptrsv_sparse::gen::grid::Stencil2D::FivePoint,
+            0.5,
+        );
+        let g = SolveDag::from_lower_triangular(&a.lower_triangle().unwrap());
+        let s = HDagg::default().schedule(&g, 2);
+        assert!(s.validate(&g).is_ok());
+        let wf_steps = 31; // 16 + 16 - 1 anti-diagonals
+        assert!(s.n_supersteps() <= wf_steps);
+    }
+
+    #[test]
+    fn looser_threshold_glues_more() {
+        let a = sptrsv_sparse::gen::grid::grid2d_laplacian(
+            16,
+            16,
+            sptrsv_sparse::gen::grid::Stencil2D::FivePoint,
+            0.5,
+        );
+        let g = SolveDag::from_lower_triangular(&a.lower_triangle().unwrap());
+        let tight = HDagg { balance_threshold: 1.05 }.schedule(&g, 2);
+        let loose = HDagg { balance_threshold: 2.5 }.schedule(&g, 2);
+        assert!(loose.n_supersteps() <= tight.n_supersteps());
+        assert!(loose.validate(&g).is_ok());
+    }
+}

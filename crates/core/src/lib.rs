@@ -1,0 +1,57 @@
+//! Barrier schedulers for sparse triangular solves.
+//!
+//! This crate implements the paper's contribution and its baselines:
+//!
+//! * [`growlocal`] — the **GrowLocal** scheduler (§3): supersteps grown
+//!   iteratively with the `α`-length / `β`-score mechanism, prioritizing
+//!   core-exclusive vertices and then smallest IDs;
+//! * [`funnel_gl`] — Funnel coarsening (§4) composed with GrowLocal;
+//! * [`block`] — block-parallel scheduling of diagonal blocks (§3.1);
+//! * [`reorder`] — the schedule-driven locality reordering (§5);
+//! * [`wavefront`] — the classic wavefront (level-set) scheduler;
+//! * [`hdagg`] — an HDagg-style scheduler [ZCL+22]: wavefront gluing under a
+//!   balance constraint with connected-component assignment;
+//! * [`spmp`] — an SpMP-style scheduler [PSSD14]: level scheduling after
+//!   approximate transitive reduction, intended for asynchronous execution;
+//! * [`bspg`] — a BSPg-style barrier list scheduler [PAKY24] (Appendix C.1).
+//!
+//! All schedulers implement the [`Scheduler`] trait and produce a
+//! [`Schedule`] satisfying Definition 2.1, checked by
+//! [`Schedule::validate`].
+
+pub mod block;
+pub mod bspg;
+pub mod funnel_gl;
+pub mod growlocal;
+pub mod hdagg;
+pub mod reorder;
+pub mod schedule;
+pub mod serialize;
+pub mod spmp;
+pub mod wavefront;
+
+pub use block::BlockParallel;
+pub use bspg::BspG;
+pub use funnel_gl::FunnelGrowLocal;
+pub use growlocal::{GrowLocal, GrowLocalParams, VertexPriority};
+pub use hdagg::HDagg;
+pub use reorder::{reorder_for_locality, ReorderedProblem};
+pub use schedule::{Schedule, ScheduleError, ScheduleStats};
+pub use serialize::{read_schedule, read_schedule_file, write_schedule, write_schedule_file};
+pub use spmp::SpMp;
+pub use wavefront::WavefrontScheduler;
+
+use sptrsv_dag::SolveDag;
+
+/// A DAG scheduler with barrier synchronization.
+pub trait Scheduler {
+    /// Short name for reports and benchmark tables.
+    fn name(&self) -> &'static str;
+
+    /// Produces a schedule of `dag` on `n_cores` cores.
+    ///
+    /// Implementations must return a schedule that passes
+    /// [`Schedule::validate`] for any acyclic input whose natural vertex
+    /// order is topological (true for all matrix-derived DAGs).
+    fn schedule(&self, dag: &SolveDag, n_cores: usize) -> Schedule;
+}

@@ -1,0 +1,323 @@
+//! BSP schedules (Definition 2.1) and their statistics.
+
+use sptrsv_dag::SolveDag;
+use std::fmt;
+
+/// A parallel schedule of a solve DAG: assignments of every vertex to a core
+/// (`π`) and a superstep (`σ`).
+///
+/// Validity (Definition 2.1) for every edge `(u, v)`:
+/// * `σ(u) <= σ(v)`;
+/// * if `π(u) != π(v)` then `σ(u) < σ(v)`.
+///
+/// Executors run the vertices of one `(superstep, core)` cell in increasing
+/// vertex ID; for matrix-derived DAGs (where every edge ascends in ID) that
+/// order respects intra-cell dependencies, and [`Schedule::validate`] checks
+/// it for generic DAGs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schedule {
+    n_cores: usize,
+    n_supersteps: usize,
+    core_of: Vec<usize>,
+    step_of: Vec<usize>,
+}
+
+/// A violation found by [`Schedule::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScheduleError {
+    /// Some vertex has `core >= n_cores` or an out-of-range superstep.
+    AssignmentOutOfRange { vertex: usize },
+    /// An edge runs backwards in supersteps.
+    StepOrderViolated { from: usize, to: usize },
+    /// An edge crosses cores within one superstep.
+    CrossCoreSameStep { from: usize, to: usize },
+    /// An intra-cell edge descends in vertex ID, so the ID-order execution
+    /// within the cell would read a value before computing it.
+    IntraCellOrderViolated { from: usize, to: usize },
+    /// Schedule length differs from the DAG size.
+    SizeMismatch { schedule: usize, dag: usize },
+}
+
+impl fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScheduleError::AssignmentOutOfRange { vertex } => {
+                write!(f, "vertex {vertex} assigned out of range")
+            }
+            ScheduleError::StepOrderViolated { from, to } => {
+                write!(f, "edge ({from}, {to}) goes backwards in supersteps")
+            }
+            ScheduleError::CrossCoreSameStep { from, to } => {
+                write!(f, "edge ({from}, {to}) crosses cores inside one superstep")
+            }
+            ScheduleError::IntraCellOrderViolated { from, to } => {
+                write!(f, "edge ({from}, {to}) descends in ID within one cell")
+            }
+            ScheduleError::SizeMismatch { schedule, dag } => {
+                write!(f, "schedule covers {schedule} vertices, DAG has {dag}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
+impl Schedule {
+    /// Builds a schedule from raw assignment vectors.
+    ///
+    /// `n_supersteps` is derived as `max(step_of) + 1`. Panics if the vectors
+    /// disagree in length.
+    pub fn new(n_cores: usize, core_of: Vec<usize>, step_of: Vec<usize>) -> Schedule {
+        assert_eq!(core_of.len(), step_of.len(), "assignment vectors must align");
+        assert!(n_cores > 0, "a schedule needs at least one core");
+        let n_supersteps = step_of.iter().map(|&s| s + 1).max().unwrap_or(0);
+        Schedule { n_cores, n_supersteps, core_of, step_of }
+    }
+
+    /// The serial schedule: everything on core 0 in superstep 0.
+    pub fn serial(n: usize) -> Schedule {
+        Schedule { n_cores: 1, n_supersteps: 1.min(n), core_of: vec![0; n], step_of: vec![0; n] }
+    }
+
+    /// Number of scheduled vertices.
+    pub fn n_vertices(&self) -> usize {
+        self.core_of.len()
+    }
+
+    /// Number of cores the schedule targets.
+    pub fn n_cores(&self) -> usize {
+        self.n_cores
+    }
+
+    /// Number of supersteps.
+    pub fn n_supersteps(&self) -> usize {
+        self.n_supersteps
+    }
+
+    /// Number of synchronization barriers during execution (one between each
+    /// pair of consecutive supersteps).
+    pub fn n_barriers(&self) -> usize {
+        self.n_supersteps.saturating_sub(1)
+    }
+
+    /// Core assignment `π(v)`.
+    #[inline]
+    pub fn core_of(&self, v: usize) -> usize {
+        self.core_of[v]
+    }
+
+    /// Superstep assignment `σ(v)`.
+    #[inline]
+    pub fn step_of(&self, v: usize) -> usize {
+        self.step_of[v]
+    }
+
+    /// Raw core assignments.
+    pub fn cores(&self) -> &[usize] {
+        &self.core_of
+    }
+
+    /// Raw superstep assignments.
+    pub fn steps(&self) -> &[usize] {
+        &self.step_of
+    }
+
+    /// Checks Definition 2.1 plus the intra-cell ID-order execution
+    /// requirement against a DAG.
+    pub fn validate(&self, dag: &SolveDag) -> Result<(), ScheduleError> {
+        if self.n_vertices() != dag.n() {
+            return Err(ScheduleError::SizeMismatch { schedule: self.n_vertices(), dag: dag.n() });
+        }
+        for v in 0..dag.n() {
+            if self.core_of[v] >= self.n_cores || self.step_of[v] >= self.n_supersteps {
+                return Err(ScheduleError::AssignmentOutOfRange { vertex: v });
+            }
+        }
+        for v in 0..dag.n() {
+            for &u in dag.parents(v) {
+                if self.step_of[u] > self.step_of[v] {
+                    return Err(ScheduleError::StepOrderViolated { from: u, to: v });
+                }
+                if self.step_of[u] == self.step_of[v] {
+                    if self.core_of[u] != self.core_of[v] {
+                        return Err(ScheduleError::CrossCoreSameStep { from: u, to: v });
+                    }
+                    if u > v {
+                        return Err(ScheduleError::IntraCellOrderViolated { from: u, to: v });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The execution plan: for each superstep, for each core, the vertices of
+    /// that cell in increasing ID (the order executors run them in).
+    pub fn cells(&self) -> Vec<Vec<Vec<usize>>> {
+        let mut cells = vec![vec![Vec::new(); self.n_cores]; self.n_supersteps];
+        for v in 0..self.n_vertices() {
+            cells[self.step_of[v]][self.core_of[v]].push(v);
+        }
+        // Vertices are visited in increasing ID, so each cell is sorted.
+        cells
+    }
+
+    /// Work statistics against the DAG weights.
+    pub fn stats(&self, dag: &SolveDag) -> ScheduleStats {
+        assert_eq!(self.n_vertices(), dag.n());
+        let mut work = vec![vec![0u64; self.n_cores]; self.n_supersteps];
+        for v in 0..dag.n() {
+            work[self.step_of[v]][self.core_of[v]] += dag.weight(v);
+        }
+        let mut critical_work = 0u64;
+        let mut total_work = 0u64;
+        for step in &work {
+            let max = step.iter().copied().max().unwrap_or(0);
+            critical_work += max;
+            total_work += step.iter().sum::<u64>();
+        }
+        ScheduleStats {
+            n_supersteps: self.n_supersteps,
+            n_barriers: self.n_barriers(),
+            total_work,
+            critical_work,
+            work_per_cell: work,
+        }
+    }
+}
+
+/// Aggregate workload statistics of a schedule.
+#[derive(Debug, Clone)]
+pub struct ScheduleStats {
+    /// Number of supersteps.
+    pub n_supersteps: usize,
+    /// Number of barriers (`n_supersteps − 1`).
+    pub n_barriers: usize,
+    /// Total vertex weight `Σ ω(v)`.
+    pub total_work: u64,
+    /// Sum over supersteps of the maximum per-core work — the compute part of
+    /// the BSP makespan.
+    pub critical_work: u64,
+    /// `work_per_cell[s][p]` — weight assigned to core `p` in superstep `s`.
+    pub work_per_cell: Vec<Vec<u64>>,
+}
+
+impl ScheduleStats {
+    /// Parallel efficiency ignoring barrier costs:
+    /// `total_work / (k · critical_work)`.
+    pub fn work_efficiency(&self, n_cores: usize) -> f64 {
+        if self.critical_work == 0 {
+            return 1.0;
+        }
+        self.total_work as f64 / (n_cores as f64 * self.critical_work as f64)
+    }
+
+    /// Average imbalance: mean over supersteps of `max_p Ω_p / mean_p Ω_p`.
+    pub fn average_imbalance(&self) -> f64 {
+        if self.work_per_cell.is_empty() {
+            return 1.0;
+        }
+        let k = self.work_per_cell[0].len() as f64;
+        let mut acc = 0.0;
+        for step in &self.work_per_cell {
+            let max = step.iter().copied().max().unwrap_or(0) as f64;
+            let sum: u64 = step.iter().sum();
+            if sum > 0 {
+                acc += max / (sum as f64 / k);
+            } else {
+                acc += 1.0;
+            }
+        }
+        acc / self.work_per_cell.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> SolveDag {
+        SolveDag::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)], vec![1, 2, 3, 4])
+    }
+
+    #[test]
+    fn valid_two_core_schedule() {
+        let dag = diamond();
+        // Step 0: {0} on core 0. Step 1: {1} on core 0, {2} on core 1.
+        // Step 2: {3} on core 0.
+        let s = Schedule::new(2, vec![0, 0, 1, 0], vec![0, 1, 1, 2]);
+        assert!(s.validate(&dag).is_ok());
+        assert_eq!(s.n_supersteps(), 3);
+        assert_eq!(s.n_barriers(), 2);
+        let stats = s.stats(&dag);
+        assert_eq!(stats.total_work, 10);
+        assert_eq!(stats.critical_work, 1 + 3 + 4);
+    }
+
+    #[test]
+    fn cross_core_same_step_rejected() {
+        let dag = diamond();
+        let s = Schedule::new(2, vec![0, 1, 1, 1], vec![0, 0, 1, 2]);
+        assert_eq!(
+            s.validate(&dag),
+            Err(ScheduleError::CrossCoreSameStep { from: 0, to: 1 })
+        );
+    }
+
+    #[test]
+    fn backwards_step_rejected() {
+        let dag = diamond();
+        let s = Schedule::new(2, vec![0, 0, 0, 0], vec![1, 0, 1, 1]);
+        assert_eq!(s.validate(&dag), Err(ScheduleError::StepOrderViolated { from: 0, to: 1 }));
+    }
+
+    #[test]
+    fn intra_cell_descending_edge_rejected() {
+        // Edge (1, 0) would execute after its consumer in ID order.
+        let dag = SolveDag::from_edges(2, &[(1, 0)], vec![1, 1]);
+        let s = Schedule::new(1, vec![0, 0], vec![0, 0]);
+        assert_eq!(
+            s.validate(&dag),
+            Err(ScheduleError::IntraCellOrderViolated { from: 1, to: 0 })
+        );
+    }
+
+    #[test]
+    fn serial_schedule_is_valid_on_matrix_dags() {
+        let dag = diamond();
+        let s = Schedule::serial(4);
+        assert!(s.validate(&dag).is_ok());
+        assert_eq!(s.n_barriers(), 0);
+    }
+
+    #[test]
+    fn cells_sorted_by_id() {
+        let s = Schedule::new(2, vec![0, 1, 0, 1], vec![0, 0, 0, 1]);
+        let cells = s.cells();
+        assert_eq!(cells[0][0], vec![0, 2]);
+        assert_eq!(cells[0][1], vec![1]);
+        assert_eq!(cells[1][1], vec![3]);
+    }
+
+    #[test]
+    fn size_mismatch_detected() {
+        let dag = diamond();
+        let s = Schedule::serial(3);
+        assert!(matches!(s.validate(&dag), Err(ScheduleError::SizeMismatch { .. })));
+    }
+
+    #[test]
+    fn efficiency_and_imbalance() {
+        let dag = SolveDag::from_edges(4, &[], vec![1, 1, 1, 1]);
+        // Perfect balance on 2 cores in one superstep.
+        let s = Schedule::new(2, vec![0, 0, 1, 1], vec![0, 0, 0, 0]);
+        let stats = s.stats(&dag);
+        assert_eq!(stats.work_efficiency(2), 1.0);
+        assert_eq!(stats.average_imbalance(), 1.0);
+        // Everything on one core: efficiency 0.5 at k=2.
+        let s = Schedule::new(2, vec![0, 0, 0, 0], vec![0, 0, 0, 0]);
+        let stats = s.stats(&dag);
+        assert_eq!(stats.work_efficiency(2), 0.5);
+        assert_eq!(stats.average_imbalance(), 2.0);
+    }
+}

@@ -1,0 +1,160 @@
+//! Plain-text schedule serialization.
+//!
+//! Schedules are expensive to compute and cheap to store; the amortization
+//! workflow (§7.7) computes a schedule once and reuses it across runs of the
+//! same sparsity pattern. The format is a line-oriented text file:
+//!
+//! ```text
+//! sptrsv-schedule v1
+//! cores 8
+//! vertices 4
+//! 0 0
+//! 0 1
+//! 1 1
+//! 0 2
+//! ```
+//!
+//! with one `core superstep` pair per vertex, in vertex order.
+
+use crate::schedule::Schedule;
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Serialization errors.
+#[derive(Debug)]
+pub enum SerializeError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The stream is not a valid schedule file.
+    Parse(String),
+}
+
+impl std::fmt::Display for SerializeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SerializeError::Io(e) => write!(f, "i/o error: {e}"),
+            SerializeError::Parse(msg) => write!(f, "parse error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SerializeError {}
+
+impl From<std::io::Error> for SerializeError {
+    fn from(e: std::io::Error) -> Self {
+        SerializeError::Io(e)
+    }
+}
+
+/// Writes a schedule in the v1 text format.
+pub fn write_schedule<W: Write>(schedule: &Schedule, writer: W) -> Result<(), SerializeError> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "sptrsv-schedule v1")?;
+    writeln!(w, "cores {}", schedule.n_cores())?;
+    writeln!(w, "vertices {}", schedule.n_vertices())?;
+    for v in 0..schedule.n_vertices() {
+        writeln!(w, "{} {}", schedule.core_of(v), schedule.step_of(v))?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads a schedule in the v1 text format.
+pub fn read_schedule<R: Read>(reader: R) -> Result<Schedule, SerializeError> {
+    let mut lines = BufReader::new(reader).lines();
+    let mut next = |what: &str| -> Result<String, SerializeError> {
+        lines
+            .next()
+            .ok_or_else(|| SerializeError::Parse(format!("unexpected end of file, expected {what}")))?
+            .map_err(SerializeError::from)
+    };
+    let header = next("header")?;
+    if header.trim() != "sptrsv-schedule v1" {
+        return Err(SerializeError::Parse(format!("bad header: {header}")));
+    }
+    let parse_kv = |line: &str, key: &str| -> Result<usize, SerializeError> {
+        let mut it = line.split_whitespace();
+        match (it.next(), it.next()) {
+            (Some(k), Some(v)) if k == key => {
+                v.parse().map_err(|e| SerializeError::Parse(format!("bad {key}: {e}")))
+            }
+            _ => Err(SerializeError::Parse(format!("expected `{key} <n>`, got `{line}`"))),
+        }
+    };
+    let n_cores = parse_kv(&next("cores")?, "cores")?;
+    if n_cores == 0 {
+        return Err(SerializeError::Parse("cores must be positive".into()));
+    }
+    let n = parse_kv(&next("vertices")?, "vertices")?;
+    let mut core_of = Vec::with_capacity(n);
+    let mut step_of = Vec::with_capacity(n);
+    for v in 0..n {
+        let line = next("assignment")?;
+        let mut it = line.split_whitespace();
+        let core: usize = it
+            .next()
+            .ok_or_else(|| SerializeError::Parse(format!("missing core for vertex {v}")))?
+            .parse()
+            .map_err(|e| SerializeError::Parse(format!("vertex {v}: {e}")))?;
+        let step: usize = it
+            .next()
+            .ok_or_else(|| SerializeError::Parse(format!("missing superstep for vertex {v}")))?
+            .parse()
+            .map_err(|e| SerializeError::Parse(format!("vertex {v}: {e}")))?;
+        if core >= n_cores {
+            return Err(SerializeError::Parse(format!(
+                "vertex {v}: core {core} out of range (cores {n_cores})"
+            )));
+        }
+        core_of.push(core);
+        step_of.push(step);
+    }
+    Ok(Schedule::new(n_cores, core_of, step_of))
+}
+
+/// Writes a schedule to a file.
+pub fn write_schedule_file<P: AsRef<Path>>(
+    schedule: &Schedule,
+    path: P,
+) -> Result<(), SerializeError> {
+    write_schedule(schedule, std::fs::File::create(path)?)
+}
+
+/// Reads a schedule from a file.
+pub fn read_schedule_file<P: AsRef<Path>>(path: P) -> Result<Schedule, SerializeError> {
+    read_schedule(std::fs::File::open(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let s = Schedule::new(3, vec![0, 1, 2, 0], vec![0, 0, 1, 2]);
+        let mut buf = Vec::new();
+        write_schedule(&s, &mut buf).unwrap();
+        let back = read_schedule(&buf[..]).unwrap();
+        assert_eq!(s, back);
+    }
+
+    #[test]
+    fn empty_schedule_round_trips() {
+        let s = Schedule::new(2, vec![], vec![]);
+        let mut buf = Vec::new();
+        write_schedule(&s, &mut buf).unwrap();
+        let back = read_schedule(&buf[..]).unwrap();
+        assert_eq!(back.n_vertices(), 0);
+        assert_eq!(back.n_cores(), 2);
+    }
+
+    #[test]
+    fn malformed_inputs_rejected() {
+        assert!(read_schedule("nonsense\n".as_bytes()).is_err());
+        assert!(read_schedule("sptrsv-schedule v1\ncores 0\nvertices 0\n".as_bytes()).is_err());
+        assert!(read_schedule("sptrsv-schedule v1\ncores 2\nvertices 1\n".as_bytes()).is_err());
+        // Core out of range.
+        let text = "sptrsv-schedule v1\ncores 2\nvertices 1\n5 0\n";
+        assert!(read_schedule(text.as_bytes()).is_err());
+    }
+}

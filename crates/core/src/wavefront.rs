@@ -1,0 +1,114 @@
+//! The classic wavefront (level-set) scheduler [AS89, Sal90].
+//!
+//! Every wavefront becomes one superstep; within a wavefront the vertices
+//! (in ID order) are cut into `k` contiguous chunks of near-equal weight.
+//! Contiguous chunking keeps the baseline's locality honest — the weakness of
+//! wavefront scheduling is its barrier count, not an artificially bad
+//! assignment.
+
+use crate::schedule::Schedule;
+use crate::Scheduler;
+use sptrsv_dag::wavefront::wavefronts;
+use sptrsv_dag::SolveDag;
+
+/// The wavefront scheduler.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WavefrontScheduler;
+
+/// Splits `vertices` (any order; kept) into up to `k` contiguous chunks of
+/// near-equal total weight and writes the chunk index of each vertex into
+/// `core_of`. Returns nothing; empty chunks are fine for small fronts.
+pub(crate) fn assign_contiguous_by_weight(
+    vertices: &[usize],
+    weights: &[u64],
+    k: usize,
+    core_of: &mut [usize],
+) {
+    let total: u64 = vertices.iter().map(|&v| weights[v]).sum();
+    if total == 0 {
+        for (i, &v) in vertices.iter().enumerate() {
+            core_of[v] = i % k;
+        }
+        return;
+    }
+    let mut core = 0usize;
+    let mut acc = 0u64;
+    // Ideal cumulative boundary for core p is (p+1)·total/k; advance the core
+    // whenever the running weight passes the boundary.
+    for &v in vertices {
+        core_of[v] = core;
+        acc += weights[v];
+        while core + 1 < k && acc * (k as u64) >= (core as u64 + 1) * total {
+            core += 1;
+        }
+    }
+}
+
+impl Scheduler for WavefrontScheduler {
+    fn name(&self) -> &'static str {
+        "Wavefront"
+    }
+
+    fn schedule(&self, dag: &SolveDag, n_cores: usize) -> Schedule {
+        assert!(n_cores > 0);
+        let wf = wavefronts(dag);
+        let n = dag.n();
+        let mut core_of = vec![0usize; n];
+        let step_of = wf.level.clone();
+        for front in &wf.fronts {
+            assign_contiguous_by_weight(front, dag.weights(), n_cores, &mut core_of);
+        }
+        Schedule::new(n_cores, core_of, step_of)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_superstep_per_wavefront() {
+        let g = SolveDag::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)], vec![1; 4]);
+        let s = WavefrontScheduler.schedule(&g, 2);
+        assert!(s.validate(&g).is_ok());
+        assert_eq!(s.n_supersteps(), 3);
+        // Vertices 1 and 2 sit in the same front and can use both cores.
+        assert_ne!(s.core_of(1), s.core_of(2));
+    }
+
+    #[test]
+    fn chunking_balances_weight() {
+        let weights: Vec<u64> = vec![1, 1, 1, 1, 4, 4, 4, 4];
+        let vertices: Vec<usize> = (0..8).collect();
+        let mut core_of = vec![usize::MAX; 8];
+        assign_contiguous_by_weight(&vertices, &weights, 2, &mut core_of);
+        let w0: u64 = (0..8).filter(|&v| core_of[v] == 0).map(|v| weights[v]).sum();
+        let w1: u64 = (0..8).filter(|&v| core_of[v] == 1).map(|v| weights[v]).sum();
+        assert!(w0.abs_diff(w1) <= 4, "split {w0} vs {w1}");
+        // Contiguity.
+        let switch = (0..8).position(|v| core_of[v] == 1).unwrap();
+        assert!((switch..8).all(|v| core_of[v] == 1));
+    }
+
+    #[test]
+    fn zero_weight_fronts_round_robin() {
+        let mut core_of = vec![usize::MAX; 3];
+        assign_contiguous_by_weight(&[0, 1, 2], &[0, 0, 0], 2, &mut core_of);
+        assert_eq!(core_of, vec![0, 1, 0]);
+    }
+
+    #[test]
+    fn valid_on_a_grid() {
+        let a = sptrsv_sparse::gen::grid::grid2d_laplacian(
+            12,
+            12,
+            sptrsv_sparse::gen::grid::Stencil2D::FivePoint,
+            0.5,
+        );
+        let g = SolveDag::from_lower_triangular(&a.lower_triangle().unwrap());
+        let s = WavefrontScheduler.schedule(&g, 3);
+        assert!(s.validate(&g).is_ok());
+        // A 12x12 grid has 23 anti-diagonal wavefronts.
+        assert_eq!(s.n_supersteps(), 23);
+    }
+}

@@ -1,0 +1,128 @@
+//! Structural analysis of solve DAGs.
+//!
+//! Beyond the average wavefront size (§6.2), schedulers and users benefit
+//! from a fuller picture of the available parallelism: the wavefront-size
+//! distribution, the weighted critical path (the lower bound on any parallel
+//! execution), and degree statistics (the transitive-reduction and funnel
+//! passes are sensitive to both).
+
+use crate::graph::SolveDag;
+use crate::wavefront::wavefronts;
+
+/// Summary statistics of a solve DAG.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DagAnalysis {
+    /// Vertices.
+    pub n: usize,
+    /// Edges.
+    pub n_edges: usize,
+    /// DAG sources (ready at time zero).
+    pub n_sources: usize,
+    /// DAG sinks.
+    pub n_sinks: usize,
+    /// Number of wavefronts (longest path, in vertices).
+    pub n_wavefronts: usize,
+    /// Average wavefront size `n / n_wavefronts`.
+    pub avg_wavefront: f64,
+    /// Largest wavefront.
+    pub max_wavefront: usize,
+    /// Total vertex weight `Σ ω(v)`.
+    pub total_weight: u64,
+    /// Weight of the heaviest path — the serial fraction no schedule can
+    /// parallelize away.
+    pub critical_path_weight: u64,
+    /// Maximum in-degree.
+    pub max_in_degree: usize,
+    /// Maximum out-degree.
+    pub max_out_degree: usize,
+}
+
+impl DagAnalysis {
+    /// The ideal speed-up bound `total_weight / critical_path_weight`
+    /// (infinite cores, zero synchronization cost).
+    pub fn ideal_speedup(&self) -> f64 {
+        if self.critical_path_weight == 0 {
+            return 1.0;
+        }
+        self.total_weight as f64 / self.critical_path_weight as f64
+    }
+}
+
+/// Analyzes a DAG in `O(|V| + |E|)`.
+///
+/// # Panics
+/// Panics on cyclic input (solve DAGs are acyclic by construction).
+pub fn analyze(dag: &SolveDag) -> DagAnalysis {
+    let wf = wavefronts(dag);
+    let order =
+        crate::topo::topological_sort(dag).expect("analysis of a cyclic graph is undefined");
+    // Weighted critical path via dynamic programming over the topo order.
+    let mut path_weight = vec![0u64; dag.n()];
+    let mut critical = 0u64;
+    for &v in &order {
+        let best_parent =
+            dag.parents(v).iter().map(|&p| path_weight[p]).max().unwrap_or(0);
+        path_weight[v] = best_parent + dag.weight(v);
+        critical = critical.max(path_weight[v]);
+    }
+    DagAnalysis {
+        n: dag.n(),
+        n_edges: dag.n_edges(),
+        n_sources: dag.sources().len(),
+        n_sinks: dag.sinks().len(),
+        n_wavefronts: wf.n_fronts(),
+        avg_wavefront: wf.average_size(),
+        max_wavefront: wf.max_size(),
+        total_weight: dag.total_weight(),
+        critical_path_weight: critical,
+        max_in_degree: (0..dag.n()).map(|v| dag.in_degree(v)).max().unwrap_or(0),
+        max_out_degree: (0..dag.n()).map(|v| dag.out_degree(v)).max().unwrap_or(0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_analysis() {
+        let edges: Vec<(usize, usize)> = (1..5).map(|v| (v - 1, v)).collect();
+        let g = SolveDag::from_edges(5, &edges, vec![2; 5]);
+        let a = analyze(&g);
+        assert_eq!(a.n, 5);
+        assert_eq!(a.n_sources, 1);
+        assert_eq!(a.n_sinks, 1);
+        assert_eq!(a.n_wavefronts, 5);
+        assert_eq!(a.critical_path_weight, 10);
+        assert_eq!(a.total_weight, 10);
+        assert_eq!(a.ideal_speedup(), 1.0);
+    }
+
+    #[test]
+    fn independent_analysis() {
+        let g = SolveDag::from_edges(4, &[], vec![3; 4]);
+        let a = analyze(&g);
+        assert_eq!(a.n_wavefronts, 1);
+        assert_eq!(a.max_wavefront, 4);
+        assert_eq!(a.critical_path_weight, 3);
+        assert_eq!(a.ideal_speedup(), 4.0);
+    }
+
+    #[test]
+    fn weighted_critical_path_prefers_heavy_branch() {
+        // 0 -> 1 (heavy), 0 -> 2 -> 3 (long but light).
+        let g = SolveDag::from_edges(4, &[(0, 1), (0, 2), (2, 3)], vec![1, 10, 1, 1]);
+        let a = analyze(&g);
+        assert_eq!(a.critical_path_weight, 11); // 0 -> 1
+        assert_eq!(a.max_out_degree, 2);
+        assert_eq!(a.max_in_degree, 1);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = SolveDag::from_edges(0, &[], vec![]);
+        let a = analyze(&g);
+        assert_eq!(a.critical_path_weight, 0);
+        assert_eq!(a.ideal_speedup(), 1.0);
+    }
+}

@@ -1,0 +1,336 @@
+//! Acyclicity-preserving DAG coarsening: cascades and funnels (§4).
+//!
+//! A *cascade* (Definition 4.2) is a vertex set `U` in which every vertex
+//! with an incoming cut edge can reach (within `U`) every vertex with an
+//! outgoing cut edge. Proposition 4.3: coarsening a DAG along a partition
+//! into cascades preserves acyclicity. The paper's practical subcategory is
+//! the *funnel* (Definition 4.4): a cascade with at most one vertex having an
+//! outgoing (in-funnel) or incoming (out-funnel) cut edge; in-funnels are
+//! found greedily by Algorithm 4.1.
+//!
+//! The property-based tests of this module check Proposition 4.3 directly:
+//! every partition produced here consists of funnels, and the coarsened
+//! graph is always acyclic.
+
+use crate::graph::SolveDag;
+use crate::topo::topological_sort;
+use std::collections::BinaryHeap;
+use std::collections::HashMap;
+
+/// Growth direction of the funnel search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FunnelDirection {
+    /// In-funnels: grow from a vertex towards its ancestors (Algorithm 4.1).
+    In,
+    /// Out-funnels: the mirror image, grown towards descendants.
+    Out,
+}
+
+/// Options for [`funnel_partition`].
+#[derive(Debug, Clone)]
+pub struct FunnelOptions {
+    /// Direction of growth.
+    pub direction: FunnelDirection,
+    /// Maximum total vertex weight of one part. Without a bound, a DAG with a
+    /// single sink would collapse into one vertex (§4.2); the paper applies a
+    /// size/weight constraint for the same reason.
+    pub max_part_weight: u64,
+}
+
+impl Default for FunnelOptions {
+    fn default() -> Self {
+        FunnelOptions { direction: FunnelDirection::In, max_part_weight: 1 << 12 }
+    }
+}
+
+/// A partition of the vertex set together with the part membership map.
+#[derive(Debug, Clone)]
+pub struct Coarsening {
+    /// `part_of[v]` — the part (coarse vertex) containing `v`.
+    pub part_of: Vec<usize>,
+    /// Vertices of each part, sorted by vertex ID. Part IDs are assigned in
+    /// increasing order of the part's smallest vertex, so coarse IDs inherit
+    /// the locality of the original numbering (important for GrowLocal's
+    /// ID-based selection, §3).
+    pub parts: Vec<Vec<usize>>,
+}
+
+impl Coarsening {
+    /// Number of parts (vertices of the coarse DAG).
+    pub fn n_parts(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// The identity (singleton) coarsening of an `n`-vertex DAG.
+    pub fn identity(n: usize) -> Coarsening {
+        Coarsening { part_of: (0..n).collect(), parts: (0..n).map(|v| vec![v]).collect() }
+    }
+}
+
+/// Runs funnel coarsening (Algorithm 4.1, plus the out-funnel mirror) and
+/// returns the partition.
+pub fn funnel_partition(dag: &SolveDag, options: &FunnelOptions) -> Coarsening {
+    let order = topological_sort(dag).expect("funnel coarsening requires an acyclic graph");
+    let n = dag.n();
+    let mut visited = vec![false; n];
+    let mut raw_parts: Vec<Vec<usize>> = Vec::new();
+
+    // Iterate seeds in reverse topological order for in-funnels (sinks
+    // first), forward order for out-funnels.
+    let seed_iter: Box<dyn Iterator<Item = usize>> = match options.direction {
+        FunnelDirection::In => Box::new(order.iter().rev().copied()),
+        FunnelDirection::Out => Box::new(order.iter().copied()),
+    };
+
+    for seed in seed_iter {
+        if visited[seed] {
+            continue;
+        }
+        let mut part = Vec::new();
+        let mut part_weight = 0u64;
+        // Count of the seed-side neighbours already absorbed into the part;
+        // a vertex may join once *all* of them are in (so the part keeps the
+        // funnel shape: only the seed has cut edges on its far side).
+        let mut absorbed: HashMap<usize, usize> = HashMap::new();
+        let mut queue: BinaryHeap<usize> = BinaryHeap::new();
+        queue.push(seed);
+        while let Some(w) = queue.pop() {
+            // The seed is always accepted even if it alone exceeds the weight
+            // cap — otherwise an over-weight vertex could never be assigned.
+            if visited[w]
+                || (!part.is_empty()
+                    && part_weight.saturating_add(dag.weight(w)) > options.max_part_weight)
+            {
+                continue;
+            }
+            visited[w] = true;
+            part.push(w);
+            part_weight += dag.weight(w);
+            let frontier = match options.direction {
+                FunnelDirection::In => dag.parents(w),
+                FunnelDirection::Out => dag.children(w),
+            };
+            for &u in frontier {
+                let cnt = absorbed.entry(u).or_insert(0);
+                *cnt += 1;
+                let gate = match options.direction {
+                    FunnelDirection::In => dag.out_degree(u),
+                    FunnelDirection::Out => dag.in_degree(u),
+                };
+                if *cnt == gate {
+                    queue.push(u);
+                }
+            }
+        }
+        part.sort_unstable();
+        raw_parts.push(part);
+    }
+
+    // Renumber parts by their smallest member for locality.
+    raw_parts.sort_unstable_by_key(|p| p[0]);
+    let mut part_of = vec![usize::MAX; n];
+    for (pid, part) in raw_parts.iter().enumerate() {
+        for &v in part {
+            part_of[v] = pid;
+        }
+    }
+    debug_assert!(part_of.iter().all(|&p| p != usize::MAX));
+    Coarsening { part_of, parts: raw_parts }
+}
+
+/// Builds the coarsened graph `G // P` (Definition 4.1): one vertex per part
+/// with summed weights, one edge per pair of parts connected by at least one
+/// original edge, self-loops removed.
+pub fn coarsen(dag: &SolveDag, coarsening: &Coarsening) -> SolveDag {
+    let n_parts = coarsening.n_parts();
+    let weights: Vec<u64> = coarsening
+        .parts
+        .iter()
+        .map(|part| part.iter().map(|&v| dag.weight(v)).sum())
+        .collect();
+    let mut edges: Vec<(usize, usize)> = Vec::new();
+    for v in 0..dag.n() {
+        let pv = coarsening.part_of[v];
+        for &u in dag.parents(v) {
+            let pu = coarsening.part_of[u];
+            if pu != pv {
+                edges.push((pu, pv));
+            }
+        }
+    }
+    SolveDag::from_edges(n_parts, &edges, weights)
+}
+
+/// Checks Definition 4.2 directly: every vertex of `set` with an incoming cut
+/// edge can reach, inside `set`, every vertex with an outgoing cut edge.
+/// Exposed for tests and debugging; `O(|set|·|E(set)|)`.
+pub fn is_cascade(dag: &SolveDag, set: &[usize]) -> bool {
+    let members: std::collections::HashSet<usize> = set.iter().copied().collect();
+    let entries: Vec<usize> = set
+        .iter()
+        .copied()
+        .filter(|&v| dag.parents(v).iter().any(|p| !members.contains(p)))
+        .collect();
+    let exits: Vec<usize> = set
+        .iter()
+        .copied()
+        .filter(|&v| dag.children(v).iter().any(|c| !members.contains(c)))
+        .collect();
+    for &entry in &entries {
+        // BFS within the set.
+        let mut reachable = std::collections::HashSet::new();
+        reachable.insert(entry);
+        let mut stack = vec![entry];
+        while let Some(v) = stack.pop() {
+            for &c in dag.children(v) {
+                if members.contains(&c) && reachable.insert(c) {
+                    stack.push(c);
+                }
+            }
+        }
+        if exits.iter().any(|e| !reachable.contains(e)) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Checks Definition 4.4: `set` is a cascade with at most one vertex having a
+/// cut edge on the closing side (outgoing for in-funnels, incoming for
+/// out-funnels).
+pub fn is_funnel(dag: &SolveDag, set: &[usize], direction: FunnelDirection) -> bool {
+    if !is_cascade(dag, set) {
+        return false;
+    }
+    let members: std::collections::HashSet<usize> = set.iter().copied().collect();
+    let cut_count = set
+        .iter()
+        .filter(|&&v| {
+            let far_side = match direction {
+                FunnelDirection::In => dag.children(v),
+                FunnelDirection::Out => dag.parents(v),
+            };
+            far_side.iter().any(|u| !members.contains(u))
+        })
+        .count();
+    cut_count <= 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topo::is_acyclic;
+
+    fn chain(n: usize) -> SolveDag {
+        let edges: Vec<(usize, usize)> = (1..n).map(|v| (v - 1, v)).collect();
+        SolveDag::from_edges(n, &edges, vec![1; n])
+    }
+
+    /// In-tree: 0 <- 1, 0 <- 2; i.e. edges (1,0)? No — in-funnel example:
+    /// two sources feeding one sink: 0 -> 2, 1 -> 2.
+    fn in_tree() -> SolveDag {
+        SolveDag::from_edges(3, &[(0, 2), (1, 2)], vec![1; 3])
+    }
+
+    #[test]
+    fn in_tree_collapses_to_one_part() {
+        let c = funnel_partition(&in_tree(), &FunnelOptions::default());
+        assert_eq!(c.n_parts(), 1);
+        assert!(is_funnel(&in_tree(), &c.parts[0], FunnelDirection::In));
+    }
+
+    #[test]
+    fn weight_cap_limits_parts() {
+        let g = chain(10);
+        let opts = FunnelOptions { direction: FunnelDirection::In, max_part_weight: 3 };
+        let c = funnel_partition(&g, &opts);
+        assert!(c.n_parts() >= 4);
+        for part in &c.parts {
+            let w: u64 = part.iter().map(|&v| g.weight(v)).sum();
+            assert!(w <= 3);
+            assert!(is_funnel(&g, part, FunnelDirection::In));
+        }
+        let coarse = coarsen(&g, &c);
+        assert!(is_acyclic(&coarse));
+    }
+
+    #[test]
+    fn out_direction_mirrors_in() {
+        // Out-tree: 0 -> 1, 0 -> 2 is a single out-funnel.
+        let g = SolveDag::from_edges(3, &[(0, 1), (0, 2)], vec![1; 3]);
+        let opts = FunnelOptions { direction: FunnelDirection::Out, max_part_weight: 100 };
+        let c = funnel_partition(&g, &opts);
+        assert_eq!(c.n_parts(), 1);
+        assert!(is_funnel(&g, &c.parts[0], FunnelDirection::Out));
+    }
+
+    #[test]
+    fn diamond_is_not_one_in_funnel() {
+        // Diamond 0 -> {1, 2} -> 3: the set {1, 2, 3} is not a cascade lift
+        // issue; the full set {0,1,2,3} *is* a cascade, but Algorithm 4.1
+        // grows from the sink 3 and absorbs 1, 2 only when all their children
+        // are in; then 0 joins too (both children absorbed) — so the diamond
+        // does collapse. Verify the result is a funnel either way.
+        let g = SolveDag::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)], vec![1; 4]);
+        let c = funnel_partition(&g, &FunnelOptions::default());
+        for part in &c.parts {
+            assert!(is_funnel(&g, part, FunnelDirection::In), "part {part:?} not a funnel");
+        }
+        assert!(is_acyclic(&coarsen(&g, &c)));
+    }
+
+    #[test]
+    fn shared_child_blocks_merge() {
+        // 0 -> 1, 0 -> 2 with seeds at sinks 1, 2 (in-funnels): 0 has two
+        // children in different parts, so it can join neither via the gate
+        // condition and becomes its own part.
+        let g = SolveDag::from_edges(3, &[(0, 1), (0, 2)], vec![1; 3]);
+        let c = funnel_partition(&g, &FunnelOptions::default());
+        assert_eq!(c.n_parts(), 3);
+        let coarse = coarsen(&g, &c);
+        assert_eq!(coarse.n_edges(), 2);
+        assert!(is_acyclic(&coarse));
+    }
+
+    #[test]
+    fn coarse_weights_sum() {
+        let g = in_tree();
+        let c = funnel_partition(&g, &FunnelOptions::default());
+        let coarse = coarsen(&g, &c);
+        assert_eq!(coarse.total_weight(), g.total_weight());
+    }
+
+    #[test]
+    fn cascade_checker_rejects_non_cascades() {
+        // 0 -> 1, 2 -> 3, and 1 -> 2 outside: take set {1, 2}: 1 has incoming
+        // cut edge (0,1) — wait, we need a set where an entry cannot reach an
+        // exit. Use 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 4 and set {1, 2}: both have
+        // incoming and outgoing cut edges but no internal edges, and 1 cannot
+        // reach 2.
+        let g = SolveDag::from_edges(5, &[(0, 1), (0, 2), (1, 3), (2, 4)], vec![1; 5]);
+        assert!(!is_cascade(&g, &[1, 2]));
+        assert!(is_cascade(&g, &[1]));
+        assert!(is_cascade(&g, &[0, 1, 2, 3, 4]));
+    }
+
+    #[test]
+    fn identity_coarsening_is_isomorphic() {
+        let g = in_tree();
+        let c = Coarsening::identity(3);
+        let coarse = coarsen(&g, &c);
+        assert_eq!(coarse.n(), g.n());
+        assert_eq!(coarse.n_edges(), g.n_edges());
+        assert_eq!(coarse.total_weight(), g.total_weight());
+    }
+
+    #[test]
+    fn part_ids_preserve_locality() {
+        let g = chain(9);
+        let opts = FunnelOptions { direction: FunnelDirection::In, max_part_weight: 3 };
+        let c = funnel_partition(&g, &opts);
+        // Parts along a chain must be consecutive runs, numbered left to right.
+        for pid in 1..c.n_parts() {
+            assert!(c.parts[pid][0] > *c.parts[pid - 1].last().unwrap());
+        }
+    }
+}

@@ -1,0 +1,237 @@
+//! The solve DAG: vertices are matrix rows, edges are value dependencies.
+
+use sptrsv_sparse::CsrMatrix;
+
+/// A vertex-weighted directed acyclic graph stored with both adjacency
+/// directions in CSR-like arrays.
+///
+/// For a DAG derived from a lower-triangular matrix, vertex IDs coincide with
+/// row indices and the natural order `0..n` is a topological order (every
+/// edge `(u, v)` has `u < v`). Generic constructors do not require this.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SolveDag {
+    n: usize,
+    parent_ptr: Vec<usize>,
+    parent_idx: Vec<usize>,
+    child_ptr: Vec<usize>,
+    child_idx: Vec<usize>,
+    weight: Vec<u64>,
+}
+
+impl SolveDag {
+    /// Builds the forward-substitution DAG of a lower-triangular matrix
+    /// (§2.2): edge `(j, i)` for every strictly-lower non-zero `A[i][j]`, and
+    /// weight `ω(i) = nnz(row i)`.
+    ///
+    /// # Panics
+    /// Panics if the matrix is not square or not lower triangular — callers
+    /// should have validated with
+    /// [`CsrMatrix::validate_triangular`](sptrsv_sparse::csr::CsrMatrix::validate_triangular).
+    pub fn from_lower_triangular(matrix: &CsrMatrix) -> SolveDag {
+        assert_eq!(matrix.n_rows(), matrix.n_cols(), "matrix must be square");
+        assert!(matrix.is_lower_triangular(), "matrix must be lower triangular");
+        let n = matrix.n_rows();
+        let mut weight = Vec::with_capacity(n);
+        let mut parent_ptr = Vec::with_capacity(n + 1);
+        let mut parent_idx = Vec::with_capacity(matrix.nnz().saturating_sub(n));
+        parent_ptr.push(0);
+        for i in 0..n {
+            let (cols, _) = matrix.row(i);
+            weight.push(cols.len() as u64);
+            for &j in cols {
+                if j != i {
+                    parent_idx.push(j);
+                }
+            }
+            parent_ptr.push(parent_idx.len());
+        }
+        Self::from_parents(n, parent_ptr, parent_idx, weight)
+    }
+
+    /// Builds a DAG from an explicit edge list `(u, v)` meaning "v depends on
+    /// u", with the given vertex weights.
+    ///
+    /// Duplicate edges are deduplicated. Callers must ensure acyclicity (use
+    /// [`crate::topo::is_acyclic`] when in doubt); all scheduling algorithms
+    /// assume it.
+    pub fn from_edges(n: usize, edges: &[(usize, usize)], weight: Vec<u64>) -> SolveDag {
+        assert_eq!(weight.len(), n);
+        let mut per_child: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for &(u, v) in edges {
+            assert!(u < n && v < n, "edge ({u}, {v}) out of range for n={n}");
+            assert_ne!(u, v, "self-loop at vertex {u}");
+            per_child[v].push(u);
+        }
+        let mut parent_ptr = Vec::with_capacity(n + 1);
+        let mut parent_idx = Vec::new();
+        parent_ptr.push(0);
+        for list in per_child.iter_mut() {
+            list.sort_unstable();
+            list.dedup();
+            parent_idx.extend_from_slice(list);
+            parent_ptr.push(parent_idx.len());
+        }
+        Self::from_parents(n, parent_ptr, parent_idx, weight)
+    }
+
+    /// Internal constructor from parent adjacency; derives child adjacency.
+    pub(crate) fn from_parents(
+        n: usize,
+        parent_ptr: Vec<usize>,
+        parent_idx: Vec<usize>,
+        weight: Vec<u64>,
+    ) -> SolveDag {
+        let mut child_counts = vec![0usize; n + 1];
+        for &p in &parent_idx {
+            child_counts[p + 1] += 1;
+        }
+        for v in 0..n {
+            child_counts[v + 1] += child_counts[v];
+        }
+        let child_ptr = child_counts.clone();
+        let mut child_idx = vec![0usize; parent_idx.len()];
+        for v in 0..n {
+            for &p in &parent_idx[parent_ptr[v]..parent_ptr[v + 1]] {
+                child_idx[child_counts[p]] = v;
+                child_counts[p] += 1;
+            }
+        }
+        // Children of each vertex come out sorted because we sweep v in order.
+        SolveDag { n, parent_ptr, parent_idx, child_ptr, child_idx, weight }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of edges.
+    #[inline]
+    pub fn n_edges(&self) -> usize {
+        self.parent_idx.len()
+    }
+
+    /// Parents of `v` (sorted).
+    #[inline]
+    pub fn parents(&self, v: usize) -> &[usize] {
+        &self.parent_idx[self.parent_ptr[v]..self.parent_ptr[v + 1]]
+    }
+
+    /// Children of `v` (sorted).
+    #[inline]
+    pub fn children(&self, v: usize) -> &[usize] {
+        &self.child_idx[self.child_ptr[v]..self.child_ptr[v + 1]]
+    }
+
+    /// In-degree of `v`.
+    #[inline]
+    pub fn in_degree(&self, v: usize) -> usize {
+        self.parent_ptr[v + 1] - self.parent_ptr[v]
+    }
+
+    /// Out-degree of `v`.
+    #[inline]
+    pub fn out_degree(&self, v: usize) -> usize {
+        self.child_ptr[v + 1] - self.child_ptr[v]
+    }
+
+    /// Compute weight `ω(v)`.
+    #[inline]
+    pub fn weight(&self, v: usize) -> u64 {
+        self.weight[v]
+    }
+
+    /// All vertex weights.
+    #[inline]
+    pub fn weights(&self) -> &[u64] {
+        &self.weight
+    }
+
+    /// Total compute weight `Σ_v ω(v)`.
+    pub fn total_weight(&self) -> u64 {
+        self.weight.iter().sum()
+    }
+
+    /// Vertices with no parents.
+    pub fn sources(&self) -> Vec<usize> {
+        (0..self.n).filter(|&v| self.in_degree(v) == 0).collect()
+    }
+
+    /// Vertices with no children.
+    pub fn sinks(&self) -> Vec<usize> {
+        (0..self.n).filter(|&v| self.out_degree(v) == 0).collect()
+    }
+
+    /// Whether every edge `(u, v)` satisfies `u < v` (the natural order of a
+    /// matrix-derived DAG is topological).
+    pub fn natural_order_is_topological(&self) -> bool {
+        (0..self.n).all(|v| self.parents(v).iter().all(|&u| u < v))
+    }
+
+    /// Whether the edge `(u, v)` exists (binary search on parents of `v`).
+    pub fn has_edge(&self, u: usize, v: usize) -> bool {
+        self.parents(v).binary_search(&u).is_ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sptrsv_sparse::CooMatrix;
+
+    /// The matrix/DAG of Figure 1.1 in the paper (a..f = 0..5).
+    pub(crate) fn fig11_dag() -> SolveDag {
+        let mut coo = CooMatrix::new(6, 6);
+        for i in 0..6 {
+            coo.push(i, i, 2.0).unwrap();
+        }
+        coo.push(1, 0, 1.0).unwrap(); // b <- a
+        coo.push(2, 0, 1.0).unwrap(); // c <- a
+        coo.push(3, 1, 1.0).unwrap(); // d <- b
+        coo.push(3, 2, 1.0).unwrap(); // d <- c
+        coo.push(5, 2, 1.0).unwrap(); // f <- c
+        coo.push(4, 3, 1.0).unwrap(); // e <- d
+        SolveDag::from_lower_triangular(&coo.to_csr())
+    }
+
+    #[test]
+    fn fig11_structure() {
+        let g = fig11_dag();
+        assert_eq!(g.n(), 6);
+        assert_eq!(g.n_edges(), 6);
+        assert_eq!(g.parents(3), &[1, 2]);
+        assert_eq!(g.children(0), &[1, 2]);
+        assert_eq!(g.children(2), &[3, 5]);
+        assert_eq!(g.sources(), vec![0]);
+        assert_eq!(g.sinks(), vec![4, 5]);
+        assert!(g.natural_order_is_topological());
+        assert!(g.has_edge(2, 5));
+        assert!(!g.has_edge(5, 2));
+    }
+
+    #[test]
+    fn weights_are_row_nnz() {
+        let g = fig11_dag();
+        assert_eq!(g.weight(0), 1); // diagonal only
+        assert_eq!(g.weight(3), 3); // two parents + diagonal
+        assert_eq!(g.total_weight(), 12);
+    }
+
+    #[test]
+    fn from_edges_dedups() {
+        let g = SolveDag::from_edges(3, &[(0, 2), (0, 2), (1, 2)], vec![1, 1, 1]);
+        assert_eq!(g.n_edges(), 2);
+        assert_eq!(g.parents(2), &[0, 1]);
+        assert_eq!(g.children(0), &[2]);
+    }
+
+    #[test]
+    fn degrees() {
+        let g = fig11_dag();
+        assert_eq!(g.in_degree(3), 2);
+        assert_eq!(g.out_degree(2), 2);
+        assert_eq!(g.in_degree(0), 0);
+        assert_eq!(g.out_degree(4), 0);
+    }
+}

@@ -1,0 +1,30 @@
+//! DAG substrate for SpTRSV scheduling.
+//!
+//! The forward-substitution algorithm on a sparse lower-triangular matrix is
+//! captured by a directed acyclic graph (Fig. 1.1 of the paper): vertex `i`
+//! is the computation of `x_i`, and an edge `(j, i)` exists iff `A[i][j] ≠ 0`
+//! for `j < i`. This crate provides:
+//!
+//! * [`graph`] — the [`SolveDag`] type with parent/children adjacency and the
+//!   per-vertex work weights `ω(v) = nnz(row v)`;
+//! * [`topo`] — Kahn topological sorting and acyclicity checking;
+//! * [`wavefront`] — level sets ("wavefronts") and the average-wavefront-size
+//!   parallelizability metric of §6.2;
+//! * [`transitive`] — the approximate transitive reduction of SpMP §2.3
+//!   ("remove all long edges in triangles");
+//! * [`coarsen`] — *cascades* and the **Funnel** coarsening of §4, with the
+//!   acyclicity guarantee of Proposition 4.3 checked in tests.
+
+pub mod analysis;
+pub mod coarsen;
+pub mod graph;
+pub mod topo;
+pub mod transitive;
+pub mod wavefront;
+
+pub use analysis::{analyze, DagAnalysis};
+pub use coarsen::{coarsen, funnel_partition, Coarsening, FunnelDirection, FunnelOptions};
+pub use graph::SolveDag;
+pub use topo::{is_acyclic, topological_sort};
+pub use transitive::approximate_transitive_reduction;
+pub use wavefront::{average_wavefront_size, wavefronts, Wavefronts};

@@ -1,0 +1,72 @@
+//! Topological sorting (Kahn's algorithm) and acyclicity checking.
+
+use crate::graph::SolveDag;
+use std::collections::VecDeque;
+
+/// Returns a topological order of the DAG, or `None` if it contains a cycle.
+///
+/// Kahn's algorithm [Kah62], `O(|V| + |E|)`. Among ready vertices the
+/// smallest ID is *not* prioritized (plain FIFO); schedulers that care about
+/// order implement their own priority.
+pub fn topological_sort(dag: &SolveDag) -> Option<Vec<usize>> {
+    let n = dag.n();
+    let mut in_deg: Vec<usize> = (0..n).map(|v| dag.in_degree(v)).collect();
+    let mut queue: VecDeque<usize> = (0..n).filter(|&v| in_deg[v] == 0).collect();
+    let mut order = Vec::with_capacity(n);
+    while let Some(v) = queue.pop_front() {
+        order.push(v);
+        for &c in dag.children(v) {
+            in_deg[c] -= 1;
+            if in_deg[c] == 0 {
+                queue.push_back(c);
+            }
+        }
+    }
+    if order.len() == n {
+        Some(order)
+    } else {
+        None
+    }
+}
+
+/// Whether the graph is acyclic.
+pub fn is_acyclic(dag: &SolveDag) -> bool {
+    topological_sort(dag).is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sorts_a_diamond() {
+        let g = SolveDag::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)], vec![1; 4]);
+        let order = topological_sort(&g).unwrap();
+        let pos: Vec<usize> = {
+            let mut p = vec![0; 4];
+            for (i, &v) in order.iter().enumerate() {
+                p[v] = i;
+            }
+            p
+        };
+        assert!(pos[0] < pos[1] && pos[0] < pos[2]);
+        assert!(pos[1] < pos[3] && pos[2] < pos[3]);
+        assert!(is_acyclic(&g));
+    }
+
+    #[test]
+    fn detects_cycles() {
+        // from_edges cannot create self-loops, but a 3-cycle is expressible.
+        let g = SolveDag::from_edges(3, &[(0, 1), (1, 2), (2, 0)], vec![1; 3]);
+        assert!(topological_sort(&g).is_none());
+        assert!(!is_acyclic(&g));
+    }
+
+    #[test]
+    fn empty_and_edgeless() {
+        let g = SolveDag::from_edges(0, &[], vec![]);
+        assert_eq!(topological_sort(&g).unwrap(), Vec::<usize>::new());
+        let g = SolveDag::from_edges(3, &[], vec![1; 3]);
+        assert_eq!(topological_sort(&g).unwrap().len(), 3);
+    }
+}

@@ -1,0 +1,127 @@
+//! Wavefronts (level sets) of a solve DAG.
+//!
+//! The wavefronts are the levels of the "as-soon-as-possible" schedule: level
+//! 0 holds the sources, level `ℓ+1` everything whose deepest parent sits at
+//! level `ℓ`. The paper uses the **average wavefront size** — `|V|` divided
+//! by the number of wavefronts (the longest path length in vertices) — as its
+//! parallelizability proxy (§6.2), and the wavefront count as the baseline
+//! for the barrier-reduction experiment (Table 7.2).
+
+use crate::graph::SolveDag;
+use crate::topo::topological_sort;
+
+/// The level structure of a DAG.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Wavefronts {
+    /// `level[v]` — the wavefront index of vertex `v`.
+    pub level: Vec<usize>,
+    /// Vertices of each wavefront, in increasing vertex ID.
+    pub fronts: Vec<Vec<usize>>,
+}
+
+impl Wavefronts {
+    /// Number of wavefronts (= longest path length, counted in vertices).
+    pub fn n_fronts(&self) -> usize {
+        self.fronts.len()
+    }
+
+    /// Average wavefront size `|V| / #fronts`.
+    pub fn average_size(&self) -> f64 {
+        if self.fronts.is_empty() {
+            0.0
+        } else {
+            self.level.len() as f64 / self.fronts.len() as f64
+        }
+    }
+
+    /// Size of the largest wavefront.
+    pub fn max_size(&self) -> usize {
+        self.fronts.iter().map(|f| f.len()).max().unwrap_or(0)
+    }
+}
+
+/// Computes the wavefronts of a DAG.
+///
+/// # Panics
+/// Panics if the graph has a cycle (all solve DAGs are acyclic by
+/// construction; generic DAGs should be checked with
+/// [`crate::topo::is_acyclic`] first).
+pub fn wavefronts(dag: &SolveDag) -> Wavefronts {
+    let order = topological_sort(dag).expect("wavefronts of a cyclic graph are undefined");
+    let n = dag.n();
+    let mut level = vec![0usize; n];
+    let mut max_level = 0usize;
+    for &v in &order {
+        let lv = dag.parents(v).iter().map(|&p| level[p] + 1).max().unwrap_or(0);
+        level[v] = lv;
+        max_level = max_level.max(lv);
+    }
+    let n_fronts = if n == 0 { 0 } else { max_level + 1 };
+    let mut fronts = vec![Vec::new(); n_fronts];
+    for v in 0..n {
+        fronts[level[v]].push(v);
+    }
+    Wavefronts { level, fronts }
+}
+
+/// Convenience wrapper returning only the average wavefront size.
+pub fn average_wavefront_size(dag: &SolveDag) -> f64 {
+    wavefronts(dag).average_size()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sptrsv_sparse::CooMatrix;
+
+    fn fig11_dag() -> SolveDag {
+        let mut coo = CooMatrix::new(6, 6);
+        for i in 0..6 {
+            coo.push(i, i, 2.0).unwrap();
+        }
+        coo.push(1, 0, 1.0).unwrap();
+        coo.push(2, 0, 1.0).unwrap();
+        coo.push(3, 1, 1.0).unwrap();
+        coo.push(3, 2, 1.0).unwrap();
+        coo.push(5, 2, 1.0).unwrap();
+        coo.push(4, 3, 1.0).unwrap();
+        SolveDag::from_lower_triangular(&coo.to_csr())
+    }
+
+    #[test]
+    fn fig11_wavefronts() {
+        // Figure 1.1b separates: {a}, {b, c}, {d, f}, {e}.
+        let wf = wavefronts(&fig11_dag());
+        assert_eq!(wf.n_fronts(), 4);
+        assert_eq!(wf.fronts[0], vec![0]);
+        assert_eq!(wf.fronts[1], vec![1, 2]);
+        assert_eq!(wf.fronts[2], vec![3, 5]);
+        assert_eq!(wf.fronts[3], vec![4]);
+        assert_eq!(wf.average_size(), 6.0 / 4.0);
+        assert_eq!(wf.max_size(), 2);
+    }
+
+    #[test]
+    fn chain_has_unit_wavefronts() {
+        let g = SolveDag::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)], vec![1; 5]);
+        let wf = wavefronts(&g);
+        assert_eq!(wf.n_fronts(), 5);
+        assert_eq!(wf.average_size(), 1.0);
+    }
+
+    #[test]
+    fn independent_vertices_are_one_front() {
+        let g = SolveDag::from_edges(8, &[], vec![1; 8]);
+        let wf = wavefronts(&g);
+        assert_eq!(wf.n_fronts(), 1);
+        assert_eq!(wf.average_size(), 8.0);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = SolveDag::from_edges(0, &[], vec![]);
+        let wf = wavefronts(&g);
+        assert_eq!(wf.n_fronts(), 0);
+        assert_eq!(wf.average_size(), 0.0);
+    }
+}

@@ -1,0 +1,22 @@
+//! The paper's five benchmark suites (§6.2) as synthetic, offline stand-ins.
+//!
+//! * **SuiteSparse** (§6.2.1) → a named collection of 2D/3D stencil
+//!   Laplacians of varied aspect ratio plus a block-diagonal matrix, all with
+//!   block-shuffled (application-like) row numberings, spanning the paper's
+//!   range of average wavefront sizes (Table A.1);
+//! * **METIS** (§6.2.2) → the same SPD matrices permuted with our nested
+//!   dissection before taking the lower triangle;
+//! * **iChol** (§6.2.3) → IC(0) factors after a minimum-degree ordering;
+//! * **Erdős–Rényi** (§6.2.4) → uniform random lower-triangular matrices,
+//!   densities chosen to keep the paper's nnz-per-row at the scaled size;
+//! * **Narrow bandwidth** (§6.2.5) → the paper's `(p, B)` pairs.
+//!
+//! Matrix sizes scale with [`Scale`]; `Scale::Full` approaches the paper's
+//! `N = 100,000` random matrices, smaller scales keep tests and benches fast
+//! on a single-core machine (DESIGN.md, substitution 4).
+
+pub mod stats;
+pub mod suites;
+
+pub use stats::MatrixStats;
+pub use suites::{load_suite, Dataset, Scale, SuiteKind};

@@ -1,0 +1,72 @@
+//! Per-matrix statistics, reproducing the columns of Appendix A.
+
+use sptrsv_dag::{wavefront::wavefronts, SolveDag};
+use sptrsv_sparse::CsrMatrix;
+
+/// The statistics the paper reports per matrix (Tables A.1–A.5), plus the
+/// source count relevant for scheduling.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatrixStats {
+    /// Matrix dimension (`Size` column).
+    pub n: usize,
+    /// Stored non-zeros of the lower-triangular operand.
+    pub nnz: usize,
+    /// Average wavefront size (`Avg. wf` column), rounded down as in the
+    /// paper's tables when displayed.
+    pub avg_wavefront: f64,
+    /// Number of wavefronts (longest path length in vertices).
+    pub n_wavefronts: usize,
+    /// DAG sources (rows with no strictly-lower entries).
+    pub n_sources: usize,
+}
+
+impl MatrixStats {
+    /// Computes the statistics of a lower-triangular matrix.
+    pub fn of_lower(lower: &CsrMatrix) -> MatrixStats {
+        let dag = SolveDag::from_lower_triangular(lower);
+        Self::of_dag(lower, &dag)
+    }
+
+    /// Computes the statistics when the DAG is already available.
+    pub fn of_dag(lower: &CsrMatrix, dag: &SolveDag) -> MatrixStats {
+        let wf = wavefronts(dag);
+        MatrixStats {
+            n: lower.n_rows(),
+            nnz: lower.nnz(),
+            avg_wavefront: wf.average_size(),
+            n_wavefronts: wf.n_fronts(),
+            n_sources: dag.sources().len(),
+        }
+    }
+
+    /// Floating-point operations of one solve: `2·nnz − n` (§6.2.1, fn. 3).
+    pub fn flops(&self) -> usize {
+        2 * self.nnz - self.n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sptrsv_sparse::CooMatrix;
+
+    #[test]
+    fn stats_of_a_small_lower_matrix() {
+        // Chain of 4: wavefronts = 4, avg 1.0, one source.
+        let mut coo = CooMatrix::new(4, 4);
+        for i in 0..4 {
+            coo.push(i, i, 1.0).unwrap();
+        }
+        for i in 1..4 {
+            coo.push(i, i - 1, 1.0).unwrap();
+        }
+        let l = coo.to_csr();
+        let s = MatrixStats::of_lower(&l);
+        assert_eq!(s.n, 4);
+        assert_eq!(s.nnz, 7);
+        assert_eq!(s.n_wavefronts, 4);
+        assert_eq!(s.avg_wavefront, 1.0);
+        assert_eq!(s.n_sources, 1);
+        assert_eq!(s.flops(), 10);
+    }
+}

@@ -1,0 +1,322 @@
+//! Construction of the five benchmark suites.
+
+use crate::stats::MatrixStats;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use sptrsv_dag::SolveDag;
+use sptrsv_sparse::factor::{ichol0, IcholOptions};
+use sptrsv_sparse::gen::grid::{
+    block_diagonal_spd, grid2d_laplacian, grid3d_laplacian, Stencil2D, Stencil3D,
+};
+use sptrsv_sparse::gen::{block_shuffle_permutation, erdos_renyi_lower, narrow_band_lower};
+use sptrsv_sparse::ordering::{min_degree_ordering, nested_dissection_ordering};
+use sptrsv_sparse::CsrMatrix;
+
+/// The five benchmark suites of §6.2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SuiteKind {
+    /// Application-like SPD stencil matrices (SuiteSparse stand-in, §6.2.1).
+    SuiteSparse,
+    /// Nested-dissection permuted variants (METIS stand-in, §6.2.2).
+    Metis,
+    /// IC(0) factors after minimum-degree ordering (iChol stand-in, §6.2.3).
+    IChol,
+    /// Erdős–Rényi random lower-triangular matrices (§6.2.4).
+    ErdosRenyi,
+    /// Narrow-bandwidth random matrices (§6.2.5).
+    NarrowBandwidth,
+}
+
+impl SuiteKind {
+    /// All five suites, in the paper's table order.
+    pub fn all() -> [SuiteKind; 5] {
+        [
+            SuiteKind::SuiteSparse,
+            SuiteKind::Metis,
+            SuiteKind::IChol,
+            SuiteKind::ErdosRenyi,
+            SuiteKind::NarrowBandwidth,
+        ]
+    }
+
+    /// Display name matching the paper's tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SuiteKind::SuiteSparse => "SuiteSparse",
+            SuiteKind::Metis => "METIS",
+            SuiteKind::IChol => "iChol",
+            SuiteKind::ErdosRenyi => "Erdős–Rényi",
+            SuiteKind::NarrowBandwidth => "Narrow bandw.",
+        }
+    }
+}
+
+/// Problem-size scaling (DESIGN.md, substitution 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Tiny instances for unit/integration tests (n ≈ 1–3k).
+    Test,
+    /// Default experiment size on a single-core machine (n ≈ 8–30k).
+    Medium,
+    /// Paper-like sizes (random matrices at N = 100k); slow to generate.
+    Full,
+}
+
+impl Scale {
+    /// Linear-dimension multiplier relative to `Medium`.
+    fn dim_factor(&self) -> f64 {
+        match self {
+            Scale::Test => 0.3,
+            Scale::Medium => 1.0,
+            Scale::Full => 2.4,
+        }
+    }
+
+    /// Size of the random (ER / narrow-band) matrices.
+    fn random_n(&self) -> usize {
+        match self {
+            Scale::Test => 2_000,
+            Scale::Medium => 17_000,
+            Scale::Full => 100_000,
+        }
+    }
+}
+
+/// One benchmark instance: a ready-to-solve lower-triangular matrix.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Instance name (unique within its suite).
+    pub name: String,
+    /// Which suite it belongs to.
+    pub suite: SuiteKind,
+    /// The lower-triangular SpTRSV operand.
+    pub lower: CsrMatrix,
+    /// Appendix-A statistics.
+    pub stats: MatrixStats,
+}
+
+impl Dataset {
+    fn new(name: impl Into<String>, suite: SuiteKind, lower: CsrMatrix) -> Dataset {
+        let stats = MatrixStats::of_lower(&lower);
+        Dataset { name: name.into(), suite, lower, stats }
+    }
+
+    /// The solve DAG of this instance.
+    pub fn dag(&self) -> SolveDag {
+        SolveDag::from_lower_triangular(&self.lower)
+    }
+}
+
+/// Scales a linear dimension, keeping it at least 4.
+fn dim(base: usize, scale: Scale) -> usize {
+    ((base as f64 * scale.dim_factor()).round() as usize).max(4)
+}
+
+/// The SPD "application" matrices before any suite-specific preprocessing,
+/// with their SuiteSparse-style names. Row numberings are block-shuffled to
+/// the application regime (locally contiguous, many DAG sources).
+fn spd_applications(scale: Scale, seed: u64) -> Vec<(String, CsrMatrix)> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut out: Vec<(String, CsrMatrix)> = Vec::new();
+    let mut push_shuffled = |name: &str, a: CsrMatrix, rng: &mut SmallRng| {
+        // Adaptive block size: tiny test-scale matrices still need enough
+        // blocks for the shuffle to create several DAG sources.
+        let block = (a.n_rows() / 32).clamp(4, 48);
+        let p = block_shuffle_permutation(a.n_rows(), block, rng);
+        out.push((name.to_string(), a.symmetric_permute(&p).expect("square by construction")));
+    };
+    // 2D five-point grids of varied aspect ratio: the aspect controls the
+    // average wavefront size (see Table A.1's 44…1,077 range).
+    push_shuffled(
+        "plate_160",
+        grid2d_laplacian(dim(160, scale), dim(160, scale), Stencil2D::FivePoint, 0.5),
+        &mut rng,
+    );
+    push_shuffled(
+        "strip_40x400",
+        grid2d_laplacian(dim(40, scale), dim(400, scale), Stencil2D::FivePoint, 0.5),
+        &mut rng,
+    );
+    push_shuffled(
+        "ribbon_16x1000",
+        grid2d_laplacian(dim(16, scale), dim(1000, scale), Stencil2D::FivePoint, 0.5),
+        &mut rng,
+    );
+    // 9-point (shell-like) discretizations: denser rows.
+    push_shuffled(
+        "shell_120",
+        grid2d_laplacian(dim(120, scale), dim(120, scale), Stencil2D::NinePoint, 0.5),
+        &mut rng,
+    );
+    // 3D bodies: 7-point and 27-point.
+    push_shuffled(
+        "cube_24",
+        grid3d_laplacian(dim(24, scale), dim(24, scale), dim(24, scale), Stencil3D::SevenPoint, 0.5),
+        &mut rng,
+    );
+    push_shuffled(
+        "hex_14",
+        grid3d_laplacian(
+            dim(14, scale),
+            dim(14, scale),
+            dim(14, scale),
+            Stencil3D::TwentySevenPoint,
+            0.5,
+        ),
+        &mut rng,
+    );
+    push_shuffled(
+        "beam_8x8x250",
+        grid3d_laplacian(dim(8, scale), dim(8, scale), dim(250, scale), Stencil3D::SevenPoint, 0.5),
+        &mut rng,
+    );
+    // Extremely parallel member (bundle_adj-like): independent small blocks.
+    let blocks = dim(1500, scale);
+    out.push(("bundle_like".to_string(), block_diagonal_spd(blocks, 8, 0.5)));
+    out
+}
+
+/// Loads one suite at the given scale. Deterministic for a fixed seed.
+pub fn load_suite(kind: SuiteKind, scale: Scale, seed: u64) -> Vec<Dataset> {
+    match kind {
+        SuiteKind::SuiteSparse => spd_applications(scale, seed)
+            .into_iter()
+            .map(|(name, a)| {
+                Dataset::new(name, kind, a.lower_triangle().expect("square by construction"))
+            })
+            .collect(),
+        SuiteKind::Metis => spd_applications(scale, seed)
+            .into_iter()
+            .map(|(name, a)| {
+                let p = nested_dissection_ordering(&a);
+                let permuted = a.symmetric_permute(&p).expect("square");
+                Dataset::new(
+                    format!("{name}_metis"),
+                    kind,
+                    permuted.lower_triangle().expect("square"),
+                )
+            })
+            .collect(),
+        SuiteKind::IChol => spd_applications(scale, seed)
+            .into_iter()
+            .map(|(name, a)| {
+                let p = min_degree_ordering(&a);
+                let permuted = a.symmetric_permute(&p).expect("square");
+                let l = ichol0(&permuted, &IcholOptions::default())
+                    .expect("stencil matrices are diagonally dominant");
+                Dataset::new(format!("{name}_iChol"), kind, l)
+            })
+            .collect(),
+        SuiteKind::ErdosRenyi => {
+            // The paper's densities at N = 100k give ~{5, 25, 100} strictly
+            // lower nnz per row. The paper admits only matrices whose average
+            // wavefront is at least twice the core count (§6.2.1); the ER
+            // longest path grows with rate·log(N), so at scaled-down N the
+            // densest rate must shrink to stay inside that regime.
+            let n = scale.random_n();
+            let mut rng = SmallRng::seed_from_u64(seed ^ 0xE2D0_5);
+            let rates: [f64; 3] = match scale {
+                Scale::Full => [5.0, 25.0, 100.0],
+                Scale::Medium => [5.0, 25.0, 60.0],
+                Scale::Test => [3.0, 10.0, 20.0],
+            };
+            let mut out = Vec::new();
+            for (ri, &rate) in rates.iter().enumerate() {
+                for copy in 0..2 {
+                    let p = (2.0 * rate / (n as f64 - 1.0)).min(1.0);
+                    let m = erdos_renyi_lower(n, p, &mut rng);
+                    out.push(Dataset::new(
+                        format!("ER_{}_r{}_{}", n, rates[ri] as usize, (b'A' + copy) as char),
+                        kind,
+                        m,
+                    ));
+                }
+            }
+            out
+        }
+        SuiteKind::NarrowBandwidth => {
+            let n = scale.random_n();
+            let mut rng = SmallRng::seed_from_u64(seed ^ 0xBA2D);
+            let params = [(0.14, 10.0), (0.05, 20.0), (0.03, 42.0)];
+            let mut out = Vec::new();
+            for &(p, b) in &params {
+                for copy in 0..2u8 {
+                    let m = narrow_band_lower(n, p, b, &mut rng);
+                    out.push(Dataset::new(
+                        format!("NB_p{}_b{}_{}", (p * 100.0) as usize, b as usize, (b'A' + copy) as char),
+                        kind,
+                        m,
+                    ));
+                }
+            }
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_suites_load_and_are_valid_operands() {
+        for kind in SuiteKind::all() {
+            let suite = load_suite(kind, Scale::Test, 1);
+            assert!(!suite.is_empty(), "{kind:?} is empty");
+            for ds in &suite {
+                assert!(
+                    ds.lower.validate_triangular(sptrsv_sparse::csr::Triangle::Lower).is_ok(),
+                    "{} is not a valid lower-triangular operand",
+                    ds.name
+                );
+                assert!(ds.stats.n > 0);
+                assert!(ds.stats.nnz >= ds.stats.n);
+            }
+        }
+    }
+
+    #[test]
+    fn suite_is_deterministic() {
+        let a = load_suite(SuiteKind::ErdosRenyi, Scale::Test, 9);
+        let b = load_suite(SuiteKind::ErdosRenyi, Scale::Test, 9);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.lower, y.lower);
+        }
+    }
+
+    #[test]
+    fn wavefront_diversity_in_suitesparse() {
+        let suite = load_suite(SuiteKind::SuiteSparse, Scale::Test, 1);
+        let wfs: Vec<f64> = suite.iter().map(|d| d.stats.avg_wavefront).collect();
+        let min = wfs.iter().copied().fold(f64::MAX, f64::min);
+        let max = wfs.iter().copied().fold(0.0, f64::max);
+        assert!(max / min > 5.0, "wavefront sizes too uniform: {wfs:?}");
+    }
+
+    #[test]
+    fn suitesparse_has_many_sources() {
+        // Dense tiny stencils (e.g. the 27-point hex at test scale) may end
+        // up with very few sources; the suite as a whole must not be
+        // single-cone degenerate.
+        let suite = load_suite(SuiteKind::SuiteSparse, Scale::Test, 1);
+        let multi = suite.iter().filter(|d| d.stats.n_sources > 1).count();
+        assert!(
+            multi * 4 >= suite.len() * 3,
+            "only {multi}/{} matrices have multiple sources",
+            suite.len()
+        );
+    }
+
+    #[test]
+    fn narrow_band_is_hard_er_is_easy() {
+        let nb = load_suite(SuiteKind::NarrowBandwidth, Scale::Test, 1);
+        let er = load_suite(SuiteKind::ErdosRenyi, Scale::Test, 1);
+        let nb_wf: f64 =
+            nb.iter().map(|d| d.stats.avg_wavefront).sum::<f64>() / nb.len() as f64;
+        let er_wf: f64 =
+            er.iter().map(|d| d.stats.avg_wavefront).sum::<f64>() / er.len() as f64;
+        // ER fronts are broad relative to their size; NB has long chains.
+        assert!(nb_wf < er_wf, "NB {nb_wf} vs ER {er_wf}");
+    }
+}

@@ -1,0 +1,158 @@
+//! Asynchronous (point-to-point synchronized) executor, SpMP-style.
+//!
+//! Instead of a global barrier per superstep, every thread walks its own
+//! vertex list in schedule order and spin-waits on per-vertex *done* flags of
+//! the parents it needs — exactly SpMP's "move on as soon as your inputs are
+//! ready" execution [PSSD14]. The synchronization DAG may be the transitive
+//! reduction of the solve DAG ([`sptrsv_core::SpMp::reduced_dag`]): waiting
+//! on fewer edges is the second half of SpMP's trick.
+//!
+//! # Safety argument
+//!
+//! `x[v]` is written once, by its owning thread, before `done[v]` is set with
+//! `Release`. Any other thread reads `x[v]` only after observing `done[v]`
+//! with `Acquire`, which orders the read after the write. Same-thread
+//! intra-list dependencies are covered by program order (lists ascend in
+//! vertex ID within a cell and supersteps ascend across cells). A vertex
+//! never waits on itself because the sync DAG has no self-loops.
+
+use sptrsv_core::{Schedule, ScheduleError};
+use sptrsv_dag::SolveDag;
+use sptrsv_sparse::CsrMatrix;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+#[derive(Clone, Copy)]
+struct SharedX(*mut f64);
+unsafe impl Send for SharedX {}
+unsafe impl Sync for SharedX {}
+
+/// Pre-planned asynchronous executor.
+pub struct AsyncExecutor {
+    /// Per-core vertex lists (cells concatenated in superstep order).
+    lists: Vec<Vec<usize>>,
+    /// For every vertex, the parents on *other* cores that must be awaited
+    /// (same-core dependencies are ordered by the list itself).
+    waits: Vec<Vec<usize>>,
+}
+
+impl AsyncExecutor {
+    /// Builds the executor. `sync_dag` is the dependency graph to wait on —
+    /// pass the solve DAG itself, or its transitive reduction for
+    /// SpMP-style sparsified synchronization (reachability, and hence
+    /// correctness, is identical).
+    pub fn new(
+        matrix: &CsrMatrix,
+        schedule: &Schedule,
+        sync_dag: &SolveDag,
+    ) -> Result<AsyncExecutor, ScheduleError> {
+        let full_dag = SolveDag::from_lower_triangular(matrix);
+        schedule.validate(&full_dag)?;
+        let n = matrix.n_rows();
+        assert_eq!(sync_dag.n(), n, "sync DAG size mismatch");
+        let mut lists = vec![Vec::new(); schedule.n_cores()];
+        for row in schedule.cells() {
+            for (p, cell) in row.into_iter().enumerate() {
+                lists[p].extend(cell);
+            }
+        }
+        let mut waits = vec![Vec::new(); n];
+        for v in 0..n {
+            for &u in sync_dag.parents(v) {
+                if schedule.core_of(u) != schedule.core_of(v) {
+                    waits[v].push(u);
+                }
+            }
+        }
+        Ok(AsyncExecutor { lists, waits })
+    }
+
+    /// Solves `L x = b` with point-to-point synchronization.
+    pub fn solve(&self, l: &CsrMatrix, b: &[f64], x: &mut [f64]) {
+        let n = l.n_rows();
+        assert_eq!(b.len(), n);
+        assert_eq!(x.len(), n);
+        let done: Vec<AtomicBool> = (0..n).map(|_| AtomicBool::new(false)).collect();
+        let shared = SharedX(x.as_mut_ptr());
+        if self.lists.len() == 1 {
+            run_core(l, b, shared, &self.lists[0], &self.waits, &done);
+            return;
+        }
+        std::thread::scope(|scope| {
+            for list in &self.lists[1..] {
+                scope.spawn(|| run_core(l, b, shared, list, &self.waits, &done));
+            }
+            run_core(l, b, shared, &self.lists[0], &self.waits, &done);
+        });
+    }
+}
+
+fn run_core(
+    l: &CsrMatrix,
+    b: &[f64],
+    x: SharedX,
+    list: &[usize],
+    waits: &[Vec<usize>],
+    done: &[AtomicBool],
+) {
+    for &i in list {
+        for &u in &waits[i] {
+            while !done[u].load(Ordering::Acquire) {
+                std::hint::spin_loop();
+            }
+        }
+        let (cols, vals) = l.row(i);
+        let k = cols.len() - 1;
+        debug_assert_eq!(cols[k], i);
+        let mut acc = b[i];
+        for (&c, &v) in cols[..k].iter().zip(&vals[..k]) {
+            // SAFETY: cross-core parents were awaited above (Acquire pairs
+            // with the Release below); same-core parents precede in program
+            // order. See module docs.
+            acc -= v * unsafe { *x.0.add(c) };
+        }
+        // SAFETY: exclusive writer of x[i].
+        unsafe { *x.0.add(i) = acc / vals[k] };
+        done[i].store(true, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serial::solve_lower_serial;
+    use sptrsv_core::{Scheduler, SpMp};
+    use sptrsv_sparse::gen::grid::{grid2d_laplacian, Stencil2D};
+
+    #[test]
+    fn async_matches_serial_with_reduced_sync_dag() {
+        let a = grid2d_laplacian(15, 11, Stencil2D::FivePoint, 0.5);
+        let l = a.lower_triangle().unwrap();
+        let n = l.n_rows();
+        let dag = SolveDag::from_lower_triangular(&l);
+        let schedule = SpMp.schedule(&dag, 4);
+        let reduced = SpMp.reduced_dag(&dag);
+        let exec = AsyncExecutor::new(&l, &schedule, &reduced).unwrap();
+        let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).cos()).collect();
+        let mut expected = vec![0.0; n];
+        solve_lower_serial(&l, &b, &mut expected);
+        let mut x = vec![0.0; n];
+        exec.solve(&l, &b, &mut x);
+        for (a, e) in x.iter().zip(&expected) {
+            assert!((a - e).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn wait_lists_only_cross_core() {
+        let a = grid2d_laplacian(8, 8, Stencil2D::FivePoint, 0.5);
+        let l = a.lower_triangle().unwrap();
+        let dag = SolveDag::from_lower_triangular(&l);
+        let schedule = SpMp.schedule(&dag, 2);
+        let exec = AsyncExecutor::new(&l, &schedule, &dag).unwrap();
+        for (v, waits) in exec.waits.iter().enumerate() {
+            for &u in waits {
+                assert_ne!(schedule.core_of(u), schedule.core_of(v));
+            }
+        }
+    }
+}

@@ -1,0 +1,189 @@
+//! Multi-threaded barrier executor.
+//!
+//! Runs a BSP schedule exactly as the paper's kernel does (§6.1): one OS
+//! thread per core, all threads processing their `(superstep, core)` cell in
+//! vertex order, with a synchronization barrier between supersteps.
+//!
+//! # Safety argument
+//!
+//! The solution vector is shared mutably across threads through a raw
+//! pointer. This is sound because a valid schedule (Definition 2.1, enforced
+//! here by a [`Schedule::validate`] call) guarantees:
+//!
+//! * each `x[v]` is written by exactly one thread (the one owning `v`);
+//! * a read of `x[u]` by another thread happens in a *later* superstep than
+//!   the write, and the barrier between supersteps establishes the
+//!   happens-before edge;
+//! * a read of `x[u]` by the same thread in the same superstep happens after
+//!   the write in program order (cells are executed in ascending vertex ID,
+//!   and intra-cell edges ascend).
+
+use sptrsv_core::{Schedule, ScheduleError};
+use sptrsv_sparse::CsrMatrix;
+use std::sync::Barrier;
+
+/// Shared mutable pointer to the solution vector; safety per module docs.
+#[derive(Clone, Copy)]
+struct SharedX(*mut f64);
+unsafe impl Send for SharedX {}
+unsafe impl Sync for SharedX {}
+
+/// Pre-planned executor: reusable thread work lists for repeated solves with
+/// the same schedule (the paper's amortization setting, §7.7).
+pub struct BarrierExecutor {
+    /// `plan[core][superstep]` — vertices of the cell, ascending.
+    plan: Vec<Vec<Vec<usize>>>,
+    n_supersteps: usize,
+}
+
+impl BarrierExecutor {
+    /// Builds the executor after validating the schedule against the DAG of
+    /// the matrix.
+    pub fn new(
+        matrix: &CsrMatrix,
+        schedule: &Schedule,
+    ) -> Result<BarrierExecutor, ScheduleError> {
+        let dag = sptrsv_dag::SolveDag::from_lower_triangular(matrix);
+        schedule.validate(&dag)?;
+        let cells = schedule.cells();
+        let n_cores = schedule.n_cores();
+        let n_supersteps = schedule.n_supersteps();
+        let mut plan = vec![vec![Vec::new(); n_supersteps]; n_cores];
+        for (s, row) in cells.into_iter().enumerate() {
+            for (p, cell) in row.into_iter().enumerate() {
+                plan[p][s] = cell;
+            }
+        }
+        Ok(BarrierExecutor { plan, n_supersteps })
+    }
+
+    /// Solves `L x = b` following the schedule, with real threads and
+    /// barriers.
+    pub fn solve(&self, l: &CsrMatrix, b: &[f64], x: &mut [f64]) {
+        let n = l.n_rows();
+        assert_eq!(b.len(), n);
+        assert_eq!(x.len(), n);
+        let n_cores = self.plan.len();
+        if n_cores == 1 {
+            run_core(l, b, SharedX(x.as_mut_ptr()), &self.plan[0], None);
+            return;
+        }
+        let barrier = Barrier::new(n_cores);
+        let shared = SharedX(x.as_mut_ptr());
+        std::thread::scope(|scope| {
+            for core_plan in &self.plan[1..] {
+                scope.spawn(|| run_core(l, b, shared, core_plan, Some(&barrier)));
+            }
+            run_core(l, b, shared, &self.plan[0], Some(&barrier));
+        });
+        let _ = self.n_supersteps;
+    }
+}
+
+/// Executes one core's share of the schedule.
+fn run_core(
+    l: &CsrMatrix,
+    b: &[f64],
+    x: SharedX,
+    cells: &[Vec<usize>],
+    barrier: Option<&Barrier>,
+) {
+    for cell in cells {
+        for &i in cell {
+            let (cols, vals) = l.row(i);
+            let k = cols.len() - 1;
+            debug_assert_eq!(cols[k], i);
+            let mut acc = b[i];
+            for (&c, &v) in cols[..k].iter().zip(&vals[..k]) {
+                // SAFETY: x[c] was written in an earlier superstep (barrier
+                // ordering) or earlier in this cell (program order); see the
+                // module-level safety argument.
+                acc -= v * unsafe { *x.0.add(c) };
+            }
+            // SAFETY: this thread exclusively owns x[i].
+            unsafe { *x.0.add(i) = acc / vals[k] };
+        }
+        if let Some(barrier) = barrier {
+            barrier.wait();
+        }
+    }
+}
+
+/// One-shot convenience: validate, plan and solve in one call.
+pub fn solve_with_barriers(
+    l: &CsrMatrix,
+    schedule: &Schedule,
+    b: &[f64],
+    x: &mut [f64],
+) -> Result<(), ScheduleError> {
+    let executor = BarrierExecutor::new(l, schedule)?;
+    executor.solve(l, b, x);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serial::solve_lower_serial;
+    use sptrsv_core::{GrowLocal, HDagg, Scheduler, SpMp, WavefrontScheduler};
+    use sptrsv_dag::SolveDag;
+    use sptrsv_sparse::gen::grid::{grid2d_laplacian, Stencil2D};
+
+    fn problem(w: usize, h: usize) -> (CsrMatrix, Vec<f64>) {
+        let a = grid2d_laplacian(w, h, Stencil2D::FivePoint, 0.5);
+        let l = a.lower_triangle().unwrap();
+        let b: Vec<f64> = (0..l.n_rows()).map(|i| 1.0 + ((i * 7) % 13) as f64).collect();
+        (l, b)
+    }
+
+    #[test]
+    fn all_schedulers_match_serial() {
+        let (l, b) = problem(17, 13);
+        let dag = SolveDag::from_lower_triangular(&l);
+        let n = l.n_rows();
+        let mut expected = vec![0.0; n];
+        solve_lower_serial(&l, &b, &mut expected);
+        let schedulers: Vec<Box<dyn Scheduler>> = vec![
+            Box::new(GrowLocal::new()),
+            Box::new(WavefrontScheduler),
+            Box::new(HDagg::default()),
+            Box::new(SpMp),
+        ];
+        for sched in schedulers {
+            for k in [1, 2, 4] {
+                let s = sched.schedule(&dag, k);
+                let mut x = vec![0.0; n];
+                solve_with_barriers(&l, &s, &b, &mut x).unwrap();
+                for (i, (a, e)) in x.iter().zip(&expected).enumerate() {
+                    assert!(
+                        (a - e).abs() < 1e-12,
+                        "{} on {k} cores differs at {i}: {a} vs {e}",
+                        sched.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_schedule_rejected() {
+        let (l, _) = problem(4, 4);
+        // Everything in superstep 0 spread over 2 cores: cross-core edges
+        // inside one superstep.
+        let s = Schedule::new(2, (0..16).map(|v| v % 2).collect(), vec![0; 16]);
+        assert!(BarrierExecutor::new(&l, &s).is_err());
+    }
+
+    #[test]
+    fn executor_is_reusable() {
+        let (l, b) = problem(10, 10);
+        let dag = SolveDag::from_lower_triangular(&l);
+        let s = GrowLocal::new().schedule(&dag, 3);
+        let exec = BarrierExecutor::new(&l, &s).unwrap();
+        let mut x1 = vec![0.0; 100];
+        let mut x2 = vec![1.0; 100]; // dirty start
+        exec.solve(&l, &b, &mut x1);
+        exec.solve(&l, &b, &mut x2);
+        assert_eq!(x1, x2);
+    }
+}

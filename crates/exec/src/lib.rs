@@ -1,0 +1,32 @@
+//! Execution of SpTRSV schedules.
+//!
+//! * [`serial`] — the reference forward/backward substitution kernels;
+//! * [`barrier`] — a real multi-threaded executor that runs a
+//!   [`Schedule`](sptrsv_core::Schedule) with one synchronization barrier per
+//!   superstep (the paper's execution model, §6.1);
+//! * [`async_exec`] — an SpMP-style asynchronous executor with per-vertex
+//!   ready flags (point-to-point synchronization instead of barriers);
+//! * [`multi`] — SpTRSM kernels (multiple right-hand sides);
+//! * [`plan`] — the high-level [`SolvePlan`] API: matrix → validated,
+//!   scheduled, reordered, reusable parallel solve (lower or upper);
+//! * [`sim`] — a calibrated multicore machine model used for the paper's
+//!   speed-up experiments (see DESIGN.md, substitution 3: the build/CI
+//!   machine has a single core, so wall-clock parallel speed-ups are
+//!   unmeasurable; the simulator charges compute, cache misses, memory
+//!   bandwidth and synchronization costs against the schedule structure);
+//! * [`verify`] — helpers to check any executor against the serial kernel.
+
+pub mod async_exec;
+pub mod barrier;
+pub mod multi;
+pub mod plan;
+pub mod serial;
+pub mod sim;
+pub mod verify;
+
+pub use barrier::solve_with_barriers;
+pub use multi::{solve_lower_multi_serial, MultiRhsExecutor};
+pub use plan::{Orientation, SolvePlan};
+pub use serial::{solve_lower_serial, solve_upper_serial};
+pub use sim::{simulate_async, simulate_barrier, simulate_serial, MachineProfile, SimReport};
+pub use verify::max_abs_diff;

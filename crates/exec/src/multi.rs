@@ -1,0 +1,209 @@
+//! SpTRSM: triangular solves with multiple right-hand sides.
+//!
+//! The paper's keyword list includes SpTrSM — the same substitution DAG where
+//! every vertex processes `r` values instead of one (`L X = B` with dense
+//! `n × r` operands, row-major). The schedule is unchanged; only the
+//! per-vertex work grows by the factor `r`, which *improves* the
+//! barrier-to-work ratio: SpTRSM amortizes synchronization better than
+//! SpTRSV, so every barrier-reduction gain of GrowLocal carries over.
+
+use crate::barrier::BarrierExecutor;
+use sptrsv_core::{Schedule, ScheduleError};
+use sptrsv_sparse::CsrMatrix;
+use std::sync::Barrier;
+
+/// Solves `L X = B` serially; `B` and `X` are row-major `n x r`.
+pub fn solve_lower_multi_serial(l: &CsrMatrix, b: &[f64], x: &mut [f64], r: usize) {
+    let n = l.n_rows();
+    assert!(r > 0, "need at least one right-hand side");
+    assert_eq!(b.len(), n * r);
+    assert_eq!(x.len(), n * r);
+    for i in 0..n {
+        solve_row_multi(l, i, b, x, r);
+    }
+}
+
+/// Computes row `i` of the multi-RHS substitution.
+#[inline]
+fn solve_row_multi(l: &CsrMatrix, i: usize, b: &[f64], x: &mut [f64], r: usize) {
+    let (cols, vals) = l.row(i);
+    let k = cols.len() - 1;
+    debug_assert_eq!(cols[k], i, "row {i} lacks its diagonal");
+    let mut acc: Vec<f64> = b[i * r..(i + 1) * r].to_vec();
+    for (&c, &v) in cols[..k].iter().zip(&vals[..k]) {
+        let xc = &x[c * r..(c + 1) * r];
+        for (a, &xv) in acc.iter_mut().zip(xc) {
+            *a -= v * xv;
+        }
+    }
+    let diag = vals[k];
+    for (slot, a) in x[i * r..(i + 1) * r].iter_mut().zip(&acc) {
+        *slot = a / diag;
+    }
+}
+
+/// Raw-pointer variant for the threaded executor (same arithmetic as
+/// [`solve_row_multi`], reads/writes through the shared pointer).
+///
+/// # Safety
+/// Caller must guarantee the schedule-validity conditions of
+/// [`crate::barrier`]: exclusive writes to row `i`, reads ordered by barriers
+/// or program order.
+#[inline]
+unsafe fn solve_row_multi_raw(l: &CsrMatrix, i: usize, b: &[f64], x: *mut f64, r: usize) {
+    let (cols, vals) = l.row(i);
+    let k = cols.len() - 1;
+    debug_assert_eq!(cols[k], i);
+    let mut acc: Vec<f64> = b[i * r..(i + 1) * r].to_vec();
+    for (&c, &v) in cols[..k].iter().zip(&vals[..k]) {
+        for (j, a) in acc.iter_mut().enumerate() {
+            // SAFETY: per caller contract (value ready before this read).
+            *a -= v * unsafe { *x.add(c * r + j) };
+        }
+    }
+    let diag = vals[k];
+    for (j, a) in acc.iter().enumerate() {
+        // SAFETY: exclusive writer of row i.
+        unsafe { *x.add(i * r + j) = a / diag };
+    }
+}
+
+#[derive(Clone, Copy)]
+struct SharedX(*mut f64);
+unsafe impl Send for SharedX {}
+unsafe impl Sync for SharedX {}
+
+/// Multi-RHS barrier executor sharing the plan of [`BarrierExecutor`].
+pub struct MultiRhsExecutor {
+    plan: Vec<Vec<Vec<usize>>>,
+}
+
+impl MultiRhsExecutor {
+    /// Builds the executor after validating the schedule.
+    pub fn new(matrix: &CsrMatrix, schedule: &Schedule) -> Result<MultiRhsExecutor, ScheduleError> {
+        // Reuse the single-RHS validation logic.
+        let _ = BarrierExecutor::new(matrix, schedule)?;
+        let cells = schedule.cells();
+        let n_cores = schedule.n_cores();
+        let mut plan = vec![vec![Vec::new(); schedule.n_supersteps()]; n_cores];
+        for (s, row) in cells.into_iter().enumerate() {
+            for (p, cell) in row.into_iter().enumerate() {
+                plan[p][s] = cell;
+            }
+        }
+        Ok(MultiRhsExecutor { plan })
+    }
+
+    /// Solves `L X = B` with `r` right-hand sides (row-major `n x r`).
+    pub fn solve(&self, l: &CsrMatrix, b: &[f64], x: &mut [f64], r: usize) {
+        let n = l.n_rows();
+        assert!(r > 0);
+        assert_eq!(b.len(), n * r);
+        assert_eq!(x.len(), n * r);
+        let n_cores = self.plan.len();
+        let shared = SharedX(x.as_mut_ptr());
+        if n_cores == 1 {
+            run_core_multi(l, b, shared, &self.plan[0], None, r);
+            return;
+        }
+        let barrier = Barrier::new(n_cores);
+        std::thread::scope(|scope| {
+            for core_plan in &self.plan[1..] {
+                scope.spawn(|| run_core_multi(l, b, shared, core_plan, Some(&barrier), r));
+            }
+            run_core_multi(l, b, shared, &self.plan[0], Some(&barrier), r);
+        });
+    }
+}
+
+fn run_core_multi(
+    l: &CsrMatrix,
+    b: &[f64],
+    x: SharedX,
+    cells: &[Vec<usize>],
+    barrier: Option<&Barrier>,
+    r: usize,
+) {
+    for cell in cells {
+        for &i in cell {
+            // SAFETY: schedule validity (checked in `new`) + barrier ordering,
+            // see the `barrier` module's safety argument.
+            unsafe { solve_row_multi_raw(l, i, b, x.0, r) };
+        }
+        if let Some(barrier) = barrier {
+            barrier.wait();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serial::solve_lower_serial;
+    use sptrsv_core::{GrowLocal, Scheduler};
+    use sptrsv_dag::SolveDag;
+    use sptrsv_sparse::gen::grid::{grid2d_laplacian, Stencil2D};
+
+    fn problem() -> (CsrMatrix, usize) {
+        let a = grid2d_laplacian(13, 9, Stencil2D::FivePoint, 0.5);
+        let l = a.lower_triangle().unwrap();
+        let n = l.n_rows();
+        (l, n)
+    }
+
+    #[test]
+    fn serial_multi_matches_column_by_column() {
+        let (l, n) = problem();
+        let r = 3;
+        let b: Vec<f64> = (0..n * r).map(|i| ((i * 17) % 29) as f64 - 14.0).collect();
+        let mut x = vec![0.0; n * r];
+        solve_lower_multi_serial(&l, &b, &mut x, r);
+        // Compare with r independent single-RHS solves.
+        for j in 0..r {
+            let bj: Vec<f64> = (0..n).map(|i| b[i * r + j]).collect();
+            let mut xj = vec![0.0; n];
+            solve_lower_serial(&l, &bj, &mut xj);
+            for i in 0..n {
+                assert!((x[i * r + j] - xj[i]).abs() < 1e-12, "column {j}, row {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_multi_matches_serial_multi() {
+        let (l, n) = problem();
+        let r = 4;
+        let dag = SolveDag::from_lower_triangular(&l);
+        let schedule = GrowLocal::new().schedule(&dag, 3);
+        let exec = MultiRhsExecutor::new(&l, &schedule).unwrap();
+        let b: Vec<f64> = (0..n * r).map(|i| (i as f64 * 0.31).sin()).collect();
+        let mut expected = vec![0.0; n * r];
+        solve_lower_multi_serial(&l, &b, &mut expected, r);
+        let mut x = vec![0.0; n * r];
+        exec.solve(&l, &b, &mut x, r);
+        for (a, e) in x.iter().zip(&expected) {
+            assert!((a - e).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn single_rhs_degenerates_to_sptrsv() {
+        let (l, n) = problem();
+        let b: Vec<f64> = (0..n).map(|i| 1.0 + (i % 3) as f64).collect();
+        let mut x1 = vec![0.0; n];
+        solve_lower_serial(&l, &b, &mut x1);
+        let mut xm = vec![0.0; n];
+        solve_lower_multi_serial(&l, &b, &mut xm, 1);
+        assert_eq!(x1, xm);
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one right-hand side")]
+    fn zero_rhs_rejected() {
+        let (l, n) = problem();
+        let b = vec![0.0; 0];
+        let mut x = vec![0.0; 0];
+        let _ = n;
+        solve_lower_multi_serial(&l, &b, &mut x, 0);
+    }
+}

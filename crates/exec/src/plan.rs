@@ -1,0 +1,217 @@
+//! High-level solve planning: one call from matrix to reusable executor.
+//!
+//! [`SolvePlan`] packages the full pipeline of the paper — DAG construction,
+//! scheduling, locality reordering (§5), executor planning — behind a single
+//! type that also handles *upper*-triangular systems (backward substitution,
+//! §2.2) by conjugating with the index-reversal permutation: if `J` reverses
+//! `0..n`, then `J·Uᵀ·J` … more precisely `J·U·J` is lower triangular, so one
+//! scheduler and one executor implementation cover both sweeps.
+//!
+//! ```
+//! use sptrsv_sparse::gen::grid::{grid2d_laplacian, Stencil2D};
+//! use sptrsv_core::GrowLocal;
+//! use sptrsv_exec::plan::{Orientation, SolvePlan};
+//!
+//! let l = grid2d_laplacian(16, 16, Stencil2D::FivePoint, 0.5)
+//!     .lower_triangle()
+//!     .unwrap();
+//! let plan = SolvePlan::new(&l, Orientation::Lower, &GrowLocal::new(), 4, true).unwrap();
+//! let b = vec![1.0; 256];
+//! let x = plan.solve(&b);
+//! assert!(sptrsv_sparse::linalg::relative_residual(&l, &x, &b) < 1e-12);
+//! ```
+
+use crate::barrier::BarrierExecutor;
+use crate::multi::MultiRhsExecutor;
+use sptrsv_core::{reorder_for_locality, Schedule, Scheduler};
+use sptrsv_dag::SolveDag;
+use sptrsv_sparse::csr::Triangle;
+use sptrsv_sparse::{CsrMatrix, Permutation, SparseError};
+
+/// Which triangle the input matrix stores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Orientation {
+    /// `L x = b`, forward substitution.
+    Lower,
+    /// `U x = b`, backward substitution (handled by reversal conjugation).
+    Upper,
+}
+
+/// Errors from plan construction.
+#[derive(Debug)]
+pub enum PlanError {
+    /// The operand is not a valid triangular matrix of the stated orientation.
+    Matrix(SparseError),
+    /// Internal scheduling failure (a scheduler produced an invalid schedule —
+    /// a library bug if it ever occurs).
+    Schedule(sptrsv_core::ScheduleError),
+}
+
+impl std::fmt::Display for PlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlanError::Matrix(e) => write!(f, "invalid operand: {e}"),
+            PlanError::Schedule(e) => write!(f, "invalid schedule: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+/// A planned, reusable parallel triangular solve.
+pub struct SolvePlan {
+    /// The internal lower-triangular matrix the executor runs on.
+    matrix: CsrMatrix,
+    /// Gather permutation from user indices to internal indices.
+    to_internal: Permutation,
+    schedule: Schedule,
+    executor: BarrierExecutor,
+    multi: MultiRhsExecutor,
+}
+
+impl SolvePlan {
+    /// Plans a parallel solve: validates the operand, builds the DAG,
+    /// schedules it on `n_cores`, optionally applies the §5 reordering, and
+    /// prepares the threaded executor.
+    pub fn new(
+        matrix: &CsrMatrix,
+        orientation: Orientation,
+        scheduler: &dyn Scheduler,
+        n_cores: usize,
+        reorder: bool,
+    ) -> Result<SolvePlan, PlanError> {
+        let n = matrix.n_rows();
+        let (lower, base_perm) = match orientation {
+            Orientation::Lower => {
+                matrix.validate_triangular(Triangle::Lower).map_err(PlanError::Matrix)?;
+                (matrix.clone(), Permutation::identity(n))
+            }
+            Orientation::Upper => {
+                matrix.validate_triangular(Triangle::Upper).map_err(PlanError::Matrix)?;
+                let reversal = Permutation::from_old_of_new((0..n).rev().collect())
+                    .expect("reversal is a bijection");
+                let conjugated =
+                    matrix.symmetric_permute(&reversal).map_err(PlanError::Matrix)?;
+                debug_assert!(conjugated.is_lower_triangular());
+                (conjugated, reversal)
+            }
+        };
+        let dag = SolveDag::from_lower_triangular(&lower);
+        let schedule = scheduler.schedule(&dag, n_cores);
+        let (matrix, schedule, to_internal) = if reorder {
+            let reordered = reorder_for_locality(&lower, &schedule)
+                .expect("schedule order of a valid schedule is topological");
+            let total = reordered.permutation.compose(&base_perm);
+            (reordered.matrix, reordered.schedule, total)
+        } else {
+            (lower, schedule, base_perm)
+        };
+        let executor = BarrierExecutor::new(&matrix, &schedule).map_err(PlanError::Schedule)?;
+        let multi = MultiRhsExecutor::new(&matrix, &schedule).map_err(PlanError::Schedule)?;
+        Ok(SolvePlan { matrix, to_internal, schedule, executor, multi })
+    }
+
+    /// The schedule driving the executor (internal numbering).
+    pub fn schedule(&self) -> &Schedule {
+        &self.schedule
+    }
+
+    /// The internal (possibly permuted) lower-triangular operand.
+    pub fn internal_matrix(&self) -> &CsrMatrix {
+        &self.matrix
+    }
+
+    /// Solves for one right-hand side, returning the solution in the user's
+    /// original numbering.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let pb = self.to_internal.apply_vec(b);
+        let mut px = vec![0.0; b.len()];
+        self.executor.solve(&self.matrix, &pb, &mut px);
+        self.to_internal.apply_inverse_vec(&px)
+    }
+
+    /// Solves `r` right-hand sides at once (`b` row-major `n x r`).
+    pub fn solve_multi(&self, b: &[f64], r: usize) -> Vec<f64> {
+        let n = self.matrix.n_rows();
+        assert_eq!(b.len(), n * r);
+        // Gather rows of B into the internal order.
+        let mut pb = vec![0.0; n * r];
+        for (new, &old) in self.to_internal.old_of_new().iter().enumerate() {
+            pb[new * r..(new + 1) * r].copy_from_slice(&b[old * r..(old + 1) * r]);
+        }
+        let mut px = vec![0.0; n * r];
+        self.multi.solve(&self.matrix, &pb, &mut px, r);
+        let mut x = vec![0.0; n * r];
+        for (new, &old) in self.to_internal.old_of_new().iter().enumerate() {
+            x[old * r..(old + 1) * r].copy_from_slice(&px[new * r..(new + 1) * r]);
+        }
+        x
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sptrsv_core::GrowLocal;
+    use sptrsv_sparse::gen::grid::{grid2d_laplacian, Stencil2D};
+    use sptrsv_sparse::linalg::relative_residual;
+
+    fn lower() -> CsrMatrix {
+        grid2d_laplacian(12, 10, Stencil2D::NinePoint, 0.5).lower_triangle().unwrap()
+    }
+
+    #[test]
+    fn lower_plan_solves() {
+        let l = lower();
+        let n = l.n_rows();
+        for reorder in [false, true] {
+            let plan =
+                SolvePlan::new(&l, Orientation::Lower, &GrowLocal::new(), 3, reorder).unwrap();
+            let b: Vec<f64> = (0..n).map(|i| 1.0 + (i % 4) as f64).collect();
+            let x = plan.solve(&b);
+            assert!(relative_residual(&l, &x, &b) < 1e-12, "reorder={reorder}");
+        }
+    }
+
+    #[test]
+    fn upper_plan_solves() {
+        let u = lower().transpose();
+        let n = u.n_rows();
+        let plan = SolvePlan::new(&u, Orientation::Upper, &GrowLocal::new(), 3, true).unwrap();
+        let b: Vec<f64> = (0..n).map(|i| ((i * 11) % 7) as f64 - 3.0).collect();
+        let x = plan.solve(&b);
+        assert!(relative_residual(&u, &x, &b) < 1e-12);
+    }
+
+    #[test]
+    fn orientation_mismatch_rejected() {
+        let l = lower();
+        assert!(matches!(
+            SolvePlan::new(&l, Orientation::Upper, &GrowLocal::new(), 2, true),
+            Err(PlanError::Matrix(_))
+        ));
+        let u = l.transpose();
+        assert!(matches!(
+            SolvePlan::new(&u, Orientation::Lower, &GrowLocal::new(), 2, true),
+            Err(PlanError::Matrix(_))
+        ));
+    }
+
+    #[test]
+    fn multi_rhs_through_plan() {
+        let l = lower();
+        let n = l.n_rows();
+        let r = 3;
+        let plan = SolvePlan::new(&l, Orientation::Lower, &GrowLocal::new(), 2, true).unwrap();
+        let b: Vec<f64> = (0..n * r).map(|i| (i as f64 * 0.17).cos()).collect();
+        let x = plan.solve_multi(&b, r);
+        // Check each column against the single-RHS path.
+        for j in 0..r {
+            let bj: Vec<f64> = (0..n).map(|i| b[i * r + j]).collect();
+            let xj = plan.solve(&bj);
+            for i in 0..n {
+                assert!((x[i * r + j] - xj[i]).abs() < 1e-12);
+            }
+        }
+    }
+}

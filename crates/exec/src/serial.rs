@@ -1,0 +1,104 @@
+//! Serial forward and backward substitution (§2.2, equation (2.1)).
+
+use sptrsv_sparse::CsrMatrix;
+
+/// Solves `L x = b` for a lower-triangular `L` by forward substitution.
+///
+/// The diagonal entry must be the last stored entry of each row (guaranteed
+/// for any lower-triangular CSR with sorted columns and full diagonal).
+///
+/// # Panics
+/// Panics in debug builds if a row lacks its diagonal; validate the operand
+/// with [`CsrMatrix::validate_triangular`] first.
+pub fn solve_lower_serial(l: &CsrMatrix, b: &[f64], x: &mut [f64]) {
+    let n = l.n_rows();
+    debug_assert_eq!(b.len(), n);
+    debug_assert_eq!(x.len(), n);
+    for i in 0..n {
+        let (cols, vals) = l.row(i);
+        debug_assert_eq!(*cols.last().expect("empty row"), i, "row {i} lacks its diagonal");
+        let mut acc = b[i];
+        let k = cols.len() - 1;
+        for (&c, &v) in cols[..k].iter().zip(&vals[..k]) {
+            acc -= v * x[c];
+        }
+        x[i] = acc / vals[k];
+    }
+}
+
+/// Solves `U x = b` for an upper-triangular `U` by backward substitution.
+///
+/// The diagonal entry must be the first stored entry of each row.
+pub fn solve_upper_serial(u: &CsrMatrix, b: &[f64], x: &mut [f64]) {
+    let n = u.n_rows();
+    debug_assert_eq!(b.len(), n);
+    debug_assert_eq!(x.len(), n);
+    for i in (0..n).rev() {
+        let (cols, vals) = u.row(i);
+        debug_assert_eq!(cols[0], i, "row {i} lacks its diagonal");
+        let mut acc = b[i];
+        for (&c, &v) in cols[1..].iter().zip(&vals[1..]) {
+            acc -= v * x[c];
+        }
+        x[i] = acc / vals[0];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sptrsv_sparse::linalg::relative_residual;
+    use sptrsv_sparse::CooMatrix;
+
+    fn lower_example() -> CsrMatrix {
+        let mut coo = CooMatrix::new(3, 3);
+        coo.push(0, 0, 2.0).unwrap();
+        coo.push(1, 0, 1.0).unwrap();
+        coo.push(1, 1, 4.0).unwrap();
+        coo.push(2, 1, -1.0).unwrap();
+        coo.push(2, 2, 5.0).unwrap();
+        coo.to_csr()
+    }
+
+    #[test]
+    fn forward_substitution_exact() {
+        let l = lower_example();
+        let b = [4.0, 10.0, 3.0];
+        let mut x = vec![0.0; 3];
+        solve_lower_serial(&l, &b, &mut x);
+        // x0 = 2, x1 = (10 - 2)/4 = 2, x2 = (3 + 2)/5 = 1.
+        assert_eq!(x, vec![2.0, 2.0, 1.0]);
+        assert!(relative_residual(&l, &x, &b) < 1e-14);
+    }
+
+    #[test]
+    fn backward_substitution_exact() {
+        let u = lower_example().transpose();
+        let b = [4.0, 10.0, 3.0];
+        let mut x = vec![0.0; 3];
+        solve_upper_serial(&u, &b, &mut x);
+        assert!(relative_residual(&u, &x, &b) < 1e-14);
+    }
+
+    #[test]
+    fn identity_solves_to_rhs() {
+        let i = CsrMatrix::identity(5);
+        let b = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let mut x = vec![0.0; 5];
+        solve_lower_serial(&i, &b, &mut x);
+        assert_eq!(x, b.to_vec());
+        solve_upper_serial(&i, &b, &mut x);
+        assert_eq!(x, b.to_vec());
+    }
+
+    #[test]
+    fn random_lower_consistency() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(5);
+        let l = sptrsv_sparse::gen::erdos_renyi::erdos_renyi_lower(200, 0.05, &mut rng);
+        let b: Vec<f64> = (0..200).map(|i| (i as f64).sin()).collect();
+        let mut x = vec![0.0; 200];
+        solve_lower_serial(&l, &b, &mut x);
+        assert!(relative_residual(&l, &x, &b) < 1e-9);
+    }
+}

@@ -1,0 +1,36 @@
+//! Verification helpers: every executor must agree with the serial kernel.
+
+use crate::serial::solve_lower_serial;
+use sptrsv_sparse::CsrMatrix;
+
+/// Maximum absolute component difference between two vectors.
+pub fn max_abs_diff(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0, f64::max)
+}
+
+/// Solves serially and returns the maximum deviation of `x` from the serial
+/// solution — the acceptance check used by tests and examples.
+pub fn deviation_from_serial(l: &CsrMatrix, b: &[f64], x: &[f64]) -> f64 {
+    let mut reference = vec![0.0; l.n_rows()];
+    solve_lower_serial(l, b, &mut reference);
+    max_abs_diff(x, &reference)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diff_helpers() {
+        assert_eq!(max_abs_diff(&[1.0, 2.0], &[1.5, 2.0]), 0.5);
+        assert_eq!(max_abs_diff(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn deviation_zero_for_serial_itself() {
+        let l = CsrMatrix::identity(4);
+        let b = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(deviation_from_serial(&l, &b, &b), 0.0);
+    }
+}

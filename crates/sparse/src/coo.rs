@@ -1,0 +1,177 @@
+//! Coordinate (triplet) format used for matrix assembly.
+//!
+//! The COO format is the natural target of generators and file readers; it is
+//! converted to [`CsrMatrix`](crate::CsrMatrix) before any numerical work.
+//! Duplicate entries are summed on conversion, matching the usual
+//! finite-element assembly semantics.
+
+use crate::error::SparseError;
+use crate::csr::CsrMatrix;
+use crate::Result;
+
+/// A sparse matrix in coordinate (triplet) format.
+#[derive(Debug, Clone, Default)]
+pub struct CooMatrix {
+    n_rows: usize,
+    n_cols: usize,
+    rows: Vec<usize>,
+    cols: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl CooMatrix {
+    /// Creates an empty `n_rows x n_cols` triplet container.
+    pub fn new(n_rows: usize, n_cols: usize) -> Self {
+        CooMatrix { n_rows, n_cols, rows: Vec::new(), cols: Vec::new(), values: Vec::new() }
+    }
+
+    /// Creates an empty container with reserved capacity for `cap` entries.
+    pub fn with_capacity(n_rows: usize, n_cols: usize, cap: usize) -> Self {
+        CooMatrix {
+            n_rows,
+            n_cols,
+            rows: Vec::with_capacity(cap),
+            cols: Vec::with_capacity(cap),
+            values: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Number of rows.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of columns.
+    pub fn n_cols(&self) -> usize {
+        self.n_cols
+    }
+
+    /// Number of stored triplets (duplicates counted individually).
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Appends the triplet `(row, col, value)`.
+    ///
+    /// Bounds are checked eagerly so assembly bugs surface at the push site.
+    pub fn push(&mut self, row: usize, col: usize, value: f64) -> Result<()> {
+        if row >= self.n_rows || col >= self.n_cols {
+            return Err(SparseError::IndexOutOfBounds {
+                row,
+                col,
+                n_rows: self.n_rows,
+                n_cols: self.n_cols,
+            });
+        }
+        self.rows.push(row);
+        self.cols.push(col);
+        self.values.push(value);
+        Ok(())
+    }
+
+    /// Iterates over the stored triplets.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
+        self.rows
+            .iter()
+            .zip(self.cols.iter())
+            .zip(self.values.iter())
+            .map(|((&r, &c), &v)| (r, c, v))
+    }
+
+    /// Converts to CSR, summing duplicate entries and dropping exact zeros
+    /// that result from cancellation.
+    pub fn to_csr(&self) -> CsrMatrix {
+        // Counting sort by row, then sort each row segment by column and sum
+        // duplicates. This is O(nnz log(max row length)).
+        let mut counts = vec![0usize; self.n_rows + 1];
+        for &r in &self.rows {
+            counts[r + 1] += 1;
+        }
+        for i in 0..self.n_rows {
+            counts[i + 1] += counts[i];
+        }
+        let mut order: Vec<usize> = (0..self.values.len()).collect();
+        // Stable bucket placement by row.
+        let mut cursor = counts.clone();
+        let mut placed = vec![0usize; self.values.len()];
+        for (idx, &r) in self.rows.iter().enumerate() {
+            placed[cursor[r]] = idx;
+            cursor[r] += 1;
+        }
+        order.copy_from_slice(&placed);
+
+        let mut row_ptr = Vec::with_capacity(self.n_rows + 1);
+        let mut col_idx: Vec<usize> = Vec::with_capacity(self.values.len());
+        let mut values: Vec<f64> = Vec::with_capacity(self.values.len());
+        row_ptr.push(0);
+        let mut seg: Vec<(usize, f64)> = Vec::new();
+        for r in 0..self.n_rows {
+            seg.clear();
+            for &idx in &order[counts[r]..counts[r + 1]] {
+                seg.push((self.cols[idx], self.values[idx]));
+            }
+            seg.sort_unstable_by_key(|&(c, _)| c);
+            let mut i = 0;
+            while i < seg.len() {
+                let c = seg[i].0;
+                let mut v = seg[i].1;
+                let mut j = i + 1;
+                while j < seg.len() && seg[j].0 == c {
+                    v += seg[j].1;
+                    j += 1;
+                }
+                if v != 0.0 {
+                    col_idx.push(c);
+                    values.push(v);
+                }
+                i = j;
+            }
+            row_ptr.push(col_idx.len());
+        }
+        CsrMatrix::from_raw_unchecked(self.n_rows, self.n_cols, row_ptr, col_idx, values)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_convert_sums_duplicates() {
+        let mut coo = CooMatrix::new(3, 3);
+        coo.push(0, 0, 1.0).unwrap();
+        coo.push(2, 1, 2.0).unwrap();
+        coo.push(2, 1, 3.0).unwrap();
+        coo.push(1, 1, 4.0).unwrap();
+        let csr = coo.to_csr();
+        assert_eq!(csr.nnz(), 3);
+        assert_eq!(csr.get(2, 1), Some(5.0));
+        assert_eq!(csr.get(1, 1), Some(4.0));
+        assert_eq!(csr.get(0, 1), None);
+    }
+
+    #[test]
+    fn out_of_bounds_rejected() {
+        let mut coo = CooMatrix::new(2, 2);
+        assert!(coo.push(2, 0, 1.0).is_err());
+        assert!(coo.push(0, 5, 1.0).is_err());
+    }
+
+    #[test]
+    fn cancellation_drops_entry() {
+        let mut coo = CooMatrix::new(2, 2);
+        coo.push(0, 1, 2.0).unwrap();
+        coo.push(0, 1, -2.0).unwrap();
+        coo.push(0, 0, 1.0).unwrap();
+        let csr = coo.to_csr();
+        assert_eq!(csr.nnz(), 1);
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let coo = CooMatrix::new(4, 4);
+        let csr = coo.to_csr();
+        assert_eq!(csr.nnz(), 0);
+        assert_eq!(csr.n_rows(), 4);
+    }
+}

@@ -1,0 +1,434 @@
+//! Compressed sparse row (CSR) storage.
+//!
+//! CSR is the working format of the whole workspace: the forward-substitution
+//! kernel iterates rows in order (§6.1 of the paper), the DAG of the solve is
+//! derived from the row structure, and the locality reordering (§5) is a
+//! symmetric permutation of this representation.
+
+use crate::error::SparseError;
+use crate::perm::Permutation;
+use crate::Result;
+
+/// A sparse matrix in compressed sparse row format with `f64` values.
+///
+/// Invariants (enforced by [`CsrMatrix::from_raw`], preserved by all methods):
+/// * `row_ptr.len() == n_rows + 1`, `row_ptr[0] == 0`, non-decreasing,
+///   `row_ptr[n_rows] == col_idx.len() == values.len()`;
+/// * within each row, column indices are strictly increasing and `< n_cols`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    n_rows: usize,
+    n_cols: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<usize>,
+    values: Vec<f64>,
+}
+
+/// Which triangle of the matrix carries the stored entries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Triangle {
+    /// Entries satisfy `col <= row`.
+    Lower,
+    /// Entries satisfy `col >= row`.
+    Upper,
+}
+
+impl CsrMatrix {
+    /// Builds a CSR matrix after validating all structural invariants.
+    pub fn from_raw(
+        n_rows: usize,
+        n_cols: usize,
+        row_ptr: Vec<usize>,
+        col_idx: Vec<usize>,
+        values: Vec<f64>,
+    ) -> Result<Self> {
+        if row_ptr.len() != n_rows + 1 {
+            return Err(SparseError::InvalidStructure(format!(
+                "row_ptr has length {}, expected {}",
+                row_ptr.len(),
+                n_rows + 1
+            )));
+        }
+        if row_ptr[0] != 0 {
+            return Err(SparseError::InvalidStructure("row_ptr[0] != 0".into()));
+        }
+        if *row_ptr.last().unwrap() != col_idx.len() || col_idx.len() != values.len() {
+            return Err(SparseError::InvalidStructure(format!(
+                "row_ptr end {} vs col_idx {} vs values {}",
+                row_ptr.last().unwrap(),
+                col_idx.len(),
+                values.len()
+            )));
+        }
+        for r in 0..n_rows {
+            if row_ptr[r] > row_ptr[r + 1] {
+                return Err(SparseError::InvalidStructure(format!(
+                    "row_ptr decreases at row {r}"
+                )));
+            }
+            let cols = &col_idx[row_ptr[r]..row_ptr[r + 1]];
+            for w in cols.windows(2) {
+                if w[0] >= w[1] {
+                    return Err(SparseError::InvalidStructure(format!(
+                        "columns not strictly increasing in row {r}"
+                    )));
+                }
+            }
+            if let Some(&c) = cols.last() {
+                if c >= n_cols {
+                    return Err(SparseError::IndexOutOfBounds { row: r, col: c, n_rows, n_cols });
+                }
+            }
+        }
+        Ok(CsrMatrix { n_rows, n_cols, row_ptr, col_idx, values })
+    }
+
+    /// Builds a CSR matrix without validation.
+    ///
+    /// Intended for internal constructors that produce structurally sound data
+    /// (e.g. [`CooMatrix::to_csr`](crate::CooMatrix::to_csr)). Invariant
+    /// violations here are library bugs, and debug builds assert them.
+    pub fn from_raw_unchecked(
+        n_rows: usize,
+        n_cols: usize,
+        row_ptr: Vec<usize>,
+        col_idx: Vec<usize>,
+        values: Vec<f64>,
+    ) -> Self {
+        debug_assert!(
+            CsrMatrix::from_raw(n_rows, n_cols, row_ptr.clone(), col_idx.clone(), values.clone())
+                .is_ok()
+        );
+        CsrMatrix { n_rows, n_cols, row_ptr, col_idx, values }
+    }
+
+    /// The `n x n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        CsrMatrix {
+            n_rows: n,
+            n_cols: n,
+            row_ptr: (0..=n).collect(),
+            col_idx: (0..n).collect(),
+            values: vec![1.0; n],
+        }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn n_cols(&self) -> usize {
+        self.n_cols
+    }
+
+    /// Number of explicitly stored entries.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The row-pointer array (`n_rows + 1` entries).
+    #[inline]
+    pub fn row_ptr(&self) -> &[usize] {
+        &self.row_ptr
+    }
+
+    /// The column-index array.
+    #[inline]
+    pub fn col_idx(&self) -> &[usize] {
+        &self.col_idx
+    }
+
+    /// The value array.
+    #[inline]
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Column indices and values of row `r`.
+    #[inline]
+    pub fn row(&self, r: usize) -> (&[usize], &[f64]) {
+        let span = self.row_ptr[r]..self.row_ptr[r + 1];
+        (&self.col_idx[span.clone()], &self.values[span])
+    }
+
+    /// Number of stored entries in row `r`.
+    #[inline]
+    pub fn row_nnz(&self, r: usize) -> usize {
+        self.row_ptr[r + 1] - self.row_ptr[r]
+    }
+
+    /// Value at `(row, col)` if stored (binary search within the row).
+    pub fn get(&self, row: usize, col: usize) -> Option<f64> {
+        let (cols, vals) = self.row(row);
+        cols.binary_search(&col).ok().map(|k| vals[k])
+    }
+
+    /// Iterates `(row, col, value)` over all stored entries in row order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
+        (0..self.n_rows).flat_map(move |r| {
+            let (cols, vals) = self.row(r);
+            cols.iter().zip(vals.iter()).map(move |(&c, &v)| (r, c, v))
+        })
+    }
+
+    /// Whether every stored entry satisfies `col <= row`.
+    pub fn is_lower_triangular(&self) -> bool {
+        (0..self.n_rows).all(|r| self.row(r).0.iter().all(|&c| c <= r))
+    }
+
+    /// Whether every stored entry satisfies `col >= row`.
+    pub fn is_upper_triangular(&self) -> bool {
+        (0..self.n_rows).all(|r| self.row(r).0.iter().all(|&c| c >= r))
+    }
+
+    /// Whether the matrix is square with a stored, non-zero diagonal entry in
+    /// every row — the non-singularity precondition of the substitution
+    /// algorithm (§2.2).
+    pub fn has_nonzero_diagonal(&self) -> bool {
+        self.n_rows == self.n_cols
+            && (0..self.n_rows).all(|r| self.get(r, r).is_some_and(|v| v != 0.0))
+    }
+
+    /// Checks that the matrix is a valid SpTRSV operand: square, triangular in
+    /// the requested orientation, and with a non-zero diagonal.
+    pub fn validate_triangular(&self, tri: Triangle) -> Result<()> {
+        if self.n_rows != self.n_cols {
+            return Err(SparseError::NotSquare { n_rows: self.n_rows, n_cols: self.n_cols });
+        }
+        let ok = match tri {
+            Triangle::Lower => self.is_lower_triangular(),
+            Triangle::Upper => self.is_upper_triangular(),
+        };
+        if !ok {
+            return Err(SparseError::NotTriangular(format!("{tri:?} triangle expected")));
+        }
+        for r in 0..self.n_rows {
+            if !self.get(r, r).is_some_and(|v| v != 0.0) {
+                return Err(SparseError::SingularDiagonal { row: r });
+            }
+        }
+        Ok(())
+    }
+
+    /// The main diagonal as a dense vector (missing entries are `0`).
+    pub fn diagonal(&self) -> Vec<f64> {
+        (0..self.n_rows.min(self.n_cols)).map(|r| self.get(r, r).unwrap_or(0.0)).collect()
+    }
+
+    /// Extracts the lower triangle (including the diagonal) of a square matrix.
+    pub fn lower_triangle(&self) -> Result<CsrMatrix> {
+        if self.n_rows != self.n_cols {
+            return Err(SparseError::NotSquare { n_rows: self.n_rows, n_cols: self.n_cols });
+        }
+        let mut row_ptr = Vec::with_capacity(self.n_rows + 1);
+        let mut col_idx = Vec::new();
+        let mut values = Vec::new();
+        row_ptr.push(0);
+        for r in 0..self.n_rows {
+            let (cols, vals) = self.row(r);
+            for (&c, &v) in cols.iter().zip(vals) {
+                if c <= r {
+                    col_idx.push(c);
+                    values.push(v);
+                }
+            }
+            row_ptr.push(col_idx.len());
+        }
+        Ok(CsrMatrix::from_raw_unchecked(self.n_rows, self.n_cols, row_ptr, col_idx, values))
+    }
+
+    /// Transposes the matrix (CSR of `A^T`, i.e. a CSC view of `A`).
+    pub fn transpose(&self) -> CsrMatrix {
+        let mut counts = vec![0usize; self.n_cols + 1];
+        for &c in &self.col_idx {
+            counts[c + 1] += 1;
+        }
+        for i in 0..self.n_cols {
+            counts[i + 1] += counts[i];
+        }
+        let row_ptr = counts.clone();
+        let mut col_idx = vec![0usize; self.nnz()];
+        let mut values = vec![0f64; self.nnz()];
+        for r in 0..self.n_rows {
+            let (cols, vals) = self.row(r);
+            for (&c, &v) in cols.iter().zip(vals) {
+                let slot = counts[c];
+                col_idx[slot] = r;
+                values[slot] = v;
+                counts[c] += 1;
+            }
+        }
+        CsrMatrix::from_raw_unchecked(self.n_cols, self.n_rows, row_ptr, col_idx, values)
+    }
+
+    /// Symmetrically permutes a square matrix: `B[i][j] = A[p(i)][p(j)]` where
+    /// `p(i)` is [`Permutation::old_of_new`]. This is the reordering primitive
+    /// of §5; applied with a topological order it keeps triangular matrices
+    /// triangular.
+    pub fn symmetric_permute(&self, perm: &Permutation) -> Result<CsrMatrix> {
+        if self.n_rows != self.n_cols {
+            return Err(SparseError::NotSquare { n_rows: self.n_rows, n_cols: self.n_cols });
+        }
+        if perm.len() != self.n_rows {
+            return Err(SparseError::InvalidPermutation(format!(
+                "permutation length {} vs matrix dimension {}",
+                perm.len(),
+                self.n_rows
+            )));
+        }
+        let new_of_old = perm.new_of_old();
+        let mut row_ptr = Vec::with_capacity(self.n_rows + 1);
+        let mut col_idx = Vec::with_capacity(self.nnz());
+        let mut values = Vec::with_capacity(self.nnz());
+        row_ptr.push(0);
+        let mut scratch: Vec<(usize, f64)> = Vec::new();
+        for new_r in 0..self.n_rows {
+            let old_r = perm.old_of_new()[new_r];
+            let (cols, vals) = self.row(old_r);
+            scratch.clear();
+            scratch.extend(cols.iter().zip(vals).map(|(&c, &v)| (new_of_old[c], v)));
+            scratch.sort_unstable_by_key(|&(c, _)| c);
+            for &(c, v) in &scratch {
+                col_idx.push(c);
+                values.push(v);
+            }
+            row_ptr.push(col_idx.len());
+        }
+        Ok(CsrMatrix::from_raw_unchecked(self.n_rows, self.n_cols, row_ptr, col_idx, values))
+    }
+
+    /// Dense representation; for tests and tiny examples only.
+    pub fn to_dense(&self) -> Vec<Vec<f64>> {
+        let mut d = vec![vec![0.0; self.n_cols]; self.n_rows];
+        for (r, c, v) in self.iter() {
+            d[r][c] = v;
+        }
+        d
+    }
+
+    /// Number of floating-point operations of one triangular solve with this
+    /// matrix: `2·nnz − n` (§6.2.1, footnote 3).
+    pub fn solve_flops(&self) -> usize {
+        2 * self.nnz() - self.n_rows.min(self.nnz())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CooMatrix;
+
+    fn sample_lower() -> CsrMatrix {
+        // Matrix of Figure 1.1 in the paper: rows a..f = 0..5.
+        let mut coo = CooMatrix::new(6, 6);
+        for i in 0..6 {
+            coo.push(i, i, 2.0).unwrap();
+        }
+        // b<-a, c<-a, d<-b, d<-c, f<-c, e<-d (edges of Fig 1.1b).
+        coo.push(1, 0, 1.0).unwrap();
+        coo.push(2, 0, 1.0).unwrap();
+        coo.push(3, 1, 1.0).unwrap();
+        coo.push(3, 2, 1.0).unwrap();
+        coo.push(5, 2, 1.0).unwrap();
+        coo.push(4, 3, 1.0).unwrap();
+        coo.to_csr()
+    }
+
+    #[test]
+    fn structural_validation() {
+        // row_ptr too short.
+        assert!(CsrMatrix::from_raw(2, 2, vec![0, 1], vec![0], vec![1.0]).is_err());
+        // column out of bounds.
+        assert!(CsrMatrix::from_raw(1, 1, vec![0, 1], vec![3], vec![1.0]).is_err());
+        // duplicate column in row.
+        assert!(CsrMatrix::from_raw(1, 3, vec![0, 2], vec![1, 1], vec![1.0, 2.0]).is_err());
+        // valid.
+        assert!(CsrMatrix::from_raw(1, 3, vec![0, 2], vec![0, 2], vec![1.0, 2.0]).is_ok());
+    }
+
+    #[test]
+    fn triangular_predicates() {
+        let l = sample_lower();
+        assert!(l.is_lower_triangular());
+        assert!(!l.is_upper_triangular());
+        assert!(l.has_nonzero_diagonal());
+        assert!(l.validate_triangular(Triangle::Lower).is_ok());
+        assert!(l.validate_triangular(Triangle::Upper).is_err());
+        let u = l.transpose();
+        assert!(u.is_upper_triangular());
+        assert!(u.validate_triangular(Triangle::Upper).is_ok());
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let l = sample_lower();
+        assert_eq!(l.transpose().transpose(), l);
+    }
+
+    #[test]
+    fn transpose_values_move() {
+        let l = sample_lower();
+        let t = l.transpose();
+        assert_eq!(t.get(0, 1), Some(1.0));
+        assert_eq!(t.get(1, 0), None);
+        assert_eq!(t.get(2, 5), Some(1.0));
+    }
+
+    #[test]
+    fn lower_triangle_extraction() {
+        let l = sample_lower();
+        let full = {
+            // Symmetrize: A = L + L^T - diag.
+            let mut coo = CooMatrix::new(6, 6);
+            for (r, c, v) in l.iter() {
+                coo.push(r, c, v).unwrap();
+                if r != c {
+                    coo.push(c, r, v).unwrap();
+                }
+            }
+            coo.to_csr()
+        };
+        assert_eq!(full.lower_triangle().unwrap(), l);
+    }
+
+    #[test]
+    fn symmetric_permute_identity_is_noop() {
+        let l = sample_lower();
+        let p = Permutation::identity(6);
+        assert_eq!(l.symmetric_permute(&p).unwrap(), l);
+    }
+
+    #[test]
+    fn symmetric_permute_matches_dense() {
+        let l = sample_lower();
+        let p = Permutation::from_old_of_new(vec![0, 2, 1, 3, 5, 4]).unwrap();
+        let b = l.symmetric_permute(&p).unwrap();
+        let ld = l.to_dense();
+        let bd = b.to_dense();
+        let o = p.old_of_new();
+        for i in 0..6 {
+            for j in 0..6 {
+                assert_eq!(bd[i][j], ld[o[i]][o[j]]);
+            }
+        }
+    }
+
+    #[test]
+    fn solve_flops_formula() {
+        let l = sample_lower();
+        assert_eq!(l.solve_flops(), 2 * l.nnz() - 6);
+    }
+
+    #[test]
+    fn identity_matrix() {
+        let i = CsrMatrix::identity(4);
+        assert!(i.has_nonzero_diagonal());
+        assert_eq!(i.nnz(), 4);
+        assert!(i.is_lower_triangular() && i.is_upper_triangular());
+    }
+}

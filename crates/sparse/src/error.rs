@@ -1,0 +1,59 @@
+//! Error type shared by the sparse substrate.
+
+use std::fmt;
+
+/// Errors produced while building, transforming or factorizing sparse matrices.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SparseError {
+    /// An entry coordinate lies outside the declared matrix dimensions.
+    IndexOutOfBounds { row: usize, col: usize, n_rows: usize, n_cols: usize },
+    /// A structural invariant of the storage format is violated.
+    InvalidStructure(String),
+    /// The operation needs a square matrix.
+    NotSquare { n_rows: usize, n_cols: usize },
+    /// The operation needs a (lower/upper) triangular matrix with a full diagonal.
+    NotTriangular(String),
+    /// A zero (or missing) diagonal entry makes the triangular solve singular.
+    SingularDiagonal { row: usize },
+    /// Incomplete Cholesky broke down even after the maximum diagonal shift.
+    FactorizationBreakdown { row: usize, pivot: f64 },
+    /// A permutation vector is not a bijection on `0..n`.
+    InvalidPermutation(String),
+    /// Matrix Market parsing failed.
+    Parse(String),
+    /// Underlying I/O failure.
+    Io(String),
+}
+
+impl fmt::Display for SparseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SparseError::IndexOutOfBounds { row, col, n_rows, n_cols } => write!(
+                f,
+                "entry ({row}, {col}) out of bounds for a {n_rows}x{n_cols} matrix"
+            ),
+            SparseError::InvalidStructure(msg) => write!(f, "invalid sparse structure: {msg}"),
+            SparseError::NotSquare { n_rows, n_cols } => {
+                write!(f, "operation requires a square matrix, got {n_rows}x{n_cols}")
+            }
+            SparseError::NotTriangular(msg) => write!(f, "matrix is not triangular: {msg}"),
+            SparseError::SingularDiagonal { row } => {
+                write!(f, "zero or missing diagonal entry in row {row}")
+            }
+            SparseError::FactorizationBreakdown { row, pivot } => {
+                write!(f, "incomplete Cholesky breakdown at row {row} (pivot {pivot})")
+            }
+            SparseError::InvalidPermutation(msg) => write!(f, "invalid permutation: {msg}"),
+            SparseError::Parse(msg) => write!(f, "parse error: {msg}"),
+            SparseError::Io(msg) => write!(f, "i/o error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SparseError {}
+
+impl From<std::io::Error> for SparseError {
+    fn from(e: std::io::Error) -> Self {
+        SparseError::Io(e.to_string())
+    }
+}

@@ -1,0 +1,9 @@
+//! Incomplete factorizations.
+//!
+//! Currently zero-fill incomplete Cholesky ([`ichol::ichol0`]), the
+//! factorization behind the iChol data set (§6.2.3) and the preconditioner of
+//! the PCG application example.
+
+pub mod ichol;
+
+pub use ichol::{ichol0, IcholOptions};

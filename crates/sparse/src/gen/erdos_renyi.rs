@@ -1,0 +1,102 @@
+//! Erdős–Rényi random lower-triangular matrices (§6.2.4).
+//!
+//! Each strictly-lower entry `(i, j)`, `i > j`, is independently non-zero with
+//! probability `p`; diagonal entries are always present. The corresponding
+//! solve DAG is a directed Erdős–Rényi graph. These matrices have few, large
+//! wavefronts and are therefore *easy* to parallelize — the benign end of the
+//! paper's random spectrum.
+
+use crate::csr::CsrMatrix;
+use crate::gen::values::{diag_value, offdiag_value};
+use rand::Rng;
+
+/// Generates an `n x n` lower-triangular Erdős–Rényi matrix with strictly
+/// lower-triangular density `p`.
+///
+/// Uses geometric skip-sampling within each row, so generation costs
+/// `O(n + nnz)` regardless of how small `p` is.
+pub fn erdos_renyi_lower<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> CsrMatrix {
+    assert!((0.0..=1.0).contains(&p), "probability p={p} outside [0, 1]");
+    let expected = (p * (n as f64) * (n as f64) / 2.0) as usize + n;
+    let mut row_ptr = Vec::with_capacity(n + 1);
+    let mut col_idx = Vec::with_capacity(expected);
+    let mut values = Vec::with_capacity(expected);
+    row_ptr.push(0);
+    let log1mp = if p < 1.0 { (1.0 - p).ln() } else { 0.0 };
+    for i in 0..n {
+        if p >= 1.0 {
+            for j in 0..i {
+                col_idx.push(j);
+                values.push(offdiag_value(rng));
+            }
+        } else if p > 0.0 {
+            // Skip-sample the strictly-lower part of row i (columns 0..i).
+            let mut j = 0usize;
+            loop {
+                // Geometric(p) gap: number of misses before the next hit.
+                let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+                let skip = (u.ln() / log1mp).floor() as usize;
+                j = match j.checked_add(skip) {
+                    Some(v) => v,
+                    None => break,
+                };
+                if j >= i {
+                    break;
+                }
+                col_idx.push(j);
+                values.push(offdiag_value(rng));
+                j += 1;
+            }
+        }
+        col_idx.push(i);
+        values.push(diag_value(rng));
+        row_ptr.push(col_idx.len());
+    }
+    CsrMatrix::from_raw_unchecked(n, n, row_ptr, col_idx, values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn structure_is_lower_triangular_with_diagonal() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let m = erdos_renyi_lower(200, 0.05, &mut rng);
+        assert!(m.is_lower_triangular());
+        assert!(m.has_nonzero_diagonal());
+    }
+
+    #[test]
+    fn density_close_to_p() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let n = 400;
+        let p = 0.02;
+        let m = erdos_renyi_lower(n, p, &mut rng);
+        let strictly_lower = (m.nnz() - n) as f64;
+        let pairs = (n * (n - 1) / 2) as f64;
+        let observed = strictly_lower / pairs;
+        assert!(
+            (observed - p).abs() < 0.005,
+            "observed density {observed} too far from requested {p}"
+        );
+    }
+
+    #[test]
+    fn extreme_probabilities() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let empty = erdos_renyi_lower(50, 0.0, &mut rng);
+        assert_eq!(empty.nnz(), 50); // diagonal only
+        let full = erdos_renyi_lower(50, 1.0, &mut rng);
+        assert_eq!(full.nnz(), 50 * 51 / 2);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let a = erdos_renyi_lower(100, 0.05, &mut SmallRng::seed_from_u64(9));
+        let b = erdos_renyi_lower(100, 0.05, &mut SmallRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,233 @@
+//! Finite-difference stencil Laplacians on regular 2D/3D grids.
+//!
+//! These symmetric positive-definite matrices are the offline stand-in for
+//! the SuiteSparse application matrices (DESIGN.md, substitution 1): the SPD
+//! members of the collection are dominated by FEM/FDM mesh discretizations
+//! with exactly this banded, locality-friendly structure. The grid aspect
+//! ratio controls the *average wavefront size* of the lower-triangular solve
+//! DAG (the paper's parallelizability proxy): a `w × h` five-point grid in
+//! lexicographic order has longest path `w + h − 1`, so its average wavefront
+//! is `w·h / (w + h − 1)`.
+
+use crate::coo::CooMatrix;
+use crate::csr::CsrMatrix;
+
+/// Stencil choices for [`grid2d_laplacian`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stencil2D {
+    /// 4-neighbour coupling (classic 5-point Laplacian).
+    FivePoint,
+    /// 8-neighbour coupling (adds the diagonals), denser rows — closer to
+    /// bilinear quadrilateral FEM stiffness matrices.
+    NinePoint,
+}
+
+/// Stencil choices for [`grid3d_laplacian`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stencil3D {
+    /// 6-neighbour coupling (7-point Laplacian).
+    SevenPoint,
+    /// 26-neighbour coupling — trilinear hexahedral FEM-like density.
+    TwentySevenPoint,
+}
+
+/// SPD stencil matrix on a `w x h` grid in lexicographic (row-major) order.
+///
+/// Off-diagonal entries are `-1` (5-point) with `-0.5` on diagonal neighbours
+/// (9-point); the diagonal is the absolute row sum plus `shift`, making the
+/// matrix strictly diagonally dominant and hence SPD for any `shift > 0`.
+pub fn grid2d_laplacian(w: usize, h: usize, stencil: Stencil2D, shift: f64) -> CsrMatrix {
+    assert!(w > 0 && h > 0, "grid dimensions must be positive");
+    let n = w * h;
+    let per_row = match stencil {
+        Stencil2D::FivePoint => 5,
+        Stencil2D::NinePoint => 9,
+    };
+    let mut coo = CooMatrix::with_capacity(n, n, n * per_row);
+    let idx = |x: usize, y: usize| y * w + x;
+    for y in 0..h {
+        for x in 0..w {
+            let i = idx(x, y);
+            let mut row_sum = 0.0;
+            let mut push = |dx: isize, dy: isize, weight: f64| {
+                let nx = x as isize + dx;
+                let ny = y as isize + dy;
+                if nx >= 0 && ny >= 0 && (nx as usize) < w && (ny as usize) < h {
+                    coo.push(i, idx(nx as usize, ny as usize), -weight).unwrap();
+                    row_sum += weight;
+                }
+            };
+            push(-1, 0, 1.0);
+            push(1, 0, 1.0);
+            push(0, -1, 1.0);
+            push(0, 1, 1.0);
+            if stencil == Stencil2D::NinePoint {
+                push(-1, -1, 0.5);
+                push(1, -1, 0.5);
+                push(-1, 1, 0.5);
+                push(1, 1, 0.5);
+            }
+            coo.push(i, i, row_sum + shift).unwrap();
+        }
+    }
+    coo.to_csr()
+}
+
+/// SPD stencil matrix on a `w x h x d` grid in lexicographic order.
+pub fn grid3d_laplacian(w: usize, h: usize, d: usize, stencil: Stencil3D, shift: f64) -> CsrMatrix {
+    assert!(w > 0 && h > 0 && d > 0, "grid dimensions must be positive");
+    let n = w * h * d;
+    let per_row = match stencil {
+        Stencil3D::SevenPoint => 7,
+        Stencil3D::TwentySevenPoint => 27,
+    };
+    let mut coo = CooMatrix::with_capacity(n, n, n * per_row);
+    let idx = |x: usize, y: usize, z: usize| (z * h + y) * w + x;
+    for z in 0..d {
+        for y in 0..h {
+            for x in 0..w {
+                let i = idx(x, y, z);
+                let mut row_sum = 0.0;
+                let mut push = |dx: isize, dy: isize, dz: isize, weight: f64| {
+                    let nx = x as isize + dx;
+                    let ny = y as isize + dy;
+                    let nz = z as isize + dz;
+                    if nx >= 0
+                        && ny >= 0
+                        && nz >= 0
+                        && (nx as usize) < w
+                        && (ny as usize) < h
+                        && (nz as usize) < d
+                    {
+                        coo.push(i, idx(nx as usize, ny as usize, nz as usize), -weight).unwrap();
+                        row_sum += weight;
+                    }
+                };
+                match stencil {
+                    Stencil3D::SevenPoint => {
+                        push(-1, 0, 0, 1.0);
+                        push(1, 0, 0, 1.0);
+                        push(0, -1, 0, 1.0);
+                        push(0, 1, 0, 1.0);
+                        push(0, 0, -1, 1.0);
+                        push(0, 0, 1, 1.0);
+                    }
+                    Stencil3D::TwentySevenPoint => {
+                        for dz in -1..=1isize {
+                            for dy in -1..=1isize {
+                                for dx in -1..=1isize {
+                                    if dx == 0 && dy == 0 && dz == 0 {
+                                        continue;
+                                    }
+                                    let dist = (dx.abs() + dy.abs() + dz.abs()) as f64;
+                                    push(dx, dy, dz, 1.0 / dist);
+                                }
+                            }
+                        }
+                    }
+                }
+                coo.push(i, i, row_sum + shift).unwrap();
+            }
+        }
+    }
+    coo.to_csr()
+}
+
+/// Block-diagonal SPD matrix made of `blocks` independent dense-ish SPD
+/// blocks of size `block_size`.
+///
+/// Stand-in for the extremely parallel SuiteSparse members (e.g.
+/// `bundle_adj`, average wavefront ≈ 57k): the solve DAG decomposes into
+/// `blocks` independent chains, so the average wavefront is `blocks`.
+pub fn block_diagonal_spd(blocks: usize, block_size: usize, shift: f64) -> CsrMatrix {
+    assert!(blocks > 0 && block_size > 0);
+    let n = blocks * block_size;
+    let mut coo = CooMatrix::with_capacity(n, n, blocks * block_size * 3);
+    for blk in 0..blocks {
+        let base = blk * block_size;
+        for r in 0..block_size {
+            let i = base + r;
+            let mut row_sum = 0.0;
+            if r > 0 {
+                coo.push(i, i - 1, -1.0).unwrap();
+                row_sum += 1.0;
+            }
+            if r + 1 < block_size {
+                coo.push(i, i + 1, -1.0).unwrap();
+                row_sum += 1.0;
+            }
+            coo.push(i, i, row_sum + shift).unwrap();
+        }
+    }
+    coo.to_csr()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn is_symmetric(m: &CsrMatrix) -> bool {
+        m.iter().all(|(r, c, v)| m.get(c, r) == Some(v))
+    }
+
+    fn is_diag_dominant(m: &CsrMatrix) -> bool {
+        (0..m.n_rows()).all(|r| {
+            let (cols, vals) = m.row(r);
+            let mut diag = 0.0;
+            let mut off = 0.0;
+            for (&c, &v) in cols.iter().zip(vals) {
+                if c == r {
+                    diag = v;
+                } else {
+                    off += v.abs();
+                }
+            }
+            diag > off
+        })
+    }
+
+    #[test]
+    fn grid2d_five_point_structure() {
+        let m = grid2d_laplacian(4, 3, Stencil2D::FivePoint, 0.5);
+        assert_eq!(m.n_rows(), 12);
+        assert!(is_symmetric(&m));
+        assert!(is_diag_dominant(&m));
+        // Interior vertex has 4 neighbours + diagonal.
+        assert_eq!(m.row_nnz(5), 5);
+        // Corner has 2 neighbours + diagonal.
+        assert_eq!(m.row_nnz(0), 3);
+    }
+
+    #[test]
+    fn grid2d_nine_point_denser() {
+        let five = grid2d_laplacian(10, 10, Stencil2D::FivePoint, 0.5);
+        let nine = grid2d_laplacian(10, 10, Stencil2D::NinePoint, 0.5);
+        assert!(nine.nnz() > five.nnz());
+        assert!(is_symmetric(&nine));
+        assert!(is_diag_dominant(&nine));
+    }
+
+    #[test]
+    fn grid3d_structures() {
+        let seven = grid3d_laplacian(4, 4, 4, Stencil3D::SevenPoint, 0.5);
+        assert_eq!(seven.n_rows(), 64);
+        assert!(is_symmetric(&seven));
+        assert!(is_diag_dominant(&seven));
+        // Interior vertex: 6 neighbours + diagonal.
+        let interior = (1 * 4 + 1) * 4 + 1;
+        assert_eq!(seven.row_nnz(interior), 7);
+        let dense = grid3d_laplacian(4, 4, 4, Stencil3D::TwentySevenPoint, 0.5);
+        assert_eq!(dense.row_nnz(interior), 27);
+        assert!(is_symmetric(&dense));
+    }
+
+    #[test]
+    fn block_diagonal_is_decoupled() {
+        let m = block_diagonal_spd(3, 4, 0.5);
+        assert_eq!(m.n_rows(), 12);
+        assert!(is_symmetric(&m));
+        // No coupling across block boundary between rows 3 and 4.
+        assert_eq!(m.get(4, 3), None);
+        assert_eq!(m.get(3, 4), None);
+    }
+}

@@ -1,0 +1,25 @@
+//! Synthetic sparse-matrix generators.
+//!
+//! Three families, mirroring §6.2 of the paper:
+//!
+//! * [`grid`] — 2D/3D finite-difference stencil Laplacians. These are the
+//!   offline stand-in for the SuiteSparse SPD matrices (see DESIGN.md,
+//!   substitution 1): application matrices in the collection are dominated by
+//!   mesh discretizations with exactly this banded, locally-ordered structure.
+//! * [`erdos_renyi`] — uniformly random lower-triangular matrices (§6.2.4),
+//!   generated with geometric skip-sampling so the cost is `O(nnz)` rather
+//!   than `O(n²)`.
+//! * [`narrow_band`] — random matrices whose entry probability decays as
+//!   `p·exp((1+j−i)/B)` away from the diagonal (§6.2.5): hard to parallelize
+//!   by design, but with good locality.
+
+pub mod erdos_renyi;
+pub mod grid;
+pub mod narrow_band;
+pub mod shuffle;
+pub mod values;
+
+pub use erdos_renyi::erdos_renyi_lower;
+pub use grid::{grid2d_laplacian, grid3d_laplacian, block_diagonal_spd, Stencil2D, Stencil3D};
+pub use narrow_band::narrow_band_lower;
+pub use shuffle::block_shuffle_permutation;

@@ -1,0 +1,59 @@
+//! Value distributions used by the random generators.
+//!
+//! §6.2.4 of the paper: off-diagonal non-zeros are uniform in `[-2, 2]`;
+//! diagonal entries have absolute value log-uniform in `[2⁻¹, 2]` with an
+//! independently uniform sign (the diagonal distribution avoids numerical
+//! instability, in particular divisions by values close to zero).
+
+use rand::Rng;
+
+/// Draws an off-diagonal value: uniform in `[-2, 2]`.
+#[inline]
+pub fn offdiag_value<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    rng.gen_range(-2.0..2.0)
+}
+
+/// Draws a diagonal value: `±exp(U(ln ½, ln 2))` with a random sign.
+#[inline]
+pub fn diag_value<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let log_mag = rng.gen_range((0.5f64).ln()..(2.0f64).ln());
+    let mag = log_mag.exp();
+    if rng.gen_bool(0.5) {
+        mag
+    } else {
+        -mag
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn diag_values_in_band() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let d = diag_value(&mut rng);
+            let m = d.abs();
+            assert!((0.5..=2.0).contains(&m), "|{d}| outside [1/2, 2]");
+        }
+    }
+
+    #[test]
+    fn offdiag_values_in_band() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = offdiag_value(&mut rng);
+            assert!((-2.0..2.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn signs_are_mixed() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let negs = (0..1000).filter(|_| diag_value(&mut rng) < 0.0).count();
+        assert!(negs > 300 && negs < 700, "sign split {negs}/1000 looks biased");
+    }
+}

@@ -1,0 +1,187 @@
+//! Matrix Market (`.mtx`) reading and writing.
+//!
+//! Supports the `matrix coordinate real/integer/pattern general/symmetric`
+//! subset, which covers the SuiteSparse collection the paper evaluates on.
+//! Symmetric files are expanded to full storage on read (only the lower
+//! triangle is stored in the file, per the format specification).
+
+use crate::coo::CooMatrix;
+use crate::csr::CsrMatrix;
+use crate::error::SparseError;
+use crate::Result;
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Symmetry declared in the Matrix Market header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MmSymmetry {
+    /// All entries stored explicitly.
+    General,
+    /// Only the lower triangle stored; `(i, j)` implies `(j, i)`.
+    Symmetric,
+}
+
+/// Reads a Matrix Market file from disk.
+pub fn read_matrix_market_file<P: AsRef<Path>>(path: P) -> Result<CsrMatrix> {
+    let file = std::fs::File::open(path)?;
+    read_matrix_market(BufReader::new(file))
+}
+
+/// Reads a Matrix Market stream.
+pub fn read_matrix_market<R: Read>(reader: R) -> Result<CsrMatrix> {
+    let mut lines = BufReader::new(reader).lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| SparseError::Parse("empty file".into()))?
+        .map_err(SparseError::from)?;
+    let lower = header.to_ascii_lowercase();
+    let fields: Vec<&str> = lower.split_whitespace().collect();
+    if fields.len() < 5 || fields[0] != "%%matrixmarket" || fields[1] != "matrix" {
+        return Err(SparseError::Parse(format!("bad header: {header}")));
+    }
+    if fields[2] != "coordinate" {
+        return Err(SparseError::Parse(format!("unsupported format {}", fields[2])));
+    }
+    let pattern = match fields[3] {
+        "real" | "integer" => false,
+        "pattern" => true,
+        other => return Err(SparseError::Parse(format!("unsupported field type {other}"))),
+    };
+    let symmetry = match fields[4] {
+        "general" => MmSymmetry::General,
+        "symmetric" => MmSymmetry::Symmetric,
+        other => return Err(SparseError::Parse(format!("unsupported symmetry {other}"))),
+    };
+
+    // Skip comments, read the size line.
+    let mut size_line = None;
+    for line in lines.by_ref() {
+        let line = line.map_err(SparseError::from)?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('%') {
+            continue;
+        }
+        size_line = Some(trimmed.to_string());
+        break;
+    }
+    let size_line = size_line.ok_or_else(|| SparseError::Parse("missing size line".into()))?;
+    let dims: Vec<usize> = size_line
+        .split_whitespace()
+        .map(|t| t.parse::<usize>().map_err(|e| SparseError::Parse(e.to_string())))
+        .collect::<Result<_>>()?;
+    if dims.len() != 3 {
+        return Err(SparseError::Parse(format!("bad size line: {size_line}")));
+    }
+    let (n_rows, n_cols, nnz) = (dims[0], dims[1], dims[2]);
+
+    let mut coo = CooMatrix::with_capacity(
+        n_rows,
+        n_cols,
+        if symmetry == MmSymmetry::Symmetric { 2 * nnz } else { nnz },
+    );
+    let mut read = 0usize;
+    for line in lines {
+        let line = line.map_err(SparseError::from)?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('%') {
+            continue;
+        }
+        let mut it = trimmed.split_whitespace();
+        let r: usize = it
+            .next()
+            .ok_or_else(|| SparseError::Parse("missing row index".into()))?
+            .parse()
+            .map_err(|e: std::num::ParseIntError| SparseError::Parse(e.to_string()))?;
+        let c: usize = it
+            .next()
+            .ok_or_else(|| SparseError::Parse("missing col index".into()))?
+            .parse()
+            .map_err(|e: std::num::ParseIntError| SparseError::Parse(e.to_string()))?;
+        let v: f64 = if pattern {
+            1.0
+        } else {
+            it.next()
+                .ok_or_else(|| SparseError::Parse("missing value".into()))?
+                .parse()
+                .map_err(|e: std::num::ParseFloatError| SparseError::Parse(e.to_string()))?
+        };
+        if r == 0 || c == 0 {
+            return Err(SparseError::Parse("matrix market indices are 1-based".into()));
+        }
+        coo.push(r - 1, c - 1, v)?;
+        if symmetry == MmSymmetry::Symmetric && r != c {
+            coo.push(c - 1, r - 1, v)?;
+        }
+        read += 1;
+    }
+    if read != nnz {
+        return Err(SparseError::Parse(format!("expected {nnz} entries, found {read}")));
+    }
+    Ok(coo.to_csr())
+}
+
+/// Writes a matrix in `matrix coordinate real general` format.
+pub fn write_matrix_market<W: Write>(matrix: &CsrMatrix, writer: W) -> Result<()> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "%%MatrixMarket matrix coordinate real general")?;
+    writeln!(w, "{} {} {}", matrix.n_rows(), matrix.n_cols(), matrix.nnz())?;
+    for (r, c, v) in matrix.iter() {
+        writeln!(w, "{} {} {:.17e}", r + 1, c + 1, v)?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Writes a matrix to a `.mtx` file on disk.
+pub fn write_matrix_market_file<P: AsRef<Path>>(matrix: &CsrMatrix, path: P) -> Result<()> {
+    let file = std::fs::File::create(path)?;
+    write_matrix_market(matrix, file)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_general() {
+        let mut coo = CooMatrix::new(3, 4);
+        coo.push(0, 0, 1.5).unwrap();
+        coo.push(2, 3, -2.25).unwrap();
+        coo.push(1, 1, 7.0).unwrap();
+        let m = coo.to_csr();
+        let mut buf = Vec::new();
+        write_matrix_market(&m, &mut buf).unwrap();
+        let back = read_matrix_market(&buf[..]).unwrap();
+        assert_eq!(m, back);
+    }
+
+    #[test]
+    fn symmetric_expansion() {
+        let text = "%%MatrixMarket matrix coordinate real symmetric\n% comment\n3 3 3\n1 1 2.0\n2 1 1.0\n3 3 4.0\n";
+        let m = read_matrix_market(text.as_bytes()).unwrap();
+        assert_eq!(m.get(0, 1), Some(1.0));
+        assert_eq!(m.get(1, 0), Some(1.0));
+        assert_eq!(m.nnz(), 4);
+    }
+
+    #[test]
+    fn pattern_matrices_get_unit_values() {
+        let text = "%%MatrixMarket matrix coordinate pattern general\n2 2 2\n1 1\n2 1\n";
+        let m = read_matrix_market(text.as_bytes()).unwrap();
+        assert_eq!(m.get(0, 0), Some(1.0));
+        assert_eq!(m.get(1, 0), Some(1.0));
+    }
+
+    #[test]
+    fn malformed_inputs_rejected() {
+        assert!(read_matrix_market("garbage\n".as_bytes()).is_err());
+        assert!(read_matrix_market("%%MatrixMarket matrix array real general\n2 2\n".as_bytes())
+            .is_err());
+        // nnz mismatch.
+        let text = "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n";
+        assert!(read_matrix_market(text.as_bytes()).is_err());
+        // 0-based index.
+        let text = "%%MatrixMarket matrix coordinate real general\n2 2 1\n0 1 1.0\n";
+        assert!(read_matrix_market(text.as_bytes()).is_err());
+    }
+}

@@ -1,0 +1,33 @@
+//! Sparse-matrix substrate for the `sptrsv` workspace.
+//!
+//! This crate provides everything the schedulers and executors need from the
+//! linear-algebra side, built from scratch:
+//!
+//! * [`coo`] — triplet (coordinate) assembly format,
+//! * [`csr`] — compressed sparse row storage, the solver's working format,
+//! * [`perm`] — permutations and symmetric matrix permutation,
+//! * [`io`] — Matrix Market reading/writing,
+//! * [`linalg`] — dense-vector kernels (dot, axpy, norms) and SpMV,
+//! * [`gen`] — synthetic matrix generators (grid stencils, Erdős–Rényi,
+//!   narrow-bandwidth) matching §6.2 of the paper,
+//! * [`ordering`] — fill-reducing orderings (RCM, minimum degree, nested
+//!   dissection) standing in for METIS/AMD,
+//! * [`factor`] — zero-fill incomplete Cholesky IC(0).
+
+pub mod coo;
+pub mod csr;
+pub mod error;
+pub mod factor;
+pub mod gen;
+pub mod io;
+pub mod linalg;
+pub mod ordering;
+pub mod perm;
+
+pub use coo::CooMatrix;
+pub use csr::CsrMatrix;
+pub use error::SparseError;
+pub use perm::Permutation;
+
+/// Result alias used throughout the sparse substrate.
+pub type Result<T> = std::result::Result<T, SparseError>;

@@ -1,0 +1,102 @@
+//! Dense-vector kernels and sparse matrix–vector products.
+//!
+//! These are the building blocks of the application drivers (e.g. the
+//! preconditioned conjugate-gradient example) and of the residual checks used
+//! to verify every parallel solve against the serial one.
+
+use crate::csr::CsrMatrix;
+
+/// Dot product of two equal-length vectors.
+#[inline]
+pub fn dot(x: &[f64], y: &[f64]) -> f64 {
+    debug_assert_eq!(x.len(), y.len());
+    x.iter().zip(y).map(|(a, b)| a * b).sum()
+}
+
+/// `y += alpha * x`.
+#[inline]
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(x.len(), y.len());
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// Euclidean norm.
+#[inline]
+pub fn norm2(x: &[f64]) -> f64 {
+    dot(x, x).sqrt()
+}
+
+/// Infinity norm.
+#[inline]
+pub fn norm_inf(x: &[f64]) -> f64 {
+    x.iter().fold(0.0, |m, &v| m.max(v.abs()))
+}
+
+/// Sparse matrix–vector product `y = A x`.
+pub fn spmv(a: &CsrMatrix, x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(a.n_cols(), x.len());
+    debug_assert_eq!(a.n_rows(), y.len());
+    for r in 0..a.n_rows() {
+        let (cols, vals) = a.row(r);
+        let mut acc = 0.0;
+        for (&c, &v) in cols.iter().zip(vals) {
+            acc += v * x[c];
+        }
+        y[r] = acc;
+    }
+}
+
+/// Residual vector `r = b - A x`.
+pub fn residual(a: &CsrMatrix, x: &[f64], b: &[f64]) -> Vec<f64> {
+    let mut ax = vec![0.0; a.n_rows()];
+    spmv(a, x, &mut ax);
+    b.iter().zip(&ax).map(|(bi, axi)| bi - axi).collect()
+}
+
+/// Relative residual `||b - A x||_2 / ||b||_2` (returns the absolute norm if
+/// `b` is the zero vector).
+pub fn relative_residual(a: &CsrMatrix, x: &[f64], b: &[f64]) -> f64 {
+    let r = norm2(&residual(a, x, b));
+    let nb = norm2(b);
+    if nb > 0.0 {
+        r / nb
+    } else {
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CooMatrix;
+
+    #[test]
+    fn dot_axpy_norms() {
+        let x = [1.0, 2.0, -2.0];
+        let y = [3.0, 0.0, 1.0];
+        assert_eq!(dot(&x, &y), 1.0);
+        assert_eq!(norm2(&x), 3.0);
+        assert_eq!(norm_inf(&x), 2.0);
+        let mut z = y;
+        axpy(2.0, &x, &mut z);
+        assert_eq!(z, [5.0, 4.0, -3.0]);
+    }
+
+    #[test]
+    fn spmv_and_residual() {
+        let mut coo = CooMatrix::new(2, 2);
+        coo.push(0, 0, 2.0).unwrap();
+        coo.push(1, 0, 1.0).unwrap();
+        coo.push(1, 1, 3.0).unwrap();
+        let a = coo.to_csr();
+        let x = [1.0, 2.0];
+        let mut y = vec![0.0; 2];
+        spmv(&a, &x, &mut y);
+        assert_eq!(y, vec![2.0, 7.0]);
+        let b = [2.0, 7.0];
+        assert_eq!(relative_residual(&a, &x, &b), 0.0);
+        assert!(relative_residual(&a, &[0.0, 0.0], &b) > 0.9);
+    }
+}

@@ -1,0 +1,114 @@
+//! Fill-reducing and locality orderings.
+//!
+//! Offline stand-ins for the pre-processing used by the paper's modified data
+//! sets (see DESIGN.md, substitution 2):
+//!
+//! * [`rcm`] — reverse Cuthill–McKee bandwidth reduction,
+//! * [`min_degree`] — greedy minimum-degree elimination ordering (the role
+//!   of AMD in the iChol data set, §6.2.3),
+//! * [`nested_dissection`] — recursive BFS-separator dissection (the role of
+//!   `METIS_NodeND` in the METIS data set, §6.2.2).
+//!
+//! All orderings operate on the symmetrized sparsity pattern and return a
+//! [`Permutation`](crate::Permutation) in the workspace's `old_of_new`
+//! convention, ready for [`CsrMatrix::symmetric_permute`](crate::CsrMatrix::symmetric_permute).
+
+pub mod min_degree;
+pub mod nested_dissection;
+pub mod rcm;
+
+pub use min_degree::min_degree_ordering;
+pub use nested_dissection::nested_dissection_ordering;
+pub use rcm::rcm_ordering;
+
+use crate::csr::CsrMatrix;
+
+/// Symmetrized adjacency structure (CSR-of-graph) without self-loops.
+///
+/// `neighbors(v)` = `adjncy[xadj[v]..xadj[v+1]]`, sorted and deduplicated.
+#[derive(Debug, Clone)]
+pub struct AdjacencyGraph {
+    xadj: Vec<usize>,
+    adjncy: Vec<usize>,
+}
+
+impl AdjacencyGraph {
+    /// Builds the symmetrized pattern graph of a square matrix.
+    pub fn from_matrix(m: &CsrMatrix) -> Self {
+        assert_eq!(m.n_rows(), m.n_cols(), "adjacency graph needs a square matrix");
+        let n = m.n_rows();
+        let mut degree = vec![0usize; n];
+        for (r, c, _) in m.iter() {
+            if r != c {
+                degree[r] += 1;
+                degree[c] += 1;
+            }
+        }
+        let mut xadj = vec![0usize; n + 1];
+        for v in 0..n {
+            xadj[v + 1] = xadj[v] + degree[v];
+        }
+        let mut adjncy = vec![0usize; xadj[n]];
+        let mut cursor = xadj.clone();
+        for (r, c, _) in m.iter() {
+            if r != c {
+                adjncy[cursor[r]] = c;
+                cursor[r] += 1;
+                adjncy[cursor[c]] = r;
+                cursor[c] += 1;
+            }
+        }
+        // Sort + dedup each neighbourhood in place, then recompact.
+        let mut new_xadj = Vec::with_capacity(n + 1);
+        let mut new_adjncy = Vec::with_capacity(adjncy.len());
+        new_xadj.push(0);
+        for v in 0..n {
+            let seg = &mut adjncy[xadj[v]..xadj[v + 1]];
+            seg.sort_unstable();
+            let mut last = usize::MAX;
+            for &u in seg.iter() {
+                if u != last {
+                    new_adjncy.push(u);
+                    last = u;
+                }
+            }
+            new_xadj.push(new_adjncy.len());
+        }
+        AdjacencyGraph { xadj: new_xadj, adjncy: new_adjncy }
+    }
+
+    /// Number of vertices.
+    pub fn n(&self) -> usize {
+        self.xadj.len() - 1
+    }
+
+    /// Sorted, deduplicated neighbours of `v`.
+    pub fn neighbors(&self, v: usize) -> &[usize] {
+        &self.adjncy[self.xadj[v]..self.xadj[v + 1]]
+    }
+
+    /// Degree of `v` (self-loops excluded).
+    pub fn degree(&self, v: usize) -> usize {
+        self.xadj[v + 1] - self.xadj[v]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CooMatrix;
+
+    #[test]
+    fn adjacency_symmetrizes_and_dedups() {
+        let mut coo = CooMatrix::new(3, 3);
+        coo.push(0, 0, 1.0).unwrap(); // self-loop dropped
+        coo.push(1, 0, 1.0).unwrap(); // only lower stored
+        coo.push(2, 1, 1.0).unwrap();
+        coo.push(1, 2, 1.0).unwrap(); // duplicate edge after symmetrizing
+        let g = AdjacencyGraph::from_matrix(&coo.to_csr());
+        assert_eq!(g.neighbors(0), &[1]);
+        assert_eq!(g.neighbors(1), &[0, 2]);
+        assert_eq!(g.neighbors(2), &[1]);
+        assert_eq!(g.degree(1), 2);
+    }
+}

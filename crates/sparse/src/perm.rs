@@ -1,0 +1,154 @@
+//! Permutations of `0..n` and their action on vectors and matrices.
+//!
+//! The reordering step of the paper (§5) and the METIS-style pre-processing
+//! (§6.2.2) are both symmetric permutations; this module fixes one convention
+//! so they cannot be composed the wrong way round:
+//!
+//! * a [`Permutation`] stores `old_of_new`: the old index that lands at each
+//!   new position, i.e. new index `i` holds what was `old_of_new[i]`;
+//! * applying it to a vector *gathers*: `y[i] = x[old_of_new[i]]`.
+
+use crate::error::SparseError;
+use crate::Result;
+
+/// A bijection on `0..n`, stored as the `old_of_new` mapping.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Permutation {
+    old_of_new: Vec<usize>,
+    new_of_old: Vec<usize>,
+}
+
+impl Permutation {
+    /// The identity permutation on `0..n`.
+    pub fn identity(n: usize) -> Self {
+        let v: Vec<usize> = (0..n).collect();
+        Permutation { old_of_new: v.clone(), new_of_old: v }
+    }
+
+    /// Builds a permutation from the `old_of_new` mapping, validating that it
+    /// is a bijection on `0..n`.
+    pub fn from_old_of_new(old_of_new: Vec<usize>) -> Result<Self> {
+        let n = old_of_new.len();
+        let mut new_of_old = vec![usize::MAX; n];
+        for (new, &old) in old_of_new.iter().enumerate() {
+            if old >= n {
+                return Err(SparseError::InvalidPermutation(format!(
+                    "index {old} out of range for n={n}"
+                )));
+            }
+            if new_of_old[old] != usize::MAX {
+                return Err(SparseError::InvalidPermutation(format!("index {old} repeated")));
+            }
+            new_of_old[old] = new;
+        }
+        Ok(Permutation { old_of_new, new_of_old })
+    }
+
+    /// Builds a permutation from the `new_of_old` mapping (where each old
+    /// index should go), validating bijectivity.
+    pub fn from_new_of_old(new_of_old: Vec<usize>) -> Result<Self> {
+        let p = Permutation::from_old_of_new(new_of_old)?;
+        Ok(p.inverse())
+    }
+
+    /// Domain size `n`.
+    pub fn len(&self) -> usize {
+        self.old_of_new.len()
+    }
+
+    /// Whether the domain is empty.
+    pub fn is_empty(&self) -> bool {
+        self.old_of_new.is_empty()
+    }
+
+    /// `old_of_new[i]` — the old index stored at new position `i`.
+    pub fn old_of_new(&self) -> &[usize] {
+        &self.old_of_new
+    }
+
+    /// `new_of_old[i]` — the new position of old index `i`.
+    pub fn new_of_old(&self) -> &[usize] {
+        &self.new_of_old
+    }
+
+    /// The inverse permutation.
+    pub fn inverse(&self) -> Permutation {
+        Permutation { old_of_new: self.new_of_old.clone(), new_of_old: self.old_of_new.clone() }
+    }
+
+    /// Composes two permutations: applying `self.compose(other)` is the same
+    /// as first applying `other`, then `self` (both in the gather sense).
+    pub fn compose(&self, other: &Permutation) -> Permutation {
+        debug_assert_eq!(self.len(), other.len());
+        let old_of_new: Vec<usize> =
+            self.old_of_new.iter().map(|&mid| other.old_of_new[mid]).collect();
+        Permutation::from_old_of_new(old_of_new).expect("composition of bijections is a bijection")
+    }
+
+    /// Gathers a vector: `out[i] = x[old_of_new[i]]`.
+    pub fn apply_vec<T: Copy>(&self, x: &[T]) -> Vec<T> {
+        debug_assert_eq!(x.len(), self.len());
+        self.old_of_new.iter().map(|&o| x[o]).collect()
+    }
+
+    /// Scatters a vector back: `out[old_of_new[i]] = x[i]`, the inverse of
+    /// [`Permutation::apply_vec`]. Used to map a solution of a permuted system
+    /// back to the original unknown ordering.
+    pub fn apply_inverse_vec<T: Copy + Default>(&self, x: &[T]) -> Vec<T> {
+        debug_assert_eq!(x.len(), self.len());
+        let mut out = vec![T::default(); x.len()];
+        for (i, &o) in self.old_of_new.iter().enumerate() {
+            out[o] = x[i];
+        }
+        out
+    }
+
+    /// Whether this is the identity.
+    pub fn is_identity(&self) -> bool {
+        self.old_of_new.iter().enumerate().all(|(i, &o)| i == o)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bijectivity_enforced() {
+        assert!(Permutation::from_old_of_new(vec![0, 0, 1]).is_err());
+        assert!(Permutation::from_old_of_new(vec![0, 3]).is_err());
+        assert!(Permutation::from_old_of_new(vec![2, 0, 1]).is_ok());
+    }
+
+    #[test]
+    fn inverse_round_trips() {
+        let p = Permutation::from_old_of_new(vec![2, 0, 3, 1]).unwrap();
+        let x = [10.0, 20.0, 30.0, 40.0];
+        let y = p.apply_vec(&x);
+        assert_eq!(y, vec![30.0, 10.0, 40.0, 20.0]);
+        assert_eq!(p.apply_inverse_vec(&y), x.to_vec());
+        assert!(p.compose(&p.inverse()).is_identity());
+        assert!(p.inverse().compose(&p).is_identity());
+    }
+
+    #[test]
+    fn new_of_old_consistency() {
+        let p = Permutation::from_old_of_new(vec![2, 0, 3, 1]).unwrap();
+        for new in 0..4 {
+            assert_eq!(p.new_of_old()[p.old_of_new()[new]], new);
+        }
+        let q = Permutation::from_new_of_old(p.new_of_old().to_vec()).unwrap();
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn composition_order() {
+        let p = Permutation::from_old_of_new(vec![1, 2, 0]).unwrap();
+        let q = Permutation::from_old_of_new(vec![2, 1, 0]).unwrap();
+        let x = [1.0, 2.0, 3.0];
+        let via_compose = p.compose(&q).apply_vec(&x);
+        let stepwise = p.apply_vec(&q.apply_vec(&x));
+        // compose(q) first applies q, then self.
+        assert_eq!(via_compose, stepwise);
+    }
+}

@@ -1,0 +1,57 @@
+//! # sptrsv — parallel scheduling for sparse triangular solvers
+//!
+//! A from-scratch Rust reproduction of *Efficient Parallel Scheduling for
+//! Sparse Triangular Solvers* (IPPS 2025, arXiv:2503.05408): the
+//! **GrowLocal** barrier scheduler, **Funnel** acyclicity-preserving DAG
+//! coarsening, schedule-driven **locality reordering**, **block-parallel
+//! scheduling**, and the wavefront / HDagg-style / SpMP-style / BSPg-style
+//! baselines — plus the sparse-matrix substrate, executors and machine model
+//! needed to run and evaluate all of it.
+//!
+//! This facade re-exports the workspace crates under stable paths:
+//!
+//! ```
+//! use sptrsv::prelude::*;
+//!
+//! // Build a small SPD problem and take its lower triangle.
+//! let a = grid2d_laplacian(32, 32, Stencil2D::FivePoint, 0.5);
+//! let l = a.lower_triangle().unwrap();
+//!
+//! // Schedule the solve DAG on 4 cores with GrowLocal.
+//! let dag = SolveDag::from_lower_triangular(&l);
+//! let schedule = GrowLocal::new().schedule(&dag, 4);
+//! assert!(schedule.validate(&dag).is_ok());
+//!
+//! // Execute with real threads and barriers; verify against serial.
+//! let b = vec![1.0; l.n_rows()];
+//! let mut x = vec![0.0; l.n_rows()];
+//! solve_with_barriers(&l, &schedule, &b, &mut x).unwrap();
+//! assert!(sptrsv::exec::verify::deviation_from_serial(&l, &b, &x) < 1e-12);
+//! ```
+//!
+//! Crate map: [`sparse`] (matrices, generators, orderings, IC(0)), [`dag`]
+//! (solve DAGs, wavefronts, coarsening), [`core`] (schedulers), [`exec`]
+//! (kernels, executors, machine model), [`datasets`] (benchmark suites).
+
+pub use sptrsv_core as core;
+pub use sptrsv_dag as dag;
+pub use sptrsv_datasets as datasets;
+pub use sptrsv_exec as exec;
+pub use sptrsv_sparse as sparse;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use sptrsv_core::{
+        reorder_for_locality, BlockParallel, BspG, FunnelGrowLocal, GrowLocal, GrowLocalParams,
+        HDagg, Schedule, Scheduler, SpMp, VertexPriority, WavefrontScheduler,
+    };
+    pub use sptrsv_dag::{average_wavefront_size, wavefronts, SolveDag};
+    pub use sptrsv_datasets::{load_suite, Dataset, Scale, SuiteKind};
+    pub use sptrsv_exec::{
+        simulate_barrier, simulate_serial, solve_with_barriers, MachineProfile, SimReport,
+    };
+    pub use sptrsv_sparse::gen::grid::{
+        grid2d_laplacian, grid3d_laplacian, Stencil2D, Stencil3D,
+    };
+    pub use sptrsv_sparse::{CooMatrix, CsrMatrix, Permutation};
+}

@@ -1,0 +1,134 @@
+//! End-to-end integration tests: datasets → schedulers → executors.
+//!
+//! Every scheduler must produce a valid schedule on every suite, and every
+//! executor must reproduce the serial solution bit-for-bit-close.
+
+use sptrsv::exec::async_exec::AsyncExecutor;
+use sptrsv::exec::verify::deviation_from_serial;
+use sptrsv::prelude::*;
+
+fn schedulers() -> Vec<Box<dyn Scheduler>> {
+    vec![
+        Box::new(GrowLocal::new()),
+        Box::new(WavefrontScheduler),
+        Box::new(HDagg::default()),
+        Box::new(SpMp),
+        Box::new(BspG::default()),
+        Box::new(BlockParallel::new(3)),
+    ]
+}
+
+#[test]
+fn every_scheduler_is_valid_and_correct_on_every_suite() {
+    for kind in SuiteKind::all() {
+        let suite = load_suite(kind, Scale::Test, 3);
+        // One representative instance per suite keeps the test fast.
+        let ds = &suite[0];
+        let dag = ds.dag();
+        let n = ds.lower.n_rows();
+        let b: Vec<f64> = (0..n).map(|i| 1.0 + ((i * 13) % 17) as f64 / 7.0).collect();
+        for sched in schedulers() {
+            let s = sched.schedule(&dag, 4);
+            s.validate(&dag).unwrap_or_else(|e| {
+                panic!("{} invalid on {} ({kind:?}): {e}", sched.name(), ds.name)
+            });
+            let mut x = vec![0.0; n];
+            solve_with_barriers(&ds.lower, &s, &b, &mut x).expect("validated above");
+            let dev = deviation_from_serial(&ds.lower, &b, &x);
+            assert!(
+                dev < 1e-10,
+                "{} on {}: deviation {dev}",
+                sched.name(),
+                ds.name
+            );
+        }
+    }
+}
+
+#[test]
+fn funnel_gl_valid_and_correct_on_every_suite() {
+    for kind in SuiteKind::all() {
+        let suite = load_suite(kind, Scale::Test, 4);
+        let ds = &suite[0];
+        let dag = ds.dag();
+        let fgl = FunnelGrowLocal::for_dag(&dag, 4);
+        let s = fgl.schedule(&dag, 4);
+        s.validate(&dag).unwrap_or_else(|e| panic!("Funnel+GL invalid on {}: {e}", ds.name));
+        let n = ds.lower.n_rows();
+        let b = vec![1.0; n];
+        let mut x = vec![0.0; n];
+        solve_with_barriers(&ds.lower, &s, &b, &mut x).expect("valid");
+        assert!(deviation_from_serial(&ds.lower, &b, &x) < 1e-10);
+    }
+}
+
+#[test]
+fn reordered_problem_solves_identically() {
+    let suite = load_suite(SuiteKind::SuiteSparse, Scale::Test, 5);
+    for ds in suite.iter().take(3) {
+        let dag = ds.dag();
+        let schedule = GrowLocal::new().schedule(&dag, 4);
+        let reordered = reorder_for_locality(&ds.lower, &schedule).expect("topological");
+        let n = ds.lower.n_rows();
+        let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.11).sin() + 2.0).collect();
+        // Solve in the reordered space and map back.
+        let pb = reordered.permutation.apply_vec(&b);
+        let mut px = vec![0.0; n];
+        solve_with_barriers(&reordered.matrix, &reordered.schedule, &pb, &mut px)
+            .expect("valid");
+        let x = reordered.permutation.apply_inverse_vec(&px);
+        assert!(
+            deviation_from_serial(&ds.lower, &b, &x) < 1e-9,
+            "reordered solve differs on {}",
+            ds.name
+        );
+    }
+}
+
+#[test]
+fn async_executor_correct_on_hard_instance() {
+    let suite = load_suite(SuiteKind::NarrowBandwidth, Scale::Test, 6);
+    let ds = &suite[0];
+    let dag = ds.dag();
+    let schedule = SpMp.schedule(&dag, 4);
+    let reduced = SpMp.reduced_dag(&dag);
+    let exec = AsyncExecutor::new(&ds.lower, &schedule, &reduced).expect("valid");
+    let n = ds.lower.n_rows();
+    let b: Vec<f64> = (0..n).map(|i| ((i % 23) as f64) - 11.0).collect();
+    let mut x = vec![0.0; n];
+    exec.solve(&ds.lower, &b, &mut x);
+    assert!(deviation_from_serial(&ds.lower, &b, &x) < 1e-10);
+}
+
+#[test]
+fn growlocal_reduces_barriers_on_all_suites() {
+    // Table 7.2's qualitative claim: GrowLocal needs far fewer barriers than
+    // there are wavefronts, on every suite.
+    for kind in SuiteKind::all() {
+        let suite = load_suite(kind, Scale::Test, 7);
+        for ds in suite.iter().take(2) {
+            let dag = ds.dag();
+            let s = GrowLocal::new().schedule(&dag, 4);
+            let wf = wavefronts(&dag).n_fronts();
+            assert!(
+                s.n_supersteps() <= wf,
+                "{}: {} supersteps vs {} wavefronts",
+                ds.name,
+                s.n_supersteps(),
+                wf
+            );
+        }
+    }
+}
+
+#[test]
+fn schedules_are_deterministic() {
+    let suite = load_suite(SuiteKind::Metis, Scale::Test, 8);
+    let ds = &suite[0];
+    let dag = ds.dag();
+    for sched in schedulers() {
+        let a = sched.schedule(&dag, 4);
+        let b = sched.schedule(&dag, 4);
+        assert_eq!(a, b, "{} is nondeterministic", sched.name());
+    }
+}

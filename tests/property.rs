@@ -1,0 +1,198 @@
+//! Property-based tests of the workspace's core invariants.
+//!
+//! Random lower-triangular matrices (Erdős–Rényi and narrow-band, seeded
+//! through proptest) drive the invariants the paper's correctness rests on:
+//! Definition 2.1 validity for every scheduler, Proposition 4.3 acyclicity of
+//! funnel coarsening, equivalence of all executors with the serial kernel,
+//! and permutation round-trips.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use sptrsv::dag::coarsen::{coarsen, funnel_partition, is_funnel, FunnelDirection, FunnelOptions};
+use sptrsv::dag::{is_acyclic, transitive::approximate_transitive_reduction};
+use sptrsv::exec::verify::deviation_from_serial;
+use sptrsv::prelude::*;
+
+/// A random lower-triangular operand: ER with the given density, or a
+/// narrow-band matrix when `band` is set.
+fn random_lower(seed: u64, n: usize, density: f64, band: Option<f64>) -> CsrMatrix {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    match band {
+        Some(b) => sptrsv::sparse::gen::narrow_band_lower(n, density.max(0.01), b, &mut rng),
+        None => sptrsv::sparse::gen::erdos_renyi_lower(n, density, &mut rng),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn all_schedulers_produce_valid_schedules(
+        seed in any::<u64>(),
+        n in 2usize..160,
+        density in 0.0f64..0.25,
+        cores in 1usize..6,
+    ) {
+        let l = random_lower(seed, n, density, None);
+        let dag = SolveDag::from_lower_triangular(&l);
+        let schedulers: Vec<Box<dyn Scheduler>> = vec![
+            Box::new(GrowLocal::new()),
+            Box::new(WavefrontScheduler),
+            Box::new(HDagg::default()),
+            Box::new(SpMp),
+            Box::new(BspG::default()),
+            Box::new(BlockParallel::new(3)),
+            Box::new(FunnelGrowLocal::for_dag(&dag, cores)),
+        ];
+        for sched in schedulers {
+            let s = sched.schedule(&dag, cores);
+            prop_assert!(
+                s.validate(&dag).is_ok(),
+                "{} invalid: n={n} density={density} cores={cores} seed={seed}",
+                sched.name()
+            );
+        }
+    }
+
+    #[test]
+    fn executors_match_serial(
+        seed in any::<u64>(),
+        n in 2usize..120,
+        density in 0.0f64..0.3,
+    ) {
+        let l = random_lower(seed, n, density, None);
+        let dag = SolveDag::from_lower_triangular(&l);
+        let b: Vec<f64> = (0..n).map(|i| ((i as f64) * 0.7).sin() + 1.5).collect();
+        let s = GrowLocal::new().schedule(&dag, 3);
+        let mut x = vec![0.0; n];
+        solve_with_barriers(&l, &s, &b, &mut x).expect("valid schedule");
+        prop_assert!(deviation_from_serial(&l, &b, &x) < 1e-9);
+    }
+
+    #[test]
+    fn funnel_parts_are_funnels_and_coarse_graph_acyclic(
+        seed in any::<u64>(),
+        n in 1usize..100,
+        density in 0.0f64..0.3,
+        cap in 1u64..64,
+        out_direction in any::<bool>(),
+    ) {
+        let l = random_lower(seed, n, density, None);
+        let dag = SolveDag::from_lower_triangular(&l);
+        let direction =
+            if out_direction { FunnelDirection::Out } else { FunnelDirection::In };
+        let opts = FunnelOptions { direction, max_part_weight: cap };
+        let partition = funnel_partition(&dag, &opts);
+        // Partition covers every vertex exactly once.
+        let mut seen = vec![false; n];
+        for part in &partition.parts {
+            for &v in part {
+                prop_assert!(!seen[v], "vertex {v} in two parts");
+                seen[v] = true;
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+        // Definition 4.4 per part (checked on small instances only — the
+        // checker is quadratic).
+        if n <= 60 {
+            for part in &partition.parts {
+                prop_assert!(
+                    is_funnel(&dag, part, direction),
+                    "non-funnel part {part:?}"
+                );
+            }
+        }
+        // Proposition 4.3.
+        let coarse = coarsen(&dag, &partition);
+        prop_assert!(is_acyclic(&coarse));
+        prop_assert_eq!(coarse.total_weight(), dag.total_weight());
+    }
+
+    #[test]
+    fn transitive_reduction_preserves_levels(
+        seed in any::<u64>(),
+        n in 1usize..150,
+        density in 0.0f64..0.3,
+    ) {
+        let l = random_lower(seed, n, density, None);
+        let dag = SolveDag::from_lower_triangular(&l);
+        let reduced = approximate_transitive_reduction(&dag);
+        prop_assert!(reduced.n_edges() <= dag.n_edges());
+        prop_assert_eq!(wavefronts(&dag).level, wavefronts(&reduced).level);
+    }
+
+    #[test]
+    fn narrow_band_schedules_and_solves(
+        seed in any::<u64>(),
+        n in 10usize..200,
+        band in 2.0f64..20.0,
+    ) {
+        let l = random_lower(seed, n, 0.2, Some(band));
+        let dag = SolveDag::from_lower_triangular(&l);
+        let s = GrowLocal::new().schedule(&dag, 4);
+        prop_assert!(s.validate(&dag).is_ok());
+        let b = vec![1.0; n];
+        let mut x = vec![0.0; n];
+        solve_with_barriers(&l, &s, &b, &mut x).expect("valid");
+        prop_assert!(deviation_from_serial(&l, &b, &x) < 1e-9);
+    }
+
+    #[test]
+    fn reordering_preserves_triangularity_and_solution(
+        seed in any::<u64>(),
+        n in 2usize..120,
+        density in 0.0f64..0.25,
+    ) {
+        let l = random_lower(seed, n, density, None);
+        let dag = SolveDag::from_lower_triangular(&l);
+        let s = GrowLocal::new().schedule(&dag, 3);
+        let r = reorder_for_locality(&l, &s).expect("topological");
+        prop_assert!(r.matrix.is_lower_triangular());
+        prop_assert!(r.matrix.has_nonzero_diagonal());
+        let new_dag = SolveDag::from_lower_triangular(&r.matrix);
+        prop_assert!(r.schedule.validate(&new_dag).is_ok());
+        // Solutions agree through the permutation.
+        let b: Vec<f64> = (0..n).map(|i| 1.0 + (i % 9) as f64).collect();
+        let mut x = vec![0.0; n];
+        solve_with_barriers(&l, &s, &b, &mut x).expect("valid");
+        let pb = r.permutation.apply_vec(&b);
+        let mut px = vec![0.0; n];
+        solve_with_barriers(&r.matrix, &r.schedule, &pb, &mut px).expect("valid");
+        let x_back = r.permutation.apply_inverse_vec(&px);
+        for (a, bb) in x.iter().zip(&x_back) {
+            prop_assert!((a - bb).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn permutation_roundtrip(
+        seed in any::<u64>(),
+        n in 1usize..200,
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let p = sptrsv::sparse::gen::block_shuffle_permutation(n, 7, &mut rng);
+        let x: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let y = p.apply_vec(&x);
+        prop_assert_eq!(p.apply_inverse_vec(&y), x);
+        prop_assert!(p.compose(&p.inverse()).is_identity());
+    }
+
+    #[test]
+    fn schedule_stats_are_consistent(
+        seed in any::<u64>(),
+        n in 1usize..150,
+        density in 0.0f64..0.2,
+        cores in 1usize..5,
+    ) {
+        let l = random_lower(seed, n, density, None);
+        let dag = SolveDag::from_lower_triangular(&l);
+        let s = GrowLocal::new().schedule(&dag, cores);
+        let stats = s.stats(&dag);
+        prop_assert_eq!(stats.total_work, dag.total_weight());
+        prop_assert!(stats.critical_work <= stats.total_work);
+        prop_assert!(stats.critical_work * (cores as u64) >= stats.total_work);
+        let eff = stats.work_efficiency(cores);
+        prop_assert!(eff > 0.0 && eff <= 1.0 + 1e-12);
+    }
+}
