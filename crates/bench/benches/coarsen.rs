@@ -19,8 +19,7 @@ fn bench_passes(c: &mut Criterion) {
             |b, dag| b.iter(|| approximate_transitive_reduction(std::hint::black_box(dag))),
         );
         group.bench_with_input(BenchmarkId::new("funnel_in", &ds.name), &dag, |b, dag| {
-            let opts =
-                FunnelOptions { direction: FunnelDirection::In, max_part_weight: 1 << 10 };
+            let opts = FunnelOptions { direction: FunnelDirection::In, max_part_weight: 1 << 10 };
             b.iter(|| funnel_partition(std::hint::black_box(dag), &opts))
         });
         group.bench_with_input(BenchmarkId::new("wavefronts", &ds.name), &dag, |b, dag| {

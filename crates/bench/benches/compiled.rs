@@ -1,0 +1,150 @@
+//! Bench guard for the CompiledSchedule execution layer (this PR's perf
+//! claim, measured rather than asserted).
+//!
+//! Two comparisons on a 256×256 grid Laplacian (n = 65,536):
+//!
+//! * **plan construction** — `CompiledSchedule::from_schedule` (two flat
+//!   allocations, counting sort) vs the seed's `Schedule::cells()` nested
+//!   materialization (one `Vec` per cell);
+//! * **steady-state solve traversal** — the barrier executor walking the
+//!   flat layout vs an executor walking the seed's nested
+//!   `plan[core][superstep]` representation. Measured on a single-core
+//!   wavefront schedule (511 supersteps ⇒ 511 cells, no threads spawned),
+//!   so the representation's traversal cost is isolated from thread
+//!   scheduling noise on this single-core machine.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sptrsv_core::{CompiledSchedule, GrowLocal, Schedule, Scheduler, WavefrontScheduler};
+use sptrsv_dag::SolveDag;
+use sptrsv_exec::barrier::BarrierExecutor;
+use sptrsv_sparse::gen::grid::{grid2d_laplacian, Stencil2D};
+use sptrsv_sparse::CsrMatrix;
+
+/// The seed implementation's executor, verbatim: one heap vector per cell,
+/// nested per core, rows computed through the shared raw pointer (the same
+/// kernel the current executor uses, so only the *representation* differs).
+/// Kept here (only) as the baseline under measurement.
+struct NestedCellsExecutor {
+    plan: Vec<Vec<Vec<usize>>>,
+}
+
+#[derive(Clone, Copy)]
+struct SharedX(*mut f64);
+
+impl NestedCellsExecutor {
+    fn new(schedule: &Schedule) -> NestedCellsExecutor {
+        let cells = schedule.cells();
+        let mut plan = vec![vec![Vec::new(); schedule.n_supersteps()]; schedule.n_cores()];
+        for (s, row) in cells.into_iter().enumerate() {
+            for (p, cell) in row.into_iter().enumerate() {
+                plan[p][s] = cell;
+            }
+        }
+        NestedCellsExecutor { plan }
+    }
+
+    /// Single-core solve walking the nested representation (the seed's
+    /// `run_core` with `barrier = None`).
+    fn solve_single_core(&self, l: &CsrMatrix, b: &[f64], x: &mut [f64]) {
+        let shared = SharedX(x.as_mut_ptr());
+        for cell in &self.plan[0] {
+            for &i in cell {
+                let (cols, vals) = l.row(i);
+                let k = cols.len() - 1;
+                let mut acc = b[i];
+                for (&c, &v) in cols[..k].iter().zip(&vals[..k]) {
+                    // SAFETY: single-threaded; x[c] for c < i was written
+                    // earlier in this sweep (cells ascend, edges ascend).
+                    acc -= v * unsafe { *shared.0.add(c) };
+                }
+                // SAFETY: exclusive writer.
+                unsafe { *shared.0.add(i) = acc / vals[k] };
+            }
+        }
+    }
+}
+
+fn bench_compiled(c: &mut Criterion) {
+    let l = grid2d_laplacian(256, 256, Stencil2D::FivePoint, 0.5).lower_triangle().expect("square");
+    let n = l.n_rows();
+    let dag = SolveDag::from_lower_triangular(&l);
+
+    // Plan construction, micro level: one flat compile vs one nested
+    // materialization, on a realistic multi-core GrowLocal schedule.
+    let gl = GrowLocal::new().schedule(&dag, 4);
+    let mut group = c.benchmark_group("plan_construction");
+    group.sample_size(20);
+    group.bench_with_input(BenchmarkId::new("compiled_flat", n), &gl, |b, s| {
+        b.iter(|| CompiledSchedule::from_schedule(std::hint::black_box(s)))
+    });
+    group.bench_with_input(BenchmarkId::new("nested_cells", n), &gl, |b, s| {
+        b.iter(|| std::hint::black_box(s).cells())
+    });
+    // Pipeline level: what a SolvePlan build actually materialized. The seed
+    // called `cells()` four times (barrier executor, multi executor via a
+    // second barrier build plus its own, reorder enumeration), each followed
+    // by a transposition/flattening copy; the compiled layer builds the flat
+    // layout twice (reorder + one layout shared by both executors).
+    group.bench_with_input(BenchmarkId::new("pipeline_nested_x4", n), &gl, |b, s| {
+        b.iter(|| {
+            let mut planned = Vec::new();
+            for _ in 0..3 {
+                // BarrierExecutor::new / MultiRhsExecutor::new transposition.
+                let cells = std::hint::black_box(s).cells();
+                let mut plan = vec![vec![Vec::new(); s.n_supersteps()]; s.n_cores()];
+                for (step, row) in cells.into_iter().enumerate() {
+                    for (p, cell) in row.into_iter().enumerate() {
+                        plan[p][step] = cell;
+                    }
+                }
+                planned.push(plan);
+            }
+            // reorder_for_locality's flattening pass.
+            let mut order = Vec::with_capacity(s.n_vertices());
+            for row in std::hint::black_box(s).cells() {
+                for cell in row {
+                    order.extend(cell);
+                }
+            }
+            (planned, order)
+        })
+    });
+    group.bench_with_input(BenchmarkId::new("pipeline_compiled_x2", n), &gl, |b, s| {
+        b.iter(|| {
+            let reorder = CompiledSchedule::from_schedule(std::hint::black_box(s));
+            let shared = CompiledSchedule::from_schedule(std::hint::black_box(s));
+            (reorder, shared)
+        })
+    });
+    group.finish();
+
+    // Steady-state traversal: 1-core wavefront schedule = one cell per
+    // wavefront (511 cells), executed without threads.
+    let wf = WavefrontScheduler.schedule(&dag, 1);
+    let flat = BarrierExecutor::new(&l, &wf).expect("valid");
+    let nested = NestedCellsExecutor::new(&wf);
+    let b_rhs: Vec<f64> = (0..n).map(|i| 1.0 + (i % 5) as f64).collect();
+
+    let mut group = c.benchmark_group("solve_traversal");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(l.nnz() as u64));
+    group.bench_with_input(BenchmarkId::new("compiled_flat", n), &l, |bch, l| {
+        let mut x = vec![0.0; n];
+        bch.iter(|| flat.solve(std::hint::black_box(l), &b_rhs, &mut x));
+    });
+    group.bench_with_input(BenchmarkId::new("nested_cells", n), &l, |bch, l| {
+        let mut x = vec![0.0; n];
+        bch.iter(|| nested.solve_single_core(std::hint::black_box(l), &b_rhs, &mut x));
+    });
+    group.finish();
+
+    // Sanity: both paths produce the same solution.
+    let mut x_flat = vec![0.0; n];
+    let mut x_nested = vec![0.0; n];
+    flat.solve(&l, &b_rhs, &mut x_flat);
+    nested.solve_single_core(&l, &b_rhs, &mut x_nested);
+    assert_eq!(x_flat, x_nested, "flat and nested traversals diverged");
+}
+
+criterion_group!(benches, bench_compiled);
+criterion_main!(benches);

@@ -1,10 +1,11 @@
 //! Criterion benches of the scheduling algorithms themselves (their running
 //! time is the "scheduling time" axis of Tables 7.6/7.7 and Figure B.1).
+//!
+//! The scheduler set is enumerated from `sptrsv_core::registry` — adding a
+//! scheduler to the registry automatically adds it here.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use sptrsv_core::{
-    BlockParallel, BspG, FunnelGrowLocal, GrowLocal, HDagg, Scheduler, SpMp, WavefrontScheduler,
-};
+use sptrsv_core::registry;
 use sptrsv_datasets::{load_suite, Scale, SuiteKind};
 
 fn bench_schedulers(c: &mut Criterion) {
@@ -16,21 +17,12 @@ fn bench_schedulers(c: &mut Criterion) {
     group.sample_size(10);
     for ds in [app, nb] {
         let dag = ds.dag();
-        let schedulers: Vec<Box<dyn Scheduler>> = vec![
-            Box::new(GrowLocal::new()),
-            Box::new(FunnelGrowLocal::for_dag(&dag, 8)),
-            Box::new(WavefrontScheduler),
-            Box::new(HDagg::default()),
-            Box::new(SpMp),
-            Box::new(BspG::default()),
-            Box::new(BlockParallel::new(4)),
-        ];
-        for sched in &schedulers {
-            group.bench_with_input(
-                BenchmarkId::new(sched.name(), &ds.name),
-                &dag,
-                |b, dag| b.iter(|| sched.schedule(std::hint::black_box(dag), 8)),
-            );
+        for info in registry::list() {
+            let sched = registry::resolve(info.name, &dag, 8)
+                .expect("registry names resolve against their own list");
+            group.bench_with_input(BenchmarkId::new(info.name, &ds.name), &dag, |b, dag| {
+                b.iter(|| sched.schedule(std::hint::black_box(dag), 8))
+            });
         }
     }
     group.finish();

@@ -36,8 +36,7 @@ fn bench_solve(c: &mut Criterion) {
 
     let spmp_schedule = SpMp.schedule(&dag, 2);
     let reduced = SpMp.reduced_dag(&dag);
-    let asynchronous =
-        AsyncExecutor::new(&ds.lower, &spmp_schedule, &reduced).expect("valid");
+    let asynchronous = AsyncExecutor::new(&ds.lower, &spmp_schedule, &reduced).expect("valid");
     group.bench_with_input(BenchmarkId::new("async_2t", &ds.name), &ds.lower, |bch, l| {
         let mut x = vec![0.0; n];
         bch.iter(|| asynchronous.solve(std::hint::black_box(l), &b, &mut x));

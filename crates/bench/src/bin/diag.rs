@@ -20,9 +20,7 @@ fn main() {
         _ => SuiteKind::ErdosRenyi,
     };
     let index: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(0);
-    let scale = if args.iter().any(|a| a == "--scale")
-        && args.iter().any(|a| a == "test")
-    {
+    let scale = if args.iter().any(|a| a == "--scale") && args.iter().any(|a| a == "test") {
         Scale::Test
     } else {
         Scale::Medium
@@ -40,10 +38,7 @@ fn main() {
     );
     let profile = MachineProfile::intel_xeon_22();
     let serial = sptrsv_exec::simulate_serial(&ds.lower, &profile);
-    println!(
-        "serial: cycles={:.3e} misses={}",
-        serial.cycles, serial.cache_misses
-    );
+    println!("serial: cycles={:.3e} misses={}", serial.cycles, serial.cache_misses);
     for algo in [
         Algo::GrowLocal,
         Algo::GrowLocalNoReorder,
@@ -56,10 +51,9 @@ fn main() {
         let o = evaluate(ds, algo, &profile, 22);
         // Work-balance diagnostics on the raw schedule.
         let dag = ds.dag();
-        let sched = match algo {
-            Algo::HDagg => sptrsv_core::HDagg::default().schedule(&dag, 22),
-            _ => sptrsv_core::GrowLocal::new().schedule(&dag, 22),
-        };
+        let sched = sptrsv_core::registry::resolve(&algo.spec(), &dag, 22)
+            .expect("harness specs are registered")
+            .schedule(&dag, 22);
         let stats = sched.stats(&dag);
         println!(
             "{:<16} speedup={:>6.2} steps={:>6} sync={:.2e} misses={:>9} \

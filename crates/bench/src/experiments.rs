@@ -32,10 +32,12 @@ impl Default for Config {
     }
 }
 
+/// Suite cache storage, keyed by `(kind, scale-tag, seed)`.
+type SuiteCache = Mutex<HashMap<(SuiteKind, u8, u64), Arc<Vec<Dataset>>>>;
+
 /// Suite cache keyed by `(kind, scale-tag, seed)`.
 fn suite_cached(kind: SuiteKind, cfg: &Config) -> Arc<Vec<Dataset>> {
-    static CACHE: OnceLock<Mutex<HashMap<(SuiteKind, u8, u64), Arc<Vec<Dataset>>>>> =
-        OnceLock::new();
+    static CACHE: OnceLock<SuiteCache> = OnceLock::new();
     let scale_tag = match cfg.scale {
         Scale::Test => 0u8,
         Scale::Medium => 1,
@@ -87,10 +89,8 @@ pub fn table7_1(cfg: &Config) -> String {
         let suite = suite_cached(kind, cfg);
         let mut cells = vec![kind.label().to_string()];
         for algo in algos {
-            let speedups: Vec<f64> = eval_suite(&suite, algo, &profile, cfg.n_cores)
-                .iter()
-                .map(|o| o.speedup)
-                .collect();
+            let speedups: Vec<f64> =
+                eval_suite(&suite, algo, &profile, cfg.n_cores).iter().map(|o| o.speedup).collect();
             cells.push(f2(geometric_mean(&speedups)));
         }
         table.row(cells);
@@ -179,18 +179,21 @@ pub fn table7_3(cfg: &Config) -> String {
             .iter()
             .map(|o| o.speedup)
             .collect();
-        let without: Vec<f64> =
-            eval_suite(&suite, Algo::GrowLocalNoReorder, &profile, cfg.n_cores)
-                .iter()
-                .map(|o| o.speedup)
-                .collect();
+        let without: Vec<f64> = eval_suite(&suite, Algo::GrowLocalNoReorder, &profile, cfg.n_cores)
+            .iter()
+            .map(|o| o.speedup)
+            .collect();
         table.row(vec![
             kind.label().to_string(),
             f2(geometric_mean(&with)),
             f2(geometric_mean(&without)),
         ]);
     }
-    format!("## Table 7.3 — impact of reordering on GrowLocal ({} cores)\n\n{}", cfg.n_cores, table.render())
+    format!(
+        "## Table 7.3 — impact of reordering on GrowLocal ({} cores)\n\n{}",
+        cfg.n_cores,
+        table.render()
+    )
 }
 
 /// Table 7.4: the three machine profiles, SuiteSparse suite, 22 cores.
@@ -200,10 +203,8 @@ pub fn table7_4(cfg: &Config) -> String {
     for profile in MachineProfile::all() {
         let mut cells = vec![profile.name.to_string()];
         for algo in [Algo::GrowLocal, Algo::SpMp, Algo::HDagg] {
-            let speedups: Vec<f64> = eval_suite(&suite, algo, &profile, cfg.n_cores)
-                .iter()
-                .map(|o| o.speedup)
-                .collect();
+            let speedups: Vec<f64> =
+                eval_suite(&suite, algo, &profile, cfg.n_cores).iter().map(|o| o.speedup).collect();
             cells.push(f2(geometric_mean(&speedups)));
         }
         table.row(cells);
@@ -237,7 +238,8 @@ pub fn fig7_2(cfg: &Config) -> String {
     let suite = suite_cached(SuiteKind::SuiteSparse, cfg);
     // The paper buckets at 44–127 / 128–1200 / >50000; our scaled data set
     // uses the same style of low/mid/high split on its own range.
-    let buckets: [(&str, Box<dyn Fn(f64) -> bool>); 3] = [
+    type Bucket = Box<dyn Fn(f64) -> bool>;
+    let buckets: [(&str, Bucket); 3] = [
         ("wf < 128", Box::new(|wf| wf < 128.0)),
         ("128..1200", Box::new(|wf| (128.0..1200.0).contains(&wf))),
         ("wf >= 1200", Box::new(|wf| wf >= 1200.0)),
@@ -247,8 +249,7 @@ pub fn fig7_2(cfg: &Config) -> String {
     header.extend(cores.iter().map(|k| k.to_string()));
     let mut table = Table::new(header);
     for (label, pred) in &buckets {
-        let members: Vec<&Dataset> =
-            suite.iter().filter(|d| pred(d.stats.avg_wavefront)).collect();
+        let members: Vec<&Dataset> = suite.iter().filter(|d| pred(d.stats.avg_wavefront)).collect();
         let mut cells = vec![label.to_string()];
         if members.is_empty() {
             cells.extend(std::iter::repeat_n("n/a".to_string(), cores.len()));
@@ -462,10 +463,8 @@ pub fn extensions(cfg: &Config) -> String {
         let suite = suite_cached(kind, cfg);
         let mut cells = vec![kind.label().to_string()];
         for algo in [Algo::GrowLocalNoReorder, Algo::GrowLocalAsync, Algo::SpMp] {
-            let speedups: Vec<f64> = eval_suite(&suite, algo, &profile, cfg.n_cores)
-                .iter()
-                .map(|o| o.speedup)
-                .collect();
+            let speedups: Vec<f64> =
+                eval_suite(&suite, algo, &profile, cfg.n_cores).iter().map(|o| o.speedup).collect();
             cells.push(f2(geometric_mean(&speedups)));
         }
         async_table.row(cells);

@@ -1,9 +1,6 @@
 //! End-to-end evaluation of one (dataset, algorithm) pair.
 
-use sptrsv_core::{
-    reorder_for_locality, BlockParallel, BspG, FunnelGrowLocal, GrowLocal, GrowLocalParams,
-    HDagg, Schedule, Scheduler, SpMp, VertexPriority, WavefrontScheduler,
-};
+use sptrsv_core::{registry, reorder_for_locality, Schedule, SpMp};
 use sptrsv_datasets::Dataset;
 use sptrsv_exec::{simulate_async, simulate_barrier, simulate_serial, MachineProfile, SimReport};
 use std::time::Instant;
@@ -53,6 +50,22 @@ impl Algo {
             Algo::BspG => "BSPg".into(),
             Algo::BlockGl(t) => format!("GrowLocal({t} blocks)"),
             Algo::GrowLocalAsync => "GrowLocal(async)".into(),
+        }
+    }
+
+    /// The registry spec this pipeline schedules with — the *only* place the
+    /// harness names schedulers; everything resolves through
+    /// [`sptrsv_core::registry`].
+    pub fn spec(&self) -> String {
+        match self {
+            Algo::GrowLocal | Algo::GrowLocalNoReorder | Algo::GrowLocalAsync => "growlocal".into(),
+            Algo::GrowLocalIdOnly => "growlocal:priority=id-only".into(),
+            Algo::FunnelGl => "funnel-gl:cap=auto".into(),
+            Algo::SpMp => "spmp".into(),
+            Algo::HDagg => "hdagg".into(),
+            Algo::Wavefront => "wavefront".into(),
+            Algo::BspG => "bspg".into(),
+            Algo::BlockGl(t) => format!("block-gl:blocks={t}"),
         }
     }
 
@@ -108,22 +121,9 @@ pub fn evaluate(
     let serial = simulate_serial(&dataset.lower, profile);
 
     let started = Instant::now();
-    let schedule: Schedule = match algo {
-        Algo::GrowLocal | Algo::GrowLocalNoReorder | Algo::GrowLocalAsync => {
-            GrowLocal::new().schedule(&dag, n_cores)
-        }
-        Algo::GrowLocalIdOnly => GrowLocal::with_params(GrowLocalParams {
-            priority: VertexPriority::IdOnly,
-            ..Default::default()
-        })
-        .schedule(&dag, n_cores),
-        Algo::FunnelGl => FunnelGrowLocal::for_dag(&dag, n_cores).schedule(&dag, n_cores),
-        Algo::SpMp => SpMp.schedule(&dag, n_cores),
-        Algo::HDagg => HDagg::default().schedule(&dag, n_cores),
-        Algo::Wavefront => WavefrontScheduler.schedule(&dag, n_cores),
-        Algo::BspG => BspG::default().schedule(&dag, n_cores),
-        Algo::BlockGl(blocks) => BlockParallel::new(blocks).schedule(&dag, n_cores),
-    };
+    let scheduler = registry::resolve(&algo.spec(), &dag, n_cores)
+        .expect("harness specs name registered schedulers");
+    let schedule: Schedule = scheduler.schedule(&dag, n_cores);
 
     // Simulate; reordering (when part of the pipeline) produces a permuted
     // problem, simulated as-is (the permuted system is equivalent, §5).
@@ -133,8 +133,8 @@ pub fn evaluate(
         let sim = simulate_async(&dataset.lower, &schedule, &reduced, profile);
         return finish(dataset, algo, schedule, sched_seconds, serial, sim);
     } else if algo.reorders() {
-        let reordered = reorder_for_locality(&dataset.lower, &schedule)
-            .expect("schedule order is topological");
+        let reordered =
+            reorder_for_locality(&dataset.lower, &schedule).expect("schedule order is topological");
         let sched_seconds = started.elapsed().as_secs_f64();
         let sim = simulate_barrier(&reordered.matrix, &reordered.schedule, profile);
         return finish(dataset, algo, reordered.schedule, sched_seconds, serial, sim);
@@ -199,6 +199,30 @@ mod tests {
         ] {
             let out = evaluate(&suite[0], algo, &profile, 4);
             assert!(out.speedup.is_finite(), "{} produced a broken speedup", out.algo);
+        }
+    }
+
+    #[test]
+    fn every_algo_spec_resolves_in_the_registry() {
+        let dag = sptrsv_dag::SolveDag::from_edges(3, &[(0, 1)], vec![1; 3]);
+        for algo in [
+            Algo::GrowLocal,
+            Algo::GrowLocalNoReorder,
+            Algo::GrowLocalIdOnly,
+            Algo::FunnelGl,
+            Algo::SpMp,
+            Algo::HDagg,
+            Algo::Wavefront,
+            Algo::BspG,
+            Algo::BlockGl(4),
+            Algo::GrowLocalAsync,
+        ] {
+            let spec = algo.spec();
+            assert!(
+                registry::resolve(&spec, &dag, 4).is_ok(),
+                "{} resolves to unknown spec `{spec}`",
+                algo.label()
+            );
         }
     }
 

@@ -65,11 +65,8 @@ impl PerformanceProfile {
             .map(|algo_costs| {
                 taus.iter()
                     .map(|&tau| {
-                        let within = algo_costs
-                            .iter()
-                            .zip(&best)
-                            .filter(|&(&c, &b)| c <= tau * b)
-                            .count();
+                        let within =
+                            algo_costs.iter().zip(&best).filter(|&(&c, &b)| c <= tau * b).count();
                         within as f64 / n_instances.max(1) as f64
                     })
                     .collect()

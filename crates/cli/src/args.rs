@@ -24,10 +24,8 @@ impl Args {
                     token.trim_start_matches("--").to_string()
                 };
                 i += 1;
-                let value = argv
-                    .get(i)
-                    .ok_or_else(|| format!("flag --{key} needs a value"))?
-                    .clone();
+                let value =
+                    argv.get(i).ok_or_else(|| format!("flag --{key} needs a value"))?.clone();
                 if args.flags.insert(key.clone(), value).is_some() {
                     return Err(format!("flag --{key} given twice"));
                 }

@@ -1,0 +1,304 @@
+//! Offline stand-in for the parts of `criterion` this workspace uses.
+//!
+//! Implements `criterion_group!` / `criterion_main!`, benchmark groups,
+//! `bench_with_input` / `bench_function`, `Bencher::iter`, `BenchmarkId` and
+//! `Throughput` with a small wall-clock measurement loop: per benchmark it
+//! calibrates an iteration count targeting a fixed sample duration, runs
+//! `sample_size` samples, and reports the median / min / max time per
+//! iteration (plus element throughput when configured). No statistics
+//! beyond that, no HTML reports, no saved baselines — but the number it
+//! prints is a real measurement, good enough for the A-vs-B comparisons the
+//! workspace benches make.
+//!
+//! Under `cargo test` (which passes `--test` to `harness = false` bench
+//! binaries) every benchmark body runs exactly once, unmeasured, so benches
+//! double as smoke tests.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Wall-clock time one calibration sample aims for.
+const TARGET_SAMPLE: Duration = Duration::from_millis(8);
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    /// Substring filter from the command line (first free argument).
+    filter: Option<String>,
+    /// `--test` mode: run each body once, skip measurement.
+    test_mode: bool,
+    benchmarks_run: usize,
+}
+
+impl Criterion {
+    /// Builds a driver from the process arguments (as `criterion_main!`
+    /// does). Recognizes `--test` and a positional substring filter; other
+    /// flags (`--bench`, cargo bookkeeping) are ignored.
+    pub fn from_args() -> Criterion {
+        let mut c = Criterion::default();
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => c.test_mode = true,
+                a if a.starts_with('-') => {}
+                a => c.filter = Some(a.to_string()),
+            }
+        }
+        c
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), sample_size: 10, throughput: None, criterion: self }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let label = id.label();
+        run_benchmark(self, &label, 10, None, &mut f);
+        self
+    }
+
+    /// Number of benchmarks executed (used by `criterion_main!` to warn on
+    /// an over-restrictive filter).
+    pub fn benchmarks_run(&self) -> usize {
+        self.benchmarks_run
+    }
+
+    fn matches(&self, label: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| label.contains(f))
+    }
+}
+
+/// A group of related benchmarks sharing sample settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Declares the per-iteration workload for throughput reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmarks `f` with a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let label = format!("{}/{}", self.name, id.label());
+        let throughput = self.throughput;
+        run_benchmark(self.criterion, &label, self.sample_size, throughput, &mut |b| f(b, input));
+        self
+    }
+
+    /// Benchmarks a closure with no explicit input.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let label = format!("{}/{}", self.name, id.label());
+        let throughput = self.throughput;
+        run_benchmark(self.criterion, &label, self.sample_size, throughput, &mut f);
+        self
+    }
+
+    /// Ends the group (kept for API parity; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Times the body it is handed via [`Bencher::iter`].
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `routine` `self.iterations` times and records the total
+    /// wall-clock time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Per-iteration workload declaration for throughput lines.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Iterations process this many logical elements.
+    Elements(u64),
+    /// Iterations process this many bytes.
+    Bytes(u64),
+}
+
+/// A benchmark name, optionally parameterized.
+pub struct BenchmarkId {
+    function: String,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter value.
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId { function: function.into(), parameter: Some(parameter.to_string()) }
+    }
+
+    fn label(&self) -> String {
+        match &self.parameter {
+            Some(p) => format!("{}/{}", self.function, p),
+            None => self.function.clone(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(function: &str) -> BenchmarkId {
+        BenchmarkId { function: function.to_string(), parameter: None }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(function: String) -> BenchmarkId {
+        BenchmarkId { function, parameter: None }
+    }
+}
+
+/// Calibrates, samples and reports one benchmark.
+fn run_benchmark(
+    criterion: &mut Criterion,
+    label: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    f: &mut dyn FnMut(&mut Bencher),
+) {
+    if !criterion.matches(label) {
+        return;
+    }
+    criterion.benchmarks_run += 1;
+    if criterion.test_mode {
+        let mut b = Bencher { iterations: 1, elapsed: Duration::ZERO };
+        f(&mut b);
+        println!("test {label} ... ok");
+        return;
+    }
+    // Calibration: one iteration to estimate the per-iteration cost.
+    let mut b = Bencher { iterations: 1, elapsed: Duration::ZERO };
+    f(&mut b);
+    let estimate = b.elapsed.max(Duration::from_nanos(1));
+    let iterations = (TARGET_SAMPLE.as_nanos() / estimate.as_nanos()).clamp(1, 1_000_000) as u64;
+    let mut per_iter: Vec<f64> = Vec::with_capacity(sample_size);
+    for _ in 0..sample_size {
+        let mut b = Bencher { iterations, elapsed: Duration::ZERO };
+        f(&mut b);
+        per_iter.push(b.elapsed.as_secs_f64() / iterations as f64);
+    }
+    per_iter.sort_by(|a, b| a.total_cmp(b));
+    let median = per_iter[per_iter.len() / 2];
+    let min = per_iter[0];
+    let max = per_iter[per_iter.len() - 1];
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) if median > 0.0 => {
+            format!("  {:.3e} elem/s", n as f64 / median)
+        }
+        Some(Throughput::Bytes(n)) if median > 0.0 => {
+            format!("  {:.3e} B/s", n as f64 / median)
+        }
+        _ => String::new(),
+    };
+    println!(
+        "{label:<56} median {}  (min {}, max {}, {iterations} it x {sample_size}){rate}",
+        fmt_time(median),
+        fmt_time(min),
+        fmt_time(max),
+    );
+}
+
+/// Human-readable seconds.
+fn fmt_time(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.3} s")
+    } else if seconds >= 1e-3 {
+        format!("{:.3} ms", seconds * 1e3)
+    } else if seconds >= 1e-6 {
+        format!("{:.3} us", seconds * 1e6)
+    } else {
+        format!("{:.1} ns", seconds * 1e9)
+    }
+}
+
+/// Bundles benchmark functions into one group entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(criterion: &mut $crate::Criterion) {
+            $( $target(criterion); )+
+        }
+    };
+}
+
+/// Generates `main` for a `harness = false` bench binary.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::from_args();
+            $( $group(&mut criterion); )+
+            if criterion.benchmarks_run() == 0 {
+                eprintln!("warning: filter matched no benchmarks");
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        let mut ran = 0u64;
+        group.bench_with_input(BenchmarkId::new("count", 1), &5u64, |b, n| {
+            b.iter(|| {
+                ran += 1;
+                *n * 2
+            })
+        });
+        group.finish();
+        assert!(ran > 0, "benchmark body never executed");
+    }
+
+    #[test]
+    fn filter_skips() {
+        let mut c = Criterion { filter: Some("nope".into()), ..Criterion::default() };
+        let mut ran = false;
+        c.bench_function("other", |b| b.iter(|| ran = true));
+        assert!(!ran);
+        assert_eq!(c.benchmarks_run(), 0);
+    }
+}

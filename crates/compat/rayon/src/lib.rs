@@ -1,0 +1,52 @@
+//! Offline stand-in for the parts of `rayon` this workspace uses.
+//!
+//! The build environment has no network access and a single physical core,
+//! so `par_iter()` degrades to a sequential iterator: identical results,
+//! identical API, no speed-up. Call sites keep the rayon idiom so a real
+//! rayon can be swapped back in by changing one path in the workspace
+//! manifest.
+
+pub mod prelude {
+    pub use crate::IntoParallelRefIterator;
+}
+
+/// `.par_iter()` on a borrowed collection.
+pub trait IntoParallelRefIterator<'data> {
+    /// The per-item reference type.
+    type Item: 'data;
+    /// The (here: sequential) iterator type.
+    type Iter: Iterator<Item = Self::Item>;
+
+    /// Iterates the collection; sequential in this stand-in.
+    fn par_iter(&'data self) -> Self::Iter;
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+    type Item = &'data T;
+    type Iter = std::slice::Iter<'data, T>;
+
+    fn par_iter(&'data self) -> Self::Iter {
+        self.iter()
+    }
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+    type Item = &'data T;
+    type Iter = std::slice::Iter<'data, T>;
+
+    fn par_iter(&'data self) -> Self::Iter {
+        self.as_slice().iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_matches_iter() {
+        let v = vec![1, 2, 3, 4];
+        let doubled: Vec<i32> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6, 8]);
+    }
+}

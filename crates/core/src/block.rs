@@ -39,6 +39,9 @@ impl BlockParallel {
         let blocks = self.n_blocks.min(n.max(1));
         let total: u64 = dag.total_weight();
         if n == 0 || total == 0 {
+            // One block spanning everything (a single Range element, not a
+            // collected range).
+            #[allow(clippy::single_range_in_vec_init)]
             return vec![0..n];
         }
         let mut ranges = Vec::with_capacity(blocks);
@@ -167,10 +170,8 @@ mod tests {
         for w in ranges.windows(2) {
             assert_eq!(w[0].end, w[1].start);
         }
-        let weights: Vec<u64> = ranges
-            .iter()
-            .map(|r| r.clone().map(|v| g.weight(v)).sum())
-            .collect();
+        let weights: Vec<u64> =
+            ranges.iter().map(|r| r.clone().map(|v| g.weight(v)).sum()).collect();
         let max = *weights.iter().max().unwrap() as f64;
         let min = *weights.iter().min().unwrap() as f64;
         assert!(max / min < 1.6, "block weights {weights:?} too uneven");

@@ -62,10 +62,8 @@ impl Scheduler for BspG {
         let mut remaining: Vec<usize> = (0..n).map(|v| dag.in_degree(v)).collect();
         // Globally ready vertices (all parents finalized before the current
         // superstep), max-heap by priority.
-        let mut ready: BinaryHeap<(Prio, usize)> = (0..n)
-            .filter(|&v| remaining[v] == 0)
-            .map(|v| (prio(v), v))
-            .collect();
+        let mut ready: BinaryHeap<(Prio, usize)> =
+            (0..n).filter(|&v| remaining[v] == 0).map(|v| (prio(v), v)).collect();
         let mut core_of = vec![usize::MAX; n];
         let mut step_of = vec![usize::MAX; n];
         let mut finalized = 0usize;
@@ -78,9 +76,9 @@ impl Scheduler for BspG {
                 (0..n_cores).map(|_| BinaryHeap::new()).collect();
             let mut local: HashMap<usize, (usize, Option<usize>)> = HashMap::new();
             let mut assigned: Vec<(usize, usize)> = Vec::new();
-            for p in 0..n_cores {
+            for (p, excl_p) in excl.iter_mut().enumerate() {
                 for _ in 0..self.quota {
-                    let v = match excl[p].pop() {
+                    let v = match excl_p.pop() {
                         Some((_, v)) => Some(v),
                         None => ready.pop().map(|(_, v)| v),
                     };
@@ -95,7 +93,7 @@ impl Scheduler for BspG {
                             e.1 = None;
                         }
                         if e.0 == remaining[c] && e.1 == Some(p) {
-                            excl[p].push((prio(c), c));
+                            excl_p.push((prio(c), c));
                         }
                     }
                 }

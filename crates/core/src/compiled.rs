@@ -1,0 +1,184 @@
+//! Flat, executor-ready schedule layout.
+//!
+//! [`Schedule`] stores per-vertex assignments (`π`, `σ`) — the natural form
+//! for schedulers and validation. Executors need the transposed view: *the
+//! vertices of each `(superstep, core)` cell, in execution order*. The seed
+//! implementation materialized that view as a nested
+//! `Vec<Vec<Vec<usize>>>` ([`Schedule::cells`]) — one heap allocation per
+//! cell, pointer-chasing on the hot path, and a full re-materialization in
+//! every consumer (barrier executor, multi-RHS executor, async executor,
+//! simulator, reordering).
+//!
+//! [`CompiledSchedule`] is the CSR-style replacement: one flat vertex-order
+//! array (cells concatenated superstep-major, cores in order, ascending IDs
+//! within a cell — exactly the §5 locality-reordering enumeration) plus one
+//! offset array indexing it. Building it is a two-pass counting sort,
+//! `O(n + S·k)` time and exactly two allocations; a cell lookup is two loads
+//! and a slice.
+
+use crate::schedule::Schedule;
+
+/// A [`Schedule`] compiled to the flat cell layout executors consume.
+///
+/// Layout: `order` is every vertex exactly once, grouped by
+/// `(superstep, core)` with supersteps outermost; `cell_ptr[s·k + p]..
+/// cell_ptr[s·k + p + 1]` delimits cell `(s, p)`. Vertices within a cell
+/// ascend in ID (the order a core executes them, see
+/// [`Schedule::validate`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompiledSchedule {
+    n_cores: usize,
+    n_supersteps: usize,
+    order: Vec<usize>,
+    cell_ptr: Vec<usize>,
+}
+
+impl CompiledSchedule {
+    /// Compiles a schedule by counting sort over `(superstep, core)` keys.
+    ///
+    /// Scanning vertices in increasing ID makes every cell ascend in ID
+    /// without a sort.
+    pub fn from_schedule(schedule: &Schedule) -> CompiledSchedule {
+        let n = schedule.n_vertices();
+        let k = schedule.n_cores();
+        let s = schedule.n_supersteps();
+        let n_cells = s * k;
+        let steps = schedule.steps();
+        let cores = schedule.cores();
+        // `Schedule::new` derives `n_supersteps` from the data but does not
+        // bound-check cores; fail fast here (the seed's nested `cells()`
+        // panicked on out-of-range cores — a counting sort would silently
+        // misfile instead).
+        assert!(cores.iter().all(|&c| c < k), "schedule assigns a core >= n_cores ({k})");
+        let mut cell_ptr = vec![0usize; n_cells + 1];
+        for (&step, &core) in steps.iter().zip(cores) {
+            cell_ptr[step * k + core + 1] += 1;
+        }
+        for c in 0..n_cells {
+            cell_ptr[c + 1] += cell_ptr[c];
+        }
+        let mut order = vec![0usize; n];
+        let mut cursor = cell_ptr[..n_cells].to_vec();
+        for (v, (&step, &core)) in steps.iter().zip(cores).enumerate() {
+            let slot = &mut cursor[step * k + core];
+            order[*slot] = v;
+            *slot += 1;
+        }
+        CompiledSchedule { n_cores: k, n_supersteps: s, order, cell_ptr }
+    }
+
+    /// Number of scheduled vertices.
+    pub fn n_vertices(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Number of cores.
+    pub fn n_cores(&self) -> usize {
+        self.n_cores
+    }
+
+    /// Number of supersteps.
+    pub fn n_supersteps(&self) -> usize {
+        self.n_supersteps
+    }
+
+    /// The vertices of cell `(step, core)`, ascending in ID.
+    #[inline]
+    pub fn cell(&self, step: usize, core: usize) -> &[usize] {
+        let c = step * self.n_cores + core;
+        &self.order[self.cell_ptr[c]..self.cell_ptr[c + 1]]
+    }
+
+    /// The cells of one superstep, one slice per core.
+    pub fn step_cells(&self, step: usize) -> impl Iterator<Item = &[usize]> {
+        (0..self.n_cores).map(move |p| self.cell(step, p))
+    }
+
+    /// All vertices in execution-plan order (supersteps outermost, then
+    /// cores, ascending IDs within a cell) — the §5 reordering enumeration.
+    pub fn vertex_order(&self) -> &[usize] {
+        &self.order
+    }
+
+    /// Consumes the compiled schedule, returning the plan-order array.
+    pub fn into_vertex_order(self) -> Vec<usize> {
+        self.order
+    }
+
+    /// Expands back to the nested representation of [`Schedule::cells`]
+    /// (round-trip check in tests; executors never call this).
+    pub fn to_cells(&self) -> Vec<Vec<Vec<usize>>> {
+        (0..self.n_supersteps)
+            .map(|s| (0..self.n_cores).map(|p| self.cell(s, p).to_vec()).collect())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_nested_cells() {
+        // 2 cores, 3 supersteps, interleaved assignment.
+        let core_of = vec![0, 1, 0, 1, 0, 1, 0];
+        let step_of = vec![0, 0, 1, 1, 2, 2, 2];
+        let s = Schedule::new(2, core_of, step_of);
+        let c = CompiledSchedule::from_schedule(&s);
+        assert_eq!(c.to_cells(), s.cells());
+        assert_eq!(c.n_vertices(), 7);
+        assert_eq!(c.cell(2, 0), &[4, 6]);
+        assert_eq!(c.cell(2, 1), &[5]);
+    }
+
+    #[test]
+    fn cells_ascend_in_id() {
+        let core_of: Vec<usize> = (0..100).map(|v| v % 3).collect();
+        let step_of: Vec<usize> = (0..100).map(|v| (v / 10) % 4).collect();
+        let s = Schedule::new(3, core_of, step_of);
+        let c = CompiledSchedule::from_schedule(&s);
+        for step in 0..c.n_supersteps() {
+            for cell in c.step_cells(step) {
+                assert!(cell.windows(2).all(|w| w[0] < w[1]), "cell not ascending: {cell:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn vertex_order_is_a_permutation_in_plan_order() {
+        let s = Schedule::new(2, vec![0, 1, 0, 1], vec![0, 0, 1, 1]);
+        let c = CompiledSchedule::from_schedule(&s);
+        assert_eq!(c.vertex_order(), &[0, 1, 2, 3]);
+        let mut seen = [false; 4];
+        for &v in c.vertex_order() {
+            assert!(!seen[v]);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&x| x));
+    }
+
+    #[test]
+    fn empty_and_serial_schedules() {
+        let empty = CompiledSchedule::from_schedule(&Schedule::new(2, vec![], vec![]));
+        assert_eq!(empty.n_vertices(), 0);
+        assert_eq!(empty.n_supersteps(), 0);
+        let serial = CompiledSchedule::from_schedule(&Schedule::serial(5));
+        assert_eq!(serial.cell(0, 0), &[0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "core >= n_cores")]
+    fn out_of_range_core_rejected() {
+        let s = Schedule::new(2, vec![0, 2, 0], vec![0, 0, 1]);
+        let _ = CompiledSchedule::from_schedule(&s);
+    }
+
+    #[test]
+    fn empty_cells_are_empty_slices() {
+        // Core 1 idles in step 1.
+        let s = Schedule::new(2, vec![0, 1, 0], vec![0, 0, 1]);
+        let c = CompiledSchedule::from_schedule(&s);
+        assert_eq!(c.cell(1, 1), &[] as &[usize]);
+        assert_eq!(c.cell(1, 0), &[2]);
+    }
+}

@@ -41,16 +41,60 @@ impl Default for FunnelGrowLocal {
 }
 
 impl FunnelGrowLocal {
-    /// Chooses the part-weight cap for a concrete DAG and core count: a part
-    /// should stay well below one core's fair share of a superstep, otherwise
-    /// the coarse vertices are too lumpy to balance.
+    /// Chooses the part-weight cap for a concrete DAG and core count (see
+    /// [`auto_part_weight_cap`]).
     pub fn for_dag(dag: &SolveDag, n_cores: usize) -> Self {
-        let fair_share = dag.total_weight() / (n_cores as u64).max(1);
         FunnelGrowLocal {
-            max_part_weight: (fair_share / 64).clamp(16, 1 << 16),
+            max_part_weight: auto_part_weight_cap(dag, n_cores),
             ..Default::default()
         }
     }
+}
+
+/// The automatic part-weight cap: a part should stay well below one core's
+/// fair share of a superstep, otherwise the coarse vertices are too lumpy to
+/// balance. Shared by [`FunnelGrowLocal::for_dag`] and
+/// `PlanBuilder::coarsen`.
+pub fn auto_part_weight_cap(dag: &SolveDag, n_cores: usize) -> u64 {
+    let fair_share = dag.total_weight() / (n_cores as u64).max(1);
+    (fair_share / 64).clamp(16, 1 << 16)
+}
+
+/// Funnel-coarsens `dag` (optionally after approximate transitive
+/// reduction), schedules the coarse DAG with `inner`, and pulls the schedule
+/// back: every original vertex inherits the core and superstep of its part.
+///
+/// The pull-back is valid for *any* valid coarse schedule: parts are
+/// cascades (coarse acyclicity, Prop. 4.3) and matrix-DAG edges ascend in
+/// vertex ID, so the ID-order execution inside a cell respects intra-part
+/// edges. This is the single implementation behind both the `funnel-gl`
+/// scheduler and the plan builder's generic coarsening knob.
+pub fn coarsen_and_schedule(
+    dag: &SolveDag,
+    inner: &dyn Scheduler,
+    n_cores: usize,
+    options: &FunnelOptions,
+    transitive_reduction: bool,
+) -> Schedule {
+    let reduced;
+    let for_coarsening = if transitive_reduction {
+        reduced = approximate_transitive_reduction(dag);
+        &reduced
+    } else {
+        dag
+    };
+    let coarsening = funnel_partition(for_coarsening, options);
+    let coarse = coarsen(for_coarsening, &coarsening);
+    let coarse_schedule = inner.schedule(&coarse, n_cores);
+    // Pull back to the original vertices.
+    let mut core_of = vec![0usize; dag.n()];
+    let mut step_of = vec![0usize; dag.n()];
+    for v in 0..dag.n() {
+        let part = coarsening.part_of[v];
+        core_of[v] = coarse_schedule.core_of(part);
+        step_of[v] = coarse_schedule.step_of(part);
+    }
+    Schedule::new(n_cores, core_of, step_of)
 }
 
 impl Scheduler for FunnelGrowLocal {
@@ -59,28 +103,10 @@ impl Scheduler for FunnelGrowLocal {
     }
 
     fn schedule(&self, dag: &SolveDag, n_cores: usize) -> Schedule {
-        let reduced;
-        let for_coarsening = if self.transitive_reduction {
-            reduced = approximate_transitive_reduction(dag);
-            &reduced
-        } else {
-            dag
-        };
         let options =
             FunnelOptions { direction: self.direction, max_part_weight: self.max_part_weight };
-        let coarsening = funnel_partition(for_coarsening, &options);
-        let coarse = coarsen(for_coarsening, &coarsening);
         let inner = GrowLocal::with_params(self.growlocal.clone());
-        let coarse_schedule = inner.schedule(&coarse, n_cores);
-        // Pull back to the original vertices.
-        let mut core_of = vec![0usize; dag.n()];
-        let mut step_of = vec![0usize; dag.n()];
-        for v in 0..dag.n() {
-            let part = coarsening.part_of[v];
-            core_of[v] = coarse_schedule.core_of(part);
-            step_of[v] = coarse_schedule.step_of(part);
-        }
-        Schedule::new(n_cores, core_of, step_of)
+        coarsen_and_schedule(dag, &inner, n_cores, &options, self.transitive_reduction)
     }
 }
 
@@ -112,10 +138,8 @@ mod tests {
     #[test]
     fn without_transitive_reduction_also_valid() {
         let g = grid_dag(12, 12);
-        let fgl = FunnelGrowLocal {
-            transitive_reduction: false,
-            ..FunnelGrowLocal::for_dag(&g, 2)
-        };
+        let fgl =
+            FunnelGrowLocal { transitive_reduction: false, ..FunnelGrowLocal::for_dag(&g, 2) };
         let s = fgl.schedule(&g, 2);
         assert!(s.validate(&g).is_ok());
     }

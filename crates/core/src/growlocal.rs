@@ -102,19 +102,12 @@ struct State {
 
 impl GrowLocal {
     /// Runs one speculative iteration with length parameter `alpha`.
-    fn run_iteration(
-        &self,
-        dag: &SolveDag,
-        k: usize,
-        alpha: usize,
-        state: &State,
-    ) -> Iteration {
+    fn run_iteration(&self, dag: &SolveDag, k: usize, alpha: usize, state: &State) -> Iteration {
         let mut assigned: Vec<(usize, usize)> = Vec::new();
         let mut omegas = vec![0u64; k];
         // Per-core queues of vertices that became executable exclusively on
         // that core during this iteration (min-ID order).
-        let mut excl: Vec<BinaryHeap<Reverse<usize>>> =
-            (0..k).map(|_| BinaryHeap::new()).collect();
+        let mut excl: Vec<BinaryHeap<Reverse<usize>>> = (0..k).map(|_| BinaryHeap::new()).collect();
         // Number of parents assigned in this iteration, and the single core
         // they were assigned to (None = several cores ⇒ not executable now).
         let mut local_parents: HashMap<usize, (usize, Option<usize>)> = HashMap::new();

@@ -77,6 +77,7 @@ struct WindowPacking {
 
 impl HDagg {
     /// Bin-packs the connected components of the window `fronts[lo..hi]`.
+    #[allow(clippy::too_many_arguments)] // one call site; the args are the window state
     fn pack_window(
         &self,
         dag: &SolveDag,
@@ -122,13 +123,8 @@ impl HDagg {
         }
         let total: u64 = load.iter().sum();
         let max = load.iter().copied().max().unwrap_or(0);
-        let imbalance = if total == 0 {
-            1.0
-        } else {
-            max as f64 / (total as f64 / n_cores as f64)
-        };
-        let core_of_window =
-            members.iter().map(|&v| (v, core_of_root[&uf.find(v)])).collect();
+        let imbalance = if total == 0 { 1.0 } else { max as f64 / (total as f64 / n_cores as f64) };
+        let core_of_window = members.iter().map(|&v| (v, core_of_root[&uf.find(v)])).collect();
         WindowPacking { core_of_window, imbalance }
     }
 }
@@ -152,11 +148,11 @@ impl Scheduler for HDagg {
         let mut uf = UnionFind::new(n);
         while lo < fronts.len() {
             // Window of one level is always accepted.
-            let mut accepted = self.pack_window(dag, fronts, &wf.level, lo, lo + 1, &mut uf, n_cores);
+            let mut accepted =
+                self.pack_window(dag, fronts, &wf.level, lo, lo + 1, &mut uf, n_cores);
             let mut hi = lo + 1;
             while hi < fronts.len() {
-                let cand =
-                    self.pack_window(dag, fronts, &wf.level, lo, hi + 1, &mut uf, n_cores);
+                let cand = self.pack_window(dag, fronts, &wf.level, lo, hi + 1, &mut uf, n_cores);
                 if cand.imbalance <= self.balance_threshold {
                     accepted = cand;
                     hi += 1;

@@ -18,12 +18,24 @@
 //! All schedulers implement the [`Scheduler`] trait and produce a
 //! [`Schedule`] satisfying Definition 2.1, checked by
 //! [`Schedule::validate`].
+//!
+//! Two cross-cutting modules tie the pipeline together:
+//!
+//! * [`registry`] — the scheduler registry: the [`registry::SchedulerSpec`]
+//!   string grammar (`"growlocal:alpha=8"`) and [`registry::list`], the
+//!   single source of truth for scheduler names, parameters and defaults
+//!   that the CLI, benchmarks, examples and tests all resolve through;
+//! * [`compiled`] — [`CompiledSchedule`], the flat CSR-style execution
+//!   layout every executor consumes instead of re-materializing nested
+//!   per-cell vectors.
 
 pub mod block;
 pub mod bspg;
+pub mod compiled;
 pub mod funnel_gl;
 pub mod growlocal;
 pub mod hdagg;
+pub mod registry;
 pub mod reorder;
 pub mod schedule;
 pub mod serialize;
@@ -32,9 +44,11 @@ pub mod wavefront;
 
 pub use block::BlockParallel;
 pub use bspg::BspG;
-pub use funnel_gl::FunnelGrowLocal;
+pub use compiled::CompiledSchedule;
+pub use funnel_gl::{auto_part_weight_cap, coarsen_and_schedule, FunnelGrowLocal};
 pub use growlocal::{GrowLocal, GrowLocalParams, VertexPriority};
 pub use hdagg::HDagg;
+pub use registry::{RegistryError, SchedulerInfo, SchedulerSpec};
 pub use reorder::{reorder_for_locality, ReorderedProblem};
 pub use schedule::{Schedule, ScheduleError, ScheduleStats};
 pub use serialize::{read_schedule, read_schedule_file, write_schedule, write_schedule_file};

@@ -1,0 +1,576 @@
+//! The scheduler registry: one source of truth for scheduler names,
+//! parameters and construction.
+//!
+//! Every consumer layer (CLI, benchmark harness, examples, tests) resolves
+//! schedulers through a [`SchedulerSpec`] — a compact string grammar:
+//!
+//! ```text
+//! spec      := name [":" param ("," param)*]
+//! param     := key "=" value
+//! ```
+//!
+//! Examples: `growlocal`, `growlocal:alpha=8,sync=2000`, `funnel-gl:cap=auto`,
+//! `block-gl:blocks=16`, `hdagg:balance=1.25`.
+//!
+//! [`list`] enumerates every registered scheduler with its parameters,
+//! defaults and description; [`build`] instantiates a boxed
+//! [`Scheduler`] from a parsed spec (some schedulers size themselves from
+//! the DAG and core count, which is why construction takes both);
+//! [`resolve`] is parse + build in one call. Adding a scheduler means adding
+//! one [`SchedulerInfo`] entry and one arm in [`build`] — nothing else in
+//! the workspace hardcodes names.
+
+use crate::block::BlockParallel;
+use crate::bspg::BspG;
+use crate::funnel_gl::FunnelGrowLocal;
+use crate::growlocal::{GrowLocal, GrowLocalParams, VertexPriority};
+use crate::hdagg::HDagg;
+use crate::spmp::SpMp;
+use crate::wavefront::WavefrontScheduler;
+use crate::Scheduler;
+use sptrsv_dag::coarsen::FunnelDirection;
+use sptrsv_dag::SolveDag;
+use std::fmt;
+use std::str::FromStr;
+
+/// A parsed scheduler spec: a registry name plus `key=value` overrides.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SchedulerSpec {
+    name: String,
+    params: Vec<(String, String)>,
+}
+
+impl SchedulerSpec {
+    /// A spec with no parameter overrides.
+    pub fn new(name: impl Into<String>) -> SchedulerSpec {
+        SchedulerSpec { name: name.into(), params: Vec::new() }
+    }
+
+    /// The scheduler name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The `key=value` overrides, in spec order.
+    pub fn params(&self) -> &[(String, String)] {
+        &self.params
+    }
+
+    /// Adds/overrides one parameter (builder style).
+    pub fn with(mut self, key: impl Into<String>, value: impl Into<String>) -> SchedulerSpec {
+        self.params.push((key.into(), value.into()));
+        self
+    }
+
+    /// The override for `key`, if present (last occurrence wins).
+    fn get(&self, key: &str) -> Option<&str> {
+        self.params.iter().rev().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+    }
+}
+
+impl FromStr for SchedulerSpec {
+    type Err = RegistryError;
+
+    fn from_str(text: &str) -> Result<SchedulerSpec, RegistryError> {
+        let text = text.trim();
+        let (name, rest) = match text.split_once(':') {
+            Some((name, rest)) => (name, Some(rest)),
+            None => (text, None),
+        };
+        if name.is_empty() {
+            return Err(RegistryError::Syntax("empty scheduler name".into()));
+        }
+        let mut params = Vec::new();
+        if let Some(rest) = rest {
+            for pair in rest.split(',') {
+                let Some((key, value)) = pair.split_once('=') else {
+                    return Err(RegistryError::Syntax(format!(
+                        "parameter `{pair}` is not of the form key=value"
+                    )));
+                };
+                let (key, value) = (key.trim(), value.trim());
+                if key.is_empty() || value.is_empty() {
+                    return Err(RegistryError::Syntax(format!(
+                        "parameter `{pair}` has an empty key or value"
+                    )));
+                }
+                params.push((key.to_string(), value.to_string()));
+            }
+        }
+        Ok(SchedulerSpec { name: name.to_string(), params })
+    }
+}
+
+impl fmt::Display for SchedulerSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name)?;
+        for (i, (k, v)) in self.params.iter().enumerate() {
+            write!(f, "{}{k}={v}", if i == 0 { ':' } else { ',' })?;
+        }
+        Ok(())
+    }
+}
+
+/// Errors from spec parsing or scheduler construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegistryError {
+    /// The spec text does not match the grammar.
+    Syntax(String),
+    /// No scheduler registered under this name.
+    UnknownScheduler {
+        /// The requested name.
+        name: String,
+    },
+    /// The scheduler exists but does not take this parameter.
+    UnknownParam {
+        /// The scheduler name.
+        scheduler: &'static str,
+        /// The unrecognized key.
+        key: String,
+    },
+    /// A parameter value failed to parse.
+    BadValue {
+        /// The scheduler name.
+        scheduler: &'static str,
+        /// The parameter key.
+        key: &'static str,
+        /// The rejected value.
+        value: String,
+        /// What would have been accepted.
+        expected: &'static str,
+    },
+}
+
+impl fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegistryError::Syntax(msg) => write!(f, "bad scheduler spec: {msg}"),
+            RegistryError::UnknownScheduler { name } => {
+                write!(f, "unknown scheduler `{name}` (known: ")?;
+                for (i, info) in list().iter().enumerate() {
+                    write!(f, "{}{}", if i == 0 { "" } else { ", " }, info.name)?;
+                }
+                write!(f, ")")
+            }
+            RegistryError::UnknownParam { scheduler, key } => {
+                write!(f, "scheduler `{scheduler}` has no parameter `{key}`")
+            }
+            RegistryError::BadValue { scheduler, key, value, expected } => {
+                write!(f, "bad value `{value}` for `{scheduler}:{key}` (expected {expected})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {}
+
+/// One tunable of a registered scheduler.
+#[derive(Debug, Clone, Copy)]
+pub struct ParamInfo {
+    /// Spec key.
+    pub key: &'static str,
+    /// Default value, as spec text.
+    pub default: &'static str,
+    /// One-line description.
+    pub help: &'static str,
+}
+
+/// One registered scheduler.
+#[derive(Debug, Clone, Copy)]
+pub struct SchedulerInfo {
+    /// Registry (spec) name.
+    pub name: &'static str,
+    /// One-line description for `--help`-style listings.
+    pub summary: &'static str,
+    /// Accepted parameters.
+    pub params: &'static [ParamInfo],
+    /// Example specs exercising the parameters (used by the conformance
+    /// suite, so every example is guaranteed to build).
+    pub examples: &'static [&'static str],
+}
+
+/// Every registered scheduler, in the paper's presentation order.
+///
+/// This is the **only** scheduler enumeration in the workspace: the CLI,
+/// the benchmark harness, the examples and the conformance tests all derive
+/// their name lists from here.
+pub fn list() -> &'static [SchedulerInfo] {
+    const LIST: &[SchedulerInfo] = &[
+        SchedulerInfo {
+            name: "growlocal",
+            summary: "GrowLocal (§3): supersteps grown by the α/β mechanism, Rule I selection",
+            params: &[
+                ParamInfo { key: "alpha", default: "20", help: "initial superstep length α" },
+                ParamInfo { key: "growth", default: "1.5", help: "α growth factor per iteration" },
+                ParamInfo {
+                    key: "accept",
+                    default: "0.97",
+                    help: "iteration kept while β ≥ accept·β_best",
+                },
+                ParamInfo {
+                    key: "sync", default: "500", help: "barrier penalty L in the β score"
+                },
+                ParamInfo {
+                    key: "priority",
+                    default: "rule1",
+                    help: "vertex selection: rule1 (core-exclusive then ID) or id-only",
+                },
+            ],
+            examples: &["growlocal", "growlocal:alpha=8,sync=2000", "growlocal:priority=id-only"],
+        },
+        SchedulerInfo {
+            name: "funnel-gl",
+            summary: "Funnel coarsening (§4) + GrowLocal on the coarse DAG",
+            params: &[
+                ParamInfo {
+                    key: "cap",
+                    default: "auto",
+                    help: "max part weight; auto = DAG weight / (64·cores), clamped",
+                },
+                ParamInfo { key: "dir", default: "in", help: "funnel direction: in or out" },
+                ParamInfo {
+                    key: "tr",
+                    default: "true",
+                    help: "run approximate transitive reduction first",
+                },
+            ],
+            examples: &["funnel-gl", "funnel-gl:cap=auto,dir=out", "funnel-gl:cap=64,tr=false"],
+        },
+        SchedulerInfo {
+            name: "block-gl",
+            summary: "Block-parallel GrowLocal (§3.1): independent diagonal blocks",
+            params: &[ParamInfo {
+                key: "blocks",
+                default: "auto",
+                help: "number of diagonal blocks; auto = min(cores, 8)",
+            }],
+            examples: &["block-gl", "block-gl:blocks=16"],
+        },
+        SchedulerInfo {
+            name: "wavefront",
+            summary: "Classic level-set scheduling [AS89]: one superstep per wavefront",
+            params: &[],
+            examples: &["wavefront"],
+        },
+        SchedulerInfo {
+            name: "hdagg",
+            summary: "HDagg-style [ZCL+22]: wavefront gluing under a balance constraint",
+            params: &[ParamInfo {
+                key: "balance",
+                default: "1.15",
+                help: "max tolerated max/avg work imbalance of a glued superstep",
+            }],
+            examples: &["hdagg", "hdagg:balance=1.4"],
+        },
+        SchedulerInfo {
+            name: "spmp",
+            summary: "SpMP-style [PSSD14]: level schedule on the reduced DAG, async execution",
+            params: &[],
+            examples: &["spmp"],
+        },
+        SchedulerInfo {
+            name: "bspg",
+            summary: "BSPg-style [PAKY24]: barrier list scheduling with fixed quota",
+            params: &[ParamInfo {
+                key: "quota",
+                default: "64",
+                help: "per-core vertex quota of one superstep",
+            }],
+            examples: &["bspg", "bspg:quota=16"],
+        },
+    ];
+    LIST
+}
+
+/// The registry entry for `name`, if registered.
+pub fn info(name: &str) -> Option<&'static SchedulerInfo> {
+    list().iter().find(|i| i.name == name)
+}
+
+/// Renders the one-scheduler-per-line help listing used by the CLI.
+pub fn help_text() -> String {
+    let mut out = String::new();
+    for entry in list() {
+        out.push_str(&format!("  {:<10} {}\n", entry.name, entry.summary));
+        for p in entry.params {
+            out.push_str(&format!("    {:<12} {} (default {})\n", p.key, p.help, p.default));
+        }
+    }
+    out
+}
+
+/// Typed parameter extraction with registry-quality errors.
+struct ParamReader<'a> {
+    scheduler: &'static str,
+    spec: &'a SchedulerSpec,
+}
+
+impl ParamReader<'_> {
+    fn parse<T: FromStr>(
+        &self,
+        key: &'static str,
+        default: T,
+        expected: &'static str,
+    ) -> Result<T, RegistryError> {
+        match self.spec.get(key) {
+            None => Ok(default),
+            Some(text) => text.parse().map_err(|_| RegistryError::BadValue {
+                scheduler: self.scheduler,
+                key,
+                value: text.to_string(),
+                expected,
+            }),
+        }
+    }
+
+    /// Like [`ParamReader::parse`] but `auto` maps to `None`.
+    fn parse_or_auto<T: FromStr>(
+        &self,
+        key: &'static str,
+        expected: &'static str,
+    ) -> Result<Option<T>, RegistryError> {
+        match self.spec.get(key) {
+            None | Some("auto") => Ok(None),
+            Some(text) => text.parse().map(Some).map_err(|_| RegistryError::BadValue {
+                scheduler: self.scheduler,
+                key,
+                value: text.to_string(),
+                expected,
+            }),
+        }
+    }
+
+    /// Rejects spec keys the scheduler does not declare.
+    fn check_keys(&self) -> Result<(), RegistryError> {
+        let declared = info(self.scheduler).map(|i| i.params).unwrap_or(&[]);
+        for (key, _) in self.spec.params() {
+            if !declared.iter().any(|p| p.key == key) {
+                return Err(RegistryError::UnknownParam {
+                    scheduler: self.scheduler,
+                    key: key.clone(),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Instantiates the scheduler a spec describes.
+///
+/// `dag` and `n_cores` size the self-configuring schedulers (`funnel-gl`'s
+/// automatic part-weight cap, `block-gl`'s automatic block count); fixed
+/// schedulers ignore them.
+pub fn build(
+    spec: &SchedulerSpec,
+    dag: &SolveDag,
+    n_cores: usize,
+) -> Result<Box<dyn Scheduler>, RegistryError> {
+    let Some(entry) = info(spec.name()) else {
+        return Err(RegistryError::UnknownScheduler { name: spec.name().to_string() });
+    };
+    let reader = ParamReader { scheduler: entry.name, spec };
+    reader.check_keys()?;
+    Ok(match entry.name {
+        "growlocal" => {
+            let defaults = GrowLocalParams::default();
+            let priority =
+                match reader.parse::<String>("priority", "rule1".into(), "rule1 or id-only")? {
+                    p if p == "rule1" => VertexPriority::CoreExclusiveThenId,
+                    p if p == "id-only" => VertexPriority::IdOnly,
+                    p => {
+                        return Err(RegistryError::BadValue {
+                            scheduler: "growlocal",
+                            key: "priority",
+                            value: p,
+                            expected: "rule1 or id-only",
+                        })
+                    }
+                };
+            Box::new(GrowLocal::with_params(GrowLocalParams {
+                alpha_init: reader.parse("alpha", defaults.alpha_init, "a positive integer")?,
+                growth: reader.parse("growth", defaults.growth, "a float > 1")?,
+                accept_ratio: reader.parse("accept", defaults.accept_ratio, "a float in (0, 1]")?,
+                sync_cost: reader.parse("sync", defaults.sync_cost, "a non-negative integer")?,
+                priority,
+            }))
+        }
+        "funnel-gl" => {
+            let mut fgl = FunnelGrowLocal::for_dag(dag, n_cores);
+            if let Some(cap) = reader.parse_or_auto::<u64>("cap", "a positive integer or auto")? {
+                if cap == 0 {
+                    return Err(RegistryError::BadValue {
+                        scheduler: "funnel-gl",
+                        key: "cap",
+                        value: "0".into(),
+                        expected: "a positive integer or auto",
+                    });
+                }
+                fgl.max_part_weight = cap;
+            }
+            fgl.direction = match reader.parse::<String>("dir", "in".into(), "in or out")? {
+                d if d == "in" => FunnelDirection::In,
+                d if d == "out" => FunnelDirection::Out,
+                d => {
+                    return Err(RegistryError::BadValue {
+                        scheduler: "funnel-gl",
+                        key: "dir",
+                        value: d,
+                        expected: "in or out",
+                    })
+                }
+            };
+            fgl.transitive_reduction = reader.parse("tr", true, "true or false")?;
+            Box::new(fgl)
+        }
+        "block-gl" => {
+            let blocks = reader
+                .parse_or_auto::<usize>("blocks", "a positive integer or auto")?
+                .unwrap_or_else(|| n_cores.clamp(1, 8));
+            if blocks == 0 {
+                return Err(RegistryError::BadValue {
+                    scheduler: "block-gl",
+                    key: "blocks",
+                    value: "0".into(),
+                    expected: "a positive integer or auto",
+                });
+            }
+            Box::new(BlockParallel::new(blocks))
+        }
+        "wavefront" => Box::new(WavefrontScheduler),
+        "hdagg" => {
+            let defaults = HDagg::default();
+            Box::new(HDagg {
+                balance_threshold: reader.parse(
+                    "balance",
+                    defaults.balance_threshold,
+                    "a float >= 1",
+                )?,
+            })
+        }
+        "spmp" => Box::new(SpMp),
+        "bspg" => {
+            let defaults = BspG::default();
+            let quota = reader.parse("quota", defaults.quota, "a positive integer")?;
+            if quota == 0 {
+                return Err(RegistryError::BadValue {
+                    scheduler: "bspg",
+                    key: "quota",
+                    value: "0".into(),
+                    expected: "a positive integer",
+                });
+            }
+            Box::new(BspG { quota })
+        }
+        _ => unreachable!("info() only returns registered names"),
+    })
+}
+
+/// Parses and builds in one step — the call every consumer makes.
+pub fn resolve(
+    text: &str,
+    dag: &SolveDag,
+    n_cores: usize,
+) -> Result<Box<dyn Scheduler>, RegistryError> {
+    build(&text.parse::<SchedulerSpec>()?, dag, n_cores)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dag() -> SolveDag {
+        SolveDag::from_edges(6, &[(0, 2), (1, 2), (2, 3), (3, 5), (4, 5)], vec![1; 6])
+    }
+
+    #[test]
+    fn grammar_round_trips() {
+        let spec: SchedulerSpec = "growlocal:alpha=8,sync=2000".parse().unwrap();
+        assert_eq!(spec.name(), "growlocal");
+        assert_eq!(spec.params().len(), 2);
+        assert_eq!(spec.to_string(), "growlocal:alpha=8,sync=2000");
+        assert_eq!("wavefront".parse::<SchedulerSpec>().unwrap().to_string(), "wavefront");
+    }
+
+    #[test]
+    fn syntax_errors() {
+        assert!(matches!("".parse::<SchedulerSpec>(), Err(RegistryError::Syntax(_))));
+        assert!(matches!(
+            "growlocal:alpha".parse::<SchedulerSpec>(),
+            Err(RegistryError::Syntax(_))
+        ));
+        assert!(matches!("growlocal:=3".parse::<SchedulerSpec>(), Err(RegistryError::Syntax(_))));
+    }
+
+    #[test]
+    fn every_listed_example_builds_and_schedules() {
+        let g = dag();
+        for entry in list() {
+            for example in entry.examples {
+                let sched = resolve(example, &g, 3)
+                    .unwrap_or_else(|e| panic!("example `{example}` failed: {e}"));
+                let s = sched.schedule(&g, 3);
+                assert!(s.validate(&g).is_ok(), "example `{example}` produced invalid schedule");
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_name_and_param_rejected() {
+        let g = dag();
+        assert!(matches!(
+            resolve("does-not-exist", &g, 2),
+            Err(RegistryError::UnknownScheduler { .. })
+        ));
+        assert!(matches!(
+            resolve("wavefront:speed=11", &g, 2),
+            Err(RegistryError::UnknownParam { .. })
+        ));
+        assert!(matches!(
+            resolve("growlocal:alpha=lots", &g, 2),
+            Err(RegistryError::BadValue { .. })
+        ));
+        assert!(matches!(
+            resolve("funnel-gl:dir=sideways", &g, 2),
+            Err(RegistryError::BadValue { .. })
+        ));
+        assert!(matches!(resolve("bspg:quota=0", &g, 2), Err(RegistryError::BadValue { .. })));
+    }
+
+    #[test]
+    fn parameters_reach_the_scheduler() {
+        let g = dag();
+        // growlocal priority flips the reported name.
+        let gl = resolve("growlocal:priority=id-only", &g, 2).unwrap();
+        assert_eq!(gl.name(), "GrowLocal(id-only)");
+        let gl = resolve("growlocal", &g, 2).unwrap();
+        assert_eq!(gl.name(), "GrowLocal");
+        // Later duplicates win.
+        let spec: SchedulerSpec = "growlocal:alpha=5,alpha=9".parse().unwrap();
+        assert_eq!(spec.get("alpha"), Some("9"));
+    }
+
+    #[test]
+    fn last_scheduler_list_is_documented() {
+        // The registry declares defaults that match the schedulers' own
+        // Default impls, so the help text never lies.
+        let defaults = GrowLocalParams::default();
+        let gl = info("growlocal").unwrap();
+        let by_key = |k: &str| gl.params.iter().find(|p| p.key == k).unwrap().default;
+        assert_eq!(by_key("alpha"), defaults.alpha_init.to_string());
+        assert_eq!(by_key("growth"), defaults.growth.to_string());
+        assert_eq!(by_key("sync"), defaults.sync_cost.to_string());
+        assert_eq!(info("bspg").unwrap().params[0].default, BspG::default().quota.to_string());
+        assert_eq!(
+            info("hdagg").unwrap().params[0].default,
+            HDagg::default().balance_threshold.to_string()
+        );
+    }
+
+    #[test]
+    fn help_text_lists_every_scheduler() {
+        let help = help_text();
+        for entry in list() {
+            assert!(help.contains(entry.name), "{} missing from help", entry.name);
+        }
+    }
+}

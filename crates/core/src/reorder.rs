@@ -8,6 +8,7 @@
 //! backward edges), the permuted matrix is still lower triangular and the
 //! permuted problem is an equivalent SpTRSV instance.
 
+use crate::compiled::CompiledSchedule;
 use crate::schedule::Schedule;
 use sptrsv_sparse::{CsrMatrix, Permutation, Result};
 
@@ -28,12 +29,8 @@ pub struct ReorderedProblem {
 /// The reordering permutation of a schedule: supersteps in order, cores in
 /// order within a superstep, original IDs within a cell.
 pub fn schedule_order_permutation(schedule: &Schedule) -> Permutation {
-    let mut order = Vec::with_capacity(schedule.n_vertices());
-    for step_cells in schedule.cells() {
-        for cell in step_cells {
-            order.extend(cell);
-        }
-    }
+    // The compiled layout's vertex order *is* the §5 enumeration.
+    let order = CompiledSchedule::from_schedule(schedule).into_vertex_order();
     Permutation::from_old_of_new(order).expect("a schedule covers every vertex exactly once")
 }
 
@@ -46,10 +43,8 @@ pub fn reorder_for_locality(matrix: &CsrMatrix, schedule: &Schedule) -> Result<R
     let perm = schedule_order_permutation(schedule);
     let permuted = matrix.symmetric_permute(&perm)?;
     // Re-index the schedule: new vertex i was old vertex old_of_new[i].
-    let core_of: Vec<usize> =
-        perm.old_of_new().iter().map(|&old| schedule.core_of(old)).collect();
-    let step_of: Vec<usize> =
-        perm.old_of_new().iter().map(|&old| schedule.step_of(old)).collect();
+    let core_of: Vec<usize> = perm.old_of_new().iter().map(|&old| schedule.core_of(old)).collect();
+    let step_of: Vec<usize> = perm.old_of_new().iter().map(|&old| schedule.step_of(old)).collect();
     let schedule = Schedule::new(schedule.n_cores(), core_of, step_of);
     Ok(ReorderedProblem { matrix: permuted, schedule, permutation: perm })
 }

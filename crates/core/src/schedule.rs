@@ -258,10 +258,7 @@ mod tests {
     fn cross_core_same_step_rejected() {
         let dag = diamond();
         let s = Schedule::new(2, vec![0, 1, 1, 1], vec![0, 0, 1, 2]);
-        assert_eq!(
-            s.validate(&dag),
-            Err(ScheduleError::CrossCoreSameStep { from: 0, to: 1 })
-        );
+        assert_eq!(s.validate(&dag), Err(ScheduleError::CrossCoreSameStep { from: 0, to: 1 }));
     }
 
     #[test]
@@ -276,10 +273,7 @@ mod tests {
         // Edge (1, 0) would execute after its consumer in ID order.
         let dag = SolveDag::from_edges(2, &[(1, 0)], vec![1, 1]);
         let s = Schedule::new(1, vec![0, 0], vec![0, 0]);
-        assert_eq!(
-            s.validate(&dag),
-            Err(ScheduleError::IntraCellOrderViolated { from: 1, to: 0 })
-        );
+        assert_eq!(s.validate(&dag), Err(ScheduleError::IntraCellOrderViolated { from: 1, to: 0 }));
     }
 
     #[test]

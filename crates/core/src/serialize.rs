@@ -65,7 +65,9 @@ pub fn read_schedule<R: Read>(reader: R) -> Result<Schedule, SerializeError> {
     let mut next = |what: &str| -> Result<String, SerializeError> {
         lines
             .next()
-            .ok_or_else(|| SerializeError::Parse(format!("unexpected end of file, expected {what}")))?
+            .ok_or_else(|| {
+                SerializeError::Parse(format!("unexpected end of file, expected {what}"))
+            })?
             .map_err(SerializeError::from)
     };
     let header = next("header")?;

@@ -59,11 +59,7 @@ mod tests {
 
     #[test]
     fn same_levels_as_wavefront() {
-        let g = SolveDag::from_edges(
-            5,
-            &[(0, 1), (1, 2), (0, 2), (2, 3), (2, 4)],
-            vec![1; 5],
-        );
+        let g = SolveDag::from_edges(5, &[(0, 1), (1, 2), (0, 2), (2, 3), (2, 4)], vec![1; 5]);
         let s = SpMp.schedule(&g, 2);
         assert!(s.validate(&g).is_ok());
         let wf = wavefronts(&g);

@@ -60,8 +60,7 @@ pub fn analyze(dag: &SolveDag) -> DagAnalysis {
     let mut path_weight = vec![0u64; dag.n()];
     let mut critical = 0u64;
     for &v in &order {
-        let best_parent =
-            dag.parents(v).iter().map(|&p| path_weight[p]).max().unwrap_or(0);
+        let best_parent = dag.parents(v).iter().map(|&p| path_weight[p]).max().unwrap_or(0);
         path_weight[v] = best_parent + dag.weight(v);
         critical = critical.max(path_weight[v]);
     }

@@ -143,11 +143,8 @@ pub fn funnel_partition(dag: &SolveDag, options: &FunnelOptions) -> Coarsening {
 /// original edge, self-loops removed.
 pub fn coarsen(dag: &SolveDag, coarsening: &Coarsening) -> SolveDag {
     let n_parts = coarsening.n_parts();
-    let weights: Vec<u64> = coarsening
-        .parts
-        .iter()
-        .map(|part| part.iter().map(|&v| dag.weight(v)).sum())
-        .collect();
+    let weights: Vec<u64> =
+        coarsening.parts.iter().map(|part| part.iter().map(|&v| dag.weight(v)).sum()).collect();
     let mut edges: Vec<(usize, usize)> = Vec::new();
     for v in 0..dag.n() {
         let pv = coarsening.part_of[v];

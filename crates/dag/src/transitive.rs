@@ -67,11 +67,7 @@ mod tests {
     fn long_chains_with_skip_edges_keep_chain() {
         // Chain 0->1->2->3 with skips (0,2), (1,3): both skips are triangle
         // edges and must go; the path edge set stays intact.
-        let g = SolveDag::from_edges(
-            4,
-            &[(0, 1), (1, 2), (2, 3), (0, 2), (1, 3)],
-            vec![1; 4],
-        );
+        let g = SolveDag::from_edges(4, &[(0, 1), (1, 2), (2, 3), (0, 2), (1, 3)], vec![1; 4]);
         let r = approximate_transitive_reduction(&g);
         assert_eq!(r.n_edges(), 3);
         for (u, v) in [(0, 1), (1, 2), (2, 3)] {

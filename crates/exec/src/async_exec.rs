@@ -16,7 +16,7 @@
 //! vertex ID within a cell and supersteps ascend across cells). A vertex
 //! never waits on itself because the sync DAG has no self-loops.
 
-use sptrsv_core::{Schedule, ScheduleError};
+use sptrsv_core::{CompiledSchedule, Schedule, ScheduleError};
 use sptrsv_dag::SolveDag;
 use sptrsv_sparse::CsrMatrix;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -49,17 +49,20 @@ impl AsyncExecutor {
         schedule.validate(&full_dag)?;
         let n = matrix.n_rows();
         assert_eq!(sync_dag.n(), n, "sync DAG size mismatch");
+        // Each core's list is its cells in superstep order — read straight
+        // off the compiled layout.
+        let compiled = CompiledSchedule::from_schedule(schedule);
         let mut lists = vec![Vec::new(); schedule.n_cores()];
-        for row in schedule.cells() {
-            for (p, cell) in row.into_iter().enumerate() {
-                lists[p].extend(cell);
+        for step in 0..compiled.n_supersteps() {
+            for (p, list) in lists.iter_mut().enumerate() {
+                list.extend_from_slice(compiled.cell(step, p));
             }
         }
         let mut waits = vec![Vec::new(); n];
-        for v in 0..n {
+        for (v, wait_list) in waits.iter_mut().enumerate() {
             for &u in sync_dag.parents(v) {
                 if schedule.core_of(u) != schedule.core_of(v) {
-                    waits[v].push(u);
+                    wait_list.push(u);
                 }
             }
         }

@@ -4,6 +4,11 @@
 //! thread per core, all threads processing their `(superstep, core)` cell in
 //! vertex order, with a synchronization barrier between supersteps.
 //!
+//! The execution plan is a [`CompiledSchedule`] — the flat CSR-style cell
+//! layout compiled once at construction. Per solve, a core's walk of its
+//! cells is pure pointer arithmetic over two shared arrays; nothing is
+//! allocated and no nested vectors are chased.
+//!
 //! # Safety argument
 //!
 //! The solution vector is shared mutably across threads through a raw
@@ -18,9 +23,9 @@
 //!   the write in program order (cells are executed in ascending vertex ID,
 //!   and intra-cell edges ascend).
 
-use sptrsv_core::{Schedule, ScheduleError};
+use sptrsv_core::{CompiledSchedule, Schedule, ScheduleError};
 use sptrsv_sparse::CsrMatrix;
-use std::sync::Barrier;
+use std::sync::{Arc, Barrier};
 
 /// Shared mutable pointer to the solution vector; safety per module docs.
 #[derive(Clone, Copy)]
@@ -28,33 +33,32 @@ struct SharedX(*mut f64);
 unsafe impl Send for SharedX {}
 unsafe impl Sync for SharedX {}
 
-/// Pre-planned executor: reusable thread work lists for repeated solves with
-/// the same schedule (the paper's amortization setting, §7.7).
+/// Pre-planned executor: a reusable compiled schedule for repeated solves
+/// (the paper's amortization setting, §7.7).
 pub struct BarrierExecutor {
-    /// `plan[core][superstep]` — vertices of the cell, ascending.
-    plan: Vec<Vec<Vec<usize>>>,
-    n_supersteps: usize,
+    compiled: Arc<CompiledSchedule>,
 }
 
 impl BarrierExecutor {
     /// Builds the executor after validating the schedule against the DAG of
     /// the matrix.
-    pub fn new(
-        matrix: &CsrMatrix,
-        schedule: &Schedule,
-    ) -> Result<BarrierExecutor, ScheduleError> {
+    pub fn new(matrix: &CsrMatrix, schedule: &Schedule) -> Result<BarrierExecutor, ScheduleError> {
         let dag = sptrsv_dag::SolveDag::from_lower_triangular(matrix);
         schedule.validate(&dag)?;
-        let cells = schedule.cells();
-        let n_cores = schedule.n_cores();
-        let n_supersteps = schedule.n_supersteps();
-        let mut plan = vec![vec![Vec::new(); n_supersteps]; n_cores];
-        for (s, row) in cells.into_iter().enumerate() {
-            for (p, cell) in row.into_iter().enumerate() {
-                plan[p][s] = cell;
-            }
-        }
-        Ok(BarrierExecutor { plan, n_supersteps })
+        Ok(Self::from_compiled(Arc::new(CompiledSchedule::from_schedule(schedule))))
+    }
+
+    /// Wraps an already-validated compiled schedule (shared with sibling
+    /// executors by [`crate::plan::SolvePlan`]). Callers must have validated
+    /// the source schedule against the matrix — the solve loop's safety rests
+    /// on it, which is why this is crate-private.
+    pub(crate) fn from_compiled(compiled: Arc<CompiledSchedule>) -> BarrierExecutor {
+        BarrierExecutor { compiled }
+    }
+
+    /// The compiled execution plan.
+    pub fn compiled(&self) -> &CompiledSchedule {
+        &self.compiled
     }
 
     /// Solves `L x = b` following the schedule, with real threads and
@@ -63,20 +67,21 @@ impl BarrierExecutor {
         let n = l.n_rows();
         assert_eq!(b.len(), n);
         assert_eq!(x.len(), n);
-        let n_cores = self.plan.len();
+        let n_cores = self.compiled.n_cores();
+        let shared = SharedX(x.as_mut_ptr());
         if n_cores == 1 {
-            run_core(l, b, SharedX(x.as_mut_ptr()), &self.plan[0], None);
+            run_core(l, b, shared, &self.compiled, 0, None);
             return;
         }
         let barrier = Barrier::new(n_cores);
-        let shared = SharedX(x.as_mut_ptr());
+        let barrier = &barrier;
         std::thread::scope(|scope| {
-            for core_plan in &self.plan[1..] {
-                scope.spawn(|| run_core(l, b, shared, core_plan, Some(&barrier)));
+            for core in 1..n_cores {
+                let compiled = &self.compiled;
+                scope.spawn(move || run_core(l, b, shared, compiled, core, Some(barrier)));
             }
-            run_core(l, b, shared, &self.plan[0], Some(&barrier));
+            run_core(l, b, shared, &self.compiled, 0, Some(barrier));
         });
-        let _ = self.n_supersteps;
     }
 }
 
@@ -85,11 +90,12 @@ fn run_core(
     l: &CsrMatrix,
     b: &[f64],
     x: SharedX,
-    cells: &[Vec<usize>],
+    compiled: &CompiledSchedule,
+    core: usize,
     barrier: Option<&Barrier>,
 ) {
-    for cell in cells {
-        for &i in cell {
+    for step in 0..compiled.n_supersteps() {
+        for &i in compiled.cell(step, core) {
             let (cols, vals) = l.row(i);
             let k = cols.len() - 1;
             debug_assert_eq!(cols[k], i);
@@ -125,7 +131,7 @@ pub fn solve_with_barriers(
 mod tests {
     use super::*;
     use crate::serial::solve_lower_serial;
-    use sptrsv_core::{GrowLocal, HDagg, Scheduler, SpMp, WavefrontScheduler};
+    use sptrsv_core::{registry, GrowLocal, Scheduler};
     use sptrsv_dag::SolveDag;
     use sptrsv_sparse::gen::grid::{grid2d_laplacian, Stencil2D};
 
@@ -137,20 +143,15 @@ mod tests {
     }
 
     #[test]
-    fn all_schedulers_match_serial() {
+    fn all_registered_schedulers_match_serial() {
         let (l, b) = problem(17, 13);
         let dag = SolveDag::from_lower_triangular(&l);
         let n = l.n_rows();
         let mut expected = vec![0.0; n];
         solve_lower_serial(&l, &b, &mut expected);
-        let schedulers: Vec<Box<dyn Scheduler>> = vec![
-            Box::new(GrowLocal::new()),
-            Box::new(WavefrontScheduler),
-            Box::new(HDagg::default()),
-            Box::new(SpMp),
-        ];
-        for sched in schedulers {
+        for info in registry::list() {
             for k in [1, 2, 4] {
+                let sched = registry::resolve(info.name, &dag, k).unwrap();
                 let s = sched.schedule(&dag, k);
                 let mut x = vec![0.0; n];
                 solve_with_barriers(&l, &s, &b, &mut x).unwrap();
@@ -158,7 +159,7 @@ mod tests {
                     assert!(
                         (a - e).abs() < 1e-12,
                         "{} on {k} cores differs at {i}: {a} vs {e}",
-                        sched.name()
+                        info.name
                     );
                 }
             }
@@ -185,5 +186,14 @@ mod tests {
         exec.solve(&l, &b, &mut x1);
         exec.solve(&l, &b, &mut x2);
         assert_eq!(x1, x2);
+    }
+
+    #[test]
+    fn compiled_plan_matches_nested_cells() {
+        let (l, _) = problem(9, 9);
+        let dag = SolveDag::from_lower_triangular(&l);
+        let s = GrowLocal::new().schedule(&dag, 3);
+        let exec = BarrierExecutor::new(&l, &s).unwrap();
+        assert_eq!(exec.compiled().to_cells(), s.cells());
     }
 }

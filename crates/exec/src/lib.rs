@@ -7,8 +7,10 @@
 //! * [`async_exec`] — an SpMP-style asynchronous executor with per-vertex
 //!   ready flags (point-to-point synchronization instead of barriers);
 //! * [`multi`] — SpTRSM kernels (multiple right-hand sides);
-//! * [`plan`] — the high-level [`SolvePlan`] API: matrix → validated,
-//!   scheduled, reordered, reusable parallel solve (lower or upper);
+//! * [`plan`] — the high-level [`PlanBuilder`]/[`SolvePlan`] API: matrix →
+//!   validated, pre-ordered, scheduled (via registry spec), reordered,
+//!   compiled, reusable parallel solve (lower or upper), with an
+//!   allocation-free [`SolvePlan::solve_into`] steady-state path;
 //! * [`sim`] — a calibrated multicore machine model used for the paper's
 //!   speed-up experiments (see DESIGN.md, substitution 3: the build/CI
 //!   machine has a single core, so wall-clock parallel speed-ups are
@@ -24,9 +26,10 @@ pub mod serial;
 pub mod sim;
 pub mod verify;
 
-pub use barrier::solve_with_barriers;
+pub use async_exec::AsyncExecutor;
+pub use barrier::{solve_with_barriers, BarrierExecutor};
 pub use multi::{solve_lower_multi_serial, MultiRhsExecutor};
-pub use plan::{Orientation, SolvePlan};
+pub use plan::{Orientation, PlanBuilder, PlanError, PreOrder, SolvePlan, SolveWorkspace};
 pub use serial::{solve_lower_serial, solve_upper_serial};
 pub use sim::{simulate_async, simulate_barrier, simulate_serial, MachineProfile, SimReport};
 pub use verify::max_abs_diff;

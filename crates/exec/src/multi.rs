@@ -6,11 +6,14 @@
 //! per-vertex work grows by the factor `r`, which *improves* the
 //! barrier-to-work ratio: SpTRSM amortizes synchronization better than
 //! SpTRSV, so every barrier-reduction gain of GrowLocal carries over.
+//!
+//! Like [`crate::barrier`], the executor walks a [`CompiledSchedule`] — the
+//! plan can be shared (one `Arc`) with the single-RHS executor of the same
+//! [`crate::plan::SolvePlan`].
 
-use crate::barrier::BarrierExecutor;
-use sptrsv_core::{Schedule, ScheduleError};
+use sptrsv_core::{CompiledSchedule, Schedule, ScheduleError};
 use sptrsv_sparse::CsrMatrix;
-use std::sync::Barrier;
+use std::sync::{Arc, Barrier};
 
 /// Solves `L X = B` serially; `B` and `X` are row-major `n x r`.
 pub fn solve_lower_multi_serial(l: &CsrMatrix, b: &[f64], x: &mut [f64], r: usize) {
@@ -73,25 +76,23 @@ struct SharedX(*mut f64);
 unsafe impl Send for SharedX {}
 unsafe impl Sync for SharedX {}
 
-/// Multi-RHS barrier executor sharing the plan of [`BarrierExecutor`].
+/// Multi-RHS barrier executor over a [`CompiledSchedule`].
 pub struct MultiRhsExecutor {
-    plan: Vec<Vec<Vec<usize>>>,
+    compiled: Arc<CompiledSchedule>,
 }
 
 impl MultiRhsExecutor {
     /// Builds the executor after validating the schedule.
     pub fn new(matrix: &CsrMatrix, schedule: &Schedule) -> Result<MultiRhsExecutor, ScheduleError> {
-        // Reuse the single-RHS validation logic.
-        let _ = BarrierExecutor::new(matrix, schedule)?;
-        let cells = schedule.cells();
-        let n_cores = schedule.n_cores();
-        let mut plan = vec![vec![Vec::new(); schedule.n_supersteps()]; n_cores];
-        for (s, row) in cells.into_iter().enumerate() {
-            for (p, cell) in row.into_iter().enumerate() {
-                plan[p][s] = cell;
-            }
-        }
-        Ok(MultiRhsExecutor { plan })
+        let dag = sptrsv_dag::SolveDag::from_lower_triangular(matrix);
+        schedule.validate(&dag)?;
+        Ok(Self::from_compiled(Arc::new(CompiledSchedule::from_schedule(schedule))))
+    }
+
+    /// Wraps an already-validated compiled schedule (see
+    /// [`crate::barrier::BarrierExecutor::from_compiled`]).
+    pub(crate) fn from_compiled(compiled: Arc<CompiledSchedule>) -> MultiRhsExecutor {
+        MultiRhsExecutor { compiled }
     }
 
     /// Solves `L X = B` with `r` right-hand sides (row-major `n x r`).
@@ -100,18 +101,20 @@ impl MultiRhsExecutor {
         assert!(r > 0);
         assert_eq!(b.len(), n * r);
         assert_eq!(x.len(), n * r);
-        let n_cores = self.plan.len();
+        let n_cores = self.compiled.n_cores();
         let shared = SharedX(x.as_mut_ptr());
         if n_cores == 1 {
-            run_core_multi(l, b, shared, &self.plan[0], None, r);
+            run_core_multi(l, b, shared, &self.compiled, 0, None, r);
             return;
         }
         let barrier = Barrier::new(n_cores);
+        let barrier = &barrier;
         std::thread::scope(|scope| {
-            for core_plan in &self.plan[1..] {
-                scope.spawn(|| run_core_multi(l, b, shared, core_plan, Some(&barrier), r));
+            for core in 1..n_cores {
+                let compiled = &self.compiled;
+                scope.spawn(move || run_core_multi(l, b, shared, compiled, core, Some(barrier), r));
             }
-            run_core_multi(l, b, shared, &self.plan[0], Some(&barrier), r);
+            run_core_multi(l, b, shared, &self.compiled, 0, Some(barrier), r);
         });
     }
 }
@@ -120,12 +123,13 @@ fn run_core_multi(
     l: &CsrMatrix,
     b: &[f64],
     x: SharedX,
-    cells: &[Vec<usize>],
+    compiled: &CompiledSchedule,
+    core: usize,
     barrier: Option<&Barrier>,
     r: usize,
 ) {
-    for cell in cells {
-        for &i in cell {
+    for step in 0..compiled.n_supersteps() {
+        for &i in compiled.cell(step, core) {
             // SAFETY: schedule validity (checked in `new`) + barrier ordering,
             // see the `barrier` module's safety argument.
             unsafe { solve_row_multi_raw(l, i, b, x.0, r) };
@@ -184,6 +188,13 @@ mod tests {
         for (a, e) in x.iter().zip(&expected) {
             assert!((a - e).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn invalid_schedule_rejected() {
+        let (l, n) = problem();
+        let s = Schedule::new(2, (0..n).map(|v| v % 2).collect(), vec![0; n]);
+        assert!(MultiRhsExecutor::new(&l, &s).is_err());
     }
 
     #[test]

@@ -1,32 +1,50 @@
 //! High-level solve planning: one call from matrix to reusable executor.
 //!
-//! [`SolvePlan`] packages the full pipeline of the paper — DAG construction,
-//! scheduling, locality reordering (§5), executor planning — behind a single
-//! type that also handles *upper*-triangular systems (backward substitution,
-//! §2.2) by conjugating with the index-reversal permutation: if `J` reverses
-//! `0..n`, then `J·Uᵀ·J` … more precisely `J·U·J` is lower triangular, so one
-//! scheduler and one executor implementation cover both sweeps.
+//! [`PlanBuilder`] composes the full pipeline of the paper — orientation
+//! handling (§2.2), an optional locality-guided pre-ordering pass
+//! (`sptrsv_sparse::ordering`), optional Funnel coarsening of the scheduling
+//! DAG (§4), scheduler resolution through the
+//! [`registry`](sptrsv_core::registry) spec grammar, the §5 locality
+//! reordering, and executor compilation — into a [`SolvePlan`].
+//!
+//! Upper-triangular systems (backward substitution) are handled by
+//! conjugating with the index-reversal permutation: if `J` reverses `0..n`,
+//! then `J·U·J` is lower triangular, so one scheduler and one executor
+//! implementation cover both sweeps.
+//!
+//! Steady-state solves go through [`SolvePlan::solve_into`] with a
+//! [`SolveWorkspace`]: after the first call, repeated solves perform no heap
+//! allocation — the amortization regime (§7.7) the paper targets.
 //!
 //! ```
 //! use sptrsv_sparse::gen::grid::{grid2d_laplacian, Stencil2D};
-//! use sptrsv_core::GrowLocal;
-//! use sptrsv_exec::plan::{Orientation, SolvePlan};
+//! use sptrsv_exec::plan::PlanBuilder;
 //!
 //! let l = grid2d_laplacian(16, 16, Stencil2D::FivePoint, 0.5)
 //!     .lower_triangle()
 //!     .unwrap();
-//! let plan = SolvePlan::new(&l, Orientation::Lower, &GrowLocal::new(), 4, true).unwrap();
+//! let plan = PlanBuilder::new(&l).scheduler("growlocal:alpha=8").cores(4).build().unwrap();
 //! let b = vec![1.0; 256];
-//! let x = plan.solve(&b);
+//! let mut x = vec![0.0; 256];
+//! let mut ws = plan.workspace();
+//! plan.solve_into(&b, &mut x, &mut ws); // allocation-free once ws is warm
 //! assert!(sptrsv_sparse::linalg::relative_residual(&l, &x, &b) < 1e-12);
 //! ```
 
 use crate::barrier::BarrierExecutor;
 use crate::multi::MultiRhsExecutor;
-use sptrsv_core::{reorder_for_locality, Schedule, Scheduler};
+use sptrsv_core::registry::{self, RegistryError};
+use sptrsv_core::{
+    auto_part_weight_cap, coarsen_and_schedule, reorder_for_locality, CompiledSchedule, Schedule,
+    Scheduler,
+};
+use sptrsv_dag::coarsen::{FunnelDirection, FunnelOptions};
 use sptrsv_dag::SolveDag;
 use sptrsv_sparse::csr::Triangle;
+use sptrsv_sparse::ordering::{min_degree_ordering, nested_dissection_ordering, rcm_ordering};
 use sptrsv_sparse::{CsrMatrix, Permutation, SparseError};
+use std::collections::BinaryHeap;
+use std::sync::Arc;
 
 /// Which triangle the input matrix stores.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -37,11 +55,33 @@ pub enum Orientation {
     Upper,
 }
 
+/// Fill/locality pre-ordering applied before scheduling.
+///
+/// A triangular operand may only be renumbered along a *topological* order
+/// of its solve DAG (anything else breaks triangularity), so each variant is
+/// applied as a priority: the plan renumbers vertices in the topological
+/// order that greedily follows the chosen `sptrsv_sparse::ordering`
+/// permutation. `Natural` keeps the input numbering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PreOrder {
+    /// Keep the input numbering.
+    #[default]
+    Natural,
+    /// Reverse Cuthill–McKee bandwidth reduction.
+    Rcm,
+    /// Greedy minimum-degree (AMD stand-in).
+    MinDegree,
+    /// BFS-separator nested dissection (METIS stand-in).
+    NestedDissection,
+}
+
 /// Errors from plan construction.
 #[derive(Debug)]
 pub enum PlanError {
     /// The operand is not a valid triangular matrix of the stated orientation.
     Matrix(SparseError),
+    /// The scheduler spec failed to parse or build.
+    Registry(RegistryError),
     /// Internal scheduling failure (a scheduler produced an invalid schedule —
     /// a library bug if it ever occurs).
     Schedule(sptrsv_core::ScheduleError),
@@ -51,12 +91,149 @@ impl std::fmt::Display for PlanError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             PlanError::Matrix(e) => write!(f, "invalid operand: {e}"),
+            PlanError::Registry(e) => write!(f, "{e}"),
             PlanError::Schedule(e) => write!(f, "invalid schedule: {e}"),
         }
     }
 }
 
 impl std::error::Error for PlanError {}
+
+impl From<RegistryError> for PlanError {
+    fn from(e: RegistryError) -> PlanError {
+        PlanError::Registry(e)
+    }
+}
+
+/// Builder for a [`SolvePlan`]; see the module docs for the pipeline.
+#[derive(Debug, Clone)]
+pub struct PlanBuilder<'m> {
+    matrix: &'m CsrMatrix,
+    orientation: Orientation,
+    spec: String,
+    n_cores: usize,
+    pre_order: PreOrder,
+    coarsen: bool,
+    reorder: bool,
+}
+
+impl<'m> PlanBuilder<'m> {
+    /// A builder with the default pipeline: lower triangle, `growlocal`,
+    /// 8 cores, no pre-ordering, no coarsening, §5 reordering on.
+    pub fn new(matrix: &'m CsrMatrix) -> PlanBuilder<'m> {
+        PlanBuilder {
+            matrix,
+            orientation: Orientation::Lower,
+            spec: "growlocal".to_string(),
+            n_cores: 8,
+            pre_order: PreOrder::Natural,
+            coarsen: false,
+            reorder: true,
+        }
+    }
+
+    /// Which triangle the operand stores.
+    pub fn orientation(mut self, orientation: Orientation) -> Self {
+        self.orientation = orientation;
+        self
+    }
+
+    /// Scheduler spec in the registry grammar (e.g. `"funnel-gl:cap=auto"`).
+    pub fn scheduler(mut self, spec: impl Into<String>) -> Self {
+        self.spec = spec.into();
+        self
+    }
+
+    /// Core count the schedule targets.
+    pub fn cores(mut self, n_cores: usize) -> Self {
+        assert!(n_cores > 0, "a plan needs at least one core");
+        self.n_cores = n_cores;
+        self
+    }
+
+    /// Pre-ordering pass applied before DAG construction.
+    pub fn pre_order(mut self, pre_order: PreOrder) -> Self {
+        self.pre_order = pre_order;
+        self
+    }
+
+    /// Funnel-coarsen the scheduling DAG (§4) before running the scheduler,
+    /// pulling the coarse schedule back to the original vertices. Composes
+    /// with any scheduler spec; redundant (but harmless) with `funnel-gl`,
+    /// which coarsens internally.
+    pub fn coarsen(mut self, coarsen: bool) -> Self {
+        self.coarsen = coarsen;
+        self
+    }
+
+    /// Toggle the §5 schedule-order locality reordering.
+    pub fn reorder(mut self, reorder: bool) -> Self {
+        self.reorder = reorder;
+        self
+    }
+
+    /// Validates, schedules, reorders and compiles the plan.
+    pub fn build(self) -> Result<SolvePlan, PlanError> {
+        SolvePlan::from_builder(self)
+    }
+}
+
+/// Topological order of `dag` that greedily follows `priority` (smaller
+/// first) among ready vertices — the largest renumbering freedom a
+/// triangular operand admits.
+fn guided_topological_order(dag: &SolveDag, priority: &[usize]) -> Vec<usize> {
+    let n = dag.n();
+    let mut remaining: Vec<usize> = (0..n).map(|v| dag.in_degree(v)).collect();
+    // Min-heap on (priority, vertex) via Reverse.
+    let mut ready: BinaryHeap<std::cmp::Reverse<(usize, usize)>> = (0..n)
+        .filter(|&v| remaining[v] == 0)
+        .map(|v| std::cmp::Reverse((priority[v], v)))
+        .collect();
+    let mut order = Vec::with_capacity(n);
+    while let Some(std::cmp::Reverse((_, v))) = ready.pop() {
+        order.push(v);
+        for &c in dag.children(v) {
+            remaining[c] -= 1;
+            if remaining[c] == 0 {
+                ready.push(std::cmp::Reverse((priority[c], c)));
+            }
+        }
+    }
+    assert_eq!(order.len(), n, "solve DAGs are acyclic");
+    order
+}
+
+/// The pre-ordering permutation (old_of_new) for a lower-triangular operand,
+/// or `None` for the natural order.
+fn pre_order_permutation(lower: &CsrMatrix, pre_order: PreOrder) -> Option<Permutation> {
+    let target = match pre_order {
+        PreOrder::Natural => return None,
+        PreOrder::Rcm => rcm_ordering(lower),
+        PreOrder::MinDegree => min_degree_ordering(lower),
+        PreOrder::NestedDissection => nested_dissection_ordering(lower),
+    };
+    let dag = SolveDag::from_lower_triangular(lower);
+    let order = guided_topological_order(&dag, target.new_of_old());
+    Some(Permutation::from_old_of_new(order).expect("topological order covers every vertex once"))
+}
+
+/// Funnel-coarsens `dag` with the automatic part-weight cap and schedules
+/// the coarse DAG with `scheduler` (shared implementation:
+/// [`sptrsv_core::coarsen_and_schedule`]).
+fn schedule_coarsened(dag: &SolveDag, scheduler: &dyn Scheduler, n_cores: usize) -> Schedule {
+    let options = FunnelOptions {
+        direction: FunnelDirection::In,
+        max_part_weight: auto_part_weight_cap(dag, n_cores),
+    };
+    coarsen_and_schedule(dag, scheduler, n_cores, &options, true)
+}
+
+/// Reusable gather/solve buffers for [`SolvePlan::solve_into`].
+#[derive(Debug, Default, Clone)]
+pub struct SolveWorkspace {
+    pb: Vec<f64>,
+    px: Vec<f64>,
+}
 
 /// A planned, reusable parallel triangular solve.
 pub struct SolvePlan {
@@ -65,14 +242,16 @@ pub struct SolvePlan {
     /// Gather permutation from user indices to internal indices.
     to_internal: Permutation,
     schedule: Schedule,
+    /// The flat execution layout, shared by both executors.
+    compiled: Arc<CompiledSchedule>,
     executor: BarrierExecutor,
     multi: MultiRhsExecutor,
 }
 
 impl SolvePlan {
-    /// Plans a parallel solve: validates the operand, builds the DAG,
-    /// schedules it on `n_cores`, optionally applies the §5 reordering, and
-    /// prepares the threaded executor.
+    /// Plans a parallel solve with an explicit scheduler instance and the
+    /// default pipeline (no pre-ordering, no extra coarsening). Prefer
+    /// [`PlanBuilder`] with a registry spec for new code.
     pub fn new(
         matrix: &CsrMatrix,
         orientation: Orientation,
@@ -80,35 +259,78 @@ impl SolvePlan {
         n_cores: usize,
         reorder: bool,
     ) -> Result<SolvePlan, PlanError> {
-        let n = matrix.n_rows();
-        let (lower, base_perm) = match orientation {
-            Orientation::Lower => {
-                matrix.validate_triangular(Triangle::Lower).map_err(PlanError::Matrix)?;
-                (matrix.clone(), Permutation::identity(n))
-            }
-            Orientation::Upper => {
-                matrix.validate_triangular(Triangle::Upper).map_err(PlanError::Matrix)?;
-                let reversal = Permutation::from_old_of_new((0..n).rev().collect())
-                    .expect("reversal is a bijection");
-                let conjugated =
-                    matrix.symmetric_permute(&reversal).map_err(PlanError::Matrix)?;
-                debug_assert!(conjugated.is_lower_triangular());
-                (conjugated, reversal)
-            }
-        };
+        Self::assemble(matrix, orientation, PreOrder::Natural, false, scheduler, n_cores, reorder)
+    }
+
+    fn from_builder(builder: PlanBuilder<'_>) -> Result<SolvePlan, PlanError> {
+        // Resolve the spec against the post-orientation, post-pre-order DAG
+        // so self-sizing schedulers (funnel-gl:cap=auto) see the DAG they
+        // will schedule. Orientation/pre-ordering are pure renumberings, so
+        // resolving against the oriented lower triangle is equivalent; build
+        // that first, then hand the scheduler to the shared pipeline.
+        let (lower, base_perm) = orient(builder.matrix, builder.orientation)?;
+        let (lower, base_perm) = apply_pre_order(lower, base_perm, builder.pre_order);
         let dag = SolveDag::from_lower_triangular(&lower);
-        let schedule = scheduler.schedule(&dag, n_cores);
-        let (matrix, schedule, to_internal) = if reorder {
+        let scheduler = registry::resolve(&builder.spec, &dag, builder.n_cores)?;
+        Self::assemble_oriented(
+            lower,
+            base_perm,
+            dag,
+            builder.coarsen,
+            scheduler.as_ref(),
+            builder.n_cores,
+            builder.reorder,
+        )
+    }
+
+    /// Shared pipeline behind [`SolvePlan::new`] and [`PlanBuilder::build`].
+    fn assemble(
+        matrix: &CsrMatrix,
+        orientation: Orientation,
+        pre_order: PreOrder,
+        coarsen: bool,
+        scheduler: &dyn Scheduler,
+        n_cores: usize,
+        reorder: bool,
+    ) -> Result<SolvePlan, PlanError> {
+        let (lower, base_perm) = orient(matrix, orientation)?;
+        let (lower, base_perm) = apply_pre_order(lower, base_perm, pre_order);
+        let dag = SolveDag::from_lower_triangular(&lower);
+        Self::assemble_oriented(lower, base_perm, dag, coarsen, scheduler, n_cores, reorder)
+    }
+
+    fn assemble_oriented(
+        lower: CsrMatrix,
+        base_perm: Permutation,
+        dag: SolveDag,
+        coarsen: bool,
+        scheduler: &dyn Scheduler,
+        n_cores: usize,
+        reorder: bool,
+    ) -> Result<SolvePlan, PlanError> {
+        let schedule = if coarsen {
+            schedule_coarsened(&dag, scheduler, n_cores)
+        } else {
+            scheduler.schedule(&dag, n_cores)
+        };
+        // Without reordering the operand is unchanged, so the DAG built for
+        // scheduling doubles as the validation DAG.
+        let (matrix, schedule, to_internal, final_dag) = if reorder {
             let reordered = reorder_for_locality(&lower, &schedule)
                 .expect("schedule order of a valid schedule is topological");
             let total = reordered.permutation.compose(&base_perm);
-            (reordered.matrix, reordered.schedule, total)
+            let final_dag = SolveDag::from_lower_triangular(&reordered.matrix);
+            (reordered.matrix, reordered.schedule, total, final_dag)
         } else {
-            (lower, schedule, base_perm)
+            (lower, schedule, base_perm, dag)
         };
-        let executor = BarrierExecutor::new(&matrix, &schedule).map_err(PlanError::Schedule)?;
-        let multi = MultiRhsExecutor::new(&matrix, &schedule).map_err(PlanError::Schedule)?;
-        Ok(SolvePlan { matrix, to_internal, schedule, executor, multi })
+        // Validate once against the final operand; both executors then share
+        // one compiled plan.
+        schedule.validate(&final_dag).map_err(PlanError::Schedule)?;
+        let compiled = Arc::new(CompiledSchedule::from_schedule(&schedule));
+        let executor = BarrierExecutor::from_compiled(Arc::clone(&compiled));
+        let multi = MultiRhsExecutor::from_compiled(Arc::clone(&compiled));
+        Ok(SolvePlan { matrix, to_internal, schedule, compiled, executor, multi })
     }
 
     /// The schedule driving the executor (internal numbering).
@@ -116,18 +338,48 @@ impl SolvePlan {
         &self.schedule
     }
 
+    /// The compiled execution layout.
+    pub fn compiled(&self) -> &CompiledSchedule {
+        &self.compiled
+    }
+
     /// The internal (possibly permuted) lower-triangular operand.
     pub fn internal_matrix(&self) -> &CsrMatrix {
         &self.matrix
     }
 
+    /// Fresh reusable buffers sized for this plan.
+    pub fn workspace(&self) -> SolveWorkspace {
+        let n = self.matrix.n_rows();
+        SolveWorkspace { pb: vec![0.0; n], px: vec![0.0; n] }
+    }
+
+    /// Solves for one right-hand side into `x` (user numbering), reusing
+    /// `workspace`: steady-state calls are allocation-free.
+    pub fn solve_into(&self, b: &[f64], x: &mut [f64], workspace: &mut SolveWorkspace) {
+        let n = self.matrix.n_rows();
+        assert_eq!(b.len(), n);
+        assert_eq!(x.len(), n);
+        workspace.pb.resize(n, 0.0);
+        workspace.px.resize(n, 0.0);
+        let old_of_new = self.to_internal.old_of_new();
+        for (slot, &old) in workspace.pb.iter_mut().zip(old_of_new) {
+            *slot = b[old];
+        }
+        self.executor.solve(&self.matrix, &workspace.pb, &mut workspace.px);
+        for (&px, &old) in workspace.px.iter().zip(old_of_new) {
+            x[old] = px;
+        }
+    }
+
     /// Solves for one right-hand side, returning the solution in the user's
-    /// original numbering.
+    /// original numbering (allocating convenience over
+    /// [`SolvePlan::solve_into`]).
     pub fn solve(&self, b: &[f64]) -> Vec<f64> {
-        let pb = self.to_internal.apply_vec(b);
-        let mut px = vec![0.0; b.len()];
-        self.executor.solve(&self.matrix, &pb, &mut px);
-        self.to_internal.apply_inverse_vec(&px)
+        let mut x = vec![0.0; b.len()];
+        let mut workspace = self.workspace();
+        self.solve_into(b, &mut x, &mut workspace);
+        x
     }
 
     /// Solves `r` right-hand sides at once (`b` row-major `n x r`).
@@ -146,6 +398,49 @@ impl SolvePlan {
             x[old * r..(old + 1) * r].copy_from_slice(&px[new * r..(new + 1) * r]);
         }
         x
+    }
+}
+
+/// Validates the orientation and returns the lower-triangular operand plus
+/// the base gather permutation (reversal for upper operands).
+fn orient(
+    matrix: &CsrMatrix,
+    orientation: Orientation,
+) -> Result<(CsrMatrix, Permutation), PlanError> {
+    let n = matrix.n_rows();
+    match orientation {
+        Orientation::Lower => {
+            matrix.validate_triangular(Triangle::Lower).map_err(PlanError::Matrix)?;
+            Ok((matrix.clone(), Permutation::identity(n)))
+        }
+        Orientation::Upper => {
+            matrix.validate_triangular(Triangle::Upper).map_err(PlanError::Matrix)?;
+            let reversal = Permutation::from_old_of_new((0..n).rev().collect())
+                .expect("reversal is a bijection");
+            let conjugated = matrix.symmetric_permute(&reversal).map_err(PlanError::Matrix)?;
+            debug_assert!(conjugated.is_lower_triangular());
+            Ok((conjugated, reversal))
+        }
+    }
+}
+
+/// Applies the pre-ordering pass, composing its permutation into the gather
+/// chain.
+fn apply_pre_order(
+    lower: CsrMatrix,
+    base_perm: Permutation,
+    pre_order: PreOrder,
+) -> (CsrMatrix, Permutation) {
+    match pre_order_permutation(&lower, pre_order) {
+        None => (lower, base_perm),
+        Some(perm) => {
+            let permuted = lower
+                .symmetric_permute(&perm)
+                .expect("topological renumbering keeps the matrix square");
+            debug_assert!(permuted.is_lower_triangular());
+            let total = perm.compose(&base_perm);
+            (permuted, total)
+        }
     }
 }
 
@@ -177,7 +472,12 @@ mod tests {
     fn upper_plan_solves() {
         let u = lower().transpose();
         let n = u.n_rows();
-        let plan = SolvePlan::new(&u, Orientation::Upper, &GrowLocal::new(), 3, true).unwrap();
+        let plan = PlanBuilder::new(&u)
+            .orientation(Orientation::Upper)
+            .scheduler("growlocal")
+            .cores(3)
+            .build()
+            .unwrap();
         let b: Vec<f64> = (0..n).map(|i| ((i * 11) % 7) as f64 - 3.0).collect();
         let x = plan.solve(&b);
         assert!(relative_residual(&u, &x, &b) < 1e-12);
@@ -198,6 +498,19 @@ mod tests {
     }
 
     #[test]
+    fn bad_spec_rejected() {
+        let l = lower();
+        assert!(matches!(
+            PlanBuilder::new(&l).scheduler("not-a-scheduler").build(),
+            Err(PlanError::Registry(_))
+        ));
+        assert!(matches!(
+            PlanBuilder::new(&l).scheduler("growlocal:bogus=1").build(),
+            Err(PlanError::Registry(_))
+        ));
+    }
+
+    #[test]
     fn multi_rhs_through_plan() {
         let l = lower();
         let n = l.n_rows();
@@ -213,5 +526,75 @@ mod tests {
                 assert!((x[i * r + j] - xj[i]).abs() < 1e-12);
             }
         }
+    }
+
+    #[test]
+    fn solve_into_matches_solve_and_reuses_buffers() {
+        let l = lower();
+        let n = l.n_rows();
+        let plan = PlanBuilder::new(&l).cores(3).build().unwrap();
+        let mut ws = plan.workspace();
+        let mut x = vec![0.0; n];
+        for round in 0..3 {
+            let b: Vec<f64> = (0..n).map(|i| (i + round) as f64 * 0.3 + 1.0).collect();
+            plan.solve_into(&b, &mut x, &mut ws);
+            assert_eq!(x, plan.solve(&b), "round {round}");
+        }
+    }
+
+    #[test]
+    fn every_builder_knob_produces_a_correct_plan() {
+        let l = lower();
+        let n = l.n_rows();
+        let b: Vec<f64> = (0..n).map(|i| 1.0 + (i % 5) as f64).collect();
+        for pre_order in
+            [PreOrder::Natural, PreOrder::Rcm, PreOrder::MinDegree, PreOrder::NestedDissection]
+        {
+            for coarsen in [false, true] {
+                for reorder in [false, true] {
+                    let plan = PlanBuilder::new(&l)
+                        .scheduler("growlocal")
+                        .cores(3)
+                        .pre_order(pre_order)
+                        .coarsen(coarsen)
+                        .reorder(reorder)
+                        .build()
+                        .unwrap_or_else(|e| {
+                            panic!("{pre_order:?}/coarsen={coarsen}/reorder={reorder}: {e}")
+                        });
+                    let x = plan.solve(&b);
+                    assert!(
+                        relative_residual(&l, &x, &b) < 1e-12,
+                        "{pre_order:?}/coarsen={coarsen}/reorder={reorder}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pre_order_keeps_operand_triangular() {
+        let l = lower();
+        for pre_order in [PreOrder::Rcm, PreOrder::MinDegree, PreOrder::NestedDissection] {
+            let plan = PlanBuilder::new(&l).pre_order(pre_order).cores(2).build().unwrap();
+            assert!(plan.internal_matrix().is_lower_triangular(), "{pre_order:?}");
+            assert!(plan.internal_matrix().has_nonzero_diagonal(), "{pre_order:?}");
+        }
+    }
+
+    #[test]
+    fn upper_with_pre_order_and_funnel_spec() {
+        let u = lower().transpose();
+        let n = u.n_rows();
+        let plan = PlanBuilder::new(&u)
+            .orientation(Orientation::Upper)
+            .scheduler("funnel-gl:cap=auto")
+            .pre_order(PreOrder::Rcm)
+            .cores(4)
+            .build()
+            .unwrap();
+        let b: Vec<f64> = (0..n).map(|i| ((i % 13) as f64) - 6.0).collect();
+        let x = plan.solve(&b);
+        assert!(relative_residual(&u, &x, &b) < 1e-12);
     }
 }

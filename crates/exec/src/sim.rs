@@ -19,7 +19,7 @@
 //! numbers are model units; only relative shapes are meaningful, as the
 //! reproduction brief allows.
 
-use sptrsv_core::Schedule;
+use sptrsv_core::{CompiledSchedule, Schedule};
 use sptrsv_dag::SolveDag;
 use sptrsv_sparse::CsrMatrix;
 use std::collections::{HashMap, VecDeque};
@@ -203,6 +203,7 @@ impl LruCache {
 /// Cost of computing row `i` on `core`, charged against the core's cache and
 /// the coherence directory (the final write of `x[i]` invalidates the line
 /// for every other core).
+#[allow(clippy::too_many_arguments)] // the cost model's state is irreducibly wide
 fn row_cost(
     matrix: &CsrMatrix,
     i: usize,
@@ -214,8 +215,8 @@ fn row_cost(
     misses: &mut u64,
 ) -> f64 {
     let (cols, _) = matrix.row(i);
-    let mut cost = profile.cycles_per_row
-        + profile.cycles_per_nnz * bandwidth_factor * cols.len() as f64;
+    let mut cost =
+        profile.cycles_per_row + profile.cycles_per_nnz * bandwidth_factor * cols.len() as f64;
     // x-vector accesses: all referenced columns; a read of a line last
     // written by another core is always a coherence miss.
     // Misses are DRAM (or cross-core) traffic, so they contend for memory
@@ -241,8 +242,7 @@ pub fn simulate_serial(matrix: &CsrMatrix, profile: &MachineProfile) -> SimRepor
     let mut misses = 0u64;
     let mut compute = 0.0;
     for i in 0..matrix.n_rows() {
-        compute +=
-            row_cost(matrix, i, 0, &mut cache, &mut directory, profile, 1.0, &mut misses);
+        compute += row_cost(matrix, i, 0, &mut cache, &mut directory, profile, 1.0, &mut misses);
     }
     SimReport { cycles: compute, compute_cycles: compute, sync_cycles: 0.0, cache_misses: misses }
 }
@@ -258,18 +258,17 @@ pub fn simulate_barrier(
     profile: &MachineProfile,
 ) -> SimReport {
     let k = schedule.n_cores().min(profile.max_cores);
-    let cells = schedule.cells();
-    let mut caches: Vec<LruCache> =
-        (0..k).map(|_| LruCache::new(profile.cache_lines)).collect();
+    let compiled = CompiledSchedule::from_schedule(schedule);
+    let mut caches: Vec<LruCache> = (0..k).map(|_| LruCache::new(profile.cache_lines)).collect();
     let mut directory = CoherenceDirectory::default();
     let mut misses = 0u64;
     let mut compute = 0.0;
     let mut sync = 0.0;
-    for row in &cells {
-        let active = row.iter().take(k).filter(|cell| !cell.is_empty()).count();
+    for step in 0..compiled.n_supersteps() {
+        let active = compiled.step_cells(step).take(k).filter(|cell| !cell.is_empty()).count();
         let bw = profile.bandwidth_factor(active);
         let mut step_max = 0.0f64;
-        for (p, cell) in row.iter().enumerate() {
+        for (p, cell) in compiled.step_cells(step).enumerate() {
             let p = p.min(k - 1); // cores beyond the cap share the last core
             let mut t = 0.0;
             for &v in cell {
@@ -310,8 +309,7 @@ pub fn simulate_async(
 ) -> SimReport {
     let n = matrix.n_rows();
     let k = schedule.n_cores().min(profile.max_cores);
-    let mut caches: Vec<LruCache> =
-        (0..k).map(|_| LruCache::new(profile.cache_lines)).collect();
+    let mut caches: Vec<LruCache> = (0..k).map(|_| LruCache::new(profile.cache_lines)).collect();
     let mut directory = CoherenceDirectory::default();
     let mut finish = vec![0.0f64; n];
     let mut core_time = vec![0.0f64; k];
@@ -321,8 +319,9 @@ pub fn simulate_async(
     // Processing cells in (superstep, core) order is consistent with each
     // core's own program order and guarantees parents are processed first
     // (same-step parents share the core and precede in ID order).
-    for row in schedule.cells() {
-        for (p, cell) in row.iter().enumerate() {
+    let compiled = CompiledSchedule::from_schedule(schedule);
+    for step in 0..compiled.n_supersteps() {
+        for (p, cell) in compiled.step_cells(step).enumerate() {
             let p = p.min(k - 1);
             for &v in cell {
                 let mut start = core_time[p];
@@ -419,11 +418,7 @@ mod tests {
         let serial = simulate_serial(&l, &p);
         let s = GrowLocal::new().schedule(&dag, 8);
         let par = simulate_barrier(&l, &s, &p);
-        assert!(
-            par.speedup_over(&serial) > 1.5,
-            "speedup {} too low",
-            par.speedup_over(&serial)
-        );
+        assert!(par.speedup_over(&serial) > 1.5, "speedup {} too low", par.speedup_over(&serial));
     }
 
     #[test]
@@ -435,12 +430,7 @@ mod tests {
         let p = MachineProfile::intel_xeon_22();
         let gl = simulate_barrier(&l, &GrowLocal::new().schedule(&dag, 8), &p);
         let wf = simulate_barrier(&l, &WavefrontScheduler.schedule(&dag, 8), &p);
-        assert!(
-            gl.cycles < wf.cycles,
-            "GrowLocal {} vs wavefront {} cycles",
-            gl.cycles,
-            wf.cycles
-        );
+        assert!(gl.cycles < wf.cycles, "GrowLocal {} vs wavefront {} cycles", gl.cycles, wf.cycles);
     }
 
     #[test]

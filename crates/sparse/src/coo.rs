@@ -5,8 +5,8 @@
 //! Duplicate entries are summed on conversion, matching the usual
 //! finite-element assembly semantics.
 
-use crate::error::SparseError;
 use crate::csr::CsrMatrix;
+use crate::error::SparseError;
 use crate::Result;
 
 /// A sparse matrix in coordinate (triplet) format.

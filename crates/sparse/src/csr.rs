@@ -62,9 +62,7 @@ impl CsrMatrix {
         }
         for r in 0..n_rows {
             if row_ptr[r] > row_ptr[r + 1] {
-                return Err(SparseError::InvalidStructure(format!(
-                    "row_ptr decreases at row {r}"
-                )));
+                return Err(SparseError::InvalidStructure(format!("row_ptr decreases at row {r}")));
             }
             let cols = &col_idx[row_ptr[r]..row_ptr[r + 1]];
             for w in cols.windows(2) {
@@ -95,10 +93,14 @@ impl CsrMatrix {
         col_idx: Vec<usize>,
         values: Vec<f64>,
     ) -> Self {
-        debug_assert!(
-            CsrMatrix::from_raw(n_rows, n_cols, row_ptr.clone(), col_idx.clone(), values.clone())
-                .is_ok()
-        );
+        debug_assert!(CsrMatrix::from_raw(
+            n_rows,
+            n_cols,
+            row_ptr.clone(),
+            col_idx.clone(),
+            values.clone()
+        )
+        .is_ok());
         CsrMatrix { n_rows, n_cols, row_ptr, col_idx, values }
     }
 

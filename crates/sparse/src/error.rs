@@ -28,10 +28,9 @@ pub enum SparseError {
 impl fmt::Display for SparseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SparseError::IndexOutOfBounds { row, col, n_rows, n_cols } => write!(
-                f,
-                "entry ({row}, {col}) out of bounds for a {n_rows}x{n_cols} matrix"
-            ),
+            SparseError::IndexOutOfBounds { row, col, n_rows, n_cols } => {
+                write!(f, "entry ({row}, {col}) out of bounds for a {n_rows}x{n_cols} matrix")
+            }
             SparseError::InvalidStructure(msg) => write!(f, "invalid sparse structure: {msg}"),
             SparseError::NotSquare { n_rows, n_cols } => {
                 write!(f, "operation requires a square matrix, got {n_rows}x{n_cols}")

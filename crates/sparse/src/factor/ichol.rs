@@ -107,8 +107,8 @@ fn try_factor(lower: &CsrMatrix, shift: f64) -> Result<CsrMatrix> {
             values[idx] = (values[idx] - sum) / lkk;
         }
         let mut diag = values[end_i - 1];
-        for idx in start_i..end_i - 1 {
-            diag -= values[idx] * values[idx];
+        for v in &values[start_i..end_i - 1] {
+            diag -= v * v;
         }
         if diag <= 0.0 || !diag.is_finite() {
             return Err(SparseError::FactorizationBreakdown { row: i, pivot: diag });
@@ -131,11 +131,7 @@ mod tests {
         let mut out = vec![vec![0.0; n]; n];
         for i in 0..n {
             for j in 0..n {
-                let mut s = 0.0;
-                for k in 0..n {
-                    s += ld[i][k] * ld[j][k];
-                }
-                out[i][j] = s;
+                out[i][j] = ld[i].iter().zip(&ld[j]).map(|(a, b)| a * b).sum();
             }
         }
         out
@@ -146,9 +142,9 @@ mod tests {
         // On a dense-pattern SPD matrix IC(0) == complete Cholesky.
         let mut coo = crate::CooMatrix::new(3, 3);
         let a = [[4.0, 2.0, 2.0], [2.0, 5.0, 3.0], [2.0, 3.0, 6.0]];
-        for i in 0..3 {
-            for j in 0..3 {
-                coo.push(i, j, a[i][j]).unwrap();
+        for (i, row) in a.iter().enumerate() {
+            for (j, &v) in row.iter().enumerate() {
+                coo.push(i, j, v).unwrap();
             }
         }
         let l = ichol0(&coo.to_csr(), &IcholOptions::default()).unwrap();

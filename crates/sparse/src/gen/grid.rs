@@ -214,7 +214,7 @@ mod tests {
         assert!(is_symmetric(&seven));
         assert!(is_diag_dominant(&seven));
         // Interior vertex: 6 neighbours + diagonal.
-        let interior = (1 * 4 + 1) * 4 + 1;
+        let interior = (4 + 1) * 4 + 1;
         assert_eq!(seven.row_nnz(interior), 7);
         let dense = grid3d_laplacian(4, 4, 4, Stencil3D::TwentySevenPoint, 0.5);
         assert_eq!(dense.row_nnz(interior), 27);

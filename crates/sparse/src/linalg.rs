@@ -38,13 +38,13 @@ pub fn norm_inf(x: &[f64]) -> f64 {
 pub fn spmv(a: &CsrMatrix, x: &[f64], y: &mut [f64]) {
     debug_assert_eq!(a.n_cols(), x.len());
     debug_assert_eq!(a.n_rows(), y.len());
-    for r in 0..a.n_rows() {
+    for (r, out) in y.iter_mut().enumerate() {
         let (cols, vals) = a.row(r);
         let mut acc = 0.0;
         for (&c, &v) in cols.iter().zip(vals) {
             acc += v * x[c];
         }
-        y[r] = acc;
+        *out = acc;
     }
 }
 

@@ -24,10 +24,8 @@ pub fn min_degree_ordering(m: &CsrMatrix) -> Permutation {
     let mut adj: Vec<HashSet<usize>> =
         (0..n).map(|v| g.neighbors(v).iter().copied().collect()).collect();
     let mut eliminated = vec![false; n];
-    let mut heap: BinaryHeap<Reverse<(usize, usize)>> = BinaryHeap::with_capacity(n);
-    for v in 0..n {
-        heap.push(Reverse((adj[v].len(), v)));
-    }
+    let mut heap: BinaryHeap<Reverse<(usize, usize)>> =
+        adj.iter().enumerate().map(|(v, nbrs)| Reverse((nbrs.len(), v))).collect();
     let mut order = Vec::with_capacity(n);
     while let Some(Reverse((deg, v))) = heap.pop() {
         if eliminated[v] || adj[v].len() != deg {

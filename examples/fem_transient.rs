@@ -7,13 +7,16 @@
 //! Implicit time stepping of a diffusion problem `(I + dt·K) u_{t+1} = u_t`
 //! solved with Gauss–Seidel sweeps, whose core is exactly the SpTRSV kernel:
 //! the forward sweep is a lower-triangular solve with the matrix `D + L_K`.
-//! The mesh (and hence the sparsity pattern) is fixed, so the schedule is
-//! computed once and amortized over every sweep of every time step — the
-//! setting the paper's amortization analysis (§7.7) targets. The example
-//! reports the measured scheduling time, the modeled per-solve gain, and the
-//! break-even step count.
+//! The mesh (and hence the sparsity pattern) is fixed, so the plan is built
+//! once — `PlanBuilder` with a registry spec — and its compiled schedule is
+//! amortized over every sweep of every time step, solving through
+//! `solve_into` so the steady state allocates nothing. The example reports
+//! the measured planning time, the modeled per-solve gain, and the
+//! break-even step count (§7.7).
 
-use sptrsv::exec::barrier::BarrierExecutor;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use sptrsv::exec::PlanBuilder;
 use sptrsv::prelude::*;
 use sptrsv::sparse::linalg::{norm2, spmv};
 use sptrsv::sparse::CooMatrix;
@@ -23,11 +26,9 @@ fn main() {
     // Stiffness-like operator on a 2D plate, system matrix A = I + dt·K,
     // with an application-like (block-shuffled) node numbering.
     let dt = 0.1;
-    use rand::SeedableRng;
-    let mut rng = rand::rngs::SmallRng::seed_from_u64(5);
+    let mut rng = SmallRng::seed_from_u64(5);
     let k_mat = grid2d_laplacian(70, 70, Stencil2D::NinePoint, 0.0);
-    let renumber =
-        sptrsv::sparse::gen::block_shuffle_permutation(k_mat.n_rows(), 49, &mut rng);
+    let renumber = sptrsv::sparse::gen::block_shuffle_permutation(k_mat.n_rows(), 49, &mut rng);
     let k_mat = k_mat.symmetric_permute(&renumber).expect("square");
     let n = k_mat.n_rows();
     let mut coo = CooMatrix::new(n, n);
@@ -47,18 +48,16 @@ fn main() {
         average_wavefront_size(&dag)
     );
 
-    // Schedule once (timed), execute many times.
+    // Plan once (timed): schedule + §5 reordering + compiled executor in
+    // one call.
     let t0 = Instant::now();
-    let schedule = GrowLocal::new().schedule(&dag, 8);
-    let reordered = reorder_for_locality(&m, &schedule).expect("topological order");
+    let plan = PlanBuilder::new(&m).scheduler("growlocal").cores(8).build().expect("valid plan");
     let sched_time = t0.elapsed();
     println!(
-        "GrowLocal schedule: {} supersteps, computed in {:.2} ms",
-        schedule.n_supersteps(),
+        "GrowLocal plan: {} supersteps, built in {:.2} ms",
+        plan.schedule().n_supersteps(),
         sched_time.as_secs_f64() * 1e3
     );
-    let executor =
-        BarrierExecutor::new(&reordered.matrix, &reordered.schedule).expect("valid schedule");
 
     // Time stepping: u_{t+1} solves A u = u_t, approximated by `sweeps`
     // Gauss–Seidel iterations, each one parallel SpTRSV.
@@ -66,6 +65,8 @@ fn main() {
     let steps = 20;
     let sweeps = 4;
     let mut solves = 0usize;
+    let mut workspace = plan.workspace();
+    let mut d = vec![0.0; n];
     for step in 0..steps {
         let rhs = u.clone();
         // Gauss–Seidel: u <- u + M^{-1}(rhs - A u).
@@ -73,11 +74,8 @@ fn main() {
             let mut au = vec![0.0; n];
             spmv(&a, &u, &mut au);
             let residual: Vec<f64> = rhs.iter().zip(&au).map(|(b, ax)| b - ax).collect();
-            // Solve M d = residual in the reordered space.
-            let pr = reordered.permutation.apply_vec(&residual);
-            let mut pd = vec![0.0; n];
-            executor.solve(&reordered.matrix, &pr, &mut pd);
-            let d = reordered.permutation.apply_inverse_vec(&pd);
+            // Solve M d = residual (the plan gathers/scatters internally).
+            plan.solve_into(&residual, &mut d, &mut workspace);
             for (ui, di) in u.iter_mut().zip(&d) {
                 *ui += di;
             }
@@ -90,17 +88,17 @@ fn main() {
             println!("  step {step:2}: ||r|| = {:.3e}, energy {:.3}", norm2(&r), norm2(&u));
         }
     }
-    println!("{solves} parallel triangular solves executed with one schedule");
+    println!("{solves} parallel triangular solves executed with one compiled plan");
 
-    // Amortization: modeled gain per solve vs measured scheduling cost.
+    // Amortization: modeled gain per solve vs measured planning cost.
     let profile = MachineProfile::intel_xeon_22();
     let serial = simulate_serial(&m, &profile);
-    let par = simulate_barrier(&reordered.matrix, &reordered.schedule, &profile);
+    let par = simulate_barrier(plan.internal_matrix(), plan.schedule(), &profile);
     let gain_cycles = serial.cycles - par.cycles;
     if gain_cycles > 0.0 {
         let sched_cycles = sched_time.as_secs_f64() * 2.5e9;
         println!(
-            "modeled speed-up {:.2}x; scheduling amortizes after {:.1} solves \
+            "modeled speed-up {:.2}x; planning amortizes after {:.1} solves \
              (this run used {solves})",
             par.speedup_over(&serial),
             sched_cycles / gain_cycles

@@ -10,37 +10,19 @@
 //! GrowLocal schedule is computed once and reused hundreds of times
 //! (amortization, §7.7).
 //!
-//! The backward solve `Lᵀ y = z` is run through the same parallel executor
-//! by conjugating with the reversal permutation: if `J` is the
-//! index-reversing permutation, `J·Lᵀ·J` is again lower triangular, so one
-//! scheduler and one executor cover both sweeps.
+//! Both sweeps go through `PlanBuilder`: the forward solve plans `L` as a
+//! lower operand, the backward solve plans `Lᵀ` as an *upper* operand (the
+//! plan conjugates with the index-reversal permutation internally, §2.2).
+//! Solves run through `solve_into` with reusable workspaces, so the steady
+//! state of the PCG loop performs no heap allocation inside the
+//! preconditioner.
 
-use sptrsv::core::schedule::Schedule;
-use sptrsv::exec::barrier::BarrierExecutor;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use sptrsv::exec::{Orientation, PlanBuilder};
 use sptrsv::prelude::*;
 use sptrsv::sparse::factor::{ichol0, IcholOptions};
 use sptrsv::sparse::linalg::{axpy, dot, norm2, spmv};
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
-
-/// A parallel triangular-solve operator: matrix + schedule + executor.
-struct ParallelSolve {
-    matrix: CsrMatrix,
-    executor: BarrierExecutor,
-}
-
-impl ParallelSolve {
-    fn plan(lower: CsrMatrix, n_cores: usize) -> ParallelSolve {
-        let dag = SolveDag::from_lower_triangular(&lower);
-        let schedule = GrowLocal::new().schedule(&dag, n_cores);
-        let executor = BarrierExecutor::new(&lower, &schedule).expect("valid schedule");
-        ParallelSolve { matrix: lower, executor }
-    }
-
-    fn solve(&self, b: &[f64], x: &mut [f64]) {
-        self.executor.solve(&self.matrix, b, x);
-    }
-}
 
 fn main() {
     // SPD system: 3D 7-point Laplacian (a pressure-solve stand-in) with an
@@ -49,38 +31,40 @@ fn main() {
     // real mesh exhibits).
     let mut rng = SmallRng::seed_from_u64(3);
     let a = grid3d_laplacian(20, 20, 20, Stencil3D::SevenPoint, 0.05);
-    let renumber =
-        sptrsv::sparse::gen::block_shuffle_permutation(a.n_rows(), 64, &mut rng);
+    let renumber = sptrsv::sparse::gen::block_shuffle_permutation(a.n_rows(), 64, &mut rng);
     let a = a.symmetric_permute(&renumber).expect("square");
     let n = a.n_rows();
     println!("A: {} rows, {} non-zeros", n, a.nnz());
 
-    // IC(0) factor and the two solve operators.
+    // IC(0) factor and the two solve plans (one schedule each, computed
+    // once, reused by every preconditioner application).
     let l = ichol0(&a, &IcholOptions::default()).expect("diagonally dominant");
-    let forward = ParallelSolve::plan(l.clone(), 8);
+    let lt = l.transpose();
+    let forward =
+        PlanBuilder::new(&l).scheduler("growlocal").cores(8).build().expect("valid lower plan");
+    let backward = PlanBuilder::new(&lt)
+        .orientation(Orientation::Upper)
+        .scheduler("growlocal")
+        .cores(8)
+        .build()
+        .expect("valid upper plan");
 
-    // Backward solve via reversal conjugation: J·Lᵀ·J is lower triangular.
-    let reversal = Permutation::from_old_of_new((0..n).rev().collect()).expect("bijection");
-    let lt_reversed =
-        l.transpose().symmetric_permute(&reversal).expect("square");
-    assert!(lt_reversed.is_lower_triangular());
-    let backward = ParallelSolve::plan(lt_reversed, 8);
-
-    // Apply M⁻¹ r: forward solve, then reversed backward solve.
-    let apply_preconditioner = |r: &[f64]| -> Vec<f64> {
-        let mut y = vec![0.0; n];
-        forward.solve(r, &mut y);
-        let yr = reversal.apply_vec(&y);
-        let mut zr = vec![0.0; n];
-        backward.solve(&yr, &mut zr);
-        reversal.apply_inverse_vec(&zr)
+    // Apply M⁻¹ r: forward solve, then backward solve — allocation-free via
+    // per-plan workspaces.
+    let mut fwd_ws = forward.workspace();
+    let mut bwd_ws = backward.workspace();
+    let mut y = vec![0.0; n];
+    let mut z = vec![0.0; n];
+    let mut apply_preconditioner = |r: &[f64], z: &mut Vec<f64>| {
+        forward.solve_into(r, &mut y, &mut fwd_ws);
+        backward.solve_into(&y, z, &mut bwd_ws);
     };
 
     // PCG on A x = b.
     let b: Vec<f64> = (0..n).map(|i| ((i % 11) as f64 - 5.0) / 5.0).collect();
     let mut x = vec![0.0; n];
     let mut r = b.clone();
-    let mut z = apply_preconditioner(&r);
+    apply_preconditioner(&r, &mut z);
     let mut p = z.clone();
     let mut rz = dot(&r, &z);
     let nb = norm2(&b);
@@ -99,7 +83,7 @@ fn main() {
         if rel < 1e-10 {
             break;
         }
-        z = apply_preconditioner(&r);
+        apply_preconditioner(&r, &mut z);
         let rz_new = dot(&r, &z);
         let beta = rz_new / rz;
         rz = rz_new;
@@ -112,20 +96,18 @@ fn main() {
     assert!(rel < 1e-8, "PCG failed to converge");
     println!(
         "preconditioner applications: {} (2 triangular solves each) — \
-         one schedule, reused every time",
+         one schedule per sweep, reused every time",
         iterations + 1
     );
 
     // How many solves pay off the scheduling time? (Table 7.6's question.)
-    let dag = SolveDag::from_lower_triangular(&l);
-    let schedule = GrowLocal::new().schedule(&dag, 8);
-    let _ = Schedule::n_supersteps(&schedule);
     let profile = MachineProfile::intel_xeon_22();
     let serial = simulate_serial(&l, &profile);
-    let par = simulate_barrier(&l, &schedule, &profile);
+    let par = simulate_barrier(forward.internal_matrix(), forward.schedule(), &profile);
     println!(
-        "modeled per-solve speed-up {:.2}x on {}",
+        "modeled per-solve speed-up {:.2}x on {} ({} supersteps)",
         par.speedup_over(&serial),
-        profile.name
+        profile.name,
+        forward.schedule().n_supersteps()
     );
 }

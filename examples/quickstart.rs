@@ -5,12 +5,16 @@
 //! ```
 //!
 //! Builds a small FEM-like SPD matrix, takes its lower triangle, schedules
-//! the forward substitution with GrowLocal on 8 cores, executes it with real
-//! threads + barriers, verifies against the serial kernel, and reports the
-//! schedule statistics and modeled speed-up.
+//! the forward substitution with GrowLocal on 8 cores (resolved through the
+//! registry spec grammar), executes it with real threads + barriers,
+//! verifies against the serial kernel, and reports the schedule statistics
+//! and modeled speed-up. The last step shows the same pipeline through the
+//! one-call `PlanBuilder`.
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
+use sptrsv::core::registry;
+use sptrsv::exec::PlanBuilder;
 use sptrsv::prelude::*;
 
 fn main() {
@@ -18,8 +22,7 @@ fn main() {
     //    block-shuffled (locally contiguous, many-source) numbering.
     let mut rng = SmallRng::seed_from_u64(1);
     let a = grid2d_laplacian(80, 80, Stencil2D::NinePoint, 0.5);
-    let perm =
-        sptrsv::sparse::gen::block_shuffle_permutation(a.n_rows(), 48, &mut rng);
+    let perm = sptrsv::sparse::gen::block_shuffle_permutation(a.n_rows(), 48, &mut rng);
     let a = a.symmetric_permute(&perm).expect("square");
     let l = a.lower_triangle().expect("square");
     println!("matrix: {} rows, {} non-zeros (lower triangle)", l.n_rows(), l.nnz());
@@ -33,12 +36,16 @@ fn main() {
         wf.average_size()
     );
 
-    // 3. Schedule with GrowLocal.
-    let schedule = GrowLocal::new().schedule(&dag, 8);
+    // 3. Schedule with GrowLocal, resolved from a registry spec — swap the
+    //    string for any entry of `registry::list()` (try "funnel-gl:cap=auto"
+    //    or "hdagg:balance=1.3").
+    let scheduler = registry::resolve("growlocal", &dag, 8).expect("registered");
+    let schedule = scheduler.schedule(&dag, 8);
     schedule.validate(&dag).expect("GrowLocal schedules are valid by construction");
     let stats = schedule.stats(&dag);
     println!(
-        "GrowLocal: {} supersteps ({} barriers), work efficiency {:.2}",
+        "{}: {} supersteps ({} barriers), work efficiency {:.2}",
+        scheduler.name(),
         schedule.n_supersteps(),
         schedule.n_barriers(),
         stats.work_efficiency(8)
@@ -70,4 +77,15 @@ fn main() {
         profile.name,
         parallel.speedup_over(&serial)
     );
+
+    // 7. Steps 3–5 in one call: the PlanBuilder composes scheduling,
+    //    reordering and executor compilation; `solve_into` + a workspace
+    //    makes repeated solves allocation-free.
+    let plan = PlanBuilder::new(&l).scheduler("growlocal").cores(8).build().expect("valid plan");
+    let mut x2 = vec![0.0; n];
+    let mut workspace = plan.workspace();
+    plan.solve_into(&b, &mut x2, &mut workspace);
+    let deviation = sptrsv::exec::verify::deviation_from_serial(&l, &b, &x2);
+    println!("PlanBuilder path deviation: {deviation:.3e}");
+    assert!(deviation < 1e-10);
 }

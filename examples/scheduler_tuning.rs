@@ -6,12 +6,14 @@
 //!
 //! Sweeps the synchronization-cost parameter `L`, the `α` growth factor and
 //! the vertex-selection rule on one hard (narrow-bandwidth) instance, and
-//! compares all schedulers on supersteps, balance and modeled cycles —
-//! a miniature of the paper's ablation studies.
+//! compares all registered schedulers on supersteps, balance and modeled
+//! cycles — a miniature of the paper's ablation studies. Every scheduler is
+//! resolved from a registry spec string, so the sweeps double as a demo of
+//! the `name:key=value` grammar.
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use sptrsv::core::GrowLocalParams;
+use sptrsv::core::registry;
 use sptrsv::prelude::*;
 
 fn describe(name: &str, dag: &SolveDag, matrix: &CsrMatrix, schedule: &sptrsv::core::Schedule) {
@@ -21,11 +23,18 @@ fn describe(name: &str, dag: &SolveDag, matrix: &CsrMatrix, schedule: &sptrsv::c
     let serial = simulate_serial(matrix, &profile);
     let par = simulate_barrier(matrix, schedule, &profile);
     println!(
-        "{name:<28} supersteps {:>6}  imbalance {:>5.2}  modeled speed-up {:>5.2}x",
+        "{name:<34} supersteps {:>6}  imbalance {:>5.2}  modeled speed-up {:>5.2}x",
         schedule.n_supersteps(),
         stats.average_imbalance(),
         par.speedup_over(&serial)
     );
+}
+
+/// Resolves a spec, schedules, and prints the summary line.
+fn run_spec(spec: &str, dag: &SolveDag, matrix: &CsrMatrix, k: usize) {
+    let sched = registry::resolve(spec, dag, k).expect("spec is registered");
+    let s = sched.schedule(dag, k);
+    describe(spec, dag, matrix, &s);
 }
 
 fn main() {
@@ -42,41 +51,22 @@ fn main() {
 
     println!("-- synchronization-cost parameter L (paper default 500) --");
     for sync_cost in [50u64, 500, 5000] {
-        let gl = GrowLocal::with_params(GrowLocalParams { sync_cost, ..Default::default() });
-        let s = gl.schedule(&dag, k);
-        describe(&format!("GrowLocal(L={sync_cost})"), &dag, &l, &s);
+        run_spec(&format!("growlocal:sync={sync_cost}"), &dag, &l, k);
     }
 
     println!("\n-- alpha growth factor (paper default 1.5) --");
     for growth in [1.2f64, 1.5, 2.0] {
-        let gl = GrowLocal::with_params(GrowLocalParams { growth, ..Default::default() });
-        let s = gl.schedule(&dag, k);
-        describe(&format!("GrowLocal(growth={growth})"), &dag, &l, &s);
+        run_spec(&format!("growlocal:growth={growth}"), &dag, &l, k);
     }
 
     println!("\n-- vertex-selection rule (Rule I ablation) --");
-    for (label, priority) in [
-        ("exclusive-then-id (Rule I)", VertexPriority::CoreExclusiveThenId),
-        ("id-only", VertexPriority::IdOnly),
-    ] {
-        let gl = GrowLocal::with_params(GrowLocalParams { priority, ..Default::default() });
-        let s = gl.schedule(&dag, k);
-        describe(&format!("GrowLocal({label})"), &dag, &l, &s);
+    for priority in ["rule1", "id-only"] {
+        run_spec(&format!("growlocal:priority={priority}"), &dag, &l, k);
     }
 
-    println!("\n-- all schedulers --");
-    let schedulers: Vec<Box<dyn Scheduler>> = vec![
-        Box::new(GrowLocal::new()),
-        Box::new(FunnelGrowLocal::for_dag(&dag, k)),
-        Box::new(WavefrontScheduler),
-        Box::new(HDagg::default()),
-        Box::new(SpMp),
-        Box::new(BspG::default()),
-        Box::new(BlockParallel::new(4)),
-    ];
-    for sched in &schedulers {
-        let s = sched.schedule(&dag, k);
-        describe(sched.name(), &dag, &l, &s);
+    println!("\n-- all registered schedulers (defaults) --");
+    for info in registry::list() {
+        run_spec(info.name, &dag, &l, k);
     }
     println!("\n(wavefront scheduling pays one barrier per level — on this matrix");
     println!(" that is thousands of barriers, which is exactly what GrowLocal avoids)");

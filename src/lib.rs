@@ -50,8 +50,6 @@ pub mod prelude {
     pub use sptrsv_exec::{
         simulate_barrier, simulate_serial, solve_with_barriers, MachineProfile, SimReport,
     };
-    pub use sptrsv_sparse::gen::grid::{
-        grid2d_laplacian, grid3d_laplacian, Stencil2D, Stencil3D,
-    };
+    pub use sptrsv_sparse::gen::grid::{grid2d_laplacian, grid3d_laplacian, Stencil2D, Stencil3D};
     pub use sptrsv_sparse::{CooMatrix, CsrMatrix, Permutation};
 }

@@ -5,10 +5,18 @@
 //! Definition 2.1 validity for every scheduler, Proposition 4.3 acyclicity of
 //! funnel coarsening, equivalence of all executors with the serial kernel,
 //! and permutation round-trips.
+//!
+//! The scheduler set under test comes from `sptrsv_core::registry` — the
+//! registry conformance suite runs **every** registered spec (names and
+//! parameterized examples) over randomized Erdős–Rényi and grid-Laplacian
+//! DAGs, asserting `Schedule::validate` and that `CompiledSchedule`
+//! round-trips to identical cell contents.
 
 use proptest::prelude::*;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
+use sptrsv::core::registry;
+use sptrsv::core::CompiledSchedule;
 use sptrsv::dag::coarsen::{coarsen, funnel_partition, is_funnel, FunnelDirection, FunnelOptions};
 use sptrsv::dag::{is_acyclic, transitive::approximate_transitive_reduction};
 use sptrsv::exec::verify::deviation_from_serial;
@@ -24,35 +32,73 @@ fn random_lower(seed: u64, n: usize, density: f64, band: Option<f64>) -> CsrMatr
     }
 }
 
+/// A grid-Laplacian operand with an application-like (block-shuffled)
+/// numbering — the other structural extreme from the random matrices.
+fn random_grid_lower(seed: u64, w: usize, h: usize) -> CsrMatrix {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let a = grid2d_laplacian(w, h, Stencil2D::FivePoint, 0.5);
+    let block = (w * h / 16).clamp(2, 32);
+    let p = sptrsv::sparse::gen::block_shuffle_permutation(a.n_rows(), block, &mut rng);
+    a.symmetric_permute(&p).expect("square").lower_triangle().expect("square")
+}
+
+/// Registry conformance for one DAG: every registered spec must schedule it
+/// validly, and the compiled layout must round-trip to the nested cells.
+fn assert_registry_conformance(dag: &SolveDag, cores: usize) -> Result<(), TestCaseError> {
+    for info in registry::list() {
+        for spec in info.examples {
+            let sched = registry::resolve(spec, dag, cores)
+                .unwrap_or_else(|e| panic!("spec `{spec}` failed to build: {e}"));
+            let s = sched.schedule(dag, cores);
+            prop_assert!(
+                s.validate(dag).is_ok(),
+                "`{spec}` produced an invalid schedule (n={}, cores={cores})",
+                dag.n()
+            );
+            let compiled = CompiledSchedule::from_schedule(&s);
+            prop_assert_eq!(compiled.n_cores(), s.n_cores());
+            prop_assert_eq!(compiled.n_supersteps(), s.n_supersteps());
+            prop_assert!(
+                compiled.to_cells() == s.cells(),
+                "`{spec}`: CompiledSchedule does not round-trip to Schedule::cells()"
+            );
+            // The flat order is a permutation of all vertices.
+            let mut seen = vec![false; dag.n()];
+            for &v in compiled.vertex_order() {
+                prop_assert!(!seen[v], "vertex {v} appears twice in the compiled order");
+                seen[v] = true;
+            }
+            prop_assert!(seen.iter().all(|&x| x), "compiled order misses vertices");
+        }
+    }
+    Ok(())
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
     #[test]
-    fn all_schedulers_produce_valid_schedules(
+    fn registry_conformance_on_erdos_renyi(
         seed in any::<u64>(),
-        n in 2usize..160,
+        n in 2usize..120,
         density in 0.0f64..0.25,
         cores in 1usize..6,
     ) {
         let l = random_lower(seed, n, density, None);
         let dag = SolveDag::from_lower_triangular(&l);
-        let schedulers: Vec<Box<dyn Scheduler>> = vec![
-            Box::new(GrowLocal::new()),
-            Box::new(WavefrontScheduler),
-            Box::new(HDagg::default()),
-            Box::new(SpMp),
-            Box::new(BspG::default()),
-            Box::new(BlockParallel::new(3)),
-            Box::new(FunnelGrowLocal::for_dag(&dag, cores)),
-        ];
-        for sched in schedulers {
-            let s = sched.schedule(&dag, cores);
-            prop_assert!(
-                s.validate(&dag).is_ok(),
-                "{} invalid: n={n} density={density} cores={cores} seed={seed}",
-                sched.name()
-            );
-        }
+        assert_registry_conformance(&dag, cores)?;
+    }
+
+    #[test]
+    fn registry_conformance_on_grid_laplacians(
+        seed in any::<u64>(),
+        w in 3usize..14,
+        h in 3usize..14,
+        cores in 1usize..6,
+    ) {
+        let l = random_grid_lower(seed, w, h);
+        let dag = SolveDag::from_lower_triangular(&l);
+        assert_registry_conformance(&dag, cores)?;
     }
 
     #[test]
@@ -68,6 +114,22 @@ proptest! {
         let mut x = vec![0.0; n];
         solve_with_barriers(&l, &s, &b, &mut x).expect("valid schedule");
         prop_assert!(deviation_from_serial(&l, &b, &x) < 1e-9);
+    }
+
+    #[test]
+    fn solve_into_is_identical_to_solve(
+        seed in any::<u64>(),
+        n in 2usize..100,
+        density in 0.0f64..0.2,
+    ) {
+        use sptrsv::exec::PlanBuilder;
+        let l = random_lower(seed, n, density, None);
+        let plan = PlanBuilder::new(&l).cores(3).build().expect("valid plan");
+        let b: Vec<f64> = (0..n).map(|i| ((i * 7) % 5) as f64 - 1.5).collect();
+        let mut ws = plan.workspace();
+        let mut x = vec![0.0; n];
+        plan.solve_into(&b, &mut x, &mut ws);
+        prop_assert_eq!(x, plan.solve(&b));
     }
 
     #[test]
