@@ -3,9 +3,11 @@
 //!
 //! Two comparisons on a 256×256 grid Laplacian (n = 65,536):
 //!
-//! * **plan construction** — `CompiledSchedule::from_schedule` (two flat
-//!   allocations, counting sort) vs the seed's `Schedule::cells()` nested
-//!   materialization (one `Vec` per cell);
+//! * **plan construction** — `CompiledSchedule::from_schedule` (fused
+//!   single-read counting sort over `u32` keys: one pass over the
+//!   assignment arrays computes keys + histogram, the scatter replays the
+//!   cached keys, the offset array doubles as the cursor) vs the seed's
+//!   `Schedule::cells()` nested materialization (one `Vec` per cell);
 //! * **steady-state solve traversal** — the barrier executor walking the
 //!   flat layout vs an executor walking the seed's nested
 //!   `plan[core][superstep]` representation. Measured on a single-core

@@ -4,7 +4,7 @@
 //! diag <suite: ss|metis|ichol|er|nb> [index] [--scale test|medium]
 //! ```
 
-use sptrsv_bench::harness::{evaluate, Algo};
+use sptrsv_bench::harness::{evaluate, Pipeline};
 use sptrsv_core::Scheduler;
 use sptrsv_datasets::{load_suite, Scale, SuiteKind};
 use sptrsv_exec::MachineProfile;
@@ -39,19 +39,15 @@ fn main() {
     let profile = MachineProfile::intel_xeon_22();
     let serial = sptrsv_exec::simulate_serial(&ds.lower, &profile);
     println!("serial: cycles={:.3e} misses={}", serial.cycles, serial.cache_misses);
-    for algo in [
-        Algo::GrowLocal,
-        Algo::GrowLocalNoReorder,
-        Algo::FunnelGl,
-        Algo::SpMp,
-        Algo::HDagg,
-        Algo::Wavefront,
-        Algo::BspG,
-    ] {
-        let o = evaluate(ds, algo, &profile, 22);
+    // Every registered scheduler under its default execution model, plus the
+    // paper's reordered GrowLocal pipeline — all registry-derived.
+    let mut pipelines = vec![Pipeline::new("growlocal").reordered().labeled("growlocal+reorder")];
+    pipelines.extend(sptrsv_core::registry::list().iter().map(|info| Pipeline::new(info.name)));
+    for pipeline in &pipelines {
+        let o = evaluate(ds, pipeline, &profile, 22);
         // Work-balance diagnostics on the raw schedule.
         let dag = ds.dag();
-        let sched = sptrsv_core::registry::resolve(&algo.spec(), &dag, 22)
+        let sched = sptrsv_core::registry::resolve(pipeline.spec(), &dag, 22)
             .expect("harness specs are registered")
             .schedule(&dag, 22);
         let stats = sched.stats(&dag);

@@ -5,7 +5,7 @@
 //! Suites are cached per `(kind, scale, seed)` so a full `all()` run builds
 //! each data set once.
 
-use crate::harness::{evaluate, Algo, EvalOutcome};
+use crate::harness::{evaluate, EvalOutcome, Pipeline};
 use crate::report::{f2, Table};
 use crate::statistics::{geometric_mean, quartiles, PerformanceProfile};
 use sptrsv_core::{block::induced_block_dag, BlockParallel, GrowLocal, Scheduler};
@@ -32,6 +32,49 @@ impl Default for Config {
     }
 }
 
+/// The paper's named pipelines as registry spec strings — the migration
+/// target of the old hard-coded `Algo` enum (see the README's migration
+/// table). Labels match the paper's tables; everything resolves through
+/// `sptrsv_core::registry`, execution models included (`spmp` defaults to
+/// `@async` in the registry, so no variant list lives here).
+fn growlocal() -> Pipeline {
+    Pipeline::new("growlocal").reordered().labeled("GrowLocal")
+}
+
+fn growlocal_no_reorder() -> Pipeline {
+    Pipeline::new("growlocal").labeled("GL(no reorder)")
+}
+
+fn growlocal_id_only() -> Pipeline {
+    Pipeline::new("growlocal:priority=id-only").labeled("GL(id-only)")
+}
+
+fn growlocal_async() -> Pipeline {
+    Pipeline::new("growlocal@async").labeled("GrowLocal(async)")
+}
+
+fn funnel_gl() -> Pipeline {
+    Pipeline::new("funnel-gl:cap=auto").reordered().labeled("Funnel+GL")
+}
+
+fn spmp() -> Pipeline {
+    Pipeline::new("spmp").labeled("SpMP")
+}
+
+fn hdagg() -> Pipeline {
+    Pipeline::new("hdagg").labeled("HDagg")
+}
+
+fn bspg() -> Pipeline {
+    Pipeline::new("bspg").labeled("BSPg")
+}
+
+fn block_gl(blocks: usize) -> Pipeline {
+    Pipeline::new(format!("block-gl:blocks={blocks}"))
+        .reordered()
+        .labeled(format!("GrowLocal({blocks} blocks)"))
+}
+
 /// Suite cache storage, keyed by `(kind, scale-tag, seed)`.
 type SuiteCache = Mutex<HashMap<(SuiteKind, u8, u64), Arc<Vec<Dataset>>>>;
 
@@ -53,11 +96,11 @@ fn suite_cached(kind: SuiteKind, cfg: &Config) -> Arc<Vec<Dataset>> {
 
 fn eval_suite(
     suite: &[Dataset],
-    algo: Algo,
+    pipeline: &Pipeline,
     profile: &MachineProfile,
     n_cores: usize,
 ) -> Vec<EvalOutcome> {
-    suite.iter().map(|ds| evaluate(ds, algo, profile, n_cores)).collect()
+    suite.iter().map(|ds| evaluate(ds, pipeline, profile, n_cores)).collect()
 }
 
 /// Figure 1.2: geometric mean and interquartile range of speed-ups over
@@ -66,11 +109,17 @@ pub fn fig1_2(cfg: &Config) -> String {
     let profile = MachineProfile::intel_xeon_22();
     let suite = suite_cached(SuiteKind::SuiteSparse, cfg);
     let mut table = Table::new(vec!["Algorithm", "Geo-mean", "Q25", "Median", "Q75"]);
-    for algo in [Algo::GrowLocal, Algo::SpMp, Algo::HDagg] {
+    for algo in [growlocal(), spmp(), hdagg()] {
         let speedups: Vec<f64> =
-            eval_suite(&suite, algo, &profile, cfg.n_cores).iter().map(|o| o.speedup).collect();
+            eval_suite(&suite, &algo, &profile, cfg.n_cores).iter().map(|o| o.speedup).collect();
         let (q1, q2, q3) = quartiles(&speedups);
-        table.row(vec![algo.label(), f2(geometric_mean(&speedups)), f2(q1), f2(q2), f2(q3)]);
+        table.row(vec![
+            algo.label().to_string(),
+            f2(geometric_mean(&speedups)),
+            f2(q1),
+            f2(q2),
+            f2(q3),
+        ]);
     }
     format!(
         "## Figure 1.2 — speed-up over serial, SuiteSparse suite, {} cores ({})\n\n{}",
@@ -83,12 +132,12 @@ pub fn fig1_2(cfg: &Config) -> String {
 /// Table 7.1: geometric-mean speed-ups over serial for all five suites.
 pub fn table7_1(cfg: &Config) -> String {
     let profile = MachineProfile::intel_xeon_22();
-    let algos = [Algo::GrowLocal, Algo::FunnelGl, Algo::SpMp, Algo::HDagg];
+    let algos = [growlocal(), funnel_gl(), spmp(), hdagg()];
     let mut table = Table::new(vec!["Data set", "GrowLocal", "Funnel+GL", "SpMP", "HDagg"]);
     for kind in SuiteKind::all() {
         let suite = suite_cached(kind, cfg);
         let mut cells = vec![kind.label().to_string()];
-        for algo in algos {
+        for algo in &algos {
             let speedups: Vec<f64> =
                 eval_suite(&suite, algo, &profile, cfg.n_cores).iter().map(|o| o.speedup).collect();
             cells.push(f2(geometric_mean(&speedups)));
@@ -107,10 +156,10 @@ pub fn table7_1(cfg: &Config) -> String {
 pub fn fig7_1(cfg: &Config) -> String {
     let profile = MachineProfile::intel_xeon_22();
     let suite = suite_cached(SuiteKind::SuiteSparse, cfg);
-    let algos = [Algo::GrowLocal, Algo::FunnelGl, Algo::SpMp, Algo::HDagg];
+    let algos = [growlocal(), funnel_gl(), spmp(), hdagg()];
     let costs: Vec<Vec<f64>> = algos
         .iter()
-        .map(|&algo| {
+        .map(|algo| {
             eval_suite(&suite, algo, &profile, cfg.n_cores)
                 .iter()
                 .map(|o| o.parallel_cycles)
@@ -119,7 +168,7 @@ pub fn fig7_1(cfg: &Config) -> String {
         .collect();
     let taus: Vec<f64> = (0..=16).map(|i| 1.0 + i as f64 * 0.25).collect();
     let prof = PerformanceProfile::from_costs(
-        algos.iter().map(|a| a.label()).collect(),
+        algos.iter().map(|a| a.label().to_string()).collect(),
         &costs,
         taus.clone(),
     );
@@ -149,12 +198,12 @@ pub fn fig7_1(cfg: &Config) -> String {
 /// number of wavefronts.
 pub fn table7_2(cfg: &Config) -> String {
     let profile = MachineProfile::intel_xeon_22();
-    let algos = [Algo::GrowLocal, Algo::FunnelGl, Algo::HDagg];
+    let algos = [growlocal(), funnel_gl(), hdagg()];
     let mut table = Table::new(vec!["Data set", "GrowLocal", "Funnel+GL", "HDagg"]);
     for kind in SuiteKind::all() {
         let suite = suite_cached(kind, cfg);
         let mut cells = vec![kind.label().to_string()];
-        for algo in algos {
+        for algo in &algos {
             let reductions: Vec<f64> = eval_suite(&suite, algo, &profile, cfg.n_cores)
                 .iter()
                 .map(|o| o.n_wavefronts as f64 / o.n_supersteps as f64)
@@ -175,11 +224,11 @@ pub fn table7_3(cfg: &Config) -> String {
     let mut table = Table::new(vec!["Data set", "Reordering", "No Reordering"]);
     for kind in SuiteKind::all() {
         let suite = suite_cached(kind, cfg);
-        let with: Vec<f64> = eval_suite(&suite, Algo::GrowLocal, &profile, cfg.n_cores)
+        let with: Vec<f64> = eval_suite(&suite, &growlocal(), &profile, cfg.n_cores)
             .iter()
             .map(|o| o.speedup)
             .collect();
-        let without: Vec<f64> = eval_suite(&suite, Algo::GrowLocalNoReorder, &profile, cfg.n_cores)
+        let without: Vec<f64> = eval_suite(&suite, &growlocal_no_reorder(), &profile, cfg.n_cores)
             .iter()
             .map(|o| o.speedup)
             .collect();
@@ -202,9 +251,11 @@ pub fn table7_4(cfg: &Config) -> String {
     let mut table = Table::new(vec!["Machine", "GrowLocal", "SpMP", "HDagg"]);
     for profile in MachineProfile::all() {
         let mut cells = vec![profile.name.to_string()];
-        for algo in [Algo::GrowLocal, Algo::SpMp, Algo::HDagg] {
-            let speedups: Vec<f64> =
-                eval_suite(&suite, algo, &profile, cfg.n_cores).iter().map(|o| o.speedup).collect();
+        for algo in [growlocal(), spmp(), hdagg()] {
+            let speedups: Vec<f64> = eval_suite(&suite, &algo, &profile, cfg.n_cores)
+                .iter()
+                .map(|o| o.speedup)
+                .collect();
             cells.push(f2(geometric_mean(&speedups)));
         }
         table.row(cells);
@@ -226,7 +277,7 @@ pub fn table7_5(cfg: &Config) -> String {
     let mut table = Table::new(vec!["Cores", "GrowLocal"]);
     for &k in &cores {
         let speedups: Vec<f64> =
-            eval_suite(&suite, Algo::GrowLocal, &profile, k).iter().map(|o| o.speedup).collect();
+            eval_suite(&suite, &growlocal(), &profile, k).iter().map(|o| o.speedup).collect();
         table.row(vec![k.to_string(), f2(geometric_mean(&speedups))]);
     }
     format!("## Table 7.5 — GrowLocal core scaling ({})\n\n{}", profile.name, table.render())
@@ -257,7 +308,7 @@ pub fn fig7_2(cfg: &Config) -> String {
             for &k in &cores {
                 let speedups: Vec<f64> = members
                     .iter()
-                    .map(|ds| evaluate(ds, Algo::GrowLocal, &profile, k).speedup)
+                    .map(|ds| evaluate(ds, &growlocal(), &profile, k).speedup)
                     .collect();
                 cells.push(f2(geometric_mean(&speedups)));
             }
@@ -276,13 +327,13 @@ pub fn table7_6(cfg: &Config) -> String {
     let profile = MachineProfile::intel_xeon_22();
     let suite = suite_cached(SuiteKind::SuiteSparse, cfg);
     let mut table = Table::new(vec!["Algorithm", "Q25", "Median", "Q75"]);
-    for algo in [Algo::GrowLocal, Algo::FunnelGl, Algo::SpMp, Algo::HDagg] {
-        let thresholds: Vec<f64> = eval_suite(&suite, algo, &profile, cfg.n_cores)
+    for algo in [growlocal(), funnel_gl(), spmp(), hdagg()] {
+        let thresholds: Vec<f64> = eval_suite(&suite, &algo, &profile, cfg.n_cores)
             .iter()
             .map(|o| o.amortization_threshold())
             .collect();
         let (q1, q2, q3) = quartiles(&thresholds);
-        table.row(vec![algo.label(), f2(q1), f2(q2), f2(q3)]);
+        table.row(vec![algo.label().to_string(), f2(q1), f2(q2), f2(q3)]);
     }
     format!(
         "## Table 7.6 — amortization threshold (solves needed to pay for scheduling)\n\n{}",
@@ -315,7 +366,7 @@ pub fn table7_7(cfg: &Config) -> String {
     }
     let mut base: Vec<PerDataset> = Vec::new();
     for ds in suite.iter() {
-        let o = evaluate(ds, Algo::BlockGl(1), &profile, cfg.n_cores);
+        let o = evaluate(ds, &block_gl(1), &profile, cfg.n_cores);
         base.push(PerDataset {
             sched_1: o.sched_seconds.max(1e-9),
             speedup_1: o.speedup,
@@ -344,7 +395,7 @@ pub fn table7_7(cfg: &Config) -> String {
                 total += dt;
             }
             let _ = total;
-            let out = evaluate(ds, Algo::BlockGl(t), &profile, cfg.n_cores);
+            let out = evaluate(ds, &block_gl(t), &profile, cfg.n_cores);
             let modeled_sched = max_block.max(1e-9);
             sched_speedups.push(b.sched_1 / modeled_sched);
             rel_perf.push(out.speedup / b.speedup_1);
@@ -380,8 +431,8 @@ pub fn fig_b1(cfg: &Config) -> String {
     let mut points_fgl: Vec<(f64, f64)> = Vec::new();
     let profile = MachineProfile::intel_xeon_22();
     for ds in suite.iter() {
-        let gl = evaluate(ds, Algo::GrowLocalNoReorder, &profile, cfg.n_cores);
-        let fgl = evaluate(ds, Algo::FunnelGl, &profile, cfg.n_cores);
+        let gl = evaluate(ds, &growlocal_no_reorder(), &profile, cfg.n_cores);
+        let fgl = evaluate(ds, &funnel_gl(), &profile, cfg.n_cores);
         points_gl.push((ds.stats.nnz as f64, gl.sched_seconds.max(1e-9)));
         points_fgl.push((ds.stats.nnz as f64, fgl.sched_seconds.max(1e-9)));
         table.row(vec![
@@ -416,12 +467,10 @@ pub fn fig_b1(cfg: &Config) -> String {
 pub fn app_c1(cfg: &Config) -> String {
     let profile = MachineProfile::intel_xeon_22();
     let suite = suite_cached(SuiteKind::SuiteSparse, cfg);
-    let gl: Vec<f64> = eval_suite(&suite, Algo::GrowLocal, &profile, cfg.n_cores)
-        .iter()
-        .map(|o| o.speedup)
-        .collect();
+    let gl: Vec<f64> =
+        eval_suite(&suite, &growlocal(), &profile, cfg.n_cores).iter().map(|o| o.speedup).collect();
     let bspg: Vec<f64> =
-        eval_suite(&suite, Algo::BspG, &profile, cfg.n_cores).iter().map(|o| o.speedup).collect();
+        eval_suite(&suite, &bspg(), &profile, cfg.n_cores).iter().map(|o| o.speedup).collect();
     let ratio = geometric_mean(&gl) / geometric_mean(&bspg);
     format!(
         "## Appendix C.1 — GrowLocal vs BSPg (SuiteSparse suite)\n\n\
@@ -462,9 +511,11 @@ pub fn extensions(cfg: &Config) -> String {
     for kind in SuiteKind::all() {
         let suite = suite_cached(kind, cfg);
         let mut cells = vec![kind.label().to_string()];
-        for algo in [Algo::GrowLocalNoReorder, Algo::GrowLocalAsync, Algo::SpMp] {
-            let speedups: Vec<f64> =
-                eval_suite(&suite, algo, &profile, cfg.n_cores).iter().map(|o| o.speedup).collect();
+        for algo in [growlocal_no_reorder(), growlocal_async(), spmp()] {
+            let speedups: Vec<f64> = eval_suite(&suite, &algo, &profile, cfg.n_cores)
+                .iter()
+                .map(|o| o.speedup)
+                .collect();
             cells.push(f2(geometric_mean(&speedups)));
         }
         async_table.row(cells);
@@ -472,11 +523,11 @@ pub fn extensions(cfg: &Config) -> String {
     let mut rule1_table = Table::new(vec!["Data set", "Rule I (excl+ID)", "ID only"]);
     for kind in SuiteKind::all() {
         let suite = suite_cached(kind, cfg);
-        let rule1: Vec<f64> = eval_suite(&suite, Algo::GrowLocalNoReorder, &profile, cfg.n_cores)
+        let rule1: Vec<f64> = eval_suite(&suite, &growlocal_no_reorder(), &profile, cfg.n_cores)
             .iter()
             .map(|o| o.n_supersteps as f64)
             .collect();
-        let id_only: Vec<f64> = eval_suite(&suite, Algo::GrowLocalIdOnly, &profile, cfg.n_cores)
+        let id_only: Vec<f64> = eval_suite(&suite, &growlocal_id_only(), &profile, cfg.n_cores)
             .iter()
             .map(|o| o.n_supersteps as f64)
             .collect();

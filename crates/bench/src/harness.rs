@@ -1,84 +1,69 @@
-//! End-to-end evaluation of one (dataset, algorithm) pair.
+//! End-to-end evaluation of one (dataset, pipeline) pair.
+//!
+//! A [`Pipeline`] is a registry spec string (v2 grammar, `@model` suffix
+//! included) plus a display label and the §5-reordering toggle — the
+//! harness keeps **no** scheduler or execution-model enumeration of its
+//! own. The spec resolves through `sptrsv_core::registry`, and the
+//! execution model resolved from the spec routes the simulation (barrier /
+//! async / serial machine model).
 
-use sptrsv_core::{registry, reorder_for_locality, Schedule, SpMp};
+use sptrsv_core::registry::{self, ExecModel, SchedulerSpec};
+use sptrsv_core::{reorder_for_locality, CompiledSchedule, Schedule};
+use sptrsv_dag::transitive::approximate_transitive_reduction;
+use sptrsv_dag::SolveDag;
 use sptrsv_datasets::Dataset;
-use sptrsv_exec::{simulate_async, simulate_barrier, simulate_serial, MachineProfile, SimReport};
+use sptrsv_exec::{simulate_model, simulate_serial, MachineProfile, SimReport};
+use sptrsv_sparse::CsrMatrix;
 use std::time::Instant;
 
 /// Nominal clock used to convert measured scheduling seconds into the model's
 /// cycle units for the amortization threshold (Eq. (7.1)).
 pub const CALIBRATION_HZ: f64 = 2.5e9;
 
-/// The algorithms under evaluation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Algo {
-    /// GrowLocal + the §5 locality reordering (the paper's full pipeline).
-    GrowLocal,
-    /// GrowLocal without the reordering step (Table 7.3 ablation).
-    GrowLocalNoReorder,
-    /// GrowLocal with the ID-only selection rule (Rule I ablation).
-    GrowLocalIdOnly,
-    /// Funnel coarsening + GrowLocal + reordering.
-    FunnelGl,
-    /// SpMP-style: level schedule on the reduced DAG, asynchronous execution.
-    SpMp,
-    /// HDagg-style wavefront gluing, barrier execution.
-    HDagg,
-    /// Plain wavefront scheduling, barrier execution.
-    Wavefront,
-    /// BSPg-style barrier list scheduler.
-    BspG,
-    /// Block-parallel GrowLocal with this many diagonal blocks (+ reorder).
-    BlockGl(usize),
-    /// Future-work extension (§8): the GrowLocal schedule executed
-    /// *semi-asynchronously* — point-to-point waits on the reduced DAG
-    /// instead of global barriers, as in SpMP.
-    GrowLocalAsync,
+/// One evaluated configuration: a registry spec, a table label, and whether
+/// the §5 locality reordering is part of the pipeline.
+#[derive(Debug, Clone)]
+pub struct Pipeline {
+    spec: String,
+    label: String,
+    reorder: bool,
 }
 
-impl Algo {
-    /// Display name used in tables.
-    pub fn label(&self) -> String {
-        match self {
-            Algo::GrowLocal => "GrowLocal".into(),
-            Algo::GrowLocalNoReorder => "GL(no reorder)".into(),
-            Algo::GrowLocalIdOnly => "GL(id-only)".into(),
-            Algo::FunnelGl => "Funnel+GL".into(),
-            Algo::SpMp => "SpMP".into(),
-            Algo::HDagg => "HDagg".into(),
-            Algo::Wavefront => "Wavefront".into(),
-            Algo::BspG => "BSPg".into(),
-            Algo::BlockGl(t) => format!("GrowLocal({t} blocks)"),
-            Algo::GrowLocalAsync => "GrowLocal(async)".into(),
-        }
+impl Pipeline {
+    /// A pipeline scheduling with `spec` (any v2 registry spec, `@model`
+    /// suffix included), labeled by the spec itself, without reordering.
+    pub fn new(spec: impl Into<String>) -> Pipeline {
+        let spec = spec.into();
+        Pipeline { label: spec.clone(), spec, reorder: false }
     }
 
-    /// The registry spec this pipeline schedules with — the *only* place the
-    /// harness names schedulers; everything resolves through
-    /// [`sptrsv_core::registry`].
-    pub fn spec(&self) -> String {
-        match self {
-            Algo::GrowLocal | Algo::GrowLocalNoReorder | Algo::GrowLocalAsync => "growlocal".into(),
-            Algo::GrowLocalIdOnly => "growlocal:priority=id-only".into(),
-            Algo::FunnelGl => "funnel-gl:cap=auto".into(),
-            Algo::SpMp => "spmp".into(),
-            Algo::HDagg => "hdagg".into(),
-            Algo::Wavefront => "wavefront".into(),
-            Algo::BspG => "bspg".into(),
-            Algo::BlockGl(t) => format!("block-gl:blocks={t}"),
-        }
+    /// Enables the §5 schedule-order locality reordering.
+    pub fn reordered(mut self) -> Pipeline {
+        self.reorder = true;
+        self
     }
 
-    /// Whether the §5 reordering is part of this pipeline.
-    fn reorders(&self) -> bool {
-        matches!(self, Algo::GrowLocal | Algo::FunnelGl | Algo::BlockGl(_))
+    /// Overrides the display label used in tables.
+    pub fn labeled(mut self, label: impl Into<String>) -> Pipeline {
+        self.label = label.into();
+        self
+    }
+
+    /// The registry spec string.
+    pub fn spec(&self) -> &str {
+        &self.spec
+    }
+
+    /// The display label used in tables.
+    pub fn label(&self) -> &str {
+        &self.label
     }
 }
 
 /// Everything the experiment tables need from one evaluation.
 #[derive(Debug, Clone)]
 pub struct EvalOutcome {
-    /// Algorithm label.
+    /// Pipeline label.
     pub algo: String,
     /// Dataset name.
     pub dataset: String,
@@ -110,10 +95,10 @@ impl EvalOutcome {
     }
 }
 
-/// Runs `algo` on `dataset` for `n_cores` cores of `profile`.
+/// Runs `pipeline` on `dataset` for `n_cores` cores of `profile`.
 pub fn evaluate(
     dataset: &Dataset,
-    algo: Algo,
+    pipeline: &Pipeline,
     profile: &MachineProfile,
     n_cores: usize,
 ) -> EvalOutcome {
@@ -121,40 +106,38 @@ pub fn evaluate(
     let serial = simulate_serial(&dataset.lower, profile);
 
     let started = Instant::now();
-    let scheduler = registry::resolve(&algo.spec(), &dag, n_cores)
-        .expect("harness specs name registered schedulers");
+    let spec: SchedulerSpec =
+        pipeline.spec.parse().expect("harness specs follow the registry grammar");
+    let model = registry::resolve_model(&spec).expect("harness specs name supported models");
+    let scheduler =
+        registry::build(&spec, &dag, n_cores).expect("harness specs name registered schedulers");
     let schedule: Schedule = scheduler.schedule(&dag, n_cores);
 
-    // Simulate; reordering (when part of the pipeline) produces a permuted
-    // problem, simulated as-is (the permuted system is equivalent, §5).
-    let sim = if algo == Algo::SpMp || algo == Algo::GrowLocalAsync {
-        let reduced = SpMp.reduced_dag(&dag);
-        let sched_seconds = started.elapsed().as_secs_f64();
-        let sim = simulate_async(&dataset.lower, &schedule, &reduced, profile);
-        return finish(dataset, algo, schedule, sched_seconds, serial, sim);
-    } else if algo.reorders() {
-        let reordered =
+    // Reordering (when part of the pipeline) produces a permuted problem,
+    // simulated as-is (the permuted system is equivalent, §5).
+    let (reordered_matrix, schedule): (Option<CsrMatrix>, Schedule) = if pipeline.reorder {
+        let r =
             reorder_for_locality(&dataset.lower, &schedule).expect("schedule order is topological");
-        let sched_seconds = started.elapsed().as_secs_f64();
-        let sim = simulate_barrier(&reordered.matrix, &reordered.schedule, profile);
-        return finish(dataset, algo, reordered.schedule, sched_seconds, serial, sim);
+        (Some(r.matrix), r.schedule)
     } else {
-        simulate_barrier(&dataset.lower, &schedule, profile)
+        (None, schedule)
+    };
+    let matrix = reordered_matrix.as_ref().unwrap_or(&dataset.lower);
+    // Async execution waits on the reduced DAG of the simulated operand —
+    // building it is scheduling-preparation work, so it counts toward the
+    // amortization threshold like the schedule itself.
+    let sync_dag = match model {
+        ExecModel::Async => {
+            Some(approximate_transitive_reduction(&SolveDag::from_lower_triangular(matrix)))
+        }
+        ExecModel::Barrier | ExecModel::Serial => None,
     };
     let sched_seconds = started.elapsed().as_secs_f64();
-    finish(dataset, algo, schedule, sched_seconds, serial, sim)
-}
 
-fn finish(
-    dataset: &Dataset,
-    algo: Algo,
-    schedule: Schedule,
-    sched_seconds: f64,
-    serial: SimReport,
-    sim: SimReport,
-) -> EvalOutcome {
+    let compiled = CompiledSchedule::from_schedule(&schedule);
+    let sim = simulate_model(matrix, &compiled, model, sync_dag.as_ref(), profile);
     EvalOutcome {
-        algo: algo.label(),
+        algo: pipeline.label.clone(),
         dataset: dataset.name.clone(),
         speedup: serial.cycles / sim.cycles,
         n_supersteps: schedule.n_supersteps(),
@@ -175,7 +158,7 @@ mod tests {
     fn evaluate_produces_consistent_outcome() {
         let suite = load_suite(SuiteKind::SuiteSparse, Scale::Test, 1);
         let profile = MachineProfile::intel_xeon_22();
-        let out = evaluate(&suite[0], Algo::GrowLocal, &profile, 4);
+        let out = evaluate(&suite[0], &Pipeline::new("growlocal").reordered(), &profile, 4);
         assert!(out.speedup > 0.0);
         assert!(out.n_supersteps >= 1);
         assert!(out.sched_seconds >= 0.0);
@@ -183,54 +166,47 @@ mod tests {
     }
 
     #[test]
-    fn all_algorithms_run_on_a_test_instance() {
+    fn every_registered_scheduler_and_model_evaluates() {
+        // The harness enumerates nothing: every (scheduler × model) pair of
+        // the registry must evaluate through a single spec string.
         let suite = load_suite(SuiteKind::NarrowBandwidth, Scale::Test, 1);
         let profile = MachineProfile::intel_xeon_22();
-        for algo in [
-            Algo::GrowLocal,
-            Algo::GrowLocalNoReorder,
-            Algo::GrowLocalIdOnly,
-            Algo::FunnelGl,
-            Algo::SpMp,
-            Algo::HDagg,
-            Algo::Wavefront,
-            Algo::BspG,
-            Algo::BlockGl(4),
-        ] {
-            let out = evaluate(&suite[0], algo, &profile, 4);
-            assert!(out.speedup.is_finite(), "{} produced a broken speedup", out.algo);
+        for info in registry::list() {
+            for &model in info.exec_models {
+                for reorder in [false, true] {
+                    let mut p = Pipeline::new(format!("{}@{model}", info.name));
+                    if reorder {
+                        p = p.reordered();
+                    }
+                    let out = evaluate(&suite[0], &p, &profile, 4);
+                    assert!(
+                        out.speedup.is_finite() && out.speedup > 0.0,
+                        "{} produced a broken speedup",
+                        out.algo
+                    );
+                }
+            }
         }
     }
 
     #[test]
-    fn every_algo_spec_resolves_in_the_registry() {
-        let dag = sptrsv_dag::SolveDag::from_edges(3, &[(0, 1)], vec![1; 3]);
-        for algo in [
-            Algo::GrowLocal,
-            Algo::GrowLocalNoReorder,
-            Algo::GrowLocalIdOnly,
-            Algo::FunnelGl,
-            Algo::SpMp,
-            Algo::HDagg,
-            Algo::Wavefront,
-            Algo::BspG,
-            Algo::BlockGl(4),
-            Algo::GrowLocalAsync,
-        ] {
-            let spec = algo.spec();
-            assert!(
-                registry::resolve(&spec, &dag, 4).is_ok(),
-                "{} resolves to unknown spec `{spec}`",
-                algo.label()
-            );
-        }
+    fn execution_model_routes_the_simulation() {
+        let suite = load_suite(SuiteKind::SuiteSparse, Scale::Test, 2);
+        let profile = MachineProfile::intel_xeon_22();
+        // Serial execution of the unpermuted operand is the baseline itself.
+        let serial = evaluate(&suite[0], &Pipeline::new("growlocal@serial"), &profile, 4);
+        assert!((serial.speedup - 1.0).abs() < 1e-12);
+        assert_eq!(serial.sim.sync_cycles, 0.0);
+        // The barrier run of the same schedule pays barrier cycles.
+        let barrier = evaluate(&suite[0], &Pipeline::new("growlocal@barrier"), &profile, 4);
+        assert!(barrier.sim.sync_cycles > 0.0);
     }
 
     #[test]
     fn amortization_threshold_semantics() {
         let suite = load_suite(SuiteKind::SuiteSparse, Scale::Test, 1);
         let profile = MachineProfile::intel_xeon_22();
-        let mut out = evaluate(&suite[0], Algo::GrowLocal, &profile, 8);
+        let mut out = evaluate(&suite[0], &Pipeline::new("growlocal").reordered(), &profile, 8);
         out.sched_seconds = 1.0 / CALIBRATION_HZ; // exactly one cycle
         if out.serial_cycles > out.parallel_cycles {
             let t = out.amortization_threshold();

@@ -15,5 +15,5 @@ pub mod harness;
 pub mod report;
 pub mod statistics;
 
-pub use harness::{evaluate, Algo, EvalOutcome};
+pub use harness::{evaluate, EvalOutcome, Pipeline};
 pub use statistics::{geometric_mean, quartiles, PerformanceProfile};

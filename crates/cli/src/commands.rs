@@ -1,17 +1,21 @@
 //! CLI subcommands.
 //!
 //! Scheduler selection goes through `sptrsv_core::registry`: `--algo` takes
-//! a full spec string (`growlocal`, `growlocal:alpha=8,sync=2000`,
-//! `funnel-gl:cap=auto`, …) and `sptrsv algos` prints the registry listing —
-//! the CLI itself hardcodes no scheduler names.
+//! a full spec string in the v2 grammar (`growlocal`,
+//! `growlocal:alpha=8,sync=2000`, `funnel-gl:gl.alpha=8,cap=auto`,
+//! `growlocal@async`, …) and `sptrsv algos` prints the registry listing —
+//! the CLI itself hardcodes no scheduler names and no execution models; the
+//! `@model` suffix routes `solve` and `simulate` through the matching
+//! executor/simulation mode.
 
 use crate::args::Args;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use sptrsv_core::registry;
+use sptrsv_core::registry::{self, SchedulerSpec};
+use sptrsv_core::CompiledSchedule;
 use sptrsv_dag::{wavefronts, SolveDag};
 use sptrsv_exec::{
-    simulate_barrier, simulate_serial, MachineProfile, Orientation, PlanBuilder, PreOrder,
+    simulate_model, simulate_serial, MachineProfile, Orientation, PlanBuilder, PreOrder,
 };
 use sptrsv_sparse::csr::Triangle;
 use sptrsv_sparse::gen;
@@ -32,8 +36,11 @@ commands:
            [--pre-order rcm|min-degree|nested-dissection] [--coarsen true]
   simulate <file.mtx> [--algo SPEC] [--cores K] [--machine intel|amd|arm]
 
---algo takes a scheduler spec: a name from `sptrsv algos`, optionally with
-parameters, e.g. growlocal:alpha=8,sync=2000 or funnel-gl:cap=auto";
+--algo takes a scheduler spec in the grammar name[:key=value,...][@model]:
+a name from `sptrsv algos`, optional parameters (scoped keys like gl.alpha
+reach a composite scheduler's inner GrowLocal) and an optional execution
+model, e.g. growlocal:alpha=8,sync=2000, funnel-gl:gl.alpha=8,cap=auto or
+growlocal@async";
 
 /// Dispatches a full argv (after the program name).
 pub fn dispatch(argv: &[String]) -> Result<(), String> {
@@ -213,6 +220,7 @@ fn solve(args: &Args) -> Result<(), String> {
     let elapsed = started.elapsed();
     let residual = relative_residual(&lower, &x, &b);
     println!("algorithm:         {algo}");
+    println!("execution model:   {}", plan.exec_model());
     println!("supersteps:        {}", plan.schedule().n_supersteps());
     println!("solve wall time:   {:.3} ms", elapsed.as_secs_f64() * 1e3);
     println!("relative residual: {residual:.3e}");
@@ -234,16 +242,20 @@ fn simulate(args: &Args) -> Result<(), String> {
     };
     let lower = load_lower(path)?;
     let dag = SolveDag::from_lower_triangular(&lower);
-    let sched = registry::resolve(algo, &dag, cores).map_err(|e| e.to_string())?;
+    let spec: SchedulerSpec = algo.parse().map_err(|e: registry::RegistryError| e.to_string())?;
+    let model = registry::resolve_model(&spec).map_err(|e| e.to_string())?;
+    let sched = registry::build(&spec, &dag, cores).map_err(|e| e.to_string())?;
     let s = sched.schedule(&dag, cores);
+    let compiled = CompiledSchedule::from_schedule(&s);
     let serial = simulate_serial(&lower, &profile);
-    let parallel = simulate_barrier(&lower, &s, &profile);
+    let parallel = simulate_model(&lower, &compiled, model, None, &profile);
     println!("machine:          {}", profile.name);
     println!("algorithm:        {} (spec: {algo})", sched.name());
+    println!("execution model:  {model}");
     println!("serial cycles:    {:.3e}", serial.cycles);
     println!("parallel cycles:  {:.3e}", parallel.cycles);
     println!("modeled speed-up: {:.2}x", parallel.speedup_over(&serial));
-    println!("barrier share:    {:.1}%", 100.0 * parallel.sync_cycles / parallel.cycles);
+    println!("sync share:       {:.1}%", 100.0 * parallel.sync_cycles / parallel.cycles);
     println!("cache misses:     {}", parallel.cache_misses);
     Ok(())
 }
@@ -314,6 +326,58 @@ mod tests {
             "hdagg:balance=1.3",
         ]))
         .unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn every_execution_model_is_spec_addressable_through_the_cli() {
+        let dir = std::env::temp_dir().join("sptrsv-cli-exec-models");
+        std::fs::create_dir_all(&dir).unwrap();
+        let mtx = dir.join("m.mtx");
+        let sv = |items: &[&str]| -> Vec<String> { items.iter().map(|s| s.to_string()).collect() };
+        dispatch(&sv(&[
+            "generate",
+            "grid2d",
+            "--width",
+            "10",
+            "--height",
+            "10",
+            "-o",
+            mtx.to_str().unwrap(),
+        ]))
+        .unwrap();
+        for info in registry::list() {
+            for &model in info.exec_models {
+                let spec = format!("{}@{model}", info.name);
+                dispatch(&sv(&["solve", mtx.to_str().unwrap(), "--cores", "2", "--algo", &spec]))
+                    .unwrap_or_else(|e| panic!("solve --algo {spec}: {e}"));
+                dispatch(&sv(&[
+                    "simulate",
+                    mtx.to_str().unwrap(),
+                    "--cores",
+                    "4",
+                    "--algo",
+                    &spec,
+                ]))
+                .unwrap_or_else(|e| panic!("simulate --algo {spec}: {e}"));
+            }
+        }
+        // Scoped keys flow through unchanged.
+        dispatch(&sv(&[
+            "solve",
+            mtx.to_str().unwrap(),
+            "--cores",
+            "2",
+            "--algo",
+            "funnel-gl:gl.alpha=8,cap=auto@async",
+        ]))
+        .unwrap();
+        // Unknown models and scopes are rejected with registry errors.
+        assert!(
+            dispatch(&sv(&["solve", mtx.to_str().unwrap(), "--algo", "growlocal@warp"])).is_err()
+        );
+        assert!(dispatch(&sv(&["solve", mtx.to_str().unwrap(), "--algo", "growlocal:gl.alpha=8"]))
+            .is_err());
         std::fs::remove_dir_all(&dir).ok();
     }
 

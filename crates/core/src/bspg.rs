@@ -1,4 +1,4 @@
-//! BSPg-style barrier list scheduler [PAKY24] (paper Appendix C.1).
+//! BSPg-style barrier list scheduler \[PAKY24\] (paper Appendix C.1).
 //!
 //! BSPg adapts classic list scheduling to the barrier setting: within a
 //! superstep every core repeatedly takes the highest-priority vertex it may

@@ -12,9 +12,12 @@
 //! [`CompiledSchedule`] is the CSR-style replacement: one flat vertex-order
 //! array (cells concatenated superstep-major, cores in order, ascending IDs
 //! within a cell — exactly the §5 locality-reordering enumeration) plus one
-//! offset array indexing it. Building it is a two-pass counting sort,
-//! `O(n + S·k)` time and exactly two allocations; a cell lookup is two loads
-//! and a slice.
+//! offset array indexing it. Both arrays are `u32` (half the memory traffic
+//! of the seed's `usize` cells), and the build reads the schedule's
+//! assignment arrays exactly once: a single fused pass computes each
+//! vertex's cell key and the cell histogram together, and the scatter pass
+//! then consumes the cached keys — closing the single-materialization gap
+//! `benches/compiled.rs` guards.
 
 use crate::schedule::Schedule;
 
@@ -24,45 +27,74 @@ use crate::schedule::Schedule;
 /// `(superstep, core)` with supersteps outermost; `cell_ptr[s·k + p]..
 /// cell_ptr[s·k + p + 1]` delimits cell `(s, p)`. Vertices within a cell
 /// ascend in ID (the order a core executes them, see
-/// [`Schedule::validate`]).
+/// [`Schedule::validate`]). Vertex IDs and offsets are `u32`; schedules are
+/// capped at `u32::MAX` vertices (asserted at build).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CompiledSchedule {
     n_cores: usize,
     n_supersteps: usize,
-    order: Vec<usize>,
-    cell_ptr: Vec<usize>,
+    order: Vec<u32>,
+    cell_ptr: Vec<u32>,
 }
 
 impl CompiledSchedule {
     /// Compiles a schedule by counting sort over `(superstep, core)` keys.
     ///
-    /// Scanning vertices in increasing ID makes every cell ascend in ID
-    /// without a sort.
+    /// The schedule's `steps`/`cores` arrays are read in one fused pass that
+    /// computes each vertex's `u32` cell key, validates the core range and
+    /// accumulates the cell histogram; the scatter then replays the cached
+    /// keys, and the offset array doubles as the scatter cursor (shifted
+    /// back afterwards), so no separate cursor array is allocated. Scanning
+    /// vertices in increasing ID makes every cell ascend in ID without a
+    /// sort.
     pub fn from_schedule(schedule: &Schedule) -> CompiledSchedule {
         let n = schedule.n_vertices();
         let k = schedule.n_cores();
         let s = schedule.n_supersteps();
         let n_cells = s * k;
-        let steps = schedule.steps();
-        let cores = schedule.cores();
-        // `Schedule::new` derives `n_supersteps` from the data but does not
-        // bound-check cores; fail fast here (the seed's nested `cells()`
-        // panicked on out-of-range cores — a counting sort would silently
-        // misfile instead).
-        assert!(cores.iter().all(|&c| c < k), "schedule assigns a core >= n_cores ({k})");
-        let mut cell_ptr = vec![0usize; n_cells + 1];
-        for (&step, &core) in steps.iter().zip(cores) {
-            cell_ptr[step * k + core + 1] += 1;
+        assert!(n <= u32::MAX as usize, "compiled schedules cap at u32::MAX vertices");
+        assert!(n_cells < u32::MAX as usize, "superstep×core grid overflows u32 keys");
+        // Fused pass: cell key per vertex + histogram + core bound check (the
+        // seed's nested `cells()` panicked on out-of-range cores — a counting
+        // sort would silently misfile instead). Writing the cached keys
+        // through `iter_mut` instead of `push` keeps the loop free of
+        // capacity checks.
+        let mut keys: Vec<u32> = vec![0; n];
+        let mut cell_ptr = vec![0u32; n_cells + 1];
+        let pairs = schedule.steps().iter().zip(schedule.cores());
+        for (slot, (&step, &core)) in keys.iter_mut().zip(pairs) {
+            assert!(core < k, "schedule assigns a core >= n_cores ({k})");
+            let key = (step * k + core) as u32;
+            *slot = key;
+            cell_ptr[key as usize + 1] += 1;
         }
         for c in 0..n_cells {
             cell_ptr[c + 1] += cell_ptr[c];
         }
-        let mut order = vec![0usize; n];
-        let mut cursor = cell_ptr[..n_cells].to_vec();
-        for (v, (&step, &core)) in steps.iter().zip(cores).enumerate() {
-            let slot = &mut cursor[step * k + core];
-            order[*slot] = v;
-            *slot += 1;
+        // Scatter, using cell_ptr itself as the cursor. The cursor ranges
+        // partition `0..n`, so every `order` slot is written exactly once —
+        // writing through the spare capacity skips the zero-fill a
+        // `vec![0; n]` would pay.
+        let mut order: Vec<u32> = Vec::with_capacity(n);
+        let spare = order.spare_capacity_mut();
+        for (v, &key) in keys.iter().enumerate() {
+            let slot = cell_ptr[key as usize];
+            spare[slot as usize].write(v as u32);
+            cell_ptr[key as usize] = slot + 1;
+        }
+        // SAFETY: the histogram counts each vertex once and the prefix sum
+        // makes the cursor ranges disjoint and exhaustive, so the scatter
+        // initialized every element in 0..n.
+        unsafe {
+            order.set_len(n);
+        }
+        // …then shift it back: after the scatter, cell_ptr[c] is the *end*
+        // of cell c, i.e. the start of cell c + 1.
+        for c in (1..=n_cells).rev() {
+            cell_ptr[c] = cell_ptr[c - 1];
+        }
+        if let Some(first) = cell_ptr.first_mut() {
+            *first = 0;
         }
         CompiledSchedule { n_cores: k, n_supersteps: s, order, cell_ptr }
     }
@@ -82,26 +114,48 @@ impl CompiledSchedule {
         self.n_supersteps
     }
 
+    /// Number of synchronization barriers a barrier execution pays (one
+    /// between each pair of consecutive supersteps).
+    pub fn n_barriers(&self) -> usize {
+        self.n_supersteps.saturating_sub(1)
+    }
+
     /// The vertices of cell `(step, core)`, ascending in ID.
     #[inline]
-    pub fn cell(&self, step: usize, core: usize) -> &[usize] {
+    pub fn cell(&self, step: usize, core: usize) -> &[u32] {
         let c = step * self.n_cores + core;
-        &self.order[self.cell_ptr[c]..self.cell_ptr[c + 1]]
+        &self.order[self.cell_ptr[c] as usize..self.cell_ptr[c + 1] as usize]
     }
 
     /// The cells of one superstep, one slice per core.
-    pub fn step_cells(&self, step: usize) -> impl Iterator<Item = &[usize]> {
+    pub fn step_cells(&self, step: usize) -> impl Iterator<Item = &[u32]> {
         (0..self.n_cores).map(move |p| self.cell(step, p))
     }
 
     /// All vertices in execution-plan order (supersteps outermost, then
     /// cores, ascending IDs within a cell) — the §5 reordering enumeration.
-    pub fn vertex_order(&self) -> &[usize] {
+    pub fn vertex_order(&self) -> &[u32] {
         &self.order
     }
 
+    /// The per-vertex core assignment, recovered from the layout (one pass
+    /// over the cells). Consumers that only hold the compiled form — the
+    /// asynchronous executor and simulator — use this instead of carrying
+    /// the originating [`Schedule`] around.
+    pub fn core_assignment(&self) -> Vec<u32> {
+        let mut core_of = vec![0u32; self.order.len()];
+        for step in 0..self.n_supersteps {
+            for core in 0..self.n_cores {
+                for &v in self.cell(step, core) {
+                    core_of[v as usize] = core as u32;
+                }
+            }
+        }
+        core_of
+    }
+
     /// Consumes the compiled schedule, returning the plan-order array.
-    pub fn into_vertex_order(self) -> Vec<usize> {
+    pub fn into_vertex_order(self) -> Vec<u32> {
         self.order
     }
 
@@ -109,7 +163,11 @@ impl CompiledSchedule {
     /// (round-trip check in tests; executors never call this).
     pub fn to_cells(&self) -> Vec<Vec<Vec<usize>>> {
         (0..self.n_supersteps)
-            .map(|s| (0..self.n_cores).map(|p| self.cell(s, p).to_vec()).collect())
+            .map(|s| {
+                (0..self.n_cores)
+                    .map(|p| self.cell(s, p).iter().map(|&v| v as usize).collect())
+                    .collect()
+            })
             .collect()
     }
 }
@@ -129,6 +187,7 @@ mod tests {
         assert_eq!(c.n_vertices(), 7);
         assert_eq!(c.cell(2, 0), &[4, 6]);
         assert_eq!(c.cell(2, 1), &[5]);
+        assert_eq!(c.n_barriers(), 2);
     }
 
     #[test]
@@ -151,10 +210,20 @@ mod tests {
         assert_eq!(c.vertex_order(), &[0, 1, 2, 3]);
         let mut seen = [false; 4];
         for &v in c.vertex_order() {
-            assert!(!seen[v]);
-            seen[v] = true;
+            assert!(!seen[v as usize]);
+            seen[v as usize] = true;
         }
         assert!(seen.iter().all(|&x| x));
+    }
+
+    #[test]
+    fn core_assignment_round_trips() {
+        let core_of = vec![0usize, 2, 1, 0, 2, 1, 0];
+        let step_of = vec![0usize, 0, 0, 1, 1, 2, 2];
+        let s = Schedule::new(3, core_of.clone(), step_of);
+        let c = CompiledSchedule::from_schedule(&s);
+        let recovered: Vec<usize> = c.core_assignment().iter().map(|&p| p as usize).collect();
+        assert_eq!(recovered, core_of);
     }
 
     #[test]
@@ -162,6 +231,7 @@ mod tests {
         let empty = CompiledSchedule::from_schedule(&Schedule::new(2, vec![], vec![]));
         assert_eq!(empty.n_vertices(), 0);
         assert_eq!(empty.n_supersteps(), 0);
+        assert_eq!(empty.n_barriers(), 0);
         let serial = CompiledSchedule::from_schedule(&Schedule::serial(5));
         assert_eq!(serial.cell(0, 0), &[0, 1, 2, 3, 4]);
     }
@@ -178,7 +248,7 @@ mod tests {
         // Core 1 idles in step 1.
         let s = Schedule::new(2, vec![0, 1, 0], vec![0, 0, 1]);
         let c = CompiledSchedule::from_schedule(&s);
-        assert_eq!(c.cell(1, 1), &[] as &[usize]);
+        assert_eq!(c.cell(1, 1), &[] as &[u32]);
         assert_eq!(c.cell(1, 0), &[2]);
     }
 }

@@ -13,7 +13,7 @@
 //!
 //! Vertex selection follows **Rule I**: first vertices that are executable
 //! *only on this core* in the current superstep (because a parent was just
-//! assigned here — the idea borrowed from [PAKY24]), then simply the smallest
+//! assigned here — the idea borrowed from \[PAKY24\]), then simply the smallest
 //! vertex ID. The ID-based choice is what gives the schedule its locality:
 //! cores receive near-consecutive blocks of rows (§3, discussion after
 //! Algorithm 3.1).

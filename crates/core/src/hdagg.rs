@@ -1,4 +1,4 @@
-//! HDagg-style scheduler [ZCL+22].
+//! HDagg-style scheduler \[ZCL+22\].
 //!
 //! HDagg glues consecutive wavefronts into one superstep as long as a
 //! balanced workload can be maintained. Our rendition follows the published

@@ -9,11 +9,11 @@
 //! * [`block`] — block-parallel scheduling of diagonal blocks (§3.1);
 //! * [`reorder`] — the schedule-driven locality reordering (§5);
 //! * [`wavefront`] — the classic wavefront (level-set) scheduler;
-//! * [`hdagg`] — an HDagg-style scheduler [ZCL+22]: wavefront gluing under a
+//! * [`hdagg`] — an HDagg-style scheduler \[ZCL+22\]: wavefront gluing under a
 //!   balance constraint with connected-component assignment;
-//! * [`spmp`] — an SpMP-style scheduler [PSSD14]: level scheduling after
+//! * [`spmp`] — an SpMP-style scheduler \[PSSD14\]: level scheduling after
 //!   approximate transitive reduction, intended for asynchronous execution;
-//! * [`bspg`] — a BSPg-style barrier list scheduler [PAKY24] (Appendix C.1).
+//! * [`bspg`] — a BSPg-style barrier list scheduler \[PAKY24\] (Appendix C.1).
 //!
 //! All schedulers implement the [`Scheduler`] trait and produce a
 //! [`Schedule`] satisfying Definition 2.1, checked by
@@ -48,7 +48,7 @@ pub use compiled::CompiledSchedule;
 pub use funnel_gl::{auto_part_weight_cap, coarsen_and_schedule, FunnelGrowLocal};
 pub use growlocal::{GrowLocal, GrowLocalParams, VertexPriority};
 pub use hdagg::HDagg;
-pub use registry::{RegistryError, SchedulerInfo, SchedulerSpec};
+pub use registry::{ExecModel, RegistryError, SchedulerInfo, SchedulerSpec};
 pub use reorder::{reorder_for_locality, ReorderedProblem};
 pub use schedule::{Schedule, ScheduleError, ScheduleStats};
 pub use serialize::{read_schedule, read_schedule_file, write_schedule, write_schedule_file};

@@ -1,24 +1,35 @@
 //! The scheduler registry: one source of truth for scheduler names,
-//! parameters and construction.
+//! parameters, execution models and construction.
 //!
 //! Every consumer layer (CLI, benchmark harness, examples, tests) resolves
 //! schedulers through a [`SchedulerSpec`] — a compact string grammar:
 //!
 //! ```text
-//! spec      := name [":" param ("," param)*]
+//! spec      := name [":" param ("," param)*] ["@" model]
 //! param     := key "=" value
+//! key       := ident | scope "." ident
+//! model     := "barrier" | "async" | "serial"
 //! ```
 //!
-//! Examples: `growlocal`, `growlocal:alpha=8,sync=2000`, `funnel-gl:cap=auto`,
-//! `block-gl:blocks=16`, `hdagg:balance=1.25`.
+//! Examples: `growlocal`, `growlocal:alpha=8,sync=2000`, `growlocal@async`,
+//! `funnel-gl:gl.alpha=8,cap=auto`, `block-gl:blocks=16,gl.sync=2000`,
+//! `hdagg:balance=1.25@serial`.
+//!
+//! Scoped keys address the parameters of a *nested* scheduler: composite
+//! schedulers declare a scope (`gl.` for the inner GrowLocal of `funnel-gl`
+//! and `block-gl`) and forward every `scope.key=value` override to it. The
+//! `@model` suffix selects the [`ExecModel`] the schedule is executed under;
+//! omitting it picks the scheduler's default (the first entry of
+//! [`SchedulerInfo::exec_models`]).
 //!
 //! [`list`] enumerates every registered scheduler with its parameters,
-//! defaults and description; [`build`] instantiates a boxed
-//! [`Scheduler`] from a parsed spec (some schedulers size themselves from
-//! the DAG and core count, which is why construction takes both);
-//! [`resolve`] is parse + build in one call. Adding a scheduler means adding
-//! one [`SchedulerInfo`] entry and one arm in [`build`] — nothing else in
-//! the workspace hardcodes names.
+//! defaults, supported execution models and description; [`build`]
+//! instantiates a boxed [`Scheduler`] from a parsed spec (some schedulers
+//! size themselves from the DAG and core count, which is why construction
+//! takes both); [`resolve`] is parse + build in one call; [`resolve_model`]
+//! maps a spec to its effective [`ExecModel`]. Adding a scheduler means
+//! adding one [`SchedulerInfo`] entry and one arm in [`build`] — nothing
+//! else in the workspace hardcodes names.
 
 use crate::block::BlockParallel;
 use crate::bspg::BspG;
@@ -33,17 +44,62 @@ use sptrsv_dag::SolveDag;
 use std::fmt;
 use std::str::FromStr;
 
-/// A parsed scheduler spec: a registry name plus `key=value` overrides.
+/// How a schedule is executed — the `@model` dimension of the spec grammar.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ExecModel {
+    /// BSP execution: one global synchronization barrier per superstep.
+    Barrier,
+    /// Point-to-point execution, SpMP-style: per-vertex ready flags, no
+    /// global barriers.
+    Async,
+    /// Single-threaded execution in vertex order (the reference kernel).
+    Serial,
+}
+
+impl ExecModel {
+    /// Every execution model, in presentation order.
+    pub const ALL: [ExecModel; 3] = [ExecModel::Barrier, ExecModel::Async, ExecModel::Serial];
+
+    /// The spec-grammar name of the model.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            ExecModel::Barrier => "barrier",
+            ExecModel::Async => "async",
+            ExecModel::Serial => "serial",
+        }
+    }
+}
+
+impl fmt::Display for ExecModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl FromStr for ExecModel {
+    type Err = RegistryError;
+
+    fn from_str(text: &str) -> Result<ExecModel, RegistryError> {
+        ExecModel::ALL
+            .into_iter()
+            .find(|m| m.as_str() == text)
+            .ok_or_else(|| RegistryError::UnknownModel { name: text.to_string() })
+    }
+}
+
+/// A parsed scheduler spec: a registry name, `key=value` overrides (keys may
+/// be scoped, e.g. `gl.alpha`), and an optional `@model` execution suffix.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SchedulerSpec {
     name: String,
     params: Vec<(String, String)>,
+    model: Option<ExecModel>,
 }
 
 impl SchedulerSpec {
-    /// A spec with no parameter overrides.
+    /// A spec with no parameter overrides and no execution-model suffix.
     pub fn new(name: impl Into<String>) -> SchedulerSpec {
-        SchedulerSpec { name: name.into(), params: Vec::new() }
+        SchedulerSpec { name: name.into(), params: Vec::new(), model: None }
     }
 
     /// The scheduler name.
@@ -56,9 +112,21 @@ impl SchedulerSpec {
         &self.params
     }
 
+    /// The explicit `@model` suffix, if any ([`resolve_model`] applies the
+    /// scheduler's default when absent).
+    pub fn exec_model(&self) -> Option<ExecModel> {
+        self.model
+    }
+
     /// Adds/overrides one parameter (builder style).
     pub fn with(mut self, key: impl Into<String>, value: impl Into<String>) -> SchedulerSpec {
         self.params.push((key.into(), value.into()));
+        self
+    }
+
+    /// Sets the execution model (builder style, equivalent to `@model`).
+    pub fn with_model(mut self, model: ExecModel) -> SchedulerSpec {
+        self.model = Some(model);
         self
     }
 
@@ -73,6 +141,11 @@ impl FromStr for SchedulerSpec {
 
     fn from_str(text: &str) -> Result<SchedulerSpec, RegistryError> {
         let text = text.trim();
+        // The `@model` suffix binds last: everything after the final `@`.
+        let (text, model) = match text.rsplit_once('@') {
+            Some((head, tail)) => (head, Some(tail.trim().parse::<ExecModel>()?)),
+            None => (text, None),
+        };
         let (name, rest) = match text.split_once(':') {
             Some((name, rest)) => (name, Some(rest)),
             None => (text, None),
@@ -97,7 +170,7 @@ impl FromStr for SchedulerSpec {
                 params.push((key.to_string(), value.to_string()));
             }
         }
-        Ok(SchedulerSpec { name: name.to_string(), params })
+        Ok(SchedulerSpec { name: name.to_string(), params, model })
     }
 }
 
@@ -106,6 +179,9 @@ impl fmt::Display for SchedulerSpec {
         write!(f, "{}", self.name)?;
         for (i, (k, v)) in self.params.iter().enumerate() {
             write!(f, "{}{k}={v}", if i == 0 { ':' } else { ',' })?;
+        }
+        if let Some(model) = self.model {
+            write!(f, "@{model}")?;
         }
         Ok(())
     }
@@ -121,7 +197,8 @@ pub enum RegistryError {
         /// The requested name.
         name: String,
     },
-    /// The scheduler exists but does not take this parameter.
+    /// The scheduler exists but does not take this parameter (including
+    /// scoped keys whose scope the scheduler does not declare).
     UnknownParam {
         /// The scheduler name.
         scheduler: &'static str,
@@ -138,6 +215,18 @@ pub enum RegistryError {
         value: String,
         /// What would have been accepted.
         expected: &'static str,
+    },
+    /// The `@model` suffix names no registered execution model.
+    UnknownModel {
+        /// The requested model name.
+        name: String,
+    },
+    /// The execution model exists but the scheduler does not support it.
+    UnsupportedModel {
+        /// The scheduler name.
+        scheduler: &'static str,
+        /// The rejected model.
+        model: ExecModel,
     },
 }
 
@@ -158,6 +247,16 @@ impl fmt::Display for RegistryError {
             RegistryError::BadValue { scheduler, key, value, expected } => {
                 write!(f, "bad value `{value}` for `{scheduler}:{key}` (expected {expected})")
             }
+            RegistryError::UnknownModel { name } => {
+                write!(f, "unknown execution model `@{name}` (known: ")?;
+                for (i, m) in ExecModel::ALL.iter().enumerate() {
+                    write!(f, "{}{m}", if i == 0 { "" } else { ", " })?;
+                }
+                write!(f, ")")
+            }
+            RegistryError::UnsupportedModel { scheduler, model } => {
+                write!(f, "scheduler `{scheduler}` does not support execution model `@{model}`")
+            }
         }
     }
 }
@@ -167,7 +266,7 @@ impl std::error::Error for RegistryError {}
 /// One tunable of a registered scheduler.
 #[derive(Debug, Clone, Copy)]
 pub struct ParamInfo {
-    /// Spec key.
+    /// Spec key (scoped keys carry their `scope.` prefix).
     pub key: &'static str,
     /// Default value, as spec text.
     pub default: &'static str,
@@ -182,12 +281,42 @@ pub struct SchedulerInfo {
     pub name: &'static str,
     /// One-line description for `--help`-style listings.
     pub summary: &'static str,
-    /// Accepted parameters.
+    /// Accepted parameters, scoped keys included.
     pub params: &'static [ParamInfo],
+    /// Execution models the scheduler's schedules support; the first entry
+    /// is the default applied when a spec has no `@model` suffix.
+    pub exec_models: &'static [ExecModel],
     /// Example specs exercising the parameters (used by the conformance
     /// suite, so every example is guaranteed to build).
     pub examples: &'static [&'static str],
 }
+
+impl SchedulerInfo {
+    /// The execution model applied when a spec has no `@model` suffix.
+    pub fn default_model(&self) -> ExecModel {
+        self.exec_models[0]
+    }
+}
+
+/// The parameters of the inner GrowLocal run, under the `gl.` scope — shared
+/// by the composite schedulers (`funnel-gl`, `block-gl`). Defaults mirror
+/// `growlocal`'s own entries (pinned by a test).
+const GL_SCOPED_PARAMS: [ParamInfo; 5] = [
+    ParamInfo { key: "gl.alpha", default: "20", help: "inner GrowLocal: initial length α" },
+    ParamInfo { key: "gl.growth", default: "1.5", help: "inner GrowLocal: α growth factor" },
+    ParamInfo { key: "gl.accept", default: "0.97", help: "inner GrowLocal: acceptance ratio" },
+    ParamInfo { key: "gl.sync", default: "500", help: "inner GrowLocal: barrier penalty L" },
+    ParamInfo {
+        key: "gl.priority",
+        default: "rule1",
+        help: "inner GrowLocal: rule1 or id-only selection",
+    },
+];
+
+/// Barrier-first model list (the common case).
+const BARRIER_FIRST: &[ExecModel] = &[ExecModel::Barrier, ExecModel::Async, ExecModel::Serial];
+/// Async-first model list (schedulers designed for point-to-point execution).
+const ASYNC_FIRST: &[ExecModel] = &[ExecModel::Async, ExecModel::Barrier, ExecModel::Serial];
 
 /// Every registered scheduler, in the paper's presentation order.
 ///
@@ -216,7 +345,14 @@ pub fn list() -> &'static [SchedulerInfo] {
                     help: "vertex selection: rule1 (core-exclusive then ID) or id-only",
                 },
             ],
-            examples: &["growlocal", "growlocal:alpha=8,sync=2000", "growlocal:priority=id-only"],
+            exec_models: BARRIER_FIRST,
+            examples: &[
+                "growlocal",
+                "growlocal:alpha=8,sync=2000",
+                "growlocal:priority=id-only",
+                "growlocal:alpha=8@async",
+                "growlocal@serial",
+            ],
         },
         SchedulerInfo {
             name: "funnel-gl",
@@ -233,24 +369,45 @@ pub fn list() -> &'static [SchedulerInfo] {
                     default: "true",
                     help: "run approximate transitive reduction first",
                 },
+                GL_SCOPED_PARAMS[0],
+                GL_SCOPED_PARAMS[1],
+                GL_SCOPED_PARAMS[2],
+                GL_SCOPED_PARAMS[3],
+                GL_SCOPED_PARAMS[4],
             ],
-            examples: &["funnel-gl", "funnel-gl:cap=auto,dir=out", "funnel-gl:cap=64,tr=false"],
+            exec_models: BARRIER_FIRST,
+            examples: &[
+                "funnel-gl",
+                "funnel-gl:cap=auto,dir=out",
+                "funnel-gl:cap=64,tr=false",
+                "funnel-gl:gl.alpha=8,cap=auto",
+                "funnel-gl:gl.sync=2000,gl.priority=id-only@async",
+            ],
         },
         SchedulerInfo {
             name: "block-gl",
             summary: "Block-parallel GrowLocal (§3.1): independent diagonal blocks",
-            params: &[ParamInfo {
-                key: "blocks",
-                default: "auto",
-                help: "number of diagonal blocks; auto = min(cores, 8)",
-            }],
-            examples: &["block-gl", "block-gl:blocks=16"],
+            params: &[
+                ParamInfo {
+                    key: "blocks",
+                    default: "auto",
+                    help: "number of diagonal blocks; auto = min(cores, 8)",
+                },
+                GL_SCOPED_PARAMS[0],
+                GL_SCOPED_PARAMS[1],
+                GL_SCOPED_PARAMS[2],
+                GL_SCOPED_PARAMS[3],
+                GL_SCOPED_PARAMS[4],
+            ],
+            exec_models: BARRIER_FIRST,
+            examples: &["block-gl", "block-gl:blocks=16", "block-gl:blocks=4,gl.alpha=8"],
         },
         SchedulerInfo {
             name: "wavefront",
             summary: "Classic level-set scheduling [AS89]: one superstep per wavefront",
             params: &[],
-            examples: &["wavefront"],
+            exec_models: BARRIER_FIRST,
+            examples: &["wavefront", "wavefront@serial"],
         },
         SchedulerInfo {
             name: "hdagg",
@@ -260,13 +417,15 @@ pub fn list() -> &'static [SchedulerInfo] {
                 default: "1.15",
                 help: "max tolerated max/avg work imbalance of a glued superstep",
             }],
+            exec_models: BARRIER_FIRST,
             examples: &["hdagg", "hdagg:balance=1.4"],
         },
         SchedulerInfo {
             name: "spmp",
             summary: "SpMP-style [PSSD14]: level schedule on the reduced DAG, async execution",
             params: &[],
-            examples: &["spmp"],
+            exec_models: ASYNC_FIRST,
+            examples: &["spmp", "spmp@barrier"],
         },
         SchedulerInfo {
             name: "bspg",
@@ -276,6 +435,7 @@ pub fn list() -> &'static [SchedulerInfo] {
                 default: "64",
                 help: "per-core vertex quota of one superstep",
             }],
+            exec_models: BARRIER_FIRST,
             examples: &["bspg", "bspg:quota=16"],
         },
     ];
@@ -290,8 +450,17 @@ pub fn info(name: &str) -> Option<&'static SchedulerInfo> {
 /// Renders the one-scheduler-per-line help listing used by the CLI.
 pub fn help_text() -> String {
     let mut out = String::new();
+    out.push_str("spec grammar: name[:key=value,…][@model] — scoped keys (gl.alpha)\n");
+    out.push_str("address a composite scheduler's inner GrowLocal; @model selects the\n");
+    out.push_str("execution model (the scheduler's default is marked with *).\n\n");
     for entry in list() {
         out.push_str(&format!("  {:<10} {}\n", entry.name, entry.summary));
+        let models: Vec<String> = ExecModel::ALL
+            .iter()
+            .filter(|m| entry.exec_models.contains(m))
+            .map(|m| if *m == entry.default_model() { format!("{m}*") } else { m.to_string() })
+            .collect();
+        out.push_str(&format!("    {:<12} {}\n", "models", models.join(" | ")));
         for p in entry.params {
             out.push_str(&format!("    {:<12} {} (default {})\n", p.key, p.help, p.default));
         }
@@ -353,13 +522,58 @@ impl ParamReader<'_> {
         }
         Ok(())
     }
+
+    /// Reads a GrowLocal parameter set — the unscoped keys of `growlocal`
+    /// itself, or the `gl.`-scoped keys a composite scheduler forwards to
+    /// its inner GrowLocal.
+    fn growlocal_params(&self, scoped: bool) -> Result<GrowLocalParams, RegistryError> {
+        let (alpha, growth, accept, sync, priority) = if scoped {
+            ("gl.alpha", "gl.growth", "gl.accept", "gl.sync", "gl.priority")
+        } else {
+            ("alpha", "growth", "accept", "sync", "priority")
+        };
+        let defaults = GrowLocalParams::default();
+        let priority = match self.parse::<String>(priority, "rule1".into(), "rule1 or id-only")? {
+            p if p == "rule1" => VertexPriority::CoreExclusiveThenId,
+            p if p == "id-only" => VertexPriority::IdOnly,
+            p => {
+                return Err(RegistryError::BadValue {
+                    scheduler: self.scheduler,
+                    key: priority,
+                    value: p,
+                    expected: "rule1 or id-only",
+                })
+            }
+        };
+        Ok(GrowLocalParams {
+            alpha_init: self.parse(alpha, defaults.alpha_init, "a positive integer")?,
+            growth: self.parse(growth, defaults.growth, "a float > 1")?,
+            accept_ratio: self.parse(accept, defaults.accept_ratio, "a float in (0, 1]")?,
+            sync_cost: self.parse(sync, defaults.sync_cost, "a non-negative integer")?,
+            priority,
+        })
+    }
+}
+
+/// The execution model a spec selects: its `@model` suffix (validated
+/// against the scheduler's supported set), or the scheduler's default.
+pub fn resolve_model(spec: &SchedulerSpec) -> Result<ExecModel, RegistryError> {
+    let Some(entry) = info(spec.name()) else {
+        return Err(RegistryError::UnknownScheduler { name: spec.name().to_string() });
+    };
+    match spec.exec_model() {
+        None => Ok(entry.default_model()),
+        Some(model) if entry.exec_models.contains(&model) => Ok(model),
+        Some(model) => Err(RegistryError::UnsupportedModel { scheduler: entry.name, model }),
+    }
 }
 
 /// Instantiates the scheduler a spec describes.
 ///
 /// `dag` and `n_cores` size the self-configuring schedulers (`funnel-gl`'s
 /// automatic part-weight cap, `block-gl`'s automatic block count); fixed
-/// schedulers ignore them.
+/// schedulers ignore them. The `@model` suffix does not change construction
+/// but is validated here so an unsupported model fails fast.
 pub fn build(
     spec: &SchedulerSpec,
     dag: &SolveDag,
@@ -368,32 +582,11 @@ pub fn build(
     let Some(entry) = info(spec.name()) else {
         return Err(RegistryError::UnknownScheduler { name: spec.name().to_string() });
     };
+    resolve_model(spec)?;
     let reader = ParamReader { scheduler: entry.name, spec };
     reader.check_keys()?;
     Ok(match entry.name {
-        "growlocal" => {
-            let defaults = GrowLocalParams::default();
-            let priority =
-                match reader.parse::<String>("priority", "rule1".into(), "rule1 or id-only")? {
-                    p if p == "rule1" => VertexPriority::CoreExclusiveThenId,
-                    p if p == "id-only" => VertexPriority::IdOnly,
-                    p => {
-                        return Err(RegistryError::BadValue {
-                            scheduler: "growlocal",
-                            key: "priority",
-                            value: p,
-                            expected: "rule1 or id-only",
-                        })
-                    }
-                };
-            Box::new(GrowLocal::with_params(GrowLocalParams {
-                alpha_init: reader.parse("alpha", defaults.alpha_init, "a positive integer")?,
-                growth: reader.parse("growth", defaults.growth, "a float > 1")?,
-                accept_ratio: reader.parse("accept", defaults.accept_ratio, "a float in (0, 1]")?,
-                sync_cost: reader.parse("sync", defaults.sync_cost, "a non-negative integer")?,
-                priority,
-            }))
-        }
+        "growlocal" => Box::new(GrowLocal::with_params(reader.growlocal_params(false)?)),
         "funnel-gl" => {
             let mut fgl = FunnelGrowLocal::for_dag(dag, n_cores);
             if let Some(cap) = reader.parse_or_auto::<u64>("cap", "a positive integer or auto")? {
@@ -420,6 +613,7 @@ pub fn build(
                 }
             };
             fgl.transitive_reduction = reader.parse("tr", true, "true or false")?;
+            fgl.growlocal = reader.growlocal_params(true)?;
             Box::new(fgl)
         }
         "block-gl" => {
@@ -434,7 +628,9 @@ pub fn build(
                     expected: "a positive integer or auto",
                 });
             }
-            Box::new(BlockParallel::new(blocks))
+            let mut bp = BlockParallel::new(blocks);
+            bp.growlocal = reader.growlocal_params(true)?;
+            Box::new(bp)
         }
         "wavefront" => Box::new(WavefrontScheduler),
         "hdagg" => {
@@ -477,9 +673,22 @@ pub fn resolve(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sptrsv_sparse::gen::grid::{grid2d_laplacian, Stencil2D};
 
     fn dag() -> SolveDag {
         SolveDag::from_edges(6, &[(0, 2), (1, 2), (2, 3), (3, 5), (4, 5)], vec![1; 6])
+    }
+
+    /// An application-like DAG: a block-shuffled grid Laplacian (a
+    /// lexicographic grid has a single source, which funnel coarsening
+    /// collapses to a near-trivial coarse DAG).
+    fn grid_dag(w: usize, h: usize) -> SolveDag {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(7);
+        let a = grid2d_laplacian(w, h, Stencil2D::FivePoint, 0.5);
+        let p = sptrsv_sparse::gen::shuffle::block_shuffle_permutation(a.n_rows(), 32, &mut rng);
+        let l = a.symmetric_permute(&p).unwrap().lower_triangle().unwrap();
+        SolveDag::from_lower_triangular(&l)
     }
 
     #[test]
@@ -487,8 +696,29 @@ mod tests {
         let spec: SchedulerSpec = "growlocal:alpha=8,sync=2000".parse().unwrap();
         assert_eq!(spec.name(), "growlocal");
         assert_eq!(spec.params().len(), 2);
+        assert_eq!(spec.exec_model(), None);
         assert_eq!(spec.to_string(), "growlocal:alpha=8,sync=2000");
         assert_eq!("wavefront".parse::<SchedulerSpec>().unwrap().to_string(), "wavefront");
+    }
+
+    #[test]
+    fn v2_grammar_round_trips_models_and_scopes() {
+        let spec: SchedulerSpec = "funnel-gl:gl.alpha=8,cap=auto@async".parse().unwrap();
+        assert_eq!(spec.name(), "funnel-gl");
+        assert_eq!(spec.exec_model(), Some(ExecModel::Async));
+        assert_eq!(
+            spec.params(),
+            &[("gl.alpha".into(), "8".into()), ("cap".into(), "auto".into())]
+        );
+        assert_eq!(spec.to_string(), "funnel-gl:gl.alpha=8,cap=auto@async");
+        let spec: SchedulerSpec = "spmp@barrier".parse().unwrap();
+        assert_eq!(spec.exec_model(), Some(ExecModel::Barrier));
+        assert_eq!(spec.to_string(), "spmp@barrier");
+        // Builder API mirrors the text grammar.
+        let built =
+            SchedulerSpec::new("growlocal").with("alpha", "8").with_model(ExecModel::Serial);
+        assert_eq!(built.to_string(), "growlocal:alpha=8@serial");
+        assert_eq!(built.to_string().parse::<SchedulerSpec>().unwrap(), built);
     }
 
     #[test]
@@ -499,6 +729,15 @@ mod tests {
             Err(RegistryError::Syntax(_))
         ));
         assert!(matches!("growlocal:=3".parse::<SchedulerSpec>(), Err(RegistryError::Syntax(_))));
+        // Model suffix errors are grammar-level.
+        assert!(matches!(
+            "growlocal@warp".parse::<SchedulerSpec>(),
+            Err(RegistryError::UnknownModel { .. })
+        ));
+        assert!(matches!(
+            "growlocal@".parse::<SchedulerSpec>(),
+            Err(RegistryError::UnknownModel { .. })
+        ));
     }
 
     #[test]
@@ -537,6 +776,50 @@ mod tests {
     }
 
     #[test]
+    fn unknown_scopes_and_models_rejected() {
+        let g = dag();
+        // `growlocal` declares no `gl.` scope — its own keys are unscoped.
+        assert!(matches!(
+            resolve("growlocal:gl.alpha=8", &g, 2),
+            Err(RegistryError::UnknownParam { .. })
+        ));
+        // A scope the composite scheduler does not declare.
+        assert!(matches!(
+            resolve("funnel-gl:inner.alpha=8", &g, 2),
+            Err(RegistryError::UnknownParam { .. })
+        ));
+        // A scoped value that fails to parse names the scoped key.
+        assert!(matches!(
+            resolve("funnel-gl:gl.alpha=lots", &g, 2),
+            Err(RegistryError::BadValue { key: "gl.alpha", .. })
+        ));
+        // Unknown model names fail at parse time, before name resolution.
+        assert!(matches!(
+            resolve("wavefront@vectorized", &g, 2),
+            Err(RegistryError::UnknownModel { .. })
+        ));
+    }
+
+    #[test]
+    fn resolve_model_applies_defaults_and_suffixes() {
+        for entry in list() {
+            let spec = SchedulerSpec::new(entry.name);
+            assert_eq!(resolve_model(&spec).unwrap(), entry.default_model(), "{}", entry.name);
+            for &model in entry.exec_models {
+                let spec = SchedulerSpec::new(entry.name).with_model(model);
+                assert_eq!(resolve_model(&spec).unwrap(), model);
+            }
+        }
+        // spmp defaults to async execution; everything else to barriers.
+        assert_eq!(resolve_model(&SchedulerSpec::new("spmp")).unwrap(), ExecModel::Async);
+        assert_eq!(resolve_model(&SchedulerSpec::new("growlocal")).unwrap(), ExecModel::Barrier);
+        assert!(matches!(
+            resolve_model(&SchedulerSpec::new("nope")),
+            Err(RegistryError::UnknownScheduler { .. })
+        ));
+    }
+
+    #[test]
     fn parameters_reach_the_scheduler() {
         let g = dag();
         // growlocal priority flips the reported name.
@@ -547,6 +830,39 @@ mod tests {
         // Later duplicates win.
         let spec: SchedulerSpec = "growlocal:alpha=5,alpha=9".parse().unwrap();
         assert_eq!(spec.get("alpha"), Some("9"));
+    }
+
+    #[test]
+    fn scoped_params_reach_the_inner_growlocal() {
+        // funnel-gl:gl.* must configure the inner GrowLocal exactly as a
+        // hand-built FunnelGrowLocal with the same parameters does…
+        let g = grid_dag(40, 40);
+        let spec = "funnel-gl:cap=16,gl.alpha=1,gl.growth=1.01,gl.sync=0";
+        let via_spec = resolve(spec, &g, 4).unwrap().schedule(&g, 4);
+        let mut fgl = FunnelGrowLocal::for_dag(&g, 4);
+        fgl.max_part_weight = 16;
+        fgl.growlocal.alpha_init = 1;
+        fgl.growlocal.growth = 1.01;
+        fgl.growlocal.sync_cost = 0;
+        assert_eq!(via_spec, fgl.schedule(&g, 4));
+        // …and demonstrably change the schedule relative to the defaults.
+        let default = resolve("funnel-gl:cap=16", &g, 4).unwrap().schedule(&g, 4);
+        assert_ne!(via_spec, default, "gl.* overrides did not reach the inner GrowLocal");
+        assert!(via_spec.validate(&g).is_ok());
+    }
+
+    #[test]
+    fn scoped_params_reach_block_gl_inner_growlocal() {
+        let g = grid_dag(24, 24);
+        let via_spec =
+            resolve("block-gl:blocks=2,gl.alpha=1,gl.growth=1.01,gl.sync=0", &g, 4).unwrap();
+        let mut bp = BlockParallel::new(2);
+        bp.growlocal.alpha_init = 1;
+        bp.growlocal.growth = 1.01;
+        bp.growlocal.sync_cost = 0;
+        assert_eq!(via_spec.schedule(&g, 4), bp.schedule(&g, 4));
+        let default = resolve("block-gl:blocks=2", &g, 4).unwrap().schedule(&g, 4);
+        assert_ne!(via_spec.schedule(&g, 4), default);
     }
 
     #[test]
@@ -564,13 +880,30 @@ mod tests {
             info("hdagg").unwrap().params[0].default,
             HDagg::default().balance_threshold.to_string()
         );
+        // The `gl.` scope declares the same defaults as `growlocal` itself.
+        for scoped in &GL_SCOPED_PARAMS {
+            let unscoped = scoped.key.strip_prefix("gl.").unwrap();
+            assert_eq!(
+                scoped.default,
+                by_key(unscoped),
+                "scoped default for {} drifted from growlocal's",
+                scoped.key
+            );
+        }
+        // Every scheduler declares at least one execution model.
+        for entry in list() {
+            assert!(!entry.exec_models.is_empty(), "{} lists no exec models", entry.name);
+        }
     }
 
     #[test]
-    fn help_text_lists_every_scheduler() {
+    fn help_text_lists_every_scheduler_and_model() {
         let help = help_text();
         for entry in list() {
             assert!(help.contains(entry.name), "{} missing from help", entry.name);
+        }
+        for model in ExecModel::ALL {
+            assert!(help.contains(model.as_str()), "{model} missing from help");
         }
     }
 }

@@ -30,7 +30,11 @@ pub struct ReorderedProblem {
 /// order within a superstep, original IDs within a cell.
 pub fn schedule_order_permutation(schedule: &Schedule) -> Permutation {
     // The compiled layout's vertex order *is* the §5 enumeration.
-    let order = CompiledSchedule::from_schedule(schedule).into_vertex_order();
+    let order: Vec<usize> = CompiledSchedule::from_schedule(schedule)
+        .into_vertex_order()
+        .iter()
+        .map(|&v| v as usize)
+        .collect();
     Permutation::from_old_of_new(order).expect("a schedule covers every vertex exactly once")
 }
 

@@ -1,4 +1,4 @@
-//! SpMP-style scheduler [PSSD14].
+//! SpMP-style scheduler \[PSSD14\].
 //!
 //! SpMP is at heart an *asynchronous* wavefront method: it derives the level
 //! sets, partitions each level into per-thread chunks, sparsifies the

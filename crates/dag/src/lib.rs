@@ -12,7 +12,7 @@
 //!   parallelizability metric of §6.2;
 //! * [`transitive`] — the approximate transitive reduction of SpMP §2.3
 //!   ("remove all long edges in triangles");
-//! * [`coarsen`] — *cascades* and the **Funnel** coarsening of §4, with the
+//! * [`coarsen`](mod@coarsen) — *cascades* and the **Funnel** coarsening of §4, with the
 //!   acyclicity guarantee of Proposition 4.3 checked in tests.
 
 pub mod analysis;

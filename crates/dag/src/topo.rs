@@ -5,7 +5,7 @@ use std::collections::VecDeque;
 
 /// Returns a topological order of the DAG, or `None` if it contains a cycle.
 ///
-/// Kahn's algorithm [Kah62], `O(|V| + |E|)`. Among ready vertices the
+/// Kahn's algorithm \[Kah62\], `O(|V| + |E|)`. Among ready vertices the
 /// smallest ID is *not* prioritized (plain FIFO); schedulers that care about
 /// order implement their own priority.
 pub fn topological_sort(dag: &SolveDag) -> Option<Vec<usize>> {

@@ -1,38 +1,41 @@
 //! Asynchronous (point-to-point synchronized) executor, SpMP-style.
 //!
 //! Instead of a global barrier per superstep, every thread walks its own
-//! vertex list in schedule order and spin-waits on per-vertex *done* flags of
+//! cells in schedule order and spin-waits on per-vertex *done* flags of
 //! the parents it needs — exactly SpMP's "move on as soon as your inputs are
-//! ready" execution [PSSD14]. The synchronization DAG may be the transitive
+//! ready" execution \[PSSD14\]. The synchronization DAG may be the transitive
 //! reduction of the solve DAG ([`sptrsv_core::SpMp::reduced_dag`]): waiting
 //! on fewer edges is the second half of SpMP's trick.
 //!
+//! Like its siblings, the executor walks the shared [`CompiledSchedule`]
+//! layout (a core's program is its cells in superstep order); only the
+//! synchronization differs from [`crate::barrier`].
+//!
 //! # Safety argument
 //!
-//! `x[v]` is written once, by its owning thread, before `done[v]` is set with
-//! `Release`. Any other thread reads `x[v]` only after observing `done[v]`
-//! with `Acquire`, which orders the read after the write. Same-thread
-//! intra-list dependencies are covered by program order (lists ascend in
-//! vertex ID within a cell and supersteps ascend across cells). A vertex
-//! never waits on itself because the sync DAG has no self-loops.
+//! `x[v]` (all `r` values of row `v` in the multi-RHS case) is written once,
+//! by its owning thread, before `done[v]` is set with `Release`. Any other
+//! thread reads row `v` only after observing `done[v]` with `Acquire`, which
+//! orders the reads after the writes. Same-thread intra-list dependencies
+//! are covered by program order (cells ascend in vertex ID and supersteps
+//! ascend across cells). A vertex never waits on itself because the sync DAG
+//! has no self-loops.
 
+use crate::barrier::SharedX;
+use crate::executor::Executor;
+use sptrsv_core::registry::ExecModel;
 use sptrsv_core::{CompiledSchedule, Schedule, ScheduleError};
 use sptrsv_dag::SolveDag;
 use sptrsv_sparse::CsrMatrix;
 use std::sync::atomic::{AtomicBool, Ordering};
-
-#[derive(Clone, Copy)]
-struct SharedX(*mut f64);
-unsafe impl Send for SharedX {}
-unsafe impl Sync for SharedX {}
+use std::sync::Arc;
 
 /// Pre-planned asynchronous executor.
 pub struct AsyncExecutor {
-    /// Per-core vertex lists (cells concatenated in superstep order).
-    lists: Vec<Vec<usize>>,
+    compiled: Arc<CompiledSchedule>,
     /// For every vertex, the parents on *other* cores that must be awaited
-    /// (same-core dependencies are ordered by the list itself).
-    waits: Vec<Vec<usize>>,
+    /// (same-core dependencies are ordered by the cell walk itself).
+    waits: Vec<Vec<u32>>,
 }
 
 impl AsyncExecutor {
@@ -47,26 +50,29 @@ impl AsyncExecutor {
     ) -> Result<AsyncExecutor, ScheduleError> {
         let full_dag = SolveDag::from_lower_triangular(matrix);
         schedule.validate(&full_dag)?;
-        let n = matrix.n_rows();
+        let compiled = Arc::new(CompiledSchedule::from_schedule(schedule));
+        Ok(Self::from_compiled(compiled, sync_dag))
+    }
+
+    /// Wraps an already-validated compiled schedule (shared with sibling
+    /// executors by [`crate::plan::SolvePlan`]); crate-private for the same
+    /// reason as [`crate::barrier::BarrierExecutor::from_compiled`].
+    pub(crate) fn from_compiled(
+        compiled: Arc<CompiledSchedule>,
+        sync_dag: &SolveDag,
+    ) -> AsyncExecutor {
+        let n = compiled.n_vertices();
         assert_eq!(sync_dag.n(), n, "sync DAG size mismatch");
-        // Each core's list is its cells in superstep order — read straight
-        // off the compiled layout.
-        let compiled = CompiledSchedule::from_schedule(schedule);
-        let mut lists = vec![Vec::new(); schedule.n_cores()];
-        for step in 0..compiled.n_supersteps() {
-            for (p, list) in lists.iter_mut().enumerate() {
-                list.extend_from_slice(compiled.cell(step, p));
-            }
-        }
+        let core_of = compiled.core_assignment();
         let mut waits = vec![Vec::new(); n];
         for (v, wait_list) in waits.iter_mut().enumerate() {
             for &u in sync_dag.parents(v) {
-                if schedule.core_of(u) != schedule.core_of(v) {
-                    wait_list.push(u);
+                if core_of[u] != core_of[v] {
+                    wait_list.push(u as u32);
                 }
             }
         }
-        Ok(AsyncExecutor { lists, waits })
+        AsyncExecutor { compiled, waits }
     }
 
     /// Solves `L x = b` with point-to-point synchronization.
@@ -76,52 +82,125 @@ impl AsyncExecutor {
         assert_eq!(x.len(), n);
         let done: Vec<AtomicBool> = (0..n).map(|_| AtomicBool::new(false)).collect();
         let shared = SharedX(x.as_mut_ptr());
-        if self.lists.len() == 1 {
-            run_core(l, b, shared, &self.lists[0], &self.waits, &done);
+        let run = |core: usize| run_core(l, b, shared, &self.compiled, core, &self.waits, &done);
+        if self.compiled.n_cores() == 1 {
+            run(0);
             return;
         }
         std::thread::scope(|scope| {
-            for list in &self.lists[1..] {
-                scope.spawn(|| run_core(l, b, shared, list, &self.waits, &done));
+            for core in 1..self.compiled.n_cores() {
+                scope.spawn(move || run(core));
             }
-            run_core(l, b, shared, &self.lists[0], &self.waits, &done);
+            run(0);
+        });
+    }
+
+    /// Solves `L X = B` (`r` right-hand sides, row-major) with point-to-point
+    /// synchronization: one *done* flag per row, set after all `r` values.
+    pub fn solve_multi(&self, l: &CsrMatrix, b: &[f64], x: &mut [f64], r: usize) {
+        let n = l.n_rows();
+        assert!(r > 0);
+        assert_eq!(b.len(), n * r);
+        assert_eq!(x.len(), n * r);
+        let done: Vec<AtomicBool> = (0..n).map(|_| AtomicBool::new(false)).collect();
+        let shared = SharedX(x.as_mut_ptr());
+        let run =
+            |core: usize| run_core_multi(l, b, shared, &self.compiled, core, &self.waits, &done, r);
+        if self.compiled.n_cores() == 1 {
+            run(0);
+            return;
+        }
+        std::thread::scope(|scope| {
+            for core in 1..self.compiled.n_cores() {
+                scope.spawn(move || run(core));
+            }
+            run(0);
         });
     }
 }
 
+impl Executor for AsyncExecutor {
+    fn model(&self) -> ExecModel {
+        ExecModel::Async
+    }
+
+    fn solve(&self, l: &CsrMatrix, b: &[f64], x: &mut [f64]) {
+        AsyncExecutor::solve(self, l, b, x);
+    }
+
+    fn solve_multi(&self, l: &CsrMatrix, b: &[f64], x: &mut [f64], r: usize) {
+        AsyncExecutor::solve_multi(self, l, b, x, r);
+    }
+}
+
+/// Spin-waits until every cross-core parent of `i` is done.
+#[inline]
+fn await_parents(waits: &[Vec<u32>], done: &[AtomicBool], i: usize) {
+    for &u in &waits[i] {
+        while !done[u as usize].load(Ordering::Acquire) {
+            std::hint::spin_loop();
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)] // mirrors the barrier kernel's signature
 fn run_core(
     l: &CsrMatrix,
     b: &[f64],
     x: SharedX,
-    list: &[usize],
-    waits: &[Vec<usize>],
+    compiled: &CompiledSchedule,
+    core: usize,
+    waits: &[Vec<u32>],
     done: &[AtomicBool],
 ) {
-    for &i in list {
-        for &u in &waits[i] {
-            while !done[u].load(Ordering::Acquire) {
-                std::hint::spin_loop();
+    for step in 0..compiled.n_supersteps() {
+        for &i in compiled.cell(step, core) {
+            let i = i as usize;
+            await_parents(waits, done, i);
+            let (cols, vals) = l.row(i);
+            let k = cols.len() - 1;
+            debug_assert_eq!(cols[k], i);
+            let mut acc = b[i];
+            for (&c, &v) in cols[..k].iter().zip(&vals[..k]) {
+                // SAFETY: cross-core parents were awaited above (Acquire
+                // pairs with the Release below); same-core parents precede in
+                // program order. See module docs.
+                acc -= v * unsafe { *x.0.add(c) };
             }
+            // SAFETY: exclusive writer of x[i].
+            unsafe { *x.0.add(i) = acc / vals[k] };
+            done[i].store(true, Ordering::Release);
         }
-        let (cols, vals) = l.row(i);
-        let k = cols.len() - 1;
-        debug_assert_eq!(cols[k], i);
-        let mut acc = b[i];
-        for (&c, &v) in cols[..k].iter().zip(&vals[..k]) {
-            // SAFETY: cross-core parents were awaited above (Acquire pairs
-            // with the Release below); same-core parents precede in program
-            // order. See module docs.
-            acc -= v * unsafe { *x.0.add(c) };
+    }
+}
+
+#[allow(clippy::too_many_arguments)] // mirrors the barrier kernel's signature
+fn run_core_multi(
+    l: &CsrMatrix,
+    b: &[f64],
+    x: SharedX,
+    compiled: &CompiledSchedule,
+    core: usize,
+    waits: &[Vec<u32>],
+    done: &[AtomicBool],
+    r: usize,
+) {
+    for step in 0..compiled.n_supersteps() {
+        for &i in compiled.cell(step, core) {
+            let i = i as usize;
+            await_parents(waits, done, i);
+            // SAFETY: same flag ordering as `run_core`, row-granular (all r
+            // values written before the Release store).
+            unsafe { crate::multi::solve_row_multi_raw(l, i, b, x.0, r) };
+            done[i].store(true, Ordering::Release);
         }
-        // SAFETY: exclusive writer of x[i].
-        unsafe { *x.0.add(i) = acc / vals[k] };
-        done[i].store(true, Ordering::Release);
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::multi::solve_lower_multi_serial;
     use crate::serial::solve_lower_serial;
     use sptrsv_core::{Scheduler, SpMp};
     use sptrsv_sparse::gen::grid::{grid2d_laplacian, Stencil2D};
@@ -146,6 +225,24 @@ mod tests {
     }
 
     #[test]
+    fn async_multi_rhs_matches_serial_multi() {
+        let a = grid2d_laplacian(12, 10, Stencil2D::FivePoint, 0.5);
+        let l = a.lower_triangle().unwrap();
+        let n = l.n_rows();
+        let r = 3;
+        let dag = SolveDag::from_lower_triangular(&l);
+        let schedule = SpMp.schedule(&dag, 4);
+        let reduced = SpMp.reduced_dag(&dag);
+        let exec = AsyncExecutor::new(&l, &schedule, &reduced).unwrap();
+        let b: Vec<f64> = (0..n * r).map(|i| (i as f64 * 0.23).sin() + 0.5).collect();
+        let mut expected = vec![0.0; n * r];
+        solve_lower_multi_serial(&l, &b, &mut expected, r);
+        let mut x = vec![0.0; n * r];
+        exec.solve_multi(&l, &b, &mut x, r);
+        assert_eq!(x, expected);
+    }
+
+    #[test]
     fn wait_lists_only_cross_core() {
         let a = grid2d_laplacian(8, 8, Stencil2D::FivePoint, 0.5);
         let l = a.lower_triangle().unwrap();
@@ -154,7 +251,7 @@ mod tests {
         let exec = AsyncExecutor::new(&l, &schedule, &dag).unwrap();
         for (v, waits) in exec.waits.iter().enumerate() {
             for &u in waits {
-                assert_ne!(schedule.core_of(u), schedule.core_of(v));
+                assert_ne!(schedule.core_of(u as usize), schedule.core_of(v));
             }
         }
     }

@@ -23,13 +23,15 @@
 //!   the write in program order (cells are executed in ascending vertex ID,
 //!   and intra-cell edges ascend).
 
+use crate::executor::Executor;
+use sptrsv_core::registry::ExecModel;
 use sptrsv_core::{CompiledSchedule, Schedule, ScheduleError};
 use sptrsv_sparse::CsrMatrix;
 use std::sync::{Arc, Barrier};
 
 /// Shared mutable pointer to the solution vector; safety per module docs.
 #[derive(Clone, Copy)]
-struct SharedX(*mut f64);
+pub(crate) struct SharedX(pub(crate) *mut f64);
 unsafe impl Send for SharedX {}
 unsafe impl Sync for SharedX {}
 
@@ -64,25 +66,47 @@ impl BarrierExecutor {
     /// Solves `L x = b` following the schedule, with real threads and
     /// barriers.
     pub fn solve(&self, l: &CsrMatrix, b: &[f64], x: &mut [f64]) {
-        let n = l.n_rows();
-        assert_eq!(b.len(), n);
-        assert_eq!(x.len(), n);
-        let n_cores = self.compiled.n_cores();
-        let shared = SharedX(x.as_mut_ptr());
-        if n_cores == 1 {
-            run_core(l, b, shared, &self.compiled, 0, None);
-            return;
-        }
-        let barrier = Barrier::new(n_cores);
-        let barrier = &barrier;
-        std::thread::scope(|scope| {
-            for core in 1..n_cores {
-                let compiled = &self.compiled;
-                scope.spawn(move || run_core(l, b, shared, compiled, core, Some(barrier)));
-            }
-            run_core(l, b, shared, &self.compiled, 0, Some(barrier));
-        });
+        solve_compiled(l, &self.compiled, b, x);
     }
+}
+
+impl Executor for BarrierExecutor {
+    fn model(&self) -> ExecModel {
+        ExecModel::Barrier
+    }
+
+    fn solve(&self, l: &CsrMatrix, b: &[f64], x: &mut [f64]) {
+        solve_compiled(l, &self.compiled, b, x);
+    }
+
+    fn solve_multi(&self, l: &CsrMatrix, b: &[f64], x: &mut [f64], r: usize) {
+        crate::multi::solve_multi_compiled(l, &self.compiled, b, x, r);
+    }
+}
+
+/// The threaded barrier solve over a compiled schedule (shared by
+/// [`BarrierExecutor`] and the one-shot [`solve_with_barriers`]).
+///
+/// The compiled schedule must stem from a schedule validated against `l`'s
+/// solve DAG (see the module-level safety argument).
+pub(crate) fn solve_compiled(l: &CsrMatrix, compiled: &CompiledSchedule, b: &[f64], x: &mut [f64]) {
+    let n = l.n_rows();
+    assert_eq!(b.len(), n);
+    assert_eq!(x.len(), n);
+    let n_cores = compiled.n_cores();
+    let shared = SharedX(x.as_mut_ptr());
+    if n_cores == 1 {
+        run_core(l, b, shared, compiled, 0, None);
+        return;
+    }
+    let barrier = Barrier::new(n_cores);
+    let barrier = &barrier;
+    std::thread::scope(|scope| {
+        for core in 1..n_cores {
+            scope.spawn(move || run_core(l, b, shared, compiled, core, Some(barrier)));
+        }
+        run_core(l, b, shared, compiled, 0, Some(barrier));
+    });
 }
 
 /// Executes one core's share of the schedule.
@@ -96,6 +120,7 @@ fn run_core(
 ) {
     for step in 0..compiled.n_supersteps() {
         for &i in compiled.cell(step, core) {
+            let i = i as usize;
             let (cols, vals) = l.row(i);
             let k = cols.len() - 1;
             debug_assert_eq!(cols[k], i);
@@ -195,5 +220,24 @@ mod tests {
         let s = GrowLocal::new().schedule(&dag, 3);
         let exec = BarrierExecutor::new(&l, &s).unwrap();
         assert_eq!(exec.compiled().to_cells(), s.cells());
+    }
+
+    #[test]
+    fn trait_solve_multi_matches_single_rhs_columns() {
+        let (l, b) = problem(11, 7);
+        let n = l.n_rows();
+        let dag = SolveDag::from_lower_triangular(&l);
+        let s = GrowLocal::new().schedule(&dag, 3);
+        let exec = BarrierExecutor::new(&l, &s).unwrap();
+        let exec: &dyn Executor = &exec;
+        assert_eq!(exec.model(), ExecModel::Barrier);
+        let mut x = vec![0.0; n];
+        exec.solve(&l, &b, &mut x);
+        let bm: Vec<f64> = b.iter().flat_map(|&v| [v, 2.0 * v]).collect();
+        let mut xm = vec![0.0; 2 * n];
+        exec.solve_multi(&l, &bm, &mut xm, 2);
+        for i in 0..n {
+            assert_eq!(xm[2 * i], x[i]);
+        }
     }
 }

@@ -1,0 +1,36 @@
+//! The [`Executor`] trait: one interface over every execution model.
+//!
+//! A [`SolvePlan`](crate::plan::SolvePlan) compiles its schedule once and
+//! then executes it under one of the registry's [`ExecModel`]s — barrier
+//! BSP ([`crate::barrier::BarrierExecutor`]), point-to-point asynchronous
+//! ([`crate::async_exec::AsyncExecutor`]) or serial
+//! ([`crate::serial::SerialExecutor`]). All three implement this trait, so
+//! `solve_into`/`solve_multi` dispatch through
+//! [`SolvePlan::executor()`](crate::plan::SolvePlan::executor) instead of
+//! hardcoding a concrete executor per call site, and the execution model is
+//! selectable per plan (builder knob or spec `@model` suffix).
+//!
+//! Implementations must be numerically exchangeable: every executor
+//! computes each row's dot product in the same CSR column order, so for the
+//! same operand and schedule all models produce bit-identical solutions
+//! (pinned by the executor-agreement integration test).
+
+use sptrsv_core::registry::ExecModel;
+use sptrsv_sparse::CsrMatrix;
+
+/// A reusable, schedule-driven triangular-solve execution engine.
+///
+/// Contract: the operand passed to the solve methods must be the
+/// lower-triangular matrix whose solve DAG the executor's schedule was
+/// validated against (the plan layer guarantees this; the concrete
+/// constructors validate).
+pub trait Executor: Send + Sync {
+    /// The execution model this engine implements.
+    fn model(&self) -> ExecModel;
+
+    /// Solves `L x = b` for one right-hand side.
+    fn solve(&self, l: &CsrMatrix, b: &[f64], x: &mut [f64]);
+
+    /// Solves `L X = B` for `r` right-hand sides (row-major `n × r`).
+    fn solve_multi(&self, l: &CsrMatrix, b: &[f64], x: &mut [f64], r: usize);
+}

@@ -1,16 +1,21 @@
 //! Execution of SpTRSV schedules.
 //!
-//! * [`serial`] — the reference forward/backward substitution kernels;
+//! * [`executor`] — the [`Executor`] trait: one interface over every
+//!   execution model ([`ExecModel`]), dispatched by [`SolvePlan`];
+//! * [`serial`] — the reference forward/backward substitution kernels and
+//!   the [`SerialExecutor`] (`@serial`);
 //! * [`barrier`] — a real multi-threaded executor that runs a
 //!   [`Schedule`](sptrsv_core::Schedule) with one synchronization barrier per
-//!   superstep (the paper's execution model, §6.1);
+//!   superstep (the paper's execution model, §6.1; `@barrier`);
 //! * [`async_exec`] — an SpMP-style asynchronous executor with per-vertex
-//!   ready flags (point-to-point synchronization instead of barriers);
+//!   ready flags (point-to-point synchronization instead of barriers;
+//!   `@async`), single- and multi-RHS;
 //! * [`multi`] — SpTRSM kernels (multiple right-hand sides);
 //! * [`plan`] — the high-level [`PlanBuilder`]/[`SolvePlan`] API: matrix →
 //!   validated, pre-ordered, scheduled (via registry spec), reordered,
-//!   compiled, reusable parallel solve (lower or upper), with an
-//!   allocation-free [`SolvePlan::solve_into`] steady-state path;
+//!   compiled, reusable parallel solve (lower or upper) under a selectable
+//!   execution model, with an allocation-free [`SolvePlan::solve_into`]
+//!   steady-state path;
 //! * [`sim`] — a calibrated multicore machine model used for the paper's
 //!   speed-up experiments (see DESIGN.md, substitution 3: the build/CI
 //!   machine has a single core, so wall-clock parallel speed-ups are
@@ -20,6 +25,7 @@
 
 pub mod async_exec;
 pub mod barrier;
+pub mod executor;
 pub mod multi;
 pub mod plan;
 pub mod serial;
@@ -28,8 +34,12 @@ pub mod verify;
 
 pub use async_exec::AsyncExecutor;
 pub use barrier::{solve_with_barriers, BarrierExecutor};
+pub use executor::Executor;
 pub use multi::{solve_lower_multi_serial, MultiRhsExecutor};
 pub use plan::{Orientation, PlanBuilder, PlanError, PreOrder, SolvePlan, SolveWorkspace};
-pub use serial::{solve_lower_serial, solve_upper_serial};
-pub use sim::{simulate_async, simulate_barrier, simulate_serial, MachineProfile, SimReport};
+pub use serial::{solve_lower_serial, solve_upper_serial, SerialExecutor};
+pub use sim::{
+    simulate_async, simulate_barrier, simulate_model, simulate_serial, MachineProfile, SimReport,
+};
+pub use sptrsv_core::registry::ExecModel;
 pub use verify::max_abs_diff;

@@ -9,8 +9,10 @@
 //!
 //! Like [`crate::barrier`], the executor walks a [`CompiledSchedule`] — the
 //! plan can be shared (one `Arc`) with the single-RHS executor of the same
-//! [`crate::plan::SolvePlan`].
+//! [`crate::plan::SolvePlan`]. The threaded loop is also the multi-RHS half
+//! of the barrier model's [`Executor`](crate::executor::Executor) impl.
 
+use crate::barrier::SharedX;
 use sptrsv_core::{CompiledSchedule, Schedule, ScheduleError};
 use sptrsv_sparse::CsrMatrix;
 use std::sync::{Arc, Barrier};
@@ -45,15 +47,22 @@ fn solve_row_multi(l: &CsrMatrix, i: usize, b: &[f64], x: &mut [f64], r: usize) 
     }
 }
 
-/// Raw-pointer variant for the threaded executor (same arithmetic as
+/// Raw-pointer variant for the threaded executors (same arithmetic as
 /// [`solve_row_multi`], reads/writes through the shared pointer).
 ///
 /// # Safety
 /// Caller must guarantee the schedule-validity conditions of
-/// [`crate::barrier`]: exclusive writes to row `i`, reads ordered by barriers
-/// or program order.
+/// [`crate::barrier`] (or the flag-ordering conditions of
+/// [`crate::async_exec`]): exclusive writes to row `i`, reads ordered by
+/// synchronization or program order.
 #[inline]
-unsafe fn solve_row_multi_raw(l: &CsrMatrix, i: usize, b: &[f64], x: *mut f64, r: usize) {
+pub(crate) unsafe fn solve_row_multi_raw(
+    l: &CsrMatrix,
+    i: usize,
+    b: &[f64],
+    x: *mut f64,
+    r: usize,
+) {
     let (cols, vals) = l.row(i);
     let k = cols.len() - 1;
     debug_assert_eq!(cols[k], i);
@@ -71,11 +80,6 @@ unsafe fn solve_row_multi_raw(l: &CsrMatrix, i: usize, b: &[f64], x: *mut f64, r
     }
 }
 
-#[derive(Clone, Copy)]
-struct SharedX(*mut f64);
-unsafe impl Send for SharedX {}
-unsafe impl Sync for SharedX {}
-
 /// Multi-RHS barrier executor over a [`CompiledSchedule`].
 pub struct MultiRhsExecutor {
     compiled: Arc<CompiledSchedule>,
@@ -86,37 +90,46 @@ impl MultiRhsExecutor {
     pub fn new(matrix: &CsrMatrix, schedule: &Schedule) -> Result<MultiRhsExecutor, ScheduleError> {
         let dag = sptrsv_dag::SolveDag::from_lower_triangular(matrix);
         schedule.validate(&dag)?;
-        Ok(Self::from_compiled(Arc::new(CompiledSchedule::from_schedule(schedule))))
-    }
-
-    /// Wraps an already-validated compiled schedule (see
-    /// [`crate::barrier::BarrierExecutor::from_compiled`]).
-    pub(crate) fn from_compiled(compiled: Arc<CompiledSchedule>) -> MultiRhsExecutor {
-        MultiRhsExecutor { compiled }
+        Ok(MultiRhsExecutor { compiled: Arc::new(CompiledSchedule::from_schedule(schedule)) })
     }
 
     /// Solves `L X = B` with `r` right-hand sides (row-major `n x r`).
     pub fn solve(&self, l: &CsrMatrix, b: &[f64], x: &mut [f64], r: usize) {
-        let n = l.n_rows();
-        assert!(r > 0);
-        assert_eq!(b.len(), n * r);
-        assert_eq!(x.len(), n * r);
-        let n_cores = self.compiled.n_cores();
-        let shared = SharedX(x.as_mut_ptr());
-        if n_cores == 1 {
-            run_core_multi(l, b, shared, &self.compiled, 0, None, r);
-            return;
-        }
-        let barrier = Barrier::new(n_cores);
-        let barrier = &barrier;
-        std::thread::scope(|scope| {
-            for core in 1..n_cores {
-                let compiled = &self.compiled;
-                scope.spawn(move || run_core_multi(l, b, shared, compiled, core, Some(barrier), r));
-            }
-            run_core_multi(l, b, shared, &self.compiled, 0, Some(barrier), r);
-        });
+        solve_multi_compiled(l, &self.compiled, b, x, r);
     }
+}
+
+/// The threaded barrier multi-RHS solve over a compiled schedule (shared by
+/// [`MultiRhsExecutor`] and [`crate::barrier::BarrierExecutor`]'s
+/// `Executor::solve_multi`).
+///
+/// The compiled schedule must stem from a schedule validated against `l`'s
+/// solve DAG.
+pub(crate) fn solve_multi_compiled(
+    l: &CsrMatrix,
+    compiled: &CompiledSchedule,
+    b: &[f64],
+    x: &mut [f64],
+    r: usize,
+) {
+    let n = l.n_rows();
+    assert!(r > 0);
+    assert_eq!(b.len(), n * r);
+    assert_eq!(x.len(), n * r);
+    let n_cores = compiled.n_cores();
+    let shared = SharedX(x.as_mut_ptr());
+    if n_cores == 1 {
+        run_core_multi(l, b, shared, compiled, 0, None, r);
+        return;
+    }
+    let barrier = Barrier::new(n_cores);
+    let barrier = &barrier;
+    std::thread::scope(|scope| {
+        for core in 1..n_cores {
+            scope.spawn(move || run_core_multi(l, b, shared, compiled, core, Some(barrier), r));
+        }
+        run_core_multi(l, b, shared, compiled, 0, Some(barrier), r);
+    });
 }
 
 fn run_core_multi(
@@ -130,9 +143,9 @@ fn run_core_multi(
 ) {
     for step in 0..compiled.n_supersteps() {
         for &i in compiled.cell(step, core) {
-            // SAFETY: schedule validity (checked in `new`) + barrier ordering,
-            // see the `barrier` module's safety argument.
-            unsafe { solve_row_multi_raw(l, i, b, x.0, r) };
+            // SAFETY: schedule validity (checked at construction) + barrier
+            // ordering, see the `barrier` module's safety argument.
+            unsafe { solve_row_multi_raw(l, i as usize, b, x.0, r) };
         }
         if let Some(barrier) = barrier {
             barrier.wait();

@@ -4,8 +4,16 @@
 //! handling (§2.2), an optional locality-guided pre-ordering pass
 //! (`sptrsv_sparse::ordering`), optional Funnel coarsening of the scheduling
 //! DAG (§4), scheduler resolution through the
-//! [`registry`](sptrsv_core::registry) spec grammar, the §5 locality
-//! reordering, and executor compilation — into a [`SolvePlan`].
+//! [`sptrsv_core::registry`] spec grammar, the §5 locality
+//! reordering, execution-model selection and executor compilation — into a
+//! [`SolvePlan`].
+//!
+//! The execution model is a first-class dimension: pick it with the typed
+//! [`PlanBuilder::execution`] knob or the spec's `@model` suffix
+//! (`"growlocal:alpha=8@async"`); with neither, the scheduler's registry
+//! default applies. The resulting plan dispatches `solve_into`/`solve_multi`
+//! through the [`Executor`] trait, so barrier, asynchronous and serial
+//! execution are interchangeable behind one API.
 //!
 //! Upper-triangular systems (backward substitution) are handled by
 //! conjugating with the index-reversal permutation: if `J` reverses `0..n`,
@@ -23,7 +31,7 @@
 //! let l = grid2d_laplacian(16, 16, Stencil2D::FivePoint, 0.5)
 //!     .lower_triangle()
 //!     .unwrap();
-//! let plan = PlanBuilder::new(&l).scheduler("growlocal:alpha=8").cores(4).build().unwrap();
+//! let plan = PlanBuilder::new(&l).scheduler("growlocal:alpha=8@async").cores(4).build().unwrap();
 //! let b = vec![1.0; 256];
 //! let mut x = vec![0.0; 256];
 //! let mut ws = plan.workspace();
@@ -31,14 +39,18 @@
 //! assert!(sptrsv_sparse::linalg::relative_residual(&l, &x, &b) < 1e-12);
 //! ```
 
+use crate::async_exec::AsyncExecutor;
 use crate::barrier::BarrierExecutor;
-use crate::multi::MultiRhsExecutor;
-use sptrsv_core::registry::{self, RegistryError};
+use crate::executor::Executor;
+use crate::serial::SerialExecutor;
+use crate::sim::{simulate_model, MachineProfile, SimReport};
+use sptrsv_core::registry::{self, ExecModel, RegistryError, SchedulerSpec};
 use sptrsv_core::{
     auto_part_weight_cap, coarsen_and_schedule, reorder_for_locality, CompiledSchedule, Schedule,
     Scheduler,
 };
 use sptrsv_dag::coarsen::{FunnelDirection, FunnelOptions};
+use sptrsv_dag::transitive::approximate_transitive_reduction;
 use sptrsv_dag::SolveDag;
 use sptrsv_sparse::csr::Triangle;
 use sptrsv_sparse::ordering::{min_degree_ordering, nested_dissection_ordering, rcm_ordering};
@@ -80,7 +92,8 @@ pub enum PreOrder {
 pub enum PlanError {
     /// The operand is not a valid triangular matrix of the stated orientation.
     Matrix(SparseError),
-    /// The scheduler spec failed to parse or build.
+    /// The scheduler spec failed to parse or build, or names an unsupported
+    /// execution model.
     Registry(RegistryError),
     /// Internal scheduling failure (a scheduler produced an invalid schedule —
     /// a library bug if it ever occurs).
@@ -115,11 +128,13 @@ pub struct PlanBuilder<'m> {
     pre_order: PreOrder,
     coarsen: bool,
     reorder: bool,
+    execution: Option<ExecModel>,
 }
 
 impl<'m> PlanBuilder<'m> {
     /// A builder with the default pipeline: lower triangle, `growlocal`,
-    /// 8 cores, no pre-ordering, no coarsening, §5 reordering on.
+    /// 8 cores, no pre-ordering, no coarsening, §5 reordering on, execution
+    /// model resolved from the spec/registry.
     pub fn new(matrix: &'m CsrMatrix) -> PlanBuilder<'m> {
         PlanBuilder {
             matrix,
@@ -129,6 +144,7 @@ impl<'m> PlanBuilder<'m> {
             pre_order: PreOrder::Natural,
             coarsen: false,
             reorder: true,
+            execution: None,
         }
     }
 
@@ -138,7 +154,8 @@ impl<'m> PlanBuilder<'m> {
         self
     }
 
-    /// Scheduler spec in the registry grammar (e.g. `"funnel-gl:cap=auto"`).
+    /// Scheduler spec in the registry grammar (e.g. `"funnel-gl:cap=auto"`,
+    /// `"growlocal:alpha=8@async"`).
     pub fn scheduler(mut self, spec: impl Into<String>) -> Self {
         self.spec = spec.into();
         self
@@ -169,6 +186,13 @@ impl<'m> PlanBuilder<'m> {
     /// Toggle the §5 schedule-order locality reordering.
     pub fn reorder(mut self, reorder: bool) -> Self {
         self.reorder = reorder;
+        self
+    }
+
+    /// Execution model of the plan's executor. Overrides the spec's `@model`
+    /// suffix; with neither, the scheduler's registry default applies.
+    pub fn execution(mut self, model: ExecModel) -> Self {
+        self.execution = Some(model);
         self
     }
 
@@ -242,16 +266,20 @@ pub struct SolvePlan {
     /// Gather permutation from user indices to internal indices.
     to_internal: Permutation,
     schedule: Schedule,
-    /// The flat execution layout, shared by both executors.
+    /// The flat execution layout, shared with the executor.
     compiled: Arc<CompiledSchedule>,
-    executor: BarrierExecutor,
-    multi: MultiRhsExecutor,
+    /// The execution model [`SolvePlan::executor`] implements.
+    model: ExecModel,
+    /// Async plans keep the reduced synchronization DAG built for the
+    /// executor, so repeated [`SolvePlan::simulate`] calls reuse it.
+    sync_dag: Option<SolveDag>,
+    executor: Box<dyn Executor>,
 }
 
 impl SolvePlan {
     /// Plans a parallel solve with an explicit scheduler instance and the
-    /// default pipeline (no pre-ordering, no extra coarsening). Prefer
-    /// [`PlanBuilder`] with a registry spec for new code.
+    /// default pipeline (no pre-ordering, no extra coarsening, barrier
+    /// execution). Prefer [`PlanBuilder`] with a registry spec for new code.
     pub fn new(
         matrix: &CsrMatrix,
         orientation: Orientation,
@@ -259,7 +287,18 @@ impl SolvePlan {
         n_cores: usize,
         reorder: bool,
     ) -> Result<SolvePlan, PlanError> {
-        Self::assemble(matrix, orientation, PreOrder::Natural, false, scheduler, n_cores, reorder)
+        let (lower, base_perm) = orient(matrix, orientation)?;
+        let dag = SolveDag::from_lower_triangular(&lower);
+        Self::assemble_oriented(
+            lower,
+            base_perm,
+            dag,
+            false,
+            scheduler,
+            n_cores,
+            reorder,
+            ExecModel::Barrier,
+        )
     }
 
     fn from_builder(builder: PlanBuilder<'_>) -> Result<SolvePlan, PlanError> {
@@ -271,7 +310,13 @@ impl SolvePlan {
         let (lower, base_perm) = orient(builder.matrix, builder.orientation)?;
         let (lower, base_perm) = apply_pre_order(lower, base_perm, builder.pre_order);
         let dag = SolveDag::from_lower_triangular(&lower);
-        let scheduler = registry::resolve(&builder.spec, &dag, builder.n_cores)?;
+        let mut spec: SchedulerSpec = builder.spec.parse()?;
+        if let Some(model) = builder.execution {
+            spec = spec.with_model(model);
+        }
+        // Validated against the scheduler's supported set by the registry.
+        let model = registry::resolve_model(&spec)?;
+        let scheduler = registry::build(&spec, &dag, builder.n_cores)?;
         Self::assemble_oriented(
             lower,
             base_perm,
@@ -280,25 +325,12 @@ impl SolvePlan {
             scheduler.as_ref(),
             builder.n_cores,
             builder.reorder,
+            model,
         )
     }
 
     /// Shared pipeline behind [`SolvePlan::new`] and [`PlanBuilder::build`].
-    fn assemble(
-        matrix: &CsrMatrix,
-        orientation: Orientation,
-        pre_order: PreOrder,
-        coarsen: bool,
-        scheduler: &dyn Scheduler,
-        n_cores: usize,
-        reorder: bool,
-    ) -> Result<SolvePlan, PlanError> {
-        let (lower, base_perm) = orient(matrix, orientation)?;
-        let (lower, base_perm) = apply_pre_order(lower, base_perm, pre_order);
-        let dag = SolveDag::from_lower_triangular(&lower);
-        Self::assemble_oriented(lower, base_perm, dag, coarsen, scheduler, n_cores, reorder)
-    }
-
+    #[allow(clippy::too_many_arguments)] // private assembly point of the whole pipeline
     fn assemble_oriented(
         lower: CsrMatrix,
         base_perm: Permutation,
@@ -307,6 +339,7 @@ impl SolvePlan {
         scheduler: &dyn Scheduler,
         n_cores: usize,
         reorder: bool,
+        model: ExecModel,
     ) -> Result<SolvePlan, PlanError> {
         let schedule = if coarsen {
             schedule_coarsened(&dag, scheduler, n_cores)
@@ -324,13 +357,25 @@ impl SolvePlan {
         } else {
             (lower, schedule, base_perm, dag)
         };
-        // Validate once against the final operand; both executors then share
-        // one compiled plan.
+        // Validate once against the final operand; the executor then shares
+        // the one compiled plan.
         schedule.validate(&final_dag).map_err(PlanError::Schedule)?;
         let compiled = Arc::new(CompiledSchedule::from_schedule(&schedule));
-        let executor = BarrierExecutor::from_compiled(Arc::clone(&compiled));
-        let multi = MultiRhsExecutor::from_compiled(Arc::clone(&compiled));
-        Ok(SolvePlan { matrix, to_internal, schedule, compiled, executor, multi })
+        let mut sync_dag = None;
+        let executor: Box<dyn Executor> = match model {
+            ExecModel::Barrier => Box::new(BarrierExecutor::from_compiled(Arc::clone(&compiled))),
+            ExecModel::Serial => Box::new(SerialExecutor),
+            ExecModel::Async => {
+                // SpMP-style sparsified synchronization: wait on the
+                // transitive reduction of the final operand's DAG (kept on
+                // the plan for simulation reuse).
+                let reduced = approximate_transitive_reduction(&final_dag);
+                let executor = AsyncExecutor::from_compiled(Arc::clone(&compiled), &reduced);
+                sync_dag = Some(reduced);
+                Box::new(executor)
+            }
+        };
+        Ok(SolvePlan { matrix, to_internal, schedule, compiled, model, sync_dag, executor })
     }
 
     /// The schedule driving the executor (internal numbering).
@@ -341,6 +386,16 @@ impl SolvePlan {
     /// The compiled execution layout.
     pub fn compiled(&self) -> &CompiledSchedule {
         &self.compiled
+    }
+
+    /// The execution model the plan runs under.
+    pub fn exec_model(&self) -> ExecModel {
+        self.model
+    }
+
+    /// The execution engine `solve_into`/`solve_multi` dispatch through.
+    pub fn executor(&self) -> &dyn Executor {
+        self.executor.as_ref()
     }
 
     /// The internal (possibly permuted) lower-triangular operand.
@@ -392,12 +447,20 @@ impl SolvePlan {
             pb[new * r..(new + 1) * r].copy_from_slice(&b[old * r..(old + 1) * r]);
         }
         let mut px = vec![0.0; n * r];
-        self.multi.solve(&self.matrix, &pb, &mut px, r);
+        self.executor.solve_multi(&self.matrix, &pb, &mut px, r);
         let mut x = vec![0.0; n * r];
         for (new, &old) in self.to_internal.old_of_new().iter().enumerate() {
             x[old * r..(old + 1) * r].copy_from_slice(&px[new * r..(new + 1) * r]);
         }
         x
+    }
+
+    /// Simulates this plan's execution on a machine profile, under the
+    /// plan's execution model, reusing the plan's shared compiled layout
+    /// and (for async plans) the executor's reduced synchronization DAG —
+    /// no per-call re-compilation or re-reduction.
+    pub fn simulate(&self, profile: &MachineProfile) -> SimReport {
+        simulate_model(&self.matrix, &self.compiled, self.model, self.sync_dag.as_ref(), profile)
     }
 }
 
@@ -508,6 +571,45 @@ mod tests {
             PlanBuilder::new(&l).scheduler("growlocal:bogus=1").build(),
             Err(PlanError::Registry(_))
         ));
+        assert!(matches!(
+            PlanBuilder::new(&l).scheduler("growlocal@warp").build(),
+            Err(PlanError::Registry(RegistryError::UnknownModel { .. }))
+        ));
+    }
+
+    #[test]
+    fn execution_model_resolution() {
+        let l = lower();
+        // Registry default: growlocal -> barrier, spmp -> async.
+        let plan = PlanBuilder::new(&l).cores(2).build().unwrap();
+        assert_eq!(plan.exec_model(), ExecModel::Barrier);
+        assert_eq!(plan.executor().model(), ExecModel::Barrier);
+        let plan = PlanBuilder::new(&l).scheduler("spmp").cores(2).build().unwrap();
+        assert_eq!(plan.exec_model(), ExecModel::Async);
+        // Spec suffix selects the model.
+        let plan = PlanBuilder::new(&l).scheduler("growlocal@serial").cores(2).build().unwrap();
+        assert_eq!(plan.exec_model(), ExecModel::Serial);
+        // The typed knob overrides the suffix.
+        let plan = PlanBuilder::new(&l)
+            .scheduler("growlocal@serial")
+            .execution(ExecModel::Async)
+            .cores(2)
+            .build()
+            .unwrap();
+        assert_eq!(plan.exec_model(), ExecModel::Async);
+        assert_eq!(plan.executor().model(), ExecModel::Async);
+    }
+
+    #[test]
+    fn all_execution_models_solve_identically() {
+        let l = lower();
+        let n = l.n_rows();
+        let b: Vec<f64> = (0..n).map(|i| ((i * 5) % 11) as f64 - 4.0).collect();
+        let reference = PlanBuilder::new(&l).cores(3).build().unwrap().solve(&b);
+        for model in ExecModel::ALL {
+            let plan = PlanBuilder::new(&l).cores(3).execution(model).build().unwrap();
+            assert_eq!(plan.solve(&b), reference, "{model} diverged");
+        }
     }
 
     #[test]
@@ -515,15 +617,17 @@ mod tests {
         let l = lower();
         let n = l.n_rows();
         let r = 3;
-        let plan = SolvePlan::new(&l, Orientation::Lower, &GrowLocal::new(), 2, true).unwrap();
-        let b: Vec<f64> = (0..n * r).map(|i| (i as f64 * 0.17).cos()).collect();
-        let x = plan.solve_multi(&b, r);
-        // Check each column against the single-RHS path.
-        for j in 0..r {
-            let bj: Vec<f64> = (0..n).map(|i| b[i * r + j]).collect();
-            let xj = plan.solve(&bj);
-            for i in 0..n {
-                assert!((x[i * r + j] - xj[i]).abs() < 1e-12);
+        for model in ExecModel::ALL {
+            let plan = PlanBuilder::new(&l).cores(2).execution(model).build().unwrap();
+            let b: Vec<f64> = (0..n * r).map(|i| (i as f64 * 0.17).cos()).collect();
+            let x = plan.solve_multi(&b, r);
+            // Check each column against the single-RHS path.
+            for j in 0..r {
+                let bj: Vec<f64> = (0..n).map(|i| b[i * r + j]).collect();
+                let xj = plan.solve(&bj);
+                for i in 0..n {
+                    assert!((x[i * r + j] - xj[i]).abs() < 1e-12, "{model} col {j} row {i}");
+                }
             }
         }
     }
@@ -552,21 +656,24 @@ mod tests {
         {
             for coarsen in [false, true] {
                 for reorder in [false, true] {
-                    let plan = PlanBuilder::new(&l)
-                        .scheduler("growlocal")
-                        .cores(3)
-                        .pre_order(pre_order)
-                        .coarsen(coarsen)
-                        .reorder(reorder)
-                        .build()
-                        .unwrap_or_else(|e| {
-                            panic!("{pre_order:?}/coarsen={coarsen}/reorder={reorder}: {e}")
-                        });
-                    let x = plan.solve(&b);
-                    assert!(
-                        relative_residual(&l, &x, &b) < 1e-12,
-                        "{pre_order:?}/coarsen={coarsen}/reorder={reorder}"
-                    );
+                    for model in ExecModel::ALL {
+                        let plan = PlanBuilder::new(&l)
+                            .scheduler("growlocal")
+                            .cores(3)
+                            .pre_order(pre_order)
+                            .coarsen(coarsen)
+                            .reorder(reorder)
+                            .execution(model)
+                            .build()
+                            .unwrap_or_else(|e| {
+                                panic!("{pre_order:?}/{coarsen}/{reorder}/{model}: {e}")
+                            });
+                        let x = plan.solve(&b);
+                        assert!(
+                            relative_residual(&l, &x, &b) < 1e-12,
+                            "{pre_order:?}/coarsen={coarsen}/reorder={reorder}/{model}"
+                        );
+                    }
                 }
             }
         }
@@ -596,5 +703,23 @@ mod tests {
         let b: Vec<f64> = (0..n).map(|i| ((i % 13) as f64) - 6.0).collect();
         let x = plan.solve(&b);
         assert!(relative_residual(&u, &x, &b) < 1e-12);
+    }
+
+    #[test]
+    fn plan_simulation_routes_by_model() {
+        let l = lower();
+        let profile = MachineProfile::intel_xeon_22();
+        let barrier = PlanBuilder::new(&l).cores(4).build().unwrap();
+        let report = barrier.simulate(&profile);
+        assert!(report.cycles > 0.0);
+        // Deterministic and reusing the shared layout.
+        assert_eq!(report, barrier.simulate(&profile));
+        // Same schedule, no barriers in the async model's report.
+        let asynchronous =
+            PlanBuilder::new(&l).cores(4).execution(ExecModel::Async).build().unwrap();
+        let areport = asynchronous.simulate(&profile);
+        assert!(areport.cycles > 0.0);
+        let serial = PlanBuilder::new(&l).cores(4).execution(ExecModel::Serial).build().unwrap();
+        assert_eq!(serial.simulate(&profile).sync_cycles, 0.0);
     }
 }

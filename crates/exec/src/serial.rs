@@ -1,5 +1,9 @@
-//! Serial forward and backward substitution (§2.2, equation (2.1)).
+//! Serial forward and backward substitution (§2.2, equation (2.1)), plus
+//! the [`SerialExecutor`] that exposes the reference kernel through the
+//! [`Executor`] trait (`@serial` in the registry's spec grammar).
 
+use crate::executor::Executor;
+use sptrsv_core::registry::ExecModel;
 use sptrsv_sparse::CsrMatrix;
 
 /// Solves `L x = b` for a lower-triangular `L` by forward substitution.
@@ -41,6 +45,27 @@ pub fn solve_upper_serial(u: &CsrMatrix, b: &[f64], x: &mut [f64]) {
             acc -= v * x[c];
         }
         x[i] = acc / vals[0];
+    }
+}
+
+/// The reference kernel as an [`Executor`]: rows in natural (vertex) order,
+/// single-threaded. A plan's schedule is ignored at execution time — the
+/// natural order of a lower-triangular operand is always topological — which
+/// makes this the executor of choice for debugging and for operands whose
+/// DAG has no parallelism worth threads.
+pub struct SerialExecutor;
+
+impl Executor for SerialExecutor {
+    fn model(&self) -> ExecModel {
+        ExecModel::Serial
+    }
+
+    fn solve(&self, l: &CsrMatrix, b: &[f64], x: &mut [f64]) {
+        solve_lower_serial(l, b, x);
+    }
+
+    fn solve_multi(&self, l: &CsrMatrix, b: &[f64], x: &mut [f64], r: usize) {
+        crate::multi::solve_lower_multi_serial(l, b, x, r);
     }
 }
 

@@ -19,7 +19,9 @@
 //! numbers are model units; only relative shapes are meaningful, as the
 //! reproduction brief allows.
 
-use sptrsv_core::{CompiledSchedule, Schedule};
+use sptrsv_core::registry::ExecModel;
+use sptrsv_core::CompiledSchedule;
+use sptrsv_dag::transitive::approximate_transitive_reduction;
 use sptrsv_dag::SolveDag;
 use sptrsv_sparse::CsrMatrix;
 use std::collections::{HashMap, VecDeque};
@@ -235,6 +237,40 @@ fn row_cost(
     cost
 }
 
+/// Routes a compiled schedule to the simulator matching `model` — the one
+/// place the [`ExecModel`]-to-simulator mapping lives (the CLI, the bench
+/// harness, the examples and [`crate::plan::SolvePlan::simulate`] all call
+/// this).
+///
+/// Asynchronous execution waits on `sync_dag` when given (callers that
+/// already hold the reduced DAG — e.g. a plan's cached copy — pass it to
+/// avoid rebuilding); with `None` the approximate transitive reduction of
+/// `matrix`'s solve DAG is built here.
+pub fn simulate_model(
+    matrix: &CsrMatrix,
+    compiled: &CompiledSchedule,
+    model: ExecModel,
+    sync_dag: Option<&SolveDag>,
+    profile: &MachineProfile,
+) -> SimReport {
+    match model {
+        ExecModel::Barrier => simulate_barrier(matrix, compiled, profile),
+        ExecModel::Serial => simulate_serial(matrix, profile),
+        ExecModel::Async => {
+            let built;
+            let sync = match sync_dag {
+                Some(dag) => dag,
+                None => {
+                    built =
+                        approximate_transitive_reduction(&SolveDag::from_lower_triangular(matrix));
+                    &built
+                }
+            };
+            simulate_async(matrix, compiled, sync, profile)
+        }
+    }
+}
+
 /// Simulates a serial execution (one core, no synchronization).
 pub fn simulate_serial(matrix: &CsrMatrix, profile: &MachineProfile) -> SimReport {
     let mut cache = LruCache::new(profile.cache_lines);
@@ -247,18 +283,20 @@ pub fn simulate_serial(matrix: &CsrMatrix, profile: &MachineProfile) -> SimRepor
     SimReport { cycles: compute, compute_cycles: compute, sync_cycles: 0.0, cache_misses: misses }
 }
 
-/// Simulates a barrier (BSP) execution of a schedule.
+/// Simulates a barrier (BSP) execution of a compiled schedule.
 ///
 /// Per superstep the makespan is the maximum per-core time; one barrier is
 /// charged between consecutive supersteps. Each core keeps a private cache
-/// that persists across supersteps.
+/// that persists across supersteps. Taking the [`CompiledSchedule`] lets
+/// repeated simulations of one plan reuse the plan's own compiled layout
+/// (see [`crate::plan::SolvePlan::simulate`]) instead of rebuilding it per
+/// call.
 pub fn simulate_barrier(
     matrix: &CsrMatrix,
-    schedule: &Schedule,
+    compiled: &CompiledSchedule,
     profile: &MachineProfile,
 ) -> SimReport {
-    let k = schedule.n_cores().min(profile.max_cores);
-    let compiled = CompiledSchedule::from_schedule(schedule);
+    let k = compiled.n_cores().min(profile.max_cores);
     let mut caches: Vec<LruCache> = (0..k).map(|_| LruCache::new(profile.cache_lines)).collect();
     let mut directory = CoherenceDirectory::default();
     let mut misses = 0u64;
@@ -274,7 +312,7 @@ pub fn simulate_barrier(
             for &v in cell {
                 t += row_cost(
                     matrix,
-                    v,
+                    v as usize,
                     p,
                     &mut caches[p],
                     &mut directory,
@@ -287,7 +325,7 @@ pub fn simulate_barrier(
         }
         compute += step_max;
     }
-    sync += profile.barrier_cycles * schedule.n_barriers() as f64;
+    sync += profile.barrier_cycles * compiled.n_barriers() as f64;
     SimReport {
         cycles: compute + sync,
         compute_cycles: compute,
@@ -298,17 +336,19 @@ pub fn simulate_barrier(
 
 /// Simulates an asynchronous (point-to-point) execution, SpMP-style.
 ///
-/// Every core walks its schedule-ordered vertex list; a vertex starts at the
-/// maximum of its core's clock and the finish times of its cross-core
-/// parents in `sync_dag` (plus a per-wait check overhead). No barriers.
+/// Every core walks its cells of the compiled schedule in order; a vertex
+/// starts at the maximum of its core's clock and the finish times of its
+/// cross-core parents in `sync_dag` (plus a per-wait check overhead). No
+/// barriers. Like [`simulate_barrier`], the compiled layout is taken by
+/// reference so plan-based callers reuse their shared `Arc`.
 pub fn simulate_async(
     matrix: &CsrMatrix,
-    schedule: &Schedule,
+    compiled: &CompiledSchedule,
     sync_dag: &SolveDag,
     profile: &MachineProfile,
 ) -> SimReport {
     let n = matrix.n_rows();
-    let k = schedule.n_cores().min(profile.max_cores);
+    let k = compiled.n_cores().min(profile.max_cores);
     let mut caches: Vec<LruCache> = (0..k).map(|_| LruCache::new(profile.cache_lines)).collect();
     let mut directory = CoherenceDirectory::default();
     let mut finish = vec![0.0f64; n];
@@ -316,17 +356,18 @@ pub fn simulate_async(
     let mut misses = 0u64;
     let mut sync = 0.0;
     let bw = profile.bandwidth_factor(k);
+    let core_of = compiled.core_assignment();
     // Processing cells in (superstep, core) order is consistent with each
     // core's own program order and guarantees parents are processed first
     // (same-step parents share the core and precede in ID order).
-    let compiled = CompiledSchedule::from_schedule(schedule);
     for step in 0..compiled.n_supersteps() {
         for (p, cell) in compiled.step_cells(step).enumerate() {
             let p = p.min(k - 1);
             for &v in cell {
+                let v = v as usize;
                 let mut start = core_time[p];
                 for &u in sync_dag.parents(v) {
-                    if schedule.core_of(u).min(k - 1) != p {
+                    if (core_of[u] as usize).min(k - 1) != p {
                         if finish[u] > start {
                             // Actually waiting: idle until the producer
                             // finishes, plus the flag-propagation latency.
@@ -416,7 +457,7 @@ mod tests {
         let (l, dag) = grid_problem(60, 60);
         let p = MachineProfile::intel_xeon_22();
         let serial = simulate_serial(&l, &p);
-        let s = GrowLocal::new().schedule(&dag, 8);
+        let s = CompiledSchedule::from_schedule(&GrowLocal::new().schedule(&dag, 8));
         let par = simulate_barrier(&l, &s, &p);
         assert!(par.speedup_over(&serial) > 1.5, "speedup {} too low", par.speedup_over(&serial));
     }
@@ -428,8 +469,16 @@ mod tests {
         // reflect the paper's core claim.
         let (l, dag) = grid_problem(40, 40);
         let p = MachineProfile::intel_xeon_22();
-        let gl = simulate_barrier(&l, &GrowLocal::new().schedule(&dag, 8), &p);
-        let wf = simulate_barrier(&l, &WavefrontScheduler.schedule(&dag, 8), &p);
+        let gl = simulate_barrier(
+            &l,
+            &CompiledSchedule::from_schedule(&GrowLocal::new().schedule(&dag, 8)),
+            &p,
+        );
+        let wf = simulate_barrier(
+            &l,
+            &CompiledSchedule::from_schedule(&WavefrontScheduler.schedule(&dag, 8)),
+            &p,
+        );
         assert!(gl.cycles < wf.cycles, "GrowLocal {} vs wavefront {} cycles", gl.cycles, wf.cycles);
     }
 
@@ -437,7 +486,7 @@ mod tests {
     fn async_mode_avoids_barrier_costs() {
         let (l, dag) = grid_problem(30, 30);
         let p = MachineProfile::intel_xeon_22();
-        let s = SpMp.schedule(&dag, 8);
+        let s = CompiledSchedule::from_schedule(&SpMp.schedule(&dag, 8));
         let reduced = SpMp.reduced_dag(&dag);
         let barrier = simulate_barrier(&l, &s, &p);
         let asynchronous = simulate_async(&l, &s, &reduced, &p);
@@ -453,7 +502,7 @@ mod tests {
     fn reports_are_deterministic() {
         let (l, dag) = grid_problem(15, 15);
         let p = MachineProfile::kunpeng_920_48();
-        let s = GrowLocal::new().schedule(&dag, 4);
+        let s = CompiledSchedule::from_schedule(&GrowLocal::new().schedule(&dag, 4));
         assert_eq!(simulate_barrier(&l, &s, &p), simulate_barrier(&l, &s, &p));
     }
 }

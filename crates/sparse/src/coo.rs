@@ -1,7 +1,7 @@
 //! Coordinate (triplet) format used for matrix assembly.
 //!
 //! The COO format is the natural target of generators and file readers; it is
-//! converted to [`CsrMatrix`](crate::CsrMatrix) before any numerical work.
+//! converted to [`CsrMatrix`] before any numerical work.
 //! Duplicate entries are summed on conversion, matching the usual
 //! finite-element assembly semantics.
 

@@ -90,10 +90,12 @@ fn main() {
     }
     println!("{solves} parallel triangular solves executed with one compiled plan");
 
-    // Amortization: modeled gain per solve vs measured planning cost.
+    // Amortization: modeled gain per solve vs measured planning cost
+    // (`plan.simulate` runs the machine model on the plan's own compiled
+    // layout, under the plan's execution model).
     let profile = MachineProfile::intel_xeon_22();
     let serial = simulate_serial(&m, &profile);
-    let par = simulate_barrier(plan.internal_matrix(), plan.schedule(), &profile);
+    let par = plan.simulate(&profile);
     let gain_cycles = serial.cycles - par.cycles;
     if gain_cycles > 0.0 {
         let sched_cycles = sched_time.as_secs_f64() * 2.5e9;

@@ -101,9 +101,10 @@ fn main() {
     );
 
     // How many solves pay off the scheduling time? (Table 7.6's question.)
+    // `simulate` runs the machine model on the plan's shared compiled layout.
     let profile = MachineProfile::intel_xeon_22();
     let serial = simulate_serial(&l, &profile);
-    let par = simulate_barrier(forward.internal_matrix(), forward.schedule(), &profile);
+    let par = forward.simulate(&profile);
     println!(
         "modeled per-solve speed-up {:.2}x on {} ({} supersteps)",
         par.speedup_over(&serial),

@@ -13,7 +13,7 @@
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use sptrsv::core::registry;
+use sptrsv::core::{registry, CompiledSchedule};
 use sptrsv::exec::PlanBuilder;
 use sptrsv::prelude::*;
 
@@ -71,7 +71,8 @@ fn main() {
     //    so speed-ups are reported by the calibrated machine model).
     let profile = MachineProfile::intel_xeon_22();
     let serial = simulate_serial(&l, &profile);
-    let parallel = simulate_barrier(&reordered.matrix, &reordered.schedule, &profile);
+    let compiled = CompiledSchedule::from_schedule(&reordered.schedule);
+    let parallel = simulate_barrier(&reordered.matrix, &compiled, &profile);
     println!(
         "modeled speed-up over serial on {}: {:.2}x",
         profile.name,
@@ -80,12 +81,16 @@ fn main() {
 
     // 7. Steps 3–5 in one call: the PlanBuilder composes scheduling,
     //    reordering and executor compilation; `solve_into` + a workspace
-    //    makes repeated solves allocation-free.
+    //    makes repeated solves allocation-free. The `@model` spec suffix
+    //    picks the execution model (try "growlocal@async") and
+    //    `plan.simulate` reuses the plan's own compiled layout.
     let plan = PlanBuilder::new(&l).scheduler("growlocal").cores(8).build().expect("valid plan");
     let mut x2 = vec![0.0; n];
     let mut workspace = plan.workspace();
     plan.solve_into(&b, &mut x2, &mut workspace);
     let deviation = sptrsv::exec::verify::deviation_from_serial(&l, &b, &x2);
-    println!("PlanBuilder path deviation: {deviation:.3e}");
+    println!("PlanBuilder path ({} execution) deviation: {deviation:.3e}", plan.exec_model());
     assert!(deviation < 1e-10);
+    let report = plan.simulate(&profile);
+    println!("plan.simulate speed-up: {:.2}x", report.speedup_over(&serial));
 }

@@ -13,28 +13,30 @@
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use sptrsv::core::registry;
+use sptrsv::core::registry::{self, ExecModel};
+use sptrsv::core::CompiledSchedule;
 use sptrsv::prelude::*;
 
-fn describe(name: &str, dag: &SolveDag, matrix: &CsrMatrix, schedule: &sptrsv::core::Schedule) {
-    schedule.validate(dag).expect("schedule must be valid");
-    let stats = schedule.stats(dag);
+/// Resolves a spec, schedules, simulates under the spec's execution model,
+/// and prints the summary line — the full `name:key=value@model` grammar in
+/// one helper.
+fn run_spec(spec: &str, dag: &SolveDag, matrix: &CsrMatrix, k: usize) {
+    let parsed = spec.parse().expect("spec follows the grammar");
+    let model = registry::resolve_model(&parsed).expect("model is supported");
+    let sched = registry::build(&parsed, dag, k).expect("spec is registered");
+    let s = sched.schedule(dag, k);
+    s.validate(dag).expect("schedule must be valid");
+    let stats = s.stats(dag);
     let profile = MachineProfile::intel_xeon_22();
     let serial = simulate_serial(matrix, &profile);
-    let par = simulate_barrier(matrix, schedule, &profile);
+    let compiled = CompiledSchedule::from_schedule(&s);
+    let par = sptrsv::exec::simulate_model(matrix, &compiled, model, None, &profile);
     println!(
-        "{name:<34} supersteps {:>6}  imbalance {:>5.2}  modeled speed-up {:>5.2}x",
-        schedule.n_supersteps(),
+        "{spec:<38} supersteps {:>6}  imbalance {:>5.2}  modeled speed-up {:>5.2}x",
+        s.n_supersteps(),
         stats.average_imbalance(),
         par.speedup_over(&serial)
     );
-}
-
-/// Resolves a spec, schedules, and prints the summary line.
-fn run_spec(spec: &str, dag: &SolveDag, matrix: &CsrMatrix, k: usize) {
-    let sched = registry::resolve(spec, dag, k).expect("spec is registered");
-    let s = sched.schedule(dag, k);
-    describe(spec, dag, matrix, &s);
 }
 
 fn main() {
@@ -62,6 +64,16 @@ fn main() {
     println!("\n-- vertex-selection rule (Rule I ablation) --");
     for priority in ["rule1", "id-only"] {
         run_spec(&format!("growlocal:priority={priority}"), &dag, &l, k);
+    }
+
+    println!("\n-- execution models (the @model spec dimension) --");
+    for model in ExecModel::ALL {
+        run_spec(&format!("growlocal@{model}"), &dag, &l, k);
+    }
+
+    println!("\n-- nested scopes: tuning funnel-gl's inner GrowLocal --");
+    for alpha in [4u64, 20, 80] {
+        run_spec(&format!("funnel-gl:cap=auto,gl.alpha={alpha}"), &dag, &l, k);
     }
 
     println!("\n-- all registered schedulers (defaults) --");

@@ -7,9 +7,10 @@
 //! `sptrsv_core::registry::list()` — there is no hand-rolled list to drift.
 
 use sptrsv::core::registry;
+use sptrsv::core::CompiledSchedule;
 use sptrsv::exec::async_exec::AsyncExecutor;
 use sptrsv::exec::verify::deviation_from_serial;
-use sptrsv::exec::{MultiRhsExecutor, PlanBuilder};
+use sptrsv::exec::{ExecModel, MultiRhsExecutor, PlanBuilder};
 use sptrsv::prelude::*;
 
 #[test]
@@ -64,10 +65,104 @@ fn all_executors_agree_through_the_compiled_schedule() {
     assert_eq!(x_barrier, x_async, "async executor diverged from barrier executor");
     // Simulator runs the same cells; determinism pins the traversal.
     let profile = MachineProfile::intel_xeon_22();
+    let compiled = CompiledSchedule::from_schedule(&schedule);
     assert_eq!(
-        simulate_barrier(&ds.lower, &schedule, &profile),
-        simulate_barrier(&ds.lower, &schedule, &profile)
+        simulate_barrier(&ds.lower, &compiled, &profile),
+        simulate_barrier(&ds.lower, &compiled, &profile)
     );
+}
+
+#[test]
+fn every_scheduler_model_pair_is_one_spec_string_and_all_models_agree() {
+    // Acceptance check: every (scheduler × supported execution model) pair
+    // of `registry::list()` is reachable through a single spec string via
+    // `PlanBuilder`, and on the same problem all execution models of one
+    // scheduler produce the identical solution (the executors share the
+    // per-row arithmetic, so agreement is bitwise).
+    let suite = load_suite(SuiteKind::SuiteSparse, Scale::Test, 11);
+    let ds = &suite[0];
+    let n = ds.lower.n_rows();
+    let b: Vec<f64> = (0..n).map(|i| ((i * 29) % 31) as f64 / 7.0 - 2.0).collect();
+    for info in registry::list() {
+        let mut reference: Option<Vec<f64>> = None;
+        for &model in info.exec_models {
+            let spec = format!("{}@{model}", info.name);
+            let plan = PlanBuilder::new(&ds.lower)
+                .scheduler(&spec)
+                .cores(4)
+                .build()
+                .unwrap_or_else(|e| panic!("`{spec}`: {e}"));
+            assert_eq!(plan.exec_model(), model, "`{spec}` resolved the wrong model");
+            assert_eq!(plan.executor().model(), model);
+            let x = plan.solve(&b);
+            assert!(
+                deviation_from_serial(&ds.lower, &b, &x) < 1e-10,
+                "`{spec}` diverged from serial"
+            );
+            // Multi-RHS goes through the same trait object.
+            let bm: Vec<f64> = b.iter().flat_map(|&v| [v, -v]).collect();
+            let xm = plan.solve_multi(&bm, 2);
+            for i in 0..n {
+                assert_eq!(xm[2 * i], x[i], "`{spec}` multi-RHS column 0 differs at {i}");
+            }
+            match &reference {
+                None => reference = Some(x),
+                Some(r) => assert_eq!(&x, r, "`{spec}` differs from {}'s first model", info.name),
+            }
+        }
+    }
+}
+
+#[test]
+fn nested_scope_changes_the_inner_schedule_through_the_plan() {
+    // `funnel-gl:gl.alpha=…` must demonstrably change the inner GrowLocal's
+    // schedule, end to end through PlanBuilder.
+    let suite = load_suite(SuiteKind::SuiteSparse, Scale::Test, 4);
+    let ds = &suite[0];
+    let n = ds.lower.n_rows();
+    let base = PlanBuilder::new(&ds.lower)
+        .scheduler("funnel-gl:cap=16")
+        .cores(4)
+        .build()
+        .expect("valid plan");
+    let tuned = PlanBuilder::new(&ds.lower)
+        .scheduler("funnel-gl:cap=16,gl.alpha=1,gl.growth=1.01,gl.sync=0")
+        .cores(4)
+        .build()
+        .expect("valid plan");
+    assert_ne!(
+        base.schedule(),
+        tuned.schedule(),
+        "gl.* overrides did not change the inner schedule"
+    );
+    // Both remain correct solvers.
+    let b: Vec<f64> = (0..n).map(|i| 1.0 + (i % 7) as f64).collect();
+    for plan in [&base, &tuned] {
+        assert!(deviation_from_serial(&ds.lower, &b, &plan.solve(&b)) < 1e-10);
+    }
+}
+
+#[test]
+fn exec_model_knob_and_spec_suffix_agree() {
+    let suite = load_suite(SuiteKind::SuiteSparse, Scale::Test, 12);
+    let ds = &suite[0];
+    let n = ds.lower.n_rows();
+    let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.19).sin()).collect();
+    for model in ExecModel::ALL {
+        let via_spec = PlanBuilder::new(&ds.lower)
+            .scheduler(format!("growlocal@{model}"))
+            .cores(3)
+            .build()
+            .unwrap();
+        let via_knob = PlanBuilder::new(&ds.lower)
+            .scheduler("growlocal")
+            .execution(model)
+            .cores(3)
+            .build()
+            .unwrap();
+        assert_eq!(via_spec.exec_model(), via_knob.exec_model());
+        assert_eq!(via_spec.solve(&b), via_knob.solve(&b), "{model}");
+    }
 }
 
 #[test]

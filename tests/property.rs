@@ -15,7 +15,7 @@
 use proptest::prelude::*;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use sptrsv::core::registry;
+use sptrsv::core::registry::{self, ExecModel, RegistryError, SchedulerSpec};
 use sptrsv::core::CompiledSchedule;
 use sptrsv::dag::coarsen::{coarsen, funnel_partition, is_funnel, FunnelDirection, FunnelOptions};
 use sptrsv::dag::{is_acyclic, transitive::approximate_transitive_reduction};
@@ -65,8 +65,8 @@ fn assert_registry_conformance(dag: &SolveDag, cores: usize) -> Result<(), TestC
             // The flat order is a permutation of all vertices.
             let mut seen = vec![false; dag.n()];
             for &v in compiled.vertex_order() {
-                prop_assert!(!seen[v], "vertex {v} appears twice in the compiled order");
-                seen[v] = true;
+                prop_assert!(!seen[v as usize], "vertex {v} appears twice in the compiled order");
+                seen[v as usize] = true;
             }
             prop_assert!(seen.iter().all(|&x| x), "compiled order misses vertices");
         }
@@ -76,6 +76,73 @@ fn assert_registry_conformance(dag: &SolveDag, cores: usize) -> Result<(), TestC
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
+
+    // v2 grammar conformance: random specs assembled from every registry
+    // entry's declared parameters (nested `gl.` scopes included) and an
+    // optional `@model` suffix must round-trip parse → `Display` → parse
+    // to the identical spec, and build whenever the model is supported.
+    #[test]
+    fn v2_spec_grammar_round_trips_over_the_registry(
+        entry_pick in any::<u64>(),
+        param_mask in any::<u64>(),
+        model_pick in 0u64..4,
+    ) {
+        let entries = registry::list();
+        let entry = &entries[(entry_pick % entries.len() as u64) as usize];
+        let mut spec = SchedulerSpec::new(entry.name);
+        for (i, p) in entry.params.iter().enumerate() {
+            if param_mask & (1 << (i % 64)) != 0 {
+                spec = spec.with(p.key, p.default);
+            }
+        }
+        if model_pick > 0 {
+            spec = spec.with_model(ExecModel::ALL[(model_pick - 1) as usize]);
+        }
+        let text = spec.to_string();
+        let reparsed: SchedulerSpec = text.parse().expect("rendered specs are grammatical");
+        prop_assert_eq!(&reparsed, &spec, "parse(display(spec)) != spec for `{}`", text);
+        prop_assert_eq!(reparsed.to_string(), text);
+        // Resolution consistency: the model resolves iff supported, and the
+        // spec builds a scheduler under that model.
+        let g = SolveDag::from_edges(4, &[(0, 1), (1, 3), (2, 3)], vec![1; 4]);
+        match spec.exec_model() {
+            Some(m) if !entry.exec_models.contains(&m) => {
+                prop_assert!(matches!(
+                    registry::resolve_model(&spec),
+                    Err(RegistryError::UnsupportedModel { .. })
+                ));
+            }
+            _ => {
+                let resolved = registry::resolve_model(&spec).expect("supported model");
+                prop_assert_eq!(resolved, spec.exec_model().unwrap_or(entry.default_model()));
+                prop_assert!(registry::build(&spec, &g, 2).is_ok(), "`{}` failed to build", text);
+            }
+        }
+    }
+
+    // Unknown scopes and unknown models never parse-and-build: scoped keys
+    // outside the declared parameter set are `UnknownParam`, model names
+    // outside `ExecModel::ALL` are `UnknownModel`.
+    #[test]
+    fn v2_spec_unknown_scopes_and_models_rejected(
+        entry_pick in any::<u64>(),
+        scope_pick in 0u64..3,
+    ) {
+        let entries = registry::list();
+        let entry = &entries[(entry_pick % entries.len() as u64) as usize];
+        let scope = ["bogus", "inner", "zz"][(scope_pick % 3) as usize];
+        let g = SolveDag::from_edges(2, &[(0, 1)], vec![1; 2]);
+        let scoped = format!("{}:{scope}.alpha=8", entry.name);
+        prop_assert!(matches!(
+            registry::resolve(&scoped, &g, 2),
+            Err(RegistryError::UnknownParam { .. })
+        ), "`{}` was not rejected", scoped);
+        let bad_model = format!("{}@{scope}", entry.name);
+        prop_assert!(matches!(
+            bad_model.parse::<SchedulerSpec>(),
+            Err(RegistryError::UnknownModel { .. })
+        ), "`{}` was not rejected", bad_model);
+    }
 
     #[test]
     fn registry_conformance_on_erdos_renyi(
