@@ -1,0 +1,123 @@
+//! Bench guard for the persistent worker-pool runtime (this PR's perf
+//! claim, measured rather than asserted).
+//!
+//! Compares **steady-state** parallel solve latency on one plan:
+//!
+//! * **pooled** — the production `BarrierExecutor`: persistent workers,
+//!   parked between solves, woken by the epoch dispatch (after a warm-up
+//!   solve that pays the one-time pool spin-up);
+//! * **scoped-spawn** — the seed implementation verbatim: a full
+//!   `std::thread::scope` spawn/join round-trip plus a `std::sync::Barrier`
+//!   per solve. Kept here (only) as the baseline under measurement.
+//!
+//! The pooled executor must not regress; the gap between the two lines *is*
+//! the per-solve thread-creation overhead the pool removes. Run with
+//! `cargo bench -p sptrsv-bench --bench pool` (or `-- --test` for the CI
+//! smoke, which executes each body once).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sptrsv_core::{CompiledSchedule, GrowLocal, Scheduler};
+use sptrsv_dag::SolveDag;
+use sptrsv_exec::barrier::BarrierExecutor;
+use sptrsv_sparse::gen::grid::{grid2d_laplacian, Stencil2D};
+use sptrsv_sparse::CsrMatrix;
+use std::sync::Barrier;
+
+/// The seed's executor, verbatim: spawn one scoped thread per core on every
+/// solve, synchronize supersteps with `std::sync::Barrier`. Same kernel and
+/// same compiled layout as the pooled executor, so only the thread-lifetime
+/// strategy differs.
+struct ScopedSpawnExecutor {
+    compiled: CompiledSchedule,
+}
+
+#[derive(Clone, Copy)]
+struct SharedX(*mut f64);
+unsafe impl Send for SharedX {}
+unsafe impl Sync for SharedX {}
+
+impl ScopedSpawnExecutor {
+    fn solve(&self, l: &CsrMatrix, b: &[f64], x: &mut [f64]) {
+        let compiled = &self.compiled;
+        let n_cores = compiled.n_cores();
+        let shared = SharedX(x.as_mut_ptr());
+        if n_cores == 1 {
+            run_core(l, b, shared, compiled, 0, None);
+            return;
+        }
+        let barrier = Barrier::new(n_cores);
+        let barrier = &barrier;
+        std::thread::scope(|scope| {
+            for core in 1..n_cores {
+                scope.spawn(move || run_core(l, b, shared, compiled, core, Some(barrier)));
+            }
+            run_core(l, b, shared, compiled, 0, Some(barrier));
+        });
+    }
+}
+
+/// One core's share — identical arithmetic to the production kernel.
+fn run_core(
+    l: &CsrMatrix,
+    b: &[f64],
+    x: SharedX,
+    compiled: &CompiledSchedule,
+    core: usize,
+    barrier: Option<&Barrier>,
+) {
+    for step in 0..compiled.n_supersteps() {
+        for &i in compiled.cell(step, core) {
+            let i = i as usize;
+            let (cols, vals) = l.row(i);
+            let k = cols.len() - 1;
+            let mut acc = b[i];
+            for (&c, &v) in cols[..k].iter().zip(&vals[..k]) {
+                // SAFETY: schedule validity + barrier ordering (the seed's
+                // own safety argument; the schedule is validated below).
+                acc -= v * unsafe { *x.0.add(c) };
+            }
+            // SAFETY: exclusive writer of x[i].
+            unsafe { *x.0.add(i) = acc / vals[k] };
+        }
+        if let Some(barrier) = barrier {
+            barrier.wait();
+        }
+    }
+}
+
+fn bench_pool(c: &mut Criterion) {
+    let l = grid2d_laplacian(128, 128, Stencil2D::FivePoint, 0.5).lower_triangle().expect("square");
+    let n = l.n_rows();
+    let dag = SolveDag::from_lower_triangular(&l);
+    let b_rhs: Vec<f64> = (0..n).map(|i| 1.0 + (i % 5) as f64).collect();
+
+    let mut group = c.benchmark_group("steady_state_solve");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(l.nnz() as u64));
+    for cores in [2usize, 4] {
+        let schedule = GrowLocal::new().schedule(&dag, cores);
+        let pooled = BarrierExecutor::new(&l, &schedule).expect("valid schedule");
+        let spawned = ScopedSpawnExecutor { compiled: CompiledSchedule::from_schedule(&schedule) };
+
+        // Warm-up: materialize the pool outside the measured region (the
+        // one-time spin-up is the cost being amortized) and pin agreement.
+        let mut x_pooled = vec![0.0; n];
+        let mut x_spawned = vec![0.0; n];
+        pooled.solve(&l, &b_rhs, &mut x_pooled);
+        spawned.solve(&l, &b_rhs, &mut x_spawned);
+        assert_eq!(x_pooled, x_spawned, "pooled and scoped-spawn solves diverged");
+
+        group.bench_with_input(BenchmarkId::new("pooled", cores), &l, |bch, l| {
+            let mut x = vec![0.0; n];
+            bch.iter(|| pooled.solve(std::hint::black_box(l), &b_rhs, &mut x));
+        });
+        group.bench_with_input(BenchmarkId::new("scoped_spawn", cores), &l, |bch, l| {
+            let mut x = vec![0.0; n];
+            bch.iter(|| spawned.solve(std::hint::black_box(l), &b_rhs, &mut x));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pool);
+criterion_main!(benches);

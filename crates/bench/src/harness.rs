@@ -7,7 +7,7 @@
 //! execution model resolved from the spec routes the simulation (barrier /
 //! async / serial machine model).
 
-use sptrsv_core::registry::{self, ExecModel, SchedulerSpec};
+use sptrsv_core::registry::{self, ExecModel, SchedulerSpec, SyncPolicy};
 use sptrsv_core::{reorder_for_locality, CompiledSchedule, Schedule};
 use sptrsv_dag::transitive::approximate_transitive_reduction;
 use sptrsv_dag::SolveDag;
@@ -109,6 +109,8 @@ pub fn evaluate(
     let spec: SchedulerSpec =
         pipeline.spec.parse().expect("harness specs follow the registry grammar");
     let model = registry::resolve_model(&spec).expect("harness specs name supported models");
+    let policy =
+        registry::resolve_exec_policy(&spec).expect("harness specs carry valid policy keys");
     let scheduler =
         registry::build(&spec, &dag, n_cores).expect("harness specs name registered schedulers");
     let schedule: Schedule = scheduler.schedule(&dag, n_cores);
@@ -123,19 +125,26 @@ pub fn evaluate(
         (None, schedule)
     };
     let matrix = reordered_matrix.as_ref().unwrap_or(&dataset.lower);
-    // Async execution waits on the reduced DAG of the simulated operand —
+    // Async execution waits on the policy's DAG of the simulated operand —
     // building it is scheduling-preparation work, so it counts toward the
-    // amortization threshold like the schedule itself.
+    // amortization threshold like the schedule itself. Like the plan layer,
+    // ask the scheduler's sync-DAG hook before reducing here.
     let sync_dag = match model {
         ExecModel::Async => {
-            Some(approximate_transitive_reduction(&SolveDag::from_lower_triangular(matrix)))
+            let full = SolveDag::from_lower_triangular(matrix);
+            Some(match policy.sync {
+                SyncPolicy::Full => full,
+                SyncPolicy::Reduced => scheduler
+                    .sync_dag(&full)
+                    .unwrap_or_else(|| approximate_transitive_reduction(&full)),
+            })
         }
         ExecModel::Barrier | ExecModel::Serial => None,
     };
     let sched_seconds = started.elapsed().as_secs_f64();
 
     let compiled = CompiledSchedule::from_schedule(&schedule);
-    let sim = simulate_model(matrix, &compiled, model, sync_dag.as_ref(), profile);
+    let sim = simulate_model(matrix, &compiled, model, sync_dag.as_ref(), profile, policy);
     EvalOutcome {
         algo: pipeline.label.clone(),
         dataset: dataset.name.clone(),

@@ -34,13 +34,18 @@ commands:
   schedule <file.mtx> [--algo SPEC] [--cores K] [-o <file.sched>]
   solve    <file.mtx> [--algo SPEC] [--cores K] [--no-reorder true]
            [--pre-order rcm|min-degree|nested-dissection] [--coarsen true]
+           [--repeat N]
   simulate <file.mtx> [--algo SPEC] [--cores K] [--machine intel|amd|arm]
 
 --algo takes a scheduler spec in the grammar name[:key=value,...][@model]:
 a name from `sptrsv algos`, optional parameters (scoped keys like gl.alpha
-reach a composite scheduler's inner GrowLocal) and an optional execution
-model, e.g. growlocal:alpha=8,sync=2000, funnel-gl:gl.alpha=8,cap=auto or
-growlocal@async";
+reach a composite scheduler's inner GrowLocal; sync=full|reduced and
+backoff=spin|yield address the execution policy on any scheduler) and an
+optional execution model, e.g. growlocal:alpha=8,sync=2000,
+funnel-gl:gl.alpha=8,cap=auto, growlocal:sync=full@async or spmp:backoff=yield.
+--repeat N runs N steady-state solves on one plan (the persistent worker
+pool dispatches without re-spawning threads) and checks they are
+bit-identical.";
 
 /// Dispatches a full argv (after the program name).
 pub fn dispatch(argv: &[String]) -> Result<(), String> {
@@ -195,6 +200,10 @@ fn solve(args: &Args) -> Result<(), String> {
     // `--coarsen false` must not silently enable coarsening.
     let reorder = !args.get_parse("no-reorder", false)?;
     let coarsen = args.get_parse("coarsen", false)?;
+    let repeat: usize = args.get_parse("repeat", 1)?;
+    if repeat == 0 {
+        return Err("--repeat needs at least one solve".into());
+    }
     let pre_order = match args.get("pre-order") {
         None | Some("natural") => PreOrder::Natural,
         Some("rcm") => PreOrder::Rcm,
@@ -217,12 +226,38 @@ fn solve(args: &Args) -> Result<(), String> {
     let mut workspace = plan.workspace();
     let started = std::time::Instant::now();
     plan.solve_into(&b, &mut x, &mut workspace);
-    let elapsed = started.elapsed();
+    let first_elapsed = started.elapsed();
     let residual = relative_residual(&lower, &x, &b);
     println!("algorithm:         {algo}");
     println!("execution model:   {}", plan.exec_model());
+    println!(
+        "execution policy:  sync={} backoff={}",
+        plan.exec_policy().sync,
+        plan.exec_policy().backoff
+    );
     println!("supersteps:        {}", plan.schedule().n_supersteps());
-    println!("solve wall time:   {:.3} ms", elapsed.as_secs_f64() * 1e3);
+    println!(
+        "solve wall time:   {:.3} ms (first solve, pool spin-up included)",
+        first_elapsed.as_secs_f64() * 1e3
+    );
+    if repeat > 1 {
+        // Steady state: the plan's worker pool is warm, buffers are
+        // allocated — repeated solves must be bit-identical to the first.
+        let reference = x.clone();
+        let started = std::time::Instant::now();
+        for round in 1..repeat {
+            plan.solve_into(&b, &mut x, &mut workspace);
+            if x != reference {
+                return Err(format!("solve {round} of {repeat} diverged bitwise — nondeterminism"));
+            }
+        }
+        let per_solve = started.elapsed().as_secs_f64() / (repeat - 1) as f64;
+        println!(
+            "steady-state:      {:.3} ms/solve over {} pooled solves (bit-identical)",
+            per_solve * 1e3,
+            repeat - 1
+        );
+    }
     println!("relative residual: {residual:.3e}");
     if residual > 1e-8 {
         return Err("residual too large — solve failed".into());
@@ -244,14 +279,16 @@ fn simulate(args: &Args) -> Result<(), String> {
     let dag = SolveDag::from_lower_triangular(&lower);
     let spec: SchedulerSpec = algo.parse().map_err(|e: registry::RegistryError| e.to_string())?;
     let model = registry::resolve_model(&spec).map_err(|e| e.to_string())?;
+    let policy = registry::resolve_exec_policy(&spec).map_err(|e| e.to_string())?;
     let sched = registry::build(&spec, &dag, cores).map_err(|e| e.to_string())?;
     let s = sched.schedule(&dag, cores);
     let compiled = CompiledSchedule::from_schedule(&s);
     let serial = simulate_serial(&lower, &profile);
-    let parallel = simulate_model(&lower, &compiled, model, None, &profile);
+    let parallel = simulate_model(&lower, &compiled, model, None, &profile, policy);
     println!("machine:          {}", profile.name);
     println!("algorithm:        {} (spec: {algo})", sched.name());
     println!("execution model:  {model}");
+    println!("execution policy: sync={} backoff={}", policy.sync, policy.backoff);
     println!("serial cycles:    {:.3e}", serial.cycles);
     println!("parallel cycles:  {:.3e}", parallel.cycles);
     println!("modeled speed-up: {:.2}x", parallel.speedup_over(&serial));
@@ -372,6 +409,28 @@ mod tests {
             "funnel-gl:gl.alpha=8,cap=auto@async",
         ]))
         .unwrap();
+        // Execution-policy keys are spec-addressable on any scheduler…
+        for spec in ["growlocal:sync=full@async", "spmp:backoff=yield@async"] {
+            dispatch(&sv(&["solve", mtx.to_str().unwrap(), "--cores", "2", "--algo", spec]))
+                .unwrap_or_else(|e| panic!("solve --algo {spec}: {e}"));
+            dispatch(&sv(&["simulate", mtx.to_str().unwrap(), "--cores", "4", "--algo", spec]))
+                .unwrap_or_else(|e| panic!("simulate --algo {spec}: {e}"));
+        }
+        // …and repeated pooled solves are bit-stable.
+        dispatch(&sv(&[
+            "solve",
+            mtx.to_str().unwrap(),
+            "--cores",
+            "3",
+            "--algo",
+            "spmp@async",
+            "--repeat",
+            "20",
+        ]))
+        .unwrap();
+        assert!(dispatch(&sv(&["solve", mtx.to_str().unwrap(), "--repeat", "0"])).is_err());
+        assert!(dispatch(&sv(&["solve", mtx.to_str().unwrap(), "--algo", "spmp:backoff=fast"]))
+            .is_err());
         // Unknown models and scopes are rejected with registry errors.
         assert!(
             dispatch(&sv(&["solve", mtx.to_str().unwrap(), "--algo", "growlocal@warp"])).is_err()

@@ -48,7 +48,9 @@ pub use compiled::CompiledSchedule;
 pub use funnel_gl::{auto_part_weight_cap, coarsen_and_schedule, FunnelGrowLocal};
 pub use growlocal::{GrowLocal, GrowLocalParams, VertexPriority};
 pub use hdagg::HDagg;
-pub use registry::{ExecModel, RegistryError, SchedulerInfo, SchedulerSpec};
+pub use registry::{
+    Backoff, ExecModel, ExecPolicy, RegistryError, SchedulerInfo, SchedulerSpec, SyncPolicy,
+};
 pub use reorder::{reorder_for_locality, ReorderedProblem};
 pub use schedule::{Schedule, ScheduleError, ScheduleStats};
 pub use serialize::{read_schedule, read_schedule_file, write_schedule, write_schedule_file};
@@ -68,4 +70,19 @@ pub trait Scheduler {
     /// [`Schedule::validate`] for any acyclic input whose natural vertex
     /// order is topological (true for all matrix-derived DAGs).
     fn schedule(&self, dag: &SolveDag, n_cores: usize) -> Schedule;
+
+    /// The synchronization DAG the scheduler recommends for *asynchronous*
+    /// execution of its schedules on `dag`, or `None` to let the planner
+    /// derive one itself.
+    ///
+    /// Schedulers whose algorithm is built around a sparsified dependency
+    /// graph override this so the planning layer asks them instead of
+    /// re-deriving it — [`SpMp`] returns its approximate transitive
+    /// reduction here, which is how an `spmp@async` plan reduces the DAG
+    /// exactly once. Any returned DAG must preserve the reachability of
+    /// `dag` (the asynchronous executor's safety argument rests on it).
+    fn sync_dag(&self, dag: &SolveDag) -> Option<SolveDag> {
+        let _ = dag;
+        None
+    }
 }

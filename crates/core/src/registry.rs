@@ -22,6 +22,15 @@
 //! omitting it picks the scheduler's default (the first entry of
 //! [`SchedulerInfo::exec_models`]).
 //!
+//! Two keys address the **execution policy** ([`ExecPolicy`]) rather than
+//! the scheduler, and are accepted on every spec: `sync=full|reduced`
+//! selects the wait DAG of asynchronous execution and `backoff=spin|yield`
+//! the behavior of every threaded wait loop
+//! (`growlocal:sync=full@async`, `spmp:backoff=yield`). They are resolved
+//! by [`resolve_exec_policy`] and stripped before scheduler parameters are
+//! checked; `growlocal`'s own numeric `sync` parameter is unaffected
+//! because the value domains are disjoint.
+//!
 //! [`list`] enumerates every registered scheduler with its parameters,
 //! defaults, supported execution models and description; [`build`]
 //! instantiates a boxed [`Scheduler`] from a parsed spec (some schedulers
@@ -84,6 +93,152 @@ impl FromStr for ExecModel {
             .into_iter()
             .find(|m| m.as_str() == text)
             .ok_or_else(|| RegistryError::UnknownModel { name: text.to_string() })
+    }
+}
+
+/// Which dependency DAG an asynchronous execution waits on — the `sync=`
+/// execution-policy key (the §8 full-vs-reduced exploration).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SyncPolicy {
+    /// Wait on every edge of the solve DAG.
+    Full,
+    /// Wait on the approximate transitive reduction (SpMP-style sparsified
+    /// synchronization; reachability — and hence correctness — is identical).
+    #[default]
+    Reduced,
+}
+
+impl SyncPolicy {
+    /// The spec-grammar value.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            SyncPolicy::Full => "full",
+            SyncPolicy::Reduced => "reduced",
+        }
+    }
+}
+
+impl fmt::Display for SyncPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl FromStr for SyncPolicy {
+    type Err = RegistryError;
+
+    fn from_str(text: &str) -> Result<SyncPolicy, RegistryError> {
+        match text {
+            "full" => Ok(SyncPolicy::Full),
+            "reduced" => Ok(SyncPolicy::Reduced),
+            other => Err(RegistryError::BadValue {
+                scheduler: "exec",
+                key: "sync",
+                value: other.to_string(),
+                expected: "full or reduced",
+            }),
+        }
+    }
+}
+
+/// How a thread waits for a dependency or barrier — the `backoff=`
+/// execution-policy key (the §8 modeled spin-wait backoff).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Backoff {
+    /// Busy-wait with a CPU relaxation hint (lowest wake-up latency; an
+    /// occasional OS yield keeps oversubscribed runs live).
+    #[default]
+    Spin,
+    /// Yield the OS scheduler after a short spin (frees the core while
+    /// waiting, at the price of re-scheduling latency).
+    Yield,
+}
+
+impl Backoff {
+    /// The spec-grammar value.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Backoff::Spin => "spin",
+            Backoff::Yield => "yield",
+        }
+    }
+}
+
+impl fmt::Display for Backoff {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl FromStr for Backoff {
+    type Err = RegistryError;
+
+    fn from_str(text: &str) -> Result<Backoff, RegistryError> {
+        match text {
+            "spin" => Ok(Backoff::Spin),
+            "yield" => Ok(Backoff::Yield),
+            other => Err(RegistryError::BadValue {
+                scheduler: "exec",
+                key: "backoff",
+                value: other.to_string(),
+                expected: "spin or yield",
+            }),
+        }
+    }
+}
+
+/// The execution policy of a spec: dimensions of *how* a schedule executes
+/// that are orthogonal to both the scheduler and the [`ExecModel`].
+///
+/// The keys are accepted on **every** scheduler (they configure the
+/// executor, not the scheduler) and stripped before scheduler parameters are
+/// checked. `sync=` is disambiguated from `growlocal`'s own numeric `sync`
+/// parameter by its value domain: `full`/`reduced` address the policy, any
+/// other value is passed through to the scheduler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct ExecPolicy {
+    /// Wait DAG of asynchronous execution (ignored by barrier/serial).
+    pub sync: SyncPolicy,
+    /// Wait-loop behavior of every threaded wait (async done-flags and
+    /// barrier/pool waits alike).
+    pub backoff: Backoff,
+}
+
+/// True when `key=value` addresses the execution policy rather than a
+/// scheduler parameter (see [`ExecPolicy`] for the disambiguation rule).
+fn is_exec_policy_param(key: &str, value: &str) -> bool {
+    match key {
+        "backoff" => true,
+        "sync" => value.parse::<SyncPolicy>().is_ok(),
+        _ => false,
+    }
+}
+
+/// The execution policy a spec selects: its `sync=`/`backoff=` keys (last
+/// occurrence wins), with defaults for the absent ones.
+pub fn resolve_exec_policy(spec: &SchedulerSpec) -> Result<ExecPolicy, RegistryError> {
+    let mut policy = ExecPolicy::default();
+    for (key, value) in spec.params() {
+        match key.as_str() {
+            "backoff" => policy.backoff = value.parse()?,
+            "sync" => {
+                if let Ok(sync) = value.parse() {
+                    policy.sync = sync;
+                }
+            }
+            _ => {}
+        }
+    }
+    Ok(policy)
+}
+
+/// A copy of `spec` with the execution-policy keys removed — what the
+/// scheduler-parameter machinery sees.
+fn strip_exec_policy(spec: &SchedulerSpec) -> SchedulerSpec {
+    SchedulerSpec {
+        name: spec.name.clone(),
+        params: spec.params.iter().filter(|(k, v)| !is_exec_policy_param(k, v)).cloned().collect(),
+        model: spec.model,
     }
 }
 
@@ -453,6 +608,9 @@ pub fn help_text() -> String {
     out.push_str("spec grammar: name[:key=value,…][@model] — scoped keys (gl.alpha)\n");
     out.push_str("address a composite scheduler's inner GrowLocal; @model selects the\n");
     out.push_str("execution model (the scheduler's default is marked with *).\n\n");
+    out.push_str("execution policy (valid on every scheduler, applied by the executor):\n");
+    out.push_str("    sync         async wait DAG: full | reduced (default reduced)\n");
+    out.push_str("    backoff      wait loops: spin | yield (default spin)\n\n");
     for entry in list() {
         out.push_str(&format!("  {:<10} {}\n", entry.name, entry.summary));
         let models: Vec<String> = ExecModel::ALL
@@ -583,6 +741,10 @@ pub fn build(
         return Err(RegistryError::UnknownScheduler { name: spec.name().to_string() });
     };
     resolve_model(spec)?;
+    // Validate the execution-policy keys, then hide them from the
+    // scheduler-parameter machinery (they configure the executor).
+    resolve_exec_policy(spec)?;
+    let spec = &strip_exec_policy(spec);
     let reader = ParamReader { scheduler: entry.name, spec };
     reader.check_keys()?;
     Ok(match entry.name {
@@ -817,6 +979,77 @@ mod tests {
             resolve_model(&SchedulerSpec::new("nope")),
             Err(RegistryError::UnknownScheduler { .. })
         ));
+    }
+
+    #[test]
+    fn exec_policy_keys_parse_on_every_scheduler() {
+        let g = dag();
+        // Policy keys build on schedulers that declare no such parameter.
+        for entry in list() {
+            let spec = format!("{}:sync=full,backoff=yield", entry.name);
+            let parsed: SchedulerSpec = spec.parse().unwrap();
+            let policy = resolve_exec_policy(&parsed).unwrap();
+            assert_eq!(policy.sync, SyncPolicy::Full);
+            assert_eq!(policy.backoff, Backoff::Yield);
+            assert!(resolve(&spec, &g, 2).is_ok(), "`{spec}` failed to build");
+        }
+        // Defaults: reduced waits, spin loops.
+        let policy = resolve_exec_policy(&SchedulerSpec::new("spmp")).unwrap();
+        assert_eq!(policy, ExecPolicy::default());
+        assert_eq!(policy.sync, SyncPolicy::Reduced);
+        assert_eq!(policy.backoff, Backoff::Spin);
+        // Last occurrence wins.
+        let spec: SchedulerSpec = "spmp:backoff=yield,backoff=spin".parse().unwrap();
+        assert_eq!(resolve_exec_policy(&spec).unwrap().backoff, Backoff::Spin);
+    }
+
+    #[test]
+    fn exec_policy_sync_disambiguates_by_value_domain() {
+        let g = dag();
+        // growlocal's numeric `sync` (barrier penalty L) is untouched…
+        let spec: SchedulerSpec = "growlocal:sync=2000".parse().unwrap();
+        assert_eq!(resolve_exec_policy(&spec).unwrap().sync, SyncPolicy::Reduced);
+        assert!(build(&spec, &g, 2).is_ok());
+        // …while `sync=full` is a policy key and leaves the scheduler's own
+        // default in place (the schedules are identical).
+        let plain = resolve("growlocal", &g, 3).unwrap().schedule(&g, 3);
+        let full = resolve("growlocal:sync=full", &g, 3).unwrap().schedule(&g, 3);
+        assert_eq!(plain, full, "sync=full leaked into growlocal's parameters");
+        // Both dimensions at once, mixed with a real scheduler override.
+        let mixed = resolve("growlocal:sync=2000,backoff=yield,sync=full", &g, 3).unwrap();
+        let tuned = resolve("growlocal:sync=2000", &g, 3).unwrap();
+        assert_eq!(mixed.schedule(&g, 3), tuned.schedule(&g, 3));
+    }
+
+    #[test]
+    fn exec_policy_bad_values_rejected() {
+        let g = dag();
+        // `backoff` has no scheduler fallback: bad values are policy errors.
+        assert!(matches!(
+            resolve("spmp:backoff=fast", &g, 2),
+            Err(RegistryError::BadValue { key: "backoff", .. })
+        ));
+        // A non-policy `sync` value on a scheduler without a `sync` parameter
+        // falls through to the scheduler check.
+        assert!(matches!(
+            resolve("wavefront:sync=bogus", &g, 2),
+            Err(RegistryError::UnknownParam { .. })
+        ));
+        // Round-trip of the policy values through Display/FromStr.
+        for sync in [SyncPolicy::Full, SyncPolicy::Reduced] {
+            assert_eq!(sync.to_string().parse::<SyncPolicy>().unwrap(), sync);
+        }
+        for backoff in [Backoff::Spin, Backoff::Yield] {
+            assert_eq!(backoff.to_string().parse::<Backoff>().unwrap(), backoff);
+        }
+    }
+
+    #[test]
+    fn help_text_documents_exec_policy() {
+        let help = help_text();
+        for needle in ["sync", "backoff", "full | reduced", "spin | yield"] {
+            assert!(help.contains(needle), "`{needle}` missing from help");
+        }
     }
 
     #[test]

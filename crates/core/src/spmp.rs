@@ -9,10 +9,17 @@
 //!
 //! In this workspace the produced [`Schedule`] carries the level structure
 //! and chunk assignment; the asynchronous semantics live in the executor and
-//! machine model (`sptrsv-exec`), which consume [`SpMp::reduced_dag`] to
-//! resolve the point-to-point waits. When executed with plain barriers the
-//! schedule degenerates to the wavefront baseline, which is exactly the
-//! relationship the paper describes.
+//! machine model (`sptrsv-exec`), which consume the [`Scheduler::sync_dag`]
+//! hook (backed by [`SpMp::reduced_dag`]) to resolve the point-to-point
+//! waits. When executed with plain barriers the schedule degenerates to the
+//! wavefront baseline, which is exactly the relationship the paper
+//! describes.
+//!
+//! The reduction is computed **once per plan**: transitive reduction never
+//! changes reachability, so the level structure of the reduced DAG equals
+//! the original's and [`SpMp::schedule`] levels the *full* DAG directly —
+//! the only reduction happens in [`Scheduler::sync_dag`], and only when a
+//! consumer actually asks for it (asynchronous planning).
 
 use crate::schedule::Schedule;
 use crate::wavefront::assign_contiguous_by_weight;
@@ -40,16 +47,21 @@ impl Scheduler for SpMp {
 
     fn schedule(&self, dag: &SolveDag, n_cores: usize) -> Schedule {
         assert!(n_cores > 0);
-        // Levels are computed on the reduced DAG; transitive reduction never
-        // changes reachability, so the level structure equals the original
-        // and the schedule stays valid for the full dependency set.
-        let reduced = self.reduced_dag(dag);
-        let wf = wavefronts(&reduced);
+        // Levels are computed on the full DAG: transitive reduction never
+        // changes reachability, so the level structure of the reduced DAG is
+        // identical and nothing is gained by reducing here — the reduction
+        // is deferred to the `sync_dag` hook, where asynchronous planning
+        // consumes it (and barrier/serial plans skip it entirely).
+        let wf = wavefronts(dag);
         let mut core_of = vec![0usize; dag.n()];
         for front in &wf.fronts {
             assign_contiguous_by_weight(front, dag.weights(), n_cores, &mut core_of);
         }
         Schedule::new(n_cores, core_of, wf.level)
+    }
+
+    fn sync_dag(&self, dag: &SolveDag) -> Option<SolveDag> {
+        Some(self.reduced_dag(dag))
     }
 }
 
@@ -64,6 +76,34 @@ mod tests {
         assert!(s.validate(&g).is_ok());
         let wf = wavefronts(&g);
         assert_eq!(s.steps(), &wf.level[..]);
+    }
+
+    #[test]
+    fn schedule_equals_levels_on_reduced_dag() {
+        // The documented reason `schedule` needs no reduction: the level
+        // structure of the reduced DAG equals the full DAG's, so the
+        // schedule built on either is identical.
+        let g = SolveDag::from_edges(
+            6,
+            &[(0, 1), (1, 2), (0, 2), (2, 3), (2, 4), (0, 4), (3, 5), (1, 5)],
+            vec![1; 6],
+        );
+        let reduced = SpMp.reduced_dag(&g);
+        assert_eq!(wavefronts(&g).level, wavefronts(&reduced).level);
+        let s = SpMp.schedule(&g, 3);
+        assert!(s.validate(&g).is_ok());
+        assert!(s.validate(&reduced).is_ok());
+    }
+
+    #[test]
+    fn sync_dag_hook_returns_the_reduction() {
+        let g = SolveDag::from_edges(3, &[(0, 1), (1, 2), (0, 2)], vec![1; 3]);
+        let hooked = Scheduler::sync_dag(&SpMp, &g).expect("spmp provides a sync DAG");
+        assert_eq!(hooked.n_edges(), 2);
+        assert!(!hooked.has_edge(0, 2));
+        // Schedulers without a sparsified DAG decline.
+        assert!(crate::GrowLocal::new().sync_dag(&g).is_none());
+        assert!(crate::WavefrontScheduler.sync_dag(&g).is_none());
     }
 
     #[test]

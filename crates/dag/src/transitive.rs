@@ -8,6 +8,24 @@
 //! practice, without the full (expensive) transitive reduction.
 
 use crate::graph::SolveDag;
+use std::cell::Cell;
+
+thread_local! {
+    /// Calls to [`approximate_transitive_reduction`] made on this thread.
+    static INVOCATIONS: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Number of [`approximate_transitive_reduction`] calls made **on the
+/// calling thread** so far.
+///
+/// Instrumentation for reuse guarantees: plan construction is
+/// single-threaded, so a test can take the count before and after building a
+/// plan and assert how many reductions the build performed (e.g. exactly one
+/// for an `spmp@async` plan, via the `Scheduler::sync_dag` hook). Being
+/// thread-local, concurrent tests cannot disturb each other's deltas.
+pub fn reduction_invocations() -> usize {
+    INVOCATIONS.with(|c| c.get())
+}
 
 /// Removes every edge `(u, w)` for which a two-edge path `u → v → w` exists.
 ///
@@ -15,6 +33,7 @@ use crate::graph::SolveDag;
 /// structure used for scheduling, not the work of the kernel (the solve still
 /// reads every stored non-zero).
 pub fn approximate_transitive_reduction(dag: &SolveDag) -> SolveDag {
+    INVOCATIONS.with(|c| c.set(c.get() + 1));
     let n = dag.n();
     let mut keep_ptr = Vec::with_capacity(n + 1);
     let mut keep_idx = Vec::new();

@@ -1,15 +1,19 @@
 //! Asynchronous (point-to-point synchronized) executor, SpMP-style.
 //!
 //! Instead of a global barrier per superstep, every thread walks its own
-//! cells in schedule order and spin-waits on per-vertex *done* flags of
+//! cells in schedule order and waits on per-vertex *done* flags of
 //! the parents it needs — exactly SpMP's "move on as soon as your inputs are
 //! ready" execution \[PSSD14\]. The synchronization DAG may be the transitive
-//! reduction of the solve DAG ([`sptrsv_core::SpMp::reduced_dag`]): waiting
-//! on fewer edges is the second half of SpMP's trick.
+//! reduction of the solve DAG ([`sptrsv_core::SpMp::reduced_dag`], the
+//! planner's `sync=reduced` policy): waiting on fewer edges is the second
+//! half of SpMP's trick. The wait loop itself runs under the executor's
+//! [`Backoff`] policy (`spin` or `yield`, the §8 backoff exploration).
 //!
-//! Like its siblings, the executor walks the shared [`CompiledSchedule`]
-//! layout (a core's program is its cells in superstep order); only the
-//! synchronization differs from [`crate::barrier`].
+//! Threads come from the executor's persistent [`crate::pool::WorkerPool`]
+//! (lazily created, parked between solves) — steady-state solves dispatch to
+//! already-running threads. Like its siblings, the executor walks the shared
+//! [`CompiledSchedule`] layout (a core's program is its cells in superstep
+//! order); only the synchronization differs from [`crate::barrier`].
 //!
 //! # Safety argument
 //!
@@ -19,11 +23,15 @@
 //! orders the reads after the writes. Same-thread intra-list dependencies
 //! are covered by program order (cells ascend in vertex ID and supersteps
 //! ascend across cells). A vertex never waits on itself because the sync DAG
-//! has no self-loops.
+//! has no self-loops. Running on pooled threads changes none of this: the
+//! pool's dispatch/retire protocol brackets all worker accesses between the
+//! leader's publish and completion wait, and the done flags are fresh per
+//! solve, so no state leaks between solves.
 
 use crate::barrier::SharedX;
 use crate::executor::Executor;
-use sptrsv_core::registry::ExecModel;
+use crate::pool::LazyPool;
+use sptrsv_core::registry::{Backoff, ExecModel};
 use sptrsv_core::{CompiledSchedule, Schedule, ScheduleError};
 use sptrsv_dag::SolveDag;
 use sptrsv_sparse::CsrMatrix;
@@ -36,6 +44,10 @@ pub struct AsyncExecutor {
     /// For every vertex, the parents on *other* cores that must be awaited
     /// (same-core dependencies are ordered by the cell walk itself).
     waits: Vec<Vec<u32>>,
+    /// Persistent worker threads, created on the first parallel solve.
+    pool: LazyPool,
+    /// Wait-loop policy for the done-flag spins.
+    backoff: Backoff,
 }
 
 impl AsyncExecutor {
@@ -51,7 +63,7 @@ impl AsyncExecutor {
         let full_dag = SolveDag::from_lower_triangular(matrix);
         schedule.validate(&full_dag)?;
         let compiled = Arc::new(CompiledSchedule::from_schedule(schedule));
-        Ok(Self::from_compiled(compiled, sync_dag))
+        Ok(Self::from_compiled(compiled, sync_dag, Backoff::default()))
     }
 
     /// Wraps an already-validated compiled schedule (shared with sibling
@@ -60,6 +72,7 @@ impl AsyncExecutor {
     pub(crate) fn from_compiled(
         compiled: Arc<CompiledSchedule>,
         sync_dag: &SolveDag,
+        backoff: Backoff,
     ) -> AsyncExecutor {
         let n = compiled.n_vertices();
         assert_eq!(sync_dag.n(), n, "sync DAG size mismatch");
@@ -72,7 +85,8 @@ impl AsyncExecutor {
                 }
             }
         }
-        AsyncExecutor { compiled, waits }
+        let pool = LazyPool::new(compiled.n_cores());
+        AsyncExecutor { compiled, waits, pool, backoff }
     }
 
     /// Solves `L x = b` with point-to-point synchronization.
@@ -82,16 +96,25 @@ impl AsyncExecutor {
         assert_eq!(x.len(), n);
         let done: Vec<AtomicBool> = (0..n).map(|_| AtomicBool::new(false)).collect();
         let shared = SharedX(x.as_mut_ptr());
-        let run = |core: usize| run_core(l, b, shared, &self.compiled, core, &self.waits, &done);
+        let backoff = self.backoff;
         if self.compiled.n_cores() == 1 {
-            run(0);
+            let abort = AtomicBool::new(false);
+            run_core(l, b, shared, &self.compiled, 0, &self.waits, &done, backoff, &abort);
             return;
         }
-        std::thread::scope(|scope| {
-            for core in 1..self.compiled.n_cores() {
-                scope.spawn(move || run(core));
+        // A panicking core raises the abort flag so siblings spinning on its
+        // done-flags unwind too (the pool re-raises on the leader) instead
+        // of waiting forever.
+        let abort = AtomicBool::new(false);
+        let abort = &abort;
+        self.pool.get().run(backoff, &|core: usize| {
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                run_core(l, b, shared, &self.compiled, core, &self.waits, &done, backoff, abort)
+            }));
+            if let Err(panic) = result {
+                abort.store(true, Ordering::Release);
+                std::panic::resume_unwind(panic);
             }
-            run(0);
         });
     }
 
@@ -104,17 +127,33 @@ impl AsyncExecutor {
         assert_eq!(x.len(), n * r);
         let done: Vec<AtomicBool> = (0..n).map(|_| AtomicBool::new(false)).collect();
         let shared = SharedX(x.as_mut_ptr());
-        let run =
-            |core: usize| run_core_multi(l, b, shared, &self.compiled, core, &self.waits, &done, r);
+        let backoff = self.backoff;
         if self.compiled.n_cores() == 1 {
-            run(0);
+            let abort = AtomicBool::new(false);
+            run_core_multi(l, b, shared, &self.compiled, 0, &self.waits, &done, r, backoff, &abort);
             return;
         }
-        std::thread::scope(|scope| {
-            for core in 1..self.compiled.n_cores() {
-                scope.spawn(move || run(core));
+        let abort = AtomicBool::new(false);
+        let abort = &abort;
+        self.pool.get().run(backoff, &|core: usize| {
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                run_core_multi(
+                    l,
+                    b,
+                    shared,
+                    &self.compiled,
+                    core,
+                    &self.waits,
+                    &done,
+                    r,
+                    backoff,
+                    abort,
+                )
+            }));
+            if let Err(panic) = result {
+                abort.store(true, Ordering::Release);
+                std::panic::resume_unwind(panic);
             }
-            run(0);
         });
     }
 }
@@ -133,12 +172,23 @@ impl Executor for AsyncExecutor {
     }
 }
 
-/// Spin-waits until every cross-core parent of `i` is done.
+/// Waits (under `backoff`) until every cross-core parent of `i` is done;
+/// panics if the solve was aborted by a panicking sibling core.
 #[inline]
-fn await_parents(waits: &[Vec<u32>], done: &[AtomicBool], i: usize) {
+fn await_parents(
+    waits: &[Vec<u32>],
+    done: &[AtomicBool],
+    i: usize,
+    backoff: Backoff,
+    abort: &AtomicBool,
+) {
     for &u in &waits[i] {
+        let mut spins = 0;
         while !done[u as usize].load(Ordering::Acquire) {
-            std::hint::spin_loop();
+            if abort.load(Ordering::Relaxed) {
+                panic!("parallel solve aborted: a sibling core panicked");
+            }
+            crate::pool::backoff_wait(backoff, &mut spins);
         }
     }
 }
@@ -152,11 +202,13 @@ fn run_core(
     core: usize,
     waits: &[Vec<u32>],
     done: &[AtomicBool],
+    backoff: Backoff,
+    abort: &AtomicBool,
 ) {
     for step in 0..compiled.n_supersteps() {
         for &i in compiled.cell(step, core) {
             let i = i as usize;
-            await_parents(waits, done, i);
+            await_parents(waits, done, i, backoff, abort);
             let (cols, vals) = l.row(i);
             let k = cols.len() - 1;
             debug_assert_eq!(cols[k], i);
@@ -184,11 +236,13 @@ fn run_core_multi(
     waits: &[Vec<u32>],
     done: &[AtomicBool],
     r: usize,
+    backoff: Backoff,
+    abort: &AtomicBool,
 ) {
     for step in 0..compiled.n_supersteps() {
         for &i in compiled.cell(step, core) {
             let i = i as usize;
-            await_parents(waits, done, i);
+            await_parents(waits, done, i, backoff, abort);
             // SAFETY: same flag ordering as `run_core`, row-granular (all r
             // values written before the Release store).
             unsafe { crate::multi::solve_row_multi_raw(l, i, b, x.0, r) };

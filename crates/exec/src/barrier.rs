@@ -2,7 +2,12 @@
 //!
 //! Runs a BSP schedule exactly as the paper's kernel does (§6.1): one OS
 //! thread per core, all threads processing their `(superstep, core)` cell in
-//! vertex order, with a synchronization barrier between supersteps.
+//! vertex order, with a synchronization barrier between supersteps. The
+//! threads are the executor's persistent [`WorkerPool`] — created lazily on
+//! the first parallel solve and parked between solves, so steady-state
+//! `solve` calls dispatch to already-running threads instead of spawning
+//! (see [`crate::pool`]); the per-superstep barrier is a [`SenseBarrier`]
+//! waiting under the executor's [`Backoff`] policy.
 //!
 //! The execution plan is a [`CompiledSchedule`] — the flat CSR-style cell
 //! layout compiled once at construction. Per solve, a core's walk of its
@@ -18,16 +23,20 @@
 //! * each `x[v]` is written by exactly one thread (the one owning `v`);
 //! * a read of `x[u]` by another thread happens in a *later* superstep than
 //!   the write, and the barrier between supersteps establishes the
-//!   happens-before edge;
+//!   happens-before edge ([`SenseBarrier::wait`]'s Release/Acquire pair);
 //! * a read of `x[u]` by the same thread in the same superstep happens after
 //!   the write in program order (cells are executed in ascending vertex ID,
-//!   and intra-cell edges ascend).
+//!   and intra-cell edges ascend);
+//! * the pool's dispatch/retire protocol orders every worker access between
+//!   the leader's publish and its completion wait, so nothing outlives the
+//!   borrow of `x`.
 
 use crate::executor::Executor;
-use sptrsv_core::registry::ExecModel;
+use crate::pool::{LazyPool, SenseBarrier, WorkerPool};
+use sptrsv_core::registry::{Backoff, ExecModel};
 use sptrsv_core::{CompiledSchedule, Schedule, ScheduleError};
 use sptrsv_sparse::CsrMatrix;
-use std::sync::{Arc, Barrier};
+use std::sync::Arc;
 
 /// Shared mutable pointer to the solution vector; safety per module docs.
 #[derive(Clone, Copy)]
@@ -35,10 +44,12 @@ pub(crate) struct SharedX(pub(crate) *mut f64);
 unsafe impl Send for SharedX {}
 unsafe impl Sync for SharedX {}
 
-/// Pre-planned executor: a reusable compiled schedule for repeated solves
-/// (the paper's amortization setting, §7.7).
+/// Pre-planned executor: a reusable compiled schedule plus a persistent
+/// worker pool for repeated solves (the paper's amortization setting, §7.7).
 pub struct BarrierExecutor {
     compiled: Arc<CompiledSchedule>,
+    pool: LazyPool,
+    backoff: Backoff,
 }
 
 impl BarrierExecutor {
@@ -47,15 +58,22 @@ impl BarrierExecutor {
     pub fn new(matrix: &CsrMatrix, schedule: &Schedule) -> Result<BarrierExecutor, ScheduleError> {
         let dag = sptrsv_dag::SolveDag::from_lower_triangular(matrix);
         schedule.validate(&dag)?;
-        Ok(Self::from_compiled(Arc::new(CompiledSchedule::from_schedule(schedule))))
+        Ok(Self::from_compiled(
+            Arc::new(CompiledSchedule::from_schedule(schedule)),
+            Backoff::default(),
+        ))
     }
 
     /// Wraps an already-validated compiled schedule (shared with sibling
     /// executors by [`crate::plan::SolvePlan`]). Callers must have validated
     /// the source schedule against the matrix — the solve loop's safety rests
     /// on it, which is why this is crate-private.
-    pub(crate) fn from_compiled(compiled: Arc<CompiledSchedule>) -> BarrierExecutor {
-        BarrierExecutor { compiled }
+    pub(crate) fn from_compiled(
+        compiled: Arc<CompiledSchedule>,
+        backoff: Backoff,
+    ) -> BarrierExecutor {
+        let pool = LazyPool::new(compiled.n_cores());
+        BarrierExecutor { compiled, pool, backoff }
     }
 
     /// The compiled execution plan.
@@ -66,7 +84,7 @@ impl BarrierExecutor {
     /// Solves `L x = b` following the schedule, with real threads and
     /// barriers.
     pub fn solve(&self, l: &CsrMatrix, b: &[f64], x: &mut [f64]) {
-        solve_compiled(l, &self.compiled, b, x);
+        solve_compiled(l, &self.compiled, b, x, self.pool.get(), self.backoff);
     }
 }
 
@@ -76,36 +94,59 @@ impl Executor for BarrierExecutor {
     }
 
     fn solve(&self, l: &CsrMatrix, b: &[f64], x: &mut [f64]) {
-        solve_compiled(l, &self.compiled, b, x);
+        BarrierExecutor::solve(self, l, b, x);
     }
 
     fn solve_multi(&self, l: &CsrMatrix, b: &[f64], x: &mut [f64], r: usize) {
-        crate::multi::solve_multi_compiled(l, &self.compiled, b, x, r);
+        crate::multi::solve_multi_compiled(
+            l,
+            &self.compiled,
+            b,
+            x,
+            r,
+            self.pool.get(),
+            self.backoff,
+        );
     }
 }
 
-/// The threaded barrier solve over a compiled schedule (shared by
+/// The pooled barrier solve over a compiled schedule (shared by
 /// [`BarrierExecutor`] and the one-shot [`solve_with_barriers`]).
 ///
 /// The compiled schedule must stem from a schedule validated against `l`'s
-/// solve DAG (see the module-level safety argument).
-pub(crate) fn solve_compiled(l: &CsrMatrix, compiled: &CompiledSchedule, b: &[f64], x: &mut [f64]) {
+/// solve DAG (see the module-level safety argument), and the pool must span
+/// at least the schedule's core count.
+pub(crate) fn solve_compiled(
+    l: &CsrMatrix,
+    compiled: &CompiledSchedule,
+    b: &[f64],
+    x: &mut [f64],
+    pool: &WorkerPool,
+    backoff: Backoff,
+) {
     let n = l.n_rows();
     assert_eq!(b.len(), n);
     assert_eq!(x.len(), n);
     let n_cores = compiled.n_cores();
     let shared = SharedX(x.as_mut_ptr());
     if n_cores == 1 {
-        run_core(l, b, shared, compiled, 0, None);
+        run_core(l, b, shared, compiled, 0, None, backoff);
         return;
     }
-    let barrier = Barrier::new(n_cores);
+    assert_eq!(pool.n_cores(), n_cores, "pool sized for a different core count");
+    let barrier = SenseBarrier::new(n_cores);
     let barrier = &barrier;
-    std::thread::scope(|scope| {
-        for core in 1..n_cores {
-            scope.spawn(move || run_core(l, b, shared, compiled, core, Some(barrier)));
+    pool.run(backoff, &move |core| {
+        // A panicking core poisons the barrier so siblings waiting on its
+        // arrival unwind too (the pool re-raises on the leader) instead of
+        // waiting forever.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_core(l, b, shared, compiled, core, Some(barrier), backoff)
+        }));
+        if let Err(panic) = result {
+            barrier.poison();
+            std::panic::resume_unwind(panic);
         }
-        run_core(l, b, shared, compiled, 0, Some(barrier));
     });
 }
 
@@ -116,8 +157,10 @@ fn run_core(
     x: SharedX,
     compiled: &CompiledSchedule,
     core: usize,
-    barrier: Option<&Barrier>,
+    barrier: Option<&SenseBarrier>,
+    backoff: Backoff,
 ) {
+    let mut sense = false;
     for step in 0..compiled.n_supersteps() {
         for &i in compiled.cell(step, core) {
             let i = i as usize;
@@ -135,7 +178,7 @@ fn run_core(
             unsafe { *x.0.add(i) = acc / vals[k] };
         }
         if let Some(barrier) = barrier {
-            barrier.wait();
+            barrier.wait(&mut sense, backoff);
         }
     }
 }

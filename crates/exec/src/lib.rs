@@ -11,11 +11,15 @@
 //!   ready flags (point-to-point synchronization instead of barriers;
 //!   `@async`), single- and multi-RHS;
 //! * [`multi`] — SpTRSM kernels (multiple right-hand sides);
+//! * [`pool`] — the persistent worker-pool execution runtime: long-lived
+//!   threads created once per plan, parked between solves and released
+//!   through an epoch dispatch / sense-reversing barrier protocol, so
+//!   steady-state solves never spawn threads;
 //! * [`plan`] — the high-level [`PlanBuilder`]/[`SolvePlan`] API: matrix →
 //!   validated, pre-ordered, scheduled (via registry spec), reordered,
 //!   compiled, reusable parallel solve (lower or upper) under a selectable
-//!   execution model, with an allocation-free [`SolvePlan::solve_into`]
-//!   steady-state path;
+//!   execution model and [`ExecPolicy`] (`sync=`/`backoff=` spec keys),
+//!   with an allocation-free [`SolvePlan::solve_into`] steady-state path;
 //! * [`sim`] — a calibrated multicore machine model used for the paper's
 //!   speed-up experiments (see DESIGN.md, substitution 3: the build/CI
 //!   machine has a single core, so wall-clock parallel speed-ups are
@@ -28,6 +32,7 @@ pub mod barrier;
 pub mod executor;
 pub mod multi;
 pub mod plan;
+pub mod pool;
 pub mod serial;
 pub mod sim;
 pub mod verify;
@@ -37,9 +42,10 @@ pub use barrier::{solve_with_barriers, BarrierExecutor};
 pub use executor::Executor;
 pub use multi::{solve_lower_multi_serial, MultiRhsExecutor};
 pub use plan::{Orientation, PlanBuilder, PlanError, PreOrder, SolvePlan, SolveWorkspace};
+pub use pool::{SenseBarrier, WorkerPool};
 pub use serial::{solve_lower_serial, solve_upper_serial, SerialExecutor};
 pub use sim::{
     simulate_async, simulate_barrier, simulate_model, simulate_serial, MachineProfile, SimReport,
 };
-pub use sptrsv_core::registry::ExecModel;
+pub use sptrsv_core::registry::{Backoff, ExecModel, ExecPolicy, SyncPolicy};
 pub use verify::max_abs_diff;

@@ -13,9 +13,11 @@
 //! of the barrier model's [`Executor`](crate::executor::Executor) impl.
 
 use crate::barrier::SharedX;
+use crate::pool::{LazyPool, SenseBarrier, WorkerPool};
+use sptrsv_core::registry::Backoff;
 use sptrsv_core::{CompiledSchedule, Schedule, ScheduleError};
 use sptrsv_sparse::CsrMatrix;
-use std::sync::{Arc, Barrier};
+use std::sync::Arc;
 
 /// Solves `L X = B` serially; `B` and `X` are row-major `n x r`.
 pub fn solve_lower_multi_serial(l: &CsrMatrix, b: &[f64], x: &mut [f64], r: usize) {
@@ -80,9 +82,12 @@ pub(crate) unsafe fn solve_row_multi_raw(
     }
 }
 
-/// Multi-RHS barrier executor over a [`CompiledSchedule`].
+/// Multi-RHS barrier executor over a [`CompiledSchedule`], running on its
+/// own persistent [`WorkerPool`] (created on first parallel solve).
 pub struct MultiRhsExecutor {
     compiled: Arc<CompiledSchedule>,
+    pool: LazyPool,
+    backoff: Backoff,
 }
 
 impl MultiRhsExecutor {
@@ -90,27 +95,31 @@ impl MultiRhsExecutor {
     pub fn new(matrix: &CsrMatrix, schedule: &Schedule) -> Result<MultiRhsExecutor, ScheduleError> {
         let dag = sptrsv_dag::SolveDag::from_lower_triangular(matrix);
         schedule.validate(&dag)?;
-        Ok(MultiRhsExecutor { compiled: Arc::new(CompiledSchedule::from_schedule(schedule)) })
+        let compiled = Arc::new(CompiledSchedule::from_schedule(schedule));
+        let pool = LazyPool::new(compiled.n_cores());
+        Ok(MultiRhsExecutor { compiled, pool, backoff: Backoff::default() })
     }
 
     /// Solves `L X = B` with `r` right-hand sides (row-major `n x r`).
     pub fn solve(&self, l: &CsrMatrix, b: &[f64], x: &mut [f64], r: usize) {
-        solve_multi_compiled(l, &self.compiled, b, x, r);
+        solve_multi_compiled(l, &self.compiled, b, x, r, self.pool.get(), self.backoff);
     }
 }
 
-/// The threaded barrier multi-RHS solve over a compiled schedule (shared by
+/// The pooled barrier multi-RHS solve over a compiled schedule (shared by
 /// [`MultiRhsExecutor`] and [`crate::barrier::BarrierExecutor`]'s
 /// `Executor::solve_multi`).
 ///
 /// The compiled schedule must stem from a schedule validated against `l`'s
-/// solve DAG.
+/// solve DAG, and the pool must match the schedule's core count.
 pub(crate) fn solve_multi_compiled(
     l: &CsrMatrix,
     compiled: &CompiledSchedule,
     b: &[f64],
     x: &mut [f64],
     r: usize,
+    pool: &WorkerPool,
+    backoff: Backoff,
 ) {
     let n = l.n_rows();
     assert!(r > 0);
@@ -119,28 +128,37 @@ pub(crate) fn solve_multi_compiled(
     let n_cores = compiled.n_cores();
     let shared = SharedX(x.as_mut_ptr());
     if n_cores == 1 {
-        run_core_multi(l, b, shared, compiled, 0, None, r);
+        run_core_multi(l, b, shared, compiled, 0, None, r, backoff);
         return;
     }
-    let barrier = Barrier::new(n_cores);
+    assert_eq!(pool.n_cores(), n_cores, "pool sized for a different core count");
+    let barrier = SenseBarrier::new(n_cores);
     let barrier = &barrier;
-    std::thread::scope(|scope| {
-        for core in 1..n_cores {
-            scope.spawn(move || run_core_multi(l, b, shared, compiled, core, Some(barrier), r));
+    pool.run(backoff, &move |core| {
+        // Same panic containment as the single-RHS path: poison the barrier
+        // so siblings unwind instead of waiting on a panicked core.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_core_multi(l, b, shared, compiled, core, Some(barrier), r, backoff)
+        }));
+        if let Err(panic) = result {
+            barrier.poison();
+            std::panic::resume_unwind(panic);
         }
-        run_core_multi(l, b, shared, compiled, 0, Some(barrier), r);
     });
 }
 
+#[allow(clippy::too_many_arguments)] // mirrors the single-RHS kernel's signature
 fn run_core_multi(
     l: &CsrMatrix,
     b: &[f64],
     x: SharedX,
     compiled: &CompiledSchedule,
     core: usize,
-    barrier: Option<&Barrier>,
+    barrier: Option<&SenseBarrier>,
     r: usize,
+    backoff: Backoff,
 ) {
+    let mut sense = false;
     for step in 0..compiled.n_supersteps() {
         for &i in compiled.cell(step, core) {
             // SAFETY: schedule validity (checked at construction) + barrier
@@ -148,7 +166,7 @@ fn run_core_multi(
             unsafe { solve_row_multi_raw(l, i as usize, b, x.0, r) };
         }
         if let Some(barrier) = barrier {
-            barrier.wait();
+            barrier.wait(&mut sense, backoff);
         }
     }
 }

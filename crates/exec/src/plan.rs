@@ -15,6 +15,19 @@
 //! through the [`Executor`] trait, so barrier, asynchronous and serial
 //! execution are interchangeable behind one API.
 //!
+//! The **execution policy** is equally first-class: `sync=full|reduced`
+//! selects the wait DAG of asynchronous execution (the planner asks the
+//! scheduler's [`Scheduler::sync_dag`] hook before reducing itself, so
+//! `spmp@async` reduces exactly once per plan) and `backoff=spin|yield` the
+//! behavior of every threaded wait loop — as spec keys or the typed
+//! [`PlanBuilder::sync_policy`]/[`PlanBuilder::backoff`] knobs.
+//!
+//! Parallel plans execute on a **persistent worker pool**
+//! ([`crate::pool::WorkerPool`]): the executor lazily spawns `cores − 1`
+//! long-lived threads on the first parallel solve and parks them between
+//! solves, so steady-state [`SolvePlan::solve_into`] calls dispatch without
+//! spawning or allocating.
+//!
 //! Upper-triangular systems (backward substitution) are handled by
 //! conjugating with the index-reversal permutation: if `J` reverses `0..n`,
 //! then `J·U·J` is lower triangular, so one scheduler and one executor
@@ -44,7 +57,9 @@ use crate::barrier::BarrierExecutor;
 use crate::executor::Executor;
 use crate::serial::SerialExecutor;
 use crate::sim::{simulate_model, MachineProfile, SimReport};
-use sptrsv_core::registry::{self, ExecModel, RegistryError, SchedulerSpec};
+use sptrsv_core::registry::{
+    self, Backoff, ExecModel, ExecPolicy, RegistryError, SchedulerSpec, SyncPolicy,
+};
 use sptrsv_core::{
     auto_part_weight_cap, coarsen_and_schedule, reorder_for_locality, CompiledSchedule, Schedule,
     Scheduler,
@@ -129,12 +144,14 @@ pub struct PlanBuilder<'m> {
     coarsen: bool,
     reorder: bool,
     execution: Option<ExecModel>,
+    sync_policy: Option<SyncPolicy>,
+    backoff: Option<Backoff>,
 }
 
 impl<'m> PlanBuilder<'m> {
     /// A builder with the default pipeline: lower triangle, `growlocal`,
     /// 8 cores, no pre-ordering, no coarsening, §5 reordering on, execution
-    /// model resolved from the spec/registry.
+    /// model and policy resolved from the spec/registry.
     pub fn new(matrix: &'m CsrMatrix) -> PlanBuilder<'m> {
         PlanBuilder {
             matrix,
@@ -145,6 +162,8 @@ impl<'m> PlanBuilder<'m> {
             coarsen: false,
             reorder: true,
             execution: None,
+            sync_policy: None,
+            backoff: None,
         }
     }
 
@@ -193,6 +212,22 @@ impl<'m> PlanBuilder<'m> {
     /// suffix; with neither, the scheduler's registry default applies.
     pub fn execution(mut self, model: ExecModel) -> Self {
         self.execution = Some(model);
+        self
+    }
+
+    /// Wait DAG of asynchronous execution: the full solve DAG or its
+    /// approximate transitive reduction. Overrides the spec's `sync=` key;
+    /// with neither, `reduced` applies. Ignored by barrier/serial plans.
+    pub fn sync_policy(mut self, sync: SyncPolicy) -> Self {
+        self.sync_policy = Some(sync);
+        self
+    }
+
+    /// Wait-loop behavior of the plan's threaded waits (done flags, pool
+    /// barriers, dispatch). Overrides the spec's `backoff=` key; with
+    /// neither, `spin` applies.
+    pub fn backoff(mut self, backoff: Backoff) -> Self {
+        self.backoff = Some(backoff);
         self
     }
 
@@ -270,8 +305,11 @@ pub struct SolvePlan {
     compiled: Arc<CompiledSchedule>,
     /// The execution model [`SolvePlan::executor`] implements.
     model: ExecModel,
-    /// Async plans keep the reduced synchronization DAG built for the
-    /// executor, so repeated [`SolvePlan::simulate`] calls reuse it.
+    /// The execution policy (wait DAG + backoff) the executor runs under.
+    policy: ExecPolicy,
+    /// Async plans keep the synchronization DAG built for the executor
+    /// (reduced or full, per policy), so repeated [`SolvePlan::simulate`]
+    /// calls reuse it.
     sync_dag: Option<SolveDag>,
     executor: Box<dyn Executor>,
 }
@@ -279,7 +317,8 @@ pub struct SolvePlan {
 impl SolvePlan {
     /// Plans a parallel solve with an explicit scheduler instance and the
     /// default pipeline (no pre-ordering, no extra coarsening, barrier
-    /// execution). Prefer [`PlanBuilder`] with a registry spec for new code.
+    /// execution, default policy). Prefer [`PlanBuilder`] with a registry
+    /// spec for new code.
     pub fn new(
         matrix: &CsrMatrix,
         orientation: Orientation,
@@ -298,6 +337,7 @@ impl SolvePlan {
             n_cores,
             reorder,
             ExecModel::Barrier,
+            ExecPolicy::default(),
         )
     }
 
@@ -316,6 +356,14 @@ impl SolvePlan {
         }
         // Validated against the scheduler's supported set by the registry.
         let model = registry::resolve_model(&spec)?;
+        // Execution policy: spec keys, overridden by the typed knobs.
+        let mut policy = registry::resolve_exec_policy(&spec)?;
+        if let Some(sync) = builder.sync_policy {
+            policy.sync = sync;
+        }
+        if let Some(backoff) = builder.backoff {
+            policy.backoff = backoff;
+        }
         let scheduler = registry::build(&spec, &dag, builder.n_cores)?;
         Self::assemble_oriented(
             lower,
@@ -326,6 +374,7 @@ impl SolvePlan {
             builder.n_cores,
             builder.reorder,
             model,
+            policy,
         )
     }
 
@@ -340,6 +389,7 @@ impl SolvePlan {
         n_cores: usize,
         reorder: bool,
         model: ExecModel,
+        policy: ExecPolicy,
     ) -> Result<SolvePlan, PlanError> {
         let schedule = if coarsen {
             schedule_coarsened(&dag, scheduler, n_cores)
@@ -363,19 +413,31 @@ impl SolvePlan {
         let compiled = Arc::new(CompiledSchedule::from_schedule(&schedule));
         let mut sync_dag = None;
         let executor: Box<dyn Executor> = match model {
-            ExecModel::Barrier => Box::new(BarrierExecutor::from_compiled(Arc::clone(&compiled))),
+            ExecModel::Barrier => {
+                Box::new(BarrierExecutor::from_compiled(Arc::clone(&compiled), policy.backoff))
+            }
             ExecModel::Serial => Box::new(SerialExecutor),
             ExecModel::Async => {
-                // SpMP-style sparsified synchronization: wait on the
-                // transitive reduction of the final operand's DAG (kept on
-                // the plan for simulation reuse).
-                let reduced = approximate_transitive_reduction(&final_dag);
-                let executor = AsyncExecutor::from_compiled(Arc::clone(&compiled), &reduced);
-                sync_dag = Some(reduced);
+                // The synchronization DAG per policy: the full final DAG, or
+                // a sparsified one — scheduler-provided when the scheduler
+                // already derives one (the `Scheduler::sync_dag` hook; SpMp
+                // hands over its approximate transitive reduction, so
+                // `spmp@async` reduces exactly once per plan), otherwise the
+                // planner reduces here. Kept on the plan for simulation
+                // reuse.
+                let sync = match policy.sync {
+                    SyncPolicy::Full => final_dag,
+                    SyncPolicy::Reduced => scheduler
+                        .sync_dag(&final_dag)
+                        .unwrap_or_else(|| approximate_transitive_reduction(&final_dag)),
+                };
+                let executor =
+                    AsyncExecutor::from_compiled(Arc::clone(&compiled), &sync, policy.backoff);
+                sync_dag = Some(sync);
                 Box::new(executor)
             }
         };
-        Ok(SolvePlan { matrix, to_internal, schedule, compiled, model, sync_dag, executor })
+        Ok(SolvePlan { matrix, to_internal, schedule, compiled, model, policy, sync_dag, executor })
     }
 
     /// The schedule driving the executor (internal numbering).
@@ -391,6 +453,18 @@ impl SolvePlan {
     /// The execution model the plan runs under.
     pub fn exec_model(&self) -> ExecModel {
         self.model
+    }
+
+    /// The execution policy (wait DAG choice + backoff) the plan runs under.
+    pub fn exec_policy(&self) -> ExecPolicy {
+        self.policy
+    }
+
+    /// The synchronization DAG an asynchronous plan waits on (`None` for
+    /// barrier/serial plans): the final operand's full DAG under
+    /// `sync=full`, a sparsified one under `sync=reduced`.
+    pub fn sync_dag(&self) -> Option<&SolveDag> {
+        self.sync_dag.as_ref()
     }
 
     /// The execution engine `solve_into`/`solve_multi` dispatch through.
@@ -456,11 +530,18 @@ impl SolvePlan {
     }
 
     /// Simulates this plan's execution on a machine profile, under the
-    /// plan's execution model, reusing the plan's shared compiled layout
-    /// and (for async plans) the executor's reduced synchronization DAG —
-    /// no per-call re-compilation or re-reduction.
+    /// plan's execution model and policy, reusing the plan's shared
+    /// compiled layout and (for async plans) the executor's synchronization
+    /// DAG — no per-call re-compilation or re-reduction.
     pub fn simulate(&self, profile: &MachineProfile) -> SimReport {
-        simulate_model(&self.matrix, &self.compiled, self.model, self.sync_dag.as_ref(), profile)
+        simulate_model(
+            &self.matrix,
+            &self.compiled,
+            self.model,
+            self.sync_dag.as_ref(),
+            profile,
+            self.policy,
+        )
     }
 }
 
@@ -598,6 +679,144 @@ mod tests {
             .unwrap();
         assert_eq!(plan.exec_model(), ExecModel::Async);
         assert_eq!(plan.executor().model(), ExecModel::Async);
+    }
+
+    #[test]
+    fn exec_policy_resolution_and_overrides() {
+        let l = lower();
+        // Defaults: reduced waits, spin loops.
+        let plan = PlanBuilder::new(&l).cores(2).build().unwrap();
+        assert_eq!(plan.exec_policy(), ExecPolicy::default());
+        // Spec keys select the policy.
+        let plan = PlanBuilder::new(&l)
+            .scheduler("growlocal:sync=full,backoff=yield@async")
+            .cores(2)
+            .build()
+            .unwrap();
+        assert_eq!(plan.exec_policy().sync, SyncPolicy::Full);
+        assert_eq!(plan.exec_policy().backoff, Backoff::Yield);
+        // The typed knobs override the spec keys.
+        let plan = PlanBuilder::new(&l)
+            .scheduler("growlocal:sync=full,backoff=yield@async")
+            .sync_policy(SyncPolicy::Reduced)
+            .backoff(Backoff::Spin)
+            .cores(2)
+            .build()
+            .unwrap();
+        assert_eq!(plan.exec_policy(), ExecPolicy::default());
+        // growlocal's own numeric `sync` is untouched by the policy key.
+        let plan = PlanBuilder::new(&l).scheduler("growlocal:sync=2000").cores(2).build().unwrap();
+        assert_eq!(plan.exec_policy().sync, SyncPolicy::Reduced);
+    }
+
+    #[test]
+    fn sync_policy_selects_the_wait_dag() {
+        let l = lower();
+        let n = l.n_rows();
+        let b: Vec<f64> = (0..n).map(|i| ((i * 3) % 7) as f64 - 2.0).collect();
+        let full = PlanBuilder::new(&l)
+            .scheduler("spmp")
+            .sync_policy(SyncPolicy::Full)
+            .cores(3)
+            .build()
+            .unwrap();
+        let reduced = PlanBuilder::new(&l)
+            .scheduler("spmp")
+            .sync_policy(SyncPolicy::Reduced)
+            .cores(3)
+            .build()
+            .unwrap();
+        // The full policy waits on the final operand's DAG; the reduced one
+        // on a strictly sparser DAG with identical reachability.
+        let full_dag = full.sync_dag().expect("async plan has a sync DAG");
+        let reduced_dag = reduced.sync_dag().expect("async plan has a sync DAG");
+        assert_eq!(
+            full_dag.n_edges(),
+            SolveDag::from_lower_triangular(full.internal_matrix()).n_edges()
+        );
+        assert!(reduced_dag.n_edges() < full_dag.n_edges());
+        // Barrier/serial plans carry none, and all policies solve alike.
+        assert!(PlanBuilder::new(&l).cores(3).build().unwrap().sync_dag().is_none());
+        assert_eq!(full.solve(&b), reduced.solve(&b));
+    }
+
+    #[test]
+    fn every_policy_combination_solves_identically() {
+        let l = lower();
+        let n = l.n_rows();
+        let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.29).sin() + 1.0).collect();
+        let reference = PlanBuilder::new(&l).cores(3).build().unwrap().solve(&b);
+        for model in ExecModel::ALL {
+            for sync in [SyncPolicy::Full, SyncPolicy::Reduced] {
+                for backoff in [Backoff::Spin, Backoff::Yield] {
+                    let plan = PlanBuilder::new(&l)
+                        .cores(3)
+                        .execution(model)
+                        .sync_policy(sync)
+                        .backoff(backoff)
+                        .build()
+                        .unwrap();
+                    assert_eq!(plan.solve(&b), reference, "{model}/{sync}/{backoff} diverged");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn repeated_pooled_solves_reuse_the_plan() {
+        // Steady-state regime: many solves on one plan, same pool, stable
+        // bit-for-bit results under both backoff policies.
+        let l = lower();
+        let n = l.n_rows();
+        let b: Vec<f64> = (0..n).map(|i| 1.0 + (i % 11) as f64).collect();
+        for backoff in [Backoff::Spin, Backoff::Yield] {
+            for model in [ExecModel::Barrier, ExecModel::Async] {
+                let plan = PlanBuilder::new(&l)
+                    .cores(4)
+                    .execution(model)
+                    .backoff(backoff)
+                    .build()
+                    .unwrap();
+                let mut ws = plan.workspace();
+                let mut x = vec![0.0; n];
+                plan.solve_into(&b, &mut x, &mut ws);
+                let reference = x.clone();
+                for round in 0..50 {
+                    x.fill(f64::NAN); // dirty start: every slot must be rewritten
+                    plan.solve_into(&b, &mut x, &mut ws);
+                    assert_eq!(x, reference, "{model}/{backoff} round {round}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn concurrent_solves_on_one_shared_plan_are_correct() {
+        // SolvePlan is Sync: two threads sharing one plan may solve
+        // concurrently with their own buffers (sound under the seed's
+        // scoped-spawn design; the pool serializes them on its run lock).
+        let l = lower();
+        let n = l.n_rows();
+        for model in [ExecModel::Barrier, ExecModel::Async] {
+            let plan = Arc::new(PlanBuilder::new(&l).cores(3).execution(model).build().unwrap());
+            let b: Vec<f64> = (0..n).map(|i| 1.0 + (i % 7) as f64).collect();
+            let expected = plan.solve(&b);
+            std::thread::scope(|scope| {
+                for _ in 0..2 {
+                    let plan = Arc::clone(&plan);
+                    let b = &b;
+                    let expected = &expected;
+                    scope.spawn(move || {
+                        let mut ws = plan.workspace();
+                        let mut x = vec![0.0; b.len()];
+                        for round in 0..25 {
+                            plan.solve_into(b, &mut x, &mut ws);
+                            assert_eq!(&x, expected, "{model} round {round}");
+                        }
+                    });
+                }
+            });
+        }
     }
 
     #[test]

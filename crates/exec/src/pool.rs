@@ -1,0 +1,703 @@
+//! Persistent worker-pool execution runtime.
+//!
+//! The paper's kernels (§6.1 barrier execution, §8 asynchronous execution)
+//! assume **long-lived worker threads**: the measured per-solve cost is the
+//! kernel plus synchronization, not thread creation. The seed executors
+//! instead paid a full `std::thread::scope` spawn/join round-trip on every
+//! `solve_into` — exactly the steady-state overhead the amortization regime
+//! (§7.7) is supposed to eliminate. This module is the replacement: a
+//! [`WorkerPool`] of `n_cores − 1` OS threads created **once** (lazily, on
+//! the first parallel solve of a plan) and parked between solves, so
+//! steady-state dispatch is a wake → run → retire cycle over already-running
+//! threads.
+//!
+//! # Dispatch protocol
+//!
+//! The pool is a single-leader fork/join runtime driven by an **epoch
+//! counter** (a sense-reversing barrier generalized from one bit to a
+//! counter, so it doubles as the job sequence number):
+//!
+//! 1. The leader (the thread calling [`WorkerPool::run`], which executes
+//!    core 0 itself) writes the type-erased job into the shared slot, then
+//!    publishes epoch `e+1` with a `Release` store and rings the wake bell.
+//! 2. Each worker observes the epoch change (`Acquire`, pairing with the
+//!    publish), runs the job for its core index, and retires by storing the
+//!    epoch into its *done* slot with `Release`.
+//! 3. The leader runs core 0's share, then waits (under the configured
+//!    [`Backoff`]) until every done slot reaches the epoch (`Acquire`,
+//!    pairing with the retirements).
+//!
+//! Between solves a worker spins briefly on the epoch and then parks on a
+//! condvar; the leader only touches the condvar mutex when publishing, so a
+//! hot solve loop never blocks on it.
+//!
+//! # Safety argument
+//!
+//! The job is a raw `(fn, *const ())` pair pointing at a caller-stack
+//! closure, which is sound because `run` does not return before every
+//! worker has retired the epoch: the `Release` retirement / `Acquire`
+//! completion-wait pairs order all worker accesses to the closure (and to
+//! the solution vector behind it) before `run` returns, and the next job
+//! cannot be published earlier. Three hazards are handled explicitly:
+//!
+//! * **Concurrent leaders** — executors are `Sync`, so two threads may
+//!   legally solve on one shared plan at once. `run` serializes them on a
+//!   leader lock; without it both would race on the job slot and publish
+//!   the same epoch.
+//! * **Leader panics** — the leader's own share runs under `catch_unwind`,
+//!   so `run` still waits for every retirement before re-raising; the
+//!   caller's stack frame is never freed under a running worker.
+//! * **Worker panics** — caught, flagged, retired, and re-raised on the
+//!   leader after all retirements (the worker thread stays alive for
+//!   subsequent solves). A job whose cores *wait on each other* must also
+//!   propagate an abort so siblings do not wait forever on a panicked
+//!   core: the barrier engines poison their [`SenseBarrier`] and the async
+//!   engine raises an abort flag checked by its done-flag waits.
+//!
+//! In-solve synchronization is provided by [`SenseBarrier`] (the classic
+//! sense-reversing centralized barrier, one per barrier-model solve) and by
+//! the asynchronous executor's per-vertex done flags; both wait under the
+//! plan's [`Backoff`] policy — `spin` busy-waits with a rare yield valve so
+//! oversubscribed machines still make progress, `yield` hands the core back
+//! to the OS after a short spin.
+
+use sptrsv_core::registry::Backoff;
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread::JoinHandle;
+
+/// Spins a worker performs on the epoch before parking on the condvar.
+const PARK_AFTER_SPINS: u32 = 1 << 12;
+
+/// In `spin` mode, one OS yield every this many spins — a progress valve
+/// for machines with fewer hardware threads than pool cores. Kept short:
+/// on a dedicated multicore machine real waits resolve within the first
+/// handful of spins and the valve never fires, while on an oversubscribed
+/// machine the waited-on thread *cannot* run until we yield, so the sooner
+/// the valve opens the closer the pool gets to futex-grade cooperative
+/// scheduling (measured by `benches/pool.rs`).
+const SPIN_VALVE: u32 = 1 << 7;
+
+/// In `yield` mode, spins before the loop starts yielding.
+const YIELD_AFTER_SPINS: u32 = 1 << 5;
+
+/// Locks a state-free mutex, ignoring poisoning: every guarded value here
+/// is `()` and all pool/barrier invariants live in atomics, so a panic
+/// while the lock is held (e.g. the leader re-raising a job panic out of
+/// `run`) corrupts nothing — later solves must keep working.
+fn lock_ignore_poison(mutex: &Mutex<()>) -> std::sync::MutexGuard<'_, ()> {
+    mutex.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// One step of a wait loop under `backoff`; `spins` is the caller's loop
+/// counter (start it at 0 per wait).
+#[inline]
+pub(crate) fn backoff_wait(backoff: Backoff, spins: &mut u32) {
+    *spins = spins.wrapping_add(1);
+    match backoff {
+        Backoff::Spin => {
+            std::hint::spin_loop();
+            if spins.is_multiple_of(SPIN_VALVE) {
+                std::thread::yield_now();
+            }
+        }
+        Backoff::Yield => {
+            if *spins < YIELD_AFTER_SPINS {
+                std::hint::spin_loop();
+            } else {
+                std::thread::yield_now();
+            }
+        }
+    }
+}
+
+/// Sense-reversing centralized barrier for the pool's in-solve supersteps.
+///
+/// Fresh per solve (a handful of words on the leader's stack — nothing is
+/// allocated); every participant keeps a local sense flag starting at
+/// `false`. The last arriver of a phase resets the count and flips the
+/// shared sense with a `Release` store; everyone else waits for the flip
+/// with `Acquire` loads, which orders all pre-barrier writes of every
+/// participant before any post-barrier read — the happens-before edge the
+/// barrier executor's safety argument needs.
+///
+/// The wait is **hybrid**: a bounded backoff phase (spinning per the
+/// [`Backoff`] policy) followed by parking on a condvar. On a dedicated
+/// multicore machine the flip lands within the spin phase and the slow path
+/// never runs; on an oversubscribed machine (fewer hardware threads than
+/// participants) the waited-on thread cannot progress until waiters get off
+/// the CPU, and parking matches the efficiency of an OS barrier. A waiter
+/// registers in the sleeper count (under the lock) before re-checking the
+/// sense and sleeping; the releaser flips the sense first and only takes
+/// the lock to notify when sleepers are registered — `SeqCst` on both sides
+/// closes the missed-wake-up window without charging the spin-only common
+/// case a mutex round-trip per superstep.
+///
+/// [`SenseBarrier::poison`] aborts a solve whose participant panicked:
+/// every current and future waiter panics instead of waiting for an arrival
+/// that will never come (the pool catches those panics and the leader
+/// re-raises).
+pub struct SenseBarrier {
+    n: usize,
+    count: AtomicUsize,
+    sense: AtomicBool,
+    poisoned: AtomicBool,
+    sleepers: AtomicUsize,
+    gate: Mutex<()>,
+    bell: Condvar,
+}
+
+/// Hardware threads available to this process (cached once).
+pub(crate) fn hardware_threads() -> usize {
+    static HW: OnceLock<usize> = OnceLock::new();
+    *HW.get_or_init(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
+}
+
+/// Backoff steps a waiter takes before parking on a condvar. Zero when the
+/// participant count oversubscribes the hardware: a spinning waiter then
+/// *occupies the CPU the waited-on thread needs*, so the only useful move
+/// is to get off it immediately — parking makes the pool degrade to
+/// futex-grade cooperative scheduling instead of burning quanta.
+fn park_threshold(backoff: Backoff, participants: usize) -> u32 {
+    if participants > hardware_threads() {
+        return 0;
+    }
+    match backoff {
+        Backoff::Spin => 1 << 10,
+        Backoff::Yield => 1 << 6,
+    }
+}
+
+impl SenseBarrier {
+    /// A barrier for `n` participants, initial shared sense `false`.
+    pub fn new(n: usize) -> SenseBarrier {
+        assert!(n > 0, "a barrier needs at least one participant");
+        SenseBarrier {
+            n,
+            count: AtomicUsize::new(0),
+            sense: AtomicBool::new(false),
+            poisoned: AtomicBool::new(false),
+            sleepers: AtomicUsize::new(0),
+            gate: Mutex::new(()),
+            bell: Condvar::new(),
+        }
+    }
+
+    /// Panics if the barrier was poisoned by a panicking sibling.
+    #[inline]
+    fn check_poison(&self) {
+        if self.poisoned.load(Ordering::Relaxed) {
+            panic!("parallel solve aborted: a sibling core panicked");
+        }
+    }
+
+    /// Wakes every parked waiter, but only pays the lock when someone is
+    /// actually registered asleep. `SeqCst` pairs with the waiter side: a
+    /// waiter registers in `sleepers` (under the lock) *before* its final
+    /// state re-check, so whichever of {state write, sleeper registration}
+    /// comes first in the total order, either the waiter sees the new state
+    /// and never sleeps, or the releaser sees the sleeper and notifies.
+    fn wake_sleepers(&self) {
+        if self.sleepers.load(Ordering::SeqCst) > 0 {
+            let _gate = lock_ignore_poison(&self.gate);
+            self.bell.notify_all();
+        }
+    }
+
+    /// Aborts the solve: every current and future [`SenseBarrier::wait`]
+    /// panics instead of waiting. Called by a participant that caught a
+    /// panic in its share of the work, so siblings blocked on its arrival
+    /// unwind too (and the pool reports the panic on the leader).
+    pub fn poison(&self) {
+        self.poisoned.store(true, Ordering::SeqCst);
+        self.wake_sleepers();
+    }
+
+    /// Blocks until all `n` participants have arrived. `local_sense` is the
+    /// participant's phase flag (initialize to `false`, pass the same
+    /// variable every phase).
+    ///
+    /// Panics if the barrier is [poisoned](SenseBarrier::poison).
+    pub fn wait(&self, local_sense: &mut bool, backoff: Backoff) {
+        let target = !*local_sense;
+        *local_sense = target;
+        if self.count.fetch_add(1, Ordering::AcqRel) + 1 == self.n {
+            self.count.store(0, Ordering::Relaxed);
+            self.sense.store(target, Ordering::SeqCst);
+            self.wake_sleepers();
+        } else {
+            let mut spins = 0;
+            let threshold = park_threshold(backoff, self.n);
+            while self.sense.load(Ordering::Acquire) != target {
+                self.check_poison();
+                if spins < threshold {
+                    backoff_wait(backoff, &mut spins);
+                } else {
+                    let mut gate = lock_ignore_poison(&self.gate);
+                    self.sleepers.fetch_add(1, Ordering::SeqCst);
+                    while self.sense.load(Ordering::SeqCst) != target
+                        && !self.poisoned.load(Ordering::SeqCst)
+                    {
+                        gate =
+                            self.bell.wait(gate).unwrap_or_else(std::sync::PoisonError::into_inner);
+                    }
+                    self.sleepers.fetch_sub(1, Ordering::SeqCst);
+                    drop(gate);
+                    self.check_poison();
+                    break;
+                }
+            }
+        }
+    }
+}
+
+/// A type-erased job: `call(ctx, core)` runs the leader's closure for one
+/// core index.
+#[derive(Clone, Copy)]
+struct Job {
+    call: unsafe fn(*const (), usize),
+    ctx: *const (),
+}
+
+/// State shared between the leader and the workers.
+struct PoolShared {
+    /// The published job. Written by the leader strictly before the epoch
+    /// store that announces it; read by workers strictly after observing
+    /// that epoch.
+    job: UnsafeCell<Option<Job>>,
+    /// Job sequence number; odd/even sense is implicit in the counter.
+    epoch: AtomicUsize,
+    /// Per-worker retirement slots: the last epoch each worker completed.
+    done: Vec<AtomicUsize>,
+    /// Set when any worker's job panicked (re-raised by the leader).
+    panicked: AtomicBool,
+    /// Tells parked workers to exit.
+    shutdown: AtomicBool,
+    /// More pool cores than hardware threads: every wait parks promptly and
+    /// retirements ring the bell so the leader need not busy-wait.
+    oversubscribed: bool,
+    /// Parking lot for idle workers and (when oversubscribed) the leader.
+    gate: Mutex<()>,
+    bell: Condvar,
+}
+
+// SAFETY: the raw job pointer is only dereferenced between the epoch
+// publish and the matching retirements, during which the leader keeps the
+// pointee alive (see the module-level safety argument). All other state is
+// atomics and sync primitives.
+unsafe impl Send for PoolShared {}
+unsafe impl Sync for PoolShared {}
+
+/// A pool of persistent worker threads executing one job at a time across
+/// `n_cores` logical cores (core 0 is the calling thread).
+pub struct WorkerPool {
+    shared: Arc<PoolShared>,
+    /// Serializes leaders: executors are `Sync`, so two threads may solve
+    /// on one shared plan concurrently — they take turns on the pool
+    /// instead of racing on the job slot and epoch.
+    run_lock: Mutex<()>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawns `n_cores − 1` workers (none for a single-core pool).
+    pub fn new(n_cores: usize) -> WorkerPool {
+        assert!(n_cores > 0, "a pool needs at least one core");
+        let n_workers = n_cores - 1;
+        let shared = Arc::new(PoolShared {
+            job: UnsafeCell::new(None),
+            epoch: AtomicUsize::new(0),
+            done: (0..n_workers).map(|_| AtomicUsize::new(0)).collect(),
+            panicked: AtomicBool::new(false),
+            shutdown: AtomicBool::new(false),
+            oversubscribed: n_cores > hardware_threads(),
+            gate: Mutex::new(()),
+            bell: Condvar::new(),
+        });
+        let handles = (0..n_workers)
+            .map(|index| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("sptrsv-worker-{}", index + 1))
+                    .spawn(move || worker_loop(&shared, index))
+                    .expect("failed to spawn pool worker")
+            })
+            .collect();
+        WorkerPool { shared, run_lock: Mutex::new(()), handles }
+    }
+
+    /// Total cores the pool serves, the calling thread included.
+    pub fn n_cores(&self) -> usize {
+        self.handles.len() + 1
+    }
+
+    /// Runs `f(core)` for every core `0..n_cores`, core 0 on the calling
+    /// thread, and returns when **all** cores have finished. `backoff`
+    /// drives the leader's completion wait. Concurrent callers (a shared
+    /// plan is `Sync`) serialize: one job runs at a time.
+    ///
+    /// Panics if any core's `f` panicked — always after every worker has
+    /// retired, so the caller's borrows were honored and the pool stays
+    /// usable. A job whose cores wait on each other must propagate its own
+    /// abort (poison the [`SenseBarrier`], raise a flag the waits check) so
+    /// sibling cores unwind instead of waiting for a panicked core forever.
+    pub fn run<F: Fn(usize) + Sync>(&self, backoff: Backoff, f: &F) {
+        if self.handles.is_empty() {
+            f(0);
+            return;
+        }
+        unsafe fn call<F: Fn(usize)>(ctx: *const (), core: usize) {
+            // SAFETY: `ctx` is the `&F` published below, alive until every
+            // worker retires (module-level safety argument).
+            unsafe { (*(ctx as *const F))(core) }
+        }
+        let _leader = lock_ignore_poison(&self.run_lock);
+        let epoch = self.shared.epoch.load(Ordering::Relaxed) + 1;
+        // SAFETY: the leader lock is held and all workers have retired every
+        // previous epoch (the previous `run` waited for them), so nothing
+        // reads the slot while this write happens; the Release store below
+        // publishes it.
+        unsafe {
+            *self.shared.job.get() = Some(Job { call: call::<F>, ctx: f as *const F as *const () });
+        }
+        {
+            let _gate = lock_ignore_poison(&self.shared.gate);
+            self.shared.epoch.store(epoch, Ordering::Release);
+            self.shared.bell.notify_all();
+        }
+        // The leader's own share must not unwind past the completion wait:
+        // workers still hold the raw pointer to `f` (and through it the
+        // caller's buffers) until they retire.
+        let leader_result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(0)));
+        for done in &self.shared.done {
+            let mut spins = 0;
+            while done.load(Ordering::Acquire) < epoch {
+                if !self.shared.oversubscribed {
+                    backoff_wait(backoff, &mut spins);
+                } else {
+                    // Parking frees the CPU for the worker being awaited;
+                    // its retirement rings the bell.
+                    let mut gate = lock_ignore_poison(&self.shared.gate);
+                    while done.load(Ordering::Acquire) < epoch {
+                        gate = self
+                            .shared
+                            .bell
+                            .wait(gate)
+                            .unwrap_or_else(std::sync::PoisonError::into_inner);
+                    }
+                    break;
+                }
+            }
+        }
+        let worker_panicked = self.shared.panicked.swap(false, Ordering::AcqRel);
+        if let Err(panic) = leader_result {
+            std::panic::resume_unwind(panic);
+        }
+        if worker_panicked {
+            panic!("a pool worker panicked while executing a solve");
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let _gate = lock_ignore_poison(&self.shared.gate);
+            self.shared.shutdown.store(true, Ordering::Release);
+            self.shared.bell.notify_all();
+        }
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// A worker: wait for the next epoch (spin, then park), run the job for
+/// this core, retire the epoch; exit on shutdown.
+fn worker_loop(shared: &PoolShared, index: usize) {
+    let core = index + 1;
+    let park_after = if shared.oversubscribed { 1 << 5 } else { PARK_AFTER_SPINS };
+    let mut seen = 0usize;
+    loop {
+        let mut spins = 0u32;
+        let epoch = loop {
+            let epoch = shared.epoch.load(Ordering::Acquire);
+            if epoch != seen {
+                break epoch;
+            }
+            if shared.shutdown.load(Ordering::Acquire) {
+                return;
+            }
+            spins += 1;
+            if spins < park_after {
+                std::hint::spin_loop();
+            } else {
+                // Park. The leader publishes the epoch and notifies under
+                // the same mutex, so re-checking under it closes the missed
+                // wake-up window.
+                let mut gate = lock_ignore_poison(&shared.gate);
+                while shared.epoch.load(Ordering::Acquire) == seen
+                    && !shared.shutdown.load(Ordering::Acquire)
+                {
+                    gate =
+                        shared.bell.wait(gate).unwrap_or_else(std::sync::PoisonError::into_inner);
+                }
+                break shared.epoch.load(Ordering::Acquire);
+            }
+        };
+        if epoch == seen {
+            continue; // shutdown observed with no new job
+        }
+        // SAFETY: observing the new epoch (Acquire) orders this read after
+        // the leader's job write (Release); the slot is always Some once an
+        // epoch has been published.
+        let job = unsafe { (*shared.job.get()).expect("published epoch carries a job") };
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            // SAFETY: per the module-level argument, the context outlives
+            // this call.
+            unsafe { (job.call)(job.ctx, core) }
+        }));
+        if result.is_err() {
+            shared.panicked.store(true, Ordering::Release);
+        }
+        seen = epoch;
+        shared.done[index].store(epoch, Ordering::Release);
+        if shared.oversubscribed {
+            // The leader may be parked on the bell awaiting this retirement;
+            // notify under the lock so its locked re-check cannot miss it.
+            let _gate = lock_ignore_poison(&shared.gate);
+            shared.bell.notify_all();
+        }
+    }
+}
+
+/// A lazily-created, `Arc`-shared [`WorkerPool`] — what executors embed.
+///
+/// Plans are frequently built for inspection, simulation or serial
+/// execution; spawning threads at plan-build time would be waste. The cell
+/// materializes the pool on the first parallel solve and every later solve
+/// reuses it; the pool dies with the executor (joining its workers).
+pub(crate) struct LazyPool {
+    n_cores: usize,
+    pool: OnceLock<Arc<WorkerPool>>,
+}
+
+impl LazyPool {
+    /// A cell that will pool `n_cores` cores on first use.
+    pub(crate) fn new(n_cores: usize) -> LazyPool {
+        LazyPool { n_cores, pool: OnceLock::new() }
+    }
+
+    /// The pool, created on first call.
+    pub(crate) fn get(&self) -> &Arc<WorkerPool> {
+        self.pool.get_or_init(|| Arc::new(WorkerPool::new(self.n_cores)))
+    }
+
+    /// Whether the pool has been materialized yet (test instrumentation).
+    #[cfg(test)]
+    pub(crate) fn is_materialized(&self) -> bool {
+        self.pool.get().is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_core_runs_exactly_once_per_dispatch() {
+        let pool = WorkerPool::new(4);
+        assert_eq!(pool.n_cores(), 4);
+        let hits: Vec<AtomicUsize> = (0..4).map(|_| AtomicUsize::new(0)).collect();
+        pool.run(Backoff::Spin, &|core| {
+            hits[core].fetch_add(1, Ordering::Relaxed);
+        });
+        for (core, hit) in hits.iter().enumerate() {
+            assert_eq!(hit.load(Ordering::Relaxed), 1, "core {core}");
+        }
+    }
+
+    #[test]
+    fn pool_is_reusable_across_many_dispatches() {
+        let pool = WorkerPool::new(3);
+        let total = AtomicUsize::new(0);
+        for _ in 0..100 {
+            pool.run(Backoff::Spin, &|_| {
+                total.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        assert_eq!(total.load(Ordering::Relaxed), 300);
+    }
+
+    #[test]
+    fn single_core_pool_runs_inline() {
+        let pool = WorkerPool::new(1);
+        assert_eq!(pool.n_cores(), 1);
+        let ran = AtomicUsize::new(0);
+        pool.run(Backoff::Yield, &|core| {
+            assert_eq!(core, 0);
+            ran.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(ran.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn yield_backoff_completes() {
+        let pool = WorkerPool::new(4);
+        let total = AtomicUsize::new(0);
+        for _ in 0..20 {
+            pool.run(Backoff::Yield, &|core| {
+                total.fetch_add(core + 1, Ordering::Relaxed);
+            });
+        }
+        assert_eq!(total.load(Ordering::Relaxed), 20 * (1 + 2 + 3 + 4));
+    }
+
+    #[test]
+    fn workers_park_and_wake_between_solves() {
+        let pool = WorkerPool::new(3);
+        let total = AtomicUsize::new(0);
+        pool.run(Backoff::Spin, &|_| {
+            total.fetch_add(1, Ordering::Relaxed);
+        });
+        // Long enough for both workers to exhaust PARK_AFTER_SPINS and park.
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        pool.run(Backoff::Spin, &|_| {
+            total.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 6);
+    }
+
+    #[test]
+    fn sense_barrier_orders_phases() {
+        let pool = WorkerPool::new(4);
+        let barrier = SenseBarrier::new(4);
+        let phases = 50usize;
+        let counter = AtomicUsize::new(0);
+        pool.run(Backoff::Spin, &|_core| {
+            let mut sense = false;
+            for phase in 0..phases {
+                counter.fetch_add(1, Ordering::Relaxed);
+                barrier.wait(&mut sense, Backoff::Spin);
+                // After the barrier every participant of this phase has
+                // incremented: the count is a full multiple of 4.
+                let seen = counter.load(Ordering::Relaxed);
+                assert!(seen >= (phase + 1) * 4, "phase {phase}: saw {seen}");
+                barrier.wait(&mut sense, Backoff::Spin);
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), phases * 4);
+    }
+
+    #[test]
+    fn concurrent_leaders_serialize_on_one_pool() {
+        // Executors are Sync, so two threads may legally drive one shared
+        // pool at once; the run lock must serialize them (racing on the job
+        // slot was the bug). Each dispatch checks its own closure ran for
+        // every core with no cross-talk.
+        let pool = WorkerPool::new(3);
+        let pool = &pool;
+        std::thread::scope(|scope| {
+            for _ in 0..2 {
+                scope.spawn(move || {
+                    for _ in 0..50 {
+                        let hits: Vec<AtomicUsize> = (0..3).map(|_| AtomicUsize::new(0)).collect();
+                        pool.run(Backoff::Spin, &|core| {
+                            hits[core].fetch_add(1, Ordering::Relaxed);
+                        });
+                        for (core, hit) in hits.iter().enumerate() {
+                            assert_eq!(hit.load(Ordering::Relaxed), 1, "core {core}");
+                        }
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn leader_panic_still_waits_for_workers() {
+        // The leader's share panicking must not unwind past the completion
+        // wait: workers still hold the job pointer. Observable contract:
+        // the panic surfaces after every worker retired, and the pool stays
+        // usable.
+        let pool = WorkerPool::new(3);
+        let workers_done = AtomicUsize::new(0);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.run(Backoff::Spin, &|core| {
+                if core == 0 {
+                    panic!("leader boom");
+                }
+                workers_done.fetch_add(1, Ordering::Relaxed);
+            });
+        }));
+        assert!(result.is_err(), "leader panic was swallowed");
+        assert_eq!(workers_done.load(Ordering::Relaxed), 2, "workers did not all retire");
+        let ok = AtomicUsize::new(0);
+        pool.run(Backoff::Spin, &|_| {
+            ok.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(ok.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn poisoned_barrier_releases_stranded_waiters() {
+        // A core that panics before arriving at the barrier must not strand
+        // its siblings: poisoning makes every waiter unwind, all workers
+        // retire, and the leader re-raises.
+        let pool = WorkerPool::new(4);
+        let barrier = SenseBarrier::new(4);
+        let barrier = &barrier;
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.run(Backoff::Spin, &|core| {
+                let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    if core == 1 {
+                        panic!("worker boom before the barrier");
+                    }
+                    let mut sense = false;
+                    barrier.wait(&mut sense, Backoff::Spin); // would deadlock unpoisoned
+                }));
+                if let Err(panic) = run {
+                    barrier.poison();
+                    std::panic::resume_unwind(panic);
+                }
+            });
+        }));
+        assert!(result.is_err(), "solve abort was swallowed");
+        // The pool survives the aborted solve.
+        let ok = AtomicUsize::new(0);
+        pool.run(Backoff::Spin, &|_| {
+            ok.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(ok.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn worker_panic_reaches_the_leader_and_pool_survives() {
+        let pool = WorkerPool::new(2);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.run(Backoff::Spin, &|core| {
+                if core == 1 {
+                    panic!("boom");
+                }
+            });
+        }));
+        assert!(result.is_err(), "worker panic was swallowed");
+        // The pool remains serviceable afterwards.
+        let ok = AtomicUsize::new(0);
+        pool.run(Backoff::Spin, &|_| {
+            ok.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(ok.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn lazy_pool_materializes_once() {
+        let lazy = LazyPool::new(3);
+        assert!(!lazy.is_materialized());
+        let first = Arc::as_ptr(lazy.get());
+        assert!(lazy.is_materialized());
+        assert_eq!(Arc::as_ptr(lazy.get()), first, "pool rebuilt on reuse");
+        assert_eq!(lazy.get().n_cores(), 3);
+    }
+}

@@ -18,8 +18,15 @@
 //! (SpMP) mode. Three presets mirror the paper's machines (§6.3). Absolute
 //! numbers are model units; only relative shapes are meaningful, as the
 //! reproduction brief allows.
+//!
+//! The [`ExecPolicy`] dimensions are modeled too (§8): `sync=full` waits on
+//! every solve-DAG edge instead of the reduction (more point-to-point
+//! checks), and `backoff=yield` charges `yield_resume_cycles` — the OS
+//! re-scheduling latency — whenever a wait actually blocks (a spinning
+//! waiter observes the flag at flag-propagation latency; a yielding waiter
+//! must first be re-scheduled).
 
-use sptrsv_core::registry::ExecModel;
+use sptrsv_core::registry::{Backoff, ExecModel, ExecPolicy, SyncPolicy};
 use sptrsv_core::CompiledSchedule;
 use sptrsv_dag::transitive::approximate_transitive_reduction;
 use sptrsv_dag::SolveDag;
@@ -51,6 +58,10 @@ pub struct MachineProfile {
     pub barrier_cycles: f64,
     /// Async mode: overhead per awaited cross-core dependency.
     pub p2p_check_cycles: f64,
+    /// OS re-scheduling latency charged per *blocking* wait under the
+    /// `backoff=yield` policy (a yielded thread must be re-scheduled before
+    /// it observes the flag).
+    pub yield_resume_cycles: f64,
     /// Number of cores that saturate the memory bandwidth; beyond this,
     /// streaming cost scales up linearly with the active core count.
     pub bandwidth_cores: f64,
@@ -72,6 +83,7 @@ impl MachineProfile {
             cycles_per_miss: 70.0,
             barrier_cycles: 1800.0,
             p2p_check_cycles: 120.0,
+            yield_resume_cycles: 6000.0,
             bandwidth_cores: 9.0,
         }
     }
@@ -87,6 +99,7 @@ impl MachineProfile {
             cycles_per_miss: 85.0,
             barrier_cycles: 3200.0, // larger, chiplet-crossing barrier
             p2p_check_cycles: 160.0,
+            yield_resume_cycles: 8000.0,
             bandwidth_cores: 11.0,
         }
     }
@@ -102,6 +115,7 @@ impl MachineProfile {
             cycles_per_miss: 75.0,
             barrier_cycles: 2200.0,
             p2p_check_cycles: 130.0,
+            yield_resume_cycles: 7000.0,
             bandwidth_cores: 10.0,
         }
     }
@@ -243,30 +257,46 @@ fn row_cost(
 /// this).
 ///
 /// Asynchronous execution waits on `sync_dag` when given (callers that
-/// already hold the reduced DAG — e.g. a plan's cached copy — pass it to
-/// avoid rebuilding); with `None` the approximate transitive reduction of
-/// `matrix`'s solve DAG is built here.
+/// already hold a synchronization DAG — e.g. a plan's cached copy, already
+/// shaped by its policy — pass it to avoid rebuilding); with `None` the DAG
+/// is built here per `policy.sync`: the full solve DAG, or its approximate
+/// transitive reduction. `policy.backoff` charges OS re-scheduling latency
+/// on blocking waits under `yield` (per-barrier in the barrier model,
+/// per-blocking-wait in the async model).
 pub fn simulate_model(
     matrix: &CsrMatrix,
     compiled: &CompiledSchedule,
     model: ExecModel,
     sync_dag: Option<&SolveDag>,
     profile: &MachineProfile,
+    policy: ExecPolicy,
 ) -> SimReport {
     match model {
-        ExecModel::Barrier => simulate_barrier(matrix, compiled, profile),
+        ExecModel::Barrier => {
+            let mut report = simulate_barrier(matrix, compiled, profile);
+            if policy.backoff == Backoff::Yield {
+                // Every barrier release re-schedules the yielded waiters.
+                let extra = profile.yield_resume_cycles * compiled.n_barriers() as f64;
+                report.sync_cycles += extra;
+                report.cycles += extra;
+            }
+            report
+        }
         ExecModel::Serial => simulate_serial(matrix, profile),
         ExecModel::Async => {
             let built;
             let sync = match sync_dag {
                 Some(dag) => dag,
                 None => {
-                    built =
-                        approximate_transitive_reduction(&SolveDag::from_lower_triangular(matrix));
+                    let full = SolveDag::from_lower_triangular(matrix);
+                    built = match policy.sync {
+                        SyncPolicy::Full => full,
+                        SyncPolicy::Reduced => approximate_transitive_reduction(&full),
+                    };
                     &built
                 }
             };
-            simulate_async(matrix, compiled, sync, profile)
+            simulate_async(matrix, compiled, sync, profile, policy.backoff)
         }
     }
 }
@@ -338,14 +368,17 @@ pub fn simulate_barrier(
 ///
 /// Every core walks its cells of the compiled schedule in order; a vertex
 /// starts at the maximum of its core's clock and the finish times of its
-/// cross-core parents in `sync_dag` (plus a per-wait check overhead). No
-/// barriers. Like [`simulate_barrier`], the compiled layout is taken by
-/// reference so plan-based callers reuse their shared `Arc`.
+/// cross-core parents in `sync_dag` (plus a per-wait check overhead; a
+/// *blocking* wait under `backoff = yield` additionally pays the OS
+/// re-scheduling latency). No barriers. Like [`simulate_barrier`], the
+/// compiled layout is taken by reference so plan-based callers reuse their
+/// shared `Arc`.
 pub fn simulate_async(
     matrix: &CsrMatrix,
     compiled: &CompiledSchedule,
     sync_dag: &SolveDag,
     profile: &MachineProfile,
+    backoff: Backoff,
 ) -> SimReport {
     let n = matrix.n_rows();
     let k = compiled.n_cores().min(profile.max_cores);
@@ -370,9 +403,15 @@ pub fn simulate_async(
                     if (core_of[u] as usize).min(k - 1) != p {
                         if finish[u] > start {
                             // Actually waiting: idle until the producer
-                            // finishes, plus the flag-propagation latency.
-                            sync += (finish[u] - start) + profile.p2p_check_cycles;
-                            start = finish[u] + profile.p2p_check_cycles;
+                            // finishes, plus the flag-propagation latency —
+                            // and, for a yielded waiter, the OS
+                            // re-scheduling latency before it runs again.
+                            let resume = match backoff {
+                                Backoff::Spin => 0.0,
+                                Backoff::Yield => profile.yield_resume_cycles,
+                            };
+                            sync += (finish[u] - start) + profile.p2p_check_cycles + resume;
+                            start = finish[u] + profile.p2p_check_cycles + resume;
                         } else {
                             // Flag already set: one cheap acquire load.
                             start += CHECK_HIT_CYCLES;
@@ -489,13 +528,55 @@ mod tests {
         let s = CompiledSchedule::from_schedule(&SpMp.schedule(&dag, 8));
         let reduced = SpMp.reduced_dag(&dag);
         let barrier = simulate_barrier(&l, &s, &p);
-        let asynchronous = simulate_async(&l, &s, &reduced, &p);
+        let asynchronous = simulate_async(&l, &s, &reduced, &p, Backoff::Spin);
         assert!(
             asynchronous.cycles < barrier.cycles,
             "async {} vs barrier {}",
             asynchronous.cycles,
             barrier.cycles
         );
+    }
+
+    #[test]
+    fn yield_backoff_costs_more_when_waits_block() {
+        let (l, dag) = grid_problem(30, 30);
+        let p = MachineProfile::intel_xeon_22();
+        let s = CompiledSchedule::from_schedule(&SpMp.schedule(&dag, 8));
+        let reduced = SpMp.reduced_dag(&dag);
+        let spin = simulate_async(&l, &s, &reduced, &p, Backoff::Spin);
+        let yielded = simulate_async(&l, &s, &reduced, &p, Backoff::Yield);
+        assert!(
+            yielded.cycles >= spin.cycles,
+            "yield {} must not beat spin {}",
+            yielded.cycles,
+            spin.cycles
+        );
+        // The barrier model charges re-scheduling per barrier.
+        let policy_spin = ExecPolicy { backoff: Backoff::Spin, ..ExecPolicy::default() };
+        let policy_yield = ExecPolicy { backoff: Backoff::Yield, ..ExecPolicy::default() };
+        let b_spin = simulate_model(&l, &s, ExecModel::Barrier, None, &p, policy_spin);
+        let b_yield = simulate_model(&l, &s, ExecModel::Barrier, None, &p, policy_yield);
+        assert_eq!(b_yield.cycles - b_spin.cycles, p.yield_resume_cycles * s.n_barriers() as f64);
+    }
+
+    #[test]
+    fn full_sync_dag_waits_on_more_edges_than_reduced() {
+        let (l, dag) = grid_problem(30, 30);
+        let p = MachineProfile::intel_xeon_22();
+        let s = CompiledSchedule::from_schedule(&SpMp.schedule(&dag, 8));
+        let full = ExecPolicy { sync: SyncPolicy::Full, ..ExecPolicy::default() };
+        let reduced = ExecPolicy { sync: SyncPolicy::Reduced, ..ExecPolicy::default() };
+        let r_full = simulate_model(&l, &s, ExecModel::Async, None, &p, full);
+        let r_reduced = simulate_model(&l, &s, ExecModel::Async, None, &p, reduced);
+        // Fewer awaited edges ⇒ no more synchronization overhead; both are
+        // deterministic and distinct policies produce distinct wait DAGs.
+        assert!(
+            r_reduced.sync_cycles <= r_full.sync_cycles,
+            "reduced sync {} vs full {}",
+            r_reduced.sync_cycles,
+            r_full.sync_cycles
+        );
+        assert_eq!(r_full, simulate_model(&l, &s, ExecModel::Async, None, &p, full));
     }
 
     #[test]

@@ -23,6 +23,7 @@ use sptrsv::prelude::*;
 fn run_spec(spec: &str, dag: &SolveDag, matrix: &CsrMatrix, k: usize) {
     let parsed = spec.parse().expect("spec follows the grammar");
     let model = registry::resolve_model(&parsed).expect("model is supported");
+    let policy = registry::resolve_exec_policy(&parsed).expect("policy keys are valid");
     let sched = registry::build(&parsed, dag, k).expect("spec is registered");
     let s = sched.schedule(dag, k);
     s.validate(dag).expect("schedule must be valid");
@@ -30,7 +31,7 @@ fn run_spec(spec: &str, dag: &SolveDag, matrix: &CsrMatrix, k: usize) {
     let profile = MachineProfile::intel_xeon_22();
     let serial = simulate_serial(matrix, &profile);
     let compiled = CompiledSchedule::from_schedule(&s);
-    let par = sptrsv::exec::simulate_model(matrix, &compiled, model, None, &profile);
+    let par = sptrsv::exec::simulate_model(matrix, &compiled, model, None, &profile, policy);
     println!(
         "{spec:<38} supersteps {:>6}  imbalance {:>5.2}  modeled speed-up {:>5.2}x",
         s.n_supersteps(),
@@ -69,6 +70,16 @@ fn main() {
     println!("\n-- execution models (the @model spec dimension) --");
     for model in ExecModel::ALL {
         run_spec(&format!("growlocal@{model}"), &dag, &l, k);
+    }
+
+    println!("\n-- execution policy: wait DAG and backoff (the §8 exploration) --");
+    for spec in [
+        "spmp@async",
+        "spmp:sync=full@async",
+        "spmp:backoff=yield@async",
+        "spmp:sync=full,backoff=yield@async",
+    ] {
+        run_spec(spec, &dag, &l, k);
     }
 
     println!("\n-- nested scopes: tuning funnel-gl's inner GrowLocal --");

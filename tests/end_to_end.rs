@@ -8,9 +8,10 @@
 
 use sptrsv::core::registry;
 use sptrsv::core::CompiledSchedule;
+use sptrsv::dag::transitive::reduction_invocations;
 use sptrsv::exec::async_exec::AsyncExecutor;
 use sptrsv::exec::verify::deviation_from_serial;
-use sptrsv::exec::{ExecModel, MultiRhsExecutor, PlanBuilder};
+use sptrsv::exec::{solve_lower_serial, ExecModel, MultiRhsExecutor, PlanBuilder};
 use sptrsv::prelude::*;
 
 #[test]
@@ -110,7 +111,98 @@ fn every_scheduler_model_pair_is_one_spec_string_and_all_models_agree() {
                 Some(r) => assert_eq!(&x, r, "`{spec}` differs from {}'s first model", info.name),
             }
         }
+        // The execution policy dimensions must not change the solution
+        // either: every sync/backoff variant of the scheduler's async
+        // execution (when supported) matches the reference bitwise.
+        if info.exec_models.contains(&ExecModel::Async) {
+            for policy in [
+                "sync=full",
+                "sync=reduced",
+                "backoff=spin",
+                "backoff=yield",
+                "sync=full,backoff=yield",
+            ] {
+                let spec = format!("{}:{policy}@async", info.name);
+                let plan = PlanBuilder::new(&ds.lower)
+                    .scheduler(&spec)
+                    .cores(4)
+                    .build()
+                    .unwrap_or_else(|e| panic!("`{spec}`: {e}"));
+                let x = plan.solve(&b);
+                assert_eq!(
+                    Some(&x),
+                    reference.as_ref(),
+                    "`{spec}` diverged from {}'s reference",
+                    info.name
+                );
+            }
+        }
     }
+}
+
+#[test]
+fn repeated_pooled_solves_are_bit_identical_to_serial() {
+    // The steady-state contract of the persistent pool: 100 consecutive
+    // `solve_into` calls on one plan are bit-identical to the serial
+    // reference, for each execution model. Without reordering the internal
+    // operand equals the input, and every executor computes each row's dot
+    // product in the same CSR order — so agreement is exact, not just close.
+    let suite = load_suite(SuiteKind::SuiteSparse, Scale::Test, 21);
+    let ds = &suite[0];
+    let n = ds.lower.n_rows();
+    let b: Vec<f64> = (0..n).map(|i| ((i * 31) % 17) as f64 / 3.0 - 2.0).collect();
+    let mut serial = vec![0.0; n];
+    solve_lower_serial(&ds.lower, &b, &mut serial);
+    for model in ExecModel::ALL {
+        let plan =
+            PlanBuilder::new(&ds.lower).cores(4).reorder(false).execution(model).build().unwrap();
+        let mut ws = plan.workspace();
+        let mut x = vec![0.0; n];
+        for round in 0..100 {
+            x.fill(f64::NAN); // a correct solve rewrites every slot
+            plan.solve_into(&b, &mut x, &mut ws);
+            assert_eq!(x, serial, "{model} diverged from serial on round {round}");
+        }
+    }
+}
+
+#[test]
+fn async_plans_build_their_sync_dag_exactly_once() {
+    // Acceptance check for the `Scheduler::sync_dag` hook: an `spmp@async`
+    // plan performs exactly one approximate transitive reduction (the hook
+    // hands the executor the DAG the scheduler family is defined by),
+    // schedulers without a hook leave the single reduction to the planner,
+    // and `sync=full` plans never reduce at all. The invocation counter is
+    // thread-local, so concurrently running tests cannot disturb the deltas.
+    let suite = load_suite(SuiteKind::SuiteSparse, Scale::Test, 22);
+    let ds = &suite[0];
+
+    let before = reduction_invocations();
+    let plan = PlanBuilder::new(&ds.lower).scheduler("spmp").cores(4).build().unwrap();
+    assert_eq!(plan.exec_model(), ExecModel::Async, "spmp defaults to async");
+    assert_eq!(reduction_invocations() - before, 1, "spmp@async must reduce exactly once");
+    assert!(plan.sync_dag().is_some());
+
+    let before = reduction_invocations();
+    let plan = PlanBuilder::new(&ds.lower).scheduler("growlocal@async").cores(4).build().unwrap();
+    assert_eq!(reduction_invocations() - before, 1, "hookless async plans reduce exactly once");
+    assert!(plan.sync_dag().is_some());
+
+    let before = reduction_invocations();
+    let plan = PlanBuilder::new(&ds.lower).scheduler("spmp:sync=full").cores(4).build().unwrap();
+    assert_eq!(reduction_invocations() - before, 0, "sync=full must not reduce");
+    let full = plan.sync_dag().expect("async plan carries its wait DAG");
+    assert_eq!(
+        full.n_edges(),
+        SolveDag::from_lower_triangular(plan.internal_matrix()).n_edges(),
+        "sync=full waits on the full final DAG"
+    );
+
+    // Barrier and serial plans never touch the reduction.
+    let before = reduction_invocations();
+    let plan = PlanBuilder::new(&ds.lower).scheduler("spmp@barrier").cores(4).build().unwrap();
+    assert_eq!(reduction_invocations() - before, 0, "spmp@barrier must not reduce");
+    assert!(plan.sync_dag().is_none());
 }
 
 #[test]

@@ -15,7 +15,7 @@
 use proptest::prelude::*;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use sptrsv::core::registry::{self, ExecModel, RegistryError, SchedulerSpec};
+use sptrsv::core::registry::{self, Backoff, ExecModel, RegistryError, SchedulerSpec, SyncPolicy};
 use sptrsv::core::CompiledSchedule;
 use sptrsv::dag::coarsen::{coarsen, funnel_partition, is_funnel, FunnelDirection, FunnelOptions};
 use sptrsv::dag::{is_acyclic, transitive::approximate_transitive_reduction};
@@ -118,6 +118,52 @@ proptest! {
                 prop_assert!(registry::build(&spec, &g, 2).is_ok(), "`{}` failed to build", text);
             }
         }
+    }
+
+    // Execution-policy keys (`sync=full|reduced`, `backoff=spin|yield`)
+    // compose with every registry entry and an optional `@model` suffix:
+    // the spec stays grammatical, resolves the right policy, and builds —
+    // while bad backoff values are rejected on every scheduler.
+    #[test]
+    fn exec_policy_keys_compose_with_every_scheduler(
+        entry_pick in any::<u64>(),
+        sync_pick in 0u64..3,
+        backoff_pick in 0u64..3,
+        with_model in any::<bool>(),
+    ) {
+        let entries = registry::list();
+        let entry = &entries[(entry_pick % entries.len() as u64) as usize];
+        let mut params = Vec::new();
+        let sync = [None, Some(SyncPolicy::Full), Some(SyncPolicy::Reduced)][sync_pick as usize];
+        let backoff = [None, Some(Backoff::Spin), Some(Backoff::Yield)][backoff_pick as usize];
+        if let Some(s) = sync {
+            params.push(format!("sync={s}"));
+        }
+        if let Some(b) = backoff {
+            params.push(format!("backoff={b}"));
+        }
+        let mut text = entry.name.to_string();
+        if !params.is_empty() {
+            text = format!("{text}:{}", params.join(","));
+        }
+        if with_model {
+            text = format!("{text}@{}", entry.default_model());
+        }
+        let spec: SchedulerSpec = text.parse().expect("policy specs are grammatical");
+        let policy = registry::resolve_exec_policy(&spec).expect("valid policy keys");
+        prop_assert_eq!(policy.sync, sync.unwrap_or_default());
+        prop_assert_eq!(policy.backoff, backoff.unwrap_or_default());
+        let g = SolveDag::from_edges(4, &[(0, 1), (1, 3), (2, 3)], vec![1; 4]);
+        prop_assert!(registry::build(&spec, &g, 2).is_ok(), "`{}` failed to build", text);
+        // Round trip: the rendered spec re-parses to the same policy.
+        let reparsed: SchedulerSpec = spec.to_string().parse().expect("round trip");
+        prop_assert_eq!(registry::resolve_exec_policy(&reparsed).expect("round trip"), policy);
+        // Bad backoff values fail on every scheduler.
+        let bad = format!("{}:backoff=banana", entry.name);
+        prop_assert!(matches!(
+            registry::resolve(&bad, &g, 2),
+            Err(RegistryError::BadValue { key: "backoff", .. })
+        ), "`{}` was not rejected", bad);
     }
 
     // Unknown scopes and unknown models never parse-and-build: scoped keys
