@@ -3,9 +3,11 @@
 //!
 //! Compares **steady-state** parallel solve latency on one plan:
 //!
-//! * **pooled** — the production `BarrierExecutor`: persistent workers,
-//!   parked between solves, woken by the epoch dispatch (after a warm-up
-//!   solve that pays the one-time pool spin-up);
+//! * **pooled** — the production `BarrierExecutor`: persistent workers
+//!   leased per solve from the shared `SolverRuntime`, parked between
+//!   solves, woken by the epoch dispatch (after a warm-up solve that pays
+//!   the one-time runtime spin-up; see `benches/runtime.rs` for the
+//!   shared-vs-private-runtime comparison);
 //! * **scoped-spawn** — the seed implementation verbatim: a full
 //!   `std::thread::scope` spawn/join round-trip plus a `std::sync::Barrier`
 //!   per solve. Kept here (only) as the baseline under measurement.

@@ -1,0 +1,86 @@
+//! Bench guard for the shared core-leasing runtime (this PR's perf claim,
+//! measured rather than asserted).
+//!
+//! Compares **steady-state** single-plan solve latency:
+//!
+//! * **private runtime** — the PR 3 regime re-created exactly: the
+//!   executor is the *only* tenant of a runtime sized to its core count,
+//!   so every lease grants full width instantly (this is what the
+//!   per-executor `WorkerPool` was);
+//! * **shared runtime** — the production regime: the same plan leases
+//!   from a runtime that other (idle) plans also hold handles to, paying
+//!   the lease acquisition/release (one uncontended mutex round-trip per
+//!   solve) on top.
+//!
+//! The acceptance criterion is that the shared line is within noise of
+//! the private one — the lease bookkeeping must not tax the single-plan
+//! case that PR 3 optimized. A third line measures the degraded regime
+//! (a 4-core schedule on a 2-core runtime) for visibility; it trades
+//! parallelism for isolation by design, so it has no pass/fail bound.
+//!
+//! Run with `cargo bench -p sptrsv-bench --bench runtime` (or `-- --test`
+//! for the CI smoke, which executes each body once).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sptrsv_exec::{PlanBuilder, SolvePlan, SolverRuntime};
+use sptrsv_sparse::gen::grid::{grid2d_laplacian, Stencil2D};
+use std::sync::Arc;
+
+fn plan_on(l: &sptrsv_sparse::CsrMatrix, cores: usize, runtime: &Arc<SolverRuntime>) -> SolvePlan {
+    PlanBuilder::new(l)
+        .scheduler("growlocal")
+        .cores(cores)
+        .runtime(Arc::clone(runtime))
+        .build()
+        .expect("valid plan")
+}
+
+fn bench_runtime(c: &mut Criterion) {
+    let l = grid2d_laplacian(128, 128, Stencil2D::FivePoint, 0.5).lower_triangle().expect("square");
+    let n = l.n_rows();
+    let b: Vec<f64> = (0..n).map(|i| 1.0 + (i % 5) as f64).collect();
+
+    let mut group = c.benchmark_group("steady_state_solve");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(l.nnz() as u64));
+    for cores in [2usize, 4] {
+        // PR 3 regime: a dedicated pool per executor.
+        let private_rt = Arc::new(SolverRuntime::new(cores));
+        let private = plan_on(&l, cores, &private_rt);
+        // Production regime: the same capacity, shared with idle tenants.
+        let shared_rt = Arc::new(SolverRuntime::new(cores));
+        let shared = plan_on(&l, cores, &shared_rt);
+        let _idle_tenants: Vec<SolvePlan> =
+            (0..3).map(|_| plan_on(&l, cores, &shared_rt)).collect();
+        // Contended regime: the schedule wants more than the runtime has.
+        let tight_rt = Arc::new(SolverRuntime::new((cores / 2).max(1)));
+        let degraded = plan_on(&l, cores, &tight_rt);
+
+        // Warm-up outside the measured region and cross-check agreement.
+        let mut ws_p = private.workspace();
+        let mut ws_s = shared.workspace();
+        let mut ws_d = degraded.workspace();
+        let mut x_p = vec![0.0; n];
+        let mut x_s = vec![0.0; n];
+        let mut x_d = vec![0.0; n];
+        private.solve_into(&b, &mut x_p, &mut ws_p);
+        shared.solve_into(&b, &mut x_s, &mut ws_s);
+        degraded.solve_into(&b, &mut x_d, &mut ws_d);
+        assert_eq!(x_p, x_s, "private and shared runtimes diverged");
+        assert_eq!(x_p, x_d, "degraded lease width changed the bits");
+
+        group.bench_with_input(BenchmarkId::new("private_runtime", cores), &l, |bch, _| {
+            bch.iter(|| private.solve_into(&b, &mut x_p, &mut ws_p));
+        });
+        group.bench_with_input(BenchmarkId::new("shared_runtime", cores), &l, |bch, _| {
+            bch.iter(|| shared.solve_into(&b, &mut x_s, &mut ws_s));
+        });
+        group.bench_with_input(BenchmarkId::new("degraded_width", cores), &l, |bch, _| {
+            bch.iter(|| degraded.solve_into(&b, &mut x_d, &mut ws_d));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_runtime);
+criterion_main!(benches);

@@ -96,6 +96,12 @@ impl EvalOutcome {
 }
 
 /// Runs `pipeline` on `dataset` for `n_cores` cores of `profile`.
+///
+/// `n_cores` is an explicit caller setting, so — matching the precedence
+/// everywhere else in the workspace (typed `PlanBuilder::cores`, explicit
+/// CLI `--cores`) — it wins over a `cores=` execution-policy key in the
+/// pipeline's spec; the key only fills in where a consumer has no explicit
+/// count.
 pub fn evaluate(
     dataset: &Dataset,
     pipeline: &Pipeline,

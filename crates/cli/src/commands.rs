@@ -39,13 +39,17 @@ commands:
 
 --algo takes a scheduler spec in the grammar name[:key=value,...][@model]:
 a name from `sptrsv algos`, optional parameters (scoped keys like gl.alpha
-reach a composite scheduler's inner GrowLocal; sync=full|reduced and
-backoff=spin|yield address the execution policy on any scheduler) and an
-optional execution model, e.g. growlocal:alpha=8,sync=2000,
+reach a composite scheduler's inner GrowLocal; sync=full|reduced,
+backoff=spin|yield and cores=N address the execution policy on any
+scheduler) and an optional execution model, e.g. growlocal:alpha=8,sync=2000,
 funnel-gl:gl.alpha=8,cap=auto, growlocal:sync=full@async or spmp:backoff=yield.
---repeat N runs N steady-state solves on one plan (the persistent worker
-pool dispatches without re-spawning threads) and checks they are
-bit-identical.";
+An explicit --cores flag overrides the spec's cores= key. Parallel solves
+lease their threads per solve from the process-wide solver runtime (sized
+to the hardware), so concurrent solves never oversubscribe the machine —
+a solve wider than the free capacity degrades gracefully to fewer cores.
+--repeat N runs N steady-state solves on one plan (leases dispatch onto
+already-running runtime workers without re-spawning threads) and checks
+they are bit-identical.";
 
 /// Dispatches a full argv (after the program name).
 pub fn dispatch(argv: &[String]) -> Result<(), String> {
@@ -162,10 +166,21 @@ fn algos() -> Result<(), String> {
     Ok(())
 }
 
+/// The effective core count of a command: the explicit `--cores` flag,
+/// else the spec's `cores=` execution-policy key, else `default`.
+fn effective_cores(args: &Args, algo: &str, default: usize) -> Result<usize, String> {
+    if args.get("cores").is_some() {
+        return args.get_parse("cores", default);
+    }
+    let spec: SchedulerSpec = algo.parse().map_err(|e: registry::RegistryError| e.to_string())?;
+    let policy = registry::resolve_exec_policy(&spec).map_err(|e| e.to_string())?;
+    Ok(policy.cores.unwrap_or(default))
+}
+
 fn schedule(args: &Args) -> Result<(), String> {
     let path = args.require_positional(0, "matrix file")?;
-    let cores: usize = args.get_parse("cores", 8)?;
     let algo = args.get("algo").unwrap_or("growlocal");
+    let cores = effective_cores(args, algo, 8)?;
     let lower = load_lower(path)?;
     let dag = SolveDag::from_lower_triangular(&lower);
     let sched = registry::resolve(algo, &dag, cores).map_err(|e| e.to_string())?;
@@ -194,8 +209,8 @@ fn schedule(args: &Args) -> Result<(), String> {
 
 fn solve(args: &Args) -> Result<(), String> {
     let path = args.require_positional(0, "matrix file")?;
-    let cores: usize = args.get_parse("cores", 8)?;
     let algo = args.get("algo").unwrap_or("growlocal");
+    let cores = effective_cores(args, algo, 8)?;
     // Every flag takes a value (see `Args::parse`), so parse the booleans —
     // `--coarsen false` must not silently enable coarsening.
     let reorder = !args.get_parse("no-reorder", false)?;
@@ -235,9 +250,21 @@ fn solve(args: &Args) -> Result<(), String> {
         plan.exec_policy().sync,
         plan.exec_policy().backoff
     );
+    let plan_cores = plan.compiled().n_cores();
+    if plan_cores > 1 && plan.exec_model() != registry::ExecModel::Serial {
+        // The parallel solve above already materialized the process
+        // runtime, so reporting its capacity is free; serial plans never
+        // touch it and should not spawn its workers just for this line.
+        println!(
+            "cores:             {plan_cores} (leased per solve from the {}-core process runtime)",
+            sptrsv_exec::SolverRuntime::global().capacity()
+        );
+    } else {
+        println!("cores:             {plan_cores}");
+    }
     println!("supersteps:        {}", plan.schedule().n_supersteps());
     println!(
-        "solve wall time:   {:.3} ms (first solve, pool spin-up included)",
+        "solve wall time:   {:.3} ms (first solve, runtime spin-up included)",
         first_elapsed.as_secs_f64() * 1e3
     );
     if repeat > 1 {
@@ -267,8 +294,8 @@ fn solve(args: &Args) -> Result<(), String> {
 
 fn simulate(args: &Args) -> Result<(), String> {
     let path = args.require_positional(0, "matrix file")?;
-    let cores: usize = args.get_parse("cores", 22)?;
     let algo = args.get("algo").unwrap_or("growlocal");
+    let cores = effective_cores(args, algo, 22)?;
     let profile = match args.get("machine").unwrap_or("intel") {
         "intel" => MachineProfile::intel_xeon_22(),
         "amd" => MachineProfile::amd_epyc_64(),

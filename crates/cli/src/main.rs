@@ -12,6 +12,10 @@ mod args;
 mod commands;
 
 fn main() {
+    // Compat-only (see `sptrsv_exec::runtime::install_rayon_bridge`):
+    // schedule-time `par_iter` calls (block-gl) lease threads from the
+    // process-wide solver runtime instead of running sequentially.
+    sptrsv_exec::runtime::install_rayon_bridge();
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let code = match commands::dispatch(&argv) {
         Ok(()) => 0,

@@ -1,41 +1,165 @@
 //! Offline stand-in for the parts of `rayon` this workspace uses.
 //!
-//! The build environment has no network access and a single physical core,
-//! so `par_iter()` degrades to a sequential iterator: identical results,
-//! identical API, no speed-up. Call sites keep the rayon idiom so a real
-//! rayon can be swapped back in by changing one path in the workspace
-//! manifest.
+//! The build environment has no network access, so the `par_iter` /
+//! `join` API subset is implemented in-tree. Unlike the earlier purely
+//! sequential shim, this version is **actually parallel** when a
+//! *parallel bridge* has been installed: `sptrsv_exec::runtime` registers
+//! a bridge that leases cores from the process-wide `SolverRuntime`, so
+//! `block-gl`'s per-block scheduling (the one `par_iter` call site in the
+//! workspace) gets wall-clock parallelism without a second thread pool —
+//! and without oversubscribing running solves, because the bridge leases
+//! non-blockingly and degrades to sequential when the runtime is busy.
+//! With no bridge installed every operation runs sequentially, with
+//! identical results.
+//!
+//! Call sites keep the rayon idiom (`use rayon::prelude::*`,
+//! `.par_iter().map(…).collect()`, `rayon::join(a, b)`), so swapping back
+//! to the crates.io release is still a one-line change in the workspace
+//! manifest — real rayon brings its own pool, so the only other cleanup
+//! is deleting `sptrsv_exec::runtime::install_rayon_bridge` (marked
+//! compat-only at its definition) and its call sites.
+
+use std::sync::{Mutex, OnceLock};
 
 pub mod prelude {
     pub use crate::IntoParallelRefIterator;
 }
 
+/// The installed parallel executor: `bridge(n, task)` must call `task(i)`
+/// exactly once for every `i in 0..n` (on any threads, in any order) and
+/// return only after all calls have finished. Panics in tasks must
+/// propagate to the caller after that completion point.
+pub type ParallelBridge = fn(usize, &(dyn Fn(usize) + Sync));
+
+static BRIDGE: OnceLock<ParallelBridge> = OnceLock::new();
+
+/// Installs the process-wide parallel bridge (first caller wins; later
+/// calls are ignored and return `false`). Installed by
+/// `sptrsv_exec::runtime` — see the crate docs.
+pub fn install_parallel_bridge(bridge: ParallelBridge) -> bool {
+    BRIDGE.set(bridge).is_ok()
+}
+
+/// Runs `task(i)` for every `i in 0..n`: through the bridge when one is
+/// installed, sequentially otherwise.
+fn run_tasks(n: usize, task: &(dyn Fn(usize) + Sync)) {
+    match BRIDGE.get() {
+        Some(bridge) => bridge(n, task),
+        None => {
+            for i in 0..n {
+                task(i);
+            }
+        }
+    }
+}
+
+/// Runs both closures, potentially in parallel, and returns both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    // FnOnce closures dispatched through a `Fn(usize)` task: take-once
+    // slots behind mutexes (each index runs exactly once per the bridge
+    // contract, so the locks are uncontended).
+    let task_a = Mutex::new(Some(a));
+    let task_b = Mutex::new(Some(b));
+    let out_a: Mutex<Option<RA>> = Mutex::new(None);
+    let out_b: Mutex<Option<RB>> = Mutex::new(None);
+    run_tasks(2, &|i| {
+        if i == 0 {
+            let f = task_a.lock().unwrap().take().expect("join task 0 ran twice");
+            *out_a.lock().unwrap() = Some(f());
+        } else {
+            let f = task_b.lock().unwrap().take().expect("join task 1 ran twice");
+            *out_b.lock().unwrap() = Some(f());
+        }
+    });
+    (
+        out_a.into_inner().unwrap().expect("join task 0 never ran"),
+        out_b.into_inner().unwrap().expect("join task 1 never ran"),
+    )
+}
+
 /// `.par_iter()` on a borrowed collection.
 pub trait IntoParallelRefIterator<'data> {
-    /// The per-item reference type.
-    type Item: 'data;
-    /// The (here: sequential) iterator type.
-    type Iter: Iterator<Item = Self::Item>;
+    /// The element type iterated by reference.
+    type Item: Sync + 'data;
 
-    /// Iterates the collection; sequential in this stand-in.
-    fn par_iter(&'data self) -> Self::Iter;
+    /// A parallel iterator over the collection.
+    fn par_iter(&'data self) -> ParIter<'data, Self::Item>;
 }
 
 impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
-    type Item = &'data T;
-    type Iter = std::slice::Iter<'data, T>;
+    type Item = T;
 
-    fn par_iter(&'data self) -> Self::Iter {
-        self.iter()
+    fn par_iter(&'data self) -> ParIter<'data, T> {
+        ParIter { items: self }
     }
 }
 
 impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
-    type Item = &'data T;
-    type Iter = std::slice::Iter<'data, T>;
+    type Item = T;
 
-    fn par_iter(&'data self) -> Self::Iter {
-        self.as_slice().iter()
+    fn par_iter(&'data self) -> ParIter<'data, T> {
+        ParIter { items: self.as_slice() }
+    }
+}
+
+/// A borrowing parallel iterator (the `rayon` subset: `map` + `collect`).
+pub struct ParIter<'data, T> {
+    items: &'data [T],
+}
+
+impl<'data, T: Sync> ParIter<'data, T> {
+    /// Maps every element through `f`, potentially in parallel.
+    pub fn map<R, F>(self, f: F) -> ParMap<'data, T, F>
+    where
+        F: Fn(&'data T) -> R + Sync,
+        R: Send,
+    {
+        ParMap { items: self.items, f }
+    }
+}
+
+/// The result of [`ParIter::map`], consumed by [`ParMap::collect`].
+pub struct ParMap<'data, T, F> {
+    items: &'data [T],
+    f: F,
+}
+
+/// Shared output pointer for the scatter in [`ParMap::collect`]; each task
+/// writes exactly one distinct slot, so no two writes alias.
+struct SharedSlots<R>(*mut Option<R>);
+unsafe impl<R: Send> Send for SharedSlots<R> {}
+unsafe impl<R: Send> Sync for SharedSlots<R> {}
+
+impl<'data, T, F, R> ParMap<'data, T, F>
+where
+    T: Sync,
+    F: Fn(&'data T) -> R + Sync,
+    R: Send,
+{
+    /// Collects the mapped elements **in input order** (parallelism never
+    /// changes the result, matching rayon's indexed `collect`).
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        let n = self.items.len();
+        let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        let shared = SharedSlots(slots.as_mut_ptr());
+        let shared = &shared;
+        let f = &self.f;
+        let items = self.items;
+        run_tasks(n, &move |i| {
+            let value = f(&items[i]);
+            // SAFETY: the bridge contract calls each index exactly once,
+            // and index `i` addresses a distinct live slot of `slots`,
+            // which outlives `run_tasks` and is not otherwise accessed
+            // until it returns.
+            unsafe { *shared.0.add(i) = Some(value) };
+        });
+        slots.into_iter().map(|slot| slot.expect("bridge ran every task")).collect()
     }
 }
 
@@ -44,9 +168,27 @@ mod tests {
     use super::prelude::*;
 
     #[test]
-    fn par_iter_matches_iter() {
+    fn par_iter_map_collect_matches_sequential() {
         let v = vec![1, 2, 3, 4];
         let doubled: Vec<i32> = v.par_iter().map(|x| x * 2).collect();
         assert_eq!(doubled, vec![2, 4, 6, 8]);
+        let empty: Vec<i32> = Vec::<i32>::new().par_iter().map(|x| x * 2).collect();
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn slice_par_iter_preserves_order() {
+        let v: Vec<usize> = (0..100).collect();
+        let strings: Vec<String> = v.as_slice().par_iter().map(|x| format!("{x}")).collect();
+        for (i, s) in strings.iter().enumerate() {
+            assert_eq!(s, &format!("{i}"));
+        }
+    }
+
+    #[test]
+    fn join_returns_both_results() {
+        let (a, b) = crate::join(|| 6 * 7, || "forty-two");
+        assert_eq!(a, 42);
+        assert_eq!(b, "forty-two");
     }
 }

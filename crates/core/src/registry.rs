@@ -22,14 +22,17 @@
 //! omitting it picks the scheduler's default (the first entry of
 //! [`SchedulerInfo::exec_models`]).
 //!
-//! Two keys address the **execution policy** ([`ExecPolicy`]) rather than
-//! the scheduler, and are accepted on every spec: `sync=full|reduced`
-//! selects the wait DAG of asynchronous execution and `backoff=spin|yield`
-//! the behavior of every threaded wait loop
-//! (`growlocal:sync=full@async`, `spmp:backoff=yield`). They are resolved
-//! by [`resolve_exec_policy`] and stripped before scheduler parameters are
-//! checked; `growlocal`'s own numeric `sync` parameter is unaffected
-//! because the value domains are disjoint.
+//! Three keys address the **execution policy** ([`ExecPolicy`]) rather
+//! than the scheduler, and are accepted on every spec: `sync=full|reduced`
+//! selects the wait DAG of asynchronous execution, `backoff=spin|yield`
+//! the behavior of every threaded wait loop, and `cores=N` the core count
+//! the schedule targets (and hence the width the executor leases from the
+//! shared runtime, and the parallelism the simulator models) —
+//! `growlocal:sync=full@async`, `spmp:backoff=yield`,
+//! `hdagg:cores=16@barrier`. They are resolved by [`resolve_exec_policy`]
+//! and stripped before scheduler parameters are checked; `growlocal`'s
+//! own numeric `sync` parameter is unaffected because the value domains
+//! are disjoint.
 //!
 //! [`list`] enumerates every registered scheduler with its parameters,
 //! defaults, supported execution models and description; [`build`]
@@ -200,27 +203,46 @@ pub struct ExecPolicy {
     /// Wait DAG of asynchronous execution (ignored by barrier/serial).
     pub sync: SyncPolicy,
     /// Wait-loop behavior of every threaded wait (async done-flags and
-    /// barrier/pool waits alike).
+    /// barrier/runtime waits alike).
     pub backoff: Backoff,
+    /// Core count the schedule targets (the `cores=N` key): the width the
+    /// executor requests from the shared solver runtime per solve, and the
+    /// parallelism the simulator models. `None` defers to the consumer's
+    /// own core-count setting (the typed `PlanBuilder::cores` knob, a CLI
+    /// `--cores` flag, a harness parameter) and its default.
+    pub cores: Option<usize>,
 }
 
 /// True when `key=value` addresses the execution policy rather than a
 /// scheduler parameter (see [`ExecPolicy`] for the disambiguation rule).
 fn is_exec_policy_param(key: &str, value: &str) -> bool {
     match key {
-        "backoff" => true,
+        "backoff" | "cores" => true,
         "sync" => value.parse::<SyncPolicy>().is_ok(),
         _ => false,
     }
 }
 
-/// The execution policy a spec selects: its `sync=`/`backoff=` keys (last
-/// occurrence wins), with defaults for the absent ones.
+/// The execution policy a spec selects: its `sync=`/`backoff=`/`cores=`
+/// keys (last occurrence wins), with defaults for the absent ones.
 pub fn resolve_exec_policy(spec: &SchedulerSpec) -> Result<ExecPolicy, RegistryError> {
     let mut policy = ExecPolicy::default();
     for (key, value) in spec.params() {
         match key.as_str() {
             "backoff" => policy.backoff = value.parse()?,
+            "cores" => {
+                policy.cores = match value.parse::<usize>() {
+                    Ok(cores) if cores > 0 => Some(cores),
+                    _ => {
+                        return Err(RegistryError::BadValue {
+                            scheduler: "exec",
+                            key: "cores",
+                            value: value.clone(),
+                            expected: "a positive integer",
+                        })
+                    }
+                };
+            }
             "sync" => {
                 if let Ok(sync) = value.parse() {
                     policy.sync = sync;
@@ -610,7 +632,9 @@ pub fn help_text() -> String {
     out.push_str("execution model (the scheduler's default is marked with *).\n\n");
     out.push_str("execution policy (valid on every scheduler, applied by the executor):\n");
     out.push_str("    sync         async wait DAG: full | reduced (default reduced)\n");
-    out.push_str("    backoff      wait loops: spin | yield (default spin)\n\n");
+    out.push_str("    backoff      wait loops: spin | yield (default spin)\n");
+    out.push_str("    cores        schedule core count / runtime lease width: a positive\n");
+    out.push_str("                 integer (default: the consumer's --cores setting)\n\n");
     for entry in list() {
         out.push_str(&format!("  {:<10} {}\n", entry.name, entry.summary));
         let models: Vec<String> = ExecModel::ALL
@@ -1004,6 +1028,34 @@ mod tests {
     }
 
     #[test]
+    fn exec_policy_cores_key_parses_on_every_scheduler() {
+        let g = dag();
+        for entry in list() {
+            let spec = format!("{}:cores=16", entry.name);
+            let parsed: SchedulerSpec = spec.parse().unwrap();
+            assert_eq!(resolve_exec_policy(&parsed).unwrap().cores, Some(16));
+            assert!(resolve(&spec, &g, 2).is_ok(), "`{spec}` failed to build");
+        }
+        // Absent: defers to the consumer's own core count.
+        assert_eq!(resolve_exec_policy(&SchedulerSpec::new("growlocal")).unwrap().cores, None);
+        // Composes with the other policy dimensions and the model suffix.
+        let spec: SchedulerSpec = "spmp:cores=8,sync=full,backoff=yield@async".parse().unwrap();
+        let policy = resolve_exec_policy(&spec).unwrap();
+        assert_eq!(policy.cores, Some(8));
+        assert_eq!(policy.sync, SyncPolicy::Full);
+        assert_eq!(policy.backoff, Backoff::Yield);
+        // Bad values are policy errors (there is no scheduler fallback).
+        assert!(matches!(
+            resolve("growlocal:cores=0", &g, 2),
+            Err(RegistryError::BadValue { key: "cores", .. })
+        ));
+        assert!(matches!(
+            resolve("growlocal:cores=many", &g, 2),
+            Err(RegistryError::BadValue { key: "cores", .. })
+        ));
+    }
+
+    #[test]
     fn exec_policy_sync_disambiguates_by_value_domain() {
         let g = dag();
         // growlocal's numeric `sync` (barrier penalty L) is untouched…
@@ -1047,7 +1099,7 @@ mod tests {
     #[test]
     fn help_text_documents_exec_policy() {
         let help = help_text();
-        for needle in ["sync", "backoff", "full | reduced", "spin | yield"] {
+        for needle in ["sync", "backoff", "cores", "full | reduced", "spin | yield"] {
             assert!(help.contains(needle), "`{needle}` missing from help");
         }
     }

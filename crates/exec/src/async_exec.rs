@@ -9,52 +9,103 @@
 //! half of SpMP's trick. The wait loop itself runs under the executor's
 //! [`Backoff`] policy (`spin` or `yield`, the §8 backoff exploration).
 //!
-//! Threads come from the executor's persistent [`crate::pool::WorkerPool`]
-//! (lazily created, parked between solves) — steady-state solves dispatch to
-//! already-running threads. Like its siblings, the executor walks the shared
-//! [`CompiledSchedule`] layout (a core's program is its cells in superstep
-//! order); only the synchronization differs from [`crate::barrier`].
+//! Threads are **leased per solve** from the executor's
+//! [`SolverRuntime`](crate::runtime::SolverRuntime): a lease of width `k`
+//! runs a schedule compiled for `n ≥ k` cores by striding (lease thread
+//! `t` owns schedule cores `t, t+k, …`), so concurrent plans share the
+//! machine and a contended solve degrades gracefully down to serial. Like
+//! its siblings, the executor walks the shared [`CompiledSchedule`] layout;
+//! only the synchronization differs from [`crate::barrier`].
+//!
+//! The done flags are a **generation-counted array owned by the executor**
+//! (`done[v] == generation` means "v is solved in the current solve"), so
+//! steady-state solves allocate nothing — bumping the generation resets
+//! every flag at once, and the array is only zeroed on the (once per 2³²
+//! solves) wrap-around. A mutex around the generation state serializes
+//! concurrent solves on one shared executor, which the per-executor pool's
+//! run lock previously did implicitly.
 //!
 //! # Safety argument
 //!
-//! `x[v]` (all `r` values of row `v` in the multi-RHS case) is written once,
-//! by its owning thread, before `done[v]` is set with `Release`. Any other
-//! thread reads row `v` only after observing `done[v]` with `Acquire`, which
-//! orders the reads after the writes. Same-thread intra-list dependencies
-//! are covered by program order (cells ascend in vertex ID and supersteps
-//! ascend across cells). A vertex never waits on itself because the sync DAG
-//! has no self-loops. Running on pooled threads changes none of this: the
-//! pool's dispatch/retire protocol brackets all worker accesses between the
-//! leader's publish and completion wait, and the done flags are fresh per
-//! solve, so no state leaks between solves.
+//! `x[v]` (all `r` values of row `v` in the multi-RHS case) is written
+//! once, by its owning thread, before `done[v]` is set to the solve's
+//! generation with `Release`. Any other thread reads row `v` only after
+//! observing `done[v] == generation` with `Acquire`, which orders the
+//! reads after the writes. Same-thread dependencies are covered by program
+//! order: a thread walks its schedule cores in ascending order within each
+//! superstep and supersteps in ascending order, and a same-superstep
+//! dependency is necessarily same-core (Definition 2.1), hence
+//! same-thread. A vertex never waits on itself because the sync DAG has no
+//! self-loops, and never deadlocks on its own thread: a cross-core parent
+//! on the same thread lies in an earlier superstep, which the thread has
+//! already finished. Stale flag values from earlier solves are never
+//! mistaken for completion because they compare unequal to the current
+//! generation (the array is zeroed before the generation counter wraps).
+//! Running on leased threads changes none of this: the runtime's
+//! dispatch/retire protocol brackets all worker accesses between the
+//! lease's publish and completion wait, and the generation mutex is held
+//! for the whole solve, so no state is shared between solves.
 
 use crate::barrier::SharedX;
 use crate::executor::Executor;
-use crate::pool::LazyPool;
+use crate::runtime::RuntimeHandle;
 use sptrsv_core::registry::{Backoff, ExecModel};
 use sptrsv_core::{CompiledSchedule, Schedule, ScheduleError};
 use sptrsv_dag::SolveDag;
 use sptrsv_sparse::CsrMatrix;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// The executor-owned done-flag array: `flags[v] == generation` marks `v`
+/// solved in the current solve. Reused across solves (allocation-free
+/// steady state); guarded by a mutex that also serializes concurrent
+/// solves on one shared executor.
+struct DoneFlags {
+    flags: Vec<AtomicU32>,
+    generation: u32,
+}
+
+impl DoneFlags {
+    fn new(n: usize) -> DoneFlags {
+        DoneFlags { flags: (0..n).map(|_| AtomicU32::new(0)).collect(), generation: 0 }
+    }
+
+    /// Starts a new solve: bumps the generation so every flag reads
+    /// "not done", zeroing the array only when the counter wraps.
+    fn begin_solve(&mut self) -> u32 {
+        self.generation = self.generation.wrapping_add(1);
+        if self.generation == 0 {
+            for flag in &mut self.flags {
+                *flag.get_mut() = 0;
+            }
+            self.generation = 1;
+        }
+        self.generation
+    }
+}
 
 /// Pre-planned asynchronous executor.
 pub struct AsyncExecutor {
     compiled: Arc<CompiledSchedule>,
-    /// For every vertex, the parents on *other* cores that must be awaited
-    /// (same-core dependencies are ordered by the cell walk itself).
+    /// For every vertex, the parents on *other* schedule cores that must
+    /// be awaited (same-core dependencies are ordered by the cell walk
+    /// itself).
     waits: Vec<Vec<u32>>,
-    /// Persistent worker threads, created on the first parallel solve.
-    pool: LazyPool,
+    /// The runtime solves lease their threads from.
+    runtime: RuntimeHandle,
     /// Wait-loop policy for the done-flag spins.
     backoff: Backoff,
+    /// Generation-counted done flags (see the module docs).
+    state: Mutex<DoneFlags>,
 }
 
 impl AsyncExecutor {
     /// Builds the executor. `sync_dag` is the dependency graph to wait on —
     /// pass the solve DAG itself, or its transitive reduction for
     /// SpMP-style sparsified synchronization (reachability, and hence
-    /// correctness, is identical).
+    /// correctness, is identical). Solves lease from the process-wide
+    /// [`SolverRuntime::global`](crate::runtime::SolverRuntime::global)
+    /// runtime.
     pub fn new(
         matrix: &CsrMatrix,
         schedule: &Schedule,
@@ -63,7 +114,7 @@ impl AsyncExecutor {
         let full_dag = SolveDag::from_lower_triangular(matrix);
         schedule.validate(&full_dag)?;
         let compiled = Arc::new(CompiledSchedule::from_schedule(schedule));
-        Ok(Self::from_compiled(compiled, sync_dag, Backoff::default()))
+        Ok(Self::from_compiled(compiled, sync_dag, RuntimeHandle::default(), Backoff::default()))
     }
 
     /// Wraps an already-validated compiled schedule (shared with sibling
@@ -72,6 +123,7 @@ impl AsyncExecutor {
     pub(crate) fn from_compiled(
         compiled: Arc<CompiledSchedule>,
         sync_dag: &SolveDag,
+        runtime: RuntimeHandle,
         backoff: Backoff,
     ) -> AsyncExecutor {
         let n = compiled.n_vertices();
@@ -85,8 +137,7 @@ impl AsyncExecutor {
                 }
             }
         }
-        let pool = LazyPool::new(compiled.n_cores());
-        AsyncExecutor { compiled, waits, pool, backoff }
+        AsyncExecutor { compiled, waits, runtime, backoff, state: Mutex::new(DoneFlags::new(n)) }
     }
 
     /// Solves `L x = b` with point-to-point synchronization.
@@ -94,22 +145,35 @@ impl AsyncExecutor {
         let n = l.n_rows();
         assert_eq!(b.len(), n);
         assert_eq!(x.len(), n);
-        let done: Vec<AtomicBool> = (0..n).map(|_| AtomicBool::new(false)).collect();
         let shared = SharedX(x.as_mut_ptr());
-        let backoff = self.backoff;
         if self.compiled.n_cores() == 1 {
-            let abort = AtomicBool::new(false);
-            run_core(l, b, shared, &self.compiled, 0, &self.waits, &done, backoff, &abort);
+            serial_sweep(l, b, shared, &self.compiled, 1);
             return;
         }
-        // A panicking core raises the abort flag so siblings spinning on its
-        // done-flags unwind too (the pool re-raises on the leader) instead
-        // of waiting forever.
+        let mut state = self.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let generation = state.begin_solve();
+        let done: &[AtomicU32] = &state.flags;
+        let backoff = self.backoff;
+        let mut lease = self.runtime.get().lease(self.compiled.n_cores());
+        let width = lease.size();
+        if width == 1 {
+            // Fully contended runtime: schedule-order serial sweep, no
+            // flags needed (program order covers every dependency).
+            serial_sweep(l, b, shared, &self.compiled, 1);
+            return;
+        }
+        // A panicking thread raises the abort flag so siblings spinning on
+        // its done-flags unwind too (the runtime re-raises on the
+        // leaseholder) instead of waiting forever.
         let abort = AtomicBool::new(false);
         let abort = &abort;
-        self.pool.get().run(backoff, &|core: usize| {
+        let waits = &self.waits;
+        let compiled = &self.compiled;
+        lease.run(backoff, &|thread: usize| {
             let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                run_core(l, b, shared, &self.compiled, core, &self.waits, &done, backoff, abort)
+                run_core(
+                    l, b, shared, compiled, thread, width, waits, done, generation, backoff, abort,
+                )
             }));
             if let Err(panic) = result {
                 abort.store(true, Ordering::Release);
@@ -125,28 +189,29 @@ impl AsyncExecutor {
         assert!(r > 0);
         assert_eq!(b.len(), n * r);
         assert_eq!(x.len(), n * r);
-        let done: Vec<AtomicBool> = (0..n).map(|_| AtomicBool::new(false)).collect();
         let shared = SharedX(x.as_mut_ptr());
-        let backoff = self.backoff;
         if self.compiled.n_cores() == 1 {
-            let abort = AtomicBool::new(false);
-            run_core_multi(l, b, shared, &self.compiled, 0, &self.waits, &done, r, backoff, &abort);
+            serial_sweep(l, b, shared, &self.compiled, r);
+            return;
+        }
+        let mut state = self.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let generation = state.begin_solve();
+        let done: &[AtomicU32] = &state.flags;
+        let backoff = self.backoff;
+        let mut lease = self.runtime.get().lease(self.compiled.n_cores());
+        let width = lease.size();
+        if width == 1 {
+            serial_sweep(l, b, shared, &self.compiled, r);
             return;
         }
         let abort = AtomicBool::new(false);
         let abort = &abort;
-        self.pool.get().run(backoff, &|core: usize| {
+        let waits = &self.waits;
+        let compiled = &self.compiled;
+        lease.run(backoff, &|thread: usize| {
             let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                 run_core_multi(
-                    l,
-                    b,
-                    shared,
-                    &self.compiled,
-                    core,
-                    &self.waits,
-                    &done,
-                    r,
-                    backoff,
+                    l, b, shared, compiled, thread, width, waits, done, generation, r, backoff,
                     abort,
                 )
             }));
@@ -155,6 +220,21 @@ impl AsyncExecutor {
                 std::panic::resume_unwind(panic);
             }
         });
+    }
+}
+
+/// Schedule-order sweep on the calling thread (width-1 leases and 1-core
+/// schedules): supersteps outermost, cores ascending — a topological order,
+/// so no synchronization is needed.
+fn serial_sweep(l: &CsrMatrix, b: &[f64], x: SharedX, compiled: &CompiledSchedule, r: usize) {
+    for step in 0..compiled.n_supersteps() {
+        for core in 0..compiled.n_cores() {
+            for &i in compiled.cell(step, core) {
+                // SAFETY: single-threaded; program order covers every
+                // dependency of the topological walk.
+                unsafe { crate::multi::solve_row_multi_raw(l, i as usize, b, x.0, r) };
+            }
+        }
     }
 }
 
@@ -172,23 +252,25 @@ impl Executor for AsyncExecutor {
     }
 }
 
-/// Waits (under `backoff`) until every cross-core parent of `i` is done;
-/// panics if the solve was aborted by a panicking sibling core.
+/// Waits (under `backoff`) until every cross-core parent of `i` carries the
+/// solve's generation; panics if the solve was aborted by a panicking
+/// sibling thread.
 #[inline]
 fn await_parents(
     waits: &[Vec<u32>],
-    done: &[AtomicBool],
+    done: &[AtomicU32],
+    generation: u32,
     i: usize,
     backoff: Backoff,
     abort: &AtomicBool,
 ) {
     for &u in &waits[i] {
         let mut spins = 0;
-        while !done[u as usize].load(Ordering::Acquire) {
+        while done[u as usize].load(Ordering::Acquire) != generation {
             if abort.load(Ordering::Relaxed) {
                 panic!("parallel solve aborted: a sibling core panicked");
             }
-            crate::pool::backoff_wait(backoff, &mut spins);
+            crate::runtime::backoff_wait(backoff, &mut spins);
         }
     }
 }
@@ -199,29 +281,36 @@ fn run_core(
     b: &[f64],
     x: SharedX,
     compiled: &CompiledSchedule,
-    core: usize,
+    thread: usize,
+    width: usize,
     waits: &[Vec<u32>],
-    done: &[AtomicBool],
+    done: &[AtomicU32],
+    generation: u32,
     backoff: Backoff,
     abort: &AtomicBool,
 ) {
+    let n_cores = compiled.n_cores();
     for step in 0..compiled.n_supersteps() {
-        for &i in compiled.cell(step, core) {
-            let i = i as usize;
-            await_parents(waits, done, i, backoff, abort);
-            let (cols, vals) = l.row(i);
-            let k = cols.len() - 1;
-            debug_assert_eq!(cols[k], i);
-            let mut acc = b[i];
-            for (&c, &v) in cols[..k].iter().zip(&vals[..k]) {
-                // SAFETY: cross-core parents were awaited above (Acquire
-                // pairs with the Release below); same-core parents precede in
-                // program order. See module docs.
-                acc -= v * unsafe { *x.0.add(c) };
+        let mut core = thread;
+        while core < n_cores {
+            for &i in compiled.cell(step, core) {
+                let i = i as usize;
+                await_parents(waits, done, generation, i, backoff, abort);
+                let (cols, vals) = l.row(i);
+                let k = cols.len() - 1;
+                debug_assert_eq!(cols[k], i);
+                let mut acc = b[i];
+                for (&c, &v) in cols[..k].iter().zip(&vals[..k]) {
+                    // SAFETY: cross-core parents were awaited above
+                    // (Acquire pairs with the Release below); same-thread
+                    // parents precede in program order. See module docs.
+                    acc -= v * unsafe { *x.0.add(c) };
+                }
+                // SAFETY: exclusive writer of x[i].
+                unsafe { *x.0.add(i) = acc / vals[k] };
+                done[i].store(generation, Ordering::Release);
             }
-            // SAFETY: exclusive writer of x[i].
-            unsafe { *x.0.add(i) = acc / vals[k] };
-            done[i].store(true, Ordering::Release);
+            core += width;
         }
     }
 }
@@ -232,21 +321,28 @@ fn run_core_multi(
     b: &[f64],
     x: SharedX,
     compiled: &CompiledSchedule,
-    core: usize,
+    thread: usize,
+    width: usize,
     waits: &[Vec<u32>],
-    done: &[AtomicBool],
+    done: &[AtomicU32],
+    generation: u32,
     r: usize,
     backoff: Backoff,
     abort: &AtomicBool,
 ) {
+    let n_cores = compiled.n_cores();
     for step in 0..compiled.n_supersteps() {
-        for &i in compiled.cell(step, core) {
-            let i = i as usize;
-            await_parents(waits, done, i, backoff, abort);
-            // SAFETY: same flag ordering as `run_core`, row-granular (all r
-            // values written before the Release store).
-            unsafe { crate::multi::solve_row_multi_raw(l, i, b, x.0, r) };
-            done[i].store(true, Ordering::Release);
+        let mut core = thread;
+        while core < n_cores {
+            for &i in compiled.cell(step, core) {
+                let i = i as usize;
+                await_parents(waits, done, generation, i, backoff, abort);
+                // SAFETY: same flag ordering as `run_core`, row-granular
+                // (all r values written before the Release store).
+                unsafe { crate::multi::solve_row_multi_raw(l, i, b, x.0, r) };
+                done[i].store(generation, Ordering::Release);
+            }
+            core += width;
         }
     }
 }
@@ -255,6 +351,7 @@ fn run_core_multi(
 mod tests {
     use super::*;
     use crate::multi::solve_lower_multi_serial;
+    use crate::runtime::SolverRuntime;
     use crate::serial::solve_lower_serial;
     use sptrsv_core::{Scheduler, SpMp};
     use sptrsv_sparse::gen::grid::{grid2d_laplacian, Stencil2D};
@@ -275,6 +372,77 @@ mod tests {
         exec.solve(&l, &b, &mut x);
         for (a, e) in x.iter().zip(&expected) {
             assert!((a - e).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn generation_flags_stay_correct_across_many_solves() {
+        // The executor-owned flag array must never leak "done" state from
+        // one solve into the next: interleave two different right-hand
+        // sides and check both stay bit-stable.
+        let a = grid2d_laplacian(12, 9, Stencil2D::FivePoint, 0.5);
+        let l = a.lower_triangle().unwrap();
+        let n = l.n_rows();
+        let dag = SolveDag::from_lower_triangular(&l);
+        let schedule = SpMp.schedule(&dag, 3);
+        let reduced = SpMp.reduced_dag(&dag);
+        let exec = AsyncExecutor::new(&l, &schedule, &reduced).unwrap();
+        let b1: Vec<f64> = (0..n).map(|i| 1.0 + (i % 5) as f64).collect();
+        let b2: Vec<f64> = (0..n).map(|i| ((i * 3) % 7) as f64 - 2.0).collect();
+        let mut r1 = vec![0.0; n];
+        let mut r2 = vec![0.0; n];
+        exec.solve(&l, &b1, &mut r1);
+        exec.solve(&l, &b2, &mut r2);
+        let mut x = vec![0.0; n];
+        for round in 0..30 {
+            x.fill(f64::NAN);
+            exec.solve(&l, &b1, &mut x);
+            assert_eq!(x, r1, "b1 diverged at round {round}");
+            x.fill(f64::NAN);
+            exec.solve(&l, &b2, &mut x);
+            assert_eq!(x, r2, "b2 diverged at round {round}");
+        }
+    }
+
+    #[test]
+    fn generation_wrap_resets_the_flags() {
+        let mut flags = DoneFlags::new(4);
+        flags.generation = u32::MAX - 1;
+        for flag in &mut flags.flags {
+            *flag.get_mut() = u32::MAX - 1;
+        }
+        assert_eq!(flags.begin_solve(), u32::MAX);
+        // The wrap: generation restarts at 1 and every stale flag is
+        // zeroed, so nothing compares equal to the new generation.
+        assert_eq!(flags.begin_solve(), 1);
+        for flag in &flags.flags {
+            assert_eq!(flag.load(Ordering::Relaxed), 0);
+        }
+    }
+
+    #[test]
+    fn degraded_lease_widths_match_full_width() {
+        let a = grid2d_laplacian(13, 8, Stencil2D::FivePoint, 0.5);
+        let l = a.lower_triangle().unwrap();
+        let n = l.n_rows();
+        let dag = SolveDag::from_lower_triangular(&l);
+        let schedule = SpMp.schedule(&dag, 4);
+        let reduced = SpMp.reduced_dag(&dag);
+        let compiled = Arc::new(CompiledSchedule::from_schedule(&schedule));
+        let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.11).sin() + 0.25).collect();
+        let mut expected = vec![0.0; n];
+        solve_lower_serial(&l, &b, &mut expected);
+        for capacity in 1..=4 {
+            let runtime = Arc::new(SolverRuntime::new(capacity));
+            let exec = AsyncExecutor::from_compiled(
+                Arc::clone(&compiled),
+                &reduced,
+                RuntimeHandle::explicit(runtime),
+                Backoff::default(),
+            );
+            let mut x = vec![f64::NAN; n];
+            exec.solve(&l, &b, &mut x);
+            assert_eq!(x, expected, "width {capacity} diverged");
         }
     }
 

@@ -1,38 +1,45 @@
 //! Multi-threaded barrier executor.
 //!
-//! Runs a BSP schedule exactly as the paper's kernel does (§6.1): one OS
-//! thread per core, all threads processing their `(superstep, core)` cell in
-//! vertex order, with a synchronization barrier between supersteps. The
-//! threads are the executor's persistent [`WorkerPool`] — created lazily on
-//! the first parallel solve and parked between solves, so steady-state
-//! `solve` calls dispatch to already-running threads instead of spawning
-//! (see [`crate::pool`]); the per-superstep barrier is a [`SenseBarrier`]
-//! waiting under the executor's [`Backoff`] policy.
+//! Runs a BSP schedule exactly as the paper's kernel does (§6.1): threads
+//! processing their `(superstep, core)` cells in vertex order, with a
+//! synchronization barrier between supersteps. The threads are **leased
+//! per solve** from the executor's [`SolverRuntime`](crate::runtime::SolverRuntime) (the process-wide
+//! core-leasing runtime, see [`crate::runtime`]): a lease of width `k`
+//! runs a schedule compiled for `n ≥ k` cores by striding — lease thread
+//! `t` executes schedule cores `t, t+k, t+2k, …` of each superstep — so
+//! concurrent plans share the machine without oversubscription and a
+//! contended solve degrades gracefully down to serial. The per-superstep
+//! barrier is a [`SenseBarrier`] over the lease width, waiting under the
+//! executor's [`Backoff`] policy.
 //!
 //! The execution plan is a [`CompiledSchedule`] — the flat CSR-style cell
-//! layout compiled once at construction. Per solve, a core's walk of its
+//! layout compiled once at construction. Per solve, a thread's walk of its
 //! cells is pure pointer arithmetic over two shared arrays; nothing is
 //! allocated and no nested vectors are chased.
 //!
 //! # Safety argument
 //!
 //! The solution vector is shared mutably across threads through a raw
-//! pointer. This is sound because a valid schedule (Definition 2.1, enforced
-//! here by a [`Schedule::validate`] call) guarantees:
+//! pointer. This is sound because a valid schedule (Definition 2.1,
+//! enforced here by a [`Schedule::validate`] call) guarantees:
 //!
-//! * each `x[v]` is written by exactly one thread (the one owning `v`);
-//! * a read of `x[u]` by another thread happens in a *later* superstep than
-//!   the write, and the barrier between supersteps establishes the
+//! * each `x[v]` is written by exactly one thread (the one owning `v`'s
+//!   schedule core — core-to-thread striding is a function, so one thread
+//!   per vertex);
+//! * a read of `x[u]` by another thread happens in a *later* superstep
+//!   than the write, and the barrier between supersteps establishes the
 //!   happens-before edge ([`SenseBarrier::wait`]'s Release/Acquire pair);
-//! * a read of `x[u]` by the same thread in the same superstep happens after
-//!   the write in program order (cells are executed in ascending vertex ID,
-//!   and intra-cell edges ascend);
-//! * the pool's dispatch/retire protocol orders every worker access between
-//!   the leader's publish and its completion wait, so nothing outlives the
-//!   borrow of `x`.
+//! * a read of `x[u]` by the same thread in the same superstep happens
+//!   after the write in program order (a thread walks its schedule cores
+//!   in ascending order and each cell in ascending vertex ID; Definition
+//!   2.1 forbids cross-core edges within a superstep, so same-superstep
+//!   dependencies are same-core, hence same-thread and program-ordered);
+//! * the runtime's dispatch/retire protocol orders every worker access
+//!   between the lease's publish and its completion wait, so nothing
+//!   outlives the borrow of `x`.
 
 use crate::executor::Executor;
-use crate::pool::{LazyPool, SenseBarrier, WorkerPool};
+use crate::runtime::{RuntimeHandle, SenseBarrier};
 use sptrsv_core::registry::{Backoff, ExecModel};
 use sptrsv_core::{CompiledSchedule, Schedule, ScheduleError};
 use sptrsv_sparse::CsrMatrix;
@@ -44,22 +51,27 @@ pub(crate) struct SharedX(pub(crate) *mut f64);
 unsafe impl Send for SharedX {}
 unsafe impl Sync for SharedX {}
 
-/// Pre-planned executor: a reusable compiled schedule plus a persistent
-/// worker pool for repeated solves (the paper's amortization setting, §7.7).
+/// Pre-planned executor: a reusable compiled schedule leasing cores from a
+/// [`SolverRuntime`](crate::runtime::SolverRuntime) per solve (the
+/// paper's amortization setting, §7.7,
+/// without owning threads).
 pub struct BarrierExecutor {
     compiled: Arc<CompiledSchedule>,
-    pool: LazyPool,
+    runtime: RuntimeHandle,
     backoff: Backoff,
 }
 
 impl BarrierExecutor {
-    /// Builds the executor after validating the schedule against the DAG of
-    /// the matrix.
+    /// Builds the executor after validating the schedule against the DAG
+    /// of the matrix; solves lease from the process-wide
+    /// [`SolverRuntime::global`](crate::runtime::SolverRuntime::global)
+    /// runtime.
     pub fn new(matrix: &CsrMatrix, schedule: &Schedule) -> Result<BarrierExecutor, ScheduleError> {
         let dag = sptrsv_dag::SolveDag::from_lower_triangular(matrix);
         schedule.validate(&dag)?;
         Ok(Self::from_compiled(
             Arc::new(CompiledSchedule::from_schedule(schedule)),
+            RuntimeHandle::default(),
             Backoff::default(),
         ))
     }
@@ -70,10 +82,10 @@ impl BarrierExecutor {
     /// on it, which is why this is crate-private.
     pub(crate) fn from_compiled(
         compiled: Arc<CompiledSchedule>,
+        runtime: RuntimeHandle,
         backoff: Backoff,
     ) -> BarrierExecutor {
-        let pool = LazyPool::new(compiled.n_cores());
-        BarrierExecutor { compiled, pool, backoff }
+        BarrierExecutor { compiled, runtime, backoff }
     }
 
     /// The compiled execution plan.
@@ -81,10 +93,10 @@ impl BarrierExecutor {
         &self.compiled
     }
 
-    /// Solves `L x = b` following the schedule, with real threads and
-    /// barriers.
+    /// Solves `L x = b` following the schedule, on cores leased from the
+    /// runtime.
     pub fn solve(&self, l: &CsrMatrix, b: &[f64], x: &mut [f64]) {
-        solve_compiled(l, &self.compiled, b, x, self.pool.get(), self.backoff);
+        solve_compiled(l, &self.compiled, b, x, &self.runtime, self.backoff);
     }
 }
 
@@ -98,50 +110,47 @@ impl Executor for BarrierExecutor {
     }
 
     fn solve_multi(&self, l: &CsrMatrix, b: &[f64], x: &mut [f64], r: usize) {
-        crate::multi::solve_multi_compiled(
-            l,
-            &self.compiled,
-            b,
-            x,
-            r,
-            self.pool.get(),
-            self.backoff,
-        );
+        crate::multi::solve_multi_compiled(l, &self.compiled, b, x, r, &self.runtime, self.backoff);
     }
 }
 
-/// The pooled barrier solve over a compiled schedule (shared by
+/// The leased barrier solve over a compiled schedule (shared by
 /// [`BarrierExecutor`] and the one-shot [`solve_with_barriers`]).
 ///
 /// The compiled schedule must stem from a schedule validated against `l`'s
-/// solve DAG (see the module-level safety argument), and the pool must span
-/// at least the schedule's core count.
+/// solve DAG (see the module-level safety argument).
 pub(crate) fn solve_compiled(
     l: &CsrMatrix,
     compiled: &CompiledSchedule,
     b: &[f64],
     x: &mut [f64],
-    pool: &WorkerPool,
+    runtime: &RuntimeHandle,
     backoff: Backoff,
 ) {
     let n = l.n_rows();
     assert_eq!(b.len(), n);
     assert_eq!(x.len(), n);
-    let n_cores = compiled.n_cores();
     let shared = SharedX(x.as_mut_ptr());
-    if n_cores == 1 {
-        run_core(l, b, shared, compiled, 0, None, backoff);
+    if compiled.n_cores() == 1 {
+        run_core(l, b, shared, compiled, 0, 1, None, backoff);
         return;
     }
-    assert_eq!(pool.n_cores(), n_cores, "pool sized for a different core count");
-    let barrier = SenseBarrier::new(n_cores);
+    let mut lease = runtime.get().lease(compiled.n_cores());
+    let width = lease.size();
+    if width == 1 {
+        // Fully contended runtime: the schedule-order serial sweep (one
+        // thread striding over every schedule core, no barrier needed).
+        run_core(l, b, shared, compiled, 0, 1, None, backoff);
+        return;
+    }
+    let barrier = SenseBarrier::new(width);
     let barrier = &barrier;
-    pool.run(backoff, &move |core| {
-        // A panicking core poisons the barrier so siblings waiting on its
-        // arrival unwind too (the pool re-raises on the leader) instead of
-        // waiting forever.
+    lease.run(backoff, &move |thread| {
+        // A panicking thread poisons the barrier so siblings waiting on
+        // its arrival unwind too (the runtime re-raises on the
+        // leaseholder) instead of waiting forever.
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            run_core(l, b, shared, compiled, core, Some(barrier), backoff)
+            run_core(l, b, shared, compiled, thread, width, Some(barrier), backoff)
         }));
         if let Err(panic) = result {
             barrier.poison();
@@ -150,32 +159,42 @@ pub(crate) fn solve_compiled(
     });
 }
 
-/// Executes one core's share of the schedule.
+/// Executes one lease thread's share of the schedule: schedule cores
+/// `thread, thread + width, …` of every superstep (per-row arithmetic is
+/// width-independent, so the solution is bit-identical at every width).
+#[allow(clippy::too_many_arguments)] // private kernel of the solve path
 fn run_core(
     l: &CsrMatrix,
     b: &[f64],
     x: SharedX,
     compiled: &CompiledSchedule,
-    core: usize,
+    thread: usize,
+    width: usize,
     barrier: Option<&SenseBarrier>,
     backoff: Backoff,
 ) {
+    let n_cores = compiled.n_cores();
     let mut sense = false;
     for step in 0..compiled.n_supersteps() {
-        for &i in compiled.cell(step, core) {
-            let i = i as usize;
-            let (cols, vals) = l.row(i);
-            let k = cols.len() - 1;
-            debug_assert_eq!(cols[k], i);
-            let mut acc = b[i];
-            for (&c, &v) in cols[..k].iter().zip(&vals[..k]) {
-                // SAFETY: x[c] was written in an earlier superstep (barrier
-                // ordering) or earlier in this cell (program order); see the
-                // module-level safety argument.
-                acc -= v * unsafe { *x.0.add(c) };
+        let mut core = thread;
+        while core < n_cores {
+            for &i in compiled.cell(step, core) {
+                let i = i as usize;
+                let (cols, vals) = l.row(i);
+                let k = cols.len() - 1;
+                debug_assert_eq!(cols[k], i);
+                let mut acc = b[i];
+                for (&c, &v) in cols[..k].iter().zip(&vals[..k]) {
+                    // SAFETY: x[c] was written in an earlier superstep
+                    // (barrier ordering) or earlier on this thread in this
+                    // superstep (program order); see the module-level
+                    // safety argument.
+                    acc -= v * unsafe { *x.0.add(c) };
+                }
+                // SAFETY: this thread exclusively owns x[i].
+                unsafe { *x.0.add(i) = acc / vals[k] };
             }
-            // SAFETY: this thread exclusively owns x[i].
-            unsafe { *x.0.add(i) = acc / vals[k] };
+            core += width;
         }
         if let Some(barrier) = barrier {
             barrier.wait(&mut sense, backoff);
@@ -198,6 +217,7 @@ pub fn solve_with_barriers(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::runtime::SolverRuntime;
     use crate::serial::solve_lower_serial;
     use sptrsv_core::{registry, GrowLocal, Scheduler};
     use sptrsv_dag::SolveDag;
@@ -231,6 +251,31 @@ mod tests {
                     );
                 }
             }
+        }
+    }
+
+    #[test]
+    fn degraded_lease_widths_are_bit_identical_to_full_width() {
+        // A schedule for 4 cores executed on runtimes of capacity 1, 2, 3
+        // and 4: every lease width from serial to full must produce the
+        // same bits.
+        let (l, b) = problem(14, 11);
+        let n = l.n_rows();
+        let dag = SolveDag::from_lower_triangular(&l);
+        let s = GrowLocal::new().schedule(&dag, 4);
+        let compiled = Arc::new(CompiledSchedule::from_schedule(&s));
+        let mut reference = vec![0.0; n];
+        solve_lower_serial(&l, &b, &mut reference);
+        for capacity in 1..=4 {
+            let runtime = Arc::new(SolverRuntime::new(capacity));
+            let exec = BarrierExecutor::from_compiled(
+                Arc::clone(&compiled),
+                RuntimeHandle::explicit(runtime),
+                Backoff::default(),
+            );
+            let mut x = vec![f64::NAN; n];
+            exec.solve(&l, &b, &mut x);
+            assert_eq!(x, reference, "width {capacity} diverged");
         }
     }
 

@@ -11,15 +11,17 @@
 //!   ready flags (point-to-point synchronization instead of barriers;
 //!   `@async`), single- and multi-RHS;
 //! * [`multi`] — SpTRSM kernels (multiple right-hand sides);
-//! * [`pool`] — the persistent worker-pool execution runtime: long-lived
-//!   threads created once per plan, parked between solves and released
-//!   through an epoch dispatch / sense-reversing barrier protocol, so
-//!   steady-state solves never spawn threads;
+//! * [`runtime`] — the process-wide [`SolverRuntime`]: one shared,
+//!   hardware-sized pool of persistent workers from which every solve
+//!   leases cores ([`CoreLease`]), so concurrent plans coexist without
+//!   oversubscription, degrade gracefully under contention (down to
+//!   serial) and release deterministically on panic;
 //! * [`plan`] — the high-level [`PlanBuilder`]/[`SolvePlan`] API: matrix →
 //!   validated, pre-ordered, scheduled (via registry spec), reordered,
 //!   compiled, reusable parallel solve (lower or upper) under a selectable
-//!   execution model and [`ExecPolicy`] (`sync=`/`backoff=` spec keys),
-//!   with an allocation-free [`SolvePlan::solve_into`] steady-state path;
+//!   execution model, [`ExecPolicy`] (`sync=`/`backoff=`/`cores=` spec
+//!   keys) and runtime ([`PlanBuilder::runtime`]), with an
+//!   allocation-free [`SolvePlan::solve_into`] steady-state path;
 //! * [`sim`] — a calibrated multicore machine model used for the paper's
 //!   speed-up experiments (see DESIGN.md, substitution 3: the build/CI
 //!   machine has a single core, so wall-clock parallel speed-ups are
@@ -32,7 +34,7 @@ pub mod barrier;
 pub mod executor;
 pub mod multi;
 pub mod plan;
-pub mod pool;
+pub mod runtime;
 pub mod serial;
 pub mod sim;
 pub mod verify;
@@ -42,7 +44,7 @@ pub use barrier::{solve_with_barriers, BarrierExecutor};
 pub use executor::Executor;
 pub use multi::{solve_lower_multi_serial, MultiRhsExecutor};
 pub use plan::{Orientation, PlanBuilder, PlanError, PreOrder, SolvePlan, SolveWorkspace};
-pub use pool::{SenseBarrier, WorkerPool};
+pub use runtime::{CoreLease, SenseBarrier, SolverRuntime};
 pub use serial::{solve_lower_serial, solve_upper_serial, SerialExecutor};
 pub use sim::{
     simulate_async, simulate_barrier, simulate_model, simulate_serial, MachineProfile, SimReport,

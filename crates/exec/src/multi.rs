@@ -9,11 +9,15 @@
 //!
 //! Like [`crate::barrier`], the executor walks a [`CompiledSchedule`] — the
 //! plan can be shared (one `Arc`) with the single-RHS executor of the same
-//! [`crate::plan::SolvePlan`]. The threaded loop is also the multi-RHS half
-//! of the barrier model's [`Executor`](crate::executor::Executor) impl.
+//! [`crate::plan::SolvePlan`] — and leases its threads per solve from a
+//! [`SolverRuntime`](crate::runtime::SolverRuntime), striding schedule
+//! cores over the lease width. The row kernel accumulates directly into
+//! the output row (column `c` of row `i` never aliases row `i` itself, as
+//! off-diagonal columns are strictly below the diagonal), so no per-row
+//! scratch is allocated on any path.
 
 use crate::barrier::SharedX;
-use crate::pool::{LazyPool, SenseBarrier, WorkerPool};
+use crate::runtime::{RuntimeHandle, SenseBarrier};
 use sptrsv_core::registry::Backoff;
 use sptrsv_core::{CompiledSchedule, Schedule, ScheduleError};
 use sptrsv_sparse::CsrMatrix;
@@ -26,37 +30,20 @@ pub fn solve_lower_multi_serial(l: &CsrMatrix, b: &[f64], x: &mut [f64], r: usiz
     assert_eq!(b.len(), n * r);
     assert_eq!(x.len(), n * r);
     for i in 0..n {
-        solve_row_multi(l, i, b, x, r);
+        // SAFETY: single-threaded ascending sweep — every dependency is
+        // program-ordered, and `x` is exclusively borrowed.
+        unsafe { solve_row_multi_raw(l, i, b, x.as_mut_ptr(), r) };
     }
 }
 
-/// Computes row `i` of the multi-RHS substitution.
-#[inline]
-fn solve_row_multi(l: &CsrMatrix, i: usize, b: &[f64], x: &mut [f64], r: usize) {
-    let (cols, vals) = l.row(i);
-    let k = cols.len() - 1;
-    debug_assert_eq!(cols[k], i, "row {i} lacks its diagonal");
-    let mut acc: Vec<f64> = b[i * r..(i + 1) * r].to_vec();
-    for (&c, &v) in cols[..k].iter().zip(&vals[..k]) {
-        let xc = &x[c * r..(c + 1) * r];
-        for (a, &xv) in acc.iter_mut().zip(xc) {
-            *a -= v * xv;
-        }
-    }
-    let diag = vals[k];
-    for (slot, a) in x[i * r..(i + 1) * r].iter_mut().zip(&acc) {
-        *slot = a / diag;
-    }
-}
-
-/// Raw-pointer variant for the threaded executors (same arithmetic as
-/// [`solve_row_multi`], reads/writes through the shared pointer).
+/// Computes row `i` of the multi-RHS substitution through the shared
+/// pointer, accumulating in place (no scratch).
 ///
 /// # Safety
 /// Caller must guarantee the schedule-validity conditions of
 /// [`crate::barrier`] (or the flag-ordering conditions of
-/// [`crate::async_exec`]): exclusive writes to row `i`, reads ordered by
-/// synchronization or program order.
+/// [`crate::async_exec`]): exclusive writes to row `i`, reads of parent
+/// rows ordered by synchronization or program order.
 #[inline]
 pub(crate) unsafe fn solve_row_multi_raw(
     l: &CsrMatrix,
@@ -68,25 +55,29 @@ pub(crate) unsafe fn solve_row_multi_raw(
     let (cols, vals) = l.row(i);
     let k = cols.len() - 1;
     debug_assert_eq!(cols[k], i);
-    let mut acc: Vec<f64> = b[i * r..(i + 1) * r].to_vec();
+    for j in 0..r {
+        // SAFETY: exclusive writer of row i (caller contract).
+        unsafe { *x.add(i * r + j) = b[i * r + j] };
+    }
     for (&c, &v) in cols[..k].iter().zip(&vals[..k]) {
-        for (j, a) in acc.iter_mut().enumerate() {
-            // SAFETY: per caller contract (value ready before this read).
-            *a -= v * unsafe { *x.add(c * r + j) };
+        for j in 0..r {
+            // SAFETY: parent row c is ready (caller contract) and c < i,
+            // so the read never aliases the row-i accumulator.
+            unsafe { *x.add(i * r + j) -= v * *x.add(c * r + j) };
         }
     }
     let diag = vals[k];
-    for (j, a) in acc.iter().enumerate() {
+    for j in 0..r {
         // SAFETY: exclusive writer of row i.
-        unsafe { *x.add(i * r + j) = a / diag };
+        unsafe { *x.add(i * r + j) /= diag };
     }
 }
 
-/// Multi-RHS barrier executor over a [`CompiledSchedule`], running on its
-/// own persistent [`WorkerPool`] (created on first parallel solve).
+/// Multi-RHS barrier executor over a [`CompiledSchedule`], leasing its
+/// threads per solve from the process-wide runtime.
 pub struct MultiRhsExecutor {
     compiled: Arc<CompiledSchedule>,
-    pool: LazyPool,
+    runtime: RuntimeHandle,
     backoff: Backoff,
 }
 
@@ -96,49 +87,56 @@ impl MultiRhsExecutor {
         let dag = sptrsv_dag::SolveDag::from_lower_triangular(matrix);
         schedule.validate(&dag)?;
         let compiled = Arc::new(CompiledSchedule::from_schedule(schedule));
-        let pool = LazyPool::new(compiled.n_cores());
-        Ok(MultiRhsExecutor { compiled, pool, backoff: Backoff::default() })
+        Ok(MultiRhsExecutor {
+            compiled,
+            runtime: RuntimeHandle::default(),
+            backoff: Backoff::default(),
+        })
     }
 
     /// Solves `L X = B` with `r` right-hand sides (row-major `n x r`).
     pub fn solve(&self, l: &CsrMatrix, b: &[f64], x: &mut [f64], r: usize) {
-        solve_multi_compiled(l, &self.compiled, b, x, r, self.pool.get(), self.backoff);
+        solve_multi_compiled(l, &self.compiled, b, x, r, &self.runtime, self.backoff);
     }
 }
 
-/// The pooled barrier multi-RHS solve over a compiled schedule (shared by
+/// The leased barrier multi-RHS solve over a compiled schedule (shared by
 /// [`MultiRhsExecutor`] and [`crate::barrier::BarrierExecutor`]'s
 /// `Executor::solve_multi`).
 ///
 /// The compiled schedule must stem from a schedule validated against `l`'s
-/// solve DAG, and the pool must match the schedule's core count.
+/// solve DAG.
 pub(crate) fn solve_multi_compiled(
     l: &CsrMatrix,
     compiled: &CompiledSchedule,
     b: &[f64],
     x: &mut [f64],
     r: usize,
-    pool: &WorkerPool,
+    runtime: &RuntimeHandle,
     backoff: Backoff,
 ) {
     let n = l.n_rows();
     assert!(r > 0);
     assert_eq!(b.len(), n * r);
     assert_eq!(x.len(), n * r);
-    let n_cores = compiled.n_cores();
     let shared = SharedX(x.as_mut_ptr());
-    if n_cores == 1 {
-        run_core_multi(l, b, shared, compiled, 0, None, r, backoff);
+    if compiled.n_cores() == 1 {
+        run_core_multi(l, b, shared, compiled, 0, 1, None, r, backoff);
         return;
     }
-    assert_eq!(pool.n_cores(), n_cores, "pool sized for a different core count");
-    let barrier = SenseBarrier::new(n_cores);
+    let mut lease = runtime.get().lease(compiled.n_cores());
+    let width = lease.size();
+    if width == 1 {
+        run_core_multi(l, b, shared, compiled, 0, 1, None, r, backoff);
+        return;
+    }
+    let barrier = SenseBarrier::new(width);
     let barrier = &barrier;
-    pool.run(backoff, &move |core| {
+    lease.run(backoff, &move |thread| {
         // Same panic containment as the single-RHS path: poison the barrier
-        // so siblings unwind instead of waiting on a panicked core.
+        // so siblings unwind instead of waiting on a panicked thread.
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            run_core_multi(l, b, shared, compiled, core, Some(barrier), r, backoff)
+            run_core_multi(l, b, shared, compiled, thread, width, Some(barrier), r, backoff)
         }));
         if let Err(panic) = result {
             barrier.poison();
@@ -153,17 +151,25 @@ fn run_core_multi(
     b: &[f64],
     x: SharedX,
     compiled: &CompiledSchedule,
-    core: usize,
+    thread: usize,
+    width: usize,
     barrier: Option<&SenseBarrier>,
     r: usize,
     backoff: Backoff,
 ) {
+    let n_cores = compiled.n_cores();
     let mut sense = false;
     for step in 0..compiled.n_supersteps() {
-        for &i in compiled.cell(step, core) {
-            // SAFETY: schedule validity (checked at construction) + barrier
-            // ordering, see the `barrier` module's safety argument.
-            unsafe { solve_row_multi_raw(l, i as usize, b, x.0, r) };
+        let mut core = thread;
+        while core < n_cores {
+            for &i in compiled.cell(step, core) {
+                // SAFETY: schedule validity (checked at construction) +
+                // barrier ordering, see the `barrier` module's safety
+                // argument (striding keeps every schedule core on one
+                // thread).
+                unsafe { solve_row_multi_raw(l, i as usize, b, x.0, r) };
+            }
+            core += width;
         }
         if let Some(barrier) = barrier {
             barrier.wait(&mut sense, backoff);

@@ -18,15 +18,22 @@
 //! The **execution policy** is equally first-class: `sync=full|reduced`
 //! selects the wait DAG of asynchronous execution (the planner asks the
 //! scheduler's [`Scheduler::sync_dag`] hook before reducing itself, so
-//! `spmp@async` reduces exactly once per plan) and `backoff=spin|yield` the
-//! behavior of every threaded wait loop — as spec keys or the typed
-//! [`PlanBuilder::sync_policy`]/[`PlanBuilder::backoff`] knobs.
+//! `spmp@async` reduces exactly once per plan), `backoff=spin|yield` the
+//! behavior of every threaded wait loop, and `cores=N` the core count the
+//! schedule targets — as spec keys or the typed
+//! [`PlanBuilder::sync_policy`]/[`PlanBuilder::backoff`]/
+//! [`PlanBuilder::cores`] knobs (typed knobs win).
 //!
-//! Parallel plans execute on a **persistent worker pool**
-//! ([`crate::pool::WorkerPool`]): the executor lazily spawns `cores − 1`
-//! long-lived threads on the first parallel solve and parks them between
-//! solves, so steady-state [`SolvePlan::solve_into`] calls dispatch without
-//! spawning or allocating.
+//! Parallel plans execute on the **process-wide
+//! `SolverRuntime`** ([`crate::runtime::SolverRuntime`]): each solve leases
+//! up to `cores` threads from one shared, hardware-sized pool
+//! ([`crate::runtime`]), so many concurrent plans coexist without
+//! oversubscribing the machine — a contended solve degrades gracefully to
+//! fewer cores (down to serial) with bit-identical results. Pass an
+//! explicitly constructed runtime with [`PlanBuilder::runtime`] to embed
+//! or test against a differently sized pool; steady-state
+//! [`SolvePlan::solve_into`] calls dispatch without spawning or
+//! allocating either way.
 //!
 //! Upper-triangular systems (backward substitution) are handled by
 //! conjugating with the index-reversal permutation: if `J` reverses `0..n`,
@@ -55,6 +62,7 @@
 use crate::async_exec::AsyncExecutor;
 use crate::barrier::BarrierExecutor;
 use crate::executor::Executor;
+use crate::runtime::{RuntimeHandle, SolverRuntime};
 use crate::serial::SerialExecutor;
 use crate::sim::{simulate_model, MachineProfile, SimReport};
 use sptrsv_core::registry::{
@@ -139,7 +147,8 @@ pub struct PlanBuilder<'m> {
     matrix: &'m CsrMatrix,
     orientation: Orientation,
     spec: String,
-    n_cores: usize,
+    n_cores: Option<usize>,
+    runtime: Option<Arc<SolverRuntime>>,
     pre_order: PreOrder,
     coarsen: bool,
     reorder: bool,
@@ -148,16 +157,22 @@ pub struct PlanBuilder<'m> {
     backoff: Option<Backoff>,
 }
 
+/// Core count applied when neither [`PlanBuilder::cores`] nor the spec's
+/// `cores=` policy key is given.
+const DEFAULT_PLAN_CORES: usize = 8;
+
 impl<'m> PlanBuilder<'m> {
     /// A builder with the default pipeline: lower triangle, `growlocal`,
-    /// 8 cores, no pre-ordering, no coarsening, §5 reordering on, execution
-    /// model and policy resolved from the spec/registry.
+    /// 8 cores, the process-wide solver runtime, no pre-ordering, no
+    /// coarsening, §5 reordering on, execution model and policy resolved
+    /// from the spec/registry.
     pub fn new(matrix: &'m CsrMatrix) -> PlanBuilder<'m> {
         PlanBuilder {
             matrix,
             orientation: Orientation::Lower,
             spec: "growlocal".to_string(),
-            n_cores: 8,
+            n_cores: None,
+            runtime: None,
             pre_order: PreOrder::Natural,
             coarsen: false,
             reorder: true,
@@ -180,10 +195,22 @@ impl<'m> PlanBuilder<'m> {
         self
     }
 
-    /// Core count the schedule targets.
+    /// Core count the schedule targets (and the width the executor
+    /// requests from the runtime per solve). Overrides the spec's `cores=`
+    /// key; with neither, 8 applies.
     pub fn cores(mut self, n_cores: usize) -> Self {
         assert!(n_cores > 0, "a plan needs at least one core");
-        self.n_cores = n_cores;
+        self.n_cores = Some(n_cores);
+        self
+    }
+
+    /// The [`SolverRuntime`] the plan's solves lease their threads from.
+    /// Defaults to the process-wide, hardware-sized
+    /// [`SolverRuntime::global`] runtime; pass an explicitly constructed
+    /// one to embed the solver in a host application's own pool or to pin
+    /// tests to a known capacity.
+    pub fn runtime(mut self, runtime: Arc<SolverRuntime>) -> Self {
+        self.runtime = Some(runtime);
         self
     }
 
@@ -338,10 +365,15 @@ impl SolvePlan {
             reorder,
             ExecModel::Barrier,
             ExecPolicy::default(),
+            RuntimeHandle::default(),
         )
     }
 
     fn from_builder(builder: PlanBuilder<'_>) -> Result<SolvePlan, PlanError> {
+        // Compat-only (see `runtime::install_rayon_bridge`): give the
+        // rayon stand-in its runtime bridge before any scheduler (block-gl)
+        // parallel-iterates.
+        crate::runtime::install_rayon_bridge();
         // Resolve the spec against the post-orientation, post-pre-order DAG
         // so self-sizing schedulers (funnel-gl:cap=auto) see the DAG they
         // will schedule. Orientation/pre-ordering are pure renumberings, so
@@ -364,17 +396,26 @@ impl SolvePlan {
         if let Some(backoff) = builder.backoff {
             policy.backoff = backoff;
         }
-        let scheduler = registry::build(&spec, &dag, builder.n_cores)?;
+        // Core count: typed knob over spec `cores=` key over the default.
+        // (`policy.cores` keeps the spec's value — the effective count is
+        // `SolvePlan::compiled().n_cores()`.)
+        let n_cores = builder.n_cores.or(policy.cores).unwrap_or(DEFAULT_PLAN_CORES);
+        let runtime = match builder.runtime {
+            Some(rt) => RuntimeHandle::explicit(rt),
+            None => RuntimeHandle::default(),
+        };
+        let scheduler = registry::build(&spec, &dag, n_cores)?;
         Self::assemble_oriented(
             lower,
             base_perm,
             dag,
             builder.coarsen,
             scheduler.as_ref(),
-            builder.n_cores,
+            n_cores,
             builder.reorder,
             model,
             policy,
+            runtime,
         )
     }
 
@@ -390,6 +431,7 @@ impl SolvePlan {
         reorder: bool,
         model: ExecModel,
         policy: ExecPolicy,
+        runtime: RuntimeHandle,
     ) -> Result<SolvePlan, PlanError> {
         let schedule = if coarsen {
             schedule_coarsened(&dag, scheduler, n_cores)
@@ -413,9 +455,11 @@ impl SolvePlan {
         let compiled = Arc::new(CompiledSchedule::from_schedule(&schedule));
         let mut sync_dag = None;
         let executor: Box<dyn Executor> = match model {
-            ExecModel::Barrier => {
-                Box::new(BarrierExecutor::from_compiled(Arc::clone(&compiled), policy.backoff))
-            }
+            ExecModel::Barrier => Box::new(BarrierExecutor::from_compiled(
+                Arc::clone(&compiled),
+                runtime,
+                policy.backoff,
+            )),
             ExecModel::Serial => Box::new(SerialExecutor),
             ExecModel::Async => {
                 // The synchronization DAG per policy: the full final DAG, or
@@ -431,8 +475,12 @@ impl SolvePlan {
                         .sync_dag(&final_dag)
                         .unwrap_or_else(|| approximate_transitive_reduction(&final_dag)),
                 };
-                let executor =
-                    AsyncExecutor::from_compiled(Arc::clone(&compiled), &sync, policy.backoff);
+                let executor = AsyncExecutor::from_compiled(
+                    Arc::clone(&compiled),
+                    &sync,
+                    runtime,
+                    policy.backoff,
+                );
                 sync_dag = Some(sync);
                 Box::new(executor)
             }
@@ -707,6 +755,52 @@ mod tests {
         // growlocal's own numeric `sync` is untouched by the policy key.
         let plan = PlanBuilder::new(&l).scheduler("growlocal:sync=2000").cores(2).build().unwrap();
         assert_eq!(plan.exec_policy().sync, SyncPolicy::Reduced);
+    }
+
+    #[test]
+    fn cores_spec_key_and_typed_knob_resolve() {
+        let l = lower();
+        // Default: 8 cores.
+        let plan = PlanBuilder::new(&l).build().unwrap();
+        assert_eq!(plan.compiled().n_cores(), 8);
+        // The spec's cores= policy key sizes the schedule.
+        let plan = PlanBuilder::new(&l).scheduler("growlocal:cores=3").build().unwrap();
+        assert_eq!(plan.compiled().n_cores(), 3);
+        assert_eq!(plan.exec_policy().cores, Some(3));
+        // The typed knob overrides the spec key.
+        let plan = PlanBuilder::new(&l).scheduler("growlocal:cores=3").cores(2).build().unwrap();
+        assert_eq!(plan.compiled().n_cores(), 2);
+        // And a spec-sized plan solves correctly.
+        let n = l.n_rows();
+        let b: Vec<f64> = (0..n).map(|i| 1.0 + (i % 6) as f64).collect();
+        let plan = PlanBuilder::new(&l).scheduler("spmp:cores=3@async").build().unwrap();
+        let x = plan.solve(&b);
+        assert!(relative_residual(&l, &x, &b) < 1e-12);
+    }
+
+    #[test]
+    fn explicit_runtime_handles_are_honored() {
+        use crate::runtime::SolverRuntime;
+        let l = lower();
+        let n = l.n_rows();
+        let b: Vec<f64> = (0..n).map(|i| ((i * 5) % 9) as f64 - 4.0).collect();
+        let reference = PlanBuilder::new(&l).cores(4).build().unwrap().solve(&b);
+        // A plan pinned to a tiny runtime degrades its 4-core schedule to
+        // the runtime's capacity and still produces identical bits; the
+        // runtime records the lease traffic.
+        for capacity in [1, 2, 4] {
+            let runtime = Arc::new(SolverRuntime::new(capacity));
+            for model in [ExecModel::Barrier, ExecModel::Async] {
+                let plan = PlanBuilder::new(&l)
+                    .cores(4)
+                    .execution(model)
+                    .runtime(Arc::clone(&runtime))
+                    .build()
+                    .unwrap();
+                assert_eq!(plan.solve(&b), reference, "{model} on capacity {capacity}");
+            }
+            assert_eq!(runtime.cores_in_use(), 0, "solves leaked leases");
+        }
     }
 
     #[test]

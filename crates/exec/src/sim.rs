@@ -24,7 +24,11 @@
 //! checks), and `backoff=yield` charges `yield_resume_cycles` — the OS
 //! re-scheduling latency — whenever a wait actually blocks (a spinning
 //! waiter observes the flag at flag-propagation latency; a yielding waiter
-//! must first be re-scheduled).
+//! must first be re-scheduled). The `cores=N` policy key reaches the
+//! simulator through the schedule itself: the plan/CLI/harness resolve it
+//! into the scheduling core count, so the [`CompiledSchedule`] handed to
+//! `simulate_*` already has `N` cores (capped by the profile's
+//! `max_cores`, like any other core count).
 
 use sptrsv_core::registry::{Backoff, ExecModel, ExecPolicy, SyncPolicy};
 use sptrsv_core::CompiledSchedule;

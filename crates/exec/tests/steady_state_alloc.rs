@@ -1,0 +1,112 @@
+//! Steady-state solves are allocation-free — measured, not asserted by
+//! inspection.
+//!
+//! The ROADMAP gap this pins: the async executor used to allocate a
+//! `Vec<AtomicBool>` of done flags *per solve*; the flags are now a
+//! generation-counted array owned by the executor, so after warm-up a
+//! `solve_into` performs **zero** heap allocations on every execution
+//! model — the barrier path (which was already clean), the async path, and
+//! the runtime's core-leasing itself (recycled worker-index buffers, a
+//! stack-allocated `SenseBarrier`, futex-based std locks).
+//!
+//! A counting `#[global_allocator]` wraps the system allocator; the test
+//! snapshots the allocation counter around a burst of warm solves and
+//! demands an exact zero delta. Worker threads run the same kernels, so
+//! the global counter also proves *they* allocate nothing.
+
+use sptrsv_exec::{ExecModel, PlanBuilder, SolverRuntime};
+use sptrsv_sparse::gen::grid::{grid2d_laplacian, Stencil2D};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// System allocator with a global allocation counter.
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+fn allocations() -> usize {
+    ALLOCATIONS.load(Ordering::SeqCst)
+}
+
+#[test]
+fn steady_state_solves_do_not_allocate() {
+    let l = grid2d_laplacian(24, 24, Stencil2D::FivePoint, 0.5).lower_triangle().unwrap();
+    let n = l.n_rows();
+    let b: Vec<f64> = (0..n).map(|i| 1.0 + (i % 7) as f64).collect();
+    // A private runtime keeps the measurement hermetic (nothing else
+    // leases from it mid-test).
+    let runtime = Arc::new(SolverRuntime::new(3));
+    for model in [ExecModel::Barrier, ExecModel::Async] {
+        let plan = PlanBuilder::new(&l)
+            .cores(3)
+            .execution(model)
+            .runtime(Arc::clone(&runtime))
+            .build()
+            .unwrap();
+        let mut ws = plan.workspace();
+        let mut x = vec![0.0; n];
+        // Warm-up: buffer growth, the runtime's first lease buffer, and
+        // (for async) nothing — the generation flags were sized at build.
+        let reference = {
+            plan.solve_into(&b, &mut x, &mut ws);
+            plan.solve_into(&b, &mut x, &mut ws);
+            x.clone()
+        };
+        let before = allocations();
+        for _ in 0..50 {
+            plan.solve_into(&b, &mut x, &mut ws);
+        }
+        let delta = allocations() - before;
+        assert_eq!(x, reference, "{model} diverged during the measured burst");
+        assert_eq!(delta, 0, "{model}: {delta} allocations across 50 steady-state solves");
+    }
+}
+
+#[test]
+fn steady_state_multi_rhs_solves_do_not_allocate() {
+    // The multi-RHS row kernel accumulates in place (no per-row scratch),
+    // so SpTRSM steady state is allocation-free too.
+    let l = grid2d_laplacian(16, 16, Stencil2D::FivePoint, 0.5).lower_triangle().unwrap();
+    let n = l.n_rows();
+    let r = 4;
+    let b: Vec<f64> = (0..n * r).map(|i| (i as f64 * 0.13).sin() + 1.0).collect();
+    let runtime = Arc::new(SolverRuntime::new(3));
+    for model in [ExecModel::Barrier, ExecModel::Async] {
+        let plan = PlanBuilder::new(&l)
+            .cores(3)
+            .execution(model)
+            .runtime(Arc::clone(&runtime))
+            .build()
+            .unwrap();
+        let mut px = vec![0.0; n * r];
+        // Warm-up (solve_multi itself allocates its gather buffers, so
+        // measure the executor path directly through the trait).
+        plan.executor().solve_multi(plan.internal_matrix(), &b, &mut px, r);
+        let before = allocations();
+        for _ in 0..20 {
+            plan.executor().solve_multi(plan.internal_matrix(), &b, &mut px, r);
+        }
+        let delta = allocations() - before;
+        assert_eq!(delta, 0, "{model}: {delta} allocations across 20 multi-RHS solves");
+    }
+}
