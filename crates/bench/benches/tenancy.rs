@@ -1,0 +1,166 @@
+//! Multi-tenant latency bench: greedy vs fair vs fair+elastic grants
+//! under a six-tenant storm (this PR's perf claim, measured rather than
+//! asserted).
+//!
+//! Six tenants share one capacity-8 `SolverRuntime`, each holding its own
+//! prepared plan that *wants* all 8 cores, each solving back-to-back from
+//! its own request thread. Per grant policy the bench reports the
+//! per-tenant solve-latency distribution:
+//!
+//! * **greedy** — `min(requested, free)`: the first tenant in takes the
+//!   whole runtime; everyone else blocks, then runs what is left. High
+//!   p95: a tenant's latency includes whole-machine solves of others.
+//! * **fair** — every grant is capped at `ceil(capacity / active
+//!   tenants)`, waiters included, so the six tenants run side by side at
+//!   narrow widths instead of serializing at full width. Individual
+//!   solves are slower, tail latency is flatter.
+//! * **fair+elastic** — fair admission plus mid-solve growth at superstep
+//!   boundaries: a solve admitted narrow widens as neighbors finish.
+//!
+//! Reported per policy: aggregate p50/p95 across all tenant solves and
+//! the **worst single tenant's p95** (the starvation signal — under
+//! greedy one tenant's tail is much worse than the mean). The punchline
+//! line at the end compares fair's p95 against greedy's.
+//!
+//! Run with `cargo bench -p sptrsv-bench --bench tenancy` (or `-- --test`
+//! for the CI smoke, which runs a 3-round storm per policy).
+
+use sptrsv_exec::{GrantPolicy, PlanBuilder, SolvePlan, SolverRuntime};
+use sptrsv_sparse::gen::grid::{grid2d_laplacian, Stencil2D};
+use sptrsv_sparse::CsrMatrix;
+use std::sync::{Arc, Barrier};
+use std::time::Instant;
+
+const TENANTS: usize = 6;
+const CAPACITY: usize = 8;
+
+/// Latency distribution of one policy's storm.
+struct StormReport {
+    /// Aggregate percentiles over every tenant solve (milliseconds).
+    p50: f64,
+    p95: f64,
+    /// The worst single tenant's p95 — the starvation signal.
+    worst_tenant_p95: f64,
+}
+
+/// `q`-th percentile (0..=1) of an unsorted latency sample, in ms.
+fn percentile(samples: &mut [f64], q: f64) -> f64 {
+    samples.sort_by(|a, b| a.total_cmp(b));
+    if samples.is_empty() {
+        return f64::NAN;
+    }
+    let idx = ((samples.len() - 1) as f64 * q).round() as usize;
+    samples[idx]
+}
+
+fn plan_for(
+    l: &CsrMatrix,
+    runtime: &Arc<SolverRuntime>,
+    grant: GrantPolicy,
+    elastic: bool,
+) -> SolvePlan {
+    PlanBuilder::new(l)
+        .scheduler("growlocal")
+        .cores(CAPACITY) // every tenant wants the whole machine
+        .grant_policy(grant)
+        .elastic(elastic)
+        .runtime(Arc::clone(runtime))
+        .build()
+        .expect("valid plan")
+}
+
+/// Runs the six-tenant storm under one policy and collects per-tenant
+/// solve latencies.
+fn storm(
+    label: &'static str,
+    l: &CsrMatrix,
+    b: &[f64],
+    grant: GrantPolicy,
+    elastic: bool,
+    rounds: usize,
+) -> StormReport {
+    let runtime = Arc::new(SolverRuntime::new(CAPACITY));
+    // Steady tenants declare themselves (what a serving process does):
+    // the fair share divides by the full tenant set even in the instants
+    // a tenant is between solves. Greedy ignores the registration.
+    let _registrations: Vec<_> = (0..TENANTS).map(|_| runtime.register_tenant()).collect();
+    let plans: Vec<SolvePlan> =
+        (0..TENANTS).map(|_| plan_for(l, &runtime, grant, elastic)).collect();
+    let start_line = Barrier::new(TENANTS);
+    let mut per_tenant: Vec<Vec<f64>> = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = plans
+            .iter()
+            .map(|plan| {
+                let start_line = &start_line;
+                let b = &b;
+                scope.spawn(move || {
+                    let mut ws = plan.workspace();
+                    let mut x = vec![0.0; b.len()];
+                    plan.solve_into(b, &mut x, &mut ws); // warm-up, untimed
+                    start_line.wait();
+                    let mut latencies = Vec::with_capacity(rounds);
+                    for _ in 0..rounds {
+                        let started = Instant::now();
+                        plan.solve_into(b, &mut x, &mut ws);
+                        latencies.push(started.elapsed().as_secs_f64() * 1e3);
+                    }
+                    latencies
+                })
+            })
+            .collect();
+        per_tenant = handles.into_iter().map(|h| h.join().expect("tenant thread")).collect();
+    });
+    assert_eq!(runtime.cores_in_use(), 0, "{label}: leases leaked");
+    let mut all: Vec<f64> = per_tenant.iter().flatten().copied().collect();
+    let worst_tenant_p95 =
+        per_tenant.iter_mut().map(|t| percentile(t, 0.95)).fold(0.0f64, f64::max);
+    StormReport {
+        p50: percentile(&mut all, 0.50),
+        p95: percentile(&mut all, 0.95),
+        worst_tenant_p95,
+    }
+}
+
+fn main() {
+    let test_mode = std::env::args().any(|a| a == "--test");
+    let rounds = if test_mode { 3 } else { 40 };
+    let l = grid2d_laplacian(96, 96, Stencil2D::FivePoint, 0.5).lower_triangle().expect("square");
+    let b: Vec<f64> = (0..l.n_rows()).map(|i| 1.0 + (i % 7) as f64).collect();
+
+    println!(
+        "six-tenant storm: {TENANTS} tenants x {rounds} solves on one {CAPACITY}-core runtime \
+         ({} rows, {} nnz per solve)\n",
+        l.n_rows(),
+        l.nnz()
+    );
+    let policies: [(&'static str, GrantPolicy, bool); 3] = [
+        ("greedy", GrantPolicy::Greedy, false),
+        ("fair", GrantPolicy::Fair, false),
+        ("fair+elastic", GrantPolicy::Fair, true),
+    ];
+    let mut reports = Vec::new();
+    for (label, grant, elastic) in policies {
+        let report = storm(label, &l, &b, grant, elastic, rounds);
+        println!(
+            "{label:<14} p50 {:8.3} ms   p95 {:8.3} ms   worst-tenant p95 {:8.3} ms",
+            report.p50, report.p95, report.worst_tenant_p95
+        );
+        reports.push(report);
+    }
+    if test_mode {
+        println!("\ntest tenancy storm (3 rounds per policy) ... ok");
+        return;
+    }
+    let greedy = &reports[0];
+    let fair = &reports[1];
+    println!(
+        "\nfair vs greedy p95: {:.3} ms vs {:.3} ms ({}, {:.2}x); worst-tenant p95 {:.3} vs {:.3} ms",
+        fair.p95,
+        greedy.p95,
+        if fair.p95 < greedy.p95 { "fair wins" } else { "greedy wins" },
+        greedy.p95 / fair.p95,
+        fair.worst_tenant_p95,
+        greedy.worst_tenant_p95,
+    );
+}

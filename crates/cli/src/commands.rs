@@ -11,7 +11,7 @@
 use crate::args::Args;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use sptrsv_core::registry::{self, SchedulerSpec};
+use sptrsv_core::registry::{self, GrantPolicy, SchedulerSpec};
 use sptrsv_core::CompiledSchedule;
 use sptrsv_dag::{wavefronts, SolveDag};
 use sptrsv_exec::{
@@ -34,19 +34,24 @@ commands:
   schedule <file.mtx> [--algo SPEC] [--cores K] [-o <file.sched>]
   solve    <file.mtx> [--algo SPEC] [--cores K] [--no-reorder true]
            [--pre-order rcm|min-degree|nested-dissection] [--coarsen true]
-           [--repeat N]
+           [--repeat N] [--grant greedy|fair|cap=K] [--elastic on|off]
   simulate <file.mtx> [--algo SPEC] [--cores K] [--machine intel|amd|arm]
+           [--grant greedy|fair|cap=K] [--elastic on|off]
 
 --algo takes a scheduler spec in the grammar name[:key=value,...][@model]:
 a name from `sptrsv algos`, optional parameters (scoped keys like gl.alpha
 reach a composite scheduler's inner GrowLocal; sync=full|reduced,
-backoff=spin|yield and cores=N address the execution policy on any
-scheduler) and an optional execution model, e.g. growlocal:alpha=8,sync=2000,
-funnel-gl:gl.alpha=8,cap=auto, growlocal:sync=full@async or spmp:backoff=yield.
-An explicit --cores flag overrides the spec's cores= key. Parallel solves
-lease their threads per solve from the process-wide solver runtime (sized
-to the hardware), so concurrent solves never oversubscribe the machine —
-a solve wider than the free capacity degrades gracefully to fewer cores.
+backoff=spin|yield, cores=N, grant=greedy|fair|cap=K and elastic=on|off
+address the execution policy on any scheduler) and an optional execution
+model, e.g. growlocal:alpha=8,sync=2000, funnel-gl:gl.alpha=8,cap=auto,
+growlocal:sync=full@async, spmp:backoff=yield or growlocal:grant=fair,elastic=on.
+Explicit --cores/--grant/--elastic flags override the spec's keys. Parallel
+solves lease their threads per solve from the process-wide solver runtime
+(sized to the hardware), so concurrent solves never oversubscribe the
+machine — a solve wider than the free capacity degrades gracefully to fewer
+cores; --grant bounds each tenant's share (fair = capacity/tenants) and
+--elastic on lets a barrier solve grow back at superstep boundaries as
+cores free up.
 --repeat N runs N steady-state solves on one plan (leases dispatch onto
 already-running runtime workers without re-spawning threads) and checks
 they are bit-identical.";
@@ -177,6 +182,23 @@ fn effective_cores(args: &Args, algo: &str, default: usize) -> Result<usize, Str
     Ok(policy.cores.unwrap_or(default))
 }
 
+/// The `--grant` flag, if given (a [`GrantPolicy`] spec value).
+fn grant_flag(args: &Args) -> Result<Option<GrantPolicy>, String> {
+    args.get("grant")
+        .map(|text| text.parse().map_err(|e: registry::RegistryError| e.to_string()))
+        .transpose()
+}
+
+/// The `--elastic` flag, if given (`on` or `off`).
+fn elastic_flag(args: &Args) -> Result<Option<bool>, String> {
+    match args.get("elastic") {
+        None => Ok(None),
+        Some("on") => Ok(Some(true)),
+        Some("off") => Ok(Some(false)),
+        Some(other) => Err(format!("bad value for --elastic: `{other}` (expected on or off)")),
+    }
+}
+
 fn schedule(args: &Args) -> Result<(), String> {
     let path = args.require_positional(0, "matrix file")?;
     let algo = args.get("algo").unwrap_or("growlocal");
@@ -227,15 +249,20 @@ fn solve(args: &Args) -> Result<(), String> {
         Some(other) => return Err(format!("unknown pre-order `{other}`")),
     };
     let lower = load_lower(path)?;
-    let plan = PlanBuilder::new(&lower)
+    let mut builder = PlanBuilder::new(&lower)
         .orientation(Orientation::Lower)
         .scheduler(algo)
         .cores(cores)
         .pre_order(pre_order)
         .coarsen(coarsen)
-        .reorder(reorder)
-        .build()
-        .map_err(|e| e.to_string())?;
+        .reorder(reorder);
+    if let Some(grant) = grant_flag(args)? {
+        builder = builder.grant_policy(grant);
+    }
+    if let Some(elastic) = elastic_flag(args)? {
+        builder = builder.elastic(elastic);
+    }
+    let plan = builder.build().map_err(|e| e.to_string())?;
     let b = vec![1.0; lower.n_rows()];
     let mut x = vec![0.0; lower.n_rows()];
     let mut workspace = plan.workspace();
@@ -246,9 +273,11 @@ fn solve(args: &Args) -> Result<(), String> {
     println!("algorithm:         {algo}");
     println!("execution model:   {}", plan.exec_model());
     println!(
-        "execution policy:  sync={} backoff={}",
+        "execution policy:  sync={} backoff={} grant={} elastic={}",
         plan.exec_policy().sync,
-        plan.exec_policy().backoff
+        plan.exec_policy().backoff,
+        plan.exec_policy().grant,
+        if plan.exec_policy().elastic { "on" } else { "off" }
     );
     let plan_cores = plan.compiled().n_cores();
     if plan_cores > 1 && plan.exec_model() != registry::ExecModel::Serial {
@@ -306,7 +335,13 @@ fn simulate(args: &Args) -> Result<(), String> {
     let dag = SolveDag::from_lower_triangular(&lower);
     let spec: SchedulerSpec = algo.parse().map_err(|e: registry::RegistryError| e.to_string())?;
     let model = registry::resolve_model(&spec).map_err(|e| e.to_string())?;
-    let policy = registry::resolve_exec_policy(&spec).map_err(|e| e.to_string())?;
+    let mut policy = registry::resolve_exec_policy(&spec).map_err(|e| e.to_string())?;
+    if let Some(grant) = grant_flag(args)? {
+        policy.grant = grant;
+    }
+    if let Some(elastic) = elastic_flag(args)? {
+        policy.elastic = elastic;
+    }
     let sched = registry::build(&spec, &dag, cores).map_err(|e| e.to_string())?;
     let s = sched.schedule(&dag, cores);
     let compiled = CompiledSchedule::from_schedule(&s);
@@ -315,7 +350,13 @@ fn simulate(args: &Args) -> Result<(), String> {
     println!("machine:          {}", profile.name);
     println!("algorithm:        {} (spec: {algo})", sched.name());
     println!("execution model:  {model}");
-    println!("execution policy: sync={} backoff={}", policy.sync, policy.backoff);
+    println!(
+        "execution policy: sync={} backoff={} grant={} elastic={}",
+        policy.sync,
+        policy.backoff,
+        policy.grant,
+        if policy.elastic { "on" } else { "off" }
+    );
     println!("serial cycles:    {:.3e}", serial.cycles);
     println!("parallel cycles:  {:.3e}", parallel.cycles);
     println!("modeled speed-up: {:.2}x", parallel.speedup_over(&serial));
@@ -443,6 +484,35 @@ mod tests {
             dispatch(&sv(&["simulate", mtx.to_str().unwrap(), "--cores", "4", "--algo", spec]))
                 .unwrap_or_else(|e| panic!("simulate --algo {spec}: {e}"));
         }
+        // Grant/elastic policy: spec keys and the flag overrides.
+        for spec in ["growlocal:grant=fair@barrier", "growlocal:grant=cap=2,elastic=on@barrier"] {
+            dispatch(&sv(&["solve", mtx.to_str().unwrap(), "--cores", "2", "--algo", spec]))
+                .unwrap_or_else(|e| panic!("solve --algo {spec}: {e}"));
+        }
+        dispatch(&sv(&[
+            "solve",
+            mtx.to_str().unwrap(),
+            "--cores",
+            "2",
+            "--grant",
+            "fair",
+            "--elastic",
+            "on",
+        ]))
+        .unwrap();
+        dispatch(&sv(&[
+            "simulate",
+            mtx.to_str().unwrap(),
+            "--cores",
+            "4",
+            "--algo",
+            "growlocal:grant=fair",
+            "--elastic",
+            "on",
+        ]))
+        .unwrap();
+        assert!(dispatch(&sv(&["solve", mtx.to_str().unwrap(), "--grant", "everything"])).is_err());
+        assert!(dispatch(&sv(&["solve", mtx.to_str().unwrap(), "--elastic", "yes"])).is_err());
         // …and repeated pooled solves are bit-stable.
         dispatch(&sv(&[
             "solve",

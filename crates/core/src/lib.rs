@@ -29,6 +29,8 @@
 //!   layout every executor consumes instead of re-materializing nested
 //!   per-cell vectors.
 
+#![warn(missing_docs)]
+
 pub mod block;
 pub mod bspg;
 pub mod compiled;

@@ -22,17 +22,20 @@
 //! omitting it picks the scheduler's default (the first entry of
 //! [`SchedulerInfo::exec_models`]).
 //!
-//! Three keys address the **execution policy** ([`ExecPolicy`]) rather
+//! Five keys address the **execution policy** ([`ExecPolicy`]) rather
 //! than the scheduler, and are accepted on every spec: `sync=full|reduced`
 //! selects the wait DAG of asynchronous execution, `backoff=spin|yield`
-//! the behavior of every threaded wait loop, and `cores=N` the core count
+//! the behavior of every threaded wait loop, `cores=N` the core count
 //! the schedule targets (and hence the width the executor leases from the
-//! shared runtime, and the parallelism the simulator models) —
+//! shared runtime, and the parallelism the simulator models),
+//! `grant=greedy|fair|cap=K` how the shared runtime sizes lease grants
+//! under multi-tenant contention, and `elastic=on|off` whether a
+//! barrier-model solve may grow its lease at superstep boundaries —
 //! `growlocal:sync=full@async`, `spmp:backoff=yield`,
-//! `hdagg:cores=16@barrier`. They are resolved by [`resolve_exec_policy`]
-//! and stripped before scheduler parameters are checked; `growlocal`'s
-//! own numeric `sync` parameter is unaffected because the value domains
-//! are disjoint.
+//! `hdagg:cores=16@barrier`, `growlocal:grant=fair,elastic=on`. They are
+//! resolved by [`resolve_exec_policy`] and stripped before scheduler
+//! parameters are checked; `growlocal`'s own numeric `sync` parameter is
+//! unaffected because the value domains are disjoint.
 //!
 //! [`list`] enumerates every registered scheduler with its parameters,
 //! defaults, supported execution models and description; [`build`]
@@ -190,6 +193,84 @@ impl FromStr for Backoff {
     }
 }
 
+/// How a solver runtime sizes lease grants under multi-tenant contention —
+/// the `grant=` execution-policy key.
+///
+/// The policy bounds the width of every lease (and of every mid-solve
+/// elastic growth step) a plan's solves request from the shared
+/// `SolverRuntime`. It never changes results: lease width only selects how
+/// schedule cores are strided over threads, which is bit-identical at
+/// every width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum GrantPolicy {
+    /// `min(requested, free)`: take everything available right now. A
+    /// first tenant can hold the whole runtime while later tenants run
+    /// serial until it releases (maximal single-tenant throughput,
+    /// worst-case multi-tenant tail latency).
+    #[default]
+    Greedy,
+    /// Bound each grant by the fair share `ceil(capacity / active
+    /// tenants)`, where active tenants counts every outstanding lease and
+    /// every blocked lessee. Frees are re-split on release: blocked
+    /// tenants wake into the recomputed share and elastic leases grow
+    /// into it at their next superstep boundary.
+    Fair,
+    /// Hard per-lease width cap of `K` cores (spec text `cap=K`), an
+    /// explicit quality-of-service ceiling independent of tenant count.
+    Cap(usize),
+}
+
+impl GrantPolicy {
+    /// The spec-grammar value (`greedy`, `fair` or `cap=K`).
+    pub fn as_spec_value(&self) -> String {
+        match self {
+            GrantPolicy::Greedy => "greedy".to_string(),
+            GrantPolicy::Fair => "fair".to_string(),
+            GrantPolicy::Cap(k) => format!("cap={k}"),
+        }
+    }
+}
+
+impl fmt::Display for GrantPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.as_spec_value())
+    }
+}
+
+impl FromStr for GrantPolicy {
+    type Err = RegistryError;
+
+    fn from_str(text: &str) -> Result<GrantPolicy, RegistryError> {
+        match text {
+            "greedy" => Ok(GrantPolicy::Greedy),
+            "fair" => Ok(GrantPolicy::Fair),
+            other => match other.strip_prefix("cap=").map(str::parse::<usize>) {
+                Some(Ok(k)) if k > 0 => Ok(GrantPolicy::Cap(k)),
+                _ => Err(RegistryError::BadValue {
+                    scheduler: "exec",
+                    key: "grant",
+                    value: other.to_string(),
+                    expected: "greedy, fair or cap=K (K >= 1)",
+                }),
+            },
+        }
+    }
+}
+
+/// Parses the `elastic=` execution-policy value (`on`/`off`).
+fn parse_elastic(text: &str) -> Result<bool, RegistryError> {
+    match text {
+        "on" => Ok(true),
+        "off" => Ok(false),
+        other => Err(RegistryError::BadValue {
+            scheduler: "exec",
+            key: "elastic",
+            value: other.to_string(),
+            expected: "on or off",
+        }),
+    }
+}
+
 /// The execution policy of a spec: dimensions of *how* a schedule executes
 /// that are orthogonal to both the scheduler and the [`ExecModel`].
 ///
@@ -198,6 +279,27 @@ impl FromStr for Backoff {
 /// checked. `sync=` is disambiguated from `growlocal`'s own numeric `sync`
 /// parameter by its value domain: `full`/`reduced` address the policy, any
 /// other value is passed through to the scheduler.
+///
+/// # Examples
+///
+/// Policy keys resolve from any spec string, leaving scheduler parameters
+/// untouched:
+///
+/// ```
+/// use sptrsv_core::registry::{resolve_exec_policy, GrantPolicy, SchedulerSpec, SyncPolicy};
+///
+/// let spec: SchedulerSpec =
+///     "growlocal:alpha=8,sync=full,grant=fair,elastic=on,cores=4@async".parse()?;
+/// let policy = resolve_exec_policy(&spec)?;
+/// assert_eq!(policy.sync, SyncPolicy::Full);
+/// assert_eq!(policy.grant, GrantPolicy::Fair);
+/// assert!(policy.elastic);
+/// assert_eq!(policy.cores, Some(4));
+/// // `alpha=8` stays a scheduler parameter; `grant=cap=3` caps lease width.
+/// let capped = resolve_exec_policy(&"spmp:grant=cap=3".parse()?)?;
+/// assert_eq!(capped.grant, GrantPolicy::Cap(3));
+/// # Ok::<(), sptrsv_core::registry::RegistryError>(())
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub struct ExecPolicy {
     /// Wait DAG of asynchronous execution (ignored by barrier/serial).
@@ -211,25 +313,38 @@ pub struct ExecPolicy {
     /// own core-count setting (the typed `PlanBuilder::cores` knob, a CLI
     /// `--cores` flag, a harness parameter) and its default.
     pub cores: Option<usize>,
+    /// Lease-width grant policy of the shared runtime (the `grant=` key):
+    /// how much of the requested width a solve is given under
+    /// multi-tenant contention.
+    pub grant: GrantPolicy,
+    /// Elastic leases (the `elastic=` key): when `true`, a barrier-model
+    /// solve granted fewer cores than its schedule targets may grow its
+    /// lease at superstep boundaries as other tenants release cores
+    /// (asynchronous execution ignores the key — re-striding between
+    /// supersteps is only safe with a barrier between them).
+    pub elastic: bool,
 }
 
 /// True when `key=value` addresses the execution policy rather than a
 /// scheduler parameter (see [`ExecPolicy`] for the disambiguation rule).
 fn is_exec_policy_param(key: &str, value: &str) -> bool {
     match key {
-        "backoff" | "cores" => true,
+        "backoff" | "cores" | "grant" | "elastic" => true,
         "sync" => value.parse::<SyncPolicy>().is_ok(),
         _ => false,
     }
 }
 
-/// The execution policy a spec selects: its `sync=`/`backoff=`/`cores=`
-/// keys (last occurrence wins), with defaults for the absent ones.
+/// The execution policy a spec selects: its
+/// `sync=`/`backoff=`/`cores=`/`grant=`/`elastic=` keys (last occurrence
+/// wins), with defaults for the absent ones.
 pub fn resolve_exec_policy(spec: &SchedulerSpec) -> Result<ExecPolicy, RegistryError> {
     let mut policy = ExecPolicy::default();
     for (key, value) in spec.params() {
         match key.as_str() {
             "backoff" => policy.backoff = value.parse()?,
+            "grant" => policy.grant = value.parse()?,
+            "elastic" => policy.elastic = parse_elastic(value)?,
             "cores" => {
                 policy.cores = match value.parse::<usize>() {
                     Ok(cores) if cores > 0 => Some(cores),
@@ -634,7 +749,11 @@ pub fn help_text() -> String {
     out.push_str("    sync         async wait DAG: full | reduced (default reduced)\n");
     out.push_str("    backoff      wait loops: spin | yield (default spin)\n");
     out.push_str("    cores        schedule core count / runtime lease width: a positive\n");
-    out.push_str("                 integer (default: the consumer's --cores setting)\n\n");
+    out.push_str("                 integer (default: the consumer's --cores setting)\n");
+    out.push_str("    grant        runtime lease sizing: greedy | fair | cap=K\n");
+    out.push_str("                 (default greedy; fair = ceil(capacity/tenants) share)\n");
+    out.push_str("    elastic      on | off (default off): barrier solves granted fewer\n");
+    out.push_str("                 cores may grow the lease at superstep boundaries\n\n");
     for entry in list() {
         out.push_str(&format!("  {:<10} {}\n", entry.name, entry.summary));
         let models: Vec<String> = ExecModel::ALL
@@ -1099,9 +1218,75 @@ mod tests {
     #[test]
     fn help_text_documents_exec_policy() {
         let help = help_text();
-        for needle in ["sync", "backoff", "cores", "full | reduced", "spin | yield"] {
+        for needle in [
+            "sync",
+            "backoff",
+            "cores",
+            "grant",
+            "elastic",
+            "full | reduced",
+            "spin | yield",
+            "greedy | fair | cap=K",
+            "on | off",
+        ] {
             assert!(help.contains(needle), "`{needle}` missing from help");
         }
+    }
+
+    #[test]
+    fn exec_policy_grant_and_elastic_keys_parse_on_every_scheduler() {
+        let g = dag();
+        for entry in list() {
+            let spec = format!("{}:grant=fair,elastic=on", entry.name);
+            let parsed: SchedulerSpec = spec.parse().unwrap();
+            let policy = resolve_exec_policy(&parsed).unwrap();
+            assert_eq!(policy.grant, GrantPolicy::Fair);
+            assert!(policy.elastic);
+            assert!(resolve(&spec, &g, 2).is_ok(), "`{spec}` failed to build");
+        }
+        // Defaults: greedy grants, fixed-width leases.
+        let policy = resolve_exec_policy(&SchedulerSpec::new("growlocal")).unwrap();
+        assert_eq!(policy.grant, GrantPolicy::Greedy);
+        assert!(!policy.elastic);
+        // cap=K carries its width through the nested `=` (split_once keeps
+        // the remainder intact).
+        let spec: SchedulerSpec = "spmp:grant=cap=3".parse().unwrap();
+        assert_eq!(resolve_exec_policy(&spec).unwrap().grant, GrantPolicy::Cap(3));
+        assert!(resolve("spmp:grant=cap=3", &g, 2).is_ok());
+        // Composes with every other policy dimension.
+        let spec: SchedulerSpec =
+            "growlocal:alpha=8,grant=cap=2,elastic=off,cores=4,backoff=yield@barrier"
+                .parse()
+                .unwrap();
+        let policy = resolve_exec_policy(&spec).unwrap();
+        assert_eq!(policy.grant, GrantPolicy::Cap(2));
+        assert!(!policy.elastic);
+        assert_eq!(policy.cores, Some(4));
+        // Round-trip through the spec-value rendering.
+        for grant in [GrantPolicy::Greedy, GrantPolicy::Fair, GrantPolicy::Cap(7)] {
+            assert_eq!(grant.as_spec_value().parse::<GrantPolicy>().unwrap(), grant);
+        }
+    }
+
+    #[test]
+    fn exec_policy_grant_and_elastic_bad_values_rejected() {
+        let g = dag();
+        assert!(matches!(
+            resolve("growlocal:grant=all", &g, 2),
+            Err(RegistryError::BadValue { key: "grant", .. })
+        ));
+        assert!(matches!(
+            resolve("growlocal:grant=cap=0", &g, 2),
+            Err(RegistryError::BadValue { key: "grant", .. })
+        ));
+        assert!(matches!(
+            resolve("growlocal:grant=cap=lots", &g, 2),
+            Err(RegistryError::BadValue { key: "grant", .. })
+        ));
+        assert!(matches!(
+            resolve("spmp:elastic=maybe", &g, 2),
+            Err(RegistryError::BadValue { key: "elastic", .. })
+        ));
     }
 
     #[test]

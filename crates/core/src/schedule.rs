@@ -26,16 +26,39 @@ pub struct Schedule {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ScheduleError {
     /// Some vertex has `core >= n_cores` or an out-of-range superstep.
-    AssignmentOutOfRange { vertex: usize },
+    AssignmentOutOfRange {
+        /// The offending vertex.
+        vertex: usize,
+    },
     /// An edge runs backwards in supersteps.
-    StepOrderViolated { from: usize, to: usize },
+    StepOrderViolated {
+        /// Edge source (the dependency).
+        from: usize,
+        /// Edge target (the dependent vertex).
+        to: usize,
+    },
     /// An edge crosses cores within one superstep.
-    CrossCoreSameStep { from: usize, to: usize },
+    CrossCoreSameStep {
+        /// Edge source (the dependency).
+        from: usize,
+        /// Edge target (the dependent vertex).
+        to: usize,
+    },
     /// An intra-cell edge descends in vertex ID, so the ID-order execution
     /// within the cell would read a value before computing it.
-    IntraCellOrderViolated { from: usize, to: usize },
+    IntraCellOrderViolated {
+        /// Edge source (the dependency).
+        from: usize,
+        /// Edge target (the dependent vertex).
+        to: usize,
+    },
     /// Schedule length differs from the DAG size.
-    SizeMismatch { schedule: usize, dag: usize },
+    SizeMismatch {
+        /// Vertices the schedule assigns.
+        schedule: usize,
+        /// Vertices the DAG actually has.
+        dag: usize,
+    },
 }
 
 impl fmt::Display for ScheduleError {

@@ -49,7 +49,7 @@
 use crate::barrier::SharedX;
 use crate::executor::Executor;
 use crate::runtime::RuntimeHandle;
-use sptrsv_core::registry::{Backoff, ExecModel};
+use sptrsv_core::registry::{Backoff, ExecModel, ExecPolicy};
 use sptrsv_core::{CompiledSchedule, Schedule, ScheduleError};
 use sptrsv_dag::SolveDag;
 use sptrsv_sparse::CsrMatrix;
@@ -93,8 +93,11 @@ pub struct AsyncExecutor {
     waits: Vec<Vec<u32>>,
     /// The runtime solves lease their threads from.
     runtime: RuntimeHandle,
-    /// Wait-loop policy for the done-flag spins.
-    backoff: Backoff,
+    /// Execution policy: the grant policy sizes every lease, the backoff
+    /// drives the done-flag spins (`elastic` is ignored — growing a lease
+    /// mid-solve is only safe with a barrier between supersteps, which
+    /// asynchronous execution does not have).
+    policy: ExecPolicy,
     /// Generation-counted done flags (see the module docs).
     state: Mutex<DoneFlags>,
 }
@@ -114,7 +117,7 @@ impl AsyncExecutor {
         let full_dag = SolveDag::from_lower_triangular(matrix);
         schedule.validate(&full_dag)?;
         let compiled = Arc::new(CompiledSchedule::from_schedule(schedule));
-        Ok(Self::from_compiled(compiled, sync_dag, RuntimeHandle::default(), Backoff::default()))
+        Ok(Self::from_compiled(compiled, sync_dag, RuntimeHandle::default(), ExecPolicy::default()))
     }
 
     /// Wraps an already-validated compiled schedule (shared with sibling
@@ -124,7 +127,7 @@ impl AsyncExecutor {
         compiled: Arc<CompiledSchedule>,
         sync_dag: &SolveDag,
         runtime: RuntimeHandle,
-        backoff: Backoff,
+        policy: ExecPolicy,
     ) -> AsyncExecutor {
         let n = compiled.n_vertices();
         assert_eq!(sync_dag.n(), n, "sync DAG size mismatch");
@@ -137,7 +140,7 @@ impl AsyncExecutor {
                 }
             }
         }
-        AsyncExecutor { compiled, waits, runtime, backoff, state: Mutex::new(DoneFlags::new(n)) }
+        AsyncExecutor { compiled, waits, runtime, policy, state: Mutex::new(DoneFlags::new(n)) }
     }
 
     /// Solves `L x = b` with point-to-point synchronization.
@@ -153,8 +156,8 @@ impl AsyncExecutor {
         let mut state = self.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         let generation = state.begin_solve();
         let done: &[AtomicU32] = &state.flags;
-        let backoff = self.backoff;
-        let mut lease = self.runtime.get().lease(self.compiled.n_cores());
+        let backoff = self.policy.backoff;
+        let mut lease = self.runtime.get().lease_with(self.compiled.n_cores(), self.policy.grant);
         let width = lease.size();
         if width == 1 {
             // Fully contended runtime: schedule-order serial sweep, no
@@ -197,8 +200,8 @@ impl AsyncExecutor {
         let mut state = self.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         let generation = state.begin_solve();
         let done: &[AtomicU32] = &state.flags;
-        let backoff = self.backoff;
-        let mut lease = self.runtime.get().lease(self.compiled.n_cores());
+        let backoff = self.policy.backoff;
+        let mut lease = self.runtime.get().lease_with(self.compiled.n_cores(), self.policy.grant);
         let width = lease.size();
         if width == 1 {
             serial_sweep(l, b, shared, &self.compiled, r);
@@ -438,7 +441,7 @@ mod tests {
                 Arc::clone(&compiled),
                 &reduced,
                 RuntimeHandle::explicit(runtime),
-                Backoff::default(),
+                ExecPolicy::default(),
             );
             let mut x = vec![f64::NAN; n];
             exec.solve(&l, &b, &mut x);

@@ -9,8 +9,19 @@
 //! `t` executes schedule cores `t, t+k, t+2k, …` of each superstep — so
 //! concurrent plans share the machine without oversubscription and a
 //! contended solve degrades gracefully down to serial. The per-superstep
-//! barrier is a [`SenseBarrier`] over the lease width, waiting under the
-//! executor's [`Backoff`] policy.
+//! barrier is a [`SenseBarrier`](crate::runtime::SenseBarrier) over the
+//! lease width, waiting under the executor's
+//! [`Backoff`](sptrsv_core::registry::Backoff) policy.
+//!
+//! The lease is sized by the executor's grant policy (`grant=` — greedy,
+//! fair-share or hard-capped, see
+//! [`GrantPolicy`](sptrsv_core::registry::GrantPolicy)), and under
+//! `elastic=on` it may **grow at superstep boundaries**: the runtime's
+//! [`CoreLease::run_supersteps`](crate::runtime::CoreLease::run_supersteps)
+//! protocol recruits cores freed by other tenants into the running solve,
+//! re-striding the remaining supersteps — the width only ever changes at a
+//! barrier, so the safety argument below and the bit-identity of results
+//! hold along every width trajectory.
 //!
 //! The execution plan is a [`CompiledSchedule`] — the flat CSR-style cell
 //! layout compiled once at construction. Per solve, a thread's walk of its
@@ -28,7 +39,8 @@
 //!   per vertex);
 //! * a read of `x[u]` by another thread happens in a *later* superstep
 //!   than the write, and the barrier between supersteps establishes the
-//!   happens-before edge ([`SenseBarrier::wait`]'s Release/Acquire pair);
+//!   happens-before edge (the Release/Acquire pair of
+//!   [`SenseBarrier::wait`](crate::runtime::SenseBarrier::wait));
 //! * a read of `x[u]` by the same thread in the same superstep happens
 //!   after the write in program order (a thread walks its schedule cores
 //!   in ascending order and each cell in ascending vertex ID; Definition
@@ -39,8 +51,8 @@
 //!   outlives the borrow of `x`.
 
 use crate::executor::Executor;
-use crate::runtime::{RuntimeHandle, SenseBarrier};
-use sptrsv_core::registry::{Backoff, ExecModel};
+use crate::runtime::{ElasticGrowth, RuntimeHandle};
+use sptrsv_core::registry::{ExecModel, ExecPolicy};
 use sptrsv_core::{CompiledSchedule, Schedule, ScheduleError};
 use sptrsv_sparse::CsrMatrix;
 use std::sync::Arc;
@@ -58,7 +70,7 @@ unsafe impl Sync for SharedX {}
 pub struct BarrierExecutor {
     compiled: Arc<CompiledSchedule>,
     runtime: RuntimeHandle,
-    backoff: Backoff,
+    policy: ExecPolicy,
 }
 
 impl BarrierExecutor {
@@ -72,7 +84,7 @@ impl BarrierExecutor {
         Ok(Self::from_compiled(
             Arc::new(CompiledSchedule::from_schedule(schedule)),
             RuntimeHandle::default(),
-            Backoff::default(),
+            ExecPolicy::default(),
         ))
     }
 
@@ -83,9 +95,9 @@ impl BarrierExecutor {
     pub(crate) fn from_compiled(
         compiled: Arc<CompiledSchedule>,
         runtime: RuntimeHandle,
-        backoff: Backoff,
+        policy: ExecPolicy,
     ) -> BarrierExecutor {
-        BarrierExecutor { compiled, runtime, backoff }
+        BarrierExecutor { compiled, runtime, policy }
     }
 
     /// The compiled execution plan.
@@ -96,7 +108,7 @@ impl BarrierExecutor {
     /// Solves `L x = b` following the schedule, on cores leased from the
     /// runtime.
     pub fn solve(&self, l: &CsrMatrix, b: &[f64], x: &mut [f64]) {
-        solve_compiled(l, &self.compiled, b, x, &self.runtime, self.backoff);
+        solve_compiled(l, &self.compiled, b, x, &self.runtime, self.policy);
     }
 }
 
@@ -110,7 +122,7 @@ impl Executor for BarrierExecutor {
     }
 
     fn solve_multi(&self, l: &CsrMatrix, b: &[f64], x: &mut [f64], r: usize) {
-        crate::multi::solve_multi_compiled(l, &self.compiled, b, x, r, &self.runtime, self.backoff);
+        crate::multi::solve_multi_compiled(l, &self.compiled, b, x, r, &self.runtime, self.policy);
     }
 }
 
@@ -125,80 +137,80 @@ pub(crate) fn solve_compiled(
     b: &[f64],
     x: &mut [f64],
     runtime: &RuntimeHandle,
-    backoff: Backoff,
+    policy: ExecPolicy,
 ) {
     let n = l.n_rows();
     assert_eq!(b.len(), n);
     assert_eq!(x.len(), n);
     let shared = SharedX(x.as_mut_ptr());
-    if compiled.n_cores() == 1 {
-        run_core(l, b, shared, compiled, 0, 1, None, backoff);
+    let n_cores = compiled.n_cores();
+    if n_cores == 1 {
+        serial_sweep(l, b, shared, compiled);
         return;
     }
-    let mut lease = runtime.get().lease(compiled.n_cores());
-    let width = lease.size();
-    if width == 1 {
-        // Fully contended runtime: the schedule-order serial sweep (one
-        // thread striding over every schedule core, no barrier needed).
-        run_core(l, b, shared, compiled, 0, 1, None, backoff);
+    let mut lease = runtime.get().lease_with(n_cores, policy.grant);
+    if lease.size() == 1 && !policy.elastic {
+        // Fully contended runtime, fixed width: the schedule-order serial
+        // sweep (one thread striding over every schedule core, no barrier
+        // needed). An elastic solve runs the protocol instead, so it can
+        // recover cores freed mid-solve.
+        serial_sweep(l, b, shared, compiled);
         return;
     }
-    let barrier = SenseBarrier::new(width);
-    let barrier = &barrier;
-    lease.run(backoff, &move |thread| {
-        // A panicking thread poisons the barrier so siblings waiting on
-        // its arrival unwind too (the runtime re-raises on the
-        // leaseholder) instead of waiting forever.
-        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            run_core(l, b, shared, compiled, thread, width, Some(barrier), backoff)
-        }));
-        if let Err(panic) = result {
-            barrier.poison();
-            std::panic::resume_unwind(panic);
-        }
-    });
+    let growth =
+        policy.elastic.then_some(ElasticGrowth { grant: policy.grant, max_width: n_cores });
+    lease.run_supersteps(
+        policy.backoff,
+        compiled.n_supersteps(),
+        growth,
+        &|thread, width, step| {
+            run_superstep(l, b, shared, compiled, thread, width, step);
+        },
+    );
 }
 
-/// Executes one lease thread's share of the schedule: schedule cores
-/// `thread, thread + width, …` of every superstep (per-row arithmetic is
-/// width-independent, so the solution is bit-identical at every width).
-#[allow(clippy::too_many_arguments)] // private kernel of the solve path
-fn run_core(
+/// The width-1 degradation path: one thread strides over every schedule
+/// core in superstep order (a topological order, so no barrier is needed).
+fn serial_sweep(l: &CsrMatrix, b: &[f64], x: SharedX, compiled: &CompiledSchedule) {
+    for step in 0..compiled.n_supersteps() {
+        run_superstep(l, b, x, compiled, 0, 1, step);
+    }
+}
+
+/// Executes one lease thread's share of one superstep: schedule cores
+/// `thread, thread + width, …` (per-row arithmetic is width-independent,
+/// so the solution is bit-identical at every width — and along every
+/// elastic width trajectory, since the width only changes between
+/// supersteps).
+pub(crate) fn run_superstep(
     l: &CsrMatrix,
     b: &[f64],
     x: SharedX,
     compiled: &CompiledSchedule,
     thread: usize,
     width: usize,
-    barrier: Option<&SenseBarrier>,
-    backoff: Backoff,
+    step: usize,
 ) {
     let n_cores = compiled.n_cores();
-    let mut sense = false;
-    for step in 0..compiled.n_supersteps() {
-        let mut core = thread;
-        while core < n_cores {
-            for &i in compiled.cell(step, core) {
-                let i = i as usize;
-                let (cols, vals) = l.row(i);
-                let k = cols.len() - 1;
-                debug_assert_eq!(cols[k], i);
-                let mut acc = b[i];
-                for (&c, &v) in cols[..k].iter().zip(&vals[..k]) {
-                    // SAFETY: x[c] was written in an earlier superstep
-                    // (barrier ordering) or earlier on this thread in this
-                    // superstep (program order); see the module-level
-                    // safety argument.
-                    acc -= v * unsafe { *x.0.add(c) };
-                }
-                // SAFETY: this thread exclusively owns x[i].
-                unsafe { *x.0.add(i) = acc / vals[k] };
+    let mut core = thread;
+    while core < n_cores {
+        for &i in compiled.cell(step, core) {
+            let i = i as usize;
+            let (cols, vals) = l.row(i);
+            let k = cols.len() - 1;
+            debug_assert_eq!(cols[k], i);
+            let mut acc = b[i];
+            for (&c, &v) in cols[..k].iter().zip(&vals[..k]) {
+                // SAFETY: x[c] was written in an earlier superstep
+                // (barrier ordering) or earlier on this thread in this
+                // superstep (program order); see the module-level
+                // safety argument.
+                acc -= v * unsafe { *x.0.add(c) };
             }
-            core += width;
+            // SAFETY: this thread exclusively owns x[i].
+            unsafe { *x.0.add(i) = acc / vals[k] };
         }
-        if let Some(barrier) = barrier {
-            barrier.wait(&mut sense, backoff);
-        }
+        core += width;
     }
 }
 
@@ -271,11 +283,50 @@ mod tests {
             let exec = BarrierExecutor::from_compiled(
                 Arc::clone(&compiled),
                 RuntimeHandle::explicit(runtime),
-                Backoff::default(),
+                ExecPolicy::default(),
             );
             let mut x = vec![f64::NAN; n];
             exec.solve(&l, &b, &mut x);
             assert_eq!(x, reference, "width {capacity} diverged");
+        }
+    }
+
+    #[test]
+    fn elastic_solves_are_bit_identical_at_every_width_trajectory() {
+        use crate::runtime::SolverRuntime;
+        use sptrsv_core::registry::GrantPolicy;
+        // A 4-core schedule on a capacity-4 runtime whose cores are partly
+        // blocked at solve start and released mid-solve: the elastic lease
+        // starts narrow and grows at some superstep boundary — wherever
+        // growth lands, the bits must match the serial reference.
+        let (l, b) = problem(20, 16);
+        let n = l.n_rows();
+        let dag = SolveDag::from_lower_triangular(&l);
+        let s = GrowLocal::new().schedule(&dag, 4);
+        let compiled = Arc::new(CompiledSchedule::from_schedule(&s));
+        let mut reference = vec![0.0; n];
+        solve_lower_serial(&l, &b, &mut reference);
+        let policy = ExecPolicy { elastic: true, grant: GrantPolicy::Fair, ..Default::default() };
+        for round in 0..10 {
+            let runtime = Arc::new(SolverRuntime::new(4));
+            let blocker = runtime.lease(1 + round % 3);
+            let exec = BarrierExecutor::from_compiled(
+                Arc::clone(&compiled),
+                RuntimeHandle::explicit(Arc::clone(&runtime)),
+                policy,
+            );
+            let mut x = vec![f64::NAN; n];
+            std::thread::scope(|scope| {
+                scope.spawn(move || {
+                    // Release the blocked cores at an arbitrary point of
+                    // the solve (scheduling decides where growth lands).
+                    std::thread::yield_now();
+                    drop(blocker);
+                });
+                exec.solve(&l, &b, &mut x);
+            });
+            assert_eq!(x, reference, "elastic trajectory diverged (round {round})");
+            assert_eq!(runtime.cores_in_use(), 0, "elastic solve leaked cores");
         }
     }
 

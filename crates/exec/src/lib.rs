@@ -28,6 +28,31 @@
 //!   unmeasurable; the simulator charges compute, cache misses, memory
 //!   bandwidth and synchronization costs against the schedule structure);
 //! * [`verify`] — helpers to check any executor against the serial kernel.
+//!
+//! # Examples
+//!
+//! The common path: build a plan, solve on cores leased per solve from the
+//! process-wide, hardware-sized [`SolverRuntime::global`] runtime (no
+//! explicit runtime handling needed):
+//!
+//! ```
+//! use sptrsv_exec::PlanBuilder;
+//! use sptrsv_sparse::gen::grid::{grid2d_laplacian, Stencil2D};
+//!
+//! let l = grid2d_laplacian(16, 16, Stencil2D::FivePoint, 0.5).lower_triangle().unwrap();
+//! let plan = PlanBuilder::new(&l)
+//!     .scheduler("growlocal:grant=fair,elastic=on") // any registry spec
+//!     .cores(4)
+//!     .build()?;
+//! let b = vec![1.0; l.n_rows()];
+//! let mut x = vec![0.0; l.n_rows()];
+//! let mut ws = plan.workspace();
+//! plan.solve_into(&b, &mut x, &mut ws); // leases from the global runtime
+//! assert!(sptrsv_sparse::linalg::relative_residual(&l, &x, &b) < 1e-12);
+//! # Ok::<(), sptrsv_exec::PlanError>(())
+//! ```
+
+#![warn(missing_docs)]
 
 pub mod async_exec;
 pub mod barrier;
@@ -44,10 +69,10 @@ pub use barrier::{solve_with_barriers, BarrierExecutor};
 pub use executor::Executor;
 pub use multi::{solve_lower_multi_serial, MultiRhsExecutor};
 pub use plan::{Orientation, PlanBuilder, PlanError, PreOrder, SolvePlan, SolveWorkspace};
-pub use runtime::{CoreLease, SenseBarrier, SolverRuntime};
+pub use runtime::{CoreLease, ElasticGrowth, SenseBarrier, SolverRuntime, TenantRegistration};
 pub use serial::{solve_lower_serial, solve_upper_serial, SerialExecutor};
 pub use sim::{
     simulate_async, simulate_barrier, simulate_model, simulate_serial, MachineProfile, SimReport,
 };
-pub use sptrsv_core::registry::{Backoff, ExecModel, ExecPolicy, SyncPolicy};
+pub use sptrsv_core::registry::{Backoff, ExecModel, ExecPolicy, GrantPolicy, SyncPolicy};
 pub use verify::max_abs_diff;

@@ -17,8 +17,8 @@
 //! scratch is allocated on any path.
 
 use crate::barrier::SharedX;
-use crate::runtime::{RuntimeHandle, SenseBarrier};
-use sptrsv_core::registry::Backoff;
+use crate::runtime::{ElasticGrowth, RuntimeHandle};
+use sptrsv_core::registry::ExecPolicy;
 use sptrsv_core::{CompiledSchedule, Schedule, ScheduleError};
 use sptrsv_sparse::CsrMatrix;
 use std::sync::Arc;
@@ -78,7 +78,7 @@ pub(crate) unsafe fn solve_row_multi_raw(
 pub struct MultiRhsExecutor {
     compiled: Arc<CompiledSchedule>,
     runtime: RuntimeHandle,
-    backoff: Backoff,
+    policy: ExecPolicy,
 }
 
 impl MultiRhsExecutor {
@@ -90,13 +90,13 @@ impl MultiRhsExecutor {
         Ok(MultiRhsExecutor {
             compiled,
             runtime: RuntimeHandle::default(),
-            backoff: Backoff::default(),
+            policy: ExecPolicy::default(),
         })
     }
 
     /// Solves `L X = B` with `r` right-hand sides (row-major `n x r`).
     pub fn solve(&self, l: &CsrMatrix, b: &[f64], x: &mut [f64], r: usize) {
-        solve_multi_compiled(l, &self.compiled, b, x, r, &self.runtime, self.backoff);
+        solve_multi_compiled(l, &self.compiled, b, x, r, &self.runtime, self.policy);
     }
 }
 
@@ -113,67 +113,67 @@ pub(crate) fn solve_multi_compiled(
     x: &mut [f64],
     r: usize,
     runtime: &RuntimeHandle,
-    backoff: Backoff,
+    policy: ExecPolicy,
 ) {
     let n = l.n_rows();
     assert!(r > 0);
     assert_eq!(b.len(), n * r);
     assert_eq!(x.len(), n * r);
     let shared = SharedX(x.as_mut_ptr());
-    if compiled.n_cores() == 1 {
-        run_core_multi(l, b, shared, compiled, 0, 1, None, r, backoff);
+    let n_cores = compiled.n_cores();
+    if n_cores == 1 {
+        serial_sweep_multi(l, b, shared, compiled, r);
         return;
     }
-    let mut lease = runtime.get().lease(compiled.n_cores());
-    let width = lease.size();
-    if width == 1 {
-        run_core_multi(l, b, shared, compiled, 0, 1, None, r, backoff);
+    let mut lease = runtime.get().lease_with(n_cores, policy.grant);
+    if lease.size() == 1 && !policy.elastic {
+        serial_sweep_multi(l, b, shared, compiled, r);
         return;
     }
-    let barrier = SenseBarrier::new(width);
-    let barrier = &barrier;
-    lease.run(backoff, &move |thread| {
-        // Same panic containment as the single-RHS path: poison the barrier
-        // so siblings unwind instead of waiting on a panicked thread.
-        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            run_core_multi(l, b, shared, compiled, thread, width, Some(barrier), r, backoff)
-        }));
-        if let Err(panic) = result {
-            barrier.poison();
-            std::panic::resume_unwind(panic);
-        }
-    });
+    let growth =
+        policy.elastic.then_some(ElasticGrowth { grant: policy.grant, max_width: n_cores });
+    lease.run_supersteps(
+        policy.backoff,
+        compiled.n_supersteps(),
+        growth,
+        &|thread, width, step| {
+            run_superstep_multi(l, b, shared, compiled, thread, width, step, r);
+        },
+    );
 }
 
+/// The width-1 degradation path (see `barrier::serial_sweep`).
+fn serial_sweep_multi(l: &CsrMatrix, b: &[f64], x: SharedX, compiled: &CompiledSchedule, r: usize) {
+    for step in 0..compiled.n_supersteps() {
+        run_superstep_multi(l, b, x, compiled, 0, 1, step, r);
+    }
+}
+
+/// One lease thread's share of one superstep, `r` right-hand sides per
+/// row (mirrors `barrier::run_superstep`).
 #[allow(clippy::too_many_arguments)] // mirrors the single-RHS kernel's signature
-fn run_core_multi(
+fn run_superstep_multi(
     l: &CsrMatrix,
     b: &[f64],
     x: SharedX,
     compiled: &CompiledSchedule,
     thread: usize,
     width: usize,
-    barrier: Option<&SenseBarrier>,
+    step: usize,
     r: usize,
-    backoff: Backoff,
 ) {
     let n_cores = compiled.n_cores();
-    let mut sense = false;
-    for step in 0..compiled.n_supersteps() {
-        let mut core = thread;
-        while core < n_cores {
-            for &i in compiled.cell(step, core) {
-                // SAFETY: schedule validity (checked at construction) +
-                // barrier ordering, see the `barrier` module's safety
-                // argument (striding keeps every schedule core on one
-                // thread).
-                unsafe { solve_row_multi_raw(l, i as usize, b, x.0, r) };
-            }
-            core += width;
+    let mut core = thread;
+    while core < n_cores {
+        for &i in compiled.cell(step, core) {
+            // SAFETY: schedule validity (checked at construction) +
+            // barrier ordering, see the `barrier` module's safety
+            // argument (striding keeps every schedule core of a
+            // superstep on one thread; elastic width changes only land
+            // between supersteps).
+            unsafe { solve_row_multi_raw(l, i as usize, b, x.0, r) };
         }
-        if let Some(barrier) = barrier {
-            barrier.wait(&mut sense, backoff);
-        }
+        core += width;
     }
 }
 

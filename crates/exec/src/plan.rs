@@ -19,10 +19,14 @@
 //! selects the wait DAG of asynchronous execution (the planner asks the
 //! scheduler's [`Scheduler::sync_dag`] hook before reducing itself, so
 //! `spmp@async` reduces exactly once per plan), `backoff=spin|yield` the
-//! behavior of every threaded wait loop, and `cores=N` the core count the
-//! schedule targets — as spec keys or the typed
+//! behavior of every threaded wait loop, `cores=N` the core count the
+//! schedule targets, `grant=greedy|fair|cap=K` how the shared runtime
+//! sizes the plan's lease grants under multi-tenant contention, and
+//! `elastic=on|off` whether a barrier solve may grow its lease at
+//! superstep boundaries — as spec keys or the typed
 //! [`PlanBuilder::sync_policy`]/[`PlanBuilder::backoff`]/
-//! [`PlanBuilder::cores`] knobs (typed knobs win).
+//! [`PlanBuilder::cores`]/[`PlanBuilder::grant_policy`]/
+//! [`PlanBuilder::elastic`] knobs (typed knobs win).
 //!
 //! Parallel plans execute on the **process-wide
 //! `SolverRuntime`** ([`crate::runtime::SolverRuntime`]): each solve leases
@@ -66,7 +70,7 @@ use crate::runtime::{RuntimeHandle, SolverRuntime};
 use crate::serial::SerialExecutor;
 use crate::sim::{simulate_model, MachineProfile, SimReport};
 use sptrsv_core::registry::{
-    self, Backoff, ExecModel, ExecPolicy, RegistryError, SchedulerSpec, SyncPolicy,
+    self, Backoff, ExecModel, ExecPolicy, GrantPolicy, RegistryError, SchedulerSpec, SyncPolicy,
 };
 use sptrsv_core::{
     auto_part_weight_cap, coarsen_and_schedule, reorder_for_locality, CompiledSchedule, Schedule,
@@ -155,6 +159,8 @@ pub struct PlanBuilder<'m> {
     execution: Option<ExecModel>,
     sync_policy: Option<SyncPolicy>,
     backoff: Option<Backoff>,
+    grant: Option<GrantPolicy>,
+    elastic: Option<bool>,
 }
 
 /// Core count applied when neither [`PlanBuilder::cores`] nor the spec's
@@ -179,6 +185,8 @@ impl<'m> PlanBuilder<'m> {
             execution: None,
             sync_policy: None,
             backoff: None,
+            grant: None,
+            elastic: None,
         }
     }
 
@@ -255,6 +263,28 @@ impl<'m> PlanBuilder<'m> {
     /// neither, `spin` applies.
     pub fn backoff(mut self, backoff: Backoff) -> Self {
         self.backoff = Some(backoff);
+        self
+    }
+
+    /// How the shared runtime sizes this plan's lease grants under
+    /// multi-tenant contention: greedy (`min(requested, free)`), fair
+    /// (bounded by `ceil(capacity / active tenants)`, re-splitting frees
+    /// on release) or a hard per-lease cap. Overrides the spec's `grant=`
+    /// key; with neither, greedy applies. Grant width never changes
+    /// results — only how schedule cores stride over lease threads.
+    pub fn grant_policy(mut self, grant: GrantPolicy) -> Self {
+        self.grant = Some(grant);
+        self
+    }
+
+    /// Elastic leases: when enabled, a barrier-model solve granted fewer
+    /// cores than its schedule targets grows its lease at superstep
+    /// boundaries as other tenants release cores (bounded by the grant
+    /// policy), instead of keeping its admission width for the whole
+    /// solve. Overrides the spec's `elastic=` key; with neither, off.
+    /// Ignored by asynchronous and serial execution.
+    pub fn elastic(mut self, elastic: bool) -> Self {
+        self.elastic = Some(elastic);
         self
     }
 
@@ -396,6 +426,12 @@ impl SolvePlan {
         if let Some(backoff) = builder.backoff {
             policy.backoff = backoff;
         }
+        if let Some(grant) = builder.grant {
+            policy.grant = grant;
+        }
+        if let Some(elastic) = builder.elastic {
+            policy.elastic = elastic;
+        }
         // Core count: typed knob over spec `cores=` key over the default.
         // (`policy.cores` keeps the spec's value — the effective count is
         // `SolvePlan::compiled().n_cores()`.)
@@ -455,11 +491,9 @@ impl SolvePlan {
         let compiled = Arc::new(CompiledSchedule::from_schedule(&schedule));
         let mut sync_dag = None;
         let executor: Box<dyn Executor> = match model {
-            ExecModel::Barrier => Box::new(BarrierExecutor::from_compiled(
-                Arc::clone(&compiled),
-                runtime,
-                policy.backoff,
-            )),
+            ExecModel::Barrier => {
+                Box::new(BarrierExecutor::from_compiled(Arc::clone(&compiled), runtime, policy))
+            }
             ExecModel::Serial => Box::new(SerialExecutor),
             ExecModel::Async => {
                 // The synchronization DAG per policy: the full final DAG, or
@@ -475,12 +509,8 @@ impl SolvePlan {
                         .sync_dag(&final_dag)
                         .unwrap_or_else(|| approximate_transitive_reduction(&final_dag)),
                 };
-                let executor = AsyncExecutor::from_compiled(
-                    Arc::clone(&compiled),
-                    &sync,
-                    runtime,
-                    policy.backoff,
-                );
+                let executor =
+                    AsyncExecutor::from_compiled(Arc::clone(&compiled), &sync, runtime, policy);
                 sync_dag = Some(sync);
                 Box::new(executor)
             }
@@ -755,6 +785,77 @@ mod tests {
         // growlocal's own numeric `sync` is untouched by the policy key.
         let plan = PlanBuilder::new(&l).scheduler("growlocal:sync=2000").cores(2).build().unwrap();
         assert_eq!(plan.exec_policy().sync, SyncPolicy::Reduced);
+    }
+
+    #[test]
+    fn grant_and_elastic_keys_and_knobs_resolve() {
+        let l = lower();
+        // Defaults: greedy, fixed-width.
+        let plan = PlanBuilder::new(&l).cores(2).build().unwrap();
+        assert_eq!(plan.exec_policy().grant, GrantPolicy::Greedy);
+        assert!(!plan.exec_policy().elastic);
+        // Spec keys select the policy.
+        let plan = PlanBuilder::new(&l)
+            .scheduler("growlocal:grant=fair,elastic=on")
+            .cores(2)
+            .build()
+            .unwrap();
+        assert_eq!(plan.exec_policy().grant, GrantPolicy::Fair);
+        assert!(plan.exec_policy().elastic);
+        // Typed knobs override the spec keys.
+        let plan = PlanBuilder::new(&l)
+            .scheduler("growlocal:grant=fair,elastic=on")
+            .grant_policy(GrantPolicy::Cap(3))
+            .elastic(false)
+            .cores(2)
+            .build()
+            .unwrap();
+        assert_eq!(plan.exec_policy().grant, GrantPolicy::Cap(3));
+        assert!(!plan.exec_policy().elastic);
+        // Bad values are registry errors.
+        assert!(matches!(
+            PlanBuilder::new(&l).scheduler("growlocal:grant=all").build(),
+            Err(PlanError::Registry(_))
+        ));
+        assert!(matches!(
+            PlanBuilder::new(&l).scheduler("growlocal:elastic=sometimes").build(),
+            Err(PlanError::Registry(_))
+        ));
+    }
+
+    #[test]
+    fn every_grant_policy_and_elasticity_solves_identically() {
+        // Grant and elasticity select lease widths and width trajectories,
+        // never arithmetic: all combinations are bit-identical, on roomy
+        // and on contended runtimes.
+        use crate::runtime::SolverRuntime;
+        let l = lower();
+        let n = l.n_rows();
+        let b: Vec<f64> = (0..n).map(|i| ((i * 13) % 17) as f64 - 8.0).collect();
+        let reference = PlanBuilder::new(&l).cores(4).build().unwrap().solve(&b);
+        for capacity in [1, 2, 4] {
+            let runtime = Arc::new(SolverRuntime::new(capacity));
+            for grant in [GrantPolicy::Greedy, GrantPolicy::Fair, GrantPolicy::Cap(2)] {
+                for elastic in [false, true] {
+                    for model in [ExecModel::Barrier, ExecModel::Async] {
+                        let plan = PlanBuilder::new(&l)
+                            .cores(4)
+                            .execution(model)
+                            .grant_policy(grant)
+                            .elastic(elastic)
+                            .runtime(Arc::clone(&runtime))
+                            .build()
+                            .unwrap();
+                        assert_eq!(
+                            plan.solve(&b),
+                            reference,
+                            "{model}/{grant:?}/elastic={elastic} on capacity {capacity}"
+                        );
+                    }
+                }
+            }
+            assert_eq!(runtime.cores_in_use(), 0, "capacity {capacity} leaked leases");
+        }
     }
 
     #[test]

@@ -12,10 +12,18 @@
 //! sum of all outstanding lease widths never exceeds the runtime's
 //! capacity** — so concurrent plans coexist without oversubscription:
 //!
-//! * a lease is granted as soon as at least one core is free, for
+//! * a lease is granted as soon as at least one core is free, for up to
 //!   `min(requested, free)` cores — under contention a solve **degrades
 //!   gracefully** to fewer cores, down to fully serial (a width-1 lease
 //!   runs inline on the caller), instead of piling threads on the machine;
+//! * the grant is additionally bounded by a
+//!   [`GrantPolicy`]: `greedy` takes everything free (a first tenant can
+//!   hold the whole runtime), `fair` caps every grant at the fair share
+//!   `ceil(capacity / active tenants)` — active tenants counting every
+//!   outstanding lease *and* every blocked lessee, so frees are re-split
+//!   instead of re-monopolized — and `cap=K` is a hard per-lease ceiling
+//!   ([`SolverRuntime::lease_with`]; [`SolverRuntime::lease`] is the
+//!   greedy shorthand);
 //! * when the runtime is fully leased, [`SolverRuntime::lease`] blocks
 //!   until a core is released ([`SolverRuntime::try_lease`] never blocks
 //!   and degrades straight to width 1 — what the `rayon` bridge uses so
@@ -33,6 +41,62 @@
 //! and the async done-flag safety arguments carry over verbatim — and the
 //! per-row arithmetic order is unchanged, so the solution is bit-identical
 //! at every width.
+//!
+//! # Elastic leases
+//!
+//! A fixed-width lease strands capacity: cores freed mid-solve by other
+//! tenants sit idle until the *next* solve leases them.
+//! [`CoreLease::run_supersteps`] closes that gap for barrier-structured
+//! jobs: between supersteps the barrier's releasing arriver may **grow**
+//! the lease ([`ElasticGrowth`]) — it acquires free cores (bounded by the
+//! same [`GrantPolicy`]), publishes the running job to the new workers
+//! with a start superstep, enlarges the barrier's participant count and
+//! republishes the stride width, all before flipping the barrier sense.
+//! Every thread re-reads the width at each superstep boundary, so a width
+//! change is just a different striding of the *next* superstep — the same
+//! argument as degradation above, which is why results stay bit-identical
+//! along every width trajectory. Growing is only safe with a barrier
+//! between supersteps (asynchronous execution relies on same-thread
+//! program order across supersteps and therefore keeps fixed-width
+//! leases).
+//!
+//! # Examples
+//!
+//! Embedding with an explicit capacity (tests and host applications that
+//! own their thread budget); plans lease from the runtime per solve:
+//!
+//! ```
+//! use sptrsv_exec::{PlanBuilder, SolverRuntime};
+//! use sptrsv_sparse::gen::grid::{grid2d_laplacian, Stencil2D};
+//! use std::sync::Arc;
+//!
+//! let l = grid2d_laplacian(12, 12, Stencil2D::FivePoint, 0.5).lower_triangle().unwrap();
+//! let runtime = Arc::new(SolverRuntime::new(2)); // 2 cores, not hardware-sized
+//! let plan = PlanBuilder::new(&l).cores(4).runtime(Arc::clone(&runtime)).build()?;
+//! let b = vec![1.0; l.n_rows()];
+//! let x = plan.solve(&b); // leases ≤ 2 cores; bit-identical to any width
+//! assert!(sptrsv_sparse::linalg::relative_residual(&l, &x, &b) < 1e-12);
+//! assert_eq!(runtime.cores_in_use(), 0); // released at solve end
+//! # Ok::<(), sptrsv_exec::PlanError>(())
+//! ```
+//!
+//! Leasing directly (the executor-facing API):
+//!
+//! ```
+//! use sptrsv_core::registry::{Backoff, GrantPolicy};
+//! use sptrsv_exec::SolverRuntime;
+//! use std::sync::atomic::{AtomicUsize, Ordering};
+//!
+//! let runtime = SolverRuntime::new(4);
+//! // A fair-share grant: the sole tenant gets everything it asks for.
+//! let mut lease = runtime.lease_with(4, GrantPolicy::Fair);
+//! assert_eq!(lease.size(), 4);
+//! let hits = AtomicUsize::new(0);
+//! lease.run(Backoff::Spin, &|_thread| {
+//!     hits.fetch_add(1, Ordering::Relaxed);
+//! });
+//! assert_eq!(hits.load(Ordering::Relaxed), 4);
+//! ```
 //!
 //! # Dispatch protocol
 //!
@@ -74,7 +138,7 @@
 //! [`SenseBarrier`], raise a flag the done-flag waits check) so sibling
 //! threads unwind instead of waiting forever on a panicked one.
 
-use sptrsv_core::registry::Backoff;
+use sptrsv_core::registry::{Backoff, GrantPolicy};
 use std::cell::UnsafeCell;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
@@ -173,7 +237,11 @@ fn park_threshold(backoff: Backoff, participants: usize) -> u32 {
 /// arrival that will never come (the runtime catches those panics and the
 /// leaseholder re-raises).
 pub struct SenseBarrier {
-    n: usize,
+    /// Participant count. Atomic because elastic supersteps *grow* the
+    /// barrier mid-solve: the releasing arriver of a phase may add
+    /// participants (see [`SenseBarrier::grow`]) before flipping the
+    /// sense, which is the only moment no participant is between phases.
+    n: AtomicUsize,
     count: AtomicUsize,
     sense: AtomicBool,
     poisoned: AtomicBool,
@@ -187,7 +255,7 @@ impl SenseBarrier {
     pub fn new(n: usize) -> SenseBarrier {
         assert!(n > 0, "a barrier needs at least one participant");
         SenseBarrier {
-            n,
+            n: AtomicUsize::new(n),
             count: AtomicUsize::new(0),
             sense: AtomicBool::new(false),
             poisoned: AtomicBool::new(false),
@@ -195,6 +263,17 @@ impl SenseBarrier {
             gate: Mutex::new(()),
             bell: Condvar::new(),
         }
+    }
+
+    /// Adds `k` participants to every future phase. Only sound when called
+    /// by the **releasing arriver** of the current phase, after the count
+    /// reset and before the sense flip: at that instant every current
+    /// participant is blocked on the flip (none is between phases), and a
+    /// *new* participant only starts after its job is published, which the
+    /// elastic-growth protocol orders after this increment — so every
+    /// arrival of the next phase observes the grown count.
+    fn grow(&self, k: usize) {
+        self.n.fetch_add(k, Ordering::SeqCst);
     }
 
     /// Panics if the barrier was poisoned by a panicking sibling.
@@ -219,6 +298,26 @@ impl SenseBarrier {
         }
     }
 
+    /// Spins until the sense flip of (1-based) `phase` is visible. An
+    /// elastic joiner is published during a phase's release hook, *before*
+    /// that phase's flip — and because the sense alternates, the pre-flip
+    /// value coincides with the joiner's own first-phase target, so an
+    /// early joiner could sail through its first wait and corrupt the
+    /// count. Observing the recruiting phase's flip first closes that
+    /// window; the flip cannot be missed because the next one requires
+    /// the joiner's own arrival. Returns early when poisoned (the next
+    /// wait raises the abort).
+    fn await_phase_flip(&self, phase: usize, backoff: Backoff) {
+        let expected = phase % 2 == 1;
+        let mut spins = 0;
+        while self.sense.load(Ordering::SeqCst) != expected {
+            if self.poisoned.load(Ordering::Relaxed) {
+                return;
+            }
+            backoff_wait(backoff, &mut spins);
+        }
+    }
+
     /// Aborts the solve: every current and future [`SenseBarrier::wait`]
     /// panics instead of waiting. Called by a participant that caught a
     /// panic in its share of the work, so siblings blocked on its arrival
@@ -234,15 +333,24 @@ impl SenseBarrier {
     ///
     /// Panics if the barrier is [poisoned](SenseBarrier::poison).
     pub fn wait(&self, local_sense: &mut bool, backoff: Backoff) {
+        self.wait_hooked(local_sense, backoff, || {});
+    }
+
+    /// [`SenseBarrier::wait`] with a release hook: the releasing arriver
+    /// runs `release_hook` after resetting the count and before flipping
+    /// the sense — the one instant no participant is between phases, where
+    /// elastic growth may enlarge the barrier and publish new jobs.
+    fn wait_hooked(&self, local_sense: &mut bool, backoff: Backoff, release_hook: impl FnOnce()) {
         let target = !*local_sense;
         *local_sense = target;
-        if self.count.fetch_add(1, Ordering::AcqRel) + 1 == self.n {
+        if self.count.fetch_add(1, Ordering::AcqRel) + 1 == self.n.load(Ordering::SeqCst) {
             self.count.store(0, Ordering::Relaxed);
+            release_hook();
             self.sense.store(target, Ordering::SeqCst);
             self.wake_sleepers();
         } else {
             let mut spins = 0;
-            let threshold = park_threshold(backoff, self.n);
+            let threshold = park_threshold(backoff, self.n.load(Ordering::SeqCst));
             while self.sense.load(Ordering::Acquire) != target {
                 self.check_poison();
                 if spins < threshold {
@@ -266,11 +374,15 @@ impl SenseBarrier {
     }
 }
 
+/// A type-erased job entry point: `f(ctx, thread)` runs the published
+/// closure for one lease-thread index.
+type JobFn = unsafe fn(*const (), usize);
+
 /// A type-erased job: `call(ctx, thread)` runs the leaseholder's closure
 /// for one lease-thread index.
 #[derive(Clone, Copy)]
 struct WorkerJob {
-    call: unsafe fn(*const (), usize),
+    call: JobFn,
     ctx: *const (),
     /// The lease-thread index this worker plays (1-based; the leaseholder
     /// is thread 0).
@@ -341,9 +453,41 @@ struct LeaseState {
     free: Vec<usize>,
     /// Total cores leased out (leaseholder threads included).
     in_use: usize,
+    /// Transient tenants: outstanding (counted) leases plus lessees
+    /// blocked in [`SolverRuntime::lease_with`]. Together with
+    /// `registered` this forms the denominator of the `fair` grant share
+    /// — counting waiters is what makes frees re-split instead of
+    /// letting the first waker re-monopolize the runtime.
+    tenants: usize,
+    /// Declared steady tenants ([`SolverRuntime::register_tenant`]
+    /// guards). The fair share divides by `max(tenants, registered)`, so
+    /// a registered tenant keeps its share reserved even in the instants
+    /// between its solves.
+    registered: usize,
     /// Recycled worker-index buffers, so steady-state leasing allocates
     /// nothing (a buffer is taken at acquisition and returned at release).
     spare_bufs: Vec<Vec<usize>>,
+}
+
+impl LeaseState {
+    /// The fair-share denominator: transient tenants (holding or
+    /// waiting), or the declared steady tenant set when that is larger.
+    fn active_tenants(&self) -> usize {
+        self.tenants.max(self.registered)
+    }
+}
+
+/// The per-lease width ceiling a grant policy imposes with `tenants`
+/// active tenants on a runtime of `capacity` cores (the grantee included
+/// in `tenants`). Greedy imposes none; fair shares the capacity evenly
+/// (rounding up, so small runtimes still parallelize); `cap=K` is a hard
+/// ceiling.
+fn grant_width_cap(policy: GrantPolicy, capacity: usize, tenants: usize) -> usize {
+    match policy {
+        GrantPolicy::Greedy => capacity,
+        GrantPolicy::Fair => capacity.div_ceil(tenants.max(1)).max(1),
+        GrantPolicy::Cap(k) => k.max(1),
+    }
 }
 
 /// A process-wide pool of persistent worker threads from which executors
@@ -390,6 +534,8 @@ impl SolverRuntime {
             state: Mutex::new(LeaseState {
                 free: (0..n_workers).collect(),
                 in_use: 0,
+                tenants: 0,
+                registered: 0,
                 spare_bufs: Vec::new(),
             }),
             lessee_bell: Condvar::new(),
@@ -418,18 +564,53 @@ impl SolverRuntime {
         lock_ignore_poison(&self.state).in_use
     }
 
-    /// Leases up to `requested` cores, **blocking** until at least one
-    /// core is free. The granted width is `min(requested, free)` — under
-    /// contention a lease degrades gracefully toward width 1 (serial);
-    /// the accounting invariant is that the widths of all outstanding
-    /// leases never sum past [`SolverRuntime::capacity`].
+    /// Active tenants right now: outstanding leases plus blocked lessees,
+    /// or the declared steady tenant set when that is larger
+    /// (instrumentation; the fair-share denominator).
+    pub fn active_tenants(&self) -> usize {
+        lock_ignore_poison(&self.state).active_tenants()
+    }
+
+    /// Declares a steady tenant: for the lifetime of the returned guard,
+    /// the `fair` grant share divides by at least the number of
+    /// registered tenants, whether or not each of them is holding or
+    /// awaiting a lease at that instant. A service should register one
+    /// guard per tenant with ongoing traffic — otherwise a tenant is only
+    /// counted while *inside* `lease_with`, and the momentary gaps
+    /// between its solves would let neighbors transiently claim its
+    /// share. Transient tenancy still counts when it exceeds the
+    /// registered set, so unregistered callers behave as before.
+    pub fn register_tenant(&self) -> TenantRegistration<'_> {
+        lock_ignore_poison(&self.state).registered += 1;
+        TenantRegistration { runtime: self }
+    }
+
+    /// Leases up to `requested` cores with the greedy grant policy,
+    /// **blocking** until at least one core is free — shorthand for
+    /// [`SolverRuntime::lease_with`] with [`GrantPolicy::Greedy`].
     pub fn lease(&self, requested: usize) -> CoreLease<'_> {
+        self.lease_with(requested, GrantPolicy::Greedy)
+    }
+
+    /// Leases up to `requested` cores under `policy`, **blocking** until
+    /// at least one core is free. The granted width is
+    /// `min(requested, free, policy cap)` — under contention a lease
+    /// degrades gracefully toward width 1 (serial); the accounting
+    /// invariant is that the widths of all outstanding leases never sum
+    /// past [`SolverRuntime::capacity`]. The caller counts as an active
+    /// tenant from this call until the lease drops, so concurrent `fair`
+    /// grants share the capacity over everyone currently waiting or
+    /// holding.
+    pub fn lease_with(&self, requested: usize, policy: GrantPolicy) -> CoreLease<'_> {
         let requested = requested.max(1);
         let mut state = lock_ignore_poison(&self.state);
+        // Registered before blocking: a waiting tenant must already shrink
+        // the fair share of whoever is granted next.
+        state.tenants += 1;
         while self.capacity == state.in_use {
             state = self.lessee_bell.wait(state).unwrap_or_else(std::sync::PoisonError::into_inner);
         }
-        self.grant(state, requested)
+        self.grant(state, requested, policy)
     }
 
     /// Non-blocking lease: takes whatever is free right now (possibly
@@ -438,21 +619,24 @@ impl SolverRuntime {
     /// never deadlock a full runtime). Used by the schedule-time `rayon`
     /// bridge, which must never wait on solve traffic.
     pub fn try_lease(&self, requested: usize) -> CoreLease<'_> {
-        let state = lock_ignore_poison(&self.state);
+        let mut state = lock_ignore_poison(&self.state);
         if self.capacity == state.in_use {
             return CoreLease { runtime: self, workers: Vec::new(), counted: 0 };
         }
-        self.grant(state, requested.max(1))
+        state.tenants += 1;
+        self.grant(state, requested.max(1), GrantPolicy::Greedy)
     }
 
-    /// Grants `min(requested, capacity − in_use)` cores; the caller has
-    /// verified at least one is free.
+    /// Grants `min(requested, capacity − in_use, policy cap)` cores; the
+    /// caller has verified at least one is free and registered the tenant.
     fn grant(
         &self,
         mut state: std::sync::MutexGuard<'_, LeaseState>,
         requested: usize,
+        policy: GrantPolicy,
     ) -> CoreLease<'_> {
-        let granted = requested.min(self.capacity - state.in_use);
+        let cap = grant_width_cap(policy, self.capacity, state.active_tenants());
+        let granted = requested.min(cap).min(self.capacity - state.in_use);
         let mut workers = state.spare_bufs.pop().unwrap_or_default();
         for _ in 1..granted {
             // in_use counts every leaseholder thread, so free workers
@@ -543,6 +727,149 @@ fn worker_loop(shared: &RuntimeShared, index: usize) {
     }
 }
 
+/// Type-erased entry point for a published job closure.
+unsafe fn job_entry<F: Fn(usize)>(ctx: *const (), thread: usize) {
+    // SAFETY: `ctx` is the `&F` published by the lease, alive until the
+    // worker retires (module-level safety argument).
+    unsafe { (*(ctx as *const F))(thread) }
+}
+
+/// Publishes one job to a worker the publisher owns exclusively: every
+/// prior job on the slot has retired (the previous dispatch waited), so
+/// the epoch cannot move under us and nothing reads the slot while the
+/// job is written; the epoch store publishes it.
+fn publish_job(slot: &WorkerSlot, call: JobFn, ctx: *const (), thread: usize) {
+    let epoch = slot.epoch.load(Ordering::Relaxed) + 1;
+    // SAFETY: exclusive ownership, see above.
+    unsafe {
+        *slot.job.get() = Some(WorkerJob { call, ctx, thread });
+    }
+    slot.epoch.store(epoch, Ordering::SeqCst);
+    slot.wake_sleepers();
+}
+
+/// Waits (spin per `backoff` up to `threshold`, then park) until the
+/// worker has retired its latest published epoch; returns whether its job
+/// panicked (clearing the flag).
+fn await_retirement(slot: &WorkerSlot, threshold: u32, backoff: Backoff) -> bool {
+    let target = slot.epoch.load(Ordering::Relaxed);
+    let mut spins = 0;
+    while slot.done.load(Ordering::Acquire) < target {
+        if spins < threshold {
+            backoff_wait(backoff, &mut spins);
+        } else {
+            // Parking frees the CPU for the worker being awaited; its
+            // retirement rings the slot's bell.
+            let mut gate = lock_ignore_poison(&slot.gate);
+            slot.sleepers.fetch_add(1, Ordering::SeqCst);
+            while slot.done.load(Ordering::SeqCst) < target {
+                gate = slot.bell.wait(gate).unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+            slot.sleepers.fetch_sub(1, Ordering::SeqCst);
+            break;
+        }
+    }
+    slot.panicked.swap(false, Ordering::AcqRel)
+}
+
+/// How an elastic superstep job may grow its lease between supersteps
+/// (see [`CoreLease::run_supersteps`]).
+#[derive(Debug, Clone, Copy)]
+pub struct ElasticGrowth {
+    /// The grant policy bounding every growth step — the same cap the
+    /// initial grant obeyed, re-evaluated against the *current* tenant
+    /// count, so a lease grows into shares freed by departed tenants.
+    pub grant: GrantPolicy,
+    /// Never grow past this width (the schedule's core count — extra
+    /// threads beyond it would have no cells to stride over).
+    pub max_width: usize,
+}
+
+/// Shared state of one elastic superstep dispatch: the resizable barrier,
+/// the current stride width, per-thread start supersteps for joiners and
+/// the job template republished to workers acquired mid-solve.
+struct SuperstepState<'rt> {
+    runtime: &'rt SolverRuntime,
+    barrier: SenseBarrier,
+    /// The stride width of the *next* superstep; re-read by every thread
+    /// after each barrier. Only the barrier's releasing arriver writes it,
+    /// strictly before the sense flip that lets anyone read it.
+    width: AtomicUsize,
+    n_steps: usize,
+    /// `start_step[t]` is the first superstep lease thread `t` executes
+    /// (0 for the initial threads; the join superstep for elastic
+    /// joiners). Sized to the growth cap, empty when growth is disabled.
+    start_step: Vec<AtomicUsize>,
+    /// Workers acquired mid-solve, merged back into the lease when the
+    /// dispatch completes.
+    extra: Mutex<Vec<usize>>,
+    growth: Option<ElasticGrowth>,
+    /// The type-erased job template (entry point + context) the initial
+    /// dispatch published, re-published verbatim to joiners. Written once
+    /// before any job is published; read only by barrier releasers, whose
+    /// own job delivery ordered them after the write.
+    job: UnsafeCell<Option<(JobFn, *const ())>>,
+}
+
+// SAFETY: the raw job template is written once before the state is shared
+// and read only after a happens-before edge through job delivery (see the
+// field docs); everything else is atomics and sync primitives.
+unsafe impl Sync for SuperstepState<'_> {}
+
+impl SuperstepState<'_> {
+    /// The elastic growth step, run by the barrier's releasing arriver
+    /// between supersteps (every participant is blocked on the sense
+    /// flip): acquire free cores up to the grant-policy cap, enlarge the
+    /// barrier, publish the new stride width, and hand the running job to
+    /// the new workers starting at superstep `next_step`.
+    fn try_grow(&self, next_step: usize) {
+        let Some(growth) = self.growth else { return };
+        if self.barrier.poisoned.load(Ordering::Relaxed) {
+            return; // aborting solve: do not recruit workers into it
+        }
+        // Releaser-only: no other thread can be between phases, so the
+        // width cannot change concurrently.
+        let width = self.width.load(Ordering::Relaxed);
+        let max_width = growth.max_width.min(self.runtime.capacity);
+        if width >= max_width {
+            return;
+        }
+        let mut state = lock_ignore_poison(&self.runtime.state);
+        if state.in_use == self.runtime.capacity {
+            return;
+        }
+        // The policy cap is re-evaluated at the current tenant count; a
+        // share that shrank below the held width never shrinks the lease
+        // (the running threads' cells are already in flight).
+        let cap = grant_width_cap(growth.grant, self.runtime.capacity, state.active_tenants());
+        let target = max_width.min(cap.max(width));
+        let extra_n = (target - width).min(self.runtime.capacity - state.in_use);
+        if extra_n == 0 {
+            return;
+        }
+        // SAFETY: see the `job` field docs — written before the initial
+        // dispatch; this thread is ordered after that write through its
+        // own job delivery.
+        let (call, ctx) = unsafe { *self.job.get() }.expect("job template set before dispatch");
+        // Order matters: the barrier must cover the joiners and the new
+        // width must be published before any joiner observes its job — a
+        // joiner strides its first superstep with the grown width.
+        self.barrier.grow(extra_n);
+        self.width.store(width + extra_n, Ordering::SeqCst);
+        let mut extra = lock_ignore_poison(&self.extra);
+        for i in 0..extra_n {
+            // in_use counts every leaseholder thread, so free workers
+            // always cover the growth (extra_n ≤ capacity − in_use ≤ free).
+            let w = state.free.pop().expect("lease accounting invariant");
+            extra.push(w);
+            let thread = width + i;
+            self.start_step[thread].store(next_step, Ordering::Relaxed);
+            publish_job(&self.runtime.shared.slots[w], call, ctx, thread);
+        }
+        state.in_use += extra_n;
+    }
+}
+
 /// An exclusive claim on `width` cores of a [`SolverRuntime`] — the
 /// caller's thread plus `width − 1` leased workers. Dropping the lease
 /// returns the cores (and wakes blocked lessees); `Drop` runs on unwind,
@@ -579,62 +906,156 @@ impl CoreLease<'_> {
             f(0);
             return;
         }
-        unsafe fn call<F: Fn(usize)>(ctx: *const (), thread: usize) {
-            // SAFETY: `ctx` is the `&F` published below, alive until the
-            // worker retires (module-level safety argument).
-            unsafe { (*(ctx as *const F))(thread) }
-        }
         let slots = &self.runtime.shared.slots;
+        let ctx = f as *const F as *const ();
         for (i, &w) in self.workers.iter().enumerate() {
-            let slot = &slots[w];
-            // The lease owns this worker exclusively, so its epoch cannot
-            // move under us; every prior job on it has retired (the
-            // previous `run` — ours or a previous lease's — waited).
-            let epoch = slot.epoch.load(Ordering::Relaxed) + 1;
-            // SAFETY: exclusive ownership (above) means nothing reads the
-            // slot while this write happens; the store below publishes it.
-            unsafe {
-                *slot.job.get() = Some(WorkerJob {
-                    call: call::<F>,
-                    ctx: f as *const F as *const (),
-                    thread: i + 1,
-                });
-            }
-            slot.epoch.store(epoch, Ordering::SeqCst);
-            slot.wake_sleepers();
+            publish_job(&slots[w], job_entry::<F>, ctx, i + 1);
         }
         // The leaseholder's own share must not unwind past the completion
         // wait: workers still hold the raw pointer to `f` (and through it
         // the caller's buffers) until they retire.
         let leader_result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(0)));
-        let threshold = if self.runtime.shared.oversubscribed {
+        let threshold = self.retirement_threshold(backoff);
+        let mut worker_panicked = false;
+        for &w in &self.workers {
+            worker_panicked |= await_retirement(&slots[w], threshold, backoff);
+        }
+        if let Err(panic) = leader_result {
+            std::panic::resume_unwind(panic);
+        }
+        if worker_panicked {
+            panic!("a runtime worker panicked while executing a solve");
+        }
+    }
+
+    /// Spins the completion wait performs before parking.
+    fn retirement_threshold(&self, backoff: Backoff) -> u32 {
+        if self.runtime.shared.oversubscribed {
             0
         } else {
             park_threshold(backoff, self.size())
+        }
+    }
+
+    /// Runs a **superstep-structured** job on the lease, with the
+    /// inter-superstep barrier owned by the runtime: every lease thread
+    /// executes `body(thread, width, step)` for each superstep
+    /// `0..n_steps`, separated by a [`SenseBarrier`] over the current
+    /// lease width. `body` must partition its work by striding: thread
+    /// `t` of width `w` owns schedule cores `t, t + w, t + 2w, …` of the
+    /// superstep.
+    ///
+    /// With `growth` set, the lease is **elastic**: between supersteps the
+    /// barrier's releasing arriver may acquire cores freed by other
+    /// tenants (never blocking, bounded by the growth's [`GrantPolicy`]
+    /// re-evaluated at the current tenant count and by
+    /// [`ElasticGrowth::max_width`]) and recruit them into the running
+    /// job from the next superstep on. Each thread re-reads `width` after
+    /// every barrier, so a grown lease just re-strides the remaining
+    /// supersteps — bit-identical results along every width trajectory,
+    /// by the same argument as lease-width degradation. Workers acquired
+    /// mid-solve join the lease and are released by its `Drop` like the
+    /// initial ones.
+    ///
+    /// Panic containment matches [`CoreLease::run`], with the barrier
+    /// poisoning handled here: a panicking thread poisons the shared
+    /// barrier so siblings unwind instead of waiting forever, every
+    /// worker (joiners included) retires, and the panic is re-raised on
+    /// the caller.
+    pub fn run_supersteps<F: Fn(usize, usize, usize) + Sync>(
+        &mut self,
+        backoff: Backoff,
+        n_steps: usize,
+        growth: Option<ElasticGrowth>,
+        body: &F,
+    ) {
+        if n_steps == 0 {
+            return;
+        }
+        // Growth that cannot add anything (already at the cap) is dropped
+        // so the fixed-width fast paths below apply. An *uncounted*
+        // degraded `try_lease` (counted == 0, never registered as a
+        // tenant) must not grow either: it would start charging capacity
+        // mid-run and its `Drop` would retire a tenant that never
+        // existed.
+        let growth = growth
+            .filter(|g| self.counted > 0 && g.max_width.min(self.runtime.capacity) > self.size());
+        if self.workers.is_empty() && growth.is_none() {
+            for step in 0..n_steps {
+                body(0, 1, step);
+            }
+            return;
+        }
+        let width0 = self.size();
+        let grow_cap = growth.map_or(0, |g| g.max_width.min(self.runtime.capacity));
+        let state = SuperstepState {
+            runtime: self.runtime,
+            barrier: SenseBarrier::new(width0),
+            width: AtomicUsize::new(width0),
+            n_steps,
+            start_step: (0..grow_cap).map(|_| AtomicUsize::new(0)).collect(),
+            extra: Mutex::new(Vec::new()),
+            growth,
+            job: UnsafeCell::new(None),
         };
+        let state = &state;
+        let g = move |thread: usize| {
+            let start = state.start_step.get(thread).map_or(0, |s| s.load(Ordering::Relaxed));
+            // The shared sense has flipped once per completed barrier
+            // phase; a joiner starting at superstep `start` has `start`
+            // phases behind it — and must see the recruiting phase's flip
+            // land before it may arrive anywhere (see `await_phase_flip`).
+            if start > 0 {
+                state.barrier.await_phase_flip(start, backoff);
+            }
+            let mut sense = start % 2 == 1;
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let mut step = start;
+                while step < state.n_steps {
+                    let width = state.width.load(Ordering::SeqCst);
+                    body(thread, width, step);
+                    step += 1;
+                    if step < state.n_steps {
+                        state.barrier.wait_hooked(&mut sense, backoff, || state.try_grow(step));
+                    }
+                }
+            }));
+            if let Err(panic) = result {
+                state.barrier.poison();
+                std::panic::resume_unwind(panic);
+            }
+        };
+        let ctx = &g as *const _ as *const ();
+        fn entry_of<G: Fn(usize)>(_: &G) -> JobFn {
+            job_entry::<G>
+        }
+        let call = entry_of(&g);
+        // Template first, dispatch second: a releaser reading the template
+        // is ordered after this write through its own job delivery.
+        // SAFETY: the state is not shared yet; nothing else reads it.
+        unsafe {
+            *state.job.get() = Some((call, ctx));
+        }
+        let slots = &self.runtime.shared.slots;
+        for (i, &w) in self.workers.iter().enumerate() {
+            publish_job(&slots[w], call, ctx, i + 1);
+        }
+        let leader_result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| g(0)));
+        let threshold = self.retirement_threshold(backoff);
         let mut worker_panicked = false;
         for &w in &self.workers {
-            let slot = &slots[w];
-            let target = slot.epoch.load(Ordering::Relaxed);
-            let mut spins = 0;
-            while slot.done.load(Ordering::Acquire) < target {
-                if spins < threshold {
-                    backoff_wait(backoff, &mut spins);
-                } else {
-                    // Parking frees the CPU for the worker being awaited;
-                    // its retirement rings the slot's bell.
-                    let mut gate = lock_ignore_poison(&slot.gate);
-                    slot.sleepers.fetch_add(1, Ordering::SeqCst);
-                    while slot.done.load(Ordering::SeqCst) < target {
-                        gate =
-                            slot.bell.wait(gate).unwrap_or_else(std::sync::PoisonError::into_inner);
-                    }
-                    slot.sleepers.fetch_sub(1, Ordering::SeqCst);
-                    break;
-                }
-            }
-            worker_panicked |= slot.panicked.swap(false, Ordering::AcqRel);
+            worker_panicked |= await_retirement(&slots[w], threshold, backoff);
         }
+        // Growth is quiescent here: every grow ran inside a barrier the
+        // leader participated in, and the leader's share has returned.
+        // Joined workers become ordinary lease members — awaited now,
+        // counted against the capacity, released by `Drop`.
+        let extra = std::mem::take(&mut *lock_ignore_poison(&state.extra));
+        for &w in &extra {
+            worker_panicked |= await_retirement(&slots[w], threshold, backoff);
+        }
+        self.counted += extra.len();
+        self.workers.extend(extra);
         if let Err(panic) = leader_result {
             std::panic::resume_unwind(panic);
         }
@@ -654,6 +1075,11 @@ impl Drop for CoreLease<'_> {
             state.free.push(w);
         }
         state.in_use -= self.counted;
+        // Counted leases registered as a tenant at acquisition (uncounted
+        // degraded try_leases never did).
+        if self.counted > 0 {
+            state.tenants -= 1;
+        }
         // Bounded recycling: at most `capacity` buffers can be useful at
         // once (one per concurrent lease), and degraded `try_lease`s bring
         // buffers of their own that must not accumulate forever.
@@ -662,6 +1088,19 @@ impl Drop for CoreLease<'_> {
         }
         drop(state);
         self.runtime.lessee_bell.notify_all();
+    }
+}
+
+/// A declared steady tenant of a [`SolverRuntime`] (see
+/// [`SolverRuntime::register_tenant`]); dropping the guard retires the
+/// tenant from the fair-share denominator.
+pub struct TenantRegistration<'rt> {
+    runtime: &'rt SolverRuntime,
+}
+
+impl Drop for TenantRegistration<'_> {
+    fn drop(&mut self) {
+        lock_ignore_poison(&self.runtime.state).registered -= 1;
     }
 }
 
@@ -1042,6 +1481,283 @@ mod tests {
         assert_eq!(under_pressure[200], 207);
         drop(leases);
         assert_eq!(global.cores_in_use(), 0);
+    }
+
+    #[test]
+    fn fair_grants_are_bounded_by_the_tenant_share() {
+        let runtime = SolverRuntime::new(8);
+        // A lone tenant gets everything it asks for (share = 8/1).
+        let lease = runtime.lease_with(8, GrantPolicy::Fair);
+        assert_eq!(lease.size(), 8);
+        drop(lease);
+        // Two tenants: the second grant is bounded by ceil(8/2) = 4.
+        let a = runtime.lease_with(4, GrantPolicy::Fair);
+        assert_eq!(a.size(), 4);
+        let b = runtime.lease_with(8, GrantPolicy::Fair);
+        assert_eq!(b.size(), 4, "second tenant's grant escaped the fair share");
+        assert_eq!(runtime.active_tenants(), 2);
+        drop(a);
+        // Third tenant with one lease outstanding: share = ceil(8/2) = 4,
+        // but only 4 are free anyway.
+        let c = runtime.lease_with(8, GrantPolicy::Fair);
+        assert_eq!(c.size(), 4);
+        drop(b);
+        drop(c);
+        assert_eq!(runtime.active_tenants(), 0);
+        assert_eq!(runtime.cores_in_use(), 0);
+    }
+
+    #[test]
+    fn waiting_tenants_shrink_the_fair_share() {
+        // The re-splitting property: a tenant *blocked* on a full runtime
+        // already counts toward the share, so the release that wakes it
+        // does not let the waker re-monopolize the capacity.
+        let runtime = Arc::new(SolverRuntime::new(4));
+        let hold = runtime.lease_with(4, GrantPolicy::Fair);
+        let (size_tx, size_rx) = std::sync::mpsc::channel();
+        let (done_tx, done_rx) = std::sync::mpsc::channel::<()>();
+        let done_rx = std::sync::Mutex::new(done_rx);
+        std::thread::scope(|scope| {
+            for _ in 0..2 {
+                let runtime = &runtime;
+                let size_tx = size_tx.clone();
+                let done_rx = &done_rx;
+                scope.spawn(move || {
+                    let lease = runtime.lease_with(4, GrantPolicy::Fair);
+                    size_tx.send(lease.size()).unwrap();
+                    // Hold the lease until the main thread has seen both
+                    // grants, so the second grant happens while the first
+                    // is still outstanding.
+                    done_rx.lock().unwrap().recv().unwrap();
+                });
+            }
+            // Both waiters must be registered before the release re-splits.
+            while runtime.active_tenants() < 3 {
+                std::thread::yield_now();
+            }
+            drop(hold);
+            // Tenants at each wake: two waiters ⇒ share ≤ ceil(4/2) = 2
+            // for the first, and the leftover for the second.
+            let first = size_rx.recv_timeout(std::time::Duration::from_secs(10)).unwrap();
+            let second = size_rx.recv_timeout(std::time::Duration::from_secs(10)).unwrap();
+            assert!(first <= 2 && second <= 2, "wakers re-monopolized: {first}/{second}");
+            assert!(first >= 1 && second >= 1);
+            done_tx.send(()).unwrap();
+            done_tx.send(()).unwrap();
+        });
+        assert_eq!(runtime.cores_in_use(), 0);
+    }
+
+    #[test]
+    fn cap_grants_never_exceed_k() {
+        let runtime = SolverRuntime::new(8);
+        let a = runtime.lease_with(8, GrantPolicy::Cap(3));
+        assert_eq!(a.size(), 3);
+        let b = runtime.lease_with(2, GrantPolicy::Cap(3));
+        assert_eq!(b.size(), 2, "cap is a ceiling, not a floor");
+        let c = runtime.lease_with(8, GrantPolicy::Cap(3));
+        assert_eq!(c.size(), 3);
+        assert_eq!(runtime.cores_in_use(), 8);
+    }
+
+    #[test]
+    fn uncounted_try_leases_are_not_tenants() {
+        let runtime = SolverRuntime::new(2);
+        let hold = runtime.lease(2);
+        assert_eq!(runtime.active_tenants(), 1);
+        let inline = runtime.try_lease(2);
+        assert_eq!(inline.size(), 1);
+        assert_eq!(runtime.active_tenants(), 1, "degraded try_lease registered as a tenant");
+        drop(inline);
+        drop(hold);
+        assert_eq!(runtime.active_tenants(), 0);
+    }
+
+    #[test]
+    fn uncounted_try_leases_never_grow() {
+        // An uncounted degraded try_lease (counted == 0, no tenant
+        // registration) must stay width 1 through an elastic
+        // run_supersteps even when the whole runtime frees up: growing it
+        // would charge capacity mid-run and its Drop would retire a
+        // tenant that was never registered (count underflow).
+        let runtime = SolverRuntime::new(4);
+        let hold = runtime.lease(4);
+        let mut inline = runtime.try_lease(4);
+        assert_eq!(inline.size(), 1);
+        drop(hold); // everything free before the solve starts
+        let max_width = AtomicUsize::new(0);
+        inline.run_supersteps(
+            Backoff::Spin,
+            50,
+            Some(ElasticGrowth { grant: GrantPolicy::Greedy, max_width: 4 }),
+            &|_thread, width, _step| {
+                max_width.fetch_max(width, Ordering::SeqCst);
+            },
+        );
+        assert_eq!(max_width.load(Ordering::SeqCst), 1, "uncounted lease grew");
+        drop(inline);
+        assert_eq!(runtime.active_tenants(), 0, "tenant count corrupted");
+        assert_eq!(runtime.cores_in_use(), 0);
+        // Fair grants still see a sane denominator afterwards.
+        assert_eq!(runtime.lease_with(4, GrantPolicy::Fair).size(), 4);
+    }
+
+    #[test]
+    fn registered_tenants_pin_the_fair_share() {
+        // A declared steady tenant keeps its share reserved even while it
+        // is between solves: with 4 registered tenants on capacity 8, a
+        // momentarily-alone lessee is still capped at ceil(8/4) = 2.
+        let runtime = SolverRuntime::new(8);
+        let registrations: Vec<_> = (0..4).map(|_| runtime.register_tenant()).collect();
+        assert_eq!(runtime.active_tenants(), 4);
+        let lease = runtime.lease_with(8, GrantPolicy::Fair);
+        assert_eq!(lease.size(), 2, "registered-but-idle tenants lost their share");
+        drop(lease);
+        drop(registrations);
+        assert_eq!(runtime.active_tenants(), 0);
+        // Unregistered again: a lone tenant takes everything.
+        assert_eq!(runtime.lease_with(8, GrantPolicy::Fair).size(), 8);
+    }
+
+    #[test]
+    fn run_supersteps_covers_every_cell_exactly_once() {
+        // Fixed width (no growth): the runtime-owned barrier protocol must
+        // execute each (superstep, schedule core) cell exactly once, with
+        // supersteps strictly ordered.
+        let n_cores = 5;
+        let n_steps = 20;
+        let runtime = SolverRuntime::new(3);
+        let mut lease = runtime.lease(3);
+        assert_eq!(lease.size(), 3);
+        let hits: Vec<AtomicUsize> = (0..n_steps * n_cores).map(|_| AtomicUsize::new(0)).collect();
+        let done_steps = AtomicUsize::new(0);
+        lease.run_supersteps(Backoff::Spin, n_steps, None, &|thread, width, step| {
+            // All prior supersteps are fully retired (barrier ordering).
+            assert!(done_steps.load(Ordering::SeqCst) >= step * n_cores, "superstep overlap");
+            let mut core = thread;
+            while core < n_cores {
+                hits[step * n_cores + core].fetch_add(1, Ordering::SeqCst);
+                done_steps.fetch_add(1, Ordering::SeqCst);
+                core += width;
+            }
+        });
+        for (i, hit) in hits.iter().enumerate() {
+            assert_eq!(hit.load(Ordering::SeqCst), 1, "cell {i} not executed exactly once");
+        }
+    }
+
+    #[test]
+    fn elastic_lease_grows_into_freed_cores() {
+        // A width-2 lease on a capacity-4 runtime; the blocking tenant
+        // releases its 2 cores mid-solve, and the elastic superstep
+        // protocol must recruit them: the width reaches 4 and every cell
+        // still executes exactly once.
+        let n_cores = 4;
+        let n_steps = 50;
+        let runtime = Arc::new(SolverRuntime::new(4));
+        let blocker = runtime.lease(2);
+        let mut lease = runtime.lease(4);
+        assert_eq!(lease.size(), 2);
+        let max_width = AtomicUsize::new(0);
+        let hits: Vec<AtomicUsize> = (0..n_steps * n_cores).map(|_| AtomicUsize::new(0)).collect();
+        let (tx, rx) = std::sync::mpsc::channel::<()>();
+        let runtime_ref = &runtime;
+        std::thread::scope(|scope| {
+            scope.spawn(move || {
+                rx.recv().unwrap();
+                drop(blocker); // frees 2 cores mid-solve
+            });
+            lease.run_supersteps(
+                Backoff::Spin,
+                n_steps,
+                Some(ElasticGrowth { grant: GrantPolicy::Greedy, max_width: n_cores }),
+                &|thread, width, step| {
+                    if thread == 0 && step == 0 {
+                        tx.send(()).unwrap();
+                        // Hold superstep 0 open until the blocker's cores
+                        // are back, so the first barrier deterministically
+                        // grows.
+                        while runtime_ref.cores_in_use() == 4 {
+                            std::thread::yield_now();
+                        }
+                    }
+                    max_width.fetch_max(width, Ordering::SeqCst);
+                    let mut core = thread;
+                    while core < n_cores {
+                        hits[step * n_cores + core].fetch_add(1, Ordering::SeqCst);
+                        core += width;
+                    }
+                },
+            );
+        });
+        assert_eq!(
+            max_width.load(Ordering::SeqCst),
+            4,
+            "the lease never grew into the freed cores"
+        );
+        for (i, hit) in hits.iter().enumerate() {
+            assert_eq!(hit.load(Ordering::SeqCst), 1, "cell {i} not executed exactly once");
+        }
+        // The grown workers are lease members: all four cores are held
+        // until the lease drops, then everything returns.
+        assert_eq!(runtime.cores_in_use(), 4);
+        drop(lease);
+        assert_eq!(runtime.cores_in_use(), 0);
+        assert_eq!(runtime.lease(4).size(), 4);
+    }
+
+    #[test]
+    fn elastic_growth_respects_the_grant_policy_cap() {
+        // Under cap=2, a width-1 elastic lease may grow to 2 but never
+        // past it, even with the whole runtime free.
+        let runtime = SolverRuntime::new(4);
+        let blocker = runtime.lease(3);
+        let mut lease = runtime.lease_with(4, GrantPolicy::Cap(2));
+        assert_eq!(lease.size(), 1);
+        drop(blocker); // everything free before the solve starts
+        let max_width = AtomicUsize::new(0);
+        lease.run_supersteps(
+            Backoff::Spin,
+            50,
+            Some(ElasticGrowth { grant: GrantPolicy::Cap(2), max_width: 4 }),
+            &|_thread, width, _step| {
+                max_width.fetch_max(width, Ordering::SeqCst);
+            },
+        );
+        let seen = max_width.load(Ordering::SeqCst);
+        assert!(seen <= 2, "growth escaped the cap: width {seen}");
+        assert_eq!(seen, 2, "growth never used the free capacity");
+    }
+
+    #[test]
+    fn panicking_elastic_solve_releases_grown_cores() {
+        let runtime = SolverRuntime::new(4);
+        let blocker = runtime.lease(2);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut lease = runtime.lease(4);
+            assert_eq!(lease.size(), 2);
+            drop(blocker);
+            lease.run_supersteps(
+                Backoff::Spin,
+                200,
+                Some(ElasticGrowth { grant: GrantPolicy::Greedy, max_width: 4 }),
+                &|thread, width, step| {
+                    // Panic only after growth happened, from a joiner-era
+                    // superstep, so grown workers are in flight.
+                    if width == 4 && step > 100 && thread == 1 {
+                        panic!("elastic boom");
+                    }
+                },
+            );
+        }));
+        assert!(result.is_err(), "panic was swallowed");
+        assert_eq!(runtime.cores_in_use(), 0, "panicked elastic lease leaked cores");
+        // Fully serviceable afterwards.
+        let ok = AtomicUsize::new(0);
+        runtime.lease(4).run(Backoff::Spin, &|_| {
+            ok.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(ok.load(Ordering::Relaxed), 4);
     }
 
     #[test]

@@ -277,7 +277,17 @@ pub fn simulate_model(
 ) -> SimReport {
     match model {
         ExecModel::Barrier => {
-            let mut report = simulate_barrier(matrix, compiled, profile);
+            let mut report = if policy.elastic {
+                // Elastic leases matter when a solve is admitted below its
+                // target width; the model answers the worst such case — a
+                // solve admitted at width 1 under full contention that
+                // recovers one core per superstep boundary as other
+                // tenants release (vs. keeping width 1 for the whole
+                // solve, which is what `elastic=off` degradation does).
+                simulate_barrier_elastic(matrix, compiled, profile, 1)
+            } else {
+                simulate_barrier(matrix, compiled, profile)
+            };
             if policy.backoff == Backoff::Yield {
                 // Every barrier release re-schedules the yielded waiters.
                 let extra = profile.yield_resume_cycles * compiled.n_barriers() as f64;
@@ -317,13 +327,68 @@ pub fn simulate_serial(matrix: &CsrMatrix, profile: &MachineProfile) -> SimRepor
     SimReport { cycles: compute, compute_cycles: compute, sync_cycles: 0.0, cache_misses: misses }
 }
 
+/// The shared BSP simulation loop behind [`simulate_barrier`] and
+/// [`simulate_barrier_elastic`]: superstep `s` runs at lease width
+/// `width_of_step(s)` threads, schedule core `c` on thread `c mod width`
+/// (the executors' striding), per-thread caches persisting across
+/// supersteps — so a width change also models the cache-warmth cost of
+/// migrating a schedule core to a different thread. `extra_barriers`
+/// charges the growth/re-stride dispatches on top of the schedule's own
+/// barriers.
+fn simulate_barrier_striding(
+    matrix: &CsrMatrix,
+    compiled: &CompiledSchedule,
+    profile: &MachineProfile,
+    width_of_step: impl Fn(usize) -> usize,
+    extra_barriers: u64,
+) -> SimReport {
+    let k = compiled.n_cores().min(profile.max_cores);
+    let mut caches: Vec<LruCache> = (0..k).map(|_| LruCache::new(profile.cache_lines)).collect();
+    let mut directory = CoherenceDirectory::default();
+    let mut misses = 0u64;
+    let mut compute = 0.0;
+    let mut thread_time = vec![0.0f64; k];
+    for step in 0..compiled.n_supersteps() {
+        let width = width_of_step(step).clamp(1, k);
+        let active = width.min(compiled.step_cells(step).filter(|cell| !cell.is_empty()).count());
+        let bw = profile.bandwidth_factor(active.max(1));
+        let threads = &mut thread_time[..width];
+        threads.fill(0.0);
+        for (c, cell) in compiled.step_cells(step).enumerate() {
+            let t = c % width;
+            for &v in cell {
+                threads[t] += row_cost(
+                    matrix,
+                    v as usize,
+                    t,
+                    &mut caches[t],
+                    &mut directory,
+                    profile,
+                    bw,
+                    &mut misses,
+                );
+            }
+        }
+        compute += threads.iter().copied().fold(0.0f64, f64::max);
+    }
+    let sync = profile.barrier_cycles * (compiled.n_barriers() as f64 + extra_barriers as f64);
+    SimReport {
+        cycles: compute + sync,
+        compute_cycles: compute,
+        sync_cycles: sync,
+        cache_misses: misses,
+    }
+}
+
 /// Simulates a barrier (BSP) execution of a compiled schedule.
 ///
-/// Per superstep the makespan is the maximum per-core time; one barrier is
-/// charged between consecutive supersteps. Each core keeps a private cache
-/// that persists across supersteps. Taking the [`CompiledSchedule`] lets
-/// repeated simulations of one plan reuse the plan's own compiled layout
-/// (see [`crate::plan::SolvePlan::simulate`]) instead of rebuilding it per
+/// Per superstep the makespan is the maximum per-thread time; one barrier
+/// is charged between consecutive supersteps. Each thread keeps a private
+/// cache that persists across supersteps; schedule cores beyond the
+/// profile's core cap wrap around (`c mod k`, matching the executors'
+/// striding). Taking the [`CompiledSchedule`] lets repeated simulations of
+/// one plan reuse the plan's own compiled layout (see
+/// [`crate::plan::SolvePlan::simulate`]) instead of rebuilding it per
 /// call.
 pub fn simulate_barrier(
     matrix: &CsrMatrix,
@@ -331,41 +396,26 @@ pub fn simulate_barrier(
     profile: &MachineProfile,
 ) -> SimReport {
     let k = compiled.n_cores().min(profile.max_cores);
-    let mut caches: Vec<LruCache> = (0..k).map(|_| LruCache::new(profile.cache_lines)).collect();
-    let mut directory = CoherenceDirectory::default();
-    let mut misses = 0u64;
-    let mut compute = 0.0;
-    let mut sync = 0.0;
-    for step in 0..compiled.n_supersteps() {
-        let active = compiled.step_cells(step).take(k).filter(|cell| !cell.is_empty()).count();
-        let bw = profile.bandwidth_factor(active);
-        let mut step_max = 0.0f64;
-        for (p, cell) in compiled.step_cells(step).enumerate() {
-            let p = p.min(k - 1); // cores beyond the cap share the last core
-            let mut t = 0.0;
-            for &v in cell {
-                t += row_cost(
-                    matrix,
-                    v as usize,
-                    p,
-                    &mut caches[p],
-                    &mut directory,
-                    profile,
-                    bw,
-                    &mut misses,
-                );
-            }
-            step_max = step_max.max(t);
-        }
-        compute += step_max;
-    }
-    sync += profile.barrier_cycles * compiled.n_barriers() as f64;
-    SimReport {
-        cycles: compute + sync,
-        compute_cycles: compute,
-        sync_cycles: sync,
-        cache_misses: misses,
-    }
+    simulate_barrier_striding(matrix, compiled, profile, |_| k, 0)
+}
+
+/// Simulates an **elastic** barrier execution: the solve is admitted with
+/// `start_width` lease threads and grows by one core at each superstep
+/// boundary (cores freed by other tenants, re-striding the remaining
+/// supersteps) until it reaches the schedule's core count — the recovery
+/// trajectory of a solve admitted under contention with `elastic=on`.
+/// Each growth charges one extra `barrier_cycles` for the join/re-stride
+/// dispatch.
+pub fn simulate_barrier_elastic(
+    matrix: &CsrMatrix,
+    compiled: &CompiledSchedule,
+    profile: &MachineProfile,
+    start_width: usize,
+) -> SimReport {
+    let k = compiled.n_cores().min(profile.max_cores);
+    let start_width = start_width.clamp(1, k);
+    let growths = (k - start_width).min(compiled.n_supersteps().saturating_sub(1)) as u64;
+    simulate_barrier_striding(matrix, compiled, profile, |step| start_width + step, growths)
 }
 
 /// Simulates an asynchronous (point-to-point) execution, SpMP-style.
@@ -581,6 +631,39 @@ mod tests {
             r_full.sync_cycles
         );
         assert_eq!(r_full, simulate_model(&l, &s, ExecModel::Async, None, &p, full));
+    }
+
+    #[test]
+    fn elastic_model_recovers_between_degraded_and_full_width() {
+        let (l, dag) = grid_problem(50, 50);
+        let p = MachineProfile::intel_xeon_22();
+        let s = CompiledSchedule::from_schedule(&GrowLocal::new().schedule(&dag, 8));
+        let full = simulate_barrier(&l, &s, &p);
+        let elastic_from_1 = simulate_barrier_elastic(&l, &s, &p, 1);
+        let stuck_at_1 = {
+            // The non-elastic contended baseline: admitted at width 1 and
+            // never growing — serial compute plus the schedule's barriers.
+            let serial = simulate_serial(&l, &p);
+            serial.cycles + p.barrier_cycles * s.n_barriers() as f64
+        };
+        assert!(
+            elastic_from_1.cycles >= full.cycles,
+            "a recovering solve beat full width: {} vs {}",
+            elastic_from_1.cycles,
+            full.cycles
+        );
+        assert!(
+            elastic_from_1.cycles < stuck_at_1,
+            "elastic recovery did not beat a stuck width-1 lease: {} vs {stuck_at_1}",
+            elastic_from_1.cycles
+        );
+        // Admitted at full width, elastic has nothing to grow into.
+        let at_full = simulate_barrier_elastic(&l, &s, &p, 8);
+        assert!((at_full.cycles - full.cycles).abs() / full.cycles < 0.05);
+        // Deterministic, and routed by the policy's elastic flag.
+        assert_eq!(elastic_from_1, simulate_barrier_elastic(&l, &s, &p, 1));
+        let policy = ExecPolicy { elastic: true, ..ExecPolicy::default() };
+        assert_eq!(simulate_model(&l, &s, ExecModel::Barrier, None, &p, policy), elastic_from_1);
     }
 
     #[test]

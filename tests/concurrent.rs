@@ -47,14 +47,17 @@ fn problem() -> (CsrMatrix, Vec<f64>, Vec<f64>) {
 }
 
 /// The pipelines racing on the shared runtime: every execution model, the
-/// policy dimensions, and the bridge-parallel `block-gl`.
-const SPECS: [&str; 6] = [
+/// policy dimensions (grant fairness and elastic leases included), and
+/// the bridge-parallel `block-gl`.
+const SPECS: [&str; 8] = [
     "growlocal@barrier",
     "spmp@async",
     "growlocal:sync=full,backoff=yield@async",
-    "funnel-gl:cap=auto@barrier",
-    "block-gl:blocks=4@barrier",
-    "hdagg@async",
+    "funnel-gl:cap=auto,grant=fair@barrier",
+    "block-gl:blocks=4,elastic=on@barrier",
+    "hdagg:grant=cap=2@async",
+    "growlocal:grant=fair,elastic=on@barrier",
+    "bspg:grant=fair,elastic=on,backoff=yield@barrier",
 ];
 
 #[test]
@@ -107,6 +110,130 @@ fn concurrent_plans_are_bit_identical_to_serial() {
         // The runtime is still serviceable at full width afterwards.
         assert_eq!(runtime.lease(capacity).size(), capacity);
     }
+}
+
+#[test]
+fn fair_grants_prevent_starvation_in_a_six_tenant_storm() {
+    // The starvation regression the `fair` grant policy exists for: six
+    // tenants hammering a capacity-8 runtime, each wanting all 8 cores.
+    // Under `grant=greedy` a first tenant can hold the whole runtime while
+    // later ones run serial; under `grant=fair` no tenant may observe a
+    // width-1 grant while another concurrently holds more than
+    // fair-share + 1 = ceil(8/6) + 1 = 3 cores. Each storm thread
+    // declares itself a steady tenant (`register_tenant`), which is what
+    // a serving process with ongoing traffic does — so the fair share
+    // stays pinned at ceil(8/6) even in the instants a thread is between
+    // solves, and the invariant holds under any scheduling.
+    use sptrsv::exec::GrantPolicy;
+    const TENANTS: usize = 6;
+    const CAPACITY: usize = 8;
+    let fair_share = CAPACITY.div_ceil(TENANTS);
+    let runtime = Arc::new(SolverRuntime::new(CAPACITY));
+    // widths[t] is tenant t's currently held width (0 = none). A tenant
+    // publishes its grant *before* sampling the others and clears it
+    // *before* releasing, so a sampled pair of widths was truly held
+    // concurrently.
+    let widths: Vec<AtomicUsize> = (0..TENANTS).map(|_| AtomicUsize::new(0)).collect();
+    let violations = AtomicUsize::new(0);
+    // Register the whole tenant set before any thread leases: the fair
+    // denominator is ≥ 6 from the very first grant, so not even the
+    // storm's ramp-up can hand one tenant the machine.
+    let registrations: Vec<_> = (0..TENANTS).map(|_| runtime.register_tenant()).collect();
+    std::thread::scope(|scope| {
+        for me in 0..TENANTS {
+            let runtime = &runtime;
+            let widths = &widths;
+            let violations = &violations;
+            scope.spawn(move || {
+                for _ in 0..200 {
+                    let mut lease = runtime.lease_with(CAPACITY, GrantPolicy::Fair);
+                    widths[me].store(lease.size(), Ordering::SeqCst);
+                    if lease.size() == 1 {
+                        for (other, width) in widths.iter().enumerate() {
+                            let held = width.load(Ordering::SeqCst);
+                            if other != me && held > fair_share + 1 {
+                                violations.fetch_add(1, Ordering::SeqCst);
+                            }
+                        }
+                    }
+                    lease.run(sptrsv::exec::Backoff::Spin, &|_| {
+                        for _ in 0..50 {
+                            std::hint::spin_loop();
+                        }
+                    });
+                    widths[me].store(0, Ordering::SeqCst);
+                    drop(lease);
+                }
+            });
+        }
+    });
+    assert_eq!(
+        violations.load(Ordering::SeqCst),
+        0,
+        "a width-1 tenant coexisted with a > fair-share + 1 monopolist"
+    );
+    assert_eq!(runtime.cores_in_use(), 0);
+    drop(registrations);
+    assert_eq!(runtime.active_tenants(), 0);
+}
+
+#[test]
+fn elastic_solves_under_storm_stay_bit_identical() {
+    // Elastic growth under real contention: tenants with elastic barrier
+    // plans race tenants that acquire-and-release raw leases, so running
+    // solves keep seeing cores freed mid-solve (growth opportunities at
+    // many different supersteps). Every solution must stay bit-identical
+    // to serial regardless of where growth lands.
+    let (l, b, reference) = problem();
+    let runtime = Arc::new(SolverRuntime::new(4));
+    let stop = AtomicUsize::new(0);
+    let stop = &stop;
+    std::thread::scope(|scope| {
+        // Two churn tenants: repeatedly grab and drop width-2 leases.
+        for _ in 0..2 {
+            let runtime = Arc::clone(&runtime);
+            scope.spawn(move || {
+                while stop.load(Ordering::Relaxed) == 0 {
+                    let mut lease = runtime.lease(2);
+                    lease.run(sptrsv::exec::Backoff::Spin, &|_| {
+                        for _ in 0..500 {
+                            std::hint::spin_loop();
+                        }
+                    });
+                    drop(lease);
+                    std::thread::yield_now();
+                }
+            });
+        }
+        // Two elastic solver tenants.
+        let solvers: Vec<_> = (0..2)
+            .map(|_| {
+                let runtime = Arc::clone(&runtime);
+                let (l, b, reference) = (&l, &b, &reference);
+                scope.spawn(move || {
+                    let plan = PlanBuilder::new(l)
+                        .scheduler("growlocal:grant=fair,elastic=on@barrier")
+                        .cores(4)
+                        .reorder(false)
+                        .runtime(Arc::clone(&runtime))
+                        .build()
+                        .unwrap();
+                    let mut ws = plan.workspace();
+                    let mut x = vec![0.0; b.len()];
+                    for round in 0..20 {
+                        x.fill(f64::NAN);
+                        plan.solve_into(b, &mut x, &mut ws);
+                        assert_eq!(&x, reference, "elastic storm diverged at round {round}");
+                    }
+                })
+            })
+            .collect();
+        for solver in solvers {
+            solver.join().unwrap();
+        }
+        stop.store(1, Ordering::Relaxed);
+    });
+    assert_eq!(runtime.cores_in_use(), 0, "elastic storm leaked leases");
 }
 
 #[test]
