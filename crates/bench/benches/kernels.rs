@@ -1,0 +1,100 @@
+//! Bench guard for the kernel layer (this PR's perf claim, measured
+//! rather than asserted).
+//!
+//! Compares the exact scalar serial kernel (`solve_lower_serial` — the
+//! `fastmath=off` path every bit-identity test pins) against the fastmath
+//! kernel layer (`solve_lower_serial_fast` — detected dense blocks,
+//! lane-unrolled long rows, precomputed diagonal reciprocals) on the §6.2
+//! suites plus structured micro-operands. The fastmath line must win on at
+//! least the narrow-band and grid operands: their solves are dependency-
+//! chain bound, so replacing the per-row divide with a reciprocal multiply
+//! (and fusing supernode rows into packed dense kernels where detection
+//! fires) shortens the only chain there is.
+//!
+//! Detection cost is *not* measured here: a `KernelPlan` is built once per
+//! plan (amortized like scheduling itself, §7.7); the steady-state solve is
+//! the regime the paper targets. Run with
+//! `cargo bench -p sptrsv-bench --bench kernels` (or `-- --test` for the
+//! CI smoke, which executes each body once). Results are checked in as
+//! `BENCH_kernels.json`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use sptrsv_core::kernel::KernelPlan;
+use sptrsv_datasets::{load_suite, Scale, SuiteKind};
+use sptrsv_exec::{solve_lower_serial, solve_lower_serial_fast};
+use sptrsv_sparse::gen::erdos_renyi_lower;
+use sptrsv_sparse::gen::grid::{
+    block_diagonal_spd, grid2d_laplacian, grid3d_laplacian, supernodal_spd, Stencil2D, Stencil3D,
+};
+use sptrsv_sparse::CsrMatrix;
+
+/// Benchmarks scalar vs fastmath serial solves of one operand, after
+/// pinning agreement to the documented tolerance.
+fn bench_operand(group: &mut criterion::BenchmarkGroup<'_>, name: &str, l: &CsrMatrix) {
+    let n = l.n_rows();
+    let b: Vec<f64> = (0..n).map(|i| 1.0 + ((i * 13) % 17) as f64 / 7.0).collect();
+    let plan = KernelPlan::detect_serial(l);
+
+    let mut x_scalar = vec![0.0; n];
+    let mut x_fast = vec![0.0; n];
+    solve_lower_serial(l, &b, &mut x_scalar);
+    solve_lower_serial_fast(l, &plan, &b, &mut x_fast);
+    let scale = x_scalar.iter().fold(1.0f64, |m, v| m.max(v.abs()));
+    let err = x_scalar.iter().zip(&x_fast).fold(0.0f64, |m, (a, e)| m.max((a - e).abs()));
+    assert!(err / scale < 1e-12, "{name}: fastmath deviated (rel {:.3e})", err / scale);
+
+    group.throughput(Throughput::Elements(l.nnz() as u64));
+    group.bench_with_input(BenchmarkId::new("scalar", name), l, |bch, l| {
+        let mut x = vec![0.0; n];
+        bch.iter(|| solve_lower_serial(std::hint::black_box(l), &b, &mut x));
+    });
+    group.bench_with_input(BenchmarkId::new("fastmath", name), l, |bch, l| {
+        let mut x = vec![0.0; n];
+        bch.iter(|| solve_lower_serial_fast(std::hint::black_box(l), &plan, &b, &mut x));
+    });
+}
+
+/// The §6.2 suites at test scale: one representative instance per suite.
+fn bench_suites(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernels_suites");
+    group.sample_size(30);
+    for kind in SuiteKind::all() {
+        let suite = load_suite(kind, Scale::Test, 3);
+        let ds = &suite[0];
+        bench_operand(&mut group, &format!("{kind:?}/{}", ds.name), &ds.lower);
+    }
+    group.finish();
+}
+
+/// Structured micro-operands where the detection outcome is known:
+/// supernodal operands detect dense blocks, tridiagonal bundles are
+/// declined by the cost guard (fastmath degrades to the reciprocal scalar
+/// kernel), grids stay scalar, the 3-D 27-point stencil exercises the
+/// unrolled path.
+fn bench_micro(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernels_micro");
+    group.sample_size(30);
+    let supernode = supernodal_spd(192, 8, 2, 0.5).lower_triangle().expect("square");
+    bench_operand(&mut group, "supernode_8", &supernode);
+    let bundle = block_diagonal_spd(192, 8, 0.5).lower_triangle().expect("square");
+    bench_operand(&mut group, "bundle_8", &bundle);
+    let grid5 =
+        grid2d_laplacian(48, 48, Stencil2D::FivePoint, 0.5).lower_triangle().expect("square");
+    bench_operand(&mut group, "grid2d_5pt", &grid5);
+    let grid9 =
+        grid2d_laplacian(48, 48, Stencil2D::NinePoint, 0.5).lower_triangle().expect("square");
+    bench_operand(&mut group, "grid2d_9pt", &grid9);
+    let grid27 = grid3d_laplacian(13, 13, 13, Stencil3D::TwentySevenPoint, 0.5)
+        .lower_triangle()
+        .expect("square");
+    bench_operand(&mut group, "grid3d_27pt", &grid27);
+    let mut rng = SmallRng::seed_from_u64(7);
+    let er_wide = erdos_renyi_lower(900, 0.12, &mut rng);
+    bench_operand(&mut group, "er_wide", &er_wide);
+    group.finish();
+}
+
+criterion_group!(benches, bench_suites, bench_micro);
+criterion_main!(benches);

@@ -35,23 +35,29 @@ commands:
   solve    <file.mtx> [--algo SPEC] [--cores K] [--no-reorder true]
            [--pre-order rcm|min-degree|nested-dissection] [--coarsen true]
            [--repeat N] [--grant greedy|fair|cap=K] [--elastic on|off]
+           [--fastmath on|off]
   simulate <file.mtx> [--algo SPEC] [--cores K] [--machine intel|amd|arm]
-           [--grant greedy|fair|cap=K] [--elastic on|off]
+           [--grant greedy|fair|cap=K] [--elastic on|off] [--fastmath on|off]
 
 --algo takes a scheduler spec in the grammar name[:key=value,...][@model]:
 a name from `sptrsv algos`, optional parameters (scoped keys like gl.alpha
 reach a composite scheduler's inner GrowLocal; sync=full|reduced,
-backoff=spin|yield, cores=N, grant=greedy|fair|cap=K and elastic=on|off
-address the execution policy on any scheduler) and an optional execution
-model, e.g. growlocal:alpha=8,sync=2000, funnel-gl:gl.alpha=8,cap=auto,
-growlocal:sync=full@async, spmp:backoff=yield or growlocal:grant=fair,elastic=on.
-Explicit --cores/--grant/--elastic flags override the spec's keys. Parallel
-solves lease their threads per solve from the process-wide solver runtime
-(sized to the hardware), so concurrent solves never oversubscribe the
-machine — a solve wider than the free capacity degrades gracefully to fewer
-cores; --grant bounds each tenant's share (fair = capacity/tenants) and
---elastic on lets a barrier solve grow back at superstep boundaries as
+backoff=spin|yield, cores=N, grant=greedy|fair|cap=K, elastic=on|off and
+fastmath=on|off address the execution policy on any scheduler) and an
+optional execution model, e.g. growlocal:alpha=8,sync=2000,
+funnel-gl:gl.alpha=8,cap=auto, growlocal:sync=full@async,
+spmp:backoff=yield or growlocal:grant=fair,elastic=on. Explicit
+--cores/--grant/--elastic/--fastmath flags override the spec's keys.
+Parallel solves lease their threads per solve from the process-wide solver
+runtime (sized to the hardware), so concurrent solves never oversubscribe
+the machine — a solve wider than the free capacity degrades gracefully to
+fewer cores; --grant bounds each tenant's share (fair = capacity/tenants)
+and --elastic on lets a barrier solve grow back at superstep boundaries as
 cores free up.
+--fastmath on routes the solve through detected dense-block / lane-unrolled
+row kernels with precomputed diagonal reciprocals: the one policy that can
+change results (agreement with the exact path to 1e-12 relative tolerance
+instead of bit-for-bit).
 --repeat N runs N steady-state solves on one plan (leases dispatch onto
 already-running runtime workers without re-spawning threads) and checks
 they are bit-identical.";
@@ -191,11 +197,21 @@ fn grant_flag(args: &Args) -> Result<Option<GrantPolicy>, String> {
 
 /// The `--elastic` flag, if given (`on` or `off`).
 fn elastic_flag(args: &Args) -> Result<Option<bool>, String> {
-    match args.get("elastic") {
+    on_off_flag(args, "elastic")
+}
+
+/// The `--fastmath` flag, if given (`on` or `off`).
+fn fastmath_flag(args: &Args) -> Result<Option<bool>, String> {
+    on_off_flag(args, "fastmath")
+}
+
+/// A shared `on`/`off` boolean flag parser.
+fn on_off_flag(args: &Args, name: &str) -> Result<Option<bool>, String> {
+    match args.get(name) {
         None => Ok(None),
         Some("on") => Ok(Some(true)),
         Some("off") => Ok(Some(false)),
-        Some(other) => Err(format!("bad value for --elastic: `{other}` (expected on or off)")),
+        Some(other) => Err(format!("bad value for --{name}: `{other}` (expected on or off)")),
     }
 }
 
@@ -262,6 +278,9 @@ fn solve(args: &Args) -> Result<(), String> {
     if let Some(elastic) = elastic_flag(args)? {
         builder = builder.elastic(elastic);
     }
+    if let Some(fastmath) = fastmath_flag(args)? {
+        builder = builder.fastmath(fastmath);
+    }
     let plan = builder.build().map_err(|e| e.to_string())?;
     let b = vec![1.0; lower.n_rows()];
     let mut x = vec![0.0; lower.n_rows()];
@@ -273,11 +292,12 @@ fn solve(args: &Args) -> Result<(), String> {
     println!("algorithm:         {algo}");
     println!("execution model:   {}", plan.exec_model());
     println!(
-        "execution policy:  sync={} backoff={} grant={} elastic={}",
+        "execution policy:  sync={} backoff={} grant={} elastic={} fastmath={}",
         plan.exec_policy().sync,
         plan.exec_policy().backoff,
         plan.exec_policy().grant,
-        if plan.exec_policy().elastic { "on" } else { "off" }
+        if plan.exec_policy().elastic { "on" } else { "off" },
+        if plan.exec_policy().fastmath { "on" } else { "off" }
     );
     let plan_cores = plan.compiled().n_cores();
     if plan_cores > 1 && plan.exec_model() != registry::ExecModel::Serial {
@@ -342,6 +362,9 @@ fn simulate(args: &Args) -> Result<(), String> {
     if let Some(elastic) = elastic_flag(args)? {
         policy.elastic = elastic;
     }
+    if let Some(fastmath) = fastmath_flag(args)? {
+        policy.fastmath = fastmath;
+    }
     let sched = registry::build(&spec, &dag, cores).map_err(|e| e.to_string())?;
     let s = sched.schedule(&dag, cores);
     let compiled = CompiledSchedule::from_schedule(&s);
@@ -351,11 +374,12 @@ fn simulate(args: &Args) -> Result<(), String> {
     println!("algorithm:        {} (spec: {algo})", sched.name());
     println!("execution model:  {model}");
     println!(
-        "execution policy: sync={} backoff={} grant={} elastic={}",
+        "execution policy: sync={} backoff={} grant={} elastic={} fastmath={}",
         policy.sync,
         policy.backoff,
         policy.grant,
-        if policy.elastic { "on" } else { "off" }
+        if policy.elastic { "on" } else { "off" },
+        if policy.fastmath { "on" } else { "off" }
     );
     println!("serial cycles:    {:.3e}", serial.cycles);
     println!("parallel cycles:  {:.3e}", parallel.cycles);
@@ -513,6 +537,28 @@ mod tests {
         .unwrap();
         assert!(dispatch(&sv(&["solve", mtx.to_str().unwrap(), "--grant", "everything"])).is_err());
         assert!(dispatch(&sv(&["solve", mtx.to_str().unwrap(), "--elastic", "yes"])).is_err());
+        // Fastmath: spec key and flag forms on every execution model, and
+        // bad values rejected (flag and spec key alike).
+        for spec in ["growlocal:fastmath=on@barrier", "growlocal:fastmath=on@serial"] {
+            dispatch(&sv(&["solve", mtx.to_str().unwrap(), "--cores", "2", "--algo", spec]))
+                .unwrap_or_else(|e| panic!("solve --algo {spec}: {e}"));
+        }
+        dispatch(&sv(&[
+            "solve",
+            mtx.to_str().unwrap(),
+            "--cores",
+            "2",
+            "--algo",
+            "spmp@async",
+            "--fastmath",
+            "on",
+        ]))
+        .unwrap();
+        dispatch(&sv(&["simulate", mtx.to_str().unwrap(), "--cores", "4", "--fastmath", "on"]))
+            .unwrap();
+        assert!(dispatch(&sv(&["solve", mtx.to_str().unwrap(), "--fastmath", "fast"])).is_err());
+        assert!(dispatch(&sv(&["solve", mtx.to_str().unwrap(), "--algo", "growlocal:fastmath=1"]))
+            .is_err());
         // …and repeated pooled solves are bit-stable.
         dispatch(&sv(&[
             "solve",

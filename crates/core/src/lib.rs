@@ -27,7 +27,10 @@
 //!   that the CLI, benchmarks, examples and tests all resolve through;
 //! * [`compiled`] — [`CompiledSchedule`], the flat CSR-style execution
 //!   layout every executor consumes instead of re-materializing nested
-//!   per-cell vectors.
+//!   per-cell vectors;
+//! * [`kernel`] — the kernel-planning pass over a compiled schedule:
+//!   supernode/dense-block detection and the per-cell `Scalar` /
+//!   `Unrolled` / `Dense` op plan the `fastmath=on` execution policy runs.
 
 #![warn(missing_docs)]
 
@@ -37,6 +40,7 @@ pub mod compiled;
 pub mod funnel_gl;
 pub mod growlocal;
 pub mod hdagg;
+pub mod kernel;
 pub mod registry;
 pub mod reorder;
 pub mod schedule;
@@ -50,6 +54,7 @@ pub use compiled::CompiledSchedule;
 pub use funnel_gl::{auto_part_weight_cap, coarsen_and_schedule, FunnelGrowLocal};
 pub use growlocal::{GrowLocal, GrowLocalParams, VertexPriority};
 pub use hdagg::HDagg;
+pub use kernel::{DenseBlock, KernelOp, KernelPlan};
 pub use registry::{
     Backoff, ExecModel, ExecPolicy, RegistryError, SchedulerInfo, SchedulerSpec, SyncPolicy,
 };

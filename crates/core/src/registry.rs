@@ -29,8 +29,11 @@
 //! the schedule targets (and hence the width the executor leases from the
 //! shared runtime, and the parallelism the simulator models),
 //! `grant=greedy|fair|cap=K` how the shared runtime sizes lease grants
-//! under multi-tenant contention, and `elastic=on|off` whether a
-//! barrier-model solve may grow its lease at superstep boundaries —
+//! under multi-tenant contention, `elastic=on|off` whether a
+//! barrier-model solve may grow its lease at superstep boundaries, and
+//! `fastmath=on|off` whether executors run the planned blocked/unrolled
+//! kernels (tolerance-equal, not bit-identical — see
+//! [`ExecPolicy::fastmath`]) —
 //! `growlocal:sync=full@async`, `spmp:backoff=yield`,
 //! `hdagg:cores=16@barrier`, `growlocal:grant=fair,elastic=on`. They are
 //! resolved by [`resolve_exec_policy`] and stripped before scheduler
@@ -271,6 +274,20 @@ fn parse_elastic(text: &str) -> Result<bool, RegistryError> {
     }
 }
 
+/// Parses the `fastmath=` execution-policy value (`on`/`off`).
+fn parse_fastmath(text: &str) -> Result<bool, RegistryError> {
+    match text {
+        "on" => Ok(true),
+        "off" => Ok(false),
+        other => Err(RegistryError::BadValue {
+            scheduler: "exec",
+            key: "fastmath",
+            value: other.to_string(),
+            expected: "on or off",
+        }),
+    }
+}
+
 /// The execution policy of a spec: dimensions of *how* a schedule executes
 /// that are orthogonal to both the scheduler and the [`ExecModel`].
 ///
@@ -323,21 +340,29 @@ pub struct ExecPolicy {
     /// (asynchronous execution ignores the key — re-striding between
     /// supersteps is only safe with a barrier between them).
     pub elastic: bool,
+    /// Fastmath kernels (the `fastmath=` key): when `true`, executors run
+    /// the planned blocked/unrolled kernels with precomputed diagonal
+    /// reciprocals (`sptrsv_core::kernel`). **The only policy key that can
+    /// change results**: reciprocal multiplies and re-associated
+    /// accumulation round differently, so solutions agree with the scalar
+    /// reference to a documented `1e-12` relative tolerance instead of
+    /// bit-identically. Default `off` keeps the bit-identical scalar path.
+    pub fastmath: bool,
 }
 
 /// True when `key=value` addresses the execution policy rather than a
 /// scheduler parameter (see [`ExecPolicy`] for the disambiguation rule).
 fn is_exec_policy_param(key: &str, value: &str) -> bool {
     match key {
-        "backoff" | "cores" | "grant" | "elastic" => true,
+        "backoff" | "cores" | "grant" | "elastic" | "fastmath" => true,
         "sync" => value.parse::<SyncPolicy>().is_ok(),
         _ => false,
     }
 }
 
 /// The execution policy a spec selects: its
-/// `sync=`/`backoff=`/`cores=`/`grant=`/`elastic=` keys (last occurrence
-/// wins), with defaults for the absent ones.
+/// `sync=`/`backoff=`/`cores=`/`grant=`/`elastic=`/`fastmath=` keys (last
+/// occurrence wins), with defaults for the absent ones.
 pub fn resolve_exec_policy(spec: &SchedulerSpec) -> Result<ExecPolicy, RegistryError> {
     let mut policy = ExecPolicy::default();
     for (key, value) in spec.params() {
@@ -345,6 +370,7 @@ pub fn resolve_exec_policy(spec: &SchedulerSpec) -> Result<ExecPolicy, RegistryE
             "backoff" => policy.backoff = value.parse()?,
             "grant" => policy.grant = value.parse()?,
             "elastic" => policy.elastic = parse_elastic(value)?,
+            "fastmath" => policy.fastmath = parse_fastmath(value)?,
             "cores" => {
                 policy.cores = match value.parse::<usize>() {
                     Ok(cores) if cores > 0 => Some(cores),
@@ -753,7 +779,10 @@ pub fn help_text() -> String {
     out.push_str("    grant        runtime lease sizing: greedy | fair | cap=K\n");
     out.push_str("                 (default greedy; fair = ceil(capacity/tenants) share)\n");
     out.push_str("    elastic      on | off (default off): barrier solves granted fewer\n");
-    out.push_str("                 cores may grow the lease at superstep boundaries\n\n");
+    out.push_str("                 cores may grow the lease at superstep boundaries\n");
+    out.push_str("    fastmath     on | off (default off): blocked/unrolled kernels with\n");
+    out.push_str("                 reciprocal diagonals; results match the scalar path to\n");
+    out.push_str("                 1e-12 relative tolerance instead of bit-identically\n\n");
     for entry in list() {
         out.push_str(&format!("  {:<10} {}\n", entry.name, entry.summary));
         let models: Vec<String> = ExecModel::ALL
@@ -1224,6 +1253,7 @@ mod tests {
             "cores",
             "grant",
             "elastic",
+            "fastmath",
             "full | reduced",
             "spin | yield",
             "greedy | fair | cap=K",
@@ -1237,17 +1267,19 @@ mod tests {
     fn exec_policy_grant_and_elastic_keys_parse_on_every_scheduler() {
         let g = dag();
         for entry in list() {
-            let spec = format!("{}:grant=fair,elastic=on", entry.name);
+            let spec = format!("{}:grant=fair,elastic=on,fastmath=on", entry.name);
             let parsed: SchedulerSpec = spec.parse().unwrap();
             let policy = resolve_exec_policy(&parsed).unwrap();
             assert_eq!(policy.grant, GrantPolicy::Fair);
             assert!(policy.elastic);
+            assert!(policy.fastmath);
             assert!(resolve(&spec, &g, 2).is_ok(), "`{spec}` failed to build");
         }
-        // Defaults: greedy grants, fixed-width leases.
+        // Defaults: greedy grants, fixed-width leases, exact scalar kernels.
         let policy = resolve_exec_policy(&SchedulerSpec::new("growlocal")).unwrap();
         assert_eq!(policy.grant, GrantPolicy::Greedy);
         assert!(!policy.elastic);
+        assert!(!policy.fastmath);
         // cap=K carries its width through the nested `=` (split_once keeps
         // the remainder intact).
         let spec: SchedulerSpec = "spmp:grant=cap=3".parse().unwrap();
@@ -1286,6 +1318,10 @@ mod tests {
         assert!(matches!(
             resolve("spmp:elastic=maybe", &g, 2),
             Err(RegistryError::BadValue { key: "elastic", .. })
+        ));
+        assert!(matches!(
+            resolve("growlocal:fastmath=fast", &g, 2),
+            Err(RegistryError::BadValue { key: "fastmath", .. })
         ));
     }
 

@@ -49,6 +49,7 @@
 use crate::barrier::SharedX;
 use crate::executor::Executor;
 use crate::runtime::RuntimeHandle;
+use sptrsv_core::kernel::{KernelOp, KernelPlan};
 use sptrsv_core::registry::{Backoff, ExecModel, ExecPolicy};
 use sptrsv_core::{CompiledSchedule, Schedule, ScheduleError};
 use sptrsv_dag::SolveDag;
@@ -98,6 +99,10 @@ pub struct AsyncExecutor {
     /// mid-solve is only safe with a barrier between supersteps, which
     /// asynchronous execution does not have).
     policy: ExecPolicy,
+    /// The blocked/unrolled kernel plan of the compiled schedule; `Some`
+    /// only under `fastmath=on`, `None` keeps the bit-identical scalar
+    /// path.
+    kernel: Option<Arc<KernelPlan>>,
     /// Generation-counted done flags (see the module docs).
     state: Mutex<DoneFlags>,
 }
@@ -140,7 +145,21 @@ impl AsyncExecutor {
                 }
             }
         }
-        AsyncExecutor { compiled, waits, runtime, policy, state: Mutex::new(DoneFlags::new(n)) }
+        AsyncExecutor {
+            compiled,
+            waits,
+            runtime,
+            policy,
+            kernel: None,
+            state: Mutex::new(DoneFlags::new(n)),
+        }
+    }
+
+    /// Attaches a fastmath kernel plan (detected from the same compiled
+    /// schedule); solves dispatch the planned blocked/unrolled kernels.
+    pub(crate) fn with_kernel(mut self, kernel: Arc<KernelPlan>) -> AsyncExecutor {
+        self.kernel = Some(kernel);
+        self
     }
 
     /// Solves `L x = b` with point-to-point synchronization.
@@ -149,8 +168,9 @@ impl AsyncExecutor {
         assert_eq!(b.len(), n);
         assert_eq!(x.len(), n);
         let shared = SharedX(x.as_mut_ptr());
+        let kernel = self.kernel.as_deref();
         if self.compiled.n_cores() == 1 {
-            serial_sweep(l, b, shared, &self.compiled, 1);
+            serial_sweep(l, b, shared, &self.compiled, kernel, 1);
             return;
         }
         let mut state = self.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
@@ -162,7 +182,7 @@ impl AsyncExecutor {
         if width == 1 {
             // Fully contended runtime: schedule-order serial sweep, no
             // flags needed (program order covers every dependency).
-            serial_sweep(l, b, shared, &self.compiled, 1);
+            serial_sweep(l, b, shared, &self.compiled, kernel, 1);
             return;
         }
         // A panicking thread raises the abort flag so siblings spinning on
@@ -175,7 +195,8 @@ impl AsyncExecutor {
         lease.run(backoff, &|thread: usize| {
             let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                 run_core(
-                    l, b, shared, compiled, thread, width, waits, done, generation, backoff, abort,
+                    l, b, shared, compiled, kernel, thread, width, waits, done, generation,
+                    backoff, abort,
                 )
             }));
             if let Err(panic) = result {
@@ -193,8 +214,9 @@ impl AsyncExecutor {
         assert_eq!(b.len(), n * r);
         assert_eq!(x.len(), n * r);
         let shared = SharedX(x.as_mut_ptr());
+        let kernel = self.kernel.as_deref();
         if self.compiled.n_cores() == 1 {
-            serial_sweep(l, b, shared, &self.compiled, r);
+            serial_sweep(l, b, shared, &self.compiled, kernel, r);
             return;
         }
         let mut state = self.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
@@ -204,7 +226,7 @@ impl AsyncExecutor {
         let mut lease = self.runtime.get().lease_with(self.compiled.n_cores(), self.policy.grant);
         let width = lease.size();
         if width == 1 {
-            serial_sweep(l, b, shared, &self.compiled, r);
+            serial_sweep(l, b, shared, &self.compiled, kernel, r);
             return;
         }
         let abort = AtomicBool::new(false);
@@ -214,8 +236,8 @@ impl AsyncExecutor {
         lease.run(backoff, &|thread: usize| {
             let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                 run_core_multi(
-                    l, b, shared, compiled, thread, width, waits, done, generation, r, backoff,
-                    abort,
+                    l, b, shared, compiled, kernel, thread, width, waits, done, generation, r,
+                    backoff, abort,
                 )
             }));
             if let Err(panic) = result {
@@ -229,14 +251,21 @@ impl AsyncExecutor {
 /// Schedule-order sweep on the calling thread (width-1 leases and 1-core
 /// schedules): supersteps outermost, cores ascending — a topological order,
 /// so no synchronization is needed.
-fn serial_sweep(l: &CsrMatrix, b: &[f64], x: SharedX, compiled: &CompiledSchedule, r: usize) {
+fn serial_sweep(
+    l: &CsrMatrix,
+    b: &[f64],
+    x: SharedX,
+    compiled: &CompiledSchedule,
+    kernel: Option<&KernelPlan>,
+    r: usize,
+) {
     for step in 0..compiled.n_supersteps() {
         for core in 0..compiled.n_cores() {
-            for &i in compiled.cell(step, core) {
-                // SAFETY: single-threaded; program order covers every
-                // dependency of the topological walk.
-                unsafe { crate::multi::solve_row_multi_raw(l, i as usize, b, x.0, r) };
-            }
+            let rows = compiled.cell(step, core);
+            let fast = kernel.map(|k| (k, k.cell_ops(step, core)));
+            // SAFETY: single-threaded; program order covers every
+            // dependency of the topological walk.
+            unsafe { crate::kernels::run_cell_multi(l, b, x.0, r, rows, fast) };
         }
     }
 }
@@ -284,6 +313,7 @@ fn run_core(
     b: &[f64],
     x: SharedX,
     compiled: &CompiledSchedule,
+    kernel: Option<&KernelPlan>,
     thread: usize,
     width: usize,
     waits: &[Vec<u32>],
@@ -296,22 +326,76 @@ fn run_core(
     for step in 0..compiled.n_supersteps() {
         let mut core = thread;
         while core < n_cores {
-            for &i in compiled.cell(step, core) {
-                let i = i as usize;
-                await_parents(waits, done, generation, i, backoff, abort);
-                let (cols, vals) = l.row(i);
-                let k = cols.len() - 1;
-                debug_assert_eq!(cols[k], i);
-                let mut acc = b[i];
-                for (&c, &v) in cols[..k].iter().zip(&vals[..k]) {
-                    // SAFETY: cross-core parents were awaited above
-                    // (Acquire pairs with the Release below); same-thread
-                    // parents precede in program order. See module docs.
-                    acc -= v * unsafe { *x.0.add(c) };
+            let rows = compiled.cell(step, core);
+            match kernel {
+                None => {
+                    for &i in rows {
+                        let i = i as usize;
+                        await_parents(waits, done, generation, i, backoff, abort);
+                        // SAFETY: cross-core parents were awaited above
+                        // (Acquire pairs with the Release below);
+                        // same-thread parents precede in program order.
+                        // See module docs.
+                        unsafe { crate::kernels::solve_row_raw(l, i, b, x.0) };
+                        done[i].store(generation, Ordering::Release);
+                    }
                 }
-                // SAFETY: exclusive writer of x[i].
-                unsafe { *x.0.add(i) = acc / vals[k] };
-                done[i].store(generation, Ordering::Release);
+                Some(plan) => {
+                    let inv = plan.inv_diag();
+                    for op in plan.cell_ops(step, core) {
+                        match *op {
+                            KernelOp::Scalar { start, len } => {
+                                for &i in &rows[start as usize..(start + len) as usize] {
+                                    let i = i as usize;
+                                    await_parents(waits, done, generation, i, backoff, abort);
+                                    // SAFETY: as in the scalar path.
+                                    unsafe { crate::kernels::solve_row_fast(l, i, b, x.0, inv) };
+                                    done[i].store(generation, Ordering::Release);
+                                }
+                            }
+                            KernelOp::Unrolled { start, len, lanes } => {
+                                for &i in &rows[start as usize..(start + len) as usize] {
+                                    let i = i as usize;
+                                    await_parents(waits, done, generation, i, backoff, abort);
+                                    // SAFETY: as in the scalar path.
+                                    unsafe {
+                                        if lanes >= 8 {
+                                            crate::kernels::solve_row_unrolled::<8>(
+                                                l, i, b, x.0, inv,
+                                            );
+                                        } else {
+                                            crate::kernels::solve_row_unrolled::<4>(
+                                                l, i, b, x.0, inv,
+                                            );
+                                        }
+                                    }
+                                    done[i].store(generation, Ordering::Release);
+                                }
+                            }
+                            KernelOp::Dense { block } => {
+                                let blk = &plan.blocks()[block as usize];
+                                // Await the cross-core parents of *all*
+                                // block rows up front. Deadlock-free: a
+                                // cross-core parent always lies in a
+                                // strictly earlier superstep (Definition
+                                // 2.1), so the wait-for relation only
+                                // points backwards in superstep order and
+                                // can never cycle through this block.
+                                for i in blk.row_range() {
+                                    await_parents(waits, done, generation, i, backoff, abort);
+                                }
+                                // SAFETY: all off-block parents awaited
+                                // above or program-ordered (same thread);
+                                // this thread exclusively owns the block
+                                // rows (one cell, one thread).
+                                unsafe { crate::kernels::solve_dense(blk, inv, b, x.0) };
+                                for i in blk.row_range() {
+                                    done[i].store(generation, Ordering::Release);
+                                }
+                            }
+                        }
+                    }
+                }
             }
             core += width;
         }
@@ -324,6 +408,7 @@ fn run_core_multi(
     b: &[f64],
     x: SharedX,
     compiled: &CompiledSchedule,
+    kernel: Option<&KernelPlan>,
     thread: usize,
     width: usize,
     waits: &[Vec<u32>],
@@ -337,13 +422,53 @@ fn run_core_multi(
     for step in 0..compiled.n_supersteps() {
         let mut core = thread;
         while core < n_cores {
-            for &i in compiled.cell(step, core) {
-                let i = i as usize;
-                await_parents(waits, done, generation, i, backoff, abort);
-                // SAFETY: same flag ordering as `run_core`, row-granular
-                // (all r values written before the Release store).
-                unsafe { crate::multi::solve_row_multi_raw(l, i, b, x.0, r) };
-                done[i].store(generation, Ordering::Release);
+            let rows = compiled.cell(step, core);
+            match kernel {
+                None => {
+                    for &i in rows {
+                        let i = i as usize;
+                        await_parents(waits, done, generation, i, backoff, abort);
+                        // SAFETY: same flag ordering as `run_core`,
+                        // row-granular (all r values written before the
+                        // Release store).
+                        unsafe { crate::kernels::solve_row_multi_raw(l, i, b, x.0, r) };
+                        done[i].store(generation, Ordering::Release);
+                    }
+                }
+                Some(plan) => {
+                    let inv = plan.inv_diag();
+                    for op in plan.cell_ops(step, core) {
+                        match *op {
+                            KernelOp::Scalar { start, len }
+                            | KernelOp::Unrolled { start, len, .. } => {
+                                for &i in &rows[start as usize..(start + len) as usize] {
+                                    let i = i as usize;
+                                    await_parents(waits, done, generation, i, backoff, abort);
+                                    // SAFETY: as in the scalar path.
+                                    unsafe {
+                                        crate::kernels::solve_row_fast_multi(l, i, b, x.0, r, inv)
+                                    };
+                                    done[i].store(generation, Ordering::Release);
+                                }
+                            }
+                            KernelOp::Dense { block } => {
+                                let blk = &plan.blocks()[block as usize];
+                                // Group-await, solve, group-release — see
+                                // `run_core` for the deadlock-freedom
+                                // argument.
+                                for i in blk.row_range() {
+                                    await_parents(waits, done, generation, i, backoff, abort);
+                                }
+                                // SAFETY: as in `run_core`'s dense arm,
+                                // for all r values of the block rows.
+                                unsafe { crate::kernels::solve_dense_multi(blk, inv, b, x.0, r) };
+                                for i in blk.row_range() {
+                                    done[i].store(generation, Ordering::Release);
+                                }
+                            }
+                        }
+                    }
+                }
             }
             core += width;
         }

@@ -52,6 +52,7 @@
 
 use crate::executor::Executor;
 use crate::runtime::{ElasticGrowth, RuntimeHandle};
+use sptrsv_core::kernel::KernelPlan;
 use sptrsv_core::registry::{ExecModel, ExecPolicy};
 use sptrsv_core::{CompiledSchedule, Schedule, ScheduleError};
 use sptrsv_sparse::CsrMatrix;
@@ -71,6 +72,10 @@ pub struct BarrierExecutor {
     compiled: Arc<CompiledSchedule>,
     runtime: RuntimeHandle,
     policy: ExecPolicy,
+    /// The blocked/unrolled kernel plan of the compiled schedule; `Some`
+    /// only under `fastmath=on` (the planner attaches it), `None` keeps
+    /// the bit-identical scalar path.
+    kernel: Option<Arc<KernelPlan>>,
 }
 
 impl BarrierExecutor {
@@ -97,7 +102,15 @@ impl BarrierExecutor {
         runtime: RuntimeHandle,
         policy: ExecPolicy,
     ) -> BarrierExecutor {
-        BarrierExecutor { compiled, runtime, policy }
+        BarrierExecutor { compiled, runtime, policy, kernel: None }
+    }
+
+    /// Attaches a fastmath kernel plan (detected from the same compiled
+    /// schedule); solves dispatch the planned blocked/unrolled kernels
+    /// instead of the exact scalar loop.
+    pub(crate) fn with_kernel(mut self, kernel: Arc<KernelPlan>) -> BarrierExecutor {
+        self.kernel = Some(kernel);
+        self
     }
 
     /// The compiled execution plan.
@@ -108,7 +121,7 @@ impl BarrierExecutor {
     /// Solves `L x = b` following the schedule, on cores leased from the
     /// runtime.
     pub fn solve(&self, l: &CsrMatrix, b: &[f64], x: &mut [f64]) {
-        solve_compiled(l, &self.compiled, b, x, &self.runtime, self.policy);
+        solve_compiled(l, &self.compiled, self.kernel.as_deref(), b, x, &self.runtime, self.policy);
     }
 }
 
@@ -122,7 +135,16 @@ impl Executor for BarrierExecutor {
     }
 
     fn solve_multi(&self, l: &CsrMatrix, b: &[f64], x: &mut [f64], r: usize) {
-        crate::multi::solve_multi_compiled(l, &self.compiled, b, x, r, &self.runtime, self.policy);
+        crate::multi::solve_multi_compiled(
+            l,
+            &self.compiled,
+            self.kernel.as_deref(),
+            b,
+            x,
+            r,
+            &self.runtime,
+            self.policy,
+        );
     }
 }
 
@@ -134,6 +156,7 @@ impl Executor for BarrierExecutor {
 pub(crate) fn solve_compiled(
     l: &CsrMatrix,
     compiled: &CompiledSchedule,
+    kernel: Option<&KernelPlan>,
     b: &[f64],
     x: &mut [f64],
     runtime: &RuntimeHandle,
@@ -145,7 +168,7 @@ pub(crate) fn solve_compiled(
     let shared = SharedX(x.as_mut_ptr());
     let n_cores = compiled.n_cores();
     if n_cores == 1 {
-        serial_sweep(l, b, shared, compiled);
+        serial_sweep(l, b, shared, compiled, kernel);
         return;
     }
     let mut lease = runtime.get().lease_with(n_cores, policy.grant);
@@ -154,7 +177,7 @@ pub(crate) fn solve_compiled(
         // sweep (one thread striding over every schedule core, no barrier
         // needed). An elastic solve runs the protocol instead, so it can
         // recover cores freed mid-solve.
-        serial_sweep(l, b, shared, compiled);
+        serial_sweep(l, b, shared, compiled, kernel);
         return;
     }
     let growth =
@@ -164,16 +187,22 @@ pub(crate) fn solve_compiled(
         compiled.n_supersteps(),
         growth,
         &|thread, width, step| {
-            run_superstep(l, b, shared, compiled, thread, width, step);
+            run_superstep(l, b, shared, compiled, kernel, thread, width, step);
         },
     );
 }
 
 /// The width-1 degradation path: one thread strides over every schedule
 /// core in superstep order (a topological order, so no barrier is needed).
-fn serial_sweep(l: &CsrMatrix, b: &[f64], x: SharedX, compiled: &CompiledSchedule) {
+fn serial_sweep(
+    l: &CsrMatrix,
+    b: &[f64],
+    x: SharedX,
+    compiled: &CompiledSchedule,
+    kernel: Option<&KernelPlan>,
+) {
     for step in 0..compiled.n_supersteps() {
-        run_superstep(l, b, x, compiled, 0, 1, step);
+        run_superstep(l, b, x, compiled, kernel, 0, 1, step);
     }
 }
 
@@ -182,11 +211,13 @@ fn serial_sweep(l: &CsrMatrix, b: &[f64], x: SharedX, compiled: &CompiledSchedul
 /// so the solution is bit-identical at every width — and along every
 /// elastic width trajectory, since the width only changes between
 /// supersteps).
+#[allow(clippy::too_many_arguments)] // mirrors the superstep callback shape
 pub(crate) fn run_superstep(
     l: &CsrMatrix,
     b: &[f64],
     x: SharedX,
     compiled: &CompiledSchedule,
+    kernel: Option<&KernelPlan>,
     thread: usize,
     width: usize,
     step: usize,
@@ -194,22 +225,15 @@ pub(crate) fn run_superstep(
     let n_cores = compiled.n_cores();
     let mut core = thread;
     while core < n_cores {
-        for &i in compiled.cell(step, core) {
-            let i = i as usize;
-            let (cols, vals) = l.row(i);
-            let k = cols.len() - 1;
-            debug_assert_eq!(cols[k], i);
-            let mut acc = b[i];
-            for (&c, &v) in cols[..k].iter().zip(&vals[..k]) {
-                // SAFETY: x[c] was written in an earlier superstep
-                // (barrier ordering) or earlier on this thread in this
-                // superstep (program order); see the module-level
-                // safety argument.
-                acc -= v * unsafe { *x.0.add(c) };
-            }
-            // SAFETY: this thread exclusively owns x[i].
-            unsafe { *x.0.add(i) = acc / vals[k] };
-        }
+        let rows = compiled.cell(step, core);
+        let fast = kernel.map(|k| (k, k.cell_ops(step, core)));
+        // SAFETY: x[c] was written in an earlier superstep (barrier
+        // ordering) or earlier on this thread in this superstep (program
+        // order), and this thread exclusively owns every x[i] of its
+        // cells; see the module-level safety argument. A dense op only
+        // widens the write granularity to consecutive same-cell rows,
+        // which the same argument covers.
+        unsafe { crate::kernels::run_cell(l, b, x.0, rows, fast) };
         core += width;
     }
 }

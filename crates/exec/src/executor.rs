@@ -13,7 +13,11 @@
 //! Implementations must be numerically exchangeable: every executor
 //! computes each row's dot product in the same CSR column order, so for the
 //! same operand and schedule all models produce bit-identical solutions
-//! (pinned by the executor-agreement integration test).
+//! (pinned by the executor-agreement integration test). The one exception
+//! is the `fastmath=on` execution policy, which swaps every executor's
+//! inner loop for the blocked/unrolled/reciprocal kernels of
+//! [`crate::kernels`]: solutions then agree with the exact path to a
+//! documented `1e-12` relative tolerance rather than bit-for-bit.
 
 use sptrsv_core::registry::ExecModel;
 use sptrsv_sparse::CsrMatrix;

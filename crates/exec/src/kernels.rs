@@ -1,0 +1,583 @@
+//! Row and block kernels: the one place every executor's inner loop lives.
+//!
+//! Two families share this module:
+//!
+//! * **Exact scalar kernels** — [`substitute_row`], [`solve_row_raw`] and
+//!   [`solve_row_multi_raw`]: the reference gather-multiply loop (diagonal
+//!   divide), previously copy-pasted across the serial, barrier,
+//!   asynchronous and multi-RHS executors. Every `fastmath=off` path runs
+//!   these, so results stay bit-identical across all execution models,
+//!   lease widths and elastic trajectories.
+//! * **Fastmath kernels** — the blocked/unrolled implementations of a
+//!   [`KernelPlan`] (see [`sptrsv_core::kernel`]): a packed dense
+//!   triangular block solve, a lane-unrolled (4/8 accumulator) sparse row
+//!   dot product, and a scalar kernel with precomputed diagonal
+//!   reciprocals. Portable Rust only — multiple named accumulators the
+//!   auto-vectorizer can keep in SIMD lanes, no nightly intrinsics.
+//!
+//! The fastmath kernels multiply by `1/L[i,i]` instead of dividing and
+//! re-associate long accumulations, so their results differ from the
+//! scalar reference in the last bits: solutions agree to a **`1e-12`
+//! relative tolerance** (pinned by the `kernels` integration test), not
+//! bit-identically. That is exactly the `fastmath=on|off` execution-policy
+//! switch — `off` (the default) never touches this family.
+//!
+//! Executors funnel through [`run_cell`] / [`run_cell_multi`]: one cell of
+//! a compiled schedule, executed either as the exact per-row loop
+//! (`fast = None`) or by dispatching the cell's planned op sequence.
+
+use crate::executor::Executor;
+use sptrsv_core::kernel::{DenseBlock, KernelOp, KernelPlan, MAX_DENSE_BLOCK};
+use sptrsv_core::registry::ExecModel;
+use sptrsv_core::CompiledSchedule;
+use sptrsv_sparse::CsrMatrix;
+use std::sync::Arc;
+
+// ---------------------------------------------------------------------------
+// Exact scalar kernels (the bit-identical `fastmath=off` family).
+// ---------------------------------------------------------------------------
+
+/// One row of a serial substitution sweep: returns `x[i]` given the row's
+/// entries and the already-solved prefix of `x`. `diag_first` selects the
+/// storage convention — `false` for lower-triangular rows (diagonal stored
+/// last, forward substitution), `true` for upper-triangular rows (diagonal
+/// stored first, backward substitution). The accumulation order matches the
+/// historical open-coded loops exactly, so folding them here is
+/// bit-preserving.
+#[inline]
+pub(crate) fn substitute_row(
+    cols: &[usize],
+    vals: &[f64],
+    b_i: f64,
+    x: &[f64],
+    diag_first: bool,
+) -> f64 {
+    let mut acc = b_i;
+    if diag_first {
+        for (&c, &v) in cols[1..].iter().zip(&vals[1..]) {
+            acc -= v * x[c];
+        }
+        acc / vals[0]
+    } else {
+        let k = cols.len() - 1;
+        for (&c, &v) in cols[..k].iter().zip(&vals[..k]) {
+            acc -= v * x[c];
+        }
+        acc / vals[k]
+    }
+}
+
+/// Computes row `i` of the substitution through the shared pointer — the
+/// exact scalar kernel of the threaded executors (identical operation
+/// order to [`substitute_row`] with `diag_first = false`).
+///
+/// # Safety
+/// Caller must guarantee the schedule-validity conditions of
+/// [`crate::barrier`] (or the flag-ordering conditions of
+/// [`crate::async_exec`]): exclusive write access to `x[i]`, and every
+/// parent `x[c]` ready (ordered by barrier, done-flag or program order).
+#[inline]
+pub(crate) unsafe fn solve_row_raw(l: &CsrMatrix, i: usize, b: &[f64], x: *mut f64) {
+    let (cols, vals) = l.row(i);
+    let k = cols.len() - 1;
+    debug_assert_eq!(cols[k], i);
+    let mut acc = b[i];
+    for (&c, &v) in cols[..k].iter().zip(&vals[..k]) {
+        // SAFETY: parent x[c] is ready per the caller contract.
+        acc -= v * unsafe { *x.add(c) };
+    }
+    // SAFETY: exclusive writer of x[i] per the caller contract.
+    unsafe { *x.add(i) = acc / vals[k] };
+}
+
+/// Computes row `i` of the multi-RHS substitution through the shared
+/// pointer, accumulating in place (no scratch).
+///
+/// # Safety
+/// Same contract as [`solve_row_raw`], for all `r` values of row `i`.
+#[inline]
+pub(crate) unsafe fn solve_row_multi_raw(
+    l: &CsrMatrix,
+    i: usize,
+    b: &[f64],
+    x: *mut f64,
+    r: usize,
+) {
+    let (cols, vals) = l.row(i);
+    let k = cols.len() - 1;
+    debug_assert_eq!(cols[k], i);
+    for j in 0..r {
+        // SAFETY: exclusive writer of row i (caller contract).
+        unsafe { *x.add(i * r + j) = b[i * r + j] };
+    }
+    for (&c, &v) in cols[..k].iter().zip(&vals[..k]) {
+        for j in 0..r {
+            // SAFETY: parent row c is ready (caller contract) and c < i,
+            // so the read never aliases the row-i accumulator.
+            unsafe { *x.add(i * r + j) -= v * *x.add(c * r + j) };
+        }
+    }
+    let diag = vals[k];
+    for j in 0..r {
+        // SAFETY: exclusive writer of row i.
+        unsafe { *x.add(i * r + j) /= diag };
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fastmath kernels (the planned `fastmath=on` family).
+// ---------------------------------------------------------------------------
+
+/// Scalar fastmath row: the gather loop with a reciprocal multiply instead
+/// of the diagonal divide.
+///
+/// # Safety
+/// Same contract as [`solve_row_raw`].
+#[inline]
+pub(crate) unsafe fn solve_row_fast(
+    l: &CsrMatrix,
+    i: usize,
+    b: &[f64],
+    x: *mut f64,
+    inv_diag: &[f64],
+) {
+    // SAFETY: `i` is a row of `l` per the caller contract (the kernel plan
+    // was detected for this matrix), so the unchecked row/b/inv_diag
+    // accesses are in bounds.
+    let (cols, vals) = unsafe { l.row_unchecked(i) };
+    let k = cols.len() - 1;
+    debug_assert_eq!(cols[k], i);
+    let mut acc = unsafe { *b.get_unchecked(i) };
+    for (&c, &v) in cols[..k].iter().zip(&vals[..k]) {
+        // SAFETY: parent x[c] is ready per the caller contract.
+        acc -= v * unsafe { *x.add(c) };
+    }
+    // SAFETY: exclusive writer of x[i].
+    unsafe { *x.add(i) = acc * *inv_diag.get_unchecked(i) };
+}
+
+/// Lane-unrolled fastmath row: `LANES` independent accumulators over the
+/// off-diagonal entries (giving the auto-vectorizer/OoO core independent
+/// chains), reduced pairwise, then a reciprocal multiply.
+///
+/// # Safety
+/// Same contract as [`solve_row_raw`].
+#[inline]
+pub(crate) unsafe fn solve_row_unrolled<const LANES: usize>(
+    l: &CsrMatrix,
+    i: usize,
+    b: &[f64],
+    x: *mut f64,
+    inv_diag: &[f64],
+) {
+    // SAFETY: `i` is a row of `l` per the caller contract.
+    let (cols, vals) = unsafe { l.row_unchecked(i) };
+    let k = cols.len() - 1;
+    debug_assert_eq!(cols[k], i);
+    let mut lane = [0.0f64; LANES];
+    let main = k - (k % LANES);
+    for (cchunk, vchunk) in cols[..main].chunks_exact(LANES).zip(vals[..main].chunks_exact(LANES)) {
+        for (j, acc) in lane.iter_mut().enumerate() {
+            // SAFETY: parent x[c] is ready per the caller contract.
+            *acc += vchunk[j] * unsafe { *x.add(cchunk[j]) };
+        }
+    }
+    let mut tail = 0.0;
+    for (&c, &v) in cols[main..k].iter().zip(&vals[main..k]) {
+        // SAFETY: as above.
+        tail += v * unsafe { *x.add(c) };
+    }
+    // SAFETY: exclusive writer of x[i]; `b[i]`/`inv_diag[i]` in bounds as
+    // in [`solve_row_fast`].
+    let acc = unsafe { *b.get_unchecked(i) } - (tree_sum(&lane) + tail);
+    unsafe { *x.add(i) = acc * *inv_diag.get_unchecked(i) };
+}
+
+/// Pairwise (tree) reduction of the accumulator lanes — a fixed
+/// association, so repeated fastmath solves stay deterministic.
+#[inline]
+fn tree_sum(lane: &[f64]) -> f64 {
+    match lane.len() {
+        1 => lane[0],
+        2 => lane[0] + lane[1],
+        n => tree_sum(&lane[..n / 2]) + tree_sum(&lane[n / 2..]),
+    }
+}
+
+/// Packed dense triangular block solve: gathers each off-block column
+/// once, runs the in-block forward substitution column-by-column on a
+/// stack buffer, and stores the block's `x` values with reciprocal
+/// multiplies.
+///
+/// # Safety
+/// Caller must guarantee exclusive write access to all block rows of `x`
+/// and that every off-block parent `x[c]` (`c ∈ blk.cols`) is ready.
+pub(crate) unsafe fn solve_dense(blk: &DenseBlock, inv_diag: &[f64], b: &[f64], x: *mut f64) {
+    let r = blk.rows as usize;
+    let first = blk.first as usize;
+    debug_assert!(r <= MAX_DENSE_BLOCK);
+    let mut acc = [0.0f64; MAX_DENSE_BLOCK];
+    acc[..r].copy_from_slice(&b[first..first + r]);
+    for (ci, &c) in blk.cols.iter().enumerate() {
+        // SAFETY: off-block parent x[c] is ready per the caller contract;
+        // the packed off panel is exactly `cols.len() * r` long.
+        let xc = unsafe { *x.add(c as usize) };
+        let col = unsafe { blk.off.get_unchecked(ci * r..ci * r + r) };
+        for (a, &v) in acc[..r].iter_mut().zip(col) {
+            *a -= v * xc;
+        }
+    }
+    for j in 0..r {
+        // SAFETY: exclusive writer of the block rows; all panel, `acc` and
+        // `inv_diag` indices are bounded by the block's packed extents
+        // (`j < r <= MAX_DENSE_BLOCK`, panels are `r * r` / validated rows).
+        unsafe {
+            let xj = *acc.get_unchecked(j) * *inv_diag.get_unchecked(first + j);
+            *x.add(first + j) = xj;
+            let col = blk.diag.get_unchecked(j * r + j + 1..j * r + r);
+            for (a, &v) in acc.get_unchecked_mut(j + 1..r).iter_mut().zip(col) {
+                *a -= v * xj;
+            }
+        }
+    }
+}
+
+/// Scalar fastmath row for `r` right-hand sides (reciprocal diagonal).
+///
+/// # Safety
+/// Same contract as [`solve_row_multi_raw`].
+#[inline]
+pub(crate) unsafe fn solve_row_fast_multi(
+    l: &CsrMatrix,
+    i: usize,
+    b: &[f64],
+    x: *mut f64,
+    r: usize,
+    inv_diag: &[f64],
+) {
+    let (cols, vals) = l.row(i);
+    let k = cols.len() - 1;
+    debug_assert_eq!(cols[k], i);
+    for j in 0..r {
+        // SAFETY: exclusive writer of row i (caller contract).
+        unsafe { *x.add(i * r + j) = b[i * r + j] };
+    }
+    for (&c, &v) in cols[..k].iter().zip(&vals[..k]) {
+        for j in 0..r {
+            // SAFETY: parent row c is ready and c < i (no aliasing).
+            unsafe { *x.add(i * r + j) -= v * *x.add(c * r + j) };
+        }
+    }
+    let inv = inv_diag[i];
+    for j in 0..r {
+        // SAFETY: exclusive writer of row i.
+        unsafe { *x.add(i * r + j) *= inv };
+    }
+}
+
+/// Packed dense block solve for `r` right-hand sides (row-major `n × r`
+/// operands): one pass of [`solve_dense`]'s algorithm per right-hand side.
+///
+/// # Safety
+/// Same contract as [`solve_dense`], for all `r` values of the block rows.
+pub(crate) unsafe fn solve_dense_multi(
+    blk: &DenseBlock,
+    inv_diag: &[f64],
+    b: &[f64],
+    x: *mut f64,
+    r: usize,
+) {
+    let rows = blk.rows as usize;
+    let first = blk.first as usize;
+    debug_assert!(rows <= MAX_DENSE_BLOCK);
+    for j in 0..r {
+        let mut acc = [0.0f64; MAX_DENSE_BLOCK];
+        for (i, a) in acc[..rows].iter_mut().enumerate() {
+            *a = b[(first + i) * r + j];
+        }
+        for (ci, &c) in blk.cols.iter().enumerate() {
+            // SAFETY: off-block parent row c is ready per the caller
+            // contract; the packed off panel is `cols.len() * rows` long.
+            let xc = unsafe { *x.add(c as usize * r + j) };
+            let col = unsafe { blk.off.get_unchecked(ci * rows..ci * rows + rows) };
+            for (a, &v) in acc[..rows].iter_mut().zip(col) {
+                *a -= v * xc;
+            }
+        }
+        for jj in 0..rows {
+            // SAFETY: exclusive writer of the block rows; panel, `acc` and
+            // `inv_diag` indices bounded as in `solve_dense`.
+            unsafe {
+                let xj = *acc.get_unchecked(jj) * *inv_diag.get_unchecked(first + jj);
+                *x.add((first + jj) * r + j) = xj;
+                let col = blk.diag.get_unchecked(jj * rows + jj + 1..jj * rows + rows);
+                for (a, &v) in acc.get_unchecked_mut(jj + 1..rows).iter_mut().zip(col) {
+                    *a -= v * xj;
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The shared cell entry point.
+// ---------------------------------------------------------------------------
+
+/// Executes one cell of a compiled schedule: the exact per-row scalar loop
+/// when `fast` is `None` (bit-identical to the historical executors), or
+/// the cell's planned op sequence when the plan and its ops are supplied
+/// (`fastmath=on`).
+///
+/// # Safety
+/// Caller must guarantee, for every row of the cell, the contract of
+/// [`solve_row_raw`]; when `fast` is `Some`, the ops must stem from the
+/// same `KernelPlan::detect` run as the compiled schedule the cell belongs
+/// to (op positions index into `rows`).
+#[inline]
+pub(crate) unsafe fn run_cell(
+    l: &CsrMatrix,
+    b: &[f64],
+    x: *mut f64,
+    rows: &[u32],
+    fast: Option<(&KernelPlan, &[KernelOp])>,
+) {
+    match fast {
+        None => {
+            for &i in rows {
+                // SAFETY: forwarded caller contract.
+                unsafe { solve_row_raw(l, i as usize, b, x) };
+            }
+        }
+        Some((plan, ops)) => {
+            let inv = plan.inv_diag();
+            for op in ops {
+                match *op {
+                    KernelOp::Scalar { start, len } => {
+                        for &i in &rows[start as usize..(start + len) as usize] {
+                            // SAFETY: forwarded caller contract.
+                            unsafe { solve_row_fast(l, i as usize, b, x, inv) };
+                        }
+                    }
+                    KernelOp::Unrolled { start, len, lanes } => {
+                        for &i in &rows[start as usize..(start + len) as usize] {
+                            // SAFETY: forwarded caller contract.
+                            unsafe {
+                                if lanes >= 8 {
+                                    solve_row_unrolled::<8>(l, i as usize, b, x, inv);
+                                } else {
+                                    solve_row_unrolled::<4>(l, i as usize, b, x, inv);
+                                }
+                            }
+                        }
+                    }
+                    KernelOp::Dense { block } => {
+                        // SAFETY: forwarded caller contract (a Dense op
+                        // covers consecutive rows of this cell).
+                        unsafe { solve_dense(&plan.blocks()[block as usize], inv, b, x) };
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Multi-RHS analog of [`run_cell`]. `Unrolled` ops fall back to the
+/// scalar fastmath row — with `r` right-hand sides the inner `j` loop
+/// already provides the independent accumulation chains lane-unrolling
+/// exists to create.
+///
+/// # Safety
+/// Same contract as [`run_cell`], for all `r` values of every cell row.
+#[inline]
+pub(crate) unsafe fn run_cell_multi(
+    l: &CsrMatrix,
+    b: &[f64],
+    x: *mut f64,
+    r: usize,
+    rows: &[u32],
+    fast: Option<(&KernelPlan, &[KernelOp])>,
+) {
+    match fast {
+        None => {
+            for &i in rows {
+                // SAFETY: forwarded caller contract.
+                unsafe { solve_row_multi_raw(l, i as usize, b, x, r) };
+            }
+        }
+        Some((plan, ops)) => {
+            let inv = plan.inv_diag();
+            for op in ops {
+                match *op {
+                    KernelOp::Scalar { start, len } | KernelOp::Unrolled { start, len, .. } => {
+                        for &i in &rows[start as usize..(start + len) as usize] {
+                            // SAFETY: forwarded caller contract.
+                            unsafe { solve_row_fast_multi(l, i as usize, b, x, r, inv) };
+                        }
+                    }
+                    KernelOp::Dense { block } => {
+                        // SAFETY: forwarded caller contract.
+                        unsafe { solve_dense_multi(&plan.blocks()[block as usize], inv, b, x, r) };
+                    }
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Safe entry points: the fastmath serial sweep and its executor.
+// ---------------------------------------------------------------------------
+
+/// Serial fastmath forward substitution: executes a natural-order kernel
+/// plan ([`KernelPlan::detect_serial`]) over the whole matrix. This is the
+/// single-threaded reference for the fastmath family — benchmarks compare
+/// it against [`crate::serial::solve_lower_serial`] to isolate the kernel
+/// win from threading effects.
+///
+/// # Panics
+/// Panics if `plan` was not detected for `l`'s natural order (row-count
+/// mismatch or a multi-cell plan).
+pub fn solve_lower_serial_fast(l: &CsrMatrix, plan: &KernelPlan, b: &[f64], x: &mut [f64]) {
+    let n = l.n_rows();
+    assert_eq!(plan.n_rows(), n, "kernel plan does not match the matrix");
+    assert_eq!(b.len(), n);
+    assert_eq!(x.len(), n);
+    let inv = plan.inv_diag();
+    let xp = x.as_mut_ptr();
+    // A serial plan's single cell is the identity map: position p is row p.
+    for op in plan.cell_ops(0, 0) {
+        match *op {
+            KernelOp::Scalar { start, len } => {
+                for i in start as usize..(start + len) as usize {
+                    // SAFETY: single-threaded ascending sweep — every
+                    // dependency is program-ordered; x is exclusively
+                    // borrowed.
+                    unsafe { solve_row_fast(l, i, b, xp, inv) };
+                }
+            }
+            KernelOp::Unrolled { start, len, lanes } => {
+                for i in start as usize..(start + len) as usize {
+                    // SAFETY: as above.
+                    unsafe {
+                        if lanes >= 8 {
+                            solve_row_unrolled::<8>(l, i, b, xp, inv);
+                        } else {
+                            solve_row_unrolled::<4>(l, i, b, xp, inv);
+                        }
+                    }
+                }
+            }
+            KernelOp::Dense { block } => {
+                // SAFETY: as above.
+                unsafe { solve_dense(&plan.blocks()[block as usize], inv, b, xp) };
+            }
+        }
+    }
+}
+
+/// The serial execution model under `fastmath=on`: sweeps the compiled
+/// cells in schedule order (a topological order) through the planned
+/// kernels. Constructed by the planner instead of
+/// [`crate::serial::SerialExecutor`] when the policy enables fastmath.
+pub(crate) struct FastSerialExecutor {
+    pub(crate) compiled: Arc<CompiledSchedule>,
+    pub(crate) kernel: Arc<KernelPlan>,
+}
+
+impl Executor for FastSerialExecutor {
+    fn model(&self) -> ExecModel {
+        ExecModel::Serial
+    }
+
+    fn solve(&self, l: &CsrMatrix, b: &[f64], x: &mut [f64]) {
+        assert_eq!(b.len(), l.n_rows());
+        assert_eq!(x.len(), l.n_rows());
+        let xp = x.as_mut_ptr();
+        for step in 0..self.compiled.n_supersteps() {
+            for core in 0..self.compiled.n_cores() {
+                let rows = self.compiled.cell(step, core);
+                let fast = Some((&*self.kernel, self.kernel.cell_ops(step, core)));
+                // SAFETY: single-threaded sweep in schedule order (a
+                // topological order): program order covers every
+                // dependency, and x is exclusively borrowed.
+                unsafe { run_cell(l, b, xp, rows, fast) };
+            }
+        }
+    }
+
+    fn solve_multi(&self, l: &CsrMatrix, b: &[f64], x: &mut [f64], r: usize) {
+        assert!(r > 0);
+        assert_eq!(b.len(), l.n_rows() * r);
+        assert_eq!(x.len(), l.n_rows() * r);
+        let xp = x.as_mut_ptr();
+        for step in 0..self.compiled.n_supersteps() {
+            for core in 0..self.compiled.n_cores() {
+                let rows = self.compiled.cell(step, core);
+                let fast = Some((&*self.kernel, self.kernel.cell_ops(step, core)));
+                // SAFETY: as in `solve`.
+                unsafe { run_cell_multi(l, b, xp, r, rows, fast) };
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serial::solve_lower_serial;
+    use sptrsv_sparse::gen::{block_diagonal_spd, grid2d_laplacian, supernodal_spd, Stencil2D};
+
+    fn rel_tol(x: &[f64], reference: &[f64]) -> f64 {
+        let scale = reference.iter().fold(1.0f64, |m, v| m.max(v.abs()));
+        x.iter().zip(reference).map(|(a, e)| (a - e).abs()).fold(0.0f64, f64::max) / scale
+    }
+
+    #[test]
+    fn fastmath_serial_matches_scalar_to_tolerance() {
+        for l in [
+            grid2d_laplacian(25, 19, Stencil2D::NinePoint, 0.5).lower_triangle().unwrap(),
+            block_diagonal_spd(40, 8, 0.5).lower_triangle().unwrap(),
+            supernodal_spd(40, 8, 2, 0.5).lower_triangle().unwrap(),
+        ] {
+            let n = l.n_rows();
+            let b: Vec<f64> = (0..n).map(|i| 1.0 + ((i * 11) % 17) as f64 * 0.25).collect();
+            let mut reference = vec![0.0; n];
+            solve_lower_serial(&l, &b, &mut reference);
+            let plan = KernelPlan::detect_serial(&l);
+            let mut x = vec![f64::NAN; n];
+            solve_lower_serial_fast(&l, &plan, &b, &mut x);
+            let tol = rel_tol(&x, &reference);
+            assert!(tol < 1e-12, "fastmath deviated by {tol:.3e}");
+        }
+    }
+
+    #[test]
+    fn fastmath_is_deterministic_across_repeats() {
+        let l = grid2d_laplacian(17, 17, Stencil2D::NinePoint, 0.5).lower_triangle().unwrap();
+        let n = l.n_rows();
+        let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.7).sin()).collect();
+        let plan = KernelPlan::detect_serial(&l);
+        let mut x1 = vec![0.0; n];
+        let mut x2 = vec![1.0; n]; // dirty start
+        solve_lower_serial_fast(&l, &plan, &b, &mut x1);
+        solve_lower_serial_fast(&l, &plan, &b, &mut x2);
+        assert_eq!(x1, x2, "fastmath solves must be bit-stable run to run");
+    }
+
+    #[test]
+    fn unrolled_lanes_match_scalar_on_long_rows() {
+        use rand::rngs::SmallRng;
+        use rand::SeedableRng;
+        let mut rng = SmallRng::seed_from_u64(11);
+        let l = sptrsv_sparse::gen::erdos_renyi_lower(300, 0.3, &mut rng);
+        let n = l.n_rows();
+        let b: Vec<f64> = (0..n).map(|i| ((i * 13) % 31) as f64 - 15.0).collect();
+        let mut reference = vec![0.0; n];
+        solve_lower_serial(&l, &b, &mut reference);
+        let plan = KernelPlan::detect_serial(&l);
+        assert!(plan.unrolled_rows() > 0, "dense random rows should plan unrolled");
+        let mut x = vec![0.0; n];
+        solve_lower_serial_fast(&l, &plan, &b, &mut x);
+        assert!(rel_tol(&x, &reference) < 1e-12);
+    }
+}

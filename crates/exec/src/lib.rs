@@ -11,6 +11,11 @@
 //!   ready flags (point-to-point synchronization instead of barriers;
 //!   `@async`), single- and multi-RHS;
 //! * [`multi`] — SpTRSM kernels (multiple right-hand sides);
+//! * [`kernels`] — the row/block kernel layer every executor's inner loop
+//!   funnels through: the exact scalar kernels (bit-identical
+//!   `fastmath=off` path) and the blocked/unrolled fastmath kernels that
+//!   execute a detected [`KernelPlan`](sptrsv_core::kernel::KernelPlan)
+//!   under the `fastmath=on` execution policy;
 //! * [`runtime`] — the process-wide [`SolverRuntime`]: one shared,
 //!   hardware-sized pool of persistent workers from which every solve
 //!   leases cores ([`CoreLease`]), so concurrent plans coexist without
@@ -57,6 +62,7 @@
 pub mod async_exec;
 pub mod barrier;
 pub mod executor;
+pub mod kernels;
 pub mod multi;
 pub mod plan;
 pub mod runtime;
@@ -67,6 +73,7 @@ pub mod verify;
 pub use async_exec::AsyncExecutor;
 pub use barrier::{solve_with_barriers, BarrierExecutor};
 pub use executor::Executor;
+pub use kernels::solve_lower_serial_fast;
 pub use multi::{solve_lower_multi_serial, MultiRhsExecutor};
 pub use plan::{Orientation, PlanBuilder, PlanError, PreOrder, SolvePlan, SolveWorkspace};
 pub use runtime::{CoreLease, ElasticGrowth, SenseBarrier, SolverRuntime, TenantRegistration};

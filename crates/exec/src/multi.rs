@@ -17,7 +17,9 @@
 //! scratch is allocated on any path.
 
 use crate::barrier::SharedX;
+use crate::kernels::solve_row_multi_raw;
 use crate::runtime::{ElasticGrowth, RuntimeHandle};
+use sptrsv_core::kernel::KernelPlan;
 use sptrsv_core::registry::ExecPolicy;
 use sptrsv_core::{CompiledSchedule, Schedule, ScheduleError};
 use sptrsv_sparse::CsrMatrix;
@@ -33,43 +35,6 @@ pub fn solve_lower_multi_serial(l: &CsrMatrix, b: &[f64], x: &mut [f64], r: usiz
         // SAFETY: single-threaded ascending sweep — every dependency is
         // program-ordered, and `x` is exclusively borrowed.
         unsafe { solve_row_multi_raw(l, i, b, x.as_mut_ptr(), r) };
-    }
-}
-
-/// Computes row `i` of the multi-RHS substitution through the shared
-/// pointer, accumulating in place (no scratch).
-///
-/// # Safety
-/// Caller must guarantee the schedule-validity conditions of
-/// [`crate::barrier`] (or the flag-ordering conditions of
-/// [`crate::async_exec`]): exclusive writes to row `i`, reads of parent
-/// rows ordered by synchronization or program order.
-#[inline]
-pub(crate) unsafe fn solve_row_multi_raw(
-    l: &CsrMatrix,
-    i: usize,
-    b: &[f64],
-    x: *mut f64,
-    r: usize,
-) {
-    let (cols, vals) = l.row(i);
-    let k = cols.len() - 1;
-    debug_assert_eq!(cols[k], i);
-    for j in 0..r {
-        // SAFETY: exclusive writer of row i (caller contract).
-        unsafe { *x.add(i * r + j) = b[i * r + j] };
-    }
-    for (&c, &v) in cols[..k].iter().zip(&vals[..k]) {
-        for j in 0..r {
-            // SAFETY: parent row c is ready (caller contract) and c < i,
-            // so the read never aliases the row-i accumulator.
-            unsafe { *x.add(i * r + j) -= v * *x.add(c * r + j) };
-        }
-    }
-    let diag = vals[k];
-    for j in 0..r {
-        // SAFETY: exclusive writer of row i.
-        unsafe { *x.add(i * r + j) /= diag };
     }
 }
 
@@ -96,7 +61,7 @@ impl MultiRhsExecutor {
 
     /// Solves `L X = B` with `r` right-hand sides (row-major `n x r`).
     pub fn solve(&self, l: &CsrMatrix, b: &[f64], x: &mut [f64], r: usize) {
-        solve_multi_compiled(l, &self.compiled, b, x, r, &self.runtime, self.policy);
+        solve_multi_compiled(l, &self.compiled, None, b, x, r, &self.runtime, self.policy);
     }
 }
 
@@ -106,9 +71,11 @@ impl MultiRhsExecutor {
 ///
 /// The compiled schedule must stem from a schedule validated against `l`'s
 /// solve DAG.
+#[allow(clippy::too_many_arguments)] // mirrors the single-RHS entry point
 pub(crate) fn solve_multi_compiled(
     l: &CsrMatrix,
     compiled: &CompiledSchedule,
+    kernel: Option<&KernelPlan>,
     b: &[f64],
     x: &mut [f64],
     r: usize,
@@ -122,12 +89,12 @@ pub(crate) fn solve_multi_compiled(
     let shared = SharedX(x.as_mut_ptr());
     let n_cores = compiled.n_cores();
     if n_cores == 1 {
-        serial_sweep_multi(l, b, shared, compiled, r);
+        serial_sweep_multi(l, b, shared, compiled, kernel, r);
         return;
     }
     let mut lease = runtime.get().lease_with(n_cores, policy.grant);
     if lease.size() == 1 && !policy.elastic {
-        serial_sweep_multi(l, b, shared, compiled, r);
+        serial_sweep_multi(l, b, shared, compiled, kernel, r);
         return;
     }
     let growth =
@@ -137,15 +104,22 @@ pub(crate) fn solve_multi_compiled(
         compiled.n_supersteps(),
         growth,
         &|thread, width, step| {
-            run_superstep_multi(l, b, shared, compiled, thread, width, step, r);
+            run_superstep_multi(l, b, shared, compiled, kernel, thread, width, step, r);
         },
     );
 }
 
 /// The width-1 degradation path (see `barrier::serial_sweep`).
-fn serial_sweep_multi(l: &CsrMatrix, b: &[f64], x: SharedX, compiled: &CompiledSchedule, r: usize) {
+fn serial_sweep_multi(
+    l: &CsrMatrix,
+    b: &[f64],
+    x: SharedX,
+    compiled: &CompiledSchedule,
+    kernel: Option<&KernelPlan>,
+    r: usize,
+) {
     for step in 0..compiled.n_supersteps() {
-        run_superstep_multi(l, b, x, compiled, 0, 1, step, r);
+        run_superstep_multi(l, b, x, compiled, kernel, 0, 1, step, r);
     }
 }
 
@@ -157,6 +131,7 @@ fn run_superstep_multi(
     b: &[f64],
     x: SharedX,
     compiled: &CompiledSchedule,
+    kernel: Option<&KernelPlan>,
     thread: usize,
     width: usize,
     step: usize,
@@ -165,14 +140,13 @@ fn run_superstep_multi(
     let n_cores = compiled.n_cores();
     let mut core = thread;
     while core < n_cores {
-        for &i in compiled.cell(step, core) {
-            // SAFETY: schedule validity (checked at construction) +
-            // barrier ordering, see the `barrier` module's safety
-            // argument (striding keeps every schedule core of a
-            // superstep on one thread; elastic width changes only land
-            // between supersteps).
-            unsafe { solve_row_multi_raw(l, i as usize, b, x.0, r) };
-        }
+        let rows = compiled.cell(step, core);
+        let fast = kernel.map(|k| (k, k.cell_ops(step, core)));
+        // SAFETY: schedule validity (checked at construction) + barrier
+        // ordering, see the `barrier` module's safety argument (striding
+        // keeps every schedule core of a superstep on one thread; elastic
+        // width changes only land between supersteps).
+        unsafe { crate::kernels::run_cell_multi(l, b, x.0, r, rows, fast) };
         core += width;
     }
 }

@@ -23,10 +23,14 @@
 //! schedule targets, `grant=greedy|fair|cap=K` how the shared runtime
 //! sizes the plan's lease grants under multi-tenant contention, and
 //! `elastic=on|off` whether a barrier solve may grow its lease at
-//! superstep boundaries — as spec keys or the typed
-//! [`PlanBuilder::sync_policy`]/[`PlanBuilder::backoff`]/
+//! superstep boundaries, and `fastmath=on|off` whether the executor runs
+//! the blocked/unrolled kernel layer over a detected
+//! [`sptrsv_core::kernel::KernelPlan`] (the only key that can change
+//! results — to a documented `1e-12` relative tolerance) — as spec keys
+//! or the typed [`PlanBuilder::sync_policy`]/[`PlanBuilder::backoff`]/
 //! [`PlanBuilder::cores`]/[`PlanBuilder::grant_policy`]/
-//! [`PlanBuilder::elastic`] knobs (typed knobs win).
+//! [`PlanBuilder::elastic`]/[`PlanBuilder::fastmath`] knobs (typed knobs
+//! win).
 //!
 //! Parallel plans execute on the **process-wide
 //! `SolverRuntime`** ([`crate::runtime::SolverRuntime`]): each solve leases
@@ -66,9 +70,11 @@
 use crate::async_exec::AsyncExecutor;
 use crate::barrier::BarrierExecutor;
 use crate::executor::Executor;
+use crate::kernels::FastSerialExecutor;
 use crate::runtime::{RuntimeHandle, SolverRuntime};
 use crate::serial::SerialExecutor;
 use crate::sim::{simulate_model, MachineProfile, SimReport};
+use sptrsv_core::kernel::KernelPlan;
 use sptrsv_core::registry::{
     self, Backoff, ExecModel, ExecPolicy, GrantPolicy, RegistryError, SchedulerSpec, SyncPolicy,
 };
@@ -161,6 +167,7 @@ pub struct PlanBuilder<'m> {
     backoff: Option<Backoff>,
     grant: Option<GrantPolicy>,
     elastic: Option<bool>,
+    fastmath: Option<bool>,
 }
 
 /// Core count applied when neither [`PlanBuilder::cores`] nor the spec's
@@ -187,6 +194,7 @@ impl<'m> PlanBuilder<'m> {
             backoff: None,
             grant: None,
             elastic: None,
+            fastmath: None,
         }
     }
 
@@ -285,6 +293,18 @@ impl<'m> PlanBuilder<'m> {
     /// Ignored by asynchronous and serial execution.
     pub fn elastic(mut self, elastic: bool) -> Self {
         self.elastic = Some(elastic);
+        self
+    }
+
+    /// Fast-math kernels: when enabled, the planner runs supernode/dense-
+    /// block detection ([`sptrsv_core::kernel::KernelPlan`]) over the final
+    /// operand and the executor routes rows through blocked, lane-unrolled
+    /// and reciprocal-multiply kernels. **The only knob that can change
+    /// results**: solutions agree with the exact path to a `1e-12` relative
+    /// tolerance instead of bit-for-bit. Overrides the spec's `fastmath=`
+    /// key; with neither, off (the bit-identical scalar kernels).
+    pub fn fastmath(mut self, fastmath: bool) -> Self {
+        self.fastmath = Some(fastmath);
         self
     }
 
@@ -432,6 +452,9 @@ impl SolvePlan {
         if let Some(elastic) = builder.elastic {
             policy.elastic = elastic;
         }
+        if let Some(fastmath) = builder.fastmath {
+            policy.fastmath = fastmath;
+        }
         // Core count: typed knob over spec `cores=` key over the default.
         // (`policy.cores` keeps the spec's value — the effective count is
         // `SolvePlan::compiled().n_cores()`.)
@@ -489,12 +512,27 @@ impl SolvePlan {
         // the one compiled plan.
         schedule.validate(&final_dag).map_err(PlanError::Schedule)?;
         let compiled = Arc::new(CompiledSchedule::from_schedule(&schedule));
+        // Under `fastmath=on`, detect supernodes/dense blocks against the
+        // FINAL operand (the matrix the executor actually solves, after any
+        // reordering) so the kernel plan's row ranges line up with the
+        // compiled cells.
+        let kernel = policy.fastmath.then(|| Arc::new(KernelPlan::detect(&matrix, &compiled)));
         let mut sync_dag = None;
         let executor: Box<dyn Executor> = match model {
             ExecModel::Barrier => {
-                Box::new(BarrierExecutor::from_compiled(Arc::clone(&compiled), runtime, policy))
+                let exec = BarrierExecutor::from_compiled(Arc::clone(&compiled), runtime, policy);
+                match &kernel {
+                    Some(k) => Box::new(exec.with_kernel(Arc::clone(k))),
+                    None => Box::new(exec),
+                }
             }
-            ExecModel::Serial => Box::new(SerialExecutor),
+            ExecModel::Serial => match &kernel {
+                Some(k) => Box::new(FastSerialExecutor {
+                    compiled: Arc::clone(&compiled),
+                    kernel: Arc::clone(k),
+                }),
+                None => Box::new(SerialExecutor),
+            },
             ExecModel::Async => {
                 // The synchronization DAG per policy: the full final DAG, or
                 // a sparsified one — scheduler-provided when the scheduler
@@ -512,7 +550,10 @@ impl SolvePlan {
                 let executor =
                     AsyncExecutor::from_compiled(Arc::clone(&compiled), &sync, runtime, policy);
                 sync_dag = Some(sync);
-                Box::new(executor)
+                match &kernel {
+                    Some(k) => Box::new(executor.with_kernel(Arc::clone(k))),
+                    None => Box::new(executor),
+                }
             }
         };
         Ok(SolvePlan { matrix, to_internal, schedule, compiled, model, policy, sync_dag, executor })
@@ -821,6 +862,45 @@ mod tests {
             PlanBuilder::new(&l).scheduler("growlocal:elastic=sometimes").build(),
             Err(PlanError::Registry(_))
         ));
+    }
+
+    #[test]
+    fn fastmath_key_and_knob_resolve_and_solve_within_tolerance() {
+        let l = lower();
+        let n = l.n_rows();
+        let b: Vec<f64> = (0..n).map(|i| ((i * 7) % 13) as f64 - 6.0).collect();
+        // Default: off, bit-identical scalar kernels.
+        let plan = PlanBuilder::new(&l).cores(2).build().unwrap();
+        assert!(!plan.exec_policy().fastmath);
+        // Spec key and typed knob (knob wins).
+        let plan =
+            PlanBuilder::new(&l).scheduler("growlocal:fastmath=on").cores(2).build().unwrap();
+        assert!(plan.exec_policy().fastmath);
+        let plan = PlanBuilder::new(&l)
+            .scheduler("growlocal:fastmath=on")
+            .fastmath(false)
+            .cores(2)
+            .build()
+            .unwrap();
+        assert!(!plan.exec_policy().fastmath);
+        // Bad value is a registry error.
+        assert!(matches!(
+            PlanBuilder::new(&l).scheduler("growlocal:fastmath=fast").build(),
+            Err(PlanError::Registry(_))
+        ));
+        // Every execution model solves within the documented relative
+        // tolerance of the exact path under fastmath.
+        let reference = PlanBuilder::new(&l).cores(3).build().unwrap().solve(&b);
+        let scale = reference.iter().fold(1.0f64, |m, v| m.max(v.abs()));
+        for model in ExecModel::ALL {
+            let plan =
+                PlanBuilder::new(&l).cores(3).execution(model).fastmath(true).build().unwrap();
+            assert!(plan.exec_policy().fastmath);
+            let x = plan.solve(&b);
+            let err = x.iter().zip(&reference).fold(0.0f64, |m, (a, e)| m.max((a - e).abs()));
+            assert!(err / scale < 1e-12, "{model} fastmath deviated: rel {}", err / scale);
+            assert!(relative_residual(&l, &x, &b) < 1e-12, "{model} fastmath residual");
+        }
     }
 
     #[test]

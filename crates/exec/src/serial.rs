@@ -3,6 +3,7 @@
 //! [`Executor`] trait (`@serial` in the registry's spec grammar).
 
 use crate::executor::Executor;
+use crate::kernels::substitute_row;
 use sptrsv_core::registry::ExecModel;
 use sptrsv_sparse::CsrMatrix;
 
@@ -21,12 +22,7 @@ pub fn solve_lower_serial(l: &CsrMatrix, b: &[f64], x: &mut [f64]) {
     for i in 0..n {
         let (cols, vals) = l.row(i);
         debug_assert_eq!(*cols.last().expect("empty row"), i, "row {i} lacks its diagonal");
-        let mut acc = b[i];
-        let k = cols.len() - 1;
-        for (&c, &v) in cols[..k].iter().zip(&vals[..k]) {
-            acc -= v * x[c];
-        }
-        x[i] = acc / vals[k];
+        x[i] = substitute_row(cols, vals, b[i], x, false);
     }
 }
 
@@ -40,11 +36,7 @@ pub fn solve_upper_serial(u: &CsrMatrix, b: &[f64], x: &mut [f64]) {
     for i in (0..n).rev() {
         let (cols, vals) = u.row(i);
         debug_assert_eq!(cols[0], i, "row {i} lacks its diagonal");
-        let mut acc = b[i];
-        for (&c, &v) in cols[1..].iter().zip(&vals[1..]) {
-            acc -= v * x[c];
-        }
-        x[i] = acc / vals[0];
+        x[i] = substitute_row(cols, vals, b[i], x, true);
     }
 }
 

@@ -29,7 +29,15 @@
 //! into the scheduling core count, so the [`CompiledSchedule`] handed to
 //! `simulate_*` already has `N` cores (capped by the profile's
 //! `max_cores`, like any other core count).
+//!
+//! `fastmath=on` is modeled as a post-hoc compute discount in
+//! [`simulate_model`]: the kernel plan's dense blocks fuse the per-row
+//! loop/divide/store overhead of all rows after the first of each block
+//! (the dense kernel runs one packed loop nest and multiplies by
+//! precomputed reciprocals instead of dividing), so each block credits
+//! `(rows − 1) · cycles_per_row / 2` cycles back.
 
+use sptrsv_core::kernel::KernelPlan;
 use sptrsv_core::registry::{Backoff, ExecModel, ExecPolicy, SyncPolicy};
 use sptrsv_core::CompiledSchedule;
 use sptrsv_dag::transitive::approximate_transitive_reduction;
@@ -268,6 +276,32 @@ fn row_cost(
 /// on blocking waits under `yield` (per-barrier in the barrier model,
 /// per-blocking-wait in the async model).
 pub fn simulate_model(
+    matrix: &CsrMatrix,
+    compiled: &CompiledSchedule,
+    model: ExecModel,
+    sync_dag: Option<&SolveDag>,
+    profile: &MachineProfile,
+    policy: ExecPolicy,
+) -> SimReport {
+    let mut report = simulate_model_exact(matrix, compiled, model, sync_dag, profile, policy);
+    if policy.fastmath {
+        // Dense blocks fuse the loop/divide/store overhead of every row
+        // after a block's first into one packed kernel invocation (the
+        // divides become reciprocal multiplies amortized over the block);
+        // credit half the per-row overhead of those fused rows back. The
+        // executors run the same kernel plan, so the model detects the
+        // same blocks the real solve would.
+        let kernel = KernelPlan::detect(matrix, compiled);
+        let fused: f64 = kernel.blocks().iter().map(|blk| (blk.rows - 1) as f64).sum();
+        let discount = (fused * profile.cycles_per_row * 0.5).min(report.compute_cycles * 0.5);
+        report.compute_cycles -= discount;
+        report.cycles -= discount;
+    }
+    report
+}
+
+/// The exact-arithmetic (`fastmath=off`) routing behind [`simulate_model`].
+fn simulate_model_exact(
     matrix: &CsrMatrix,
     compiled: &CompiledSchedule,
     model: ExecModel,
@@ -664,6 +698,32 @@ mod tests {
         assert_eq!(elastic_from_1, simulate_barrier_elastic(&l, &s, &p, 1));
         let policy = ExecPolicy { elastic: true, ..ExecPolicy::default() };
         assert_eq!(simulate_model(&l, &s, ExecModel::Barrier, None, &p, policy), elastic_from_1);
+    }
+
+    #[test]
+    fn fastmath_discount_shrinks_cycles_on_blocky_operands() {
+        // A supernodal operand detects dense blocks, so the fastmath model
+        // must charge strictly fewer cycles; fastmath never charges more.
+        let l = sptrsv_sparse::gen::supernodal_spd(24, 8, 2, 0.5).lower_triangle().unwrap();
+        let dag = SolveDag::from_lower_triangular(&l);
+        let s = CompiledSchedule::from_schedule(&GrowLocal::new().schedule(&dag, 4));
+        let p = MachineProfile::intel_xeon_22();
+        let exact = ExecPolicy::default();
+        let fast = ExecPolicy { fastmath: true, ..ExecPolicy::default() };
+        for model in [ExecModel::Serial, ExecModel::Barrier, ExecModel::Async] {
+            let base = simulate_model(&l, &s, model, None, &p, exact);
+            let fm = simulate_model(&l, &s, model, None, &p, fast);
+            assert!(fm.cycles < base.cycles, "{model}: {} !< {}", fm.cycles, base.cycles);
+            assert_eq!(fm.sync_cycles, base.sync_cycles, "{model}: discount is compute-only");
+            // Deterministic, like every other report.
+            assert_eq!(fm, simulate_model(&l, &s, model, None, &p, fast));
+        }
+        // The discount never increases cycles, whatever is detected.
+        let (grid, gdag) = grid_problem(12, 12);
+        let gs = CompiledSchedule::from_schedule(&GrowLocal::new().schedule(&gdag, 4));
+        let base = simulate_model(&grid, &gs, ExecModel::Barrier, None, &p, exact);
+        let fm = simulate_model(&grid, &gs, ExecModel::Barrier, None, &p, fast);
+        assert!(fm.cycles <= base.cycles);
     }
 
     #[test]

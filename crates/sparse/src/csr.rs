@@ -158,6 +158,25 @@ impl CsrMatrix {
         (&self.col_idx[span.clone()], &self.values[span])
     }
 
+    /// [`Self::row`] without bounds checks — for validated inner loops
+    /// (the fastmath kernels, which visit every row of a plan that was
+    /// built for this matrix).
+    ///
+    /// # Safety
+    /// `r` must be a valid row index (`r < self.n_rows()`).
+    #[inline]
+    pub unsafe fn row_unchecked(&self, r: usize) -> (&[usize], &[f64]) {
+        debug_assert!(r < self.n_rows);
+        // SAFETY: `row_ptr` has `n_rows + 1` monotone entries bounded by
+        // `col_idx.len() == values.len()` (construction invariant), so for
+        // any valid `r` the span is in bounds for both arrays.
+        unsafe {
+            let lo = *self.row_ptr.get_unchecked(r);
+            let hi = *self.row_ptr.get_unchecked(r + 1);
+            (self.col_idx.get_unchecked(lo..hi), self.values.get_unchecked(lo..hi))
+        }
+    }
+
     /// Number of stored entries in row `r`.
     #[inline]
     pub fn row_nnz(&self, r: usize) -> usize {

@@ -162,6 +162,54 @@ pub fn block_diagonal_spd(blocks: usize, block_size: usize, shift: f64) -> CsrMa
     coo.to_csr()
 }
 
+/// Supernodal SPD matrix: `blocks` *dense* diagonal blocks of size
+/// `block_size`, each block (after the first) coupled symmetrically to
+/// `couplings` shared earlier columns — the same columns for every row of
+/// the block.
+///
+/// This is the factor-like structure the kernel layer's supernode
+/// detection targets: each block's lower triangle is a full dense triangle
+/// over a *shared* off-block column set, so packing it column-major is
+/// lossless (zero padding). Incomplete-factor and §5 locality-reordered
+/// operands approach this shape; chained bundles ([`block_diagonal_spd`])
+/// deliberately do not — their packed form would inflate the arithmetic,
+/// and the detection cost guard rejects them.
+pub fn supernodal_spd(blocks: usize, block_size: usize, couplings: usize, shift: f64) -> CsrMatrix {
+    assert!(blocks > 0 && block_size > 0, "shape must be positive");
+    let n = blocks * block_size;
+    let mut coo = CooMatrix::with_capacity(n, n, n * (block_size + 2 * couplings));
+    let mut off_sum = vec![0.0; n];
+    for blk in 0..blocks {
+        let base = blk * block_size;
+        // Shared off-block parents: the last `couplings` rows before the
+        // block (none for the first block).
+        let parents: Vec<usize> = (0..couplings.min(base)).map(|t| base - 1 - t).collect();
+        for r in 0..block_size {
+            let i = base + r;
+            for s in 0..block_size {
+                if s == r {
+                    continue;
+                }
+                let w = 1.0 / (1.0 + (r as f64 - s as f64).abs());
+                coo.push(i, base + s, -w).unwrap();
+                off_sum[i] += w;
+            }
+            for &c in &parents {
+                coo.push(i, c, -0.25).unwrap();
+                coo.push(c, i, -0.25).unwrap();
+                off_sum[i] += 0.25;
+                off_sum[c] += 0.25;
+            }
+        }
+    }
+    // Diagonals last so every coupling is already in the row sums: the
+    // matrix stays strictly diagonally dominant for any `shift > 0`.
+    for (i, &s) in off_sum.iter().enumerate() {
+        coo.push(i, i, s + shift).unwrap();
+    }
+    coo.to_csr()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -219,6 +267,27 @@ mod tests {
         let dense = grid3d_laplacian(4, 4, 4, Stencil3D::TwentySevenPoint, 0.5);
         assert_eq!(dense.row_nnz(interior), 27);
         assert!(is_symmetric(&dense));
+    }
+
+    #[test]
+    fn supernodal_blocks_are_dense_and_coupled() {
+        let m = supernodal_spd(4, 6, 2, 0.5);
+        assert_eq!(m.n_rows(), 24);
+        assert!(is_symmetric(&m));
+        assert!(is_diag_dominant(&m));
+        // Every row of a non-first block sees the same two parents.
+        for r in 6..12 {
+            assert!(m.get(r, 5).is_some(), "row {r} lacks parent 5");
+            assert!(m.get(r, 4).is_some(), "row {r} lacks parent 4");
+        }
+        // In-block coupling is fully dense.
+        for r in 6..12 {
+            for c in 6..12 {
+                assert!(m.get(r, c).is_some(), "block entry ({r}, {c}) missing");
+            }
+        }
+        // No coupling beyond the shared parents.
+        assert_eq!(m.get(7, 3), None);
     }
 
     #[test]

@@ -20,6 +20,8 @@ pub mod shuffle;
 pub mod values;
 
 pub use erdos_renyi::erdos_renyi_lower;
-pub use grid::{block_diagonal_spd, grid2d_laplacian, grid3d_laplacian, Stencil2D, Stencil3D};
+pub use grid::{
+    block_diagonal_spd, grid2d_laplacian, grid3d_laplacian, supernodal_spd, Stencil2D, Stencil3D,
+};
 pub use narrow_band::narrow_band_lower;
 pub use shuffle::block_shuffle_permutation;

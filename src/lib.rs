@@ -50,6 +50,9 @@ pub mod prelude {
     pub use sptrsv_exec::{
         simulate_barrier, simulate_serial, solve_with_barriers, MachineProfile, SimReport,
     };
-    pub use sptrsv_sparse::gen::grid::{grid2d_laplacian, grid3d_laplacian, Stencil2D, Stencil3D};
+    pub use sptrsv_sparse::gen::grid::{
+        block_diagonal_spd, grid2d_laplacian, grid3d_laplacian, supernodal_spd, Stencil2D,
+        Stencil3D,
+    };
     pub use sptrsv_sparse::{CooMatrix, CsrMatrix, Permutation};
 }
