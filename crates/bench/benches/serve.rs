@@ -1,0 +1,250 @@
+//! Open-loop serving bench: batching vs per-request dispatch under
+//! Poisson arrivals (this PR's perf claim, measured rather than asserted).
+//!
+//! One narrow-bandwidth §6.2.5 operand — long critical path, little
+//! intra-solve parallelism, so fusing requests into one multi-RHS
+//! traversal is the only remaining lever — is served by two
+//! configurations of the `sptrsv-serve` front-end:
+//!
+//! * **batch=1** — every request dispatches alone (zero linger): the
+//!   closed-loop cost model, one matrix traversal per right-hand side;
+//! * **batch=8** — the batcher fuses up to 8 queued requests into one
+//!   `solve_batch_in_place` after lingering at most 200 µs.
+//!
+//! The load is **open-loop**: arrivals follow a Poisson process at a
+//! swept offered rate (multiples of the measured solo-solve capacity),
+//! submitted on schedule whether or not earlier requests have finished.
+//! Latency is measured from each request's *scheduled arrival*, not its
+//! submission — a driver that falls behind charges the backlog to the
+//! requests that suffered it (no coordinated omission). The queue is
+//! bounded with [`Admission::Shed`], so overload degrades to shed
+//! requests instead of unbounded queueing; goodput counts completions
+//! only.
+//!
+//! Reported per (offered load, config): completions, shed count, mean
+//! achieved batch width, p50/p99/p99.9 latency and goodput. The
+//! punchline compares batch=8 against batch=1 at the highest offered
+//! load, where batching must win both goodput and p99. Every response is
+//! verified bit-identical to the standalone solve.
+//!
+//! Run with `cargo bench -p sptrsv-bench --bench serve` (or `-- --test`
+//! for the CI smoke, which drives one short run per config).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use sptrsv_datasets::{load_suite, Dataset, Scale, SuiteKind};
+use sptrsv_exec::{PlanBuilder, SolvePlan, SolverRuntime};
+use sptrsv_serve::{Admission, ServeBuilder, SolveHandle, SubmitError};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Queue depth for both configurations (same admission bound, so the
+/// only difference between the runs is the fusion width).
+const QUEUE_DEPTH: usize = 32;
+
+/// One open-loop run's outcome.
+struct RunReport {
+    completed: usize,
+    shed: usize,
+    mean_width: f64,
+    /// Scheduled-arrival-to-result percentiles, milliseconds.
+    p50: f64,
+    p99: f64,
+    p999: f64,
+    /// Completions per second of wall time.
+    goodput: f64,
+}
+
+/// `q`-th percentile (0..=1) of an unsorted sample, in place.
+fn percentile(samples: &mut [f64], q: f64) -> f64 {
+    samples.sort_by(|a, b| a.total_cmp(b));
+    if samples.is_empty() {
+        return f64::NAN;
+    }
+    let idx = ((samples.len() - 1) as f64 * q).round() as usize;
+    samples[idx]
+}
+
+/// Exponential inter-arrival time of a Poisson process at `rate`/s.
+fn exp_interval(rng: &mut SmallRng, rate: f64) -> Duration {
+    let u: f64 = rng.gen_range(0.0..1.0);
+    Duration::from_secs_f64(-(1.0 - u).ln() / rate)
+}
+
+/// Sleeps to `deadline` with sub-millisecond precision (coarse sleep,
+/// then spin for the tail the OS timer cannot hit).
+fn sleep_until(deadline: Instant) {
+    loop {
+        let now = Instant::now();
+        if now >= deadline {
+            return;
+        }
+        let remaining = deadline - now;
+        if remaining > Duration::from_micros(300) {
+            std::thread::sleep(remaining - Duration::from_micros(200));
+        } else {
+            std::hint::spin_loop();
+        }
+    }
+}
+
+/// A fresh plan over the operand on its own small runtime.
+fn plan_for(ds: &Dataset, cores: usize) -> SolvePlan {
+    PlanBuilder::new(&ds.lower)
+        .scheduler("growlocal")
+        .cores(cores)
+        .runtime(Arc::new(SolverRuntime::new(cores)))
+        .build()
+        .expect("valid plan")
+}
+
+/// Drives `total` Poisson arrivals at `rate`/s through a server fusing up
+/// to `max_batch` requests, redeeming every handle at the end (the
+/// handles record server-side timing, so deferred redemption loses
+/// nothing: open-loop latency = submission lag + the server's total).
+#[allow(clippy::too_many_arguments)]
+fn open_loop(
+    plan: SolvePlan,
+    max_batch: usize,
+    batch_wait: Duration,
+    rate: f64,
+    total: usize,
+    seed: u64,
+    template: &[f64],
+    expected: &[f64],
+) -> RunReport {
+    let server = ServeBuilder::new(plan)
+        .max_batch(max_batch)
+        .batch_wait(batch_wait)
+        .queue_depth(QUEUE_DEPTH)
+        .admission(Admission::Shed)
+        .start();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut in_flight: Vec<(Duration, SolveHandle)> = Vec::with_capacity(total);
+    let started = Instant::now();
+    let mut scheduled = started;
+    for _ in 0..total {
+        scheduled += exp_interval(&mut rng, rate);
+        sleep_until(scheduled);
+        match server.submit(template.to_vec()) {
+            // Submission lag: how far the driver (or a blocked queue) let
+            // this request drift past its scheduled arrival.
+            Ok(handle) => in_flight.push((scheduled.elapsed(), handle)),
+            Err(SubmitError::QueueFull { .. }) => {} // shed: counted by the server
+            Err(e) => panic!("submit failed: {e}"),
+        }
+    }
+    let mut latencies: Vec<f64> = in_flight
+        .into_iter()
+        .map(|(lag, handle)| {
+            let response = handle.wait();
+            assert_eq!(response.x, expected, "a fused solve diverged from the standalone solve");
+            (lag + response.timing.total).as_secs_f64() * 1e3
+        })
+        .collect();
+    let wall = started.elapsed();
+    let stats = server.shutdown();
+    assert_eq!(stats.completed, latencies.len(), "handles and completions disagree");
+    RunReport {
+        completed: stats.completed,
+        shed: stats.shed,
+        mean_width: stats.mean_width(),
+        p50: percentile(&mut latencies, 0.50),
+        p99: percentile(&mut latencies, 0.99),
+        p999: percentile(&mut latencies, 0.999),
+        goodput: stats.completed as f64 / wall.as_secs_f64(),
+    }
+}
+
+fn main() {
+    let test_mode = std::env::args().any(|a| a == "--test");
+    let scale = if test_mode { Scale::Test } else { Scale::Medium };
+    let total = if test_mode { 60 } else { 2_000 };
+    let load_factors: &[f64] = if test_mode { &[2.0] } else { &[0.5, 1.0, 2.0, 4.0] };
+    let cores = std::thread::available_parallelism().map_or(1, |p| p.get()).min(4);
+
+    let ds = load_suite(SuiteKind::NarrowBandwidth, scale, 42)
+        .into_iter()
+        .next()
+        .expect("the narrow-bandwidth suite is non-empty");
+    let template: Vec<f64> = (0..ds.lower.n_rows()).map(|i| 1.0 + (i % 7) as f64).collect();
+
+    // Calibrate: the solo closed-loop solve time bounds the no-batching
+    // capacity at 1/t_solo requests per second.
+    let calibration = plan_for(&ds, cores);
+    let expected = calibration.solve(&template);
+    let mut ws = calibration.workspace();
+    let mut x = vec![0.0; template.len()];
+    calibration.solve_into(&template, &mut x, &mut ws); // warm-up, untimed
+    let mut solo = Vec::with_capacity(20);
+    for _ in 0..20 {
+        let t = Instant::now();
+        calibration.solve_into(&template, &mut x, &mut ws);
+        solo.push(t.elapsed().as_secs_f64() * 1e3);
+    }
+    let t_solo_ms = percentile(&mut solo, 0.5);
+    let base_rate = 1e3 / t_solo_ms;
+    drop(calibration);
+
+    println!(
+        "open-loop serving on {} ({} rows, {} nnz), {cores} cores: solo solve {t_solo_ms:.3} ms \
+         => capacity ~{base_rate:.0}/s without batching\n",
+        ds.name,
+        ds.lower.n_rows(),
+        ds.lower.nnz()
+    );
+    println!(
+        "{:<7} {:>9} {:>6} {:>6} {:>6} {:>10} {:>10} {:>10} {:>9}",
+        "config", "offered/s", "done", "shed", "width", "p50 ms", "p99 ms", "p99.9 ms", "good/s"
+    );
+
+    let configs: [(&str, usize, Duration); 2] =
+        [("batch=1", 1, Duration::ZERO), ("batch=8", 8, Duration::from_micros(200))];
+    let mut last_pair: Vec<RunReport> = Vec::new();
+    for &factor in load_factors {
+        let rate = base_rate * factor;
+        last_pair.clear();
+        for (label, max_batch, batch_wait) in configs {
+            let report = open_loop(
+                plan_for(&ds, cores),
+                max_batch,
+                batch_wait,
+                rate,
+                total,
+                0xC0FFEE ^ (factor * 1e4) as u64,
+                &template,
+                &expected,
+            );
+            println!(
+                "{label:<7} {rate:>9.0} {:>6} {:>6} {:>6.2} {:>10.3} {:>10.3} {:>10.3} {:>9.0}",
+                report.completed,
+                report.shed,
+                report.mean_width,
+                report.p50,
+                report.p99,
+                report.p999,
+                report.goodput
+            );
+            last_pair.push(report);
+        }
+        println!();
+    }
+
+    if test_mode {
+        println!("test open-loop serving ({total} arrivals per config) ... ok");
+        return;
+    }
+    let (solo, fused) = (&last_pair[0], &last_pair[1]);
+    println!(
+        "at {}x capacity: batch=8 goodput {:.0}/s vs batch=1 {:.0}/s ({:.2}x), \
+         p99 {:.3} ms vs {:.3} ms ({}, {:.2}x)",
+        load_factors.last().unwrap(),
+        fused.goodput,
+        solo.goodput,
+        fused.goodput / solo.goodput,
+        fused.p99,
+        solo.p99,
+        if fused.p99 < solo.p99 { "batching wins" } else { "batching loses" },
+        solo.p99 / fused.p99,
+    );
+}

@@ -17,11 +17,13 @@ use sptrsv_dag::{wavefronts, SolveDag};
 use sptrsv_exec::{
     simulate_model, simulate_serial, MachineProfile, Orientation, PlanBuilder, PreOrder,
 };
+use sptrsv_serve::{Admission, ServeBuilder, SubmitError};
 use sptrsv_sparse::csr::Triangle;
 use sptrsv_sparse::gen;
 use sptrsv_sparse::io::{read_matrix_market_file, write_matrix_market_file};
 use sptrsv_sparse::linalg::relative_residual;
 use sptrsv_sparse::CsrMatrix;
+use std::time::{Duration, Instant};
 
 const USAGE: &str = "\
 usage: sptrsv <command> [args]
@@ -38,12 +40,17 @@ commands:
            [--fastmath on|off]
   simulate <file.mtx> [--algo SPEC] [--cores K] [--machine intel|amd|arm]
            [--grant greedy|fair|cap=K] [--elastic on|off] [--fastmath on|off]
+  serve-bench <file.mtx> [--algo SPEC] [--cores K] [--batch N]
+           [--batch-wait-us U] [--clients C] [--requests R] [--depth D]
+           [--admission block|shed] [--grant greedy|fair|cap=K]
+           [--elastic on|off] [--fastmath on|off]
 
 --algo takes a scheduler spec in the grammar name[:key=value,...][@model]:
 a name from `sptrsv algos`, optional parameters (scoped keys like gl.alpha
 reach a composite scheduler's inner GrowLocal; sync=full|reduced,
-backoff=spin|yield, cores=N, grant=greedy|fair|cap=K, elastic=on|off and
-fastmath=on|off address the execution policy on any scheduler) and an
+backoff=spin|yield, cores=N, grant=greedy|fair|cap=K, elastic=on|off,
+fastmath=on|off, batch=N and batch_wait_us=U address the execution policy
+on any scheduler) and an
 optional execution model, e.g. growlocal:alpha=8,sync=2000,
 funnel-gl:gl.alpha=8,cap=auto, growlocal:sync=full@async,
 spmp:backoff=yield or growlocal:grant=fair,elastic=on. Explicit
@@ -60,7 +67,15 @@ change results (agreement with the exact path to 1e-12 relative tolerance
 instead of bit-for-bit).
 --repeat N runs N steady-state solves on one plan (leases dispatch onto
 already-running runtime workers without re-spawning threads) and checks
-they are bit-identical.";
+they are bit-identical.
+serve-bench starts a batching solve server over the plan (the sptrsv-serve
+front-end): C closed-loop clients each submit R single right-hand sides,
+a batcher thread fuses up to batch=N queued requests into one multi-RHS
+solve after lingering at most batch_wait_us microseconds, and admission
+control engages at queue depth D (block stalls submitters, shed bounces
+them). Every response is verified against the standalone solve, then the
+achieved batch widths, latency percentiles and goodput are printed.
+--batch/--batch-wait-us override the spec's batch keys.";
 
 /// Dispatches a full argv (after the program name).
 pub fn dispatch(argv: &[String]) -> Result<(), String> {
@@ -75,6 +90,7 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         "schedule" => schedule(&args),
         "solve" => solve(&args),
         "simulate" => simulate(&args),
+        "serve-bench" => serve_bench(&args),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -389,6 +405,182 @@ fn simulate(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// An optional positive-integer flag (serving knobs reject zero).
+fn positive_flag(args: &Args, name: &str) -> Result<Option<usize>, String> {
+    match args.get(name) {
+        None => Ok(None),
+        Some(v) => match v.parse::<usize>() {
+            Ok(x) if x > 0 => Ok(Some(x)),
+            _ => Err(format!("bad value for --{name}: `{v}` (expected a positive integer)")),
+        },
+    }
+}
+
+/// The `q`-th percentile (0.0 ..= 1.0) of an unsorted latency sample.
+fn percentile(sorted: &[Duration], q: f64) -> Duration {
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx]
+}
+
+fn serve_bench(args: &Args) -> Result<(), String> {
+    let path = args.require_positional(0, "matrix file")?;
+    let algo = args.get("algo").unwrap_or("growlocal");
+    let cores = effective_cores(args, algo, 8)?;
+    let clients: usize = args.get_parse("clients", 4)?;
+    let requests: usize = args.get_parse("requests", 32)?;
+    if clients == 0 || requests == 0 {
+        return Err("serve-bench needs at least one client and one request".into());
+    }
+    let depth = positive_flag(args, "depth")?;
+    let admission = match args.get("admission") {
+        None | Some("block") => Admission::Block,
+        Some("shed") => Admission::Shed,
+        Some(other) => {
+            return Err(format!("bad value for --admission: `{other}` (expected block or shed)"))
+        }
+    };
+    let lower = load_lower(path)?;
+    let mut builder =
+        PlanBuilder::new(&lower).orientation(Orientation::Lower).scheduler(algo).cores(cores);
+    if let Some(grant) = grant_flag(args)? {
+        builder = builder.grant_policy(grant);
+    }
+    if let Some(elastic) = elastic_flag(args)? {
+        builder = builder.elastic(elastic);
+    }
+    if let Some(fastmath) = fastmath_flag(args)? {
+        builder = builder.fastmath(fastmath);
+    }
+    // The serving knobs are ordinary execution-policy keys: the typed
+    // builder knobs below override the spec's batch= / batch_wait_us=,
+    // and the ServeBuilder reads whichever won out of the plan's policy.
+    if let Some(batch) = positive_flag(args, "batch")? {
+        builder = builder.batch(batch);
+    }
+    if let Some(us) = args.get("batch-wait-us") {
+        let us: u64 = us.parse().map_err(|_| {
+            format!("bad value for --batch-wait-us: `{us}` (expected microseconds)")
+        })?;
+        builder = builder.batch_wait_us(us);
+    }
+    let plan = builder.build().map_err(|e| e.to_string())?;
+    let fastmath = plan.exec_policy().fastmath;
+    println!("algorithm:         {algo}");
+    println!("execution model:   {}", plan.exec_model());
+    let mut serve = ServeBuilder::new(plan).admission(admission);
+    if let Some(depth) = depth {
+        serve = serve.queue_depth(depth);
+    }
+    let server = serve.start();
+    println!(
+        "serving policy:    batch={} batch_wait={}us depth={} admission={}",
+        server.max_batch(),
+        server.batch_wait().as_micros(),
+        server.queue_depth(),
+        match admission {
+            Admission::Block => "block",
+            Admission::Shed => "shed",
+        }
+    );
+    println!("load:              {clients} closed-loop clients x {requests} requests");
+    let n = lower.n_rows();
+    let started = Instant::now();
+    let mut latencies: Vec<Duration> = std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..clients)
+            .map(|client| {
+                let (server, lower) = (&server, &lower);
+                scope.spawn(move || -> Result<Vec<Duration>, String> {
+                    let mut samples = Vec::with_capacity(requests);
+                    let mut b: Vec<f64> =
+                        (0..n).map(|i| ((i * 7 + client * 13) % 23) as f64 - 11.0).collect();
+                    for round in 0..requests {
+                        let rhs = b.clone();
+                        // Bit-identity against a standalone solve holds on
+                        // the exact path; fastmath keeps its documented
+                        // 1e-12 agreement, checked through the residual.
+                        let expected = (!fastmath).then(|| server.plan().solve(&rhs));
+                        let mut pending = b;
+                        let handle = loop {
+                            match server.submit(pending) {
+                                Ok(handle) => break handle,
+                                Err(SubmitError::QueueFull { b }) => {
+                                    // Shed admission: back off and retry.
+                                    pending = b;
+                                    std::thread::sleep(Duration::from_micros(50));
+                                }
+                                Err(e) => return Err(e.to_string()),
+                            }
+                        };
+                        let response = handle.wait();
+                        if let Some(expected) = expected {
+                            if response.x != expected {
+                                return Err(format!(
+                                    "client {client} round {round}: fused solve diverged \
+                                     bitwise from the standalone solve"
+                                ));
+                            }
+                        }
+                        let residual = relative_residual(lower, &response.x, &rhs);
+                        if residual > 1e-8 {
+                            return Err(format!(
+                                "client {client} round {round}: residual {residual:.3e}"
+                            ));
+                        }
+                        samples.push(response.timing.total);
+                        // Recycle the solved buffer as the next right-hand
+                        // side, perturbed so every request differs.
+                        b = response.x;
+                        for v in &mut b {
+                            *v = (*v * 3.0 + round as f64).rem_euclid(23.0) - 11.0;
+                        }
+                    }
+                    Ok(samples)
+                })
+            })
+            .collect();
+        workers
+            .into_iter()
+            .map(|w| w.join().expect("serve-bench clients never panic"))
+            .collect::<Result<Vec<_>, String>>()
+            .map(|per_client| per_client.into_iter().flatten().collect())
+    })?;
+    let wall = started.elapsed();
+    let stats = server.shutdown();
+    latencies.sort_unstable();
+    let widths: Vec<String> = stats
+        .widths
+        .iter()
+        .enumerate()
+        .filter(|&(_, &count)| count > 0)
+        .map(|(width, count)| format!("{width}x{count}"))
+        .collect();
+    println!("completed:         {} requests in {} batches", stats.completed, stats.batches);
+    println!(
+        "mean batch width:  {:.2} (batches by width: {})",
+        stats.mean_width(),
+        widths.join(" ")
+    );
+    println!("shed:              {}", stats.shed);
+    println!(
+        "latency:           p50 {:.3} ms / p99 {:.3} ms (request submit -> result)",
+        percentile(&latencies, 0.50).as_secs_f64() * 1e3,
+        percentile(&latencies, 0.99).as_secs_f64() * 1e3
+    );
+    println!(
+        "goodput:           {:.0} solves/s over {:.3} s wall",
+        stats.completed as f64 / wall.as_secs_f64(),
+        wall.as_secs_f64()
+    );
+    if stats.completed != clients * requests {
+        return Err(format!(
+            "served {} of {} requests — the queue leaked work",
+            stats.completed,
+            clients * requests
+        ));
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -580,6 +772,86 @@ mod tests {
         );
         assert!(dispatch(&sv(&["solve", mtx.to_str().unwrap(), "--algo", "growlocal:gl.alpha=8"]))
             .is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn serve_bench_is_spec_and_flag_addressable() {
+        let dir = std::env::temp_dir().join("sptrsv-cli-serve-bench");
+        std::fs::create_dir_all(&dir).unwrap();
+        let mtx = dir.join("m.mtx");
+        let mtx = mtx.to_str().unwrap();
+        let sv = |items: &[&str]| -> Vec<String> { items.iter().map(|s| s.to_string()).collect() };
+        dispatch(&sv(&["generate", "grid2d", "--width", "10", "--height", "10", "-o", mtx]))
+            .unwrap();
+        // Spec-key form: batch= / batch_wait_us= ride the --algo spec.
+        dispatch(&sv(&[
+            "serve-bench",
+            mtx,
+            "--cores",
+            "2",
+            "--algo",
+            "growlocal:batch=4,batch_wait_us=200",
+            "--clients",
+            "3",
+            "--requests",
+            "5",
+        ]))
+        .unwrap();
+        // Flag form, shed admission, a tiny queue and zero linger.
+        dispatch(&sv(&[
+            "serve-bench",
+            mtx,
+            "--cores",
+            "2",
+            "--batch",
+            "4",
+            "--batch-wait-us",
+            "0",
+            "--clients",
+            "2",
+            "--requests",
+            "4",
+            "--depth",
+            "4",
+            "--admission",
+            "shed",
+        ]))
+        .unwrap();
+        // Serving composes with the rest of the policy surface.
+        dispatch(&sv(&[
+            "serve-bench",
+            mtx,
+            "--cores",
+            "2",
+            "--algo",
+            "spmp:grant=fair@async",
+            "--clients",
+            "2",
+            "--requests",
+            "3",
+            "--fastmath",
+            "on",
+        ]))
+        .unwrap();
+        // Bad values bounce with errors, not panics.
+        for bad in [
+            ["--batch", "0"],
+            ["--batch", "many"],
+            ["--batch-wait-us", "soon"],
+            ["--admission", "maybe"],
+            ["--depth", "0"],
+            ["--clients", "0"],
+            ["--requests", "0"],
+            ["--algo", "growlocal:batch=0"],
+        ] {
+            assert!(
+                dispatch(&sv(&["serve-bench", mtx, bad[0], bad[1]])).is_err(),
+                "{} {} should be rejected",
+                bad[0],
+                bad[1]
+            );
+        }
         std::fs::remove_dir_all(&dir).ok();
     }
 

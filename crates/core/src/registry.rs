@@ -22,7 +22,7 @@
 //! omitting it picks the scheduler's default (the first entry of
 //! [`SchedulerInfo::exec_models`]).
 //!
-//! Five keys address the **execution policy** ([`ExecPolicy`]) rather
+//! Eight keys address the **execution policy** ([`ExecPolicy`]) rather
 //! than the scheduler, and are accepted on every spec: `sync=full|reduced`
 //! selects the wait DAG of asynchronous execution, `backoff=spin|yield`
 //! the behavior of every threaded wait loop, `cores=N` the core count
@@ -30,10 +30,13 @@
 //! shared runtime, and the parallelism the simulator models),
 //! `grant=greedy|fair|cap=K` how the shared runtime sizes lease grants
 //! under multi-tenant contention, `elastic=on|off` whether a
-//! barrier-model solve may grow its lease at superstep boundaries, and
+//! barrier-model solve may grow its lease at superstep boundaries,
 //! `fastmath=on|off` whether executors run the planned blocked/unrolled
 //! kernels (tolerance-equal, not bit-identical — see
-//! [`ExecPolicy::fastmath`]) —
+//! [`ExecPolicy::fastmath`]), and `batch=N` / `batch_wait_us=U` how a
+//! serving front-end coalesces concurrent single-RHS requests on the plan
+//! into one multi-RHS solve (maximum fused width and the linger bound
+//! before a partial batch is dispatched; ignored by direct solves) —
 //! `growlocal:sync=full@async`, `spmp:backoff=yield`,
 //! `hdagg:cores=16@barrier`, `growlocal:grant=fair,elastic=on`. They are
 //! resolved by [`resolve_exec_policy`] and stripped before scheduler
@@ -348,21 +351,36 @@ pub struct ExecPolicy {
     /// reference to a documented `1e-12` relative tolerance instead of
     /// bit-identically. Default `off` keeps the bit-identical scalar path.
     pub fastmath: bool,
+    /// Serving batch width (the `batch=N` key): the maximum number of
+    /// queued single-RHS requests a serving front-end may coalesce into
+    /// one multi-RHS solve of this plan. Batching changes grouping, never
+    /// per-column arithmetic, so batched results stay bit-identical to
+    /// per-request solves. `None` defers to the serving layer's default;
+    /// direct (non-served) solves ignore the key.
+    pub batch: Option<usize>,
+    /// Serving linger bound in microseconds (the `batch_wait_us=U` key):
+    /// how long a serving front-end may hold the oldest queued request
+    /// while waiting for the batch to fill before dispatching a partial
+    /// batch (`0` = dispatch immediately, never wait for company).
+    /// `None` defers to the serving layer's default; direct solves ignore
+    /// the key.
+    pub batch_wait_us: Option<u64>,
 }
 
 /// True when `key=value` addresses the execution policy rather than a
 /// scheduler parameter (see [`ExecPolicy`] for the disambiguation rule).
 fn is_exec_policy_param(key: &str, value: &str) -> bool {
     match key {
-        "backoff" | "cores" | "grant" | "elastic" | "fastmath" => true,
+        "backoff" | "cores" | "grant" | "elastic" | "fastmath" | "batch" | "batch_wait_us" => true,
         "sync" => value.parse::<SyncPolicy>().is_ok(),
         _ => false,
     }
 }
 
 /// The execution policy a spec selects: its
-/// `sync=`/`backoff=`/`cores=`/`grant=`/`elastic=`/`fastmath=` keys (last
-/// occurrence wins), with defaults for the absent ones.
+/// `sync=`/`backoff=`/`cores=`/`grant=`/`elastic=`/`fastmath=`/`batch=`/
+/// `batch_wait_us=` keys (last occurrence wins), with defaults for the
+/// absent ones.
 pub fn resolve_exec_policy(spec: &SchedulerSpec) -> Result<ExecPolicy, RegistryError> {
     let mut policy = ExecPolicy::default();
     for (key, value) in spec.params() {
@@ -380,6 +398,32 @@ pub fn resolve_exec_policy(spec: &SchedulerSpec) -> Result<ExecPolicy, RegistryE
                             key: "cores",
                             value: value.clone(),
                             expected: "a positive integer",
+                        })
+                    }
+                };
+            }
+            "batch" => {
+                policy.batch = match value.parse::<usize>() {
+                    Ok(width) if width > 0 => Some(width),
+                    _ => {
+                        return Err(RegistryError::BadValue {
+                            scheduler: "exec",
+                            key: "batch",
+                            value: value.clone(),
+                            expected: "a positive integer",
+                        })
+                    }
+                };
+            }
+            "batch_wait_us" => {
+                policy.batch_wait_us = match value.parse::<u64>() {
+                    Ok(us) => Some(us),
+                    _ => {
+                        return Err(RegistryError::BadValue {
+                            scheduler: "exec",
+                            key: "batch_wait_us",
+                            value: value.clone(),
+                            expected: "a non-negative integer (microseconds)",
                         })
                     }
                 };
@@ -782,7 +826,11 @@ pub fn help_text() -> String {
     out.push_str("                 cores may grow the lease at superstep boundaries\n");
     out.push_str("    fastmath     on | off (default off): blocked/unrolled kernels with\n");
     out.push_str("                 reciprocal diagonals; results match the scalar path to\n");
-    out.push_str("                 1e-12 relative tolerance instead of bit-identically\n\n");
+    out.push_str("                 1e-12 relative tolerance instead of bit-identically\n");
+    out.push_str("    batch        serving batch width: a positive integer (default: the\n");
+    out.push_str("                 serving layer's default; direct solves ignore the key)\n");
+    out.push_str("    batch_wait_us  serving linger bound in microseconds before a partial\n");
+    out.push_str("                 batch dispatches (0 = never wait; served solves only)\n\n");
     for entry in list() {
         out.push_str(&format!("  {:<10} {}\n", entry.name, entry.summary));
         let models: Vec<String> = ExecModel::ALL
@@ -1258,9 +1306,59 @@ mod tests {
             "spin | yield",
             "greedy | fair | cap=K",
             "on | off",
+            "batch",
+            "batch_wait_us",
+            "linger",
         ] {
             assert!(help.contains(needle), "`{needle}` missing from help");
         }
+    }
+
+    #[test]
+    fn exec_policy_batch_keys_parse_on_every_scheduler() {
+        let g = dag();
+        for entry in list() {
+            let spec = format!("{}:batch=8,batch_wait_us=150", entry.name);
+            let parsed: SchedulerSpec = spec.parse().unwrap();
+            let policy = resolve_exec_policy(&parsed).unwrap();
+            assert_eq!(policy.batch, Some(8));
+            assert_eq!(policy.batch_wait_us, Some(150));
+            assert!(resolve(&spec, &g, 2).is_ok(), "`{spec}` failed to build");
+        }
+        // Absent: defers to the serving layer's defaults.
+        let policy = resolve_exec_policy(&SchedulerSpec::new("growlocal")).unwrap();
+        assert_eq!(policy.batch, None);
+        assert_eq!(policy.batch_wait_us, None);
+        // `batch_wait_us=0` is valid (dispatch immediately, never linger).
+        let spec: SchedulerSpec = "spmp:batch_wait_us=0".parse().unwrap();
+        assert_eq!(resolve_exec_policy(&spec).unwrap().batch_wait_us, Some(0));
+        // Composes with every other policy dimension.
+        let spec: SchedulerSpec =
+            "growlocal:alpha=8,batch=4,grant=fair,elastic=on,cores=4,batch_wait_us=50@barrier"
+                .parse()
+                .unwrap();
+        let policy = resolve_exec_policy(&spec).unwrap();
+        assert_eq!(policy.batch, Some(4));
+        assert_eq!(policy.batch_wait_us, Some(50));
+        assert_eq!(policy.grant, GrantPolicy::Fair);
+        assert_eq!(policy.cores, Some(4));
+        // Bad values are policy errors (there is no scheduler fallback).
+        assert!(matches!(
+            resolve("growlocal:batch=0", &g, 2),
+            Err(RegistryError::BadValue { key: "batch", .. })
+        ));
+        assert!(matches!(
+            resolve("growlocal:batch=lots", &g, 2),
+            Err(RegistryError::BadValue { key: "batch", .. })
+        ));
+        assert!(matches!(
+            resolve("spmp:batch_wait_us=-3", &g, 2),
+            Err(RegistryError::BadValue { key: "batch_wait_us", .. })
+        ));
+        assert!(matches!(
+            resolve("spmp:batch_wait_us=soon", &g, 2),
+            Err(RegistryError::BadValue { key: "batch_wait_us", .. })
+        ));
     }
 
     #[test]

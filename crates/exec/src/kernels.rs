@@ -2,8 +2,8 @@
 //!
 //! Two families share this module:
 //!
-//! * **Exact scalar kernels** — [`substitute_row`], [`solve_row_raw`] and
-//!   [`solve_row_multi_raw`]: the reference gather-multiply loop (diagonal
+//! * **Exact scalar kernels** — `substitute_row`, `solve_row_raw` and
+//!   `solve_row_multi_raw`: the reference gather-multiply loop (diagonal
 //!   divide), previously copy-pasted across the serial, barrier,
 //!   asynchronous and multi-RHS executors. Every `fastmath=off` path runs
 //!   these, so results stay bit-identical across all execution models,
@@ -22,7 +22,7 @@
 //! bit-identically. That is exactly the `fastmath=on|off` execution-policy
 //! switch — `off` (the default) never touches this family.
 //!
-//! Executors funnel through [`run_cell`] / [`run_cell_multi`]: one cell of
+//! Executors funnel through `run_cell` / `run_cell_multi`: one cell of
 //! a compiled schedule, executed either as the exact per-row loop
 //! (`fast = None`) or by dispatching the cell's planned op sequence.
 

@@ -26,7 +26,9 @@
 //!   compiled, reusable parallel solve (lower or upper) under a selectable
 //!   execution model, [`ExecPolicy`] (`sync=`/`backoff=`/`cores=` spec
 //!   keys) and runtime ([`PlanBuilder::runtime`]), with an
-//!   allocation-free [`SolvePlan::solve_into`] steady-state path;
+//!   allocation-free [`SolvePlan::solve_into`] steady-state path and a
+//!   borrowed-RHS [`SolvePlan::solve_batch_in_place`] entry point the
+//!   `sptrsv-serve` batcher fuses queued requests through;
 //! * [`sim`] — a calibrated multicore machine model used for the paper's
 //!   speed-up experiments (see DESIGN.md, substitution 3: the build/CI
 //!   machine has a single core, so wall-clock parallel speed-ups are
@@ -75,7 +77,9 @@ pub use barrier::{solve_with_barriers, BarrierExecutor};
 pub use executor::Executor;
 pub use kernels::solve_lower_serial_fast;
 pub use multi::{solve_lower_multi_serial, MultiRhsExecutor};
-pub use plan::{Orientation, PlanBuilder, PlanError, PreOrder, SolvePlan, SolveWorkspace};
+pub use plan::{
+    BatchWorkspace, Orientation, PlanBuilder, PlanError, PreOrder, SolvePlan, SolveWorkspace,
+};
 pub use runtime::{CoreLease, ElasticGrowth, SenseBarrier, SolverRuntime, TenantRegistration};
 pub use serial::{solve_lower_serial, solve_upper_serial, SerialExecutor};
 pub use sim::{

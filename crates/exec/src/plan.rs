@@ -26,11 +26,14 @@
 //! superstep boundaries, and `fastmath=on|off` whether the executor runs
 //! the blocked/unrolled kernel layer over a detected
 //! [`sptrsv_core::kernel::KernelPlan`] (the only key that can change
-//! results — to a documented `1e-12` relative tolerance) — as spec keys
+//! results — to a documented `1e-12` relative tolerance), and
+//! `batch=N`/`batch_wait_us=U` how a serving front-end
+//! (`sptrsv-serve`) coalesces queued requests on the plan — as spec keys
 //! or the typed [`PlanBuilder::sync_policy`]/[`PlanBuilder::backoff`]/
 //! [`PlanBuilder::cores`]/[`PlanBuilder::grant_policy`]/
-//! [`PlanBuilder::elastic`]/[`PlanBuilder::fastmath`] knobs (typed knobs
-//! win).
+//! [`PlanBuilder::elastic`]/[`PlanBuilder::fastmath`]/
+//! [`PlanBuilder::batch`]/[`PlanBuilder::batch_wait_us`] knobs (typed
+//! knobs win).
 //!
 //! Parallel plans execute on the **process-wide
 //! `SolverRuntime`** ([`crate::runtime::SolverRuntime`]): each solve leases
@@ -168,6 +171,8 @@ pub struct PlanBuilder<'m> {
     grant: Option<GrantPolicy>,
     elastic: Option<bool>,
     fastmath: Option<bool>,
+    batch: Option<usize>,
+    batch_wait_us: Option<u64>,
 }
 
 /// Core count applied when neither [`PlanBuilder::cores`] nor the spec's
@@ -195,6 +200,8 @@ impl<'m> PlanBuilder<'m> {
             grant: None,
             elastic: None,
             fastmath: None,
+            batch: None,
+            batch_wait_us: None,
         }
     }
 
@@ -308,6 +315,30 @@ impl<'m> PlanBuilder<'m> {
         self
     }
 
+    /// Serving batch width: the maximum number of queued single-RHS
+    /// requests a serving front-end (`sptrsv-serve`) may coalesce into one
+    /// multi-RHS solve of this plan. Batching changes grouping, never
+    /// per-column arithmetic, so batched results are bit-identical to
+    /// per-request solves. Overrides the spec's `batch=` key; with
+    /// neither, the serving layer's default applies. Direct solves ignore
+    /// the knob.
+    pub fn batch(mut self, batch: usize) -> Self {
+        assert!(batch > 0, "a batch fuses at least one request");
+        self.batch = Some(batch);
+        self
+    }
+
+    /// Serving linger bound in microseconds: how long a serving front-end
+    /// may hold the oldest queued request while waiting for the batch to
+    /// fill before dispatching a partial batch (`0` = dispatch
+    /// immediately). Overrides the spec's `batch_wait_us=` key; with
+    /// neither, the serving layer's default applies. Direct solves ignore
+    /// the knob.
+    pub fn batch_wait_us(mut self, batch_wait_us: u64) -> Self {
+        self.batch_wait_us = Some(batch_wait_us);
+        self
+    }
+
     /// Validates, schedules, reorders and compiles the plan.
     pub fn build(self) -> Result<SolvePlan, PlanError> {
         SolvePlan::from_builder(self)
@@ -367,6 +398,16 @@ fn schedule_coarsened(dag: &SolveDag, scheduler: &dyn Scheduler, n_cores: usize)
 /// Reusable gather/solve buffers for [`SolvePlan::solve_into`].
 #[derive(Debug, Default, Clone)]
 pub struct SolveWorkspace {
+    pb: Vec<f64>,
+    px: Vec<f64>,
+}
+
+/// Reusable gather/scatter buffers for [`SolvePlan::solve_batch_in_place`]:
+/// the borrowed-RHS entry point of the multi-RHS executor. Size it once
+/// with [`SolvePlan::batch_workspace`] for the widest batch the caller
+/// fuses; batches up to that width then solve without heap allocation.
+#[derive(Debug, Default, Clone)]
+pub struct BatchWorkspace {
     pb: Vec<f64>,
     px: Vec<f64>,
 }
@@ -454,6 +495,12 @@ impl SolvePlan {
         }
         if let Some(fastmath) = builder.fastmath {
             policy.fastmath = fastmath;
+        }
+        if let Some(batch) = builder.batch {
+            policy.batch = Some(batch);
+        }
+        if let Some(batch_wait_us) = builder.batch_wait_us {
+            policy.batch_wait_us = Some(batch_wait_us);
         }
         // Core count: typed knob over spec `cores=` key over the default.
         // (`policy.cores` keeps the spec's value — the effective count is
@@ -646,6 +693,55 @@ impl SolvePlan {
             x[old * r..(old + 1) * r].copy_from_slice(&px[new * r..(new + 1) * r]);
         }
         x
+    }
+
+    /// Fresh batch buffers pre-sized for up to `max_r` fused right-hand
+    /// sides (see [`SolvePlan::solve_batch_in_place`]).
+    pub fn batch_workspace(&self, max_r: usize) -> BatchWorkspace {
+        let n = self.matrix.n_rows();
+        BatchWorkspace { pb: Vec::with_capacity(n * max_r), px: Vec::with_capacity(n * max_r) }
+    }
+
+    /// Solves every right-hand side in `rhs` as **one** multi-RHS solve,
+    /// in place: on entry each `rhs[j]` is a full-length right-hand side in
+    /// the user's numbering, on exit it holds the corresponding solution.
+    ///
+    /// This is the borrowed-RHS entry point the serving layer's batcher
+    /// uses to gather and scatter without copies into a packed caller-owned
+    /// buffer or per-request output allocation: the plan interleaves the
+    /// borrowed columns into `workspace`, runs the multi-RHS executor once,
+    /// and scatters each solution back into the request's own buffer.
+    /// Steady-state calls are allocation-free once `workspace` has seen the
+    /// batch width ([`SolvePlan::batch_workspace`] pre-sizes it).
+    ///
+    /// Each column goes through the exact per-row operation sequence of a
+    /// standalone [`SolvePlan::solve_into`] — batching changes grouping,
+    /// never arithmetic — so results are bit-identical to solving each
+    /// request alone (under the default `fastmath=off` policy; `fastmath`
+    /// kernels keep the documented `1e-12` tolerance instead).
+    pub fn solve_batch_in_place(&self, rhs: &mut [Vec<f64>], workspace: &mut BatchWorkspace) {
+        let n = self.matrix.n_rows();
+        let k = rhs.len();
+        if k == 0 {
+            return;
+        }
+        for (j, b) in rhs.iter().enumerate() {
+            assert_eq!(b.len(), n, "right-hand side {j} has the wrong length");
+        }
+        workspace.pb.resize(n * k, 0.0);
+        workspace.px.resize(n * k, 0.0);
+        let old_of_new = self.to_internal.old_of_new();
+        for (new, &old) in old_of_new.iter().enumerate() {
+            for (j, b) in rhs.iter().enumerate() {
+                workspace.pb[new * k + j] = b[old];
+            }
+        }
+        self.executor.solve_multi(&self.matrix, &workspace.pb, &mut workspace.px, k);
+        for (new, &old) in old_of_new.iter().enumerate() {
+            for (j, x) in rhs.iter_mut().enumerate() {
+                x[old] = workspace.px[new * k + j];
+            }
+        }
     }
 
     /// Simulates this plan's execution on a machine profile, under the
@@ -901,6 +997,89 @@ mod tests {
             assert!(err / scale < 1e-12, "{model} fastmath deviated: rel {}", err / scale);
             assert!(relative_residual(&l, &x, &b) < 1e-12, "{model} fastmath residual");
         }
+    }
+
+    #[test]
+    fn batch_keys_and_knobs_resolve() {
+        let l = lower();
+        // Defaults: defer to the serving layer.
+        let plan = PlanBuilder::new(&l).cores(2).build().unwrap();
+        assert_eq!(plan.exec_policy().batch, None);
+        assert_eq!(plan.exec_policy().batch_wait_us, None);
+        // Spec keys select the policy.
+        let plan = PlanBuilder::new(&l)
+            .scheduler("growlocal:batch=8,batch_wait_us=150")
+            .cores(2)
+            .build()
+            .unwrap();
+        assert_eq!(plan.exec_policy().batch, Some(8));
+        assert_eq!(plan.exec_policy().batch_wait_us, Some(150));
+        // Typed knobs override the spec keys.
+        let plan = PlanBuilder::new(&l)
+            .scheduler("growlocal:batch=8,batch_wait_us=150")
+            .batch(4)
+            .batch_wait_us(0)
+            .cores(2)
+            .build()
+            .unwrap();
+        assert_eq!(plan.exec_policy().batch, Some(4));
+        assert_eq!(plan.exec_policy().batch_wait_us, Some(0));
+        // Bad values are registry errors.
+        assert!(matches!(
+            PlanBuilder::new(&l).scheduler("growlocal:batch=0").build(),
+            Err(PlanError::Registry(_))
+        ));
+        assert!(matches!(
+            PlanBuilder::new(&l).scheduler("growlocal:batch_wait_us=soon").build(),
+            Err(PlanError::Registry(_))
+        ));
+    }
+
+    #[test]
+    fn batched_in_place_solves_are_bit_identical_to_standalone() {
+        // The borrowed-RHS batch entry point the serving layer fuses
+        // requests through: every fused column must match a standalone
+        // solve of the same right-hand side bit-for-bit, at every batch
+        // width and on every execution model.
+        let l = lower();
+        let n = l.n_rows();
+        for model in ExecModel::ALL {
+            let plan = PlanBuilder::new(&l).cores(3).execution(model).build().unwrap();
+            let mut ws = plan.batch_workspace(4);
+            for k in [1usize, 2, 3, 4] {
+                let mut rhs: Vec<Vec<f64>> = (0..k)
+                    .map(|j| (0..n).map(|i| ((i * 7 + j * 31) % 23) as f64 - 11.0).collect())
+                    .collect();
+                let standalone: Vec<Vec<f64>> = rhs.iter().map(|b| plan.solve(b)).collect();
+                plan.solve_batch_in_place(&mut rhs, &mut ws);
+                for (j, (x, expected)) in rhs.iter().zip(&standalone).enumerate() {
+                    assert_eq!(x, expected, "{model} batch width {k}, request {j}");
+                }
+            }
+            // Empty batches are a no-op, not a panic.
+            plan.solve_batch_in_place(&mut [], &mut ws);
+        }
+    }
+
+    #[test]
+    fn batched_upper_and_preordered_plans_stay_exact() {
+        // The gather/scatter runs through the full permutation chain
+        // (orientation reversal + pre-order + §5 reorder), same as
+        // solve_into.
+        let u = lower().transpose();
+        let n = u.n_rows();
+        let plan = PlanBuilder::new(&u)
+            .orientation(Orientation::Upper)
+            .pre_order(PreOrder::Rcm)
+            .cores(3)
+            .build()
+            .unwrap();
+        let mut rhs: Vec<Vec<f64>> =
+            (0..3).map(|j| (0..n).map(|i| ((i + j * 17) % 9) as f64 - 4.0).collect()).collect();
+        let standalone: Vec<Vec<f64>> = rhs.iter().map(|b| plan.solve(b)).collect();
+        let mut ws = plan.batch_workspace(3);
+        plan.solve_batch_in_place(&mut rhs, &mut ws);
+        assert_eq!(rhs, standalone);
     }
 
     #[test]

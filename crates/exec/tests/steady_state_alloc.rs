@@ -13,6 +13,12 @@
 //! snapshots the allocation counter around a burst of warm solves and
 //! demands an exact zero delta. Worker threads run the same kernels, so
 //! the global counter also proves *they* allocate nothing.
+//!
+//! The serving layer (`sptrsv-serve`) rides the same guarantee: once its
+//! slot pool, queue and batch buffers are warm, a submit → batch → solve
+//! → wait round trip allocates nothing either — pinned here because the
+//! counting allocator must wrap the whole process, batcher thread
+//! included.
 
 use sptrsv_exec::{ExecModel, PlanBuilder, SolverRuntime};
 use sptrsv_sparse::gen::grid::{grid2d_laplacian, Stencil2D};
@@ -109,4 +115,58 @@ fn steady_state_multi_rhs_solves_do_not_allocate() {
         let delta = allocations() - before;
         assert_eq!(delta, 0, "{model}: {delta} allocations across 20 multi-RHS solves");
     }
+}
+
+#[test]
+fn steady_state_serving_does_not_allocate_per_request() {
+    // The full serving round trip — submit, queue, batch formation, fused
+    // solve through `solve_batch_in_place`, completion, wait — allocates
+    // nothing once warm: slots recycle through the pool, the queue and
+    // batch buffers are pre-sized, and solutions scatter back into each
+    // request's own buffer.
+    use sptrsv_serve::{Admission, ServeBuilder};
+    use std::time::Duration;
+
+    let l = grid2d_laplacian(16, 16, Stencil2D::FivePoint, 0.5).lower_triangle().unwrap();
+    let n = l.n_rows();
+    let runtime = Arc::new(SolverRuntime::new(3));
+    let plan = PlanBuilder::new(&l).cores(2).runtime(runtime).build().unwrap();
+    let template_a: Vec<f64> = (0..n).map(|i| 1.0 + (i % 7) as f64).collect();
+    let template_b: Vec<f64> = (0..n).map(|i| ((i * 5) % 11) as f64 - 5.0).collect();
+    let reference_a = plan.solve(&template_a);
+    let reference_b = plan.solve(&template_b);
+    let server = ServeBuilder::new(plan)
+        .max_batch(4)
+        .batch_wait(Duration::from_micros(50))
+        .queue_depth(8)
+        .admission(Admission::Block)
+        .start();
+    // Two in-flight requests per round exercise widths 1 and 2 depending
+    // on how the linger races the solve; both paths must be warm and
+    // allocation-free. The response hands each buffer back, so the same
+    // two allocations cycle through the whole measurement.
+    let mut buf_a = template_a.clone();
+    let mut buf_b = template_b.clone();
+    let round_trip = |buf_a: Vec<f64>, buf_b: Vec<f64>| -> (Vec<f64>, Vec<f64>) {
+        let ha = server.submit(buf_a).unwrap();
+        let hb = server.submit(buf_b).unwrap();
+        let (ra, rb) = (ha.wait(), hb.wait());
+        assert_eq!(ra.x, reference_a, "request A diverged");
+        assert_eq!(rb.x, reference_b, "request B diverged");
+        (ra.x, rb.x)
+    };
+    for _ in 0..5 {
+        (buf_a, buf_b) = round_trip(buf_a, buf_b);
+        buf_a.copy_from_slice(&template_a);
+        buf_b.copy_from_slice(&template_b);
+    }
+    let before = allocations();
+    for _ in 0..50 {
+        (buf_a, buf_b) = round_trip(buf_a, buf_b);
+        buf_a.copy_from_slice(&template_a);
+        buf_b.copy_from_slice(&template_b);
+    }
+    let delta = allocations() - before;
+    assert_eq!(delta, 0, "{delta} allocations across 50 warm serving round trips");
+    server.shutdown();
 }

@@ -1,0 +1,259 @@
+//! Batcher semantics: linger expiry, `batch=N` capping, backpressure,
+//! clean shutdown, in-place buffers — plus the bit-identity property test
+//! (any interleaving of submissions matches serial per-request solves
+//! bit-for-bit).
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use sptrsv_exec::{PlanBuilder, SolvePlan, SolverRuntime};
+use sptrsv_serve::{Admission, ServeBuilder, SolveServer, SubmitError};
+use sptrsv_sparse::gen::grid::{grid2d_laplacian, Stencil2D};
+use sptrsv_sparse::CsrMatrix;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn lower() -> CsrMatrix {
+    grid2d_laplacian(20, 14, Stencil2D::FivePoint, 0.5).lower_triangle().unwrap()
+}
+
+/// A plan pinned to its own small runtime so tests are hermetic.
+fn plan() -> SolvePlan {
+    PlanBuilder::new(&lower()).cores(2).runtime(Arc::new(SolverRuntime::new(2))).build().unwrap()
+}
+
+fn rhs(n: usize, salt: usize) -> Vec<f64> {
+    (0..n).map(|i| ((i * 7 + salt * 13) % 23) as f64 - 11.0).collect()
+}
+
+#[test]
+fn a_lone_request_dispatches_at_linger_expiry() {
+    let linger = Duration::from_millis(30);
+    let server = ServeBuilder::new(plan()).max_batch(4).batch_wait(linger).start();
+    let n = server.plan().internal_matrix().n_rows();
+    let b = rhs(n, 1);
+    let expected = server.plan().solve(&b);
+    let response = server.submit(b).unwrap().wait();
+    // Nobody joined, so the batch went out alone — but only after the
+    // full linger (queued time covers the wait for company).
+    assert_eq!(response.timing.batch_width, 1);
+    assert!(response.timing.queued >= linger, "dispatched before the linger expired");
+    assert_eq!(response.x, expected);
+    let stats = server.shutdown();
+    assert_eq!((stats.submitted, stats.completed, stats.batches), (1, 1, 1));
+    assert_eq!(stats.widths[1], 1);
+}
+
+#[test]
+fn zero_linger_dispatches_immediately() {
+    let server = ServeBuilder::new(plan()).max_batch(4).batch_wait(Duration::ZERO).start();
+    let n = server.plan().internal_matrix().n_rows();
+    for round in 0..8 {
+        let b = rhs(n, round);
+        let expected = server.plan().solve(&b);
+        let response = server.submit(b).unwrap().wait();
+        assert_eq!(response.x, expected, "round {round}");
+    }
+    let stats = server.shutdown();
+    assert_eq!(stats.completed, 8);
+}
+
+#[test]
+fn batches_are_capped_at_max_batch() {
+    // A very long linger forces dispatch to happen only on full batches:
+    // four requests through a width-2 server must ride exactly two
+    // width-2 batches, never a wider one.
+    let server = ServeBuilder::new(plan())
+        .max_batch(2)
+        .batch_wait(Duration::from_secs(10))
+        .queue_depth(8)
+        .start();
+    let n = server.plan().internal_matrix().n_rows();
+    let requests: Vec<Vec<f64>> = (0..4).map(|salt| rhs(n, salt)).collect();
+    let expected: Vec<Vec<f64>> = requests.iter().map(|b| server.plan().solve(b)).collect();
+    let handles: Vec<_> = requests.into_iter().map(|b| server.submit(b).unwrap()).collect();
+    for (handle, expected) in handles.into_iter().zip(&expected) {
+        let response = handle.wait();
+        assert_eq!(response.timing.batch_width, 2);
+        assert_eq!(&response.x, expected);
+    }
+    let stats = server.shutdown();
+    assert_eq!(stats.batches, 2);
+    assert_eq!(stats.widths[2], 2);
+    assert_eq!(stats.completed, 4);
+}
+
+#[test]
+fn shed_admission_rejects_when_the_queue_is_at_depth() {
+    // Stall the batcher with a long linger + wide batch so the queue
+    // genuinely fills, then watch the third submission bounce with its
+    // buffer intact.
+    let server = ServeBuilder::new(plan())
+        .max_batch(8)
+        .batch_wait(Duration::from_secs(10))
+        .queue_depth(2)
+        .admission(Admission::Shed)
+        .start();
+    let n = server.plan().internal_matrix().n_rows();
+    let h1 = server.submit(rhs(n, 1)).unwrap();
+    let h2 = server.submit(rhs(n, 2)).unwrap();
+    let shed_b = rhs(n, 3);
+    match server.submit(shed_b.clone()) {
+        Err(SubmitError::QueueFull { b }) => assert_eq!(b, shed_b, "buffer came back mangled"),
+        other => panic!("expected QueueFull, got {other:?}"),
+    }
+    // Shutdown drains the queued pair; their handles stay redeemable.
+    let e1 = server.plan().solve(&rhs(n, 1));
+    let e2 = server.plan().solve(&rhs(n, 2));
+    let stats = server.shutdown();
+    assert_eq!(h1.wait().x, e1);
+    assert_eq!(h2.wait().x, e2);
+    assert_eq!((stats.submitted, stats.completed, stats.shed), (2, 2, 1));
+}
+
+#[test]
+fn blocking_admission_loses_nothing_under_pressure() {
+    let server = Arc::new(
+        ServeBuilder::new(plan())
+            .max_batch(3)
+            .batch_wait(Duration::from_micros(200))
+            .queue_depth(2)
+            .admission(Admission::Block)
+            .start(),
+    );
+    let n = server.plan().internal_matrix().n_rows();
+    let rounds = 10;
+    std::thread::scope(|scope| {
+        for client in 0..4 {
+            let server = Arc::clone(&server);
+            scope.spawn(move || {
+                let mut b = rhs(n, client);
+                for round in 0..rounds {
+                    let expected = server.plan().solve(&b);
+                    let response = server.submit(b).unwrap().wait();
+                    assert_eq!(response.x, expected, "client {client} round {round}");
+                    // Recycle the solved buffer as the next right-hand side.
+                    b = response.x;
+                    for v in &mut b {
+                        *v = (*v * 31.0 + client as f64).rem_euclid(17.0) - 8.0;
+                    }
+                }
+            });
+        }
+    });
+    let stats = Arc::into_inner(server).unwrap().shutdown();
+    assert_eq!(stats.shed, 0);
+    assert_eq!(stats.completed, 4 * rounds);
+    assert_eq!(stats.submitted, 4 * rounds);
+}
+
+#[test]
+fn shutdown_drains_every_queued_request() {
+    let server = ServeBuilder::new(plan())
+        .max_batch(2)
+        .batch_wait(Duration::from_secs(10))
+        .queue_depth(8)
+        .start();
+    let n = server.plan().internal_matrix().n_rows();
+    // Five requests, linger far in the future: only shutdown can flush
+    // them (the first pair may dispatch on fullness; the odd tail cannot).
+    let requests: Vec<Vec<f64>> = (0..5).map(|salt| rhs(n, salt)).collect();
+    let expected: Vec<Vec<f64>> = requests.iter().map(|b| server.plan().solve(b)).collect();
+    let handles: Vec<_> = requests.into_iter().map(|b| server.submit(b).unwrap()).collect();
+    let stats = server.shutdown();
+    assert_eq!(stats.completed, 5, "shutdown left requests unsolved");
+    for (i, (handle, expected)) in handles.into_iter().zip(&expected).enumerate() {
+        assert_eq!(&handle.wait().x, expected, "request {i}");
+    }
+}
+
+#[test]
+fn wrong_size_is_rejected_with_the_buffer() {
+    let server = SolveServer::start(plan());
+    let n = server.plan().internal_matrix().n_rows();
+    match server.submit(vec![1.0; n / 2]) {
+        Err(SubmitError::WrongSize { b, expected }) => {
+            assert_eq!(b.len(), n / 2);
+            assert_eq!(expected, n);
+        }
+        other => panic!("expected WrongSize, got {other:?}"),
+    }
+    assert_eq!(server.shutdown().submitted, 0);
+}
+
+#[test]
+fn responses_reuse_the_submitted_buffer() {
+    // The serving path is zero-copy end to end: the solution comes back
+    // in the very allocation the request was submitted with.
+    let server = ServeBuilder::new(plan()).batch_wait(Duration::ZERO).start();
+    let n = server.plan().internal_matrix().n_rows();
+    let b = rhs(n, 5);
+    let ptr = b.as_ptr();
+    let response = server.submit(b).unwrap().wait();
+    assert_eq!(response.x.as_ptr(), ptr, "the solution moved to a new allocation");
+    assert!(response.timing.total >= response.timing.queued);
+    assert!(response.timing.total >= response.timing.solve);
+    assert!(response.timing.batch_width >= 1);
+    server.shutdown();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    // Any interleaving of concurrent submissions yields results
+    // bit-identical to solving each request alone on the same plan.
+    #[test]
+    fn any_interleaving_is_bit_identical_to_serial_solves(
+        seed in any::<u64>(),
+        per_client in 1usize..6,
+        width in 1usize..5,
+        linger_us in 0u64..400,
+    ) {
+        let server = Arc::new(
+            ServeBuilder::new(plan())
+                .max_batch(width)
+                .batch_wait(Duration::from_micros(linger_us))
+                .queue_depth(16)
+                .start(),
+        );
+        let n = server.plan().internal_matrix().n_rows();
+        let clients = 3;
+        std::thread::scope(|scope| {
+            let mut workers = Vec::new();
+            for client in 0..clients {
+                let server = Arc::clone(&server);
+                workers.push(scope.spawn(move || {
+                    let mut rng = SmallRng::seed_from_u64(seed ^ ((client as u64) << 17));
+                    for round in 0..per_client {
+                        let b: Vec<f64> =
+                            (0..n).map(|_| rng.gen_range(-8.0..8.0)).collect();
+                        let expected = server.plan().solve(&b);
+                        let handle = server.submit(b).unwrap();
+                        if rng.gen_range(0.0..1.0) < 0.5 {
+                            // Vary the interleaving: sometimes let other
+                            // clients pile in before redeeming.
+                            std::thread::sleep(Duration::from_micros(
+                                rng.gen_range(0..200u64),
+                            ));
+                        }
+                        let response = handle.wait();
+                        if response.x != expected {
+                            return Err((client, round));
+                        }
+                        if response.timing.batch_width > width {
+                            return Err((client, round));
+                        }
+                    }
+                    Ok(())
+                }));
+            }
+            for worker in workers {
+                prop_assert!(worker.join().unwrap().is_ok(), "a fused solve diverged");
+            }
+            Ok(())
+        })?;
+        let stats = Arc::into_inner(server).unwrap().shutdown();
+        prop_assert_eq!(stats.completed, clients * per_client);
+        prop_assert_eq!(stats.shed, 0);
+    }
+}

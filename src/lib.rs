@@ -31,12 +31,14 @@
 //!
 //! Crate map: [`sparse`] (matrices, generators, orderings, IC(0)), [`dag`]
 //! (solve DAGs, wavefronts, coarsening), [`core`] (schedulers), [`exec`]
-//! (kernels, executors, machine model), [`datasets`] (benchmark suites).
+//! (kernels, executors, machine model), [`serve`] (the batching
+//! solve-as-a-service front-end), [`datasets`] (benchmark suites).
 
 pub use sptrsv_core as core;
 pub use sptrsv_dag as dag;
 pub use sptrsv_datasets as datasets;
 pub use sptrsv_exec as exec;
+pub use sptrsv_serve as serve;
 pub use sptrsv_sparse as sparse;
 
 /// The most common imports in one place.
@@ -50,6 +52,7 @@ pub mod prelude {
     pub use sptrsv_exec::{
         simulate_barrier, simulate_serial, solve_with_barriers, MachineProfile, SimReport,
     };
+    pub use sptrsv_serve::{Admission, ServeBuilder, SolveServer};
     pub use sptrsv_sparse::gen::grid::{
         block_diagonal_spd, grid2d_laplacian, grid3d_laplacian, supernodal_spd, Stencil2D,
         Stencil3D,
