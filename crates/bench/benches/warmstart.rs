@@ -1,0 +1,161 @@
+//! Warm-start bench: cold vs cached plan construction (this PR's perf
+//! claim, measured rather than asserted).
+//!
+//! A cold [`PlanBuilder::build`] pays the whole pipeline — DAG
+//! construction, scheduling, validation, reordering, compilation. A warm
+//! build replays a fingerprint-matched schedule from the in-process
+//! [`PlanCache`] LRU or from a `plan_cache=DIR` directory on disk and
+//! skips the scheduler entirely; the claim is that warm construction is
+//! **≥10× faster than cold** for at least three schedulers across the
+//! §6.2 suites.
+//!
+//! For every (suite, scheduler) pair this bench measures the median
+//! construction time of:
+//!
+//! * **cold** — no cache configured (the full scheduling pipeline);
+//! * **memory** — a shared [`PlanCache`] populated by one prior build
+//!   (the restarted-solver-thread case: clone `Arc`s, re-wire the
+//!   executor);
+//! * **disk** — a populated `plan_cache` directory with *no* memory
+//!   cache (the restarted-process case: parse the plan file, revalidate
+//!   the schedule against the rebuilt DAG, recompile).
+//!
+//! Every warm plan's solution is asserted bit-identical to the cold
+//! plan's before its timing counts. The punchline reports, per
+//! scheduler, the geometric-mean speed-up across suites and how many
+//! schedulers clear 10×.
+//!
+//! Run with `cargo bench -p sptrsv-bench --bench warmstart` (or
+//! `-- --test` for the CI smoke: tiny operands, two suites, one rep).
+
+use sptrsv_core::registry;
+use sptrsv_datasets::{load_suite, Dataset, Scale, SuiteKind};
+use sptrsv_exec::{CacheOutcome, PlanBuilder, PlanCache, SolverRuntime};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Median of an unsorted sample, in place.
+fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
+/// Geometric mean of a positive sample.
+fn geomean(samples: &[f64]) -> f64 {
+    (samples.iter().map(|v| v.ln()).sum::<f64>() / samples.len() as f64).exp()
+}
+
+/// A builder for one (operand, scheduler) combination; cache knobs are
+/// layered on by the caller.
+fn builder_for<'m>(ds: &'m Dataset, spec: &str, runtime: &Arc<SolverRuntime>) -> PlanBuilder<'m> {
+    PlanBuilder::new(&ds.lower).scheduler(spec).cores(4).runtime(Arc::clone(runtime))
+}
+
+/// Median construction time over `reps` builds of `make`, asserting every
+/// plan solves `b` to exactly `expected` and reports `want` as its cache
+/// outcome.
+fn time_builds<'m>(
+    reps: usize,
+    want: CacheOutcome,
+    b: &[f64],
+    expected: &[f64],
+    make: impl Fn() -> PlanBuilder<'m>,
+) -> f64 {
+    let mut samples = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let started = Instant::now();
+        let plan = make().build().expect("valid plan");
+        samples.push(started.elapsed().as_secs_f64() * 1e3);
+        assert_eq!(plan.cache_outcome(), want, "expected a {want} build");
+        assert_eq!(plan.solve(b), expected, "a warm plan diverged from the cold plan");
+    }
+    median(&mut samples)
+}
+
+fn main() {
+    let test_mode = std::env::args().any(|a| a == "--test");
+    let scale = if test_mode { Scale::Test } else { Scale::Medium };
+    let reps = if test_mode { 1 } else { 7 };
+    let suites: &[SuiteKind] = if test_mode {
+        &[SuiteKind::SuiteSparse, SuiteKind::NarrowBandwidth]
+    } else {
+        &SuiteKind::all()
+    };
+    let runtime = Arc::new(SolverRuntime::new(4));
+    let cache_root = std::env::temp_dir().join(format!("sptrsv-warmstart-{}", std::process::id()));
+
+    println!(
+        "plan construction, cold vs warm (median of {reps} builds, 4 cores, {} scale)\n",
+        if test_mode { "test" } else { "medium" }
+    );
+    println!(
+        "{:<18} {:<10} {:>9} {:>9} {:>7} {:>9} {:>7}",
+        "suite", "scheduler", "cold ms", "mem ms", "mem x", "disk ms", "disk x"
+    );
+
+    // Per scheduler: the memory-warm speed-up measured on each suite.
+    let mut mem_ratios: Vec<(&'static str, Vec<f64>)> =
+        registry::list().iter().map(|info| (info.name, Vec::new())).collect();
+    for &kind in suites {
+        let ds = load_suite(kind, scale, 42).into_iter().next().expect("suites are non-empty");
+        let b: Vec<f64> = (0..ds.lower.n_rows()).map(|i| 1.0 + (i % 7) as f64).collect();
+        for (scheduler, ratios) in &mut mem_ratios {
+            let spec = scheduler.to_string();
+            let expected = builder_for(&ds, &spec, &runtime).build().expect("valid plan").solve(&b);
+
+            let cold = time_builds(reps, CacheOutcome::Uncached, &b, &expected, || {
+                builder_for(&ds, &spec, &runtime)
+            });
+
+            // Memory-warm: one build populates the LRU, the timed builds hit it.
+            let cache = Arc::new(PlanCache::new(4));
+            builder_for(&ds, &spec, &runtime).cached(&cache).build().expect("valid plan");
+            let mem = time_builds(reps, CacheOutcome::MemoryHit, &b, &expected, || {
+                builder_for(&ds, &spec, &runtime).cached(&cache)
+            });
+
+            // Disk-warm: one build populates the directory, the timed builds
+            // load and revalidate the plan file (no memory cache in play).
+            let dir = cache_root.join(format!("{}-{}", kind.label(), scheduler));
+            builder_for(&ds, &spec, &runtime).plan_cache(&dir).build().expect("valid plan");
+            let disk = time_builds(reps, CacheOutcome::DiskHit, &b, &expected, || {
+                builder_for(&ds, &spec, &runtime).plan_cache(&dir)
+            });
+
+            println!(
+                "{:<18} {:<10} {:>9.3} {:>9.3} {:>7.1} {:>9.3} {:>7.1}",
+                ds.name,
+                scheduler,
+                cold,
+                mem,
+                cold / mem,
+                disk,
+                cold / disk
+            );
+            ratios.push(cold / mem);
+        }
+        println!();
+    }
+    std::fs::remove_dir_all(&cache_root).ok();
+
+    if test_mode {
+        println!("test warm-start construction (every outcome and bit-identity checked) ... ok");
+        return;
+    }
+    let mut cleared = 0;
+    for (scheduler, ratios) in &mem_ratios {
+        let g = geomean(ratios);
+        if g >= 10.0 {
+            cleared += 1;
+        }
+        println!(
+            "{scheduler}: geometric-mean warm speed-up {g:.1}x across {} suites",
+            ratios.len()
+        );
+    }
+    println!(
+        "{cleared} of {} schedulers clear the 10x warm-start bar ({})",
+        mem_ratios.len(),
+        if cleared >= 3 { "claim holds" } else { "claim FAILS" },
+    );
+}

@@ -15,7 +15,8 @@ use sptrsv_core::registry::{self, GrantPolicy, SchedulerSpec};
 use sptrsv_core::CompiledSchedule;
 use sptrsv_dag::{wavefronts, SolveDag};
 use sptrsv_exec::{
-    simulate_model, simulate_serial, MachineProfile, Orientation, PlanBuilder, PreOrder,
+    simulate_model, simulate_serial, CacheOutcome, MachineProfile, Orientation, PlanBuilder,
+    PreOrder,
 };
 use sptrsv_serve::{Admission, ServeBuilder, SubmitError};
 use sptrsv_sparse::csr::Triangle;
@@ -37,13 +38,16 @@ commands:
   solve    <file.mtx> [--algo SPEC] [--cores K] [--no-reorder true]
            [--pre-order rcm|min-degree|nested-dissection] [--coarsen true]
            [--repeat N] [--grant greedy|fair|cap=K] [--elastic on|off]
-           [--fastmath on|off]
+           [--fastmath on|off] [--plan-cache DIR]
+  plan     <file.mtx> [--algo SPEC] [--cores K] [--no-reorder true]
+           [--pre-order rcm|min-degree|nested-dissection] [--coarsen true]
+           [--save <file.plan>] [--load <file.plan>] [--plan-cache DIR]
   simulate <file.mtx> [--algo SPEC] [--cores K] [--machine intel|amd|arm]
            [--grant greedy|fair|cap=K] [--elastic on|off] [--fastmath on|off]
   serve-bench <file.mtx> [--algo SPEC] [--cores K] [--batch N]
            [--batch-wait-us U] [--clients C] [--requests R] [--depth D]
            [--admission block|shed] [--grant greedy|fair|cap=K]
-           [--elastic on|off] [--fastmath on|off]
+           [--elastic on|off] [--fastmath on|off] [--plan-cache DIR]
 
 --algo takes a scheduler spec in the grammar name[:key=value,...][@model]:
 a name from `sptrsv algos`, optional parameters (scoped keys like gl.alpha
@@ -75,7 +79,19 @@ solve after lingering at most batch_wait_us microseconds, and admission
 control engages at queue depth D (block stalls submitters, shed bounces
 them). Every response is verified against the standalone solve, then the
 achieved batch widths, latency percentiles and goodput are printed.
---batch/--batch-wait-us override the spec's batch keys.";
+--batch/--batch-wait-us override the spec's batch keys.
+--plan-cache DIR enables warm starts: a cold build saves its compiled
+schedule to DIR under a content fingerprint of (matrix structure,
+scheduler spec, cores, coarsen, reorder); later runs with the same key
+load the file and skip scheduling entirely. A stale, truncated or
+mismatched file is rejected with an error, never silently mis-solved.
+plan_cache=DIR is the equivalent spec key on any scheduler. solve,
+plan and serve-bench print the outcome as a `plan cache:` line (one of
+uncached, miss (stored), memory hit, disk hit). `plan` builds and
+verifies one plan without the full solve report; --save writes its
+scheduling artifact to an explicit file and --load builds from one
+(the file must match the matrix and build flags, enforced by the
+fingerprint).";
 
 /// Dispatches a full argv (after the program name).
 pub fn dispatch(argv: &[String]) -> Result<(), String> {
@@ -89,6 +105,7 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         "algos" => algos(),
         "schedule" => schedule(&args),
         "solve" => solve(&args),
+        "plan" => plan_cmd(&args),
         "simulate" => simulate(&args),
         "serve-bench" => serve_bench(&args),
         "help" | "--help" | "-h" => {
@@ -297,6 +314,9 @@ fn solve(args: &Args) -> Result<(), String> {
     if let Some(fastmath) = fastmath_flag(args)? {
         builder = builder.fastmath(fastmath);
     }
+    if let Some(dir) = args.get("plan-cache") {
+        builder = builder.plan_cache(dir);
+    }
     let plan = builder.build().map_err(|e| e.to_string())?;
     let b = vec![1.0; lower.n_rows()];
     let mut x = vec![0.0; lower.n_rows()];
@@ -315,6 +335,9 @@ fn solve(args: &Args) -> Result<(), String> {
         if plan.exec_policy().elastic { "on" } else { "off" },
         if plan.exec_policy().fastmath { "on" } else { "off" }
     );
+    if plan.cache_outcome() != CacheOutcome::Uncached {
+        println!("plan cache:        {}", plan.cache_outcome());
+    }
     let plan_cores = plan.compiled().n_cores();
     if plan_cores > 1 && plan.exec_model() != registry::ExecModel::Serial {
         // The parallel solve above already materialized the process
@@ -353,6 +376,61 @@ fn solve(args: &Args) -> Result<(), String> {
     println!("relative residual: {residual:.3e}");
     if residual > 1e-8 {
         return Err("residual too large — solve failed".into());
+    }
+    Ok(())
+}
+
+fn plan_cmd(args: &Args) -> Result<(), String> {
+    let path = args.require_positional(0, "matrix file")?;
+    let algo = args.get("algo").unwrap_or("growlocal");
+    let cores = effective_cores(args, algo, 8)?;
+    let reorder = !args.get_parse("no-reorder", false)?;
+    let coarsen = args.get_parse("coarsen", false)?;
+    let pre_order = match args.get("pre-order") {
+        None | Some("natural") => PreOrder::Natural,
+        Some("rcm") => PreOrder::Rcm,
+        Some("min-degree") => PreOrder::MinDegree,
+        Some("nested-dissection") => PreOrder::NestedDissection,
+        Some(other) => return Err(format!("unknown pre-order `{other}`")),
+    };
+    let lower = load_lower(path)?;
+    let mut builder = PlanBuilder::new(&lower)
+        .orientation(Orientation::Lower)
+        .scheduler(algo)
+        .cores(cores)
+        .pre_order(pre_order)
+        .coarsen(coarsen)
+        .reorder(reorder);
+    if let Some(dir) = args.get("plan-cache") {
+        builder = builder.plan_cache(dir);
+    }
+    if let Some(load) = args.get("load") {
+        builder = builder.load_plan(load);
+    }
+    let started = Instant::now();
+    let plan = builder.build().map_err(|e| e.to_string())?;
+    let built = started.elapsed();
+    println!("algorithm:       {algo}");
+    println!("execution model: {}", plan.exec_model());
+    println!("cores:           {}", plan.compiled().n_cores());
+    println!("supersteps:      {}", plan.schedule().n_supersteps());
+    if let Some(fp) = plan.fingerprint() {
+        println!("fingerprint:     {fp}");
+    }
+    println!("plan cache:      {}", plan.cache_outcome());
+    println!("build time:      {:.3} ms", built.as_secs_f64() * 1e3);
+    // One verifying solve: a plan that cannot solve is not worth saving,
+    // and a loaded plan proves here that the revalidated schedule works.
+    let b = vec![1.0; lower.n_rows()];
+    let x = plan.solve(&b);
+    let residual = relative_residual(&lower, &x, &b);
+    println!("residual:        {residual:.3e} (one verifying solve)");
+    if residual > 1e-8 {
+        return Err("residual too large — refusing a plan that cannot solve".into());
+    }
+    if let Some(out) = args.get("save") {
+        plan.save(out).map_err(|e| e.to_string())?;
+        println!("plan saved to {out}");
     }
     Ok(())
 }
@@ -463,10 +541,16 @@ fn serve_bench(args: &Args) -> Result<(), String> {
         })?;
         builder = builder.batch_wait_us(us);
     }
+    if let Some(dir) = args.get("plan-cache") {
+        builder = builder.plan_cache(dir);
+    }
     let plan = builder.build().map_err(|e| e.to_string())?;
     let fastmath = plan.exec_policy().fastmath;
     println!("algorithm:         {algo}");
     println!("execution model:   {}", plan.exec_model());
+    if plan.cache_outcome() != CacheOutcome::Uncached {
+        println!("plan cache:        {}", plan.cache_outcome());
+    }
     let mut serve = ServeBuilder::new(plan).admission(admission);
     if let Some(depth) = depth {
         serve = serve.queue_depth(depth);
@@ -852,6 +936,68 @@ mod tests {
                 bad[1]
             );
         }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn plan_cache_and_save_load_flow_through_the_cli() {
+        let dir = std::env::temp_dir().join("sptrsv-cli-plan-cache");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let mtx = dir.join("m.mtx");
+        let mtx = mtx.to_str().unwrap();
+        let cache = dir.join("cache");
+        let cache = cache.to_str().unwrap();
+        let plan_file = dir.join("m.plan");
+        let plan_file = plan_file.to_str().unwrap();
+        let sv = |items: &[&str]| -> Vec<String> { items.iter().map(|s| s.to_string()).collect() };
+        dispatch(&sv(&["generate", "grid2d", "--width", "12", "--height", "12", "-o", mtx]))
+            .unwrap();
+        // First cached solve populates the directory, second loads from it.
+        dispatch(&sv(&["solve", mtx, "--cores", "2", "--plan-cache", cache])).unwrap();
+        assert_eq!(
+            std::fs::read_dir(cache).unwrap().count(),
+            1,
+            "one plan file under the cache directory"
+        );
+        dispatch(&sv(&["solve", mtx, "--cores", "2", "--plan-cache", cache])).unwrap();
+        // The spec-key spelling reaches the same machinery.
+        let spec = format!("growlocal:plan_cache={cache}");
+        dispatch(&sv(&["solve", mtx, "--cores", "2", "--algo", &spec])).unwrap();
+        // plan --save writes an explicit file; --load builds from it, and
+        // serve-bench warms from the populated cache directory.
+        dispatch(&sv(&["plan", mtx, "--cores", "2", "--save", plan_file])).unwrap();
+        assert!(std::path::Path::new(plan_file).exists());
+        dispatch(&sv(&["plan", mtx, "--cores", "2", "--load", plan_file])).unwrap();
+        dispatch(&sv(&[
+            "serve-bench",
+            mtx,
+            "--cores",
+            "2",
+            "--plan-cache",
+            cache,
+            "--clients",
+            "2",
+            "--requests",
+            "3",
+        ]))
+        .unwrap();
+        // Mismatched build flags change the fingerprint: loading the saved
+        // plan under different settings errors instead of mis-solving.
+        assert!(dispatch(&sv(&["plan", mtx, "--cores", "3", "--load", plan_file])).is_err());
+        assert!(dispatch(&sv(&[
+            "plan",
+            mtx,
+            "--cores",
+            "2",
+            "--coarsen",
+            "true",
+            "--load",
+            plan_file
+        ]))
+        .is_err());
+        // A blank spec value is a registry error, not a silent no-op.
+        assert!(dispatch(&sv(&["solve", mtx, "--algo", "growlocal:plan_cache="])).is_err());
         std::fs::remove_dir_all(&dir).ok();
     }
 

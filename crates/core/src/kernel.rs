@@ -146,6 +146,23 @@ impl KernelPlan {
     /// lower-triangular operand `l` (diagonal stored last per row, as the
     /// executors require). The vertex IDs of `compiled` must be row indices
     /// of `l`.
+    ///
+    /// ```
+    /// use sptrsv_core::{CompiledSchedule, KernelPlan, Scheduler, WavefrontScheduler};
+    /// use sptrsv_dag::SolveDag;
+    /// use sptrsv_sparse::gen::grid::{grid2d_laplacian, Stencil2D};
+    ///
+    /// let l = grid2d_laplacian(8, 8, Stencil2D::FivePoint, 0.5).lower_triangle().unwrap();
+    /// let dag = SolveDag::from_lower_triangular(&l);
+    /// let schedule = WavefrontScheduler.schedule(&dag, 2);
+    /// let compiled = CompiledSchedule::from_schedule(&schedule);
+    ///
+    /// let plan = KernelPlan::detect(&l, &compiled);
+    /// // Every row is planned exactly once: a reciprocal per diagonal, and
+    /// // the dense/unrolled tallies never exceed the row count.
+    /// assert_eq!(plan.inv_diag().len(), l.n_rows());
+    /// assert!(plan.dense_rows() + plan.unrolled_rows() <= l.n_rows());
+    /// ```
     pub fn detect(l: &CsrMatrix, compiled: &CompiledSchedule) -> KernelPlan {
         let mut plan = KernelPlan::empty(l, compiled.n_cores());
         for step in 0..compiled.n_supersteps() {

@@ -19,7 +19,7 @@
 //! [`Schedule`] satisfying Definition 2.1, checked by
 //! [`Schedule::validate`].
 //!
-//! Two cross-cutting modules tie the pipeline together:
+//! Four cross-cutting modules tie the pipeline together:
 //!
 //! * [`registry`] — the scheduler registry: the [`registry::SchedulerSpec`]
 //!   string grammar (`"growlocal:alpha=8"`) and [`registry::list`], the
@@ -30,7 +30,10 @@
 //!   per-cell vectors;
 //! * [`kernel`] — the kernel-planning pass over a compiled schedule:
 //!   supernode/dense-block detection and the per-cell `Scalar` /
-//!   `Unrolled` / `Dense` op plan the `fastmath=on` execution policy runs.
+//!   `Unrolled` / `Dense` op plan the `fastmath=on` execution policy runs;
+//! * [`serialize`] — warm starts: [`PlanFingerprint`] content hashing, the
+//!   in-process [`PlanCache`] LRU, and the versioned on-disk plan format
+//!   that lets a restarted process skip scheduling entirely.
 
 #![warn(missing_docs)]
 
@@ -60,7 +63,11 @@ pub use registry::{
 };
 pub use reorder::{reorder_for_locality, ReorderedProblem};
 pub use schedule::{Schedule, ScheduleError, ScheduleStats};
-pub use serialize::{read_schedule, read_schedule_file, write_schedule, write_schedule_file};
+pub use serialize::{
+    read_plan, read_plan_file, read_schedule, read_schedule_file, value_digest, write_plan,
+    write_plan_file, write_schedule, write_schedule_file, CachedPlan, FingerprintHasher, PlanCache,
+    PlanFingerprint, SavedPlan, SerializeError,
+};
 pub use spmp::SpMp;
 pub use wavefront::WavefrontScheduler;
 

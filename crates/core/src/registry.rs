@@ -22,8 +22,8 @@
 //! omitting it picks the scheduler's default (the first entry of
 //! [`SchedulerInfo::exec_models`]).
 //!
-//! Eight keys address the **execution policy** ([`ExecPolicy`]) rather
-//! than the scheduler, and are accepted on every spec: `sync=full|reduced`
+//! Nine keys address the **execution policy** rather than the scheduler,
+//! and are accepted on every spec: `sync=full|reduced`
 //! selects the wait DAG of asynchronous execution, `backoff=spin|yield`
 //! the behavior of every threaded wait loop, `cores=N` the core count
 //! the schedule targets (and hence the width the executor leases from the
@@ -36,7 +36,10 @@
 //! [`ExecPolicy::fastmath`]), and `batch=N` / `batch_wait_us=U` how a
 //! serving front-end coalesces concurrent single-RHS requests on the plan
 //! into one multi-RHS solve (maximum fused width and the linger bound
-//! before a partial batch is dispatched; ignored by direct solves) —
+//! before a partial batch is dispatched; ignored by direct solves), and
+//! `plan_cache=DIR` the on-disk warm-start cache directory the planner
+//! saves to and loads from (resolved by [`resolve_plan_cache`]; the other
+//! eight land in [`ExecPolicy`]) —
 //! `growlocal:sync=full@async`, `spmp:backoff=yield`,
 //! `hdagg:cores=16@barrier`, `growlocal:grant=fair,elastic=on`. They are
 //! resolved by [`resolve_exec_policy`] and stripped before scheduler
@@ -371,7 +374,8 @@ pub struct ExecPolicy {
 /// scheduler parameter (see [`ExecPolicy`] for the disambiguation rule).
 fn is_exec_policy_param(key: &str, value: &str) -> bool {
     match key {
-        "backoff" | "cores" | "grant" | "elastic" | "fastmath" | "batch" | "batch_wait_us" => true,
+        "backoff" | "cores" | "grant" | "elastic" | "fastmath" | "batch" | "batch_wait_us"
+        | "plan_cache" => true,
         "sync" => value.parse::<SyncPolicy>().is_ok(),
         _ => false,
     }
@@ -380,7 +384,8 @@ fn is_exec_policy_param(key: &str, value: &str) -> bool {
 /// The execution policy a spec selects: its
 /// `sync=`/`backoff=`/`cores=`/`grant=`/`elastic=`/`fastmath=`/`batch=`/
 /// `batch_wait_us=` keys (last occurrence wins), with defaults for the
-/// absent ones.
+/// absent ones. The ninth policy key, `plan_cache=DIR`, is validated here
+/// but carried separately — see [`resolve_plan_cache`].
 pub fn resolve_exec_policy(spec: &SchedulerSpec) -> Result<ExecPolicy, RegistryError> {
     let mut policy = ExecPolicy::default();
     for (key, value) in spec.params() {
@@ -433,6 +438,19 @@ pub fn resolve_exec_policy(spec: &SchedulerSpec) -> Result<ExecPolicy, RegistryE
                     policy.sync = sync;
                 }
             }
+            // `plan_cache=DIR` is an exec-policy key (stripped before
+            // scheduler parameters are checked) but its value is a
+            // directory path, not execution state — [`resolve_plan_cache`]
+            // extracts it so `ExecPolicy` stays `Copy`. Validate here so a
+            // blank directory fails at resolve time like every other key.
+            "plan_cache" if value.trim().is_empty() => {
+                return Err(RegistryError::BadValue {
+                    scheduler: "exec",
+                    key: "plan_cache",
+                    value: value.clone(),
+                    expected: "a directory path",
+                });
+            }
             _ => {}
         }
     }
@@ -447,6 +465,33 @@ fn strip_exec_policy(spec: &SchedulerSpec) -> SchedulerSpec {
         params: spec.params.iter().filter(|(k, v)| !is_exec_policy_param(k, v)).cloned().collect(),
         model: spec.model,
     }
+}
+
+/// The on-disk plan-cache directory a spec selects (the `plan_cache=DIR`
+/// key, last occurrence wins), or `None` when the key is absent.
+///
+/// The directory deliberately lives outside [`ExecPolicy`]: it configures
+/// *where schedules are found*, not how a solve executes, and keeping it
+/// out preserves `ExecPolicy: Copy`. Planners resolve it alongside the
+/// policy.
+pub fn resolve_plan_cache(spec: &SchedulerSpec) -> Option<std::path::PathBuf> {
+    spec.get("plan_cache").map(std::path::PathBuf::from)
+}
+
+/// The schedule identity of a spec: the scheduler name plus its *scheduler*
+/// parameters, with every execution-policy key and the `@model` suffix
+/// removed.
+///
+/// Two specs with equal identities produce the same schedule from the same
+/// DAG and core count — execution policy and model change how a schedule is
+/// *run*, never what is computed — so warm-start fingerprints hash this
+/// canonical string (plus the core count) rather than the raw spec text,
+/// letting `growlocal:fastmath=on@serial` hit a plan cached by
+/// `growlocal@barrier`.
+pub fn schedule_identity(spec: &SchedulerSpec) -> String {
+    let mut stripped = strip_exec_policy(spec);
+    stripped.model = None;
+    stripped.to_string()
 }
 
 /// A parsed scheduler spec: a registry name, `key=value` overrides (keys may
@@ -830,7 +875,9 @@ pub fn help_text() -> String {
     out.push_str("    batch        serving batch width: a positive integer (default: the\n");
     out.push_str("                 serving layer's default; direct solves ignore the key)\n");
     out.push_str("    batch_wait_us  serving linger bound in microseconds before a partial\n");
-    out.push_str("                 batch dispatches (0 = never wait; served solves only)\n\n");
+    out.push_str("                 batch dispatches (0 = never wait; served solves only)\n");
+    out.push_str("    plan_cache   warm-start directory: save compiled schedules to DIR and\n");
+    out.push_str("                 load them on later runs, skipping scheduling entirely\n\n");
     for entry in list() {
         out.push_str(&format!("  {:<10} {}\n", entry.name, entry.summary));
         let models: Vec<String> = ExecModel::ALL
@@ -1309,9 +1356,57 @@ mod tests {
             "batch",
             "batch_wait_us",
             "linger",
+            "plan_cache",
+            "warm-start",
         ] {
             assert!(help.contains(needle), "`{needle}` missing from help");
         }
+    }
+
+    #[test]
+    fn plan_cache_key_parses_on_every_scheduler() {
+        let g = dag();
+        for entry in list() {
+            let spec = format!("{}:plan_cache=/tmp/plans", entry.name);
+            let parsed: SchedulerSpec = spec.parse().unwrap();
+            // The key is a policy key (not a scheduler parameter), so the
+            // scheduler still builds and the directory resolves.
+            assert!(resolve_exec_policy(&parsed).is_ok());
+            assert_eq!(
+                resolve_plan_cache(&parsed),
+                Some(std::path::PathBuf::from("/tmp/plans")),
+                "`{spec}` did not resolve a cache directory"
+            );
+            assert!(resolve(&spec, &g, 2).is_ok(), "`{spec}` failed to build");
+        }
+        // Absent: no on-disk cache.
+        assert_eq!(resolve_plan_cache(&SchedulerSpec::new("growlocal")), None);
+        // The directory never lands in the (Copy) policy struct.
+        let spec: SchedulerSpec = "growlocal:plan_cache=/tmp/plans".parse().unwrap();
+        assert_eq!(resolve_exec_policy(&spec).unwrap(), ExecPolicy::default());
+        // Blank directories are rejected like every other bad policy value.
+        let blank = SchedulerSpec::new("growlocal").with("plan_cache", " ");
+        assert!(matches!(
+            resolve_exec_policy(&blank),
+            Err(RegistryError::BadValue { key: "plan_cache", .. })
+        ));
+    }
+
+    #[test]
+    fn schedule_identity_strips_policy_and_model() {
+        let spec: SchedulerSpec =
+            "growlocal:alpha=8,fastmath=on,cores=4,plan_cache=/tmp/p@async".parse().unwrap();
+        assert_eq!(schedule_identity(&spec), "growlocal:alpha=8");
+        // Identity is invariant under policy/model changes...
+        let other: SchedulerSpec = "growlocal:alpha=8,backoff=yield@serial".parse().unwrap();
+        assert_eq!(schedule_identity(&spec), schedule_identity(&other));
+        // ...but tracks scheduler parameters.
+        let tuned: SchedulerSpec = "growlocal:alpha=16".parse().unwrap();
+        assert_ne!(schedule_identity(&spec), schedule_identity(&tuned));
+        // `growlocal`'s own numeric `sync` survives the strip; the policy
+        // `sync=full|reduced` does not (disjoint value domains).
+        let gl: SchedulerSpec = "growlocal:sync=2000,sync=full".parse().unwrap();
+        assert_eq!(schedule_identity(&gl), "growlocal:sync=2000");
     }
 
     #[test]

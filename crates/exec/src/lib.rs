@@ -78,7 +78,8 @@ pub use executor::Executor;
 pub use kernels::solve_lower_serial_fast;
 pub use multi::{solve_lower_multi_serial, MultiRhsExecutor};
 pub use plan::{
-    BatchWorkspace, Orientation, PlanBuilder, PlanError, PreOrder, SolvePlan, SolveWorkspace,
+    BatchWorkspace, CacheOutcome, Orientation, PlanBuilder, PlanError, PreOrder, SolvePlan,
+    SolveWorkspace,
 };
 pub use runtime::{CoreLease, ElasticGrowth, SenseBarrier, SolverRuntime, TenantRegistration};
 pub use serial::{solve_lower_serial, solve_upper_serial, SerialExecutor};
@@ -86,4 +87,5 @@ pub use sim::{
     simulate_async, simulate_barrier, simulate_model, simulate_serial, MachineProfile, SimReport,
 };
 pub use sptrsv_core::registry::{Backoff, ExecModel, ExecPolicy, GrantPolicy, SyncPolicy};
+pub use sptrsv_core::serialize::{PlanCache, PlanFingerprint};
 pub use verify::max_abs_diff;

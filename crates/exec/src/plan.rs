@@ -81,6 +81,10 @@ use sptrsv_core::kernel::KernelPlan;
 use sptrsv_core::registry::{
     self, Backoff, ExecModel, ExecPolicy, GrantPolicy, RegistryError, SchedulerSpec, SyncPolicy,
 };
+use sptrsv_core::serialize::{
+    read_plan_file, value_digest, write_plan_file, CachedPlan, PlanCache, PlanFingerprint,
+    SavedPlan, SerializeError,
+};
 use sptrsv_core::{
     auto_part_weight_cap, coarsen_and_schedule, reorder_for_locality, CompiledSchedule, Schedule,
     Scheduler,
@@ -92,6 +96,7 @@ use sptrsv_sparse::csr::Triangle;
 use sptrsv_sparse::ordering::{min_degree_ordering, nested_dissection_ordering, rcm_ordering};
 use sptrsv_sparse::{CsrMatrix, Permutation, SparseError};
 use std::collections::BinaryHeap;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 /// Which triangle the input matrix stores.
@@ -132,8 +137,24 @@ pub enum PlanError {
     /// execution model.
     Registry(RegistryError),
     /// Internal scheduling failure (a scheduler produced an invalid schedule —
-    /// a library bug if it ever occurs).
+    /// a library bug if it ever occurs). Also raised when an on-disk plan
+    /// passes its integrity checks but its schedule does not validate
+    /// against the operand — a damaged cache is rejected, never solved.
     Schedule(sptrsv_core::ScheduleError),
+    /// A plan-cache file could not be read, verified or written: I/O
+    /// failure, corruption (checksum), a foreign format version, or a
+    /// fingerprint recorded for a different matrix/spec than the one being
+    /// planned.
+    Cache(SerializeError),
+    /// [`SolvePlan::with_new_values`] was given a matrix whose sparsity
+    /// structure differs from the plan's — the cached schedule does not
+    /// apply, so rebinding refuses rather than mis-solving.
+    StructureMismatch {
+        /// Rows/nonzeros of the plan's operand.
+        expected: (usize, usize),
+        /// Rows/nonzeros of the rejected matrix.
+        found: (usize, usize),
+    },
 }
 
 impl std::fmt::Display for PlanError {
@@ -142,6 +163,13 @@ impl std::fmt::Display for PlanError {
             PlanError::Matrix(e) => write!(f, "invalid operand: {e}"),
             PlanError::Registry(e) => write!(f, "{e}"),
             PlanError::Schedule(e) => write!(f, "invalid schedule: {e}"),
+            PlanError::Cache(e) => write!(f, "plan cache: {e}"),
+            PlanError::StructureMismatch { expected, found } => write!(
+                f,
+                "matrix structure mismatch: plan was built for {} rows / {} nonzeros, \
+                 got {} rows / {} nonzeros (same-structure rebinding only)",
+                expected.0, expected.1, found.0, found.1
+            ),
         }
     }
 }
@@ -151,6 +179,41 @@ impl std::error::Error for PlanError {}
 impl From<RegistryError> for PlanError {
     fn from(e: RegistryError) -> PlanError {
         PlanError::Registry(e)
+    }
+}
+
+impl From<SerializeError> for PlanError {
+    fn from(e: SerializeError) -> PlanError {
+        PlanError::Cache(e)
+    }
+}
+
+/// How a plan's schedule was obtained — reported by
+/// [`SolvePlan::cache_outcome`] so callers (and the CLI's `plan cache:`
+/// line) can observe warm starts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// No plan cache was configured; the schedule was computed.
+    Uncached,
+    /// A cache was configured but held no matching plan; the schedule was
+    /// computed and stored.
+    Miss,
+    /// The in-process [`PlanCache`] supplied the plan — no scheduling,
+    /// reordering, validation or compilation ran.
+    MemoryHit,
+    /// An on-disk plan file supplied the schedule — no scheduling or
+    /// reordering ran (the loaded schedule is re-validated and re-compiled).
+    DiskHit,
+}
+
+impl std::fmt::Display for CacheOutcome {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            CacheOutcome::Uncached => "uncached",
+            CacheOutcome::Miss => "miss (stored)",
+            CacheOutcome::MemoryHit => "memory hit",
+            CacheOutcome::DiskHit => "disk hit",
+        })
     }
 }
 
@@ -173,6 +236,9 @@ pub struct PlanBuilder<'m> {
     fastmath: Option<bool>,
     batch: Option<usize>,
     batch_wait_us: Option<u64>,
+    plan_cache_dir: Option<PathBuf>,
+    memory_cache: Option<Arc<PlanCache>>,
+    load_plan: Option<PathBuf>,
 }
 
 /// Core count applied when neither [`PlanBuilder::cores`] nor the spec's
@@ -202,6 +268,9 @@ impl<'m> PlanBuilder<'m> {
             fastmath: None,
             batch: None,
             batch_wait_us: None,
+            plan_cache_dir: None,
+            memory_cache: None,
+            load_plan: None,
         }
     }
 
@@ -339,6 +408,43 @@ impl<'m> PlanBuilder<'m> {
         self
     }
 
+    /// On-disk plan cache: before scheduling, look for
+    /// `DIR/<fingerprint>.plan` (the [`PlanFingerprint`] of the operand's
+    /// structure plus the schedule-relevant build key) and load it instead
+    /// of scheduling; on a miss, schedule and save the result there for the
+    /// next process. Overrides the spec's `plan_cache=DIR` key. Corrupt,
+    /// truncated, version-mismatched or wrong-fingerprint files are
+    /// rejected with [`PlanError::Cache`] — a bad cache can never change
+    /// what is solved. Loaded schedules are re-validated against the
+    /// operand's DAG before use.
+    pub fn plan_cache(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.plan_cache_dir = Some(dir.into());
+        self
+    }
+
+    /// In-process plan cache: consult (and populate) `cache` by
+    /// fingerprint, so repeated builds of the same structure + spec skip
+    /// scheduling, reordering, validation *and* compilation, sharing the
+    /// cached `Arc<CompiledSchedule>` (and kernel plan) the executors
+    /// already consume. Opt-in: plans are only as shared as the caches the
+    /// caller wires in, so independent tenants stay independent by default.
+    pub fn cached(mut self, cache: &Arc<PlanCache>) -> Self {
+        self.memory_cache = Some(Arc::clone(cache));
+        self
+    }
+
+    /// Load the schedule from an explicit plan file (saved with
+    /// [`SolvePlan::save`] or `sptrsv plan --save`) instead of scheduling.
+    /// The file's fingerprint must match the operand and spec being built —
+    /// a plan saved for a different matrix or scheduler is an error, never
+    /// a wrong answer. Takes precedence over [`PlanBuilder::plan_cache`]
+    /// lookups (but a loaded plan is still published to the configured
+    /// caches).
+    pub fn load_plan(mut self, path: impl Into<PathBuf>) -> Self {
+        self.load_plan = Some(path.into());
+        self
+    }
+
     /// Validates, schedules, reorders and compiles the plan.
     pub fn build(self) -> Result<SolvePlan, PlanError> {
         SolvePlan::from_builder(self)
@@ -414,8 +520,9 @@ pub struct BatchWorkspace {
 
 /// A planned, reusable parallel triangular solve.
 pub struct SolvePlan {
-    /// The internal lower-triangular matrix the executor runs on.
-    matrix: CsrMatrix,
+    /// The internal lower-triangular matrix the executor runs on (an `Arc`
+    /// so cache hits and value rebinds share it instead of copying).
+    matrix: Arc<CsrMatrix>,
     /// Gather permutation from user indices to internal indices.
     to_internal: Permutation,
     schedule: Schedule,
@@ -429,6 +536,22 @@ pub struct SolvePlan {
     /// (reduced or full, per policy), so repeated [`SolvePlan::simulate`]
     /// calls reuse it.
     sync_dag: Option<SolveDag>,
+    /// The detected kernel plan under `fastmath=on` (shared with the
+    /// executor; kept for cache publication and value rebinds).
+    kernel: Option<Arc<KernelPlan>>,
+    /// The §5 reorder permutation alone (also folded into `to_internal`);
+    /// kept so the plan can be saved to disk and re-applied to new values.
+    reorder_perm: Option<Permutation>,
+    /// Warm-start identity of spec-built plans (`None` for plans built from
+    /// an explicit scheduler instance, which have no spec to fingerprint).
+    fingerprint: Option<PlanFingerprint>,
+    /// The schedule-relevant build key behind `fingerprint`.
+    schedule_key: Option<String>,
+    /// How the schedule was obtained (cache hit vs computed).
+    cache_outcome: CacheOutcome,
+    /// The runtime the executor leases threads from; kept so value rebinds
+    /// can rebuild an executor against the same pool.
+    runtime: RuntimeHandle,
     executor: Box<dyn Executor>,
 }
 
@@ -465,14 +588,6 @@ impl SolvePlan {
         // rayon stand-in its runtime bridge before any scheduler (block-gl)
         // parallel-iterates.
         crate::runtime::install_rayon_bridge();
-        // Resolve the spec against the post-orientation, post-pre-order DAG
-        // so self-sizing schedulers (funnel-gl:cap=auto) see the DAG they
-        // will schedule. Orientation/pre-ordering are pure renumberings, so
-        // resolving against the oriented lower triangle is equivalent; build
-        // that first, then hand the scheduler to the shared pipeline.
-        let (lower, base_perm) = orient(builder.matrix, builder.orientation)?;
-        let (lower, base_perm) = apply_pre_order(lower, base_perm, builder.pre_order);
-        let dag = SolveDag::from_lower_triangular(&lower);
         let mut spec: SchedulerSpec = builder.spec.parse()?;
         if let Some(model) = builder.execution {
             spec = spec.with_model(model);
@@ -510,8 +625,138 @@ impl SolvePlan {
             Some(rt) => RuntimeHandle::explicit(rt),
             None => RuntimeHandle::default(),
         };
+        // Warm-start identity: the canonical schedule-relevant spec (policy
+        // keys and model stripped — they change how a schedule runs, not
+        // what is computed) plus every pipeline toggle that shapes the
+        // schedule, hashed together with the post-pre-order structure.
+        // Orientation and pre-ordering need no key of their own: they are
+        // renumberings already reflected in `lower`'s structure.
+        let schedule_key = format!(
+            "{}|cores={}|coarsen={}|reorder={}",
+            registry::schedule_identity(&spec),
+            n_cores,
+            builder.coarsen,
+            builder.reorder,
+        );
+
+        // 1a. Zero-copy in-process hit: when no renumbering applies (the
+        //     stored triangle is already lower, natural pre-order), the
+        //     fingerprint can be computed on the borrowed input and a hit
+        //     assembled without ever cloning or re-validating the matrix —
+        //     the warm path a solver restarting on the same operand takes.
+        if builder.orientation == Orientation::Lower
+            && builder.pre_order == PreOrder::Natural
+            && builder.load_plan.is_none()
+        {
+            if let Some(cache) = &builder.memory_cache {
+                let fingerprint = PlanFingerprint::compute(builder.matrix, &schedule_key);
+                if let Some(entry) = cache.get(&fingerprint) {
+                    // Vertex-count guard: a 128-bit collision or a corrupted
+                    // entry must not reach the executor; treat as a miss.
+                    if entry.schedule.n_vertices() == builder.matrix.n_rows() {
+                        return Self::assemble_from_memory(
+                            &entry,
+                            builder.matrix,
+                            Permutation::identity(builder.matrix.n_rows()),
+                            &spec,
+                            n_cores,
+                            model,
+                            policy,
+                            runtime,
+                            fingerprint,
+                            schedule_key,
+                            builder.memory_cache.as_ref(),
+                        );
+                    }
+                }
+            }
+        }
+
+        // Orientation/pre-ordering are pure renumberings, so resolving the
+        // spec against the oriented lower triangle below is equivalent to
+        // resolving against the input; self-sizing schedulers
+        // (funnel-gl:cap=auto) see the DAG they will schedule.
+        let (lower, base_perm) = orient(builder.matrix, builder.orientation)?;
+        let (lower, base_perm) = apply_pre_order(lower, base_perm, builder.pre_order);
+        let fingerprint = PlanFingerprint::compute(&lower, &schedule_key);
+        // Disk cache directory: typed knob over the spec's `plan_cache=`.
+        let cache_dir =
+            builder.plan_cache_dir.clone().or_else(|| registry::resolve_plan_cache(&spec));
+        let any_cache =
+            cache_dir.is_some() || builder.memory_cache.is_some() || builder.load_plan.is_some();
+
+        // 1b. In-process cache behind a renumbering (upper-stored or
+        //     pre-ordered operands): same sharing, after the one-time
+        //     transform. An explicit `load_plan` file bypasses it: the
+        //     caller asked for that file's contents, and loading must
+        //     surface its errors.
+        if builder.load_plan.is_none() {
+            if let Some(cache) = &builder.memory_cache {
+                if let Some(entry) = cache.get(&fingerprint) {
+                    if entry.schedule.n_vertices() == lower.n_rows() {
+                        return Self::assemble_from_memory(
+                            &entry,
+                            &lower,
+                            base_perm,
+                            &spec,
+                            n_cores,
+                            model,
+                            policy,
+                            runtime,
+                            fingerprint,
+                            schedule_key,
+                            builder.memory_cache.as_ref(),
+                        );
+                    }
+                }
+            }
+        }
+
+        // 2. On-disk plans: an explicit `--load` file, or
+        //    `DIR/<fingerprint>.plan` under the cache directory. Loaded
+        //    schedules skip scheduling and reordering but are re-validated
+        //    against the operand's DAG — disk content is untrusted.
+        let cached_path = cache_dir.as_ref().map(|dir| plan_cache_path(dir, &fingerprint));
+        let load_path = builder
+            .load_plan
+            .clone()
+            .or_else(|| cached_path.as_ref().filter(|p| p.exists()).cloned());
+        if let Some(path) = load_path {
+            let saved = read_plan_file(&path)?;
+            if saved.fingerprint != fingerprint {
+                return Err(PlanError::Cache(SerializeError::FingerprintMismatch {
+                    expected: fingerprint,
+                    found: saved.fingerprint,
+                }));
+            }
+            if saved.schedule.n_vertices() != lower.n_rows() {
+                return Err(PlanError::Cache(SerializeError::Parse(format!(
+                    "plan file covers {} vertices, operand has {} rows",
+                    saved.schedule.n_vertices(),
+                    lower.n_rows()
+                ))));
+            }
+            return Self::assemble_from_disk(
+                saved,
+                lower,
+                base_perm,
+                &spec,
+                n_cores,
+                model,
+                policy,
+                runtime,
+                fingerprint,
+                schedule_key,
+                builder.memory_cache.as_ref(),
+            );
+        }
+
+        // 3. Cold: run the full scheduling pipeline, then publish the
+        //    result to whichever caches are configured.
+        let dag = SolveDag::from_lower_triangular(&lower);
+        let values_digest = value_digest(lower.values());
         let scheduler = registry::build(&spec, &dag, n_cores)?;
-        Self::assemble_oriented(
+        let mut plan = Self::assemble_oriented(
             lower,
             base_perm,
             dag,
@@ -522,7 +767,235 @@ impl SolvePlan {
             model,
             policy,
             runtime,
-        )
+        )?;
+        plan.fingerprint = Some(fingerprint);
+        plan.schedule_key = Some(schedule_key);
+        plan.cache_outcome = if any_cache { CacheOutcome::Miss } else { CacheOutcome::Uncached };
+        if let Some(cache) = &builder.memory_cache {
+            cache.insert(fingerprint, Arc::new(plan.cache_entry(values_digest)));
+        }
+        if let Some(path) = cached_path {
+            if let Some(dir) = path.parent() {
+                std::fs::create_dir_all(dir).map_err(SerializeError::Io)?;
+            }
+            plan.save(&path)?;
+        }
+        Ok(plan)
+    }
+
+    /// The [`CachedPlan`] entry publishing this plan's artifacts, tagged
+    /// with the pre-reorder value digest the inserting build saw.
+    fn cache_entry(&self, values_digest: u64) -> CachedPlan {
+        CachedPlan {
+            schedule: self.schedule.clone(),
+            compiled: Arc::clone(&self.compiled),
+            reorder_perm: self.reorder_perm.clone(),
+            matrix: Arc::clone(&self.matrix),
+            values_digest,
+            kernel: self.kernel.clone(),
+            reduced_sync_dag: (self.model == ExecModel::Async
+                && self.policy.sync == SyncPolicy::Reduced)
+                .then(|| self.sync_dag.clone())
+                .flatten(),
+        }
+    }
+
+    /// Warm path from an in-process cache entry: reuse the schedule, the
+    /// compiled layout, and — when the candidate's values match the entry's
+    /// digest bit-for-bit — the operand and kernel plan too. The structure
+    /// is not re-validated (the entry was validated by the build that
+    /// inserted it, and the fingerprint ties it to this structure and build
+    /// key); only the value-dependent non-singular-diagonal invariant is
+    /// re-checked, and only when the values changed. The borrowed operand
+    /// is never cloned on the bit-identical-values path.
+    #[allow(clippy::too_many_arguments)] // private assembly point
+    fn assemble_from_memory(
+        entry: &CachedPlan,
+        lower: &CsrMatrix,
+        base_perm: Permutation,
+        spec: &SchedulerSpec,
+        n_cores: usize,
+        model: ExecModel,
+        policy: ExecPolicy,
+        runtime: RuntimeHandle,
+        fingerprint: PlanFingerprint,
+        schedule_key: String,
+        cache: Option<&Arc<PlanCache>>,
+    ) -> Result<SolvePlan, PlanError> {
+        // Digest of the candidate's (pre-reorder) values: decides operand/
+        // kernel reuse now, and tags any refreshed entry below (lookups
+        // always compare against the pre-reorder digest).
+        let incoming_digest = value_digest(lower.values());
+        let same_values = incoming_digest == entry.values_digest;
+        let matrix = if same_values {
+            Arc::clone(&entry.matrix)
+        } else {
+            // New values on a fingerprint-matched structure: the diagonal is
+            // still the last entry of every row (a structural fact), but its
+            // values must be re-checked — the entry's validation covered the
+            // values the inserting build saw, not these.
+            let (row_ptr, values) = (lower.row_ptr(), lower.values());
+            for row in 0..lower.n_rows() {
+                if values[row_ptr[row + 1] - 1] == 0.0 {
+                    return Err(PlanError::Matrix(SparseError::SingularDiagonal { row }));
+                }
+            }
+            // Re-apply the cached reorder permutation — an O(nnz) gather,
+            // no scheduling.
+            match &entry.reorder_perm {
+                Some(perm) => Arc::new(lower.symmetric_permute(perm).map_err(PlanError::Matrix)?),
+                None => Arc::new(lower.clone()),
+            }
+        };
+        let to_internal = match &entry.reorder_perm {
+            Some(perm) => perm.compose(&base_perm),
+            None => base_perm,
+        };
+        let kernel = if policy.fastmath {
+            match (&entry.kernel, same_values) {
+                // The kernel plan packs values, so it is only reusable when
+                // the values match bit-for-bit.
+                (Some(k), true) => Some(Arc::clone(k)),
+                _ => Some(Arc::new(KernelPlan::detect(&matrix, &entry.compiled))),
+            }
+        } else {
+            None
+        };
+        let sync_dag = match model {
+            ExecModel::Async => Some(match policy.sync {
+                SyncPolicy::Full => SolveDag::from_lower_triangular(&matrix),
+                SyncPolicy::Reduced => match &entry.reduced_sync_dag {
+                    Some(dag) => dag.clone(),
+                    // First async consumer of this entry: derive the reduced
+                    // DAG once (scheduler hook first, as in the cold path).
+                    None => {
+                        let final_dag = SolveDag::from_lower_triangular(&matrix);
+                        let scheduler = registry::build(spec, &final_dag, n_cores)?;
+                        scheduler
+                            .sync_dag(&final_dag)
+                            .unwrap_or_else(|| approximate_transitive_reduction(&final_dag))
+                    }
+                },
+            }),
+            ExecModel::Barrier | ExecModel::Serial => None,
+        };
+        let executor = make_executor(
+            &entry.compiled,
+            kernel.as_ref(),
+            model,
+            policy,
+            runtime.clone(),
+            sync_dag.as_ref(),
+        );
+        let plan = SolvePlan {
+            matrix,
+            to_internal,
+            schedule: entry.schedule.clone(),
+            compiled: Arc::clone(&entry.compiled),
+            model,
+            policy,
+            sync_dag,
+            kernel,
+            reorder_perm: entry.reorder_perm.clone(),
+            fingerprint: Some(fingerprint),
+            schedule_key: Some(schedule_key),
+            cache_outcome: CacheOutcome::MemoryHit,
+            runtime,
+            executor,
+        };
+        // Publish improvements back: a value rebind or a newly derived
+        // reduced sync DAG makes the entry strictly more reusable.
+        if let Some(cache) = cache {
+            let richer_dag = plan.model == ExecModel::Async
+                && plan.policy.sync == SyncPolicy::Reduced
+                && entry.reduced_sync_dag.is_none();
+            if !same_values || richer_dag {
+                cache.insert(fingerprint, Arc::new(plan.cache_entry(incoming_digest)));
+            }
+        }
+        Ok(plan)
+    }
+
+    /// Warm path from an on-disk [`SavedPlan`]: skip scheduling and
+    /// reordering, but re-validate the loaded schedule against the
+    /// operand's DAG and re-compile it — disk content is untrusted, and a
+    /// damaged or foreign file must fail, never mis-solve.
+    #[allow(clippy::too_many_arguments)] // private assembly point
+    fn assemble_from_disk(
+        saved: SavedPlan,
+        lower: CsrMatrix,
+        base_perm: Permutation,
+        spec: &SchedulerSpec,
+        n_cores: usize,
+        model: ExecModel,
+        policy: ExecPolicy,
+        runtime: RuntimeHandle,
+        fingerprint: PlanFingerprint,
+        schedule_key: String,
+        cache: Option<&Arc<PlanCache>>,
+    ) -> Result<SolvePlan, PlanError> {
+        let values_digest = value_digest(lower.values());
+        let (matrix, to_internal) = match &saved.reorder_perm {
+            Some(perm) => {
+                if perm.len() != lower.n_rows() {
+                    return Err(PlanError::Cache(SerializeError::Parse(format!(
+                        "plan file reorder permutation covers {} vertices, operand has {} rows",
+                        perm.len(),
+                        lower.n_rows()
+                    ))));
+                }
+                let permuted = lower.symmetric_permute(perm).map_err(PlanError::Matrix)?;
+                (Arc::new(permuted), perm.compose(&base_perm))
+            }
+            None => (Arc::new(lower), base_perm),
+        };
+        let final_dag = SolveDag::from_lower_triangular(&matrix);
+        // The load-bearing safety check: any schedule that validates
+        // against the operand's DAG solves it correctly, so a forged or
+        // stale-but-well-formed file is either rejected here or harmless.
+        saved.schedule.validate(&final_dag).map_err(PlanError::Schedule)?;
+        let compiled = Arc::new(CompiledSchedule::from_schedule(&saved.schedule));
+        let kernel = policy.fastmath.then(|| Arc::new(KernelPlan::detect(&matrix, &compiled)));
+        let sync_dag = match model {
+            ExecModel::Async => Some(match policy.sync {
+                SyncPolicy::Full => final_dag,
+                SyncPolicy::Reduced => {
+                    let scheduler = registry::build(spec, &final_dag, n_cores)?;
+                    scheduler
+                        .sync_dag(&final_dag)
+                        .unwrap_or_else(|| approximate_transitive_reduction(&final_dag))
+                }
+            }),
+            ExecModel::Barrier | ExecModel::Serial => None,
+        };
+        let executor = make_executor(
+            &compiled,
+            kernel.as_ref(),
+            model,
+            policy,
+            runtime.clone(),
+            sync_dag.as_ref(),
+        );
+        let plan = SolvePlan {
+            matrix,
+            to_internal,
+            schedule: saved.schedule,
+            compiled,
+            model,
+            policy,
+            sync_dag,
+            kernel,
+            reorder_perm: saved.reorder_perm,
+            fingerprint: Some(fingerprint),
+            schedule_key: Some(schedule_key),
+            cache_outcome: CacheOutcome::DiskHit,
+            runtime,
+            executor,
+        };
+        if let Some(cache) = cache {
+            cache.insert(fingerprint, Arc::new(plan.cache_entry(values_digest)));
+        }
+        Ok(plan)
     }
 
     /// Shared pipeline behind [`SolvePlan::new`] and [`PlanBuilder::build`].
@@ -546,15 +1019,16 @@ impl SolvePlan {
         };
         // Without reordering the operand is unchanged, so the DAG built for
         // scheduling doubles as the validation DAG.
-        let (matrix, schedule, to_internal, final_dag) = if reorder {
+        let (matrix, schedule, to_internal, reorder_perm, final_dag) = if reorder {
             let reordered = reorder_for_locality(&lower, &schedule)
                 .expect("schedule order of a valid schedule is topological");
             let total = reordered.permutation.compose(&base_perm);
             let final_dag = SolveDag::from_lower_triangular(&reordered.matrix);
-            (reordered.matrix, reordered.schedule, total, final_dag)
+            (reordered.matrix, reordered.schedule, total, Some(reordered.permutation), final_dag)
         } else {
-            (lower, schedule, base_perm, dag)
+            (lower, schedule, base_perm, None, dag)
         };
+        let matrix = Arc::new(matrix);
         // Validate once against the final operand; the executor then shares
         // the one compiled plan.
         schedule.validate(&final_dag).map_err(PlanError::Schedule)?;
@@ -564,46 +1038,45 @@ impl SolvePlan {
         // reordering) so the kernel plan's row ranges line up with the
         // compiled cells.
         let kernel = policy.fastmath.then(|| Arc::new(KernelPlan::detect(&matrix, &compiled)));
-        let mut sync_dag = None;
-        let executor: Box<dyn Executor> = match model {
-            ExecModel::Barrier => {
-                let exec = BarrierExecutor::from_compiled(Arc::clone(&compiled), runtime, policy);
-                match &kernel {
-                    Some(k) => Box::new(exec.with_kernel(Arc::clone(k))),
-                    None => Box::new(exec),
-                }
-            }
-            ExecModel::Serial => match &kernel {
-                Some(k) => Box::new(FastSerialExecutor {
-                    compiled: Arc::clone(&compiled),
-                    kernel: Arc::clone(k),
-                }),
-                None => Box::new(SerialExecutor),
-            },
-            ExecModel::Async => {
-                // The synchronization DAG per policy: the full final DAG, or
-                // a sparsified one — scheduler-provided when the scheduler
-                // already derives one (the `Scheduler::sync_dag` hook; SpMp
-                // hands over its approximate transitive reduction, so
-                // `spmp@async` reduces exactly once per plan), otherwise the
-                // planner reduces here. Kept on the plan for simulation
-                // reuse.
-                let sync = match policy.sync {
-                    SyncPolicy::Full => final_dag,
-                    SyncPolicy::Reduced => scheduler
-                        .sync_dag(&final_dag)
-                        .unwrap_or_else(|| approximate_transitive_reduction(&final_dag)),
-                };
-                let executor =
-                    AsyncExecutor::from_compiled(Arc::clone(&compiled), &sync, runtime, policy);
-                sync_dag = Some(sync);
-                match &kernel {
-                    Some(k) => Box::new(executor.with_kernel(Arc::clone(k))),
-                    None => Box::new(executor),
-                }
-            }
+        // The synchronization DAG of asynchronous plans, per policy: the
+        // full final DAG, or a sparsified one — scheduler-provided when the
+        // scheduler already derives one (the `Scheduler::sync_dag` hook;
+        // SpMp hands over its approximate transitive reduction, so
+        // `spmp@async` reduces exactly once per plan), otherwise the
+        // planner reduces here. Kept on the plan for simulation reuse.
+        let sync_dag = match model {
+            ExecModel::Async => Some(match policy.sync {
+                SyncPolicy::Full => final_dag,
+                SyncPolicy::Reduced => scheduler
+                    .sync_dag(&final_dag)
+                    .unwrap_or_else(|| approximate_transitive_reduction(&final_dag)),
+            }),
+            ExecModel::Barrier | ExecModel::Serial => None,
         };
-        Ok(SolvePlan { matrix, to_internal, schedule, compiled, model, policy, sync_dag, executor })
+        let executor = make_executor(
+            &compiled,
+            kernel.as_ref(),
+            model,
+            policy,
+            runtime.clone(),
+            sync_dag.as_ref(),
+        );
+        Ok(SolvePlan {
+            matrix,
+            to_internal,
+            schedule,
+            compiled,
+            model,
+            policy,
+            sync_dag,
+            kernel,
+            reorder_perm,
+            fingerprint: None,
+            schedule_key: None,
+            cache_outcome: CacheOutcome::Uncached,
+            runtime,
+            executor,
+        })
     }
 
     /// The schedule driving the executor (internal numbering).
@@ -757,6 +1230,159 @@ impl SolvePlan {
             profile,
             self.policy,
         )
+    }
+
+    /// The warm-start fingerprint of this plan: a stable content hash over
+    /// the operand's structure and the schedule-relevant build key. `None`
+    /// for plans built from an explicit scheduler instance
+    /// ([`SolvePlan::new`]), which have no spec to fingerprint.
+    pub fn fingerprint(&self) -> Option<PlanFingerprint> {
+        self.fingerprint
+    }
+
+    /// How this plan's schedule was obtained: computed, or served by the
+    /// in-process / on-disk plan cache.
+    pub fn cache_outcome(&self) -> CacheOutcome {
+        self.cache_outcome
+    }
+
+    /// Saves this plan's scheduling artifact (schedule + reorder
+    /// permutation, under its fingerprint) to `path` in the versioned plan
+    /// format, for [`PlanBuilder::load_plan`] or a
+    /// [`PlanBuilder::plan_cache`] directory to pick up later. Errors for
+    /// plans built without a registry spec (no fingerprint to save under).
+    pub fn save<P: AsRef<Path>>(&self, path: P) -> Result<(), PlanError> {
+        let (fingerprint, key) = match (self.fingerprint, &self.schedule_key) {
+            (Some(fp), Some(key)) => (fp, key.clone()),
+            _ => {
+                return Err(PlanError::Cache(SerializeError::Parse(
+                    "plan was built from an explicit scheduler instance; \
+                     only spec-built plans carry a fingerprint to save under"
+                        .into(),
+                )))
+            }
+        };
+        let saved = SavedPlan {
+            fingerprint,
+            key,
+            schedule: self.schedule.clone(),
+            reorder_perm: self.reorder_perm.clone(),
+        };
+        write_plan_file(&saved, path).map_err(PlanError::Cache)
+    }
+
+    /// Numeric re-factorization: a new plan binding `matrix`'s values
+    /// against this plan's cached schedule, with **zero re-scheduling** —
+    /// no DAG construction, scheduling, reordering, validation or
+    /// re-compilation. `matrix` must have exactly the sparsity structure of
+    /// the matrix this plan was built from (in the same user numbering and
+    /// orientation); a different structure is a
+    /// [`PlanError::StructureMismatch`], never a wrong answer.
+    ///
+    /// This is the ROADMAP's "same structure, new values" serving workload:
+    /// each factorization step replaces values but keeps the pattern, so
+    /// the expensive scheduling artifact amortizes across all of them.
+    /// Under `fastmath=on` the (value-dependent) kernel plan is re-detected
+    /// against the new values; everything else is shared by reference.
+    pub fn with_new_values(&self, matrix: &CsrMatrix) -> Result<SolvePlan, PlanError> {
+        // One gather reproduces the whole internal pipeline (orientation
+        // conjugation, pre-order, §5 reorder): `to_internal` is their
+        // composition, and symmetric permutation composes contravariantly.
+        if matrix.n_rows() != self.matrix.n_rows() {
+            return Err(PlanError::StructureMismatch {
+                expected: (self.matrix.n_rows(), self.matrix.nnz()),
+                found: (matrix.n_rows(), matrix.nnz()),
+            });
+        }
+        let permuted = matrix.symmetric_permute(&self.to_internal).map_err(PlanError::Matrix)?;
+        if permuted.row_ptr() != self.matrix.row_ptr()
+            || permuted.col_idx() != self.matrix.col_idx()
+        {
+            return Err(PlanError::StructureMismatch {
+                expected: (self.matrix.n_rows(), self.matrix.nnz()),
+                found: (matrix.n_rows(), matrix.nnz()),
+            });
+        }
+        // Structure matched, so triangularity is inherited — but the new
+        // values must still carry a non-singular diagonal.
+        for r in 0..permuted.n_rows() {
+            if !permuted.get(r, r).is_some_and(|v| v != 0.0) {
+                return Err(PlanError::Matrix(SparseError::SingularDiagonal { row: r }));
+            }
+        }
+        let internal = Arc::new(permuted);
+        // The kernel plan packs values (dense panels, diagonal
+        // reciprocals), so it is the one artifact that must be re-detected.
+        let kernel =
+            self.policy.fastmath.then(|| Arc::new(KernelPlan::detect(&internal, &self.compiled)));
+        let sync_dag = self.sync_dag.clone();
+        let executor = make_executor(
+            &self.compiled,
+            kernel.as_ref(),
+            self.model,
+            self.policy,
+            self.runtime.clone(),
+            sync_dag.as_ref(),
+        );
+        Ok(SolvePlan {
+            matrix: internal,
+            to_internal: self.to_internal.clone(),
+            schedule: self.schedule.clone(),
+            compiled: Arc::clone(&self.compiled),
+            model: self.model,
+            policy: self.policy,
+            sync_dag,
+            kernel,
+            reorder_perm: self.reorder_perm.clone(),
+            fingerprint: self.fingerprint,
+            schedule_key: self.schedule_key.clone(),
+            cache_outcome: self.cache_outcome,
+            runtime: self.runtime.clone(),
+            executor,
+        })
+    }
+}
+
+/// The canonical location of a fingerprint's plan file under a cache
+/// directory.
+fn plan_cache_path(dir: &Path, fingerprint: &PlanFingerprint) -> PathBuf {
+    dir.join(format!("{fingerprint}.plan"))
+}
+
+/// Executor construction shared by the cold, warm and rebind paths. `sync`
+/// must be `Some` for asynchronous plans (the planner computes it per
+/// policy before calling).
+fn make_executor(
+    compiled: &Arc<CompiledSchedule>,
+    kernel: Option<&Arc<KernelPlan>>,
+    model: ExecModel,
+    policy: ExecPolicy,
+    runtime: RuntimeHandle,
+    sync: Option<&SolveDag>,
+) -> Box<dyn Executor> {
+    match model {
+        ExecModel::Barrier => {
+            let exec = BarrierExecutor::from_compiled(Arc::clone(compiled), runtime, policy);
+            match kernel {
+                Some(k) => Box::new(exec.with_kernel(Arc::clone(k))),
+                None => Box::new(exec),
+            }
+        }
+        ExecModel::Serial => match kernel {
+            Some(k) => Box::new(FastSerialExecutor {
+                compiled: Arc::clone(compiled),
+                kernel: Arc::clone(k),
+            }),
+            None => Box::new(SerialExecutor),
+        },
+        ExecModel::Async => {
+            let sync = sync.expect("async plans carry a synchronization DAG");
+            let exec = AsyncExecutor::from_compiled(Arc::clone(compiled), sync, runtime, policy);
+            match kernel {
+                Some(k) => Box::new(exec.with_kernel(Arc::clone(k))),
+                None => Box::new(exec),
+            }
+        }
     }
 }
 
@@ -1394,5 +2020,242 @@ mod tests {
         assert!(areport.cycles > 0.0);
         let serial = PlanBuilder::new(&l).cores(4).execution(ExecModel::Serial).build().unwrap();
         assert_eq!(serial.simulate(&profile).sync_cycles, 0.0);
+    }
+
+    fn temp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(name);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn plan_cache_spec_key_and_typed_knob_resolve() {
+        let l = lower();
+        let dir = temp_dir("sptrsv-plan-key-test");
+        // The spec key drives the disk cache; the policy struct is
+        // untouched (the ninth key carries a path, not execution state).
+        let plan = PlanBuilder::new(&l)
+            .scheduler(format!("growlocal:plan_cache={}", dir.display()))
+            .cores(2)
+            .build()
+            .unwrap();
+        assert_eq!(plan.exec_policy(), ExecPolicy::default());
+        assert_ne!(plan.cache_outcome(), CacheOutcome::Uncached);
+        // Without any cache configured: uncached, but still fingerprinted.
+        let plain = PlanBuilder::new(&l).cores(2).build().unwrap();
+        assert_eq!(plain.cache_outcome(), CacheOutcome::Uncached);
+        assert!(plain.fingerprint().is_some());
+        // A blank directory is a registry error like any bad policy value.
+        assert!(matches!(
+            PlanBuilder::new(&l).scheduler("growlocal:plan_cache= ").build(),
+            Err(PlanError::Registry(_))
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn memory_cache_hits_share_artifacts_and_solve_identically() {
+        let l = lower();
+        let n = l.n_rows();
+        let b: Vec<f64> = (0..n).map(|i| 1.0 + (i % 9) as f64).collect();
+        let cache = Arc::new(PlanCache::new(8));
+        let cold = PlanBuilder::new(&l).cores(3).cached(&cache).build().unwrap();
+        assert_eq!(cold.cache_outcome(), CacheOutcome::Miss);
+        let warm = PlanBuilder::new(&l).cores(3).cached(&cache).build().unwrap();
+        assert_eq!(warm.cache_outcome(), CacheOutcome::MemoryHit);
+        // The warm plan shares the operand and compiled layout by pointer.
+        assert!(Arc::ptr_eq(&cold.matrix, &warm.matrix));
+        assert!(Arc::ptr_eq(&cold.compiled, &warm.compiled));
+        assert_eq!(cold.solve(&b), warm.solve(&b));
+        // A different spec or core count is a different fingerprint.
+        let other = PlanBuilder::new(&l).cores(4).cached(&cache).build().unwrap();
+        assert_eq!(other.cache_outcome(), CacheOutcome::Miss);
+        let hdagg =
+            PlanBuilder::new(&l).scheduler("hdagg").cores(3).cached(&cache).build().unwrap();
+        assert_eq!(hdagg.cache_outcome(), CacheOutcome::Miss);
+        // Policy/model changes hit the same entry (schedule identity is
+        // policy- and model-invariant).
+        let async_warm = PlanBuilder::new(&l)
+            .cores(3)
+            .execution(ExecModel::Async)
+            .cached(&cache)
+            .build()
+            .unwrap();
+        assert_eq!(async_warm.cache_outcome(), CacheOutcome::MemoryHit);
+        assert_eq!(async_warm.solve(&b), cold.solve(&b));
+    }
+
+    #[test]
+    fn memory_cache_rebinds_new_values_without_scheduling() {
+        // Same structure, different values: still a memory hit — the
+        // schedule is reused, the operand re-permuted.
+        let l = lower();
+        let n = l.n_rows();
+        let cache = Arc::new(PlanCache::new(4));
+        let cold = PlanBuilder::new(&l).cores(3).cached(&cache).build().unwrap();
+        let scaled = CsrMatrix::from_raw(
+            n,
+            n,
+            l.row_ptr().to_vec(),
+            l.col_idx().to_vec(),
+            l.values().iter().map(|v| v * 2.0).collect(),
+        )
+        .unwrap();
+        let warm = PlanBuilder::new(&scaled).cores(3).cached(&cache).build().unwrap();
+        assert_eq!(warm.cache_outcome(), CacheOutcome::MemoryHit);
+        assert!(!Arc::ptr_eq(&cold.matrix, &warm.matrix), "values differ, operand must not");
+        assert!(Arc::ptr_eq(&cold.compiled, &warm.compiled));
+        let b: Vec<f64> = (0..n).map(|i| ((i * 3) % 11) as f64 - 5.0).collect();
+        let reference = PlanBuilder::new(&scaled).cores(3).build().unwrap().solve(&b);
+        assert_eq!(warm.solve(&b), reference);
+    }
+
+    #[test]
+    fn disk_cache_round_trips_bit_identically() {
+        let l = lower();
+        let n = l.n_rows();
+        let b: Vec<f64> = (0..n).map(|i| ((i * 7) % 5) as f64 + 0.5).collect();
+        let dir = temp_dir("sptrsv-plan-disk-test");
+        // Unique per-run subdirectory so reruns start cold.
+        let dir = dir.join(format!("{:?}", std::thread::current().id()));
+        for model in ExecModel::ALL {
+            let cold =
+                PlanBuilder::new(&l).cores(3).execution(model).plan_cache(&dir).build().unwrap();
+            // First build of this fingerprint schedules and stores...
+            let warm =
+                PlanBuilder::new(&l).cores(3).execution(model).plan_cache(&dir).build().unwrap();
+            // ...second loads (model is not part of the fingerprint, so all
+            // three models share one file; the first model's cold build
+            // already stored it for the rest).
+            assert_eq!(warm.cache_outcome(), CacheOutcome::DiskHit, "{model}");
+            assert_eq!(cold.solve(&b), warm.solve(&b), "{model} diverged");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn save_load_and_mismatches_error_not_mis_solve() {
+        let l = lower();
+        let dir = temp_dir("sptrsv-plan-saveload-test");
+        let path = dir.join(format!("{:?}.plan", std::thread::current().id()));
+        let plan = PlanBuilder::new(&l).cores(3).build().unwrap();
+        plan.save(&path).unwrap();
+        // Explicit load: a disk hit with identical solutions.
+        let loaded = PlanBuilder::new(&l).cores(3).load_plan(&path).build().unwrap();
+        assert_eq!(loaded.cache_outcome(), CacheOutcome::DiskHit);
+        let n = l.n_rows();
+        let b: Vec<f64> = (0..n).map(|i| 2.0 - (i % 3) as f64).collect();
+        assert_eq!(plan.solve(&b), loaded.solve(&b));
+        // Wrong matrix for the saved plan: fingerprint mismatch, an error.
+        let other = grid2d_laplacian(11, 9, Stencil2D::FivePoint, 0.4).lower_triangle().unwrap();
+        assert!(matches!(
+            PlanBuilder::new(&other).cores(3).load_plan(&path).build(),
+            Err(PlanError::Cache(SerializeError::FingerprintMismatch { .. }))
+        ));
+        // Wrong spec / core count: also a fingerprint mismatch.
+        assert!(matches!(
+            PlanBuilder::new(&l).cores(4).load_plan(&path).build(),
+            Err(PlanError::Cache(SerializeError::FingerprintMismatch { .. }))
+        ));
+        // Truncated file: rejected.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let truncated: String = text.lines().take(4).collect::<Vec<_>>().join("\n");
+        std::fs::write(&path, truncated).unwrap();
+        assert!(matches!(
+            PlanBuilder::new(&l).cores(3).load_plan(&path).build(),
+            Err(PlanError::Cache(_))
+        ));
+        // Corrupted assignment line: checksum rejects it (the checksum is
+        // verified before any semantic validation, so a flipped digit can
+        // never masquerade as a different valid plan).
+        let mut lines: Vec<String> = text.lines().map(String::from).collect();
+        let idx = (6..lines.len() - 1).find(|&i| lines[i].contains('0')).unwrap();
+        lines[idx] = lines[idx].replacen('0', "1", 1);
+        std::fs::write(&path, lines.join("\n")).unwrap();
+        assert!(matches!(
+            PlanBuilder::new(&l).cores(3).load_plan(&path).build(),
+            Err(PlanError::Cache(SerializeError::Checksum { .. }))
+        ));
+        // Version mismatch: rejected with the version error.
+        std::fs::write(&path, text.replacen("v2", "v7", 1)).unwrap();
+        assert!(matches!(
+            PlanBuilder::new(&l).cores(3).load_plan(&path).build(),
+            Err(PlanError::Cache(SerializeError::Version { .. }))
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn with_new_values_rebinds_without_scheduling() {
+        let l = lower();
+        let n = l.n_rows();
+        let b: Vec<f64> = (0..n).map(|i| ((i * 5) % 13) as f64 - 6.0).collect();
+        let scaled = CsrMatrix::from_raw(
+            n,
+            n,
+            l.row_ptr().to_vec(),
+            l.col_idx().to_vec(),
+            l.values().iter().map(|v| v * 1.5 + 0.25).collect(),
+        )
+        .unwrap();
+        for model in ExecModel::ALL {
+            for fastmath in [false, true] {
+                let plan = PlanBuilder::new(&l)
+                    .cores(3)
+                    .execution(model)
+                    .fastmath(fastmath)
+                    .pre_order(PreOrder::Rcm)
+                    .build()
+                    .unwrap();
+                let rebound = plan.with_new_values(&scaled).unwrap();
+                // Schedule artifacts are shared by reference, not rebuilt.
+                assert!(Arc::ptr_eq(&plan.compiled, &rebound.compiled));
+                assert_eq!(plan.schedule(), rebound.schedule());
+                // And the rebound plan solves the NEW matrix.
+                let x = rebound.solve(&b);
+                assert!(relative_residual(&scaled, &x, &b) < 1e-12, "{model}/fastmath={fastmath}");
+                if !fastmath {
+                    let direct = PlanBuilder::new(&scaled)
+                        .cores(3)
+                        .execution(model)
+                        .pre_order(PreOrder::Rcm)
+                        .build()
+                        .unwrap();
+                    assert_eq!(x, direct.solve(&b), "{model} rebind != direct build");
+                }
+            }
+        }
+        // A different structure is refused, never mis-solved.
+        let other = grid2d_laplacian(12, 10, Stencil2D::FivePoint, 0.5).lower_triangle().unwrap();
+        let plan = PlanBuilder::new(&l).cores(3).build().unwrap();
+        assert!(matches!(plan.with_new_values(&other), Err(PlanError::StructureMismatch { .. })));
+        // A zero diagonal in the new values is a singularity error.
+        let mut zeroed = l.values().to_vec();
+        let diag_pos = l.row_ptr()[1] - 1; // last entry of row 0 is the diagonal
+        zeroed[diag_pos] = 0.0;
+        let singular =
+            CsrMatrix::from_raw(n, n, l.row_ptr().to_vec(), l.col_idx().to_vec(), zeroed).unwrap();
+        assert!(matches!(plan.with_new_values(&singular), Err(PlanError::Matrix(_))));
+    }
+
+    #[test]
+    fn upper_plans_rebind_values_through_the_full_chain() {
+        // with_new_values must reproduce the whole permutation pipeline
+        // (orientation reversal + reorder) with one composed gather.
+        let u = lower().transpose();
+        let n = u.n_rows();
+        let scaled = CsrMatrix::from_raw(
+            n,
+            n,
+            u.row_ptr().to_vec(),
+            u.col_idx().to_vec(),
+            u.values().iter().map(|v| v * 0.75).collect(),
+        )
+        .unwrap();
+        let plan = PlanBuilder::new(&u).orientation(Orientation::Upper).cores(3).build().unwrap();
+        let rebound = plan.with_new_values(&scaled).unwrap();
+        let b: Vec<f64> = (0..n).map(|i| ((i % 7) as f64) - 3.0).collect();
+        let x = rebound.solve(&b);
+        assert!(relative_residual(&scaled, &x, &b) < 1e-12);
     }
 }

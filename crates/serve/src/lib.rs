@@ -272,7 +272,7 @@ impl ServerStats {
 /// `batch_wait_us=` spec keys or the typed `PlanBuilder` knobs), then the
 /// crate defaults; the builder's own setters win over both.
 pub struct ServeBuilder {
-    plan: SolvePlan,
+    plan: Arc<SolvePlan>,
     max_batch: Option<usize>,
     batch_wait: Option<Duration>,
     queue_depth: Option<usize>,
@@ -285,6 +285,15 @@ impl ServeBuilder {
     /// `batch_wait_us=` (else 100 µs), queue depth `4 × batch width`,
     /// blocking admission.
     pub fn new(plan: SolvePlan) -> ServeBuilder {
+        ServeBuilder::from_arc(Arc::new(plan))
+    }
+
+    /// A builder over an already-shared plan. The server holds the `Arc`
+    /// directly, so a plan pulled out of a warm-start
+    /// [`PlanCache`](sptrsv_exec::PlanCache) — or one other components
+    /// still reference — is served without cloning or rebuilding any of
+    /// its compiled artifacts.
+    pub fn from_arc(plan: Arc<SolvePlan>) -> ServeBuilder {
         ServeBuilder {
             plan,
             max_batch: None,
@@ -376,7 +385,7 @@ impl ServeBuilder {
                 batches: AtomicUsize::new(0),
                 widths: (0..=max_batch).map(|_| AtomicUsize::new(0)).collect(),
             },
-            plan: Arc::new(self.plan),
+            plan: self.plan,
             max_batch,
             batch_wait,
             queue_depth,
@@ -441,6 +450,32 @@ impl SolveServer {
     /// batcher frees space; with [`Admission::Shed`] it returns
     /// [`SubmitError::QueueFull`]. Steady-state submissions are
     /// allocation-free: slots recycle through the server's pool.
+    ///
+    /// ```
+    /// use sptrsv_exec::PlanBuilder;
+    /// use sptrsv_serve::{SolveServer, SubmitError};
+    /// use sptrsv_sparse::gen::grid::{grid2d_laplacian, Stencil2D};
+    ///
+    /// let l = grid2d_laplacian(12, 12, Stencil2D::FivePoint, 0.5).lower_triangle().unwrap();
+    /// let n = l.n_rows();
+    /// let server = SolveServer::start(PlanBuilder::new(&l).scheduler("growlocal").build()?);
+    ///
+    /// // A wrong-sized right-hand side is rejected with the buffer returned.
+    /// match server.submit(vec![1.0; n + 1]) {
+    ///     Err(SubmitError::WrongSize { b, expected }) => {
+    ///         assert_eq!((b.len(), expected), (n + 1, n));
+    ///     }
+    ///     other => panic!("expected WrongSize, got {other:?}"),
+    /// }
+    ///
+    /// // A well-formed submission yields a handle; `wait` returns the
+    /// // solution in the same buffer, solved in place.
+    /// let response = server.submit(vec![1.0; n]).unwrap().wait();
+    /// assert!(sptrsv_sparse::linalg::relative_residual(&l, &response.x, &vec![1.0; n]) < 1e-12);
+    /// assert!(response.timing.batch_width >= 1);
+    /// server.shutdown();
+    /// # Ok::<(), sptrsv_exec::PlanError>(())
+    /// ```
     pub fn submit(&self, b: Vec<f64>) -> Result<SolveHandle, SubmitError> {
         let shared = &self.shared;
         let n = shared.plan.internal_matrix().n_rows();
