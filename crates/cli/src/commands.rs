@@ -44,6 +44,8 @@ commands:
            [--save <file.plan>] [--load <file.plan>] [--plan-cache DIR]
   simulate <file.mtx> [--algo SPEC] [--cores K] [--machine intel|amd|arm]
            [--grant greedy|fair|cap=K] [--elastic on|off] [--fastmath on|off]
+  tune     <file.mtx> [--algo auto[:key=...][@model]] [--cores K]
+           [--budget N] [--measure on|off] [--cache DIR]
   serve-bench <file.mtx> [--algo SPEC] [--cores K] [--batch N]
            [--batch-wait-us U] [--clients C] [--requests R] [--depth D]
            [--admission block|shed] [--grant greedy|fair|cap=K]
@@ -91,7 +93,19 @@ uncached, miss (stored), memory hit, disk hit). `plan` builds and
 verifies one plan without the full solve report; --save writes its
 scheduling artifact to an explicit file and --load builds from one
 (the file must match the matrix and build flags, enforced by the
-fingerprint).";
+fingerprint).
+--algo auto turns scheduler selection over to the tuner on any command
+that takes a spec: features of the matrix prune the registry's
+(scheduler, model) pairs, the survivors are scheduled and ranked by
+modeled cycles, and the winner is built (printed as an `auto picked:`
+line). Scope keys parameterize it — auto:budget=N bounds how many
+candidates are scheduled, auto:measure=on adds a timed refinement of the
+top ranks, auto:cache=DIR persists the verdict under the matrix's
+structure fingerprint so later runs skip tuning (a corrupt or foreign
+verdict file is an error, never a wrong pick) — and any execution-policy
+key (auto:cores=4,fastmath=on) passes through to the winner. `sptrsv
+tune` runs the same pipeline standalone and prints the full ranked
+table; its --budget/--measure/--cache flags override the spec keys.";
 
 /// Dispatches a full argv (after the program name).
 pub fn dispatch(argv: &[String]) -> Result<(), String> {
@@ -107,6 +121,7 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         "solve" => solve(&args),
         "plan" => plan_cmd(&args),
         "simulate" => simulate(&args),
+        "tune" => tune(&args),
         "serve-bench" => serve_bench(&args),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
@@ -210,6 +225,29 @@ fn algos() -> Result<(), String> {
     Ok(())
 }
 
+/// Resolves an `--algo` value that may be `auto[:…][@model]`: runs the
+/// tuner against the loaded operand and returns the concrete winning spec
+/// (printing the greppable `auto picked:` line), or passes a non-auto
+/// spec through untouched. Every spec-taking command funnels through
+/// here, so `--algo auto` works uniformly on solve, plan, simulate and
+/// serve-bench.
+fn resolve_algo(args: &Args, algo: &str, lower: &CsrMatrix) -> Result<String, String> {
+    if !sptrsv_tune::is_auto_spec(algo) {
+        return Ok(algo.to_string());
+    }
+    let cores: Option<usize> = args
+        .get("cores")
+        .map(|v| v.parse().map_err(|e| format!("bad --cores: {e}")))
+        .transpose()?;
+    let resolved = sptrsv_tune::resolve_spec(lower, algo, cores).map_err(|e| e.to_string())?;
+    if let Some(report) = &resolved.report {
+        println!("verdict cache:     {}", report.cache.as_str());
+        println!("tuning time:       {:.1} ms", report.tuning_seconds * 1e3);
+    }
+    println!("auto picked:       {}", resolved.spec);
+    Ok(resolved.spec)
+}
+
 /// The effective core count of a command: the explicit `--cores` flag,
 /// else the spec's `cores=` execution-policy key, else `default`.
 fn effective_cores(args: &Args, algo: &str, default: usize) -> Result<usize, String> {
@@ -280,7 +318,8 @@ fn schedule(args: &Args) -> Result<(), String> {
 
 fn solve(args: &Args) -> Result<(), String> {
     let path = args.require_positional(0, "matrix file")?;
-    let algo = args.get("algo").unwrap_or("growlocal");
+    let lower = load_lower(path)?;
+    let algo = &resolve_algo(args, args.get("algo").unwrap_or("growlocal"), &lower)?;
     let cores = effective_cores(args, algo, 8)?;
     // Every flag takes a value (see `Args::parse`), so parse the booleans —
     // `--coarsen false` must not silently enable coarsening.
@@ -297,7 +336,6 @@ fn solve(args: &Args) -> Result<(), String> {
         Some("nested-dissection") => PreOrder::NestedDissection,
         Some(other) => return Err(format!("unknown pre-order `{other}`")),
     };
-    let lower = load_lower(path)?;
     let mut builder = PlanBuilder::new(&lower)
         .orientation(Orientation::Lower)
         .scheduler(algo)
@@ -382,7 +420,8 @@ fn solve(args: &Args) -> Result<(), String> {
 
 fn plan_cmd(args: &Args) -> Result<(), String> {
     let path = args.require_positional(0, "matrix file")?;
-    let algo = args.get("algo").unwrap_or("growlocal");
+    let lower = load_lower(path)?;
+    let algo = &resolve_algo(args, args.get("algo").unwrap_or("growlocal"), &lower)?;
     let cores = effective_cores(args, algo, 8)?;
     let reorder = !args.get_parse("no-reorder", false)?;
     let coarsen = args.get_parse("coarsen", false)?;
@@ -393,7 +432,6 @@ fn plan_cmd(args: &Args) -> Result<(), String> {
         Some("nested-dissection") => PreOrder::NestedDissection,
         Some(other) => return Err(format!("unknown pre-order `{other}`")),
     };
-    let lower = load_lower(path)?;
     let mut builder = PlanBuilder::new(&lower)
         .orientation(Orientation::Lower)
         .scheduler(algo)
@@ -437,7 +475,8 @@ fn plan_cmd(args: &Args) -> Result<(), String> {
 
 fn simulate(args: &Args) -> Result<(), String> {
     let path = args.require_positional(0, "matrix file")?;
-    let algo = args.get("algo").unwrap_or("growlocal");
+    let lower = load_lower(path)?;
+    let algo = &resolve_algo(args, args.get("algo").unwrap_or("growlocal"), &lower)?;
     let cores = effective_cores(args, algo, 22)?;
     let profile = match args.get("machine").unwrap_or("intel") {
         "intel" => MachineProfile::intel_xeon_22(),
@@ -445,7 +484,6 @@ fn simulate(args: &Args) -> Result<(), String> {
         "arm" => MachineProfile::kunpeng_920_48(),
         other => return Err(format!("unknown machine `{other}`")),
     };
-    let lower = load_lower(path)?;
     let dag = SolveDag::from_lower_triangular(&lower);
     let spec: SchedulerSpec = algo.parse().map_err(|e: registry::RegistryError| e.to_string())?;
     let model = registry::resolve_model(&spec).map_err(|e| e.to_string())?;
@@ -483,6 +521,33 @@ fn simulate(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+fn tune(args: &Args) -> Result<(), String> {
+    let path = args.require_positional(0, "matrix file")?;
+    let algo = args.get("algo").unwrap_or("auto");
+    let lower = load_lower(path)?;
+    let mut tuner = sptrsv_tune::Tuner::from_spec(&lower, algo)
+        .map_err(|e| e.to_string())?
+        .ok_or_else(|| format!("`sptrsv tune` needs an auto spec, got `{algo}`"))?;
+    if let Some(cores) = positive_flag(args, "cores")? {
+        tuner = tuner.cores(cores);
+    }
+    if let Some(budget) = positive_flag(args, "budget")? {
+        tuner = tuner.max_candidates(budget);
+    }
+    if let Some(measure) = on_off_flag(args, "measure")? {
+        tuner = tuner.measure(measure);
+    }
+    if let Some(dir) = args.get("cache") {
+        tuner = tuner.cache_dir(dir);
+    }
+    let report = tuner.run().map_err(|e| e.to_string())?;
+    print!("{}", sptrsv_tune::render_table(&report));
+    println!("verdict cache: {}", report.cache.as_str());
+    println!("tuning time:   {:.1} ms", report.tuning_seconds * 1e3);
+    println!("auto picked: {}", report.winner);
+    Ok(())
+}
+
 /// An optional positive-integer flag (serving knobs reject zero).
 fn positive_flag(args: &Args, name: &str) -> Result<Option<usize>, String> {
     match args.get(name) {
@@ -502,7 +567,8 @@ fn percentile(sorted: &[Duration], q: f64) -> Duration {
 
 fn serve_bench(args: &Args) -> Result<(), String> {
     let path = args.require_positional(0, "matrix file")?;
-    let algo = args.get("algo").unwrap_or("growlocal");
+    let lower = load_lower(path)?;
+    let algo = &resolve_algo(args, args.get("algo").unwrap_or("growlocal"), &lower)?;
     let cores = effective_cores(args, algo, 8)?;
     let clients: usize = args.get_parse("clients", 4)?;
     let requests: usize = args.get_parse("requests", 32)?;
@@ -517,7 +583,6 @@ fn serve_bench(args: &Args) -> Result<(), String> {
             return Err(format!("bad value for --admission: `{other}` (expected block or shed)"))
         }
     };
-    let lower = load_lower(path)?;
     let mut builder =
         PlanBuilder::new(&lower).orientation(Orientation::Lower).scheduler(algo).cores(cores);
     if let Some(grant) = grant_flag(args)? {
@@ -998,6 +1063,54 @@ mod tests {
         .is_err());
         // A blank spec value is a registry error, not a silent no-op.
         assert!(dispatch(&sv(&["solve", mtx, "--algo", "growlocal:plan_cache="])).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn tune_and_auto_specs_flow_through_the_cli() {
+        let dir = std::env::temp_dir().join("sptrsv-cli-tune");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let mtx = dir.join("m.mtx");
+        let mtx = mtx.to_str().unwrap();
+        let cache = dir.join("verdicts");
+        let cache = cache.to_str().unwrap();
+        let sv = |items: &[&str]| -> Vec<String> { items.iter().map(|s| s.to_string()).collect() };
+        dispatch(&sv(&["generate", "grid2d", "--width", "12", "--height", "12", "-o", mtx]))
+            .unwrap();
+        // The standalone tuner: default spec, flag form, spec-key form.
+        dispatch(&sv(&["tune", mtx, "--cores", "2"])).unwrap();
+        dispatch(&sv(&["tune", mtx, "--cores", "2", "--budget", "4", "--measure", "on"])).unwrap();
+        dispatch(&sv(&["tune", mtx, "--algo", "auto:budget=4,cores=2@barrier"])).unwrap();
+        // The verdict cache: first run stores, second hits.
+        dispatch(&sv(&["tune", mtx, "--cores", "2", "--cache", cache])).unwrap();
+        assert_eq!(std::fs::read_dir(cache).unwrap().count(), 1, "one verdict file");
+        dispatch(&sv(&["tune", mtx, "--cores", "2", "--cache", cache])).unwrap();
+        // auto as an --algo value on every spec-taking command.
+        dispatch(&sv(&["solve", mtx, "--cores", "2", "--algo", "auto"])).unwrap();
+        dispatch(&sv(&["simulate", mtx, "--cores", "4", "--algo", "auto"])).unwrap();
+        dispatch(&sv(&["plan", mtx, "--cores", "2", "--algo", "auto:budget=5"])).unwrap();
+        dispatch(&sv(&[
+            "serve-bench",
+            mtx,
+            "--cores",
+            "2",
+            "--algo",
+            "auto",
+            "--clients",
+            "2",
+            "--requests",
+            "3",
+        ]))
+        .unwrap();
+        // A non-auto spec on tune and a bad scope key are errors.
+        assert!(dispatch(&sv(&["tune", mtx, "--algo", "growlocal"])).is_err());
+        assert!(dispatch(&sv(&["tune", mtx, "--algo", "auto:warp=9"])).is_err());
+        assert!(dispatch(&sv(&["solve", mtx, "--algo", "auto:budget=0"])).is_err());
+        // A corrupt verdict file is an error, never a silent wrong pick.
+        let verdict = std::fs::read_dir(cache).unwrap().next().unwrap().unwrap().path();
+        std::fs::write(&verdict, "sptrsv-verdict v1\ngarbage\n").unwrap();
+        assert!(dispatch(&sv(&["tune", mtx, "--cores", "2", "--cache", cache])).is_err());
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -98,6 +98,39 @@ pub enum KernelOp {
     },
 }
 
+/// One op of a serialized kernel verdict (the flat, cell-order stream the
+/// v3 plan format stores so disk loads replay detection instead of
+/// re-running it). `Scalar`/`Unrolled` keep their cell positions verbatim;
+/// `Dense` keeps the matrix row range of its block — the block index and
+/// the packed panels are rebuilt from the operand on load
+/// ([`KernelPlan::from_verdict`]), so values never live in the plan file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VerdictOp {
+    /// A [`KernelOp::Scalar`] run.
+    Scalar {
+        /// First cell position of the run.
+        start: u32,
+        /// Number of rows in the run.
+        len: u32,
+    },
+    /// A [`KernelOp::Unrolled`] run.
+    Unrolled {
+        /// First cell position of the run.
+        start: u32,
+        /// Number of rows in the run.
+        len: u32,
+        /// Accumulator lanes (4 or 8).
+        lanes: u8,
+    },
+    /// A [`KernelOp::Dense`] block over matrix rows `first .. first + rows`.
+    Dense {
+        /// First matrix row of the block.
+        first: u32,
+        /// Number of rows (`1 ..= MAX_DENSE_BLOCK` accepted on replay).
+        rows: u32,
+    },
+}
+
 /// A packed supernode: `rows` consecutive matrix rows starting at `first`,
 /// stored as two column-major panels.
 #[derive(Debug, Clone, PartialEq)]
@@ -246,6 +279,113 @@ impl KernelPlan {
         }
     }
 
+    /// Exports the plan as a flat, cell-order [`VerdictOp`] stream — the
+    /// serialized form the v3 plan format stores. [`Self::from_verdict`]
+    /// inverts it against the same operand and compiled schedule.
+    pub fn verdict(&self) -> Vec<VerdictOp> {
+        self.ops
+            .iter()
+            .map(|op| match *op {
+                KernelOp::Scalar { start, len } => VerdictOp::Scalar { start, len },
+                KernelOp::Unrolled { start, len, lanes } => {
+                    VerdictOp::Unrolled { start, len, lanes }
+                }
+                KernelOp::Dense { block } => {
+                    let blk = &self.blocks[block as usize];
+                    VerdictOp::Dense { first: blk.first, rows: blk.rows }
+                }
+            })
+            .collect()
+    }
+
+    /// Replays a serialized verdict against `compiled` on `l`: the ops are
+    /// validated to tile every cell exactly (in `(step, core)` order), the
+    /// dense panels are re-packed from the operand, and the per-cell
+    /// offsets are rebuilt. The panel values come from `l` alone, so a
+    /// replayed plan computes exactly what a fresh
+    /// [`KernelPlan::detect`] of the same ops would.
+    ///
+    /// Errors describe the first structural mismatch — an op crossing a
+    /// cell boundary, a dense block whose rows are not the cell's
+    /// consecutive matrix rows, a row count outside
+    /// `1 ..= MAX_DENSE_BLOCK` (the executors' stack-buffer bound), bad
+    /// lane counts, or leftover/missing ops. A verdict saved for a
+    /// different schedule or operand is **an error, never a wrong plan**.
+    pub fn from_verdict(
+        l: &CsrMatrix,
+        compiled: &CompiledSchedule,
+        ops: &[VerdictOp],
+    ) -> Result<KernelPlan, String> {
+        let mut plan = KernelPlan::empty(l, compiled.n_cores());
+        let mut cursor = 0usize;
+        for step in 0..compiled.n_supersteps() {
+            for core in 0..compiled.n_cores() {
+                let cell = compiled.cell(step, core);
+                let mut pos = 0usize;
+                while pos < cell.len() {
+                    let op = *ops.get(cursor).ok_or_else(|| {
+                        format!("kernel verdict ends mid-cell (step {step}, core {core})")
+                    })?;
+                    cursor += 1;
+                    match op {
+                        VerdictOp::Scalar { start, len } => {
+                            check_run(cell, pos, start, len, step, core)?;
+                            plan.ops.push(KernelOp::Scalar { start, len });
+                            pos += len as usize;
+                        }
+                        VerdictOp::Unrolled { start, len, lanes } => {
+                            check_run(cell, pos, start, len, step, core)?;
+                            if lanes != 4 && lanes != 8 {
+                                return Err(format!(
+                                    "kernel verdict: {lanes} lanes (expected 4 or 8)"
+                                ));
+                            }
+                            plan.unrolled_rows += len as usize;
+                            plan.ops.push(KernelOp::Unrolled { start, len, lanes });
+                            pos += len as usize;
+                        }
+                        VerdictOp::Dense { first, rows } => {
+                            let size = rows as usize;
+                            if size == 0 || size > MAX_DENSE_BLOCK {
+                                return Err(format!(
+                                    "kernel verdict: dense block of {size} rows \
+                                     (expected 1..={MAX_DENSE_BLOCK})"
+                                ));
+                            }
+                            if pos + size > cell.len() {
+                                return Err(format!(
+                                    "kernel verdict: dense block crosses the cell boundary \
+                                     (step {step}, core {core})"
+                                ));
+                            }
+                            for i in 0..size {
+                                if cell[pos + i] != first + i as u32 {
+                                    return Err(format!(
+                                        "kernel verdict: dense block rows {first}+{size} do not \
+                                         match the cell's rows (step {step}, core {core})"
+                                    ));
+                                }
+                            }
+                            plan.pack_block(l, first, size);
+                            plan.ops
+                                .push(KernelOp::Dense { block: (plan.blocks.len() - 1) as u32 });
+                            plan.dense_rows += size;
+                            pos += size;
+                        }
+                    }
+                }
+                plan.op_ptr.push(plan.ops.len() as u32);
+            }
+        }
+        if cursor != ops.len() {
+            return Err(format!(
+                "kernel verdict has {} trailing op(s) after the last cell",
+                ops.len() - cursor
+            ));
+        }
+        Ok(plan)
+    }
+
     /// Plans one cell: greedy supernode growth over runs of consecutive
     /// row IDs, remaining rows grouped into scalar/unrolled runs.
     fn plan_cell(&mut self, l: &CsrMatrix, rows: &[u32]) {
@@ -383,6 +523,31 @@ impl KernelPlan {
     }
 }
 
+/// Shared run validation of [`KernelPlan::from_verdict`]: a scalar or
+/// unrolled run must start at the replay cursor and stay inside its cell.
+fn check_run(
+    cell: &[u32],
+    pos: usize,
+    start: u32,
+    len: u32,
+    step: usize,
+    core: usize,
+) -> Result<(), String> {
+    if start as usize != pos {
+        return Err(format!(
+            "kernel verdict: run starts at cell position {start}, expected {pos} \
+             (step {step}, core {core})"
+        ));
+    }
+    if len == 0 || pos + len as usize > cell.len() {
+        return Err(format!(
+            "kernel verdict: run of {len} rows crosses the cell boundary \
+             (step {step}, core {core})"
+        ));
+    }
+    Ok(())
+}
+
 /// Classification of a non-blocked row by its off-diagonal length.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum RowClass {
@@ -496,6 +661,49 @@ mod tests {
             let (_, vals) = l.row(i);
             assert_eq!(plan.inv_diag()[i], 1.0 / vals[vals.len() - 1]);
         }
+    }
+
+    #[test]
+    fn verdict_round_trips_and_rejects_mismatches() {
+        let l = supernodal_spd(12, 8, 2, 0.5).lower_triangle().unwrap();
+        let dag = SolveDag::from_lower_triangular(&l);
+        let schedule = GrowLocal::new().schedule(&dag, 4);
+        let compiled = CompiledSchedule::from_schedule(&schedule);
+        let detected = KernelPlan::detect(&l, &compiled);
+        assert!(detected.dense_rows() > 0, "the round trip should cover a dense block");
+
+        let ops = detected.verdict();
+        let replayed = KernelPlan::from_verdict(&l, &compiled, &ops).unwrap();
+        assert_tiles(&replayed, &compiled);
+        assert_eq!(replayed.dense_rows(), detected.dense_rows());
+        assert_eq!(replayed.unrolled_rows(), detected.unrolled_rows());
+        assert_eq!(replayed.blocks(), detected.blocks());
+        for step in 0..compiled.n_supersteps() {
+            for core in 0..compiled.n_cores() {
+                assert_eq!(replayed.cell_ops(step, core), detected.cell_ops(step, core));
+            }
+        }
+
+        // A corrupted stream is an error, never a wrong plan: shift the
+        // first run off its cursor / onto the wrong matrix rows.
+        let mut shifted = ops.clone();
+        shifted[0] = match shifted[0] {
+            VerdictOp::Scalar { start, len } => VerdictOp::Scalar { start: start + 1, len },
+            VerdictOp::Unrolled { start, len, lanes } => {
+                VerdictOp::Unrolled { start: start + 1, len, lanes }
+            }
+            VerdictOp::Dense { first, rows } => VerdictOp::Dense { first: first + 1, rows },
+        };
+        assert!(KernelPlan::from_verdict(&l, &compiled, &shifted).is_err());
+        // Truncated and padded streams are rejected too.
+        assert!(KernelPlan::from_verdict(&l, &compiled, &ops[..ops.len() - 1]).is_err());
+        let mut padded = ops.clone();
+        padded.push(VerdictOp::Scalar { start: 0, len: 1 });
+        assert!(KernelPlan::from_verdict(&l, &compiled, &padded).is_err());
+        // An oversized dense block must never reach the executors' stack
+        // buffers.
+        let huge = [VerdictOp::Dense { first: 0, rows: MAX_DENSE_BLOCK as u32 + 1 }];
+        assert!(KernelPlan::from_verdict(&l, &compiled, &huge).is_err());
     }
 
     #[test]

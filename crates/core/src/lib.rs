@@ -57,7 +57,7 @@ pub use compiled::CompiledSchedule;
 pub use funnel_gl::{auto_part_weight_cap, coarsen_and_schedule, FunnelGrowLocal};
 pub use growlocal::{GrowLocal, GrowLocalParams, VertexPriority};
 pub use hdagg::HDagg;
-pub use kernel::{DenseBlock, KernelOp, KernelPlan};
+pub use kernel::{DenseBlock, KernelOp, KernelPlan, VerdictOp};
 pub use registry::{
     Backoff, ExecModel, ExecPolicy, RegistryError, SchedulerInfo, SchedulerSpec, SyncPolicy,
 };

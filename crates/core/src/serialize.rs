@@ -17,11 +17,13 @@
 //!   reordering and validation entirely and shares the same
 //!   `Arc<CompiledSchedule>` the executors already consume.
 //! * **Versioned on-disk plan files** ([`SavedPlan`], [`write_plan`],
-//!   [`read_plan`]) — the v2 format below, carrying a format version, the
-//!   fingerprint, the final schedule and the reorder permutation, guarded
-//!   by a body checksum. Corrupt, truncated, version-mismatched or
-//!   wrong-matrix files are rejected with an error — a stale or damaged
-//!   cache can cost a rebuild, never a wrong answer.
+//!   [`read_plan`]) — the v3 format below (v2 files are still read),
+//!   carrying a format version, the fingerprint, the final schedule, the
+//!   reorder permutation, and optionally the kernel-layer verdict and the
+//!   reduced wait DAG's removed-edge set, guarded by a body checksum.
+//!   Corrupt, truncated, version-mismatched or wrong-matrix files are
+//!   rejected with an error — a stale or damaged cache can cost a
+//!   rebuild, never a wrong answer.
 //!
 //! # v1: schedule files
 //!
@@ -40,10 +42,10 @@
 //!
 //! with one `core superstep` pair per vertex, in vertex order.
 //!
-//! # v2: plan files
+//! # v3: plan files (v2 still read)
 //!
 //! ```text
-//! sptrsv-plan v2
+//! sptrsv-plan v3
 //! fingerprint 9f86d081884c7d65...      (32 hex digits)
 //! key growlocal:alpha=8|cores=4|...    (informational build key)
 //! cores 4
@@ -52,17 +54,39 @@
 //! 0 0 2
 //! 1 0 0
 //! 0 1 1
+//! kernel 2                             (optional section)
+//! s 0 1
+//! d 1 2
+//! syncdag 1                            (optional section)
+//! 0 2
 //! checksum 1b3dd26fa2f7c348
 //! ```
 //!
 //! Each vertex line is `core superstep` (`reorder 0`) or
 //! `core superstep old` (`reorder 1`), where `old` is the §5 reorder
-//! permutation's `old_of_new` entry. The trailing checksum is a digest of
-//! every parsed value, so silent bit rot anywhere in the body is detected
-//! even when the damaged line still parses.
+//! permutation's `old_of_new` entry. Two optional sections follow, in this
+//! order:
+//!
+//! * `kernel <n_ops>` — the kernel-layer verdict as a flat cell-order
+//!   [`VerdictOp`] stream: `s start len` (scalar run), `u start len lanes`
+//!   (unrolled run), `d first rows` (dense block by matrix row range —
+//!   the packed panels are rebuilt from the operand on load, so no
+//!   values live in the file);
+//! * `syncdag <n_removed>` — the edges (`u w` per line, "w waits on u")
+//!   the reduced wait DAG removed from the full solve DAG. The loader
+//!   revalidates each against the freshly built full DAG (a removed edge
+//!   must exist there and have a two-edge witness path) before
+//!   reconstructing the reduced DAG as full-minus-removed, which is what
+//!   lets `spmp@async` disk loads skip the transitive reduction.
+//!
+//! The trailing checksum is a digest of every parsed value — sections
+//! included — so silent bit rot anywhere in the body is detected even
+//! when the damaged line still parses. v2 files (no sections, the v2
+//! checksum) are still accepted; missing sections simply mean the load
+//! path recomputes those artifacts as before.
 
 use crate::compiled::CompiledSchedule;
-use crate::kernel::KernelPlan;
+use crate::kernel::{KernelPlan, VerdictOp};
 use crate::schedule::Schedule;
 use sptrsv_dag::SolveDag;
 use sptrsv_sparse::{CsrMatrix, Permutation};
@@ -480,10 +504,12 @@ pub fn read_schedule_file<P: AsRef<Path>>(path: P) -> Result<Schedule, Serialize
 }
 
 // ---------------------------------------------------------------------------
-// v2: plan files
+// v3: plan files (v2 read for compatibility)
 // ---------------------------------------------------------------------------
 
-const PLAN_HEADER: &str = "sptrsv-plan v2";
+const PLAN_HEADER: &str = "sptrsv-plan v3";
+/// The previous plan format: no optional sections, section-less checksum.
+const LEGACY_PLAN_HEADER: &str = "sptrsv-plan v2";
 
 /// The on-disk scheduling artifact: the final schedule, the §5 reorder
 /// permutation that produced its operand, and the fingerprint + build key
@@ -500,17 +526,26 @@ pub struct SavedPlan {
     pub schedule: Schedule,
     /// The §5 reorder permutation (`None` when reordering was disabled).
     pub reorder_perm: Option<Permutation>,
+    /// The kernel-layer verdict of the saved build (`None` when the build
+    /// ran without `fastmath=on`). Replayed through
+    /// [`KernelPlan::from_verdict`] on load instead of re-running
+    /// detection.
+    pub kernel: Option<Vec<VerdictOp>>,
+    /// The edges the build's reduced wait DAG removed from the full solve
+    /// DAG (`None` when the build did not use `sync=reduced` asynchronous
+    /// execution). Lets a disk load reconstruct the reduced DAG without
+    /// re-running the transitive reduction.
+    pub removed_sync_edges: Option<Vec<(usize, usize)>>,
 }
 
-/// Digest of a plan file's parsed body (cores, vertex count, assignments,
-/// permutation), written as the trailing `checksum` line and re-verified on
-/// read.
-fn plan_body_checksum(
+/// Hashes the fields both format versions share (cores, vertex count,
+/// assignments, permutation) into a fresh hasher.
+fn plan_body_hasher(
     n_cores: usize,
     core_of: &[usize],
     step_of: &[usize],
     perm: Option<&[usize]>,
-) -> u64 {
+) -> FingerprintHasher {
     let mut h = FingerprintHasher::new();
     h.write_u64(n_cores as u64);
     h.write_u64(core_of.len() as u64);
@@ -523,10 +558,74 @@ fn plan_body_checksum(
         }
         None => h.write_u64(0),
     }
+    h
+}
+
+/// Digest of a legacy (v2) plan file's parsed body, re-verified when reading
+/// old files.
+fn plan_body_checksum(
+    n_cores: usize,
+    core_of: &[usize],
+    step_of: &[usize],
+    perm: Option<&[usize]>,
+) -> u64 {
+    plan_body_hasher(n_cores, core_of, step_of, perm).finish64()
+}
+
+/// Digest of a v3 plan file's parsed body: the shared fields plus the
+/// optional kernel-verdict and removed-sync-edge sections (presence flags
+/// included, so a stripped section cannot masquerade as "never written").
+fn plan_body_checksum_v3(
+    n_cores: usize,
+    core_of: &[usize],
+    step_of: &[usize],
+    perm: Option<&[usize]>,
+    kernel: Option<&[VerdictOp]>,
+    removed: Option<&[(usize, usize)]>,
+) -> u64 {
+    let mut h = plan_body_hasher(n_cores, core_of, step_of, perm);
+    match kernel {
+        Some(ops) => {
+            h.write_u64(1);
+            h.write_u64(ops.len() as u64);
+            for op in ops {
+                match *op {
+                    VerdictOp::Scalar { start, len } => {
+                        h.write_u64(0);
+                        h.write_u64(u64::from(start));
+                        h.write_u64(u64::from(len));
+                    }
+                    VerdictOp::Unrolled { start, len, lanes } => {
+                        h.write_u64(1);
+                        h.write_u64(u64::from(start));
+                        h.write_u64(u64::from(len));
+                        h.write_u64(u64::from(lanes));
+                    }
+                    VerdictOp::Dense { first, rows } => {
+                        h.write_u64(2);
+                        h.write_u64(u64::from(first));
+                        h.write_u64(u64::from(rows));
+                    }
+                }
+            }
+        }
+        None => h.write_u64(0),
+    }
+    match removed {
+        Some(edges) => {
+            h.write_u64(1);
+            h.write_u64(edges.len() as u64);
+            for &(u, w) in edges {
+                h.write_u64(u as u64);
+                h.write_u64(w as u64);
+            }
+        }
+        None => h.write_u64(0),
+    }
     h.finish64()
 }
 
-/// Writes a plan artifact in the v2 format.
+/// Writes a plan artifact in the v3 format.
 pub fn write_plan<W: Write>(plan: &SavedPlan, writer: W) -> Result<(), SerializeError> {
     if plan.key.contains('\n') || plan.key.contains('\r') {
         return Err(SerializeError::Parse("plan key must be a single line".into()));
@@ -559,18 +658,39 @@ pub fn write_plan<W: Write>(plan: &SavedPlan, writer: W) -> Result<(), Serialize
             }
         }
     }
-    let checksum = plan_body_checksum(
+    if let Some(ops) = &plan.kernel {
+        writeln!(w, "kernel {}", ops.len())?;
+        for op in ops {
+            match *op {
+                VerdictOp::Scalar { start, len } => writeln!(w, "s {start} {len}")?,
+                VerdictOp::Unrolled { start, len, lanes } => {
+                    writeln!(w, "u {start} {len} {lanes}")?
+                }
+                VerdictOp::Dense { first, rows } => writeln!(w, "d {first} {rows}")?,
+            }
+        }
+    }
+    if let Some(edges) = &plan.removed_sync_edges {
+        writeln!(w, "syncdag {}", edges.len())?;
+        for &(u, v) in edges {
+            writeln!(w, "{u} {v}")?;
+        }
+    }
+    let checksum = plan_body_checksum_v3(
         plan.schedule.n_cores(),
         plan.schedule.cores(),
         plan.schedule.steps(),
         plan.reorder_perm.as_ref().map(|p| p.old_of_new()),
+        plan.kernel.as_deref(),
+        plan.removed_sync_edges.as_deref(),
     );
     writeln!(w, "checksum {checksum:016x}")?;
     w.flush()?;
     Ok(())
 }
 
-/// Reads a plan artifact in the v2 format, verifying the version header and
+/// Reads a plan artifact in the v3 format (v2 files are still accepted,
+/// with both optional sections absent), verifying the version header and
 /// the body checksum. Fingerprint verification against the *current* matrix
 /// and build key is the caller's job (the planner compares
 /// [`SavedPlan::fingerprint`] against a freshly computed
@@ -586,9 +706,11 @@ pub fn read_plan<R: Read>(reader: R) -> Result<SavedPlan, SerializeError> {
             .map_err(SerializeError::from)
     };
     let header = next("header")?;
-    if header.trim() != PLAN_HEADER {
-        return Err(SerializeError::Version { found: header.trim().to_string() });
-    }
+    let legacy = match header.trim() {
+        h if h == PLAN_HEADER => false,
+        h if h == LEGACY_PLAN_HEADER => true,
+        h => return Err(SerializeError::Version { found: h.to_string() }),
+    };
     let fp_line = next("fingerprint")?;
     let fingerprint = fp_line
         .strip_prefix("fingerprint ")
@@ -633,13 +755,76 @@ pub fn read_plan<R: Read>(reader: R) -> Result<SavedPlan, SerializeError> {
             old_of_new.push(field("reorder source")?);
         }
     }
-    let checksum_line = next("checksum")?;
+    // v3 optional sections: `kernel <n>` then `syncdag <n>`, each absent when
+    // the build didn't produce it. One line of lookahead distinguishes a
+    // section header from the checksum line.
+    let mut kernel: Option<Vec<VerdictOp>> = None;
+    let mut removed: Option<Vec<(usize, usize)>> = None;
+    let mut pending: Option<String> = None;
+    if !legacy {
+        let line = next("kernel/syncdag/checksum")?;
+        if let Some(count) = line.strip_prefix("kernel ") {
+            let n_ops: usize = count
+                .trim()
+                .parse()
+                .map_err(|e| SerializeError::Parse(format!("bad kernel count: {e}")))?;
+            let mut ops = Vec::with_capacity(n_ops);
+            for i in 0..n_ops {
+                ops.push(parse_verdict_op(&next("kernel op")?, i)?);
+            }
+            kernel = Some(ops);
+        } else {
+            pending = Some(line);
+        }
+        let line = match pending.take() {
+            Some(l) => l,
+            None => next("syncdag/checksum")?,
+        };
+        if let Some(count) = line.strip_prefix("syncdag ") {
+            let n_edges: usize = count
+                .trim()
+                .parse()
+                .map_err(|e| SerializeError::Parse(format!("bad syncdag count: {e}")))?;
+            let mut edges = Vec::with_capacity(n_edges);
+            for i in 0..n_edges {
+                let line = next("syncdag edge")?;
+                let mut it = line.split_whitespace();
+                let mut field = |what: &str| -> Result<usize, SerializeError> {
+                    it.next()
+                        .ok_or_else(|| {
+                            SerializeError::Parse(format!("syncdag edge {i}: missing {what}"))
+                        })?
+                        .parse()
+                        .map_err(|e| SerializeError::Parse(format!("syncdag edge {i} {what}: {e}")))
+                };
+                edges.push((field("source")?, field("target")?));
+            }
+            removed = Some(edges);
+        } else {
+            pending = Some(line);
+        }
+    }
+    let checksum_line = match pending.take() {
+        Some(l) => l,
+        None => next("checksum")?,
+    };
     let stored = checksum_line
         .strip_prefix("checksum ")
         .and_then(|s| u64::from_str_radix(s.trim(), 16).ok())
         .ok_or_else(|| SerializeError::Parse(format!("bad checksum line: {checksum_line}")))?;
-    let computed =
-        plan_body_checksum(n_cores, &core_of, &step_of, reorder.then_some(old_of_new.as_slice()));
+    let perm_slice = reorder.then_some(old_of_new.as_slice());
+    let computed = if legacy {
+        plan_body_checksum(n_cores, &core_of, &step_of, perm_slice)
+    } else {
+        plan_body_checksum_v3(
+            n_cores,
+            &core_of,
+            &step_of,
+            perm_slice,
+            kernel.as_deref(),
+            removed.as_deref(),
+        )
+    };
     if stored != computed {
         return Err(SerializeError::Checksum { stored, computed });
     }
@@ -655,7 +840,39 @@ pub fn read_plan<R: Read>(reader: R) -> Result<SavedPlan, SerializeError> {
         key,
         schedule: Schedule::new(n_cores, core_of, step_of),
         reorder_perm,
+        kernel,
+        removed_sync_edges: removed,
     })
+}
+
+/// Parses one `s`/`u`/`d` kernel-section line.
+fn parse_verdict_op(line: &str, i: usize) -> Result<VerdictOp, SerializeError> {
+    let mut it = line.split_whitespace();
+    let tag =
+        it.next().ok_or_else(|| SerializeError::Parse(format!("kernel op {i}: empty line")))?;
+    let mut field = |what: &str| -> Result<u32, SerializeError> {
+        it.next()
+            .ok_or_else(|| SerializeError::Parse(format!("kernel op {i}: missing {what}")))?
+            .parse()
+            .map_err(|e| SerializeError::Parse(format!("kernel op {i} {what}: {e}")))
+    };
+    let op = match tag {
+        "s" => VerdictOp::Scalar { start: field("start")?, len: field("len")? },
+        "u" => {
+            let (start, len, lanes) = (field("start")?, field("len")?, field("lanes")?);
+            let lanes = u8::try_from(lanes)
+                .map_err(|_| SerializeError::Parse(format!("kernel op {i}: lanes {lanes}")))?;
+            VerdictOp::Unrolled { start, len, lanes }
+        }
+        "d" => VerdictOp::Dense { first: field("first")?, rows: field("rows")? },
+        other => {
+            return Err(SerializeError::Parse(format!("kernel op {i}: unknown tag `{other}`")))
+        }
+    };
+    if it.next().is_some() {
+        return Err(SerializeError::Parse(format!("kernel op {i}: trailing fields")));
+    }
+    Ok(op)
 }
 
 /// Writes a plan artifact to a file.
@@ -762,6 +979,8 @@ mod tests {
             key: "test-key".to_string(),
             schedule: Schedule::new(cores, core_of, step_of),
             reorder_perm,
+            kernel: None,
+            removed_sync_edges: None,
         }
     }
 
@@ -795,7 +1014,7 @@ mod tests {
         let plan = saved(6, 2, false);
         let mut buf = Vec::new();
         write_plan(&plan, &mut buf).unwrap();
-        let text = String::from_utf8(buf).unwrap().replacen("v2", "v9", 1);
+        let text = String::from_utf8(buf).unwrap().replacen("v3", "v9", 1);
         match read_plan(text.as_bytes()) {
             Err(SerializeError::Version { found }) => assert!(found.contains("v9")),
             other => panic!("expected Version error, got {other:?}"),
@@ -824,6 +1043,93 @@ mod tests {
         );
     }
 
+    fn saved_with_sections(n: usize, cores: usize) -> SavedPlan {
+        let mut plan = saved(n, cores, true);
+        plan.kernel = Some(vec![
+            VerdictOp::Scalar { start: 0, len: 3 },
+            VerdictOp::Unrolled { start: 3, len: 8, lanes: 4 },
+            VerdictOp::Dense { first: 4, rows: 2 },
+        ]);
+        plan.removed_sync_edges = Some(vec![(0, 5), (2, 7)]);
+        plan
+    }
+
+    #[test]
+    fn v3_sections_round_trip() {
+        for (with_kernel, with_edges) in [(true, true), (true, false), (false, true)] {
+            let mut plan = saved_with_sections(12, 3);
+            if !with_kernel {
+                plan.kernel = None;
+            }
+            if !with_edges {
+                plan.removed_sync_edges = None;
+            }
+            let mut buf = Vec::new();
+            write_plan(&plan, &mut buf).unwrap();
+            let back = read_plan(&buf[..]).unwrap();
+            assert_eq!(back, plan, "kernel={with_kernel} edges={with_edges}");
+        }
+    }
+
+    #[test]
+    fn v3_truncation_inside_sections_rejected() {
+        let plan = saved_with_sections(12, 3);
+        let mut buf = Vec::new();
+        write_plan(&plan, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        for keep in 0..lines.len() {
+            let prefix = lines[..keep].join("\n");
+            assert!(read_plan(prefix.as_bytes()).is_err(), "prefix of {keep} lines accepted");
+        }
+    }
+
+    #[test]
+    fn v3_edited_section_line_fails_checksum() {
+        let plan = saved_with_sections(12, 3);
+        let mut buf = Vec::new();
+        write_plan(&plan, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let mut lines: Vec<String> = text.lines().map(String::from).collect();
+        // The first kernel op line follows the `kernel 3` header.
+        let header = lines.iter().position(|l| l.starts_with("kernel ")).unwrap();
+        lines[header + 1] = "s 1 3".to_string();
+        let edited = lines.join("\n");
+        assert!(matches!(read_plan(edited.as_bytes()), Err(SerializeError::Checksum { .. })));
+        // Same for a syncdag edge line.
+        let mut lines: Vec<String> = text.lines().map(String::from).collect();
+        let header = lines.iter().position(|l| l.starts_with("syncdag ")).unwrap();
+        lines[header + 1] = "1 5".to_string();
+        let edited = lines.join("\n");
+        assert!(matches!(read_plan(edited.as_bytes()), Err(SerializeError::Checksum { .. })));
+    }
+
+    #[test]
+    fn legacy_v2_plan_still_reads() {
+        let plan = saved(12, 3, true);
+        // Hand-build a v2 file: v3 layout minus the sections, with the
+        // legacy (section-less) checksum.
+        let mut buf = Vec::new();
+        write_plan(&plan, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap().replacen("v3", "v2", 1);
+        let legacy_sum = plan_body_checksum(
+            plan.schedule.n_cores(),
+            plan.schedule.cores(),
+            plan.schedule.steps(),
+            plan.reorder_perm.as_ref().map(|p| p.old_of_new()),
+        );
+        let mut lines: Vec<String> = text.lines().map(String::from).collect();
+        let last = lines.len() - 1;
+        lines[last] = format!("checksum {legacy_sum:016x}");
+        let v2 = lines.join("\n");
+        let back = read_plan(v2.as_bytes()).unwrap();
+        assert_eq!(back, plan);
+        assert!(back.kernel.is_none() && back.removed_sync_edges.is_none());
+        // A v2 file must use the v2 checksum — the v3 one is rejected.
+        let stale = text;
+        assert!(matches!(read_plan(stale.as_bytes()), Err(SerializeError::Checksum { .. })));
+    }
+
     #[test]
     fn non_permutation_reorder_column_rejected() {
         // A duplicated `old` entry parses and can be checksummed, so forge a
@@ -831,7 +1137,7 @@ mod tests {
         let core_of = vec![0, 1];
         let step_of = vec![0, 0];
         let bad_perm = vec![0usize, 0usize];
-        let checksum = plan_body_checksum(2, &core_of, &step_of, Some(&bad_perm));
+        let checksum = plan_body_checksum_v3(2, &core_of, &step_of, Some(&bad_perm), None, None);
         let fp = PlanFingerprint::compute(&ident(2), "k");
         let text = format!(
             "{PLAN_HEADER}\nfingerprint {fp}\nkey k\ncores 2\nvertices 2\nreorder 1\n\

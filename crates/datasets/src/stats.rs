@@ -18,6 +18,16 @@ pub struct MatrixStats {
     pub n_wavefronts: usize,
     /// DAG sources (rows with no strictly-lower entries).
     pub n_sources: usize,
+    /// Widest wavefront (peak exploitable parallelism).
+    pub max_wavefront: usize,
+    /// Population variance of the per-row non-zero counts. High variance
+    /// means a few long rows dominate and row-splitting schedulers win;
+    /// near zero means uniform rows.
+    pub row_len_variance: f64,
+    /// Largest `row − column` distance over the stored entries: the
+    /// half-bandwidth of the operand. Narrow bands favour wavefront-style
+    /// pipelining, wide bands favour locality-driven schedulers.
+    pub bandwidth: usize,
 }
 
 impl MatrixStats {
@@ -30,12 +40,30 @@ impl MatrixStats {
     /// Computes the statistics when the DAG is already available.
     pub fn of_dag(lower: &CsrMatrix, dag: &SolveDag) -> MatrixStats {
         let wf = wavefronts(dag);
+        let n = lower.n_rows();
+        let mean_len = if n == 0 { 0.0 } else { lower.nnz() as f64 / n as f64 };
+        let mut variance = 0.0;
+        let mut bandwidth = 0;
+        for r in 0..n {
+            let d = lower.row_nnz(r) as f64 - mean_len;
+            variance += d * d;
+            let (cols, _) = lower.row(r);
+            if let Some(&first) = cols.first() {
+                bandwidth = bandwidth.max(r.saturating_sub(first));
+            }
+        }
+        if n > 0 {
+            variance /= n as f64;
+        }
         MatrixStats {
-            n: lower.n_rows(),
+            n,
             nnz: lower.nnz(),
             avg_wavefront: wf.average_size(),
             n_wavefronts: wf.n_fronts(),
             n_sources: dag.sources().len(),
+            max_wavefront: wf.max_size(),
+            row_len_variance: variance,
+            bandwidth,
         }
     }
 
@@ -68,5 +96,9 @@ mod tests {
         assert_eq!(s.avg_wavefront, 1.0);
         assert_eq!(s.n_sources, 1);
         assert_eq!(s.flops(), 10);
+        assert_eq!(s.max_wavefront, 1);
+        // Row lengths 1,2,2,2: mean 1.75, variance 3·0.25²+0.75² over 4.
+        assert!((s.row_len_variance - 0.1875).abs() < 1e-12);
+        assert_eq!(s.bandwidth, 1);
     }
 }

@@ -95,7 +95,7 @@ use sptrsv_dag::SolveDag;
 use sptrsv_sparse::csr::Triangle;
 use sptrsv_sparse::ordering::{min_degree_ordering, nested_dissection_ordering, rcm_ordering};
 use sptrsv_sparse::{CsrMatrix, Permutation, SparseError};
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, HashSet};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
@@ -955,16 +955,38 @@ impl SolvePlan {
         // stale-but-well-formed file is either rejected here or harmless.
         saved.schedule.validate(&final_dag).map_err(PlanError::Schedule)?;
         let compiled = Arc::new(CompiledSchedule::from_schedule(&saved.schedule));
-        let kernel = policy.fastmath.then(|| Arc::new(KernelPlan::detect(&matrix, &compiled)));
+        let kernel = if policy.fastmath {
+            // Replay the saved kernel verdict when the file carries one —
+            // `from_verdict` re-validates every op against the compiled
+            // cells, so a damaged section errors instead of mis-planning.
+            // Files without the section (or v2 files) re-detect as before.
+            let plan = match &saved.kernel {
+                Some(ops) => KernelPlan::from_verdict(&matrix, &compiled, ops).map_err(|e| {
+                    PlanError::Cache(SerializeError::Parse(format!("kernel section: {e}")))
+                })?,
+                None => KernelPlan::detect(&matrix, &compiled),
+            };
+            Some(Arc::new(plan))
+        } else {
+            None
+        };
         let sync_dag = match model {
             ExecModel::Async => Some(match policy.sync {
                 SyncPolicy::Full => final_dag,
-                SyncPolicy::Reduced => {
-                    let scheduler = registry::build(spec, &final_dag, n_cores)?;
-                    scheduler
-                        .sync_dag(&final_dag)
-                        .unwrap_or_else(|| approximate_transitive_reduction(&final_dag))
-                }
+                SyncPolicy::Reduced => match &saved.removed_sync_edges {
+                    // Reconstruct reduced = full − removed, after checking
+                    // every removed edge keeps a two-path witness in the
+                    // full DAG (the asynchronous executor's safety
+                    // argument); a file that fails the check errors out.
+                    Some(removed) => reconstruct_reduced_dag(&final_dag, removed)
+                        .map_err(|e| PlanError::Cache(SerializeError::Parse(e)))?,
+                    None => {
+                        let scheduler = registry::build(spec, &final_dag, n_cores)?;
+                        scheduler
+                            .sync_dag(&final_dag)
+                            .unwrap_or_else(|| approximate_transitive_reduction(&final_dag))
+                    }
+                },
             }),
             ExecModel::Barrier | ExecModel::Serial => None,
         };
@@ -1262,11 +1284,25 @@ impl SolvePlan {
                 )))
             }
         };
+        // Persist the derived artifacts too: the kernel verdict (replayed
+        // on load instead of re-detecting) and, for reduced-sync async
+        // plans, the edges the transitive reduction removed (so a warm
+        // load reconstructs the reduced DAG without re-reducing).
+        let removed_sync_edges = (self.model == ExecModel::Async
+            && self.policy.sync == SyncPolicy::Reduced)
+            .then_some(self.sync_dag.as_ref())
+            .flatten()
+            .map(|reduced| {
+                let full = SolveDag::from_lower_triangular(&self.matrix);
+                removed_edges(&full, reduced)
+            });
         let saved = SavedPlan {
             fingerprint,
             key,
             schedule: self.schedule.clone(),
             reorder_perm: self.reorder_perm.clone(),
+            kernel: self.kernel.as_ref().map(|k| k.verdict()),
+            removed_sync_edges,
         };
         write_plan_file(&saved, path).map_err(PlanError::Cache)
     }
@@ -1347,6 +1383,67 @@ impl SolvePlan {
 /// directory.
 fn plan_cache_path(dir: &Path, fingerprint: &PlanFingerprint) -> PathBuf {
     dir.join(format!("{fingerprint}.plan"))
+}
+
+/// The edges present in `full` but absent from `reduced` — what a
+/// transitive reduction removed, in deterministic (target, source) scan
+/// order. This is the payload [`SolvePlan::save`] persists for
+/// reduced-sync asynchronous plans.
+fn removed_edges(full: &SolveDag, reduced: &SolveDag) -> Vec<(usize, usize)> {
+    let mut removed = Vec::new();
+    for w in 0..full.n() {
+        for &u in full.parents(w) {
+            if !reduced.has_edge(u, w) {
+                removed.push((u, w));
+            }
+        }
+    }
+    removed
+}
+
+/// Rebuilds a reduced wait DAG as `full` minus `removed`, validating that
+/// every removed edge (a) exists in the full DAG and (b) has a two-path
+/// witness `u → x → w` in the full DAG. The witness condition is what makes
+/// the reconstruction safe: if every removed edge is covered by a two-path
+/// in the full DAG, reachability is preserved even when witness edges are
+/// themselves removed (induction on topological span — the witness path's
+/// edges span strictly fewer levels, so they are reachable by shorter
+/// removed-edge detours that the induction already covers). A file whose
+/// edge set fails either check is corrupt or foreign and must error, never
+/// produce a DAG the asynchronous executor under-waits on.
+fn reconstruct_reduced_dag(
+    full: &SolveDag,
+    removed: &[(usize, usize)],
+) -> Result<SolveDag, String> {
+    let n = full.n();
+    let mut removed_set: HashSet<(usize, usize)> = HashSet::with_capacity(removed.len());
+    for &(u, w) in removed {
+        if u >= n || w >= n {
+            return Err(format!("removed sync edge ({u}, {w}) out of range for {n} vertices"));
+        }
+        if !full.has_edge(u, w) {
+            return Err(format!("removed sync edge ({u}, {w}) is not in the full DAG"));
+        }
+        let witnessed = full.children(u).iter().any(|&x| x != w && full.has_edge(x, w));
+        if !witnessed {
+            return Err(format!(
+                "removed sync edge ({u}, {w}) has no two-path witness; \
+                 dropping it would lose a dependency"
+            ));
+        }
+        if !removed_set.insert((u, w)) {
+            return Err(format!("removed sync edge ({u}, {w}) listed twice"));
+        }
+    }
+    let mut edges = Vec::with_capacity(full.n_edges() - removed_set.len());
+    for w in 0..n {
+        for &u in full.parents(w) {
+            if !removed_set.contains(&(u, w)) {
+                edges.push((u, w));
+            }
+        }
+    }
+    Ok(SolveDag::from_edges(n, &edges, full.weights().to_vec()))
 }
 
 /// Executor construction shared by the cold, warm and rebind paths. `sync`
@@ -2134,6 +2231,50 @@ mod tests {
     }
 
     #[test]
+    fn disk_load_skips_reduction_and_kernel_detection() {
+        // An spmp@async (sync=reduced) + fastmath=on build persists both
+        // derived artifacts; a warm load must replay them rather than
+        // re-deriving — the transitive-reduction counter stays flat across
+        // the warm build.
+        let l = lower();
+        let n = l.n_rows();
+        let b: Vec<f64> = (0..n).map(|i| 1.5 - (i % 7) as f64 * 0.25).collect();
+        let dir = temp_dir("sptrsv-plan-warmreduce-test")
+            .join(format!("{:?}", std::thread::current().id()));
+        let spec = "spmp:fastmath=on@async";
+        let cold = PlanBuilder::new(&l).scheduler(spec).cores(3).plan_cache(&dir).build().unwrap();
+        assert_eq!(cold.cache_outcome(), CacheOutcome::Miss);
+        let before = sptrsv_dag::transitive::reduction_invocations();
+        let warm = PlanBuilder::new(&l).scheduler(spec).cores(3).plan_cache(&dir).build().unwrap();
+        let after = sptrsv_dag::transitive::reduction_invocations();
+        assert_eq!(warm.cache_outcome(), CacheOutcome::DiskHit);
+        assert_eq!(after, before, "warm disk load re-ran the transitive reduction");
+        assert_eq!(
+            warm.sync_dag.as_ref().map(|d| d.n_edges()),
+            cold.sync_dag.as_ref().map(|d| d.n_edges()),
+            "reconstructed reduced DAG differs from the built one"
+        );
+        assert_eq!(cold.solve(&b), warm.solve(&b));
+        // A tampered syncdag section (an edge whose removal loses a
+        // dependency) must error, never under-wait. Rewrite the saved file
+        // with a forged removed-edge list.
+        let path = dir.join(format!("{}.plan", cold.fingerprint().unwrap()));
+        let mut saved = sptrsv_core::serialize::read_plan_file(&path).unwrap();
+        // Claim an edge with no two-path witness was removed: any source
+        // edge of the full DAG whose parent has out-degree reaching only
+        // it. Vertex 1's edge from 0 in a grid lower triangle works via
+        // forging an out-of-range pair instead (simplest guaranteed-bad).
+        saved.removed_sync_edges = Some(vec![(n + 1, n + 2)]);
+        sptrsv_core::serialize::write_plan_file(&saved, &path).unwrap();
+        let err = PlanBuilder::new(&l).scheduler(spec).cores(3).plan_cache(&dir).build().err();
+        assert!(
+            matches!(err, Some(PlanError::Cache(SerializeError::Parse(_)))),
+            "forged removed-edge list accepted: {err:?}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn save_load_and_mismatches_error_not_mis_solve() {
         let l = lower();
         let dir = temp_dir("sptrsv-plan-saveload-test");
@@ -2177,7 +2318,7 @@ mod tests {
             Err(PlanError::Cache(SerializeError::Checksum { .. }))
         ));
         // Version mismatch: rejected with the version error.
-        std::fs::write(&path, text.replacen("v2", "v7", 1)).unwrap();
+        std::fs::write(&path, text.replacen("v3", "v7", 1)).unwrap();
         assert!(matches!(
             PlanBuilder::new(&l).cores(3).load_plan(&path).build(),
             Err(PlanError::Cache(SerializeError::Version { .. }))

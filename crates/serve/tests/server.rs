@@ -257,3 +257,27 @@ proptest! {
         prop_assert_eq!(stats.shed, 0);
     }
 }
+
+#[test]
+fn an_auto_picked_plan_serves() {
+    // The tuner's winner flows straight into the serving front-end: build
+    // via the `auto` entry point, serve a few requests, and hold the same
+    // bit-identity contract as any fixed-spec plan.
+    use sptrsv_tune::{AutoPlanBuilder, Tuner};
+    let l = lower();
+    let plan = PlanBuilder::auto_with(&Tuner::new(&l).cores(2))
+        .expect("auto resolution on a well-formed operand")
+        .runtime(Arc::new(SolverRuntime::new(2)))
+        .build()
+        .expect("auto-picked spec builds");
+    let server = ServeBuilder::new(plan).max_batch(4).batch_wait(Duration::ZERO).start();
+    let n = server.plan().internal_matrix().n_rows();
+    for round in 0..6 {
+        let b = rhs(n, round);
+        let expected = server.plan().solve(&b);
+        let response = server.submit(b).unwrap().wait();
+        assert_eq!(response.x, expected, "round {round}");
+    }
+    let stats = server.shutdown();
+    assert_eq!(stats.completed, 6);
+}

@@ -1,0 +1,195 @@
+//! The candidate generator + pruner: every (scheduler, model) pair the
+//! registry supports, minus the combinations the features already rule
+//! out, in a deterministic most-promising-first order so a
+//! [`TuneBudget`](crate::TuneBudget) truncation keeps the right tail.
+//!
+//! Pruning is *structural* — cheap rules on [`TuneFeatures`] that drop
+//! dominated or degenerate combinations before any scheduling work
+//! happens. Every rule is conservative: a pruned candidate is one a
+//! dominating survivor models at least as well, so pruning narrows the
+//! simulator's workload without changing the argmin.
+
+use crate::features::TuneFeatures;
+use sptrsv_core::registry::{self, ExecModel, SchedulerSpec};
+
+/// Why a (scheduler, model) pair was dropped before scoring.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pruned {
+    /// The dropped spec, as text.
+    pub spec: String,
+    /// The structural rule that dropped it.
+    pub reason: &'static str,
+}
+
+/// The generator's output: survivors in scoring order, plus the audit
+/// trail of what was pruned and why (the CLI table prints it).
+#[derive(Debug, Clone)]
+pub struct CandidateSet {
+    /// Specs to score, most promising first.
+    pub survivors: Vec<SchedulerSpec>,
+    /// Dropped pairs with their rules.
+    pub pruned: Vec<Pruned>,
+}
+
+/// Walks [`registry::list()`] and generates every supported
+/// (scheduler, model) pair — candidates only ever carry a model from the
+/// scheduler's own `exec_models` list — then applies the structural
+/// pruning rules:
+///
+/// 1. **Serial is schedule-independent**: every `@serial` schedule
+///    executes as the same row sweep, so exactly one representative
+///    (`wavefront@serial`, the cheapest to construct) survives.
+/// 2. **`wavefront@async` ⊂ `spmp@async`**: SpMP runs the same level
+///    structure with a reduced wait DAG — strictly fewer waits.
+/// 3. **`spmp@barrier` ⊂ `wavefront@barrier`**: under barriers the
+///    transitive reduction buys nothing; the level schedules coincide.
+/// 4. **`block-gl` needs blocks**: with fewer than two DAG sources there
+///    are no independent diagonal blocks to split.
+/// 5. **Near-sequential DAGs** (average wavefront below 1.5): threading
+///    is overhead; only `growlocal@barrier` and `spmp@async` stay to let
+///    the simulator confirm serial wins.
+/// 6. **Fastmath variants**: when dense/supernode coverage reaches 5 % a
+///    `fastmath=on` variant of each surviving non-serial pair is appended
+///    (after the exact candidates, so tight budgets truncate them first).
+///
+/// `model_filter` (an `auto@model` suffix) restricts the walk to one
+/// execution model before the rules run; `allow_fastmath` is cleared when
+/// the caller pinned `fastmath=` explicitly.
+pub fn generate(
+    features: &TuneFeatures,
+    model_filter: Option<ExecModel>,
+    allow_fastmath: bool,
+) -> CandidateSet {
+    let mut survivors: Vec<SchedulerSpec> = Vec::new();
+    let mut pruned: Vec<Pruned> = Vec::new();
+    let reject = |spec: SchedulerSpec, reason: &'static str, pruned: &mut Vec<Pruned>| {
+        pruned.push(Pruned { spec: spec.to_string(), reason });
+    };
+
+    // Pass 1: default models (registry order) — the pairs the paper's
+    // ablations rank; pass 2: the remaining supported models.
+    for default_only in [true, false] {
+        for info in registry::list() {
+            for &model in info.exec_models {
+                if (model == info.default_model()) != default_only {
+                    continue;
+                }
+                let spec = SchedulerSpec::new(info.name).with_model(model);
+                if model_filter.is_some_and(|want| model != want) {
+                    continue; // out of scope, not worth an audit line
+                }
+                if model == ExecModel::Serial {
+                    if info.name == "wavefront" {
+                        survivors.push(spec);
+                    } else {
+                        reject(spec, "serial execution is schedule-independent", &mut pruned);
+                    }
+                    continue;
+                }
+                if info.name == "wavefront" && model == ExecModel::Async {
+                    reject(spec, "dominated by spmp@async (reduced wait DAG)", &mut pruned);
+                    continue;
+                }
+                if info.name == "spmp" && model == ExecModel::Barrier {
+                    reject(
+                        spec,
+                        "dominated by wavefront@barrier (reduction buys nothing)",
+                        &mut pruned,
+                    );
+                    continue;
+                }
+                if info.name == "block-gl" && features.stats.n_sources < 2 {
+                    reject(spec, "single DAG source: no independent blocks", &mut pruned);
+                    continue;
+                }
+                if features.near_sequential()
+                    && !(info.name == "growlocal" && model == ExecModel::Barrier)
+                    && !(info.name == "spmp" && model == ExecModel::Async)
+                {
+                    reject(spec, "near-sequential DAG: threading is overhead", &mut pruned);
+                    continue;
+                }
+                survivors.push(spec);
+            }
+        }
+    }
+
+    if allow_fastmath && features.dense_coverage >= 0.05 {
+        let variants: Vec<SchedulerSpec> = survivors
+            .iter()
+            .filter(|s| s.exec_model() != Some(ExecModel::Serial))
+            .map(|s| s.clone().with("fastmath", "on"))
+            .collect();
+        survivors.extend(variants);
+    }
+
+    CandidateSet { survivors, pruned }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::TuneFeatures;
+    use sptrsv_sparse::gen::grid::{grid2d_laplacian, Stencil2D};
+    use sptrsv_sparse::{CooMatrix, CsrMatrix};
+
+    fn grid_features() -> TuneFeatures {
+        let l = grid2d_laplacian(16, 16, Stencil2D::FivePoint, 0.5).lower_triangle().unwrap();
+        TuneFeatures::extract(&l)
+    }
+
+    #[test]
+    fn every_candidate_model_is_supported() {
+        let set = generate(&grid_features(), None, true);
+        assert!(!set.survivors.is_empty());
+        for spec in &set.survivors {
+            let info = registry::info(spec.name()).expect("registered scheduler");
+            let model = spec.exec_model().expect("candidates always pin a model");
+            assert!(info.exec_models.contains(&model), "{spec} uses an unsupported model");
+        }
+    }
+
+    #[test]
+    fn dominated_pairs_are_pruned_with_reasons() {
+        let set = generate(&grid_features(), None, true);
+        let texts: Vec<String> = set.survivors.iter().map(|s| s.to_string()).collect();
+        assert!(!texts.iter().any(|t| t.starts_with("wavefront@async")));
+        assert!(!texts.iter().any(|t| t.starts_with("spmp@barrier")));
+        assert_eq!(texts.iter().filter(|t| t.ends_with("@serial")).count(), 1);
+        assert!(set.pruned.iter().any(|p| p.spec == "wavefront@async"));
+    }
+
+    #[test]
+    fn default_models_score_before_alternates() {
+        let set = generate(&grid_features(), None, false);
+        // The first survivors are the registry's default-model pairs, in
+        // registry order (growlocal@barrier first).
+        assert_eq!(set.survivors[0].to_string(), "growlocal@barrier");
+        assert!(set.survivors.iter().all(|s| !s.params().iter().any(|(k, _)| k == "fastmath")));
+    }
+
+    #[test]
+    fn near_sequential_keeps_the_minimal_trio() {
+        let n = 64;
+        let mut coo = CooMatrix::new(n, n);
+        for i in 0..n {
+            coo.push(i, i, 2.0).unwrap();
+            if i > 0 {
+                coo.push(i, i - 1, 1.0).unwrap();
+            }
+        }
+        let l: CsrMatrix = coo.to_csr();
+        let set = generate(&TuneFeatures::extract(&l), None, true);
+        let texts: Vec<String> = set.survivors.iter().map(|s| s.to_string()).collect();
+        assert_eq!(texts, vec!["growlocal@barrier", "spmp@async", "wavefront@serial"]);
+    }
+
+    #[test]
+    fn model_filter_restricts_the_walk() {
+        let set = generate(&grid_features(), Some(ExecModel::Async), true);
+        for spec in &set.survivors {
+            assert_eq!(spec.exec_model(), Some(ExecModel::Async));
+        }
+        assert!(set.survivors.iter().any(|s| s.name() == "spmp"));
+    }
+}

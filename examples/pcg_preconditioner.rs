@@ -7,8 +7,13 @@
 //! This is the workload the paper's introduction motivates: every PCG
 //! iteration applies the preconditioner `M = L·Lᵀ` by one forward and one
 //! backward triangular solve with a *fixed* sparsity pattern, so the
-//! GrowLocal schedule is computed once and reused hundreds of times
-//! (amortization, §7.7).
+//! schedule is computed once and reused hundreds of times (amortization,
+//! §7.7).
+//!
+//! Scheduler selection is handed to the auto-tuner: `PlanBuilder::auto`
+//! (the `sptrsv-tune` entry point) extracts the factor's features, prunes
+//! the registry's (scheduler, model) pairs, ranks the survivors by modeled
+//! cycles, and builds the winner — no scheduler name appears in this file.
 //!
 //! Both sweeps go through `PlanBuilder`: the forward solve plans `L` as a
 //! lower operand, the backward solve plans `Lᵀ` as an *upper* operand (the
@@ -37,14 +42,28 @@ fn main() {
     println!("A: {} rows, {} non-zeros", n, a.nnz());
 
     // IC(0) factor and the two solve plans (one schedule each, computed
-    // once, reused by every preconditioner application).
+    // once, reused by every preconditioner application). The forward plan
+    // lets the tuner pick the (scheduler, model) pair from the factor's
+    // structure; the backward sweep solves the transpose, whose internal
+    // lower operand has the same structure mirrored, so the same winning
+    // spec is reused rather than tuned twice.
     let l = ichol0(&a, &IcholOptions::default()).expect("diagonally dominant");
     let lt = l.transpose();
-    let forward =
-        PlanBuilder::new(&l).scheduler("growlocal").cores(8).build().expect("valid lower plan");
+    let tune_report = Tuner::new(&l).cores(8).run().expect("tuning a well-formed factor");
+    println!(
+        "auto picked: {} ({} candidates scored, {:.1} ms tuning)",
+        tune_report.winner,
+        tune_report.ranked.len(),
+        tune_report.tuning_seconds * 1e3
+    );
+    let forward = PlanBuilder::new(&l)
+        .scheduler(tune_report.winner.to_string())
+        .cores(8)
+        .build()
+        .expect("valid lower plan");
     let backward = PlanBuilder::new(&lt)
         .orientation(Orientation::Upper)
-        .scheduler("growlocal")
+        .scheduler(tune_report.winner.to_string())
         .cores(8)
         .build()
         .expect("valid upper plan");
@@ -110,5 +129,14 @@ fn main() {
         par.speedup_over(&serial),
         profile.name,
         forward.schedule().n_supersteps()
+    );
+    // Tuning amortization: the one-off tuner run divided across every
+    // triangular solve this PCG run performed.
+    let solves = 2 * (iterations + 1);
+    println!(
+        "tuning cost amortized: {:.1} ms / {} solves = {:.3} ms per solve",
+        tune_report.tuning_seconds * 1e3,
+        solves,
+        tune_report.tuning_seconds * 1e3 / solves as f64
     );
 }

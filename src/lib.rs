@@ -32,7 +32,8 @@
 //! Crate map: [`sparse`] (matrices, generators, orderings, IC(0)), [`dag`]
 //! (solve DAGs, wavefronts, coarsening), [`core`] (schedulers), [`exec`]
 //! (kernels, executors, machine model), [`serve`] (the batching
-//! solve-as-a-service front-end), [`datasets`] (benchmark suites).
+//! solve-as-a-service front-end), [`datasets`] (benchmark suites), [`tune`]
+//! (the `spec=auto` decision layer that picks a scheduler per matrix).
 
 pub use sptrsv_core as core;
 pub use sptrsv_dag as dag;
@@ -40,6 +41,7 @@ pub use sptrsv_datasets as datasets;
 pub use sptrsv_exec as exec;
 pub use sptrsv_serve as serve;
 pub use sptrsv_sparse as sparse;
+pub use sptrsv_tune as tune;
 
 /// The most common imports in one place.
 pub mod prelude {
@@ -58,4 +60,5 @@ pub mod prelude {
         Stencil3D,
     };
     pub use sptrsv_sparse::{CooMatrix, CsrMatrix, Permutation};
+    pub use sptrsv_tune::{AutoPlanBuilder, TuneBudget, Tuner};
 }

@@ -191,7 +191,7 @@ fn every_way_a_plan_file_rots_is_an_error_never_an_answer() {
         );
     }
     // Version skew is its own error (so formats can evolve loudly).
-    std::fs::write(&path, pristine.replacen("v2", "v9", 1)).unwrap();
+    std::fs::write(&path, pristine.replacen("v3", "v9", 1)).unwrap();
     assert!(matches!(load(&path), Err(PlanError::Cache(SerializeError::Version { .. }))));
     // A plan for the wrong matrix, or the wrong build flags, is a
     // fingerprint mismatch — the file itself is intact.
