@@ -16,6 +16,18 @@
 //!   solves are slower, tail latency is flatter.
 //! * **fair+elastic** — fair admission plus mid-solve growth at superstep
 //!   boundaries: a solve admitted narrow widens as neighbors finish.
+//! * **fair+elastic+shrink** — the resize goes both ways: a solve running
+//!   wide *sheds* cores at the next superstep boundary when a tenant
+//!   joins and the fair share drops, so the joiner's first solve is
+//!   admitted from the shed cores instead of waiting out the incumbent's
+//!   whole wide solve.
+//!
+//! Shrink can only fire when the tenant count *rises mid-solve*, so the
+//! steady six-tenant storm (everyone registered up front) is followed by
+//! a **churn storm**: two incumbents run wide, then four late tenants
+//! join mid-storm. Reported there: `fair+elastic` vs
+//! `fair+elastic+shrink` on the worst tenant's p95 — the joiners' tail is
+//! the retroactive-fairness signal this PR claims.
 //!
 //! Reported per policy: aggregate p50/p95 across all tenant solves and
 //! the **worst single tenant's p95** (the starvation signal — under
@@ -58,12 +70,14 @@ fn plan_for(
     runtime: &Arc<SolverRuntime>,
     grant: GrantPolicy,
     elastic: bool,
+    shrink: bool,
 ) -> SolvePlan {
     PlanBuilder::new(l)
         .scheduler("growlocal")
         .cores(CAPACITY) // every tenant wants the whole machine
         .grant_policy(grant)
         .elastic(elastic)
+        .shrink(shrink)
         .runtime(Arc::clone(runtime))
         .build()
         .expect("valid plan")
@@ -77,6 +91,7 @@ fn storm(
     b: &[f64],
     grant: GrantPolicy,
     elastic: bool,
+    shrink: bool,
     rounds: usize,
 ) -> StormReport {
     let runtime = Arc::new(SolverRuntime::new(CAPACITY));
@@ -85,7 +100,7 @@ fn storm(
     // a tenant is between solves. Greedy ignores the registration.
     let _registrations: Vec<_> = (0..TENANTS).map(|_| runtime.register_tenant()).collect();
     let plans: Vec<SolvePlan> =
-        (0..TENANTS).map(|_| plan_for(l, &runtime, grant, elastic)).collect();
+        (0..TENANTS).map(|_| plan_for(l, &runtime, grant, elastic, shrink)).collect();
     let start_line = Barrier::new(TENANTS);
     let mut per_tenant: Vec<Vec<f64>> = Vec::new();
     std::thread::scope(|scope| {
@@ -122,6 +137,77 @@ fn storm(
     }
 }
 
+/// The churn storm: `INCUMBENTS` tenants start alone (wide fair shares),
+/// then the remaining tenants join mid-storm once the incumbents are a
+/// few solves in. Only here can shrink fire — the incumbents' running
+/// solves shed down to the new share at the next superstep boundary, and
+/// the shed cores admit the joiners' first solves. Latencies are
+/// collected for everyone; the joiners' tail dominates worst-tenant p95.
+fn churn_storm(
+    label: &'static str,
+    l: &CsrMatrix,
+    b: &[f64],
+    shrink: bool,
+    rounds: usize,
+) -> StormReport {
+    const INCUMBENTS: usize = 2;
+    let runtime = Arc::new(SolverRuntime::new(CAPACITY));
+    let plans: Vec<SolvePlan> =
+        (0..TENANTS).map(|_| plan_for(l, &runtime, GrantPolicy::Fair, true, shrink)).collect();
+    // Incumbents register up front; joiners register when they join.
+    let _incumbent_regs: Vec<_> = (0..INCUMBENTS).map(|_| runtime.register_tenant()).collect();
+    let join_now = std::sync::atomic::AtomicBool::new(false);
+    let start_line = Barrier::new(INCUMBENTS);
+    let mut per_tenant: Vec<Vec<f64>> = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = plans
+            .iter()
+            .enumerate()
+            .map(|(tenant, plan)| {
+                let (start_line, join_now, runtime) = (&start_line, &join_now, &runtime);
+                let b = &b;
+                scope.spawn(move || {
+                    let mut ws = plan.workspace();
+                    let mut x = vec![0.0; b.len()];
+                    let incumbent = tenant < INCUMBENTS;
+                    if incumbent {
+                        plan.solve_into(b, &mut x, &mut ws); // warm-up, untimed
+                        start_line.wait();
+                    } else {
+                        // Late tenants: no warm-up solve (it would hold a
+                        // lease before the join), just wait for the storm
+                        // to be running wide.
+                        while !join_now.load(std::sync::atomic::Ordering::Acquire) {
+                            std::thread::yield_now();
+                        }
+                    }
+                    let _registration = (!incumbent).then(|| runtime.register_tenant());
+                    let mut latencies = Vec::with_capacity(rounds);
+                    for round in 0..rounds {
+                        let started = Instant::now();
+                        plan.solve_into(b, &mut x, &mut ws);
+                        latencies.push(started.elapsed().as_secs_f64() * 1e3);
+                        if incumbent && tenant == 0 && round == 1 {
+                            join_now.store(true, std::sync::atomic::Ordering::Release);
+                        }
+                    }
+                    latencies
+                })
+            })
+            .collect();
+        per_tenant = handles.into_iter().map(|h| h.join().expect("tenant thread")).collect();
+    });
+    assert_eq!(runtime.cores_in_use(), 0, "{label}: leases leaked");
+    let mut all: Vec<f64> = per_tenant.iter().flatten().copied().collect();
+    let worst_tenant_p95 =
+        per_tenant.iter_mut().map(|t| percentile(t, 0.95)).fold(0.0f64, f64::max);
+    StormReport {
+        p50: percentile(&mut all, 0.50),
+        p95: percentile(&mut all, 0.95),
+        worst_tenant_p95,
+    }
+}
+
 fn main() {
     let test_mode = std::env::args().any(|a| a == "--test");
     let rounds = if test_mode { 3 } else { 40 };
@@ -134,19 +220,34 @@ fn main() {
         l.n_rows(),
         l.nnz()
     );
-    let policies: [(&'static str, GrantPolicy, bool); 3] = [
-        ("greedy", GrantPolicy::Greedy, false),
-        ("fair", GrantPolicy::Fair, false),
-        ("fair+elastic", GrantPolicy::Fair, true),
+    let policies: [(&'static str, GrantPolicy, bool, bool); 4] = [
+        ("greedy", GrantPolicy::Greedy, false, false),
+        ("fair", GrantPolicy::Fair, false, false),
+        ("fair+elastic", GrantPolicy::Fair, true, false),
+        ("fair+elastic+shrink", GrantPolicy::Fair, true, true),
     ];
     let mut reports = Vec::new();
-    for (label, grant, elastic) in policies {
-        let report = storm(label, &l, &b, grant, elastic, rounds);
+    for (label, grant, elastic, shrink) in policies {
+        let report = storm(label, &l, &b, grant, elastic, shrink, rounds);
         println!(
-            "{label:<14} p50 {:8.3} ms   p95 {:8.3} ms   worst-tenant p95 {:8.3} ms",
+            "{label:<20} p50 {:8.3} ms   p95 {:8.3} ms   worst-tenant p95 {:8.3} ms",
             report.p50, report.p95, report.worst_tenant_p95
         );
         reports.push(report);
+    }
+    println!(
+        "\nchurn storm: 2 incumbents start, {} tenants join mid-storm \
+         (shrink can only fire on a mid-solve join)",
+        TENANTS - 2
+    );
+    let mut churn_reports = Vec::new();
+    for (label, shrink) in [("fair+elastic", false), ("fair+elastic+shrink", true)] {
+        let report = churn_storm(label, &l, &b, shrink, rounds);
+        println!(
+            "{label:<20} p50 {:8.3} ms   p95 {:8.3} ms   worst-tenant p95 {:8.3} ms",
+            report.p50, report.p95, report.worst_tenant_p95
+        );
+        churn_reports.push(report);
     }
     if test_mode {
         println!("\ntest tenancy storm (3 rounds per policy) ... ok");
@@ -162,5 +263,17 @@ fn main() {
         greedy.p95 / fair.p95,
         fair.worst_tenant_p95,
         greedy.worst_tenant_p95,
+    );
+    let (grow_only, with_shrink) = (&churn_reports[0], &churn_reports[1]);
+    println!(
+        "churn worst-tenant p95: shrink {:.3} ms vs grow-only {:.3} ms ({}, {:.2}x)",
+        with_shrink.worst_tenant_p95,
+        grow_only.worst_tenant_p95,
+        if with_shrink.worst_tenant_p95 < grow_only.worst_tenant_p95 {
+            "shrink wins"
+        } else {
+            "grow-only wins"
+        },
+        grow_only.worst_tenant_p95 / with_shrink.worst_tenant_p95,
     );
 }

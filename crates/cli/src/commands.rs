@@ -38,35 +38,41 @@ commands:
   solve    <file.mtx> [--algo SPEC] [--cores K] [--no-reorder true]
            [--pre-order rcm|min-degree|nested-dissection] [--coarsen true]
            [--repeat N] [--grant greedy|fair|cap=K] [--elastic on|off]
-           [--fastmath on|off] [--plan-cache DIR]
+           [--shrink on|off] [--fastmath on|off] [--plan-cache DIR]
   plan     <file.mtx> [--algo SPEC] [--cores K] [--no-reorder true]
            [--pre-order rcm|min-degree|nested-dissection] [--coarsen true]
            [--save <file.plan>] [--load <file.plan>] [--plan-cache DIR]
   simulate <file.mtx> [--algo SPEC] [--cores K] [--machine intel|amd|arm]
-           [--grant greedy|fair|cap=K] [--elastic on|off] [--fastmath on|off]
+           [--grant greedy|fair|cap=K] [--elastic on|off] [--shrink on|off]
+           [--fastmath on|off]
   tune     <file.mtx> [--algo auto[:key=...][@model]] [--cores K]
            [--budget N] [--measure on|off] [--cache DIR]
   serve-bench <file.mtx> [--algo SPEC] [--cores K] [--batch N]
            [--batch-wait-us U] [--clients C] [--requests R] [--depth D]
            [--admission block|shed] [--grant greedy|fair|cap=K]
-           [--elastic on|off] [--fastmath on|off] [--plan-cache DIR]
+           [--elastic on|off] [--shrink on|off] [--fastmath on|off]
+           [--plan-cache DIR]
 
 --algo takes a scheduler spec in the grammar name[:key=value,...][@model]:
 a name from `sptrsv algos`, optional parameters (scoped keys like gl.alpha
 reach a composite scheduler's inner GrowLocal; sync=full|reduced,
 backoff=spin|yield, cores=N, grant=greedy|fair|cap=K, elastic=on|off,
-fastmath=on|off, batch=N and batch_wait_us=U address the execution policy
+shrink=on|off, fastmath=on|off, batch=N and batch_wait_us=U address the
+execution policy
 on any scheduler) and an
 optional execution model, e.g. growlocal:alpha=8,sync=2000,
 funnel-gl:gl.alpha=8,cap=auto, growlocal:sync=full@async,
 spmp:backoff=yield or growlocal:grant=fair,elastic=on. Explicit
---cores/--grant/--elastic/--fastmath flags override the spec's keys.
+--cores/--grant/--elastic/--shrink/--fastmath flags override the spec's
+keys.
 Parallel solves lease their threads per solve from the process-wide solver
 runtime (sized to the hardware), so concurrent solves never oversubscribe
 the machine — a solve wider than the free capacity degrades gracefully to
 fewer cores; --grant bounds each tenant's share (fair = capacity/tenants)
 and --elastic on lets a barrier solve grow back at superstep boundaries as
-cores free up.
+cores free up. --shrink on makes the resize symmetric: when a tenant joins
+and the fair share drops, a wide elastic solve sheds cores at the next
+boundary so fairness is retroactive, not just for future admissions.
 --fastmath on routes the solve through detected dense-block / lane-unrolled
 row kernels with precomputed diagonal reciprocals: the one policy that can
 change results (agreement with the exact path to 1e-12 relative tolerance
@@ -271,6 +277,11 @@ fn elastic_flag(args: &Args) -> Result<Option<bool>, String> {
     on_off_flag(args, "elastic")
 }
 
+/// The `--shrink` flag, if given (`on` or `off`).
+fn shrink_flag(args: &Args) -> Result<Option<bool>, String> {
+    on_off_flag(args, "shrink")
+}
+
 /// The `--fastmath` flag, if given (`on` or `off`).
 fn fastmath_flag(args: &Args) -> Result<Option<bool>, String> {
     on_off_flag(args, "fastmath")
@@ -349,6 +360,9 @@ fn solve(args: &Args) -> Result<(), String> {
     if let Some(elastic) = elastic_flag(args)? {
         builder = builder.elastic(elastic);
     }
+    if let Some(shrink) = shrink_flag(args)? {
+        builder = builder.shrink(shrink);
+    }
     if let Some(fastmath) = fastmath_flag(args)? {
         builder = builder.fastmath(fastmath);
     }
@@ -366,11 +380,12 @@ fn solve(args: &Args) -> Result<(), String> {
     println!("algorithm:         {algo}");
     println!("execution model:   {}", plan.exec_model());
     println!(
-        "execution policy:  sync={} backoff={} grant={} elastic={} fastmath={}",
+        "execution policy:  sync={} backoff={} grant={} elastic={} shrink={} fastmath={}",
         plan.exec_policy().sync,
         plan.exec_policy().backoff,
         plan.exec_policy().grant,
         if plan.exec_policy().elastic { "on" } else { "off" },
+        if plan.exec_policy().shrink { "on" } else { "off" },
         if plan.exec_policy().fastmath { "on" } else { "off" }
     );
     if plan.cache_outcome() != CacheOutcome::Uncached {
@@ -494,6 +509,9 @@ fn simulate(args: &Args) -> Result<(), String> {
     if let Some(elastic) = elastic_flag(args)? {
         policy.elastic = elastic;
     }
+    if let Some(shrink) = shrink_flag(args)? {
+        policy.shrink = shrink;
+    }
     if let Some(fastmath) = fastmath_flag(args)? {
         policy.fastmath = fastmath;
     }
@@ -506,11 +524,12 @@ fn simulate(args: &Args) -> Result<(), String> {
     println!("algorithm:        {} (spec: {algo})", sched.name());
     println!("execution model:  {model}");
     println!(
-        "execution policy: sync={} backoff={} grant={} elastic={} fastmath={}",
+        "execution policy: sync={} backoff={} grant={} elastic={} shrink={} fastmath={}",
         policy.sync,
         policy.backoff,
         policy.grant,
         if policy.elastic { "on" } else { "off" },
+        if policy.shrink { "on" } else { "off" },
         if policy.fastmath { "on" } else { "off" }
     );
     println!("serial cycles:    {:.3e}", serial.cycles);
@@ -590,6 +609,9 @@ fn serve_bench(args: &Args) -> Result<(), String> {
     }
     if let Some(elastic) = elastic_flag(args)? {
         builder = builder.elastic(elastic);
+    }
+    if let Some(shrink) = shrink_flag(args)? {
+        builder = builder.shrink(shrink);
     }
     if let Some(fastmath) = fastmath_flag(args)? {
         builder = builder.fastmath(fastmath);
@@ -849,8 +871,12 @@ mod tests {
             dispatch(&sv(&["simulate", mtx.to_str().unwrap(), "--cores", "4", "--algo", spec]))
                 .unwrap_or_else(|e| panic!("simulate --algo {spec}: {e}"));
         }
-        // Grant/elastic policy: spec keys and the flag overrides.
-        for spec in ["growlocal:grant=fair@barrier", "growlocal:grant=cap=2,elastic=on@barrier"] {
+        // Grant/elastic/shrink policy: spec keys and the flag overrides.
+        for spec in [
+            "growlocal:grant=fair@barrier",
+            "growlocal:grant=cap=2,elastic=on@barrier",
+            "growlocal:grant=fair,elastic=on,shrink=on@barrier",
+        ] {
             dispatch(&sv(&["solve", mtx.to_str().unwrap(), "--cores", "2", "--algo", spec]))
                 .unwrap_or_else(|e| panic!("solve --algo {spec}: {e}"));
         }
@@ -863,6 +889,8 @@ mod tests {
             "fair",
             "--elastic",
             "on",
+            "--shrink",
+            "on",
         ]))
         .unwrap();
         dispatch(&sv(&[
@@ -874,10 +902,13 @@ mod tests {
             "growlocal:grant=fair",
             "--elastic",
             "on",
+            "--shrink",
+            "on",
         ]))
         .unwrap();
         assert!(dispatch(&sv(&["solve", mtx.to_str().unwrap(), "--grant", "everything"])).is_err());
         assert!(dispatch(&sv(&["solve", mtx.to_str().unwrap(), "--elastic", "yes"])).is_err());
+        assert!(dispatch(&sv(&["solve", mtx.to_str().unwrap(), "--shrink", "maybe"])).is_err());
         // Fastmath: spec key and flag forms on every execution model, and
         // bad values rejected (flag and spec key alike).
         for spec in ["growlocal:fastmath=on@barrier", "growlocal:fastmath=on@serial"] {

@@ -22,7 +22,7 @@
 //! omitting it picks the scheduler's default (the first entry of
 //! [`SchedulerInfo::exec_models`]).
 //!
-//! Nine keys address the **execution policy** rather than the scheduler,
+//! Ten keys address the **execution policy** rather than the scheduler,
 //! and are accepted on every spec: `sync=full|reduced`
 //! selects the wait DAG of asynchronous execution, `backoff=spin|yield`
 //! the behavior of every threaded wait loop, `cores=N` the core count
@@ -31,6 +31,8 @@
 //! `grant=greedy|fair|cap=K` how the shared runtime sizes lease grants
 //! under multi-tenant contention, `elastic=on|off` whether a
 //! barrier-model solve may grow its lease at superstep boundaries,
+//! `shrink=on|off` whether an elastic solve also sheds cores when the
+//! grant share drops (a tenant joined — fair grants become retroactive),
 //! `fastmath=on|off` whether executors run the planned blocked/unrolled
 //! kernels (tolerance-equal, not bit-identical — see
 //! [`ExecPolicy::fastmath`]), and `batch=N` / `batch_wait_us=U` how a
@@ -39,7 +41,7 @@
 //! before a partial batch is dispatched; ignored by direct solves), and
 //! `plan_cache=DIR` the on-disk warm-start cache directory the planner
 //! saves to and loads from (resolved by [`resolve_plan_cache`]; the other
-//! eight land in [`ExecPolicy`]) —
+//! nine land in [`ExecPolicy`]) —
 //! `growlocal:sync=full@async`, `spmp:backoff=yield`,
 //! `hdagg:cores=16@barrier`, `growlocal:grant=fair,elastic=on`. They are
 //! resolved by [`resolve_exec_policy`] and stripped before scheduler
@@ -266,28 +268,15 @@ impl FromStr for GrantPolicy {
     }
 }
 
-/// Parses the `elastic=` execution-policy value (`on`/`off`).
-fn parse_elastic(text: &str) -> Result<bool, RegistryError> {
+/// Parses an `on`/`off` execution-policy value (the `elastic=`,
+/// `shrink=` and `fastmath=` keys).
+fn parse_on_off(key: &'static str, text: &str) -> Result<bool, RegistryError> {
     match text {
         "on" => Ok(true),
         "off" => Ok(false),
         other => Err(RegistryError::BadValue {
             scheduler: "exec",
-            key: "elastic",
-            value: other.to_string(),
-            expected: "on or off",
-        }),
-    }
-}
-
-/// Parses the `fastmath=` execution-policy value (`on`/`off`).
-fn parse_fastmath(text: &str) -> Result<bool, RegistryError> {
-    match text {
-        "on" => Ok(true),
-        "off" => Ok(false),
-        other => Err(RegistryError::BadValue {
-            scheduler: "exec",
-            key: "fastmath",
+            key,
             value: other.to_string(),
             expected: "on or off",
         }),
@@ -346,6 +335,16 @@ pub struct ExecPolicy {
     /// (asynchronous execution ignores the key — re-striding between
     /// supersteps is only safe with a barrier between them).
     pub elastic: bool,
+    /// Elastic shrink (the `shrink=` key, an arm on `elastic=`): when
+    /// `true` and the lease is elastic, a solve also **sheds** workers at
+    /// superstep boundaries when the grant share drops below its running
+    /// width (a tenant joined under `grant=fair`/`cap=K`), returning the
+    /// cores to the runtime mid-solve — fairness becomes retroactive
+    /// instead of admission-only. Results stay bit-identical along every
+    /// grow/shrink trajectory (striding never changes per-row arithmetic
+    /// order). Ignored without `elastic=on`; default `off` preserves
+    /// grow-only elasticity.
+    pub shrink: bool,
     /// Fastmath kernels (the `fastmath=` key): when `true`, executors run
     /// the planned blocked/unrolled kernels with precomputed diagonal
     /// reciprocals (`sptrsv_core::kernel`). **The only policy key that can
@@ -374,26 +373,27 @@ pub struct ExecPolicy {
 /// scheduler parameter (see [`ExecPolicy`] for the disambiguation rule).
 fn is_exec_policy_param(key: &str, value: &str) -> bool {
     match key {
-        "backoff" | "cores" | "grant" | "elastic" | "fastmath" | "batch" | "batch_wait_us"
-        | "plan_cache" => true,
+        "backoff" | "cores" | "grant" | "elastic" | "shrink" | "fastmath" | "batch"
+        | "batch_wait_us" | "plan_cache" => true,
         "sync" => value.parse::<SyncPolicy>().is_ok(),
         _ => false,
     }
 }
 
 /// The execution policy a spec selects: its
-/// `sync=`/`backoff=`/`cores=`/`grant=`/`elastic=`/`fastmath=`/`batch=`/
-/// `batch_wait_us=` keys (last occurrence wins), with defaults for the
-/// absent ones. The ninth policy key, `plan_cache=DIR`, is validated here
-/// but carried separately — see [`resolve_plan_cache`].
+/// `sync=`/`backoff=`/`cores=`/`grant=`/`elastic=`/`shrink=`/`fastmath=`/
+/// `batch=`/`batch_wait_us=` keys (last occurrence wins), with defaults
+/// for the absent ones. The tenth policy key, `plan_cache=DIR`, is
+/// validated here but carried separately — see [`resolve_plan_cache`].
 pub fn resolve_exec_policy(spec: &SchedulerSpec) -> Result<ExecPolicy, RegistryError> {
     let mut policy = ExecPolicy::default();
     for (key, value) in spec.params() {
         match key.as_str() {
             "backoff" => policy.backoff = value.parse()?,
             "grant" => policy.grant = value.parse()?,
-            "elastic" => policy.elastic = parse_elastic(value)?,
-            "fastmath" => policy.fastmath = parse_fastmath(value)?,
+            "elastic" => policy.elastic = parse_on_off("elastic", value)?,
+            "shrink" => policy.shrink = parse_on_off("shrink", value)?,
+            "fastmath" => policy.fastmath = parse_on_off("fastmath", value)?,
             "cores" => {
                 policy.cores = match value.parse::<usize>() {
                     Ok(cores) if cores > 0 => Some(cores),
@@ -869,6 +869,9 @@ pub fn help_text() -> String {
     out.push_str("                 (default greedy; fair = ceil(capacity/tenants) share)\n");
     out.push_str("    elastic      on | off (default off): barrier solves granted fewer\n");
     out.push_str("                 cores may grow the lease at superstep boundaries\n");
+    out.push_str("    shrink       on | off (default off): elastic solves also shed cores\n");
+    out.push_str("                 when the grant share drops (a tenant joined), making\n");
+    out.push_str("                 fair grants retroactive; requires elastic=on\n");
     out.push_str("    fastmath     on | off (default off): blocked/unrolled kernels with\n");
     out.push_str("                 reciprocal diagonals; results match the scalar path to\n");
     out.push_str("                 1e-12 relative tolerance instead of bit-identically\n");
@@ -1348,6 +1351,8 @@ mod tests {
             "cores",
             "grant",
             "elastic",
+            "shrink",
+            "retroactive",
             "fastmath",
             "full | reduced",
             "spin | yield",
@@ -1460,18 +1465,21 @@ mod tests {
     fn exec_policy_grant_and_elastic_keys_parse_on_every_scheduler() {
         let g = dag();
         for entry in list() {
-            let spec = format!("{}:grant=fair,elastic=on,fastmath=on", entry.name);
+            let spec = format!("{}:grant=fair,elastic=on,shrink=on,fastmath=on", entry.name);
             let parsed: SchedulerSpec = spec.parse().unwrap();
             let policy = resolve_exec_policy(&parsed).unwrap();
             assert_eq!(policy.grant, GrantPolicy::Fair);
             assert!(policy.elastic);
+            assert!(policy.shrink);
             assert!(policy.fastmath);
             assert!(resolve(&spec, &g, 2).is_ok(), "`{spec}` failed to build");
         }
-        // Defaults: greedy grants, fixed-width leases, exact scalar kernels.
+        // Defaults: greedy grants, fixed-width grow-only leases, exact
+        // scalar kernels.
         let policy = resolve_exec_policy(&SchedulerSpec::new("growlocal")).unwrap();
         assert_eq!(policy.grant, GrantPolicy::Greedy);
         assert!(!policy.elastic);
+        assert!(!policy.shrink);
         assert!(!policy.fastmath);
         // cap=K carries its width through the nested `=` (split_once keeps
         // the remainder intact).
@@ -1511,6 +1519,10 @@ mod tests {
         assert!(matches!(
             resolve("spmp:elastic=maybe", &g, 2),
             Err(RegistryError::BadValue { key: "elastic", .. })
+        ));
+        assert!(matches!(
+            resolve("spmp:shrink=sometimes", &g, 2),
+            Err(RegistryError::BadValue { key: "shrink", .. })
         ));
         assert!(matches!(
             resolve("growlocal:fastmath=fast", &g, 2),

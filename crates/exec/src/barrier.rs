@@ -180,8 +180,11 @@ pub(crate) fn solve_compiled(
         serial_sweep(l, b, shared, compiled, kernel);
         return;
     }
-    let growth =
-        policy.elastic.then_some(ElasticGrowth { grant: policy.grant, max_width: n_cores });
+    let growth = policy.elastic.then_some(ElasticGrowth {
+        grant: policy.grant,
+        max_width: n_cores,
+        shrink: policy.shrink,
+    });
     lease.run_supersteps(
         policy.backoff,
         compiled.n_supersteps(),

@@ -20,7 +20,11 @@
 //!   hardware-sized pool of persistent workers from which every solve
 //!   leases cores ([`CoreLease`]), so concurrent plans coexist without
 //!   oversubscription, degrade gracefully under contention (down to
-//!   serial) and release deterministically on panic;
+//!   serial), grow **and shed** cores at superstep boundaries under
+//!   `elastic=on`/`shrink=on`, and release deterministically on panic;
+//! * [`topology`] — the socket layout ([`Topology`]) the runtime shards
+//!   its workers by: grants prefer a single socket, elastic resizes stay
+//!   socket-local while local cores remain;
 //! * [`plan`] — the high-level [`PlanBuilder`]/[`SolvePlan`] API: matrix →
 //!   validated, pre-ordered, scheduled (via registry spec), reordered,
 //!   compiled, reusable parallel solve (lower or upper) under a selectable
@@ -70,6 +74,7 @@ pub mod plan;
 pub mod runtime;
 pub mod serial;
 pub mod sim;
+pub mod topology;
 pub mod verify;
 
 pub use async_exec::AsyncExecutor;
@@ -88,4 +93,5 @@ pub use sim::{
 };
 pub use sptrsv_core::registry::{Backoff, ExecModel, ExecPolicy, GrantPolicy, SyncPolicy};
 pub use sptrsv_core::serialize::{PlanCache, PlanFingerprint};
+pub use topology::Topology;
 pub use verify::max_abs_diff;

@@ -97,8 +97,11 @@ pub(crate) fn solve_multi_compiled(
         serial_sweep_multi(l, b, shared, compiled, kernel, r);
         return;
     }
-    let growth =
-        policy.elastic.then_some(ElasticGrowth { grant: policy.grant, max_width: n_cores });
+    let growth = policy.elastic.then_some(ElasticGrowth {
+        grant: policy.grant,
+        max_width: n_cores,
+        shrink: policy.shrink,
+    });
     lease.run_supersteps(
         policy.backoff,
         compiled.n_supersteps(),

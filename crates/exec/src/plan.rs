@@ -23,7 +23,8 @@
 //! schedule targets, `grant=greedy|fair|cap=K` how the shared runtime
 //! sizes the plan's lease grants under multi-tenant contention, and
 //! `elastic=on|off` whether a barrier solve may grow its lease at
-//! superstep boundaries, and `fastmath=on|off` whether the executor runs
+//! superstep boundaries, `shrink=on|off` whether an elastic solve also
+//! sheds cores when the grant share drops, and `fastmath=on|off` whether the executor runs
 //! the blocked/unrolled kernel layer over a detected
 //! [`sptrsv_core::kernel::KernelPlan`] (the only key that can change
 //! results — to a documented `1e-12` relative tolerance), and
@@ -31,7 +32,7 @@
 //! (`sptrsv-serve`) coalesces queued requests on the plan — as spec keys
 //! or the typed [`PlanBuilder::sync_policy`]/[`PlanBuilder::backoff`]/
 //! [`PlanBuilder::cores`]/[`PlanBuilder::grant_policy`]/
-//! [`PlanBuilder::elastic`]/[`PlanBuilder::fastmath`]/
+//! [`PlanBuilder::elastic`]/[`PlanBuilder::shrink`]/[`PlanBuilder::fastmath`]/
 //! [`PlanBuilder::batch`]/[`PlanBuilder::batch_wait_us`] knobs (typed
 //! knobs win).
 //!
@@ -233,6 +234,7 @@ pub struct PlanBuilder<'m> {
     backoff: Option<Backoff>,
     grant: Option<GrantPolicy>,
     elastic: Option<bool>,
+    shrink: Option<bool>,
     fastmath: Option<bool>,
     batch: Option<usize>,
     batch_wait_us: Option<u64>,
@@ -265,6 +267,7 @@ impl<'m> PlanBuilder<'m> {
             backoff: None,
             grant: None,
             elastic: None,
+            shrink: None,
             fastmath: None,
             batch: None,
             batch_wait_us: None,
@@ -369,6 +372,19 @@ impl<'m> PlanBuilder<'m> {
     /// Ignored by asynchronous and serial execution.
     pub fn elastic(mut self, elastic: bool) -> Self {
         self.elastic = Some(elastic);
+        self
+    }
+
+    /// Elastic shrink: when enabled (together with
+    /// [`PlanBuilder::elastic`]), a solve also sheds lease workers at
+    /// superstep boundaries when the grant share drops below its running
+    /// width (a tenant joined under `fair`/`cap=K` grants), returning
+    /// the cores to the runtime mid-solve. Results stay bit-identical
+    /// along every grow/shrink trajectory. Overrides the spec's
+    /// `shrink=` key; with neither, off (grow-only elasticity). Ignored
+    /// without elasticity.
+    pub fn shrink(mut self, shrink: bool) -> Self {
+        self.shrink = Some(shrink);
         self
     }
 
@@ -607,6 +623,9 @@ impl SolvePlan {
         }
         if let Some(elastic) = builder.elastic {
             policy.elastic = elastic;
+        }
+        if let Some(shrink) = builder.shrink {
+            policy.shrink = shrink;
         }
         if let Some(fastmath) = builder.fastmath {
             policy.fastmath = fastmath;

@@ -60,6 +60,32 @@
 //! program order across supersteps and therefore keeps fixed-width
 //! leases).
 //!
+//! With [`ElasticGrowth::shrink`] enabled the protocol is symmetric: when
+//! the grant share drops below the running width (a tenant joined under
+//! `grant=fair` or `cap=K`), the same releasing arriver **sheds** the
+//! highest lease threads — it pops their workers into a drain list,
+//! narrows the barrier's participant count and republishes the smaller
+//! width, all before the sense flip. A shed thread re-reads the width
+//! after the flip, finds itself out of range and drains out without
+//! arriving at another barrier; the *next* boundary's releaser reclaims
+//! the retired workers and returns their cores to the runtime, where they
+//! immediately satisfy blocked lessees. Fairness becomes retroactive
+//! instead of admission-only, and because shedding is just one more width
+//! change at a superstep boundary, results stay bit-identical along
+//! every grow/shrink trajectory.
+//!
+//! # Topology-aware sharding
+//!
+//! The runtime's free list is sharded by socket
+//! ([`Topology`], detected from sysfs for the
+//! [global](SolverRuntime::global) runtime or injected via
+//! [`SolverRuntime::with_topology`]): a grant takes the tightest single
+//! socket that fits before spilling, elastic growth prefers the sockets
+//! the lease already occupies, and recruits are ordered local-first so a
+//! later shrink sheds remote workers before local ones — a solve never
+//! spans sockets unless it cannot fit otherwise, and never migrates
+//! across them once placed while local cores remain.
+//!
 //! # Examples
 //!
 //! Embedding with an explicit capacity (tests and host applications that
@@ -138,6 +164,7 @@
 //! [`SenseBarrier`], raise a flag the done-flag waits check) so sibling
 //! threads unwind instead of waiting forever on a panicked one.
 
+use crate::topology::Topology;
 use sptrsv_core::registry::{Backoff, GrantPolicy};
 use std::cell::UnsafeCell;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -274,6 +301,17 @@ impl SenseBarrier {
     /// arrival of the next phase observes the grown count.
     fn grow(&self, k: usize) {
         self.n.fetch_add(k, Ordering::SeqCst);
+    }
+
+    /// Removes `k` participants from every future phase. Same soundness
+    /// window as [`SenseBarrier::grow`]: only the releasing arriver of
+    /// the current phase, after the count reset and before the sense
+    /// flip, may shed — every shed thread is blocked on that flip, and
+    /// the narrower width published with it makes each one drain out
+    /// without arriving at another phase, so the next phase completes
+    /// with exactly the reduced count.
+    fn shrink(&self, k: usize) {
+        self.n.fetch_sub(k, Ordering::SeqCst);
     }
 
     /// Panics if the barrier was poisoned by a panicking sibling.
@@ -449,8 +487,12 @@ struct RuntimeShared {
 
 /// Core-leasing bookkeeping, guarded by [`SolverRuntime::state`].
 struct LeaseState {
-    /// Indices of workers not currently owned by a lease.
-    free: Vec<usize>,
+    /// Indices of workers not currently owned by a lease, sharded by
+    /// socket: `free[s]` holds the free workers whose core lives on
+    /// socket `s` (worker `w` occupies topology core `w + 1`). Sharding
+    /// is what lets grants and elastic growth prefer socket-local
+    /// workers without scanning.
+    free: Vec<Vec<usize>>,
     /// Total cores leased out (leaseholder threads included).
     in_use: usize,
     /// Transient tenants: outstanding (counted) leases plus lessees
@@ -499,6 +541,7 @@ fn grant_width_cap(policy: GrantPolicy, capacity: usize, tenants: usize) -> usiz
 /// ([`PlanBuilder::runtime`](crate::plan::PlanBuilder::runtime)).
 pub struct SolverRuntime {
     capacity: usize,
+    topology: Topology,
     shared: Arc<RuntimeShared>,
     state: Mutex<LeaseState>,
     /// Wakes blocked [`SolverRuntime::lease`] callers on release.
@@ -509,9 +552,21 @@ pub struct SolverRuntime {
 impl SolverRuntime {
     /// A runtime serving `capacity` cores: `capacity − 1` worker threads
     /// are spawned immediately (leaseholders supply the remaining thread),
-    /// parked until leased work arrives.
+    /// parked until leased work arrives. The socket layout is
+    /// [detected](Topology::detect) from sysfs, degrading to a single
+    /// socket; use [`SolverRuntime::with_topology`] to inject one.
     pub fn new(capacity: usize) -> SolverRuntime {
-        assert!(capacity > 0, "a runtime needs at least one core");
+        SolverRuntime::with_topology(Topology::detect(capacity))
+    }
+
+    /// A runtime whose core count **and** socket layout come from an
+    /// explicit [`Topology`] (core 0 is the leaseholder's nominal core;
+    /// worker `w` occupies core `w + 1`). This is the injection point
+    /// the placement tests use: the free-list sharding, socket-local
+    /// grants and shed-remote-first ordering all follow the injected
+    /// layout deterministically, independent of the build machine.
+    pub fn with_topology(topology: Topology) -> SolverRuntime {
+        let capacity = topology.n_cores();
         crate::runtime::install_rayon_bridge();
         let n_workers = capacity - 1;
         let shared = Arc::new(RuntimeShared {
@@ -528,11 +583,16 @@ impl SolverRuntime {
                     .expect("failed to spawn runtime worker")
             })
             .collect();
+        let mut free: Vec<Vec<usize>> = vec![Vec::new(); topology.n_sockets()];
+        for w in 0..n_workers {
+            free[topology.socket_of(w + 1)].push(w);
+        }
         SolverRuntime {
             capacity,
+            topology,
             shared,
             state: Mutex::new(LeaseState {
-                free: (0..n_workers).collect(),
+                free,
                 in_use: 0,
                 tenants: 0,
                 registered: 0,
@@ -556,6 +616,18 @@ impl SolverRuntime {
     /// Total cores this runtime serves (leaseholder threads included).
     pub fn capacity(&self) -> usize {
         self.capacity
+    }
+
+    /// The socket layout this runtime shards its workers by (detected at
+    /// construction, or injected via [`SolverRuntime::with_topology`]).
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// The socket of the core worker `w` occupies (worker `w` runs on
+    /// topology core `w + 1`; core 0 is the leaseholder's).
+    fn socket_of_worker(&self, w: usize) -> usize {
+        self.topology.socket_of(w + 1)
     }
 
     /// Cores currently leased out across all plans (instrumentation; the
@@ -638,14 +710,83 @@ impl SolverRuntime {
         let cap = grant_width_cap(policy, self.capacity, state.active_tenants());
         let granted = requested.min(cap).min(self.capacity - state.in_use);
         let mut workers = state.spare_bufs.pop().unwrap_or_default();
-        for _ in 1..granted {
-            // in_use counts every leaseholder thread, so free workers
-            // always cover the remainder (granted − 1 ≤ capacity − in_use
-            // − 1 ≤ free).
-            workers.push(state.free.pop().expect("lease accounting invariant"));
-        }
+        // in_use counts every leaseholder thread, so free workers always
+        // cover the remainder (granted − 1 ≤ capacity − in_use − 1 ≤
+        // free).
+        self.pop_workers(&mut state, granted.saturating_sub(1), |_| false, &mut workers);
         state.in_use += granted;
         CoreLease { runtime: self, workers, counted: granted }
+    }
+
+    /// Pops `need` free workers into `out`, socket-aware: sockets flagged
+    /// by `home` (those already hosting the requesting lease) are drained
+    /// first so growth never leaves a socket while local cores remain;
+    /// the remainder goes to the **tightest** single socket that fits it
+    /// whole (best fit keeps big holes intact for wide lessees); only
+    /// when no single socket fits does the pop spill, fullest socket
+    /// first so the lease touches as few sockets as possible. `out` is
+    /// ordered home-first, so a later shrink (which sheds from the back)
+    /// releases remote workers before local ones.
+    ///
+    /// The caller has verified `need` workers are free in total.
+    fn pop_workers(
+        &self,
+        state: &mut LeaseState,
+        need: usize,
+        home: impl Fn(usize) -> bool,
+        out: &mut Vec<usize>,
+    ) {
+        /// First socket maximizing the free count among those `eligible`
+        /// admits, or `None` when all of them are empty.
+        fn fullest(free: &[Vec<usize>], eligible: impl Fn(usize) -> bool) -> Option<usize> {
+            let mut best: Option<usize> = None;
+            for s in 0..free.len() {
+                if eligible(s)
+                    && !free[s].is_empty()
+                    && best.is_none_or(|b| free[s].len() > free[b].len())
+                {
+                    best = Some(s);
+                }
+            }
+            best
+        }
+        let mut remaining = need;
+        while remaining > 0 {
+            let Some(s) = fullest(&state.free, &home) else { break };
+            while remaining > 0 {
+                match state.free[s].pop() {
+                    Some(w) => {
+                        out.push(w);
+                        remaining -= 1;
+                    }
+                    None => break,
+                }
+            }
+        }
+        if remaining == 0 {
+            return;
+        }
+        if let Some(s) = (0..state.free.len())
+            .filter(|&s| !home(s) && state.free[s].len() >= remaining)
+            .min_by_key(|&s| state.free[s].len())
+        {
+            for _ in 0..remaining {
+                out.push(state.free[s].pop().expect("fit was checked under the lock"));
+            }
+            return;
+        }
+        while remaining > 0 {
+            let s = fullest(&state.free, |_| true).expect("lease accounting invariant");
+            while remaining > 0 {
+                match state.free[s].pop() {
+                    Some(w) => {
+                        out.push(w);
+                        remaining -= 1;
+                    }
+                    None => break,
+                }
+            }
+        }
     }
 }
 
@@ -783,6 +924,14 @@ pub struct ElasticGrowth {
     /// Never grow past this width (the schedule's core count — extra
     /// threads beyond it would have no cells to stride over).
     pub max_width: usize,
+    /// Also **shed** workers when the grant share drops below the
+    /// running width (a tenant joined under `fair`/`cap=K`): the
+    /// releasing arriver pops the highest lease threads, narrows the
+    /// barrier and width, and the drained cores satisfy blocked lessees
+    /// by the next superstep — fairness becomes retroactive instead of
+    /// admission-only. With `false` the protocol is grow-only, exactly
+    /// as before shrink existed.
+    pub shrink: bool,
 }
 
 /// Shared state of one elastic superstep dispatch: the resizable barrier,
@@ -800,9 +949,20 @@ struct SuperstepState<'rt> {
     /// (0 for the initial threads; the join superstep for elastic
     /// joiners). Sized to the growth cap, empty when growth is disabled.
     start_step: Vec<AtomicUsize>,
-    /// Workers acquired mid-solve, merged back into the lease when the
-    /// dispatch completes.
-    extra: Mutex<Vec<usize>>,
+    /// The worker backing each live lease thread ≥ 1 (`threads[t − 1]`
+    /// backs thread `t`). Growth pushes, shrink pops — so the shed
+    /// threads are always the highest strides, and recruits (ordered
+    /// home-socket-first) are shed remote-first. Mutated only by barrier
+    /// releasers inside the release hook; the leaseholder reads it after
+    /// the dispatch, when resizing is quiescent.
+    threads: Mutex<Vec<usize>>,
+    /// Workers shed by a shrink whose retirement has not yet been
+    /// observed; the *next* boundary's releaser reclaims them back into
+    /// the runtime's free lists.
+    draining: Mutex<Vec<usize>>,
+    /// A shed worker's job panicked (observed at reclaim; folded into
+    /// the leaseholder's panic report when the dispatch completes).
+    shed_panicked: AtomicBool,
     growth: Option<ElasticGrowth>,
     /// The type-erased job template (entry point + context) the initial
     /// dispatch published, re-published verbatim to joiners. Written once
@@ -817,33 +977,66 @@ struct SuperstepState<'rt> {
 unsafe impl Sync for SuperstepState<'_> {}
 
 impl SuperstepState<'_> {
-    /// The elastic growth step, run by the barrier's releasing arriver
+    /// The elastic resize step, run by the barrier's releasing arriver
     /// between supersteps (every participant is blocked on the sense
-    /// flip): acquire free cores up to the grant-policy cap, enlarge the
-    /// barrier, publish the new stride width, and hand the running job to
-    /// the new workers starting at superstep `next_step`.
-    fn try_grow(&self, next_step: usize) {
+    /// flip). Three duties, in order: **reclaim** workers shed at the
+    /// previous boundary (their retirement proves the job closure is no
+    /// longer borrowed, so their cores return to the runtime and satisfy
+    /// blocked lessees); **shed** the highest lease threads when shrink
+    /// is enabled and the grant share dropped below the running width;
+    /// otherwise **grow** toward the share — acquire free cores up to
+    /// the grant-policy cap (preferring the sockets the lease already
+    /// occupies), enlarge the barrier, publish the new stride width, and
+    /// hand the running job to the new workers starting at superstep
+    /// `next_step`.
+    fn try_resize(&self, next_step: usize, backoff: Backoff) {
         let Some(growth) = self.growth else { return };
+        self.reclaim_drained(backoff);
         if self.barrier.poisoned.load(Ordering::Relaxed) {
-            return; // aborting solve: do not recruit workers into it
+            return; // aborting solve: do not resize it
         }
         // Releaser-only: no other thread can be between phases, so the
         // width cannot change concurrently.
         let width = self.width.load(Ordering::Relaxed);
-        let max_width = growth.max_width.min(self.runtime.capacity);
-        if width >= max_width {
+        let runtime = self.runtime;
+        let max_width = growth.max_width.min(runtime.capacity);
+        let mut state = lock_ignore_poison(&runtime.state);
+        // The policy cap is re-evaluated at the current tenant count: a
+        // cap above the width bounds growth; with shrink enabled, a cap
+        // *below* the width (a tenant joined) sheds down to it. A
+        // concurrent grow opportunity racing a share drop resolves here
+        // to the single grant-cap target — there is exactly one decision
+        // point per boundary.
+        let cap = grant_width_cap(growth.grant, runtime.capacity, state.active_tenants());
+        if growth.shrink && cap < width && width > 1 {
+            // Shed the highest-stride threads down to the share (never
+            // below the leaseholder itself). The shed threads observe
+            // the narrower width after this phase's flip and drain out;
+            // their workers are reclaimed at the next boundary. No
+            // runtime-wide state moves yet, so the lock goes back early.
+            drop(state);
+            let target = cap.max(1);
+            let shed_n = width - target;
+            let mut threads = lock_ignore_poison(&self.threads);
+            let mut draining = lock_ignore_poison(&self.draining);
+            for _ in 0..shed_n {
+                let w = threads.pop().expect("every lease thread >= 1 is backed by a worker");
+                draining.push(w);
+            }
+            drop(draining);
+            drop(threads);
+            self.barrier.shrink(shed_n);
+            self.width.store(target, Ordering::SeqCst);
             return;
         }
-        let mut state = lock_ignore_poison(&self.runtime.state);
-        if state.in_use == self.runtime.capacity {
+        if width >= max_width || state.in_use == runtime.capacity {
             return;
         }
-        // The policy cap is re-evaluated at the current tenant count; a
-        // share that shrank below the held width never shrinks the lease
-        // (the running threads' cells are already in flight).
-        let cap = grant_width_cap(growth.grant, self.runtime.capacity, state.active_tenants());
+        // Without shrink, a share below the held width never shrinks the
+        // lease (the running threads' cells are already in flight) —
+        // `cap.max(width)` preserves the grow-only behavior exactly.
         let target = max_width.min(cap.max(width));
-        let extra_n = (target - width).min(self.runtime.capacity - state.in_use);
+        let extra_n = (target - width).min(runtime.capacity - state.in_use);
         if extra_n == 0 {
             return;
         }
@@ -851,22 +1044,66 @@ impl SuperstepState<'_> {
         // dispatch; this thread is ordered after that write through its
         // own job delivery.
         let (call, ctx) = unsafe { *self.job.get() }.expect("job template set before dispatch");
+        let mut threads = lock_ignore_poison(&self.threads);
+        debug_assert_eq!(threads.len() + 1, width, "thread-worker map out of sync");
+        // Home sockets = wherever the lease's workers already sit, so
+        // growth does not migrate the solve across sockets while local
+        // cores are free.
+        let mut home = vec![false; state.free.len()];
+        for &w in threads.iter() {
+            home[runtime.socket_of_worker(w)] = true;
+        }
+        let mut recruits = Vec::with_capacity(extra_n);
+        // in_use counts every leaseholder thread, so free workers always
+        // cover the growth (extra_n ≤ capacity − in_use ≤ free).
+        runtime.pop_workers(&mut state, extra_n, |s| home[s], &mut recruits);
         // Order matters: the barrier must cover the joiners and the new
         // width must be published before any joiner observes its job — a
         // joiner strides its first superstep with the grown width.
         self.barrier.grow(extra_n);
         self.width.store(width + extra_n, Ordering::SeqCst);
-        let mut extra = lock_ignore_poison(&self.extra);
-        for i in 0..extra_n {
-            // in_use counts every leaseholder thread, so free workers
-            // always cover the growth (extra_n ≤ capacity − in_use ≤ free).
-            let w = state.free.pop().expect("lease accounting invariant");
-            extra.push(w);
+        for (i, &w) in recruits.iter().enumerate() {
             let thread = width + i;
             self.start_step[thread].store(next_step, Ordering::Relaxed);
-            publish_job(&self.runtime.shared.slots[w], call, ctx, thread);
+            publish_job(&runtime.shared.slots[w], call, ctx, thread);
+            threads.push(w);
         }
         state.in_use += extra_n;
+    }
+
+    /// Returns workers shed at a previous boundary to the runtime's free
+    /// lists. Runs on the releasing arriver with every live participant
+    /// blocked on the flip. Waiting for each shed worker's retirement is
+    /// bounded — a shed thread drains as soon as it re-reads the width
+    /// published by the flip that already happened when it was shed —
+    /// and makes the hand-off deterministic: one boundary sheds, the
+    /// next returns the cores (visible to `cores_in_use` and blocked
+    /// lessees). Retirement also establishes the happens-before edge
+    /// that lets the next lease republish the worker's job slot.
+    fn reclaim_drained(&self, backoff: Backoff) {
+        let mut draining = lock_ignore_poison(&self.draining);
+        if draining.is_empty() {
+            return;
+        }
+        let runtime = self.runtime;
+        let threshold = if runtime.shared.oversubscribed { 0 } else { park_threshold(backoff, 2) };
+        for &w in draining.iter() {
+            if await_retirement(&runtime.shared.slots[w], threshold, backoff) {
+                // A shed worker's panic must not leak into whoever
+                // leases the core next; the swap above cleared the flag
+                // and the leaseholder re-raises at the end.
+                self.shed_panicked.store(true, Ordering::Relaxed);
+            }
+        }
+        let mut state = lock_ignore_poison(&runtime.state);
+        for &w in draining.iter() {
+            state.free[runtime.socket_of_worker(w)].push(w);
+        }
+        state.in_use -= draining.len();
+        drop(state);
+        draining.clear();
+        drop(draining);
+        runtime.lessee_bell.notify_all();
     }
 }
 
@@ -889,6 +1126,19 @@ impl CoreLease<'_> {
     /// the calling thread included.
     pub fn size(&self) -> usize {
         self.workers.len() + 1
+    }
+
+    /// The distinct sockets this lease's **workers** occupy, sorted
+    /// (instrumentation; empty for a width-1 lease — the leaseholder
+    /// runs on the caller's thread, wherever that is). The placement
+    /// tests assert a lease never spans sockets when a single-socket
+    /// grant would have fit.
+    pub fn sockets(&self) -> Vec<usize> {
+        let mut sockets: Vec<usize> =
+            self.workers.iter().map(|&w| self.runtime.socket_of_worker(w)).collect();
+        sockets.sort_unstable();
+        sockets.dedup();
+        sockets
     }
 
     /// Runs `f(thread)` for every lease thread `0..size`, thread 0 on the
@@ -957,6 +1207,16 @@ impl CoreLease<'_> {
     /// mid-solve join the lease and are released by its `Drop` like the
     /// initial ones.
     ///
+    /// With [`ElasticGrowth::shrink`] additionally set, the resize is
+    /// symmetric: when the grant share drops below the running width (a
+    /// tenant joined), the releasing arriver **sheds** the highest lease
+    /// threads instead — they drain out at the boundary, and the next
+    /// boundary returns their cores to the runtime, where they satisfy
+    /// blocked lessees mid-solve (see the module docs for the drain
+    /// protocol). Growth prefers the sockets the lease already occupies
+    /// and shedding releases remote recruits first, so a solve never
+    /// migrates across sockets while local cores remain.
+    ///
     /// Panic containment matches [`CoreLease::run`], with the barrier
     /// poisoning handled here: a panicking thread poisons the shared
     /// barrier so siblings unwind instead of waiting forever, every
@@ -972,14 +1232,17 @@ impl CoreLease<'_> {
         if n_steps == 0 {
             return;
         }
-        // Growth that cannot add anything (already at the cap) is dropped
-        // so the fixed-width fast paths below apply. An *uncounted*
-        // degraded `try_lease` (counted == 0, never registered as a
-        // tenant) must not grow either: it would start charging capacity
-        // mid-run and its `Drop` would retire a tenant that never
-        // existed.
-        let growth = growth
-            .filter(|g| self.counted > 0 && g.max_width.min(self.runtime.capacity) > self.size());
+        // Growth that cannot change anything (already at the cap, and
+        // nothing to shed) is dropped so the fixed-width fast paths below
+        // apply. An *uncounted* degraded `try_lease` (counted == 0,
+        // never registered as a tenant) must not resize either: it would
+        // start charging capacity mid-run and its `Drop` would retire a
+        // tenant that never existed.
+        let growth = growth.filter(|g| {
+            let can_grow = g.max_width.min(self.runtime.capacity) > self.size();
+            let can_shrink = g.shrink && self.size() > 1;
+            self.counted > 0 && (can_grow || can_shrink)
+        });
         if self.workers.is_empty() && growth.is_none() {
             for step in 0..n_steps {
                 body(0, 1, step);
@@ -987,14 +1250,22 @@ impl CoreLease<'_> {
             return;
         }
         let width0 = self.size();
-        let grow_cap = growth.map_or(0, |g| g.max_width.min(self.runtime.capacity));
+        // Thread indices stay below max(initial width, growth cap): a
+        // shrink can free indices a later grow re-issues, but never mints
+        // higher ones.
+        let grow_cap = growth.map_or(0, |g| g.max_width.min(self.runtime.capacity).max(width0));
         let state = SuperstepState {
             runtime: self.runtime,
             barrier: SenseBarrier::new(width0),
             width: AtomicUsize::new(width0),
             n_steps,
             start_step: (0..grow_cap).map(|_| AtomicUsize::new(0)).collect(),
-            extra: Mutex::new(Vec::new()),
+            // Moved, not cloned: the steady-state fixed-width path must
+            // not allocate per solve. The lease takes them back (same
+            // buffer) once the dispatch completes.
+            threads: Mutex::new(std::mem::take(&mut self.workers)),
+            draining: Mutex::new(Vec::new()),
+            shed_panicked: AtomicBool::new(false),
             growth,
             job: UnsafeCell::new(None),
         };
@@ -1013,10 +1284,19 @@ impl CoreLease<'_> {
                 let mut step = start;
                 while step < state.n_steps {
                     let width = state.width.load(Ordering::SeqCst);
+                    if thread >= width {
+                        // Shed at the previous boundary: drain out
+                        // without arriving at another barrier — the next
+                        // boundary's releaser reclaims the worker once
+                        // its retirement lands.
+                        break;
+                    }
                     body(thread, width, step);
                     step += 1;
                     if step < state.n_steps {
-                        state.barrier.wait_hooked(&mut sense, backoff, || state.try_grow(step));
+                        state
+                            .barrier
+                            .wait_hooked(&mut sense, backoff, || state.try_resize(step, backoff));
                     }
                 }
             }));
@@ -1037,25 +1317,37 @@ impl CoreLease<'_> {
             *state.job.get() = Some((call, ctx));
         }
         let slots = &self.runtime.shared.slots;
-        for (i, &w) in self.workers.iter().enumerate() {
-            publish_job(&slots[w], call, ctx, i + 1);
+        {
+            // No releaser can resize concurrently: every barrier phase
+            // needs the leader, who has not started yet.
+            let threads = lock_ignore_poison(&state.threads);
+            for (i, &w) in threads.iter().enumerate() {
+                publish_job(&slots[w], call, ctx, i + 1);
+            }
         }
         let leader_result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| g(0)));
+        // Resizing is quiescent here: every resize ran inside a barrier
+        // the leader participated in (thread 0 is never shed), and the
+        // leader's share has returned. The surviving threads' workers
+        // plus any still-draining shed workers are the lease's members
+        // now — awaited, re-counted against the capacity, released by
+        // `Drop`. Workers reclaimed mid-dispatch already went back to
+        // the runtime, so the lease must not return (or count) them
+        // again.
+        std::mem::swap(&mut self.workers, &mut *lock_ignore_poison(&state.threads));
+        self.workers.append(&mut *lock_ignore_poison(&state.draining));
+        if growth.is_some() {
+            // Resizes moved cores in and out; what remains (live threads
+            // plus still-draining shed workers) is exactly what is still
+            // charged against the capacity. Fixed-width dispatches leave
+            // the count alone — an uncounted degraded lease stays at 0.
+            self.counted = self.workers.len() + 1;
+        }
         let threshold = self.retirement_threshold(backoff);
-        let mut worker_panicked = false;
+        let mut worker_panicked = state.shed_panicked.load(Ordering::Relaxed);
         for &w in &self.workers {
             worker_panicked |= await_retirement(&slots[w], threshold, backoff);
         }
-        // Growth is quiescent here: every grow ran inside a barrier the
-        // leader participated in, and the leader's share has returned.
-        // Joined workers become ordinary lease members — awaited now,
-        // counted against the capacity, released by `Drop`.
-        let extra = std::mem::take(&mut *lock_ignore_poison(&state.extra));
-        for &w in &extra {
-            worker_panicked |= await_retirement(&slots[w], threshold, backoff);
-        }
-        self.counted += extra.len();
-        self.workers.extend(extra);
         if let Err(panic) = leader_result {
             std::panic::resume_unwind(panic);
         }
@@ -1068,11 +1360,11 @@ impl CoreLease<'_> {
 impl Drop for CoreLease<'_> {
     fn drop(&mut self) {
         let mut state = lock_ignore_poison(&self.runtime.state);
-        // Drain back into the free list, then recycle the (now empty,
-        // still allocated) buffer so steady-state leasing allocates
-        // nothing.
+        // Drain back into the per-socket free lists, then recycle the
+        // (now empty, still allocated) buffer so steady-state leasing
+        // allocates nothing.
         while let Some(w) = self.workers.pop() {
-            state.free.push(w);
+            state.free[self.runtime.socket_of_worker(w)].push(w);
         }
         state.in_use -= self.counted;
         // Counted leases registered as a tenant at acquisition (uncounted
@@ -1589,7 +1881,7 @@ mod tests {
         inline.run_supersteps(
             Backoff::Spin,
             50,
-            Some(ElasticGrowth { grant: GrantPolicy::Greedy, max_width: 4 }),
+            Some(ElasticGrowth { grant: GrantPolicy::Greedy, max_width: 4, shrink: false }),
             &|_thread, width, _step| {
                 max_width.fetch_max(width, Ordering::SeqCst);
             },
@@ -1670,7 +1962,11 @@ mod tests {
             lease.run_supersteps(
                 Backoff::Spin,
                 n_steps,
-                Some(ElasticGrowth { grant: GrantPolicy::Greedy, max_width: n_cores }),
+                Some(ElasticGrowth {
+                    grant: GrantPolicy::Greedy,
+                    max_width: n_cores,
+                    shrink: false,
+                }),
                 &|thread, width, step| {
                     if thread == 0 && step == 0 {
                         tx.send(()).unwrap();
@@ -1719,7 +2015,7 @@ mod tests {
         lease.run_supersteps(
             Backoff::Spin,
             50,
-            Some(ElasticGrowth { grant: GrantPolicy::Cap(2), max_width: 4 }),
+            Some(ElasticGrowth { grant: GrantPolicy::Cap(2), max_width: 4, shrink: false }),
             &|_thread, width, _step| {
                 max_width.fetch_max(width, Ordering::SeqCst);
             },
@@ -1740,7 +2036,7 @@ mod tests {
             lease.run_supersteps(
                 Backoff::Spin,
                 200,
-                Some(ElasticGrowth { grant: GrantPolicy::Greedy, max_width: 4 }),
+                Some(ElasticGrowth { grant: GrantPolicy::Greedy, max_width: 4, shrink: false }),
                 &|thread, width, step| {
                     // Panic only after growth happened, from a joiner-era
                     // superstep, so grown workers are in flight.
@@ -1758,6 +2054,241 @@ mod tests {
             ok.fetch_add(1, Ordering::Relaxed);
         });
         assert_eq!(ok.load(Ordering::Relaxed), 4);
+    }
+
+    /// Records the width thread 0 saw at each superstep.
+    fn width_log(n_steps: usize) -> Vec<AtomicUsize> {
+        (0..n_steps).map(|_| AtomicUsize::new(0)).collect()
+    }
+
+    fn widths_of(log: &[AtomicUsize]) -> Vec<usize> {
+        log.iter().map(|w| w.load(Ordering::SeqCst)).collect()
+    }
+
+    #[test]
+    fn shrink_sheds_to_the_fair_share_within_one_superstep_of_a_join() {
+        // The retroactive-fairness tentpole, pinned without timing: a
+        // tenant joins at superstep 1 (from thread 0's body, so the join
+        // happens-before the boundary hook), and the very next superstep
+        // must already run at the halved share. The shed cores are back
+        // in the runtime's accounting one boundary later.
+        let n_steps = 6;
+        let runtime = SolverRuntime::new(4);
+        let me = runtime.register_tenant();
+        let mut lease = runtime.lease_with(4, GrantPolicy::Fair);
+        assert_eq!(lease.size(), 4);
+        let joins: Mutex<Vec<TenantRegistration>> = Mutex::new(Vec::new());
+        let log = width_log(n_steps);
+        let in_use = width_log(n_steps);
+        lease.run_supersteps(
+            Backoff::Spin,
+            n_steps,
+            Some(ElasticGrowth { grant: GrantPolicy::Fair, max_width: 4, shrink: true }),
+            &|thread, width, step| {
+                if thread == 0 {
+                    if step == 1 {
+                        joins.lock().unwrap().push(runtime.register_tenant());
+                    }
+                    log[step].store(width, Ordering::SeqCst);
+                    in_use[step].store(runtime.cores_in_use(), Ordering::SeqCst);
+                }
+            },
+        );
+        // Join visible at the 1→2 boundary: width 2 from step 2 on.
+        assert_eq!(widths_of(&log), vec![4, 4, 2, 2, 2, 2]);
+        // Shed at the 1→2 boundary, reclaimed at the 2→3 boundary: the
+        // joiner sees the cores free by step 3 — deterministically.
+        assert_eq!(widths_of(&in_use), vec![4, 4, 4, 2, 2, 2]);
+        drop(lease);
+        drop(joins);
+        drop(me);
+        assert_eq!(runtime.cores_in_use(), 0);
+        assert_eq!(runtime.active_tenants(), 0);
+    }
+
+    #[test]
+    fn shrink_racing_a_concurrent_grow_resolves_to_the_grant_cap() {
+        // At one boundary, both signals fire: a blocker freed 2 cores (a
+        // grow opportunity) and two tenants joined (a shrink demand).
+        // There is exactly one decision point per boundary, and it lands
+        // on the grant-cap width — the lease shrinks despite free cores.
+        let n_steps = 6;
+        let runtime = SolverRuntime::new(6);
+        let me = runtime.register_tenant();
+        let blocker = Mutex::new(Some(runtime.lease(2)));
+        let mut lease = runtime.lease_with(6, GrantPolicy::Fair);
+        // Two transient tenants (blocker + us): ceil(6/2) = 3.
+        assert_eq!(lease.size(), 3);
+        let joins: Mutex<Vec<TenantRegistration>> = Mutex::new(Vec::new());
+        let log = width_log(n_steps);
+        lease.run_supersteps(
+            Backoff::Spin,
+            n_steps,
+            Some(ElasticGrowth { grant: GrantPolicy::Fair, max_width: 6, shrink: true }),
+            &|thread, width, step| {
+                if thread == 0 {
+                    if step == 1 {
+                        drop(blocker.lock().unwrap().take());
+                        let mut joins = joins.lock().unwrap();
+                        joins.push(runtime.register_tenant());
+                        joins.push(runtime.register_tenant());
+                    }
+                    log[step].store(width, Ordering::SeqCst);
+                }
+            },
+        );
+        // Three registered tenants: cap = ceil(6/3) = 2 < 3 held, so the
+        // boundary sheds to 2 — it must not grow into the freed cores.
+        assert_eq!(widths_of(&log), vec![3, 3, 2, 2, 2, 2]);
+        drop(lease);
+        drop(joins);
+        drop(me);
+        assert_eq!(runtime.cores_in_use(), 0);
+    }
+
+    #[test]
+    fn shrink_to_width_1_degrades_to_serial_striding() {
+        // Joins can push the fair share below 1 thread; the lease floors
+        // at the leaseholder alone, which strides the whole schedule —
+        // every cell still executes exactly once.
+        let n_cores = 3;
+        let n_steps = 8;
+        let runtime = SolverRuntime::new(2);
+        let me = runtime.register_tenant();
+        let mut lease = runtime.lease_with(2, GrantPolicy::Fair);
+        assert_eq!(lease.size(), 2);
+        let joins: Mutex<Vec<TenantRegistration>> = Mutex::new(Vec::new());
+        let log = width_log(n_steps);
+        let hits: Vec<AtomicUsize> = (0..n_steps * n_cores).map(|_| AtomicUsize::new(0)).collect();
+        lease.run_supersteps(
+            Backoff::Spin,
+            n_steps,
+            Some(ElasticGrowth { grant: GrantPolicy::Fair, max_width: 2, shrink: true }),
+            &|thread, width, step| {
+                if thread == 0 {
+                    if step == 1 {
+                        let mut joins = joins.lock().unwrap();
+                        joins.push(runtime.register_tenant());
+                        joins.push(runtime.register_tenant());
+                    }
+                    log[step].store(width, Ordering::SeqCst);
+                }
+                let mut core = thread;
+                while core < n_cores {
+                    hits[step * n_cores + core].fetch_add(1, Ordering::SeqCst);
+                    core += width;
+                }
+            },
+        );
+        // ceil(2/3) = 1: serial from step 2 on.
+        assert_eq!(widths_of(&log), vec![2, 2, 1, 1, 1, 1, 1, 1]);
+        for (i, hit) in hits.iter().enumerate() {
+            assert_eq!(hit.load(Ordering::SeqCst), 1, "cell {i} not executed exactly once");
+        }
+        drop(lease);
+        drop(joins);
+        drop(me);
+        assert_eq!(runtime.cores_in_use(), 0);
+    }
+
+    #[test]
+    fn elastic_without_shrink_preserves_grow_only_behavior() {
+        // `elastic=on` alone must behave exactly as before shrink
+        // existed: a dropped share never narrows a running lease — the
+        // width trajectory is grow-only, byte for byte.
+        let n_steps = 6;
+        let runtime = SolverRuntime::new(4);
+        let me = runtime.register_tenant();
+        let mut lease = runtime.lease_with(4, GrantPolicy::Fair);
+        assert_eq!(lease.size(), 4);
+        let joins: Mutex<Vec<TenantRegistration>> = Mutex::new(Vec::new());
+        let log = width_log(n_steps);
+        lease.run_supersteps(
+            Backoff::Spin,
+            n_steps,
+            Some(ElasticGrowth { grant: GrantPolicy::Fair, max_width: 4, shrink: false }),
+            &|thread, width, step| {
+                if thread == 0 {
+                    if step == 1 {
+                        joins.lock().unwrap().push(runtime.register_tenant());
+                    }
+                    log[step].store(width, Ordering::SeqCst);
+                }
+            },
+        );
+        assert_eq!(widths_of(&log), vec![4; n_steps], "grow-only lease narrowed");
+        drop(lease);
+        drop(joins);
+        drop(me);
+        assert_eq!(runtime.cores_in_use(), 0);
+    }
+
+    #[test]
+    fn panic_on_a_thread_being_shed_aborts_cleanly() {
+        // The drain edge case: a thread panics in the very superstep
+        // after which it would be shed (a shed thread runs no user code
+        // later, so this is the only panic a drain can race). Whichever
+        // lands first — the poison or the shed — the dispatch aborts,
+        // re-raises, and every core is back.
+        let runtime = SolverRuntime::new(4);
+        let me = runtime.register_tenant();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut lease = runtime.lease_with(4, GrantPolicy::Fair);
+            assert_eq!(lease.size(), 4);
+            let joins: Mutex<Vec<TenantRegistration>> = Mutex::new(Vec::new());
+            lease.run_supersteps(
+                Backoff::Spin,
+                6,
+                Some(ElasticGrowth { grant: GrantPolicy::Fair, max_width: 4, shrink: true }),
+                &|thread, _width, step| {
+                    if thread == 0 && step == 1 {
+                        joins.lock().unwrap().push(runtime.register_tenant());
+                    }
+                    if thread == 3 && step == 1 {
+                        panic!("boom on the shed thread");
+                    }
+                },
+            );
+        }));
+        assert!(result.is_err(), "panic was swallowed");
+        drop(me);
+        assert_eq!(runtime.cores_in_use(), 0, "shed-panic leaked cores");
+        assert_eq!(runtime.active_tenants(), 0);
+        // Fully serviceable afterwards.
+        let ok = AtomicUsize::new(0);
+        runtime.lease(4).run(Backoff::Spin, &|_| {
+            ok.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(ok.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn grants_prefer_a_single_socket() {
+        // uniform(2, 4) on capacity 8: workers 0..3 (cores 1..4) land on
+        // sockets [0,0,0,1]; workers 3..7 on socket 1. A grant that fits
+        // one socket must not span two.
+        let runtime = SolverRuntime::with_topology(Topology::uniform(2, 4));
+        assert_eq!(runtime.capacity(), 8);
+        let a = runtime.lease(4); // 3 workers: socket 0 fits exactly
+        assert_eq!(a.sockets(), vec![0]);
+        let b = runtime.lease(4); // socket 0 drained: socket 1 has 4 free
+        assert_eq!(b.sockets(), vec![1]);
+        drop(a);
+        drop(b);
+        // 4 workers fit only socket 1 (best fit, not first socket).
+        let c = runtime.lease(5);
+        assert_eq!(c.sockets(), vec![1]);
+        drop(c);
+        assert_eq!(runtime.cores_in_use(), 0);
+    }
+
+    #[test]
+    fn grants_span_sockets_only_when_no_single_socket_fits() {
+        let runtime = SolverRuntime::with_topology(Topology::uniform(2, 4));
+        let wide = runtime.lease(6); // 5 workers: 3 + 4 cannot fit one socket
+        assert_eq!(wide.sockets(), vec![0, 1]);
+        drop(wide);
+        assert_eq!(runtime.lease(8).size(), 8);
     }
 
     #[test]

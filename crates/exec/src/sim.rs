@@ -77,6 +77,17 @@ pub struct MachineProfile {
     /// Number of cores that saturate the memory bandwidth; beyond this,
     /// streaming cost scales up linearly with the active core count.
     pub bandwidth_cores: f64,
+    /// Socket (or die/chiplet) domains the cores split into, modeled
+    /// contiguously: thread `t` lives on domain `t / ceil(max_cores /
+    /// sockets)`. Mirrors the runtime's `Topology` sharding.
+    pub sockets: usize,
+    /// One-time charge when an elastic resize recruits a thread on a
+    /// different socket than the lease's thread 0: the joiner pulls the
+    /// warm working set (x, b, schedule rows) across the interconnect
+    /// before it contributes. Routed through
+    /// [`simulate_barrier_elastic`]; zero-cost on single-socket
+    /// profiles.
+    pub cross_socket_join_cycles: f64,
 }
 
 impl MachineProfile {
@@ -97,6 +108,8 @@ impl MachineProfile {
             p2p_check_cycles: 120.0,
             yield_resume_cycles: 6000.0,
             bandwidth_cores: 9.0,
+            sockets: 1,
+            cross_socket_join_cycles: 0.0,
         }
     }
 
@@ -113,6 +126,8 @@ impl MachineProfile {
             p2p_check_cycles: 160.0,
             yield_resume_cycles: 8000.0,
             bandwidth_cores: 11.0,
+            sockets: 8, // CCD domains: barrier already models the crossing
+            cross_socket_join_cycles: 4500.0,
         }
     }
 
@@ -129,6 +144,8 @@ impl MachineProfile {
             p2p_check_cycles: 130.0,
             yield_resume_cycles: 7000.0,
             bandwidth_cores: 10.0,
+            sockets: 2, // two NUMA dies
+            cross_socket_join_cycles: 3000.0,
         }
     }
 
@@ -140,6 +157,17 @@ impl MachineProfile {
     /// Streaming-cost multiplier when `active` cores run concurrently.
     fn bandwidth_factor(&self, active: usize) -> f64 {
         (active as f64 / self.bandwidth_cores).max(1.0)
+    }
+
+    /// Cores per socket domain (rounded up; the last domain may be
+    /// short).
+    pub fn cores_per_socket(&self) -> usize {
+        self.max_cores.div_ceil(self.sockets.max(1)).max(1)
+    }
+
+    /// The socket domain of modeled thread `t` (contiguous split).
+    pub fn socket_of(&self, thread: usize) -> usize {
+        thread / self.cores_per_socket()
     }
 }
 
@@ -448,8 +476,24 @@ pub fn simulate_barrier_elastic(
 ) -> SimReport {
     let k = compiled.n_cores().min(profile.max_cores);
     let start_width = start_width.clamp(1, k);
-    let growths = (k - start_width).min(compiled.n_supersteps().saturating_sub(1)) as u64;
-    simulate_barrier_striding(matrix, compiled, profile, |step| start_width + step, growths)
+    let growths = (k - start_width).min(compiled.n_supersteps().saturating_sub(1));
+    let mut report = simulate_barrier_striding(
+        matrix,
+        compiled,
+        profile,
+        |step| start_width + step,
+        growths as u64,
+    );
+    // Recruit t joins when the width grows past it; charge the crossing
+    // when it lives on a different socket domain than thread 0.
+    let home = profile.socket_of(0);
+    let migration = (start_width..start_width + growths)
+        .filter(|&t| profile.socket_of(t) != home)
+        .count() as f64
+        * profile.cross_socket_join_cycles;
+    report.sync_cycles += migration;
+    report.cycles += migration;
+    report
 }
 
 /// Simulates an asynchronous (point-to-point) execution, SpMP-style.
@@ -698,6 +742,41 @@ mod tests {
         assert_eq!(elastic_from_1, simulate_barrier_elastic(&l, &s, &p, 1));
         let policy = ExecPolicy { elastic: true, ..ExecPolicy::default() };
         assert_eq!(simulate_model(&l, &s, ExecModel::Barrier, None, &p, policy), elastic_from_1);
+    }
+
+    #[test]
+    fn cross_socket_join_charge_counts_remote_recruits_exactly() {
+        let (l, dag) = grid_problem(50, 50);
+        let s = CompiledSchedule::from_schedule(&GrowLocal::new().schedule(&dag, 8));
+        let flat = MachineProfile {
+            max_cores: 8,
+            sockets: 1,
+            cross_socket_join_cycles: 0.0,
+            ..MachineProfile::intel_xeon_22()
+        };
+        let numa = MachineProfile {
+            sockets: 2, // threads 0..4 on socket 0, 4..8 on socket 1
+            cross_socket_join_cycles: 5_000.0,
+            ..flat.clone()
+        };
+        let a = simulate_barrier_elastic(&l, &s, &flat, 1);
+        let b = simulate_barrier_elastic(&l, &s, &numa, 1);
+        // Recruits are the threads the elastic trajectory grows into (one
+        // per superstep boundary, capped by the schedule); the charge
+        // lands once per recruit on the remote die (threads 4..8).
+        let growths = 7usize.min(s.n_supersteps() - 1);
+        let remote = (1..1 + growths).filter(|&t| numa.socket_of(t) != 0).count();
+        assert!(remote > 0, "trajectory never leaves socket 0");
+        let expected = remote as f64 * numa.cross_socket_join_cycles;
+        assert!((b.cycles - a.cycles - expected).abs() < 1e-6, "{} vs {}", b.cycles, a.cycles);
+        assert!((b.sync_cycles - a.sync_cycles - expected).abs() < 1e-6);
+        // A single-socket profile never pays the charge, whatever its value.
+        let single = MachineProfile { cross_socket_join_cycles: 9e9, ..flat.clone() };
+        assert_eq!(simulate_barrier_elastic(&l, &s, &single, 1), a);
+        // Admitted at full width there is no recruit to migrate.
+        let full_flat = simulate_barrier_elastic(&l, &s, &flat, 8);
+        let full_numa = simulate_barrier_elastic(&l, &s, &numa, 8);
+        assert_eq!(full_flat, full_numa);
     }
 
     #[test]

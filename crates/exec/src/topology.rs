@@ -1,0 +1,156 @@
+//! Physical core topology: which socket each runtime core lives on.
+//!
+//! The [`SolverRuntime`](crate::SolverRuntime) shards its worker free
+//! lists by socket so that leases land on as few sockets as possible:
+//! a grant prefers the tightest single socket that fits, elastic growth
+//! prefers the sockets a lease already occupies, and elastic shrink sheds
+//! the most recently recruited (remote-first) workers — a solve never
+//! migrates across sockets unless it cannot fit otherwise. The topology
+//! is [detected](Topology::detect) from sysfs for the process-wide
+//! runtime and [injected](Topology::uniform) for tests and simulations,
+//! which is what makes the placement invariants assertable without
+//! depending on the build machine.
+//!
+//! Core 0 is the leaseholder's nominal core (the calling thread);
+//! runtime worker `w` occupies core `w + 1`. Socket ids are normalized
+//! to a dense `0..n_sockets` range in first-appearance order.
+//!
+//! # Examples
+//!
+//! ```
+//! use sptrsv_exec::topology::Topology;
+//!
+//! let topo = Topology::uniform(2, 4); // 2 sockets × 4 cores
+//! assert_eq!(topo.n_cores(), 8);
+//! assert_eq!(topo.n_sockets(), 2);
+//! assert_eq!(topo.socket_of(3), 0);
+//! assert_eq!(topo.socket_of(4), 1);
+//! ```
+
+/// The socket layout of a runtime's cores (see the module docs for the
+/// core numbering convention).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Topology {
+    /// `socket_of[c]` is the (dense) socket id of runtime core `c`.
+    socket_of: Vec<usize>,
+    n_sockets: usize,
+}
+
+impl Topology {
+    /// A single-socket topology of `n_cores` cores — the layout every
+    /// machine degenerates to when no socket information is available.
+    pub fn single(n_cores: usize) -> Topology {
+        Topology::uniform(1, n_cores)
+    }
+
+    /// A uniform topology: `n_sockets` sockets of `cores_per_socket`
+    /// cores each, numbered contiguously (cores `s * cores_per_socket ..
+    /// (s + 1) * cores_per_socket` on socket `s`).
+    pub fn uniform(n_sockets: usize, cores_per_socket: usize) -> Topology {
+        assert!(n_sockets > 0, "a topology needs at least one socket");
+        assert!(cores_per_socket > 0, "a socket needs at least one core");
+        Topology {
+            socket_of: (0..n_sockets * cores_per_socket).map(|c| c / cores_per_socket).collect(),
+            n_sockets,
+        }
+    }
+
+    /// A topology from raw per-core socket ids (e.g. sysfs
+    /// `physical_package_id` values). Ids are normalized to dense
+    /// `0..n_sockets` in first-appearance order; they need not be
+    /// contiguous or sorted.
+    pub fn from_sockets(raw: Vec<usize>) -> Topology {
+        assert!(!raw.is_empty(), "a topology needs at least one core");
+        let mut ids: Vec<usize> = Vec::new();
+        let socket_of = raw
+            .iter()
+            .map(|&id| match ids.iter().position(|&x| x == id) {
+                Some(s) => s,
+                None => {
+                    ids.push(id);
+                    ids.len() - 1
+                }
+            })
+            .collect();
+        Topology { socket_of, n_sockets: ids.len() }
+    }
+
+    /// Best-effort detection of the socket layout of the first `n_cores`
+    /// CPUs from sysfs (`/sys/devices/system/cpu/cpuN/topology/
+    /// physical_package_id`). Falls back to a [single](Topology::single)
+    /// socket whenever any core's id is unreadable — a conservative
+    /// default under which every placement preference is trivially
+    /// satisfied.
+    pub fn detect(n_cores: usize) -> Topology {
+        let mut raw = Vec::with_capacity(n_cores);
+        for cpu in 0..n_cores {
+            let path = format!("/sys/devices/system/cpu/cpu{cpu}/topology/physical_package_id");
+            match std::fs::read_to_string(&path).ok().and_then(|s| s.trim().parse::<usize>().ok()) {
+                Some(id) => raw.push(id),
+                None => return Topology::single(n_cores),
+            }
+        }
+        Topology::from_sockets(raw)
+    }
+
+    /// Total cores covered (the leaseholder core included).
+    pub fn n_cores(&self) -> usize {
+        self.socket_of.len()
+    }
+
+    /// Number of distinct sockets.
+    pub fn n_sockets(&self) -> usize {
+        self.n_sockets
+    }
+
+    /// The socket of runtime core `core`.
+    pub fn socket_of(&self, core: usize) -> usize {
+        self.socket_of[core]
+    }
+
+    /// How many cores socket `socket` holds.
+    pub fn cores_on(&self, socket: usize) -> usize {
+        self.socket_of.iter().filter(|&&s| s == socket).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_lays_sockets_out_contiguously() {
+        let t = Topology::uniform(3, 2);
+        assert_eq!(t.n_cores(), 6);
+        assert_eq!(t.n_sockets(), 3);
+        assert_eq!((0..6).map(|c| t.socket_of(c)).collect::<Vec<_>>(), [0, 0, 1, 1, 2, 2]);
+        assert_eq!(t.cores_on(1), 2);
+    }
+
+    #[test]
+    fn raw_socket_ids_are_normalized_densely() {
+        // Raw package ids 7/3/7/3 (sparse, unsorted) become dense sockets
+        // 0/1 in first-appearance order.
+        let t = Topology::from_sockets(vec![7, 3, 7, 3]);
+        assert_eq!(t.n_sockets(), 2);
+        assert_eq!((0..4).map(|c| t.socket_of(c)).collect::<Vec<_>>(), [0, 1, 0, 1]);
+    }
+
+    #[test]
+    fn detect_degrades_to_a_single_socket() {
+        // Asking for more cores than the machine has CPUs makes at least
+        // one sysfs read fail, which must degrade to one socket rather
+        // than a partial layout.
+        let t = Topology::detect(1 << 20);
+        assert_eq!(t.n_sockets(), 1);
+        assert_eq!(t.n_cores(), 1 << 20);
+    }
+
+    #[test]
+    fn single_covers_every_core() {
+        let t = Topology::single(5);
+        assert_eq!(t.n_cores(), 5);
+        assert_eq!(t.n_sockets(), 1);
+        assert_eq!(t.cores_on(0), 5);
+    }
+}

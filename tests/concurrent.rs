@@ -49,7 +49,7 @@ fn problem() -> (CsrMatrix, Vec<f64>, Vec<f64>) {
 /// The pipelines racing on the shared runtime: every execution model, the
 /// policy dimensions (grant fairness and elastic leases included), and
 /// the bridge-parallel `block-gl`.
-const SPECS: [&str; 8] = [
+const SPECS: [&str; 10] = [
     "growlocal@barrier",
     "spmp@async",
     "growlocal:sync=full,backoff=yield@async",
@@ -58,6 +58,8 @@ const SPECS: [&str; 8] = [
     "hdagg:grant=cap=2@async",
     "growlocal:grant=fair,elastic=on@barrier",
     "bspg:grant=fair,elastic=on,backoff=yield@barrier",
+    "growlocal:grant=fair,elastic=on,shrink=on@barrier",
+    "bspg:grant=fair,elastic=on,shrink=on,backoff=yield@barrier",
 ];
 
 #[test]
@@ -299,4 +301,93 @@ fn degraded_widths_upper_and_multi_rhs_stay_exact() {
         }
     }
     assert_eq!(solutions[0], solutions[1], "lease width changed the bits");
+}
+
+#[test]
+fn shrink_storm_wide_tenant_narrows_within_one_superstep_of_a_join() {
+    // The retroactive-fairness storm: a wide elastic+shrink dispatch is
+    // mid-solve when a tenant joins (registered from thread 0's body, so
+    // the join deterministically precedes the next boundary). The very
+    // next superstep must run at the halved share, the shed cores must
+    // satisfy the joiner's blocked lease, and the mid-storm accounting
+    // must show both tenants inside the capacity. No sleeps: the only
+    // waits are protocol-bounded (the joiner unblocks once the drained
+    // cores are reclaimed, one boundary after the shed).
+    use sptrsv::exec::{Backoff, ElasticGrowth, GrantPolicy, TenantRegistration};
+    use std::sync::Mutex;
+    const CAPACITY: usize = 4;
+    const N_STEPS: usize = 40;
+    const JOIN_AT: usize = 5;
+    let runtime = Arc::new(SolverRuntime::new(CAPACITY));
+    let me = runtime.register_tenant();
+    let joined: Mutex<Vec<TenantRegistration>> = Mutex::new(Vec::new());
+    let joiner_width = AtomicUsize::new(0);
+    let release_joiner = AtomicUsize::new(0);
+    let mid_storm_in_use = AtomicUsize::new(0);
+    let widths: Vec<AtomicUsize> = (0..N_STEPS).map(|_| AtomicUsize::new(0)).collect();
+    let (go_tx, go_rx) = std::sync::mpsc::channel::<()>();
+    std::thread::scope(|scope| {
+        let runtime_ref = &runtime;
+        let joiner_width = &joiner_width;
+        let release_joiner = &release_joiner;
+        scope.spawn(move || {
+            go_rx.recv().unwrap();
+            // Blocks until the shed cores are reclaimed, then holds its
+            // grant until the solver has audited the accounting.
+            let lease = runtime_ref.lease_with(CAPACITY, GrantPolicy::Fair);
+            joiner_width.store(lease.size(), Ordering::SeqCst);
+            while release_joiner.load(Ordering::SeqCst) == 0 {
+                std::thread::yield_now();
+            }
+            drop(lease);
+        });
+        let mut lease = runtime.lease_with(CAPACITY, GrantPolicy::Fair);
+        assert_eq!(lease.size(), CAPACITY, "storm did not start wide");
+        lease.run_supersteps(
+            Backoff::Yield,
+            N_STEPS,
+            Some(ElasticGrowth { grant: GrantPolicy::Fair, max_width: CAPACITY, shrink: true }),
+            &|thread, width, step| {
+                if thread != 0 {
+                    return;
+                }
+                widths[step].store(width, Ordering::SeqCst);
+                if step == JOIN_AT {
+                    // The join: registration first (visible to the next
+                    // boundary), then the joiner starts leasing.
+                    joined.lock().unwrap().push(runtime.register_tenant());
+                    go_tx.send(()).unwrap();
+                }
+                if step == JOIN_AT + 5 && mid_storm_in_use.load(Ordering::SeqCst) == 0 {
+                    // Protocol-bounded wait: shed at JOIN_AT → reclaim one
+                    // boundary later → the joiner's lease_with unblocks.
+                    while joiner_width.load(Ordering::SeqCst) == 0 {
+                        std::thread::yield_now();
+                    }
+                    mid_storm_in_use.store(runtime.cores_in_use(), Ordering::SeqCst);
+                    release_joiner.store(1, Ordering::SeqCst);
+                }
+            },
+        );
+        drop(lease);
+    });
+    let widths: Vec<usize> = widths.iter().map(|w| w.load(Ordering::SeqCst)).collect();
+    let fair = CAPACITY.div_ceil(2);
+    assert_eq!(&widths[..=JOIN_AT], &vec![CAPACITY; JOIN_AT + 1][..]);
+    assert_eq!(
+        widths[JOIN_AT + 1],
+        fair,
+        "wide tenant did not narrow within one superstep of the join: {widths:?}"
+    );
+    assert!(widths[JOIN_AT + 1..].iter().all(|&w| w == fair), "width bounced: {widths:?}");
+    assert_eq!(joiner_width.load(Ordering::SeqCst), fair, "joiner did not get the fair share");
+    assert_eq!(
+        mid_storm_in_use.load(Ordering::SeqCst),
+        CAPACITY,
+        "mid-storm accounting lost a tenant"
+    );
+    drop(me);
+    drop(joined);
+    assert_eq!(runtime.cores_in_use(), 0);
+    assert_eq!(runtime.active_tenants(), 0);
 }

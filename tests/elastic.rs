@@ -1,0 +1,410 @@
+//! Deterministic lease-trajectory harness for elastic grow/shrink.
+//!
+//! The tests here pin the elastic runtime's **width trajectories** without
+//! any timing: scripted tenancy events (joins, leaves, core frees) fire
+//! from thread 0's superstep body, so they happen-before the barrier
+//! boundary whose resize decision they drive — the resulting width
+//! sequence is exact and asserted step by step. Each trajectory executes
+//! the real row kernel over a compiled schedule, so the assertions cover
+//! both the protocol (shrink within one superstep of a join, reclaim one
+//! boundary later, grant caps respected) and the arithmetic (bit-identity
+//! to the serial kernel along every width trajectory, single- and
+//! multi-RHS).
+//!
+//! The topology tests inject a two-socket [`Topology`] and assert the
+//! sharding invariants: grants that fit one socket never span two, elastic
+//! growth prefers the lease's home socket, and a shrink sheds cross-socket
+//! recruits first.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use sptrsv::core::registry;
+use sptrsv::core::CompiledSchedule;
+use sptrsv::exec::serial::solve_lower_serial;
+use sptrsv::exec::{
+    solve_lower_multi_serial, Backoff, CoreLease, ElasticGrowth, GrantPolicy, SolverRuntime,
+    TenantRegistration, Topology,
+};
+use sptrsv::prelude::*;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// A scripted tenancy event, fired by thread 0 at the start of the given
+/// superstep — strictly before the boundary whose resize it drives, so
+/// the width of the *next* superstep is determined, not racy.
+enum Event {
+    /// A tenant joins: a steady-tenant registration raises the fair
+    /// denominator at the next boundary (the shrink trigger).
+    Join,
+    /// The most recent joiner leaves (the share grows back).
+    Leave,
+    /// One pre-held width-1 blocker lease drops (cores free up — the
+    /// grow trigger).
+    Free,
+}
+
+/// What thread 0 observed at each superstep.
+struct Trajectory {
+    widths: Vec<usize>,
+    tenants: Vec<usize>,
+}
+
+/// The solution raw pointer shared across lease threads (the same shape
+/// as the executors' internal wrapper; cell ownership is disjoint by
+/// schedule validity, and barriers order cross-row dependencies).
+struct ShareX(*mut f64);
+unsafe impl Sync for ShareX {}
+
+/// The exact serial row kernel (CSR-order gather, diagonal last) over one
+/// compiled cell, `r` right-hand sides per row — mirrors the executors'
+/// `fastmath=off` inner loop, so bit-identity to the serial solvers is
+/// the expectation, not a tolerance.
+///
+/// # Safety
+/// Caller must own the cell's rows exclusively and have all dependency
+/// rows complete (schedule validity + barrier ordering).
+unsafe fn solve_cell(l: &CsrMatrix, b: &[f64], x: *mut f64, r: usize, rows: &[u32]) {
+    for &i in rows {
+        let i = i as usize;
+        let (cols, vals) = l.row(i);
+        let k = cols.len() - 1;
+        debug_assert_eq!(cols[k], i, "row {i} lacks its diagonal");
+        for c in 0..r {
+            *x.add(i * r + c) = b[i * r + c];
+        }
+        for (&j, &v) in cols[..k].iter().zip(&vals[..k]) {
+            for c in 0..r {
+                *x.add(i * r + c) -= v * *x.add(j * r + c);
+            }
+        }
+        let diag = vals[k];
+        for c in 0..r {
+            *x.add(i * r + c) /= diag;
+        }
+    }
+}
+
+/// Runs `compiled` through the elastic superstep protocol under a
+/// scripted tenancy trajectory, solving `l x = b` (`r` right-hand sides)
+/// with the real kernel at every width the script produces.
+#[allow(clippy::too_many_arguments)]
+fn run_scripted(
+    runtime: &SolverRuntime,
+    l: &CsrMatrix,
+    b: &[f64],
+    x: &mut [f64],
+    r: usize,
+    compiled: &CompiledSchedule,
+    grant: GrantPolicy,
+    blockers: usize,
+    shrink: bool,
+    script: &[(usize, Event)],
+) -> Trajectory {
+    assert_eq!(x.len(), l.n_rows() * r);
+    let held: Mutex<Vec<CoreLease>> = Mutex::new((0..blockers).map(|_| runtime.lease(1)).collect());
+    let me = runtime.register_tenant();
+    let joined: Mutex<Vec<TenantRegistration>> = Mutex::new(Vec::new());
+    let n_steps = compiled.n_supersteps();
+    let n_cores = compiled.n_cores();
+    let widths: Vec<AtomicUsize> = (0..n_steps).map(|_| AtomicUsize::new(0)).collect();
+    let tenants: Vec<AtomicUsize> = (0..n_steps).map(|_| AtomicUsize::new(0)).collect();
+    let shared = ShareX(x.as_mut_ptr());
+    let shared = &shared;
+    let mut lease = runtime.lease_with(n_cores, grant);
+    let growth = ElasticGrowth { grant, max_width: n_cores, shrink };
+    lease.run_supersteps(Backoff::Spin, n_steps, Some(growth), &|thread, width, step| {
+        if thread == 0 {
+            for (at, event) in script {
+                if *at == step {
+                    match event {
+                        Event::Join => joined.lock().unwrap().push(runtime.register_tenant()),
+                        Event::Leave => drop(joined.lock().unwrap().pop()),
+                        Event::Free => drop(held.lock().unwrap().pop()),
+                    }
+                }
+            }
+            widths[step].store(width, Ordering::SeqCst);
+            tenants[step].store(runtime.active_tenants(), Ordering::SeqCst);
+        }
+        let mut core = thread;
+        while core < n_cores {
+            // SAFETY: striding keeps every schedule core of a superstep
+            // on one thread, and elastic width changes only land between
+            // supersteps — the barrier executor's ownership argument.
+            unsafe { solve_cell(l, b, shared.0, r, compiled.cell(step, core)) };
+            core += width;
+        }
+    });
+    drop(lease);
+    drop(joined);
+    drop(held);
+    drop(me);
+    Trajectory {
+        widths: widths.iter().map(|w| w.load(Ordering::SeqCst)).collect(),
+        tenants: tenants.iter().map(|t| t.load(Ordering::SeqCst)).collect(),
+    }
+}
+
+/// The shared operand: a wavefront schedule has one superstep per level
+/// (21 for this grid), so scripts have room for several resize events.
+fn problem(cores: usize) -> (CsrMatrix, CompiledSchedule, Vec<f64>) {
+    let l = grid2d_laplacian(12, 10, Stencil2D::FivePoint, 0.5).lower_triangle().unwrap();
+    let dag = SolveDag::from_lower_triangular(&l);
+    let s = WavefrontScheduler.schedule(&dag, cores);
+    let compiled = CompiledSchedule::from_schedule(&s);
+    let b: Vec<f64> = (0..l.n_rows()).map(|i| 1.0 + ((i * 7) % 13) as f64).collect();
+    (l, compiled, b)
+}
+
+/// Expected width sequence: `points` are `(from_step, width)` changes.
+fn staircase(n_steps: usize, points: &[(usize, usize)]) -> Vec<usize> {
+    let mut widths = vec![0; n_steps];
+    for &(from, width) in points {
+        for w in widths.iter_mut().skip(from) {
+            *w = width;
+        }
+    }
+    widths
+}
+
+/// The three scripted trajectories of the acceptance harness: grow-only,
+/// shrink-only, and mixed shrink-then-regrow. Each returns the runtime
+/// capacity, grant policy, blocker count, script, and the exact expected
+/// width staircase.
+#[allow(clippy::type_complexity)]
+fn acceptance_trajectories(
+    n_steps: usize,
+) -> Vec<(usize, GrantPolicy, usize, Vec<(usize, Event)>, Vec<usize>)> {
+    vec![
+        // Grow-only: admitted at 3 of 6 behind three blockers; one core
+        // frees at step 1 (width 4 from step 2), two more at step 3
+        // (width 6 from step 4).
+        (
+            6,
+            GrantPolicy::Greedy,
+            3,
+            vec![(1, Event::Free), (3, Event::Free), (3, Event::Free)],
+            staircase(n_steps, &[(0, 3), (2, 4), (4, 6)]),
+        ),
+        // Shrink-only: admitted alone at full width 6; a join at step 1
+        // halves the fair share (ceil(6/2) = 3 from step 2), a second
+        // join at step 3 cuts it to ceil(6/3) = 2 from step 4.
+        (
+            6,
+            GrantPolicy::Fair,
+            0,
+            vec![(1, Event::Join), (3, Event::Join)],
+            staircase(n_steps, &[(0, 6), (2, 3), (4, 2)]),
+        ),
+        // Mixed: shrink at the join, regrow to full width at the leave —
+        // the cores shed at the 1→2 boundary were reclaimed at 2→3, so
+        // the 3→4 boundary finds them free and recruits them back.
+        (
+            6,
+            GrantPolicy::Fair,
+            0,
+            vec![(1, Event::Join), (3, Event::Leave)],
+            staircase(n_steps, &[(0, 6), (2, 3), (4, 6)]),
+        ),
+    ]
+}
+
+#[test]
+fn scripted_trajectories_pin_widths_and_bits_single_rhs() {
+    let (l, compiled, b) = problem(6);
+    let n = l.n_rows();
+    let mut reference = vec![0.0; n];
+    solve_lower_serial(&l, &b, &mut reference);
+    for (i, (capacity, grant, blockers, script, expected)) in
+        acceptance_trajectories(compiled.n_supersteps()).into_iter().enumerate()
+    {
+        let runtime = SolverRuntime::new(capacity);
+        let mut x = vec![f64::NAN; n];
+        let t =
+            run_scripted(&runtime, &l, &b, &mut x, 1, &compiled, grant, blockers, true, &script);
+        assert_eq!(t.widths, expected, "trajectory {i} widths diverged");
+        assert_eq!(x, reference, "trajectory {i} changed the bits");
+        assert_eq!(runtime.cores_in_use(), 0, "trajectory {i} leaked cores");
+        assert_eq!(runtime.active_tenants(), 0, "trajectory {i} leaked tenants");
+    }
+}
+
+#[test]
+fn scripted_trajectories_pin_widths_and_bits_multi_rhs() {
+    let (l, compiled, b1) = problem(6);
+    let n = l.n_rows();
+    let r = 3;
+    let b: Vec<f64> = (0..n * r).map(|i| (i as f64 * 0.31).sin() + b1[i / r]).collect();
+    let mut reference = vec![0.0; n * r];
+    solve_lower_multi_serial(&l, &b, &mut reference, r);
+    for (i, (capacity, grant, blockers, script, expected)) in
+        acceptance_trajectories(compiled.n_supersteps()).into_iter().enumerate()
+    {
+        let runtime = SolverRuntime::new(capacity);
+        let mut x = vec![f64::NAN; n * r];
+        let t =
+            run_scripted(&runtime, &l, &b, &mut x, r, &compiled, grant, blockers, true, &script);
+        assert_eq!(t.widths, expected, "multi-RHS trajectory {i} widths diverged");
+        assert_eq!(x, reference, "multi-RHS trajectory {i} changed the bits");
+        assert_eq!(runtime.cores_in_use(), 0);
+    }
+}
+
+#[test]
+fn shrink_off_trajectories_are_grow_only_byte_for_byte() {
+    // The same shrink-provoking scripts with `shrink` disabled must
+    // reproduce the pre-shrink grow-only behavior exactly: the width
+    // never decreases, whatever the share does.
+    let (l, compiled, b) = problem(6);
+    let n = l.n_rows();
+    let mut reference = vec![0.0; n];
+    solve_lower_serial(&l, &b, &mut reference);
+    let n_steps = compiled.n_supersteps();
+    for (capacity, grant, blockers, script, _) in acceptance_trajectories(n_steps) {
+        let runtime = SolverRuntime::new(capacity);
+        let mut x = vec![f64::NAN; n];
+        let t =
+            run_scripted(&runtime, &l, &b, &mut x, 1, &compiled, grant, blockers, false, &script);
+        for s in 1..n_steps {
+            assert!(
+                t.widths[s] >= t.widths[s - 1],
+                "grow-only trajectory narrowed at step {s}: {:?}",
+                t.widths
+            );
+        }
+        assert_eq!(x, reference);
+        assert_eq!(runtime.cores_in_use(), 0);
+    }
+}
+
+#[test]
+fn two_socket_topology_grows_local_and_sheds_remote_first() {
+    // Injected two-socket topology (cores 0..4 on socket 0, 4..8 on
+    // socket 1; worker w runs on core w + 1). A four-core blocker pins
+    // socket 0, so the solve's grant lands whole on socket 1. When the
+    // blocker frees, growth takes the one local core first and recruits
+    // the remote three only because no local ones remain; when a joiner
+    // halves the share, the shed releases exactly those cross-socket
+    // recruits — the lease ends where it started, on one socket.
+    let (l, compiled, b) = problem(8);
+    let n = l.n_rows();
+    let mut reference = vec![0.0; n];
+    solve_lower_serial(&l, &b, &mut reference);
+    let runtime = SolverRuntime::with_topology(Topology::uniform(2, 4));
+    assert_eq!(runtime.capacity(), 8);
+    let me = runtime.register_tenant();
+    let blocker = Mutex::new(Some(runtime.lease(4)));
+    assert_eq!(
+        blocker.lock().unwrap().as_ref().unwrap().sockets(),
+        vec![0],
+        "the blocker grant should fit socket 0 exactly"
+    );
+    let joined: Mutex<Vec<TenantRegistration>> = Mutex::new(Vec::new());
+    let mut lease = runtime.lease_with(8, GrantPolicy::Fair);
+    // Two transient tenants: ceil(8/2) = 4, all on socket 1.
+    assert_eq!(lease.size(), 4);
+    assert_eq!(lease.sockets(), vec![1], "a fitting grant spanned sockets");
+    let n_steps = compiled.n_supersteps();
+    let n_cores = compiled.n_cores();
+    let widths: Vec<AtomicUsize> = (0..n_steps).map(|_| AtomicUsize::new(0)).collect();
+    let mut x = vec![f64::NAN; n];
+    let shared = ShareX(x.as_mut_ptr());
+    let shared = &shared;
+    lease.run_supersteps(
+        Backoff::Spin,
+        n_steps,
+        Some(ElasticGrowth { grant: GrantPolicy::Fair, max_width: 8, shrink: true }),
+        &|thread, width, step| {
+            if thread == 0 {
+                if step == 1 {
+                    drop(blocker.lock().unwrap().take());
+                }
+                if step == 3 {
+                    joined.lock().unwrap().push(runtime.register_tenant());
+                }
+                widths[step].store(width, Ordering::SeqCst);
+            }
+            let mut core = thread;
+            while core < n_cores {
+                // SAFETY: as in `run_scripted`.
+                unsafe { solve_cell(&l, &b, shared.0, 1, compiled.cell(step, core)) };
+                core += width;
+            }
+        },
+    );
+    let widths: Vec<usize> = widths.iter().map(|w| w.load(Ordering::SeqCst)).collect();
+    assert_eq!(widths, staircase(n_steps, &[(0, 4), (2, 8), (4, 4)]));
+    assert_eq!(x, reference, "topology trajectory changed the bits");
+    // The shrink shed the socket-0 recruits first: what remains is the
+    // original single-socket grant.
+    assert_eq!(lease.size(), 4);
+    assert_eq!(lease.sockets(), vec![1], "the shed migrated the lease across sockets");
+    drop(lease);
+    drop(joined);
+    drop(me);
+    assert_eq!(runtime.cores_in_use(), 0);
+    assert_eq!(runtime.active_tenants(), 0);
+}
+
+#[test]
+fn random_matrices_and_schedulers_stay_bit_identical_and_capped() {
+    // The property sweep: random operands x every registered scheduler x
+    // a churny scripted trajectory. Along every trajectory the solution
+    // stays bit-identical to serial, and the published width never
+    // exceeds the fair grant cap at the tenant count of the previous
+    // step (the boundary that set the width saw those tenants).
+    const CAPACITY: usize = 5;
+    let script =
+        [(0, Event::Join), (1, Event::Join), (2, Event::Leave), (3, Event::Free), (5, Event::Free)];
+    for seed in 0..3u64 {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let l = sptrsv::sparse::gen::erdos_renyi_lower(80, 0.08, &mut rng);
+        let n = l.n_rows();
+        let dag = SolveDag::from_lower_triangular(&l);
+        let b: Vec<f64> = (0..n).map(|i| 1.0 + ((i * 11 + seed as usize) % 17) as f64).collect();
+        let mut reference = vec![0.0; n];
+        solve_lower_serial(&l, &b, &mut reference);
+        let runtime = SolverRuntime::new(CAPACITY);
+        for (which, info) in registry::list().iter().enumerate() {
+            let sched = registry::resolve(info.name, &dag, CAPACITY)
+                .unwrap_or_else(|e| panic!("`{}` failed to build: {e}", info.name));
+            let compiled = CompiledSchedule::from_schedule(&sched.schedule(&dag, CAPACITY));
+            // Alternate single- and multi-RHS to cover both superstep
+            // executors' striding shape.
+            let r = 1 + which % 2;
+            let bm: Vec<f64> = (0..n * r).map(|i| b[i / r] + (i % r) as f64).collect();
+            let mut rm = vec![0.0; n * r];
+            solve_lower_multi_serial(&l, &bm, &mut rm, r);
+            let mut x = vec![f64::NAN; n * r];
+            let t = run_scripted(
+                &runtime,
+                &l,
+                &bm,
+                &mut x,
+                r,
+                &compiled,
+                GrantPolicy::Fair,
+                2,
+                true,
+                &script,
+            );
+            assert_eq!(x, rm, "{} (seed {seed}, r {r}) changed the bits", info.name);
+            for (s, &w) in t.widths.iter().enumerate() {
+                assert!(w >= 1, "{}: published width 0 at step {s}", info.name);
+                if s > 0 {
+                    let cap = CAPACITY.div_ceil(t.tenants[s - 1].max(1)).max(1);
+                    assert!(
+                        w <= cap,
+                        "{}: width {w} at step {s} exceeds fair cap {cap} \
+                         ({} tenants): {:?}",
+                        info.name,
+                        t.tenants[s - 1],
+                        t.widths
+                    );
+                }
+            }
+            assert_eq!(runtime.cores_in_use(), 0, "{} leaked cores", info.name);
+            assert_eq!(runtime.active_tenants(), 0, "{} leaked tenants", info.name);
+        }
+    }
+}
